@@ -1,0 +1,154 @@
+"""Ablation: which cross-optimization buys what (§4.1's optimization list).
+
+Runs the Figure 4 scoring query with each optimization enabled in isolation
+and all together, for two model families — an inlinable linear pipeline and
+a tree ensemble (where compression/pruning act but inlining declines).
+Checks the key invariant (results identical under every configuration) and
+reports the latency of each configuration.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import write_report
+from flock import create_database
+from flock.inference import CrossOptimizer
+from flock.ml import (
+    GradientBoostingClassifier,
+    LogisticRegression,
+    Pipeline,
+    StandardScaler,
+)
+from flock.ml.datasets import make_loans
+from flock.mlgraph import to_graph
+
+N_ROWS = 30_000
+QUERY = (
+    "SELECT applicant_id, PREDICT(m) AS p FROM loans WHERE PREDICT(m) > 0.5"
+)
+
+CONFIGS = {
+    "none": dict(enable_compression=False, enable_pruning=False,
+                 enable_inlining=False, enable_strategy_selection=False),
+    "+compression": dict(enable_compression=True, enable_pruning=False,
+                         enable_inlining=False,
+                         enable_strategy_selection=False),
+    "+pruning": dict(enable_compression=False, enable_pruning=True,
+                     enable_inlining=False, enable_strategy_selection=False),
+    "+inlining": dict(enable_compression=False, enable_pruning=False,
+                      enable_inlining=True, enable_strategy_selection=False),
+    "+selection": dict(enable_compression=False, enable_pruning=False,
+                       enable_inlining=False, enable_strategy_selection=True),
+    "all": dict(enable_compression=True, enable_pruning=True,
+                enable_inlining=True, enable_strategy_selection=True),
+}
+
+
+def _make_estimators():
+    base = make_loans(2_000, random_state=0)
+    X, y = base.feature_matrix(), base.target_vector()
+    linear = Pipeline(
+        [("s", StandardScaler()), ("m", LogisticRegression(max_iter=150))]
+    ).fit(X, y)
+    # A sparse variant: two features provably unused.
+    sparse = Pipeline(
+        [("s", StandardScaler()), ("m", LogisticRegression(max_iter=150))]
+    ).fit(X, y)
+    sparse.final_estimator.coef_[3] = 0.0
+    sparse.final_estimator.coef_[4] = 0.0
+    gbm = GradientBoostingClassifier(n_estimators=40, random_state=0).fit(X, y)
+    return base, {"linear": linear, "sparse-linear": sparse, "gbm": gbm}
+
+
+def _database_with(model, config, base, n_rows=N_ROWS):
+    database, registry = create_database(CrossOptimizer(**config))
+    database.execute(
+        "CREATE TABLE loans (applicant_id INTEGER, income FLOAT, "
+        "credit_score FLOAT, loan_amount FLOAT, debt_ratio FLOAT, "
+        "years_employed FLOAT, region TEXT)"
+    )
+    rng = np.random.default_rng(2)
+    X = base.feature_matrix()
+    idx = rng.integers(0, len(X), size=n_rows)
+    rows = [
+        (int(i + 1), *(float(v) for v in X[j]), "north")
+        for i, j in enumerate(idx)
+    ]
+    table = database.catalog.table("loans")
+    table.publish(table.build_insert(rows))
+    registry.deploy("m", to_graph(model, base.feature_names, name="m"))
+    return database
+
+
+@pytest.fixture(scope="module")
+def ablation():
+    base, estimators = _make_estimators()
+    results: dict[str, dict[str, float]] = {}
+    answers: dict[str, dict[str, list]] = {}
+    for model_name, model in estimators.items():
+        results[model_name] = {}
+        answers[model_name] = {}
+        for config_name, config in CONFIGS.items():
+            database = _database_with(model, config, base)
+            database.execute(QUERY)  # warmup (stats, caches)
+            started = time.perf_counter()
+            result = database.execute(QUERY)
+            results[model_name][config_name] = time.perf_counter() - started
+            answers[model_name][config_name] = result.rows()
+
+    lines = ["Ablation: per-optimization latency of the scoring query (ms)"]
+    header = f"{'model':>14} | " + " | ".join(
+        f"{c:>13}" for c in CONFIGS
+    )
+    lines.append(header)
+    for model_name, per_config in results.items():
+        lines.append(
+            f"{model_name:>14} | "
+            + " | ".join(
+                f"{per_config[c] * 1000:>11.1f}ms" for c in CONFIGS
+            )
+        )
+    write_report("ablation_optimizations", lines)
+    return results, answers
+
+
+class TestAblation:
+    def test_all_configs_identical_results(self, ablation):
+        _, answers = ablation
+        for model_name, per_config in answers.items():
+            baseline = per_config["none"]
+            for config_name, rows in per_config.items():
+                assert len(rows) == len(baseline), (model_name, config_name)
+                for (id_a, p_a), (id_b, p_b) in zip(rows, baseline):
+                    assert id_a == id_b
+                    assert p_a == pytest.approx(p_b, abs=1e-9)
+
+    def test_inlining_speeds_up_linear(self, ablation):
+        results, _ = ablation
+        linear = results["linear"]
+        assert linear["+inlining"] < linear["none"] * 1.1
+
+    def test_full_stack_not_worse_than_none(self, ablation):
+        results, _ = ablation
+        for model_name, per_config in results.items():
+            assert per_config["all"] <= per_config["none"] * 1.5
+
+
+def bench_ablation_none(benchmark):
+    base, estimators = _make_estimators()
+    database = _database_with(estimators["linear"], CONFIGS["none"], base,
+                              n_rows=10_000)
+    database.execute(QUERY)
+    benchmark(lambda: database.execute(QUERY))
+
+
+def bench_ablation_all(benchmark, ablation):
+    base, estimators = _make_estimators()
+    database = _database_with(estimators["linear"], CONFIGS["all"], base,
+                              n_rows=10_000)
+    database.execute(QUERY)
+    benchmark(lambda: database.execute(QUERY))

@@ -1,0 +1,75 @@
+"""Ablation: provenance-graph compression/summarization (§4.2, C1).
+
+The paper: "the provenance data model can become substantially large in
+size (e.g., a table having as many versions as the insertions that have
+happened to it). For these reasons, we develop optimized capture techniques,
+through compression and summarization." This bench measures how much each
+technique reclaims on the TPC-C capture from Table 1.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import write_report
+from flock.db import Database
+from flock.provenance import (
+    ProvenanceCatalog,
+    SQLProvenanceCapture,
+    compress_provenance,
+)
+from flock.workloads import create_tpcc_schema, generate_tpcc_transactions
+
+
+@pytest.fixture(scope="module")
+def captured_graph():
+    db = Database()
+    create_tpcc_schema(db)
+    catalog = ProvenanceCatalog()
+    capture = SQLProvenanceCapture(catalog, database=db)
+    capture.capture_many(generate_tpcc_transactions(1100))
+    return catalog.graph
+
+
+@pytest.fixture(scope="module")
+def compression_report(captured_graph):
+    variants = {
+        "none": dict(summarize_versions=False, dedupe_edges=False),
+        "dedupe only": dict(summarize_versions=False, dedupe_edges=True),
+        "versions only": dict(summarize_versions=True, dedupe_edges=False),
+        "both": dict(summarize_versions=True, dedupe_edges=True),
+    }
+    rows = {}
+    for name, config in variants.items():
+        _, report = compress_provenance(captured_graph, **config)
+        rows[name] = report
+    lines = [
+        "Ablation: provenance compression on the TPC-C capture",
+        f"{'technique':>14} | {'before':>8} | {'after':>8} | {'ratio':>6}",
+    ]
+    for name, report in rows.items():
+        lines.append(
+            f"{name:>14} | {report.size_before:>8} | {report.size_after:>8} "
+            f"| {report.ratio:>5.2f}"
+        )
+    write_report("ablation_provenance", lines)
+    return rows
+
+
+class TestProvenanceCompression:
+    def test_uncompressed_is_identity(self, compression_report):
+        assert compression_report["none"].ratio == pytest.approx(1.0)
+
+    def test_each_technique_helps(self, compression_report):
+        assert compression_report["dedupe only"].ratio < 1.0
+        assert compression_report["versions only"].ratio < 1.0
+
+    def test_combined_best(self, compression_report):
+        both = compression_report["both"].ratio
+        assert both <= compression_report["dedupe only"].ratio
+        assert both <= compression_report["versions only"].ratio
+        assert both < 0.5  # versioned TPC-C compresses heavily
+
+
+def bench_compress_tpcc_graph(benchmark, captured_graph):
+    benchmark(lambda: compress_provenance(captured_graph))

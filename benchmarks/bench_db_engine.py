@@ -1,0 +1,121 @@
+"""DB substrate micro-benchmarks: TPC-H queries, optimizer on/off, DML.
+
+Sanity checks for the relational engine underneath the headline results:
+the rule optimizer must not regress query latency, and the engine must
+sustain the TPC-C write path that the provenance experiment leans on.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import write_report
+from flock.db import Database
+from flock.db.optimizer.rules import Optimizer
+from flock.workloads import (
+    create_tpcc_schema,
+    create_tpch_schema,
+    generate_tpcc_data,
+    generate_tpcc_transactions,
+    generate_tpch_data,
+    tpch_query,
+)
+
+
+@pytest.fixture(scope="module")
+def tpch_db():
+    db = Database()
+    create_tpch_schema(db)
+    generate_tpch_data(db, scale=0.002, seed=3)
+    return db
+
+
+@pytest.fixture(scope="module")
+def engine_report(tpch_db):
+    rng = np.random.default_rng(0)
+    queries = {t: tpch_query(t, rng) for t in (1, 3, 5, 6, 10, 18)}
+    lines = [
+        "DB engine micro-benchmark: TPC-H (scale 0.002) latency, "
+        "optimizer on vs off",
+        f"{'query':>6} | {'optimized':>10} | {'naive':>10}",
+    ]
+    naive = Optimizer(
+        enable_predicate_pushdown=False,
+        enable_projection_pruning=False,
+        enable_join_rules=False,
+    )
+    timings = {}
+    for template_id, sql in queries.items():
+        tpch_db.optimizer = Optimizer()
+        tpch_db.execute(sql)
+        started = time.perf_counter()
+        optimized_rows = tpch_db.execute(sql).rows()
+        optimized = time.perf_counter() - started
+
+        tpch_db.optimizer = naive
+        tpch_db.execute(sql)
+        started = time.perf_counter()
+        naive_rows = tpch_db.execute(sql).rows()
+        unoptimized = time.perf_counter() - started
+        tpch_db.optimizer = Optimizer()
+
+        assert optimized_rows == naive_rows
+        timings[template_id] = (optimized, unoptimized)
+        lines.append(
+            f"{'Q' + str(template_id):>6} | {optimized * 1000:>8.1f}ms | "
+            f"{unoptimized * 1000:>8.1f}ms"
+        )
+    write_report("db_engine", lines)
+    return timings
+
+
+class TestEngineMicro:
+    def test_optimizer_never_pathological(self, engine_report):
+        for template_id, (optimized, naive) in engine_report.items():
+            assert optimized <= naive * 3.0, f"Q{template_id} regressed"
+
+    def test_join_heavy_queries_benefit(self, engine_report):
+        # Q5 is a 6-way join: rewrites should win clearly.
+        optimized, naive = engine_report[5]
+        assert optimized <= naive
+
+
+def bench_tpch_q1_aggregate(benchmark, tpch_db):
+    sql = tpch_query(1, np.random.default_rng(1))
+    benchmark(lambda: tpch_db.execute(sql))
+
+
+def bench_tpch_q3_join(benchmark, tpch_db):
+    sql = tpch_query(3, np.random.default_rng(1))
+    benchmark(lambda: tpch_db.execute(sql))
+
+
+def bench_tpch_q6_scan_filter(benchmark, tpch_db):
+    sql = tpch_query(6, np.random.default_rng(1))
+    benchmark(lambda: tpch_db.execute(sql))
+
+
+def bench_tpcc_transaction_stream(benchmark):
+    db = Database()
+    create_tpcc_schema(db)
+    generate_tpcc_data(db)
+    statements = generate_tpcc_transactions(60, seed=5)
+
+    def run():
+        for sql in statements:
+            db.execute(sql)
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+
+
+def bench_insert_throughput(benchmark):
+    db = Database()
+    db.execute("CREATE TABLE t (a INT, b FLOAT, c TEXT)")
+    values = ", ".join(
+        f"({i}, {float(i)}, 'row{i}')" for i in range(1000)
+    )
+    sql = f"INSERT INTO t VALUES {values}"
+    benchmark(lambda: db.execute(sql))

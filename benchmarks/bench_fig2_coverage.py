@@ -1,0 +1,60 @@
+"""Figure 2: notebook coverage (%) for top-K packages, 2017 vs 2019.
+
+Regenerates the coverage curves from the synthetic corpora calibrated to the
+paper's two callouts: the 2019 crawl sees ~3× more packages in total, and
+the top-10 packages cover ~5 points more of the notebooks.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import write_report
+from flock.corpus.analysis import DEFAULT_KS, analyze_corpus
+from flock.corpus.generator import YEAR_2017, YEAR_2019, generate_corpus
+
+
+@pytest.fixture(scope="module")
+def curves():
+    a17 = analyze_corpus(generate_corpus(YEAR_2017))
+    a19 = analyze_corpus(generate_corpus(YEAR_2019))
+
+    lines = ["Figure 2: notebook coverage (%) for top-K packages"]
+    lines.append(f"{'K':>6} | {'2017':>8} | {'2019':>8}")
+    for k in DEFAULT_KS:
+        lines.append(
+            f"{k:>6} | {a17.at(k) * 100:>7.1f}% | {a19.at(k) * 100:>7.1f}%"
+        )
+    ratio = a19.total_packages / a17.total_packages
+    lines.append("")
+    lines.append(
+        f"Total packages: 2017={a17.total_packages} "
+        f"2019={a19.total_packages} ({ratio:.1f}x — paper: '3x more packages')"
+    )
+    lines.append(
+        f"Top-10 coverage delta: {(a19.at(10) - a17.at(10)) * 100:+.1f} points "
+        f"(paper: '5% more coverage')"
+    )
+    lines.append(f"2019 top packages: {', '.join(a19.top_packages[:5])}")
+    write_report("fig2_coverage", lines)
+    return a17, a19
+
+
+class TestFigure2:
+    def test_three_times_more_packages(self, curves):
+        a17, a19 = curves
+        assert 2.5 <= a19.total_packages / a17.total_packages <= 4.0
+
+    def test_top10_covers_more_in_2019(self, curves):
+        a17, a19 = curves
+        delta = a19.at(10) - a17.at(10)
+        assert 0.02 <= delta <= 0.10  # around the paper's ~5 points
+
+    def test_head_solidified(self, curves):
+        _, a19 = curves
+        assert set(a19.top_packages[:4]) >= {"numpy", "pandas"}
+
+
+def bench_fig2_generate_and_analyze(benchmark, curves):
+    """Benchmark one full generate+analyze pass (2017 corpus)."""
+    benchmark(lambda: analyze_corpus(generate_corpus(YEAR_2017)))

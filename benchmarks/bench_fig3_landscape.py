@@ -1,0 +1,52 @@
+"""Figure 3: ML systems in the public cloud and major companies.
+
+Renders the feature-support matrix and checks the two trends the paper reads
+from it: (1) mature proprietary solutions have stronger data-management
+support; (2) no complete third-party offering exists.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import write_report
+from flock.landscape import group_scores, render_matrix, trend_summary
+
+
+@pytest.fixture(scope="module")
+def landscape_report():
+    lines = ["Figure 3: ML systems feature-support matrix", ""]
+    lines.append(render_matrix())
+    lines.append("")
+    scores = group_scores()
+    lines.append("Average support by group (GOOD=2, OK=1, NO=0):")
+    for system, per_group in scores.items():
+        rendered = ", ".join(
+            f"{group}={value:.2f}" for group, value in per_group.items()
+        )
+        lines.append(f"  {system:<18} {rendered}")
+    trends = trend_summary()
+    lines.append("")
+    lines.append(
+        f"Trend 1 — data management, proprietary avg "
+        f"{trends['dm_proprietary']:.2f} vs third-party "
+        f"{trends['dm_third_party']:.2f} (gap {trends['dm_gap']:+.2f})"
+    )
+    lines.append(
+        f"Trend 2 — best third-party completeness: "
+        f"{trends['best_third_party_completeness'] * 100:.0f}% of features"
+    )
+    write_report("fig3_landscape", lines)
+    return trends
+
+
+class TestFigure3:
+    def test_trend_1(self, landscape_report):
+        assert landscape_report["dm_gap"] > 0.5
+
+    def test_trend_2(self, landscape_report):
+        assert landscape_report["best_third_party_completeness"] < 0.9
+
+
+def bench_fig3_matrix_analysis(benchmark, landscape_report):
+    benchmark(lambda: (group_scores(), trend_summary()))

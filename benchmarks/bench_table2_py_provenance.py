@@ -1,0 +1,87 @@
+"""Table 2: Python provenance coverage.
+
+Paper (their corpora):
+
+    Dataset     #Scripts   %Models Covered   %Training Datasets Covered
+    Kaggle      49         95%               61%
+    Microsoft   37         100%              100%
+
+Shape targets: near-total model coverage but markedly lower dataset coverage
+on the heterogeneous (Kaggle-like) corpus; full coverage on the uniform
+enterprise corpus. Coverage here is *measured* against ground truth, not
+asserted: the synthetic corpora contain the same adversarial constructs
+(dynamic constructors, runtime-built paths, non-KB loaders) that defeat
+static analysis in the wild.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import write_report
+from flock.corpus.scripts import (
+    enterprise_corpus,
+    evaluate_coverage,
+    kaggle_like_corpus,
+)
+from flock.provenance import PythonProvenanceCapture
+
+
+@pytest.fixture(scope="module")
+def table2():
+    analyzer = PythonProvenanceCapture()
+    kaggle = evaluate_coverage(kaggle_like_corpus(49), analyzer)
+    enterprise = evaluate_coverage(enterprise_corpus(37), analyzer)
+    lines = [
+        "Table 2: Python provenance coverage",
+        f"{'Dataset':>12} | {'#Scripts':>8} | {'%Models':>8} | {'%Datasets':>9}",
+        f"{'Kaggle-like':>12} | {kaggle.scripts:>8} | "
+        f"{kaggle.model_coverage * 100:>7.0f}% | "
+        f"{kaggle.dataset_coverage * 100:>8.0f}%",
+        f"{'Enterprise':>12} | {enterprise.scripts:>8} | "
+        f"{enterprise.model_coverage * 100:>7.0f}% | "
+        f"{enterprise.dataset_coverage * 100:>8.0f}%",
+        "",
+        "Paper: Kaggle 49 / 95% / 61% — Microsoft 37 / 100% / 100%",
+        "",
+        "Missed (first 8):",
+    ]
+    lines.extend(f"  {f}" for f in kaggle.failures[:8])
+    write_report("table2_py_provenance", lines)
+    return kaggle, enterprise
+
+
+class TestTable2:
+    def test_corpus_sizes(self, table2):
+        kaggle, enterprise = table2
+        assert kaggle.scripts == 49
+        assert enterprise.scripts == 37
+
+    def test_kaggle_model_coverage_near_95(self, table2):
+        kaggle, _ = table2
+        assert 0.90 <= kaggle.model_coverage < 1.0
+
+    def test_kaggle_dataset_coverage_near_61(self, table2):
+        kaggle, _ = table2
+        assert 0.50 <= kaggle.dataset_coverage <= 0.75
+
+    def test_enterprise_full_coverage(self, table2):
+        _, enterprise = table2
+        assert enterprise.model_coverage == 1.0
+        assert enterprise.dataset_coverage == 1.0
+
+    def test_dataset_coverage_below_model_coverage(self, table2):
+        kaggle, _ = table2
+        assert kaggle.dataset_coverage < kaggle.model_coverage
+
+
+def bench_kaggle_corpus_analysis(benchmark, table2):
+    analyzer = PythonProvenanceCapture()
+    corpus = kaggle_like_corpus(49)
+    benchmark(lambda: evaluate_coverage(corpus, analyzer))
+
+
+def bench_single_script_analysis(benchmark):
+    analyzer = PythonProvenanceCapture()
+    source = kaggle_like_corpus(1)[0].source
+    benchmark(lambda: analyzer.analyze_script(source))

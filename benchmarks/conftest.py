@@ -1,0 +1,30 @@
+"""Shared benchmark infrastructure.
+
+Every benchmark regenerates one of the paper's tables/figures and writes the
+measured rows/series to ``benchmarks/results/<name>.txt`` so EXPERIMENTS.md
+can be checked against fresh runs. Set ``FLOCK_BENCH_FULL=1`` to include the
+paper's largest dataset sizes (slower).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+FULL = os.environ.get("FLOCK_BENCH_FULL", "0") == "1"
+
+
+def write_report(name: str, lines: list[str]) -> None:
+    """Persist a reproduced table/figure as plain text."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text("\n".join(lines) + "\n")
+
+
+@pytest.fixture(scope="session")
+def full_scale() -> bool:
+    return FULL

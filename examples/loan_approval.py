@@ -1,0 +1,122 @@
+"""Loan approval at a regulated financial institution (paper §3, scenario i).
+
+Shows the parts of EGML that plain ML tooling does not give you:
+role-based access to data *and* models, an immutable audit trail, business
+policies that can override or veto the model, and end-to-end explainability
+for any individual decision.
+
+Run:  python examples/loan_approval.py
+"""
+
+from flock.errors import SecurityError
+from flock.lifecycle import FlockSession
+from flock.ml import LogisticRegression, Pipeline, StandardScaler
+from flock.ml.datasets import make_loans
+from flock.policy import CapPolicy, OverridePolicy, VetoPolicy
+
+FEATURES = ["income", "credit_score", "loan_amount", "debt_ratio",
+            "years_employed"]
+
+
+def main() -> None:
+    session = FlockSession()
+    session.load_dataset(make_loans(600, random_state=7))
+    session.train_and_deploy(
+        "loan_model",
+        Pipeline([("scale", StandardScaler()),
+                  ("clf", LogisticRegression(max_iter=300))]),
+        "loans", FEATURES, "approved",
+        description="loan approval, quarterly retrain",
+    )
+    database = session.database
+
+    # ------------------------------------------------------------------
+    # Access control: analysts read data; only the scoring role may run
+    # the model; nobody gets more than they were granted.
+    # ------------------------------------------------------------------
+    database.execute("CREATE ROLE analyst")
+    database.execute("GRANT SELECT ON loans TO analyst")
+    database.execute("CREATE USER maria")
+    database.execute("GRANT analyst TO maria")
+
+    print("maria (analyst) can read data:")
+    print(" ", database.execute(
+        "SELECT COUNT(*) AS applications FROM loans", user="maria"
+    ).to_dicts())
+
+    try:
+        database.execute("SELECT PREDICT(loan_model) FROM loans",
+                         user="maria")
+    except SecurityError as exc:
+        print("maria cannot score the model:", exc)
+
+    database.security.grant("PREDICT", "model:loan_model", "maria")
+    print("after GRANT PREDICT, maria scores:",
+          database.execute(
+              "SELECT ROUND(AVG(PREDICT(loan_model)), 3) FROM loans",
+              user="maria",
+          ).scalar())
+
+    # ------------------------------------------------------------------
+    # Business policies sit between the model and the decision (§4.1).
+    # ------------------------------------------------------------------
+    session.policies.add_policy(VetoPolicy(
+        "kyc_incomplete",
+        lambda v, ctx: not ctx.get("kyc_complete", False),
+        reason="know-your-customer checks incomplete",
+        priority=10,
+    ))
+    session.policies.add_policy(OverridePolicy(
+        "regulatory_floor",
+        condition=lambda v, ctx: ctx.get("region") == "sanctioned",
+        replacement=0.0,
+        reason="sanctioned region: automatic decline per compliance",
+        priority=20,
+    ))
+    session.policies.add_policy(CapPolicy(
+        "exposure_cap",
+        lambda ctx: 0.5 if ctx.get("loan_amount", 0) > 100_000 else 1.0,
+        priority=50,
+    ))
+
+    candidates = session.sql(
+        "SELECT applicant_id, loan_amount, region, "
+        "PREDICT(loan_model) AS p FROM loans ORDER BY p DESC LIMIT 4"
+    )
+    print("\nDecisions after policy review:")
+    for applicant_id, loan_amount, region, probability in candidates.rows():
+        decision = session.policies.decide(
+            "loan_model",
+            probability,
+            {
+                "applicant_id": applicant_id,
+                "loan_amount": loan_amount,
+                "region": region,
+                "kyc_complete": applicant_id % 3 != 0,  # demo flag
+            },
+        )
+        verdict = "VETOED" if decision.vetoed else (
+            f"score {decision.final_value:.3f}"
+            + (" (overridden)" if decision.overridden else "")
+        )
+        print(f"  applicant {applicant_id}: model={probability:.3f} -> "
+              f"{verdict}")
+
+    # Any decision is explainable end to end.
+    last = session.policies.state.decisions()[-1]
+    print("\nWhy? —")
+    print(session.policies.state.explain(last.decision_id))
+
+    # ------------------------------------------------------------------
+    # The audit trail has everything: data access, scoring, deployments.
+    # ------------------------------------------------------------------
+    log = database.audit.log
+    print("\nAudit (last 5 records):")
+    for record in list(log)[-5:]:
+        print(f"  #{record.sequence} {record.user} {record.action} "
+              f"{record.object_name}")
+    print("chain verified:", log.verify_chain())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+"""Quickstart: train in the "cloud", score in the DBMS, govern everything.
+
+Run:  python examples/quickstart.py
+"""
+
+from flock.lifecycle import FlockSession
+from flock.ml import LogisticRegression, Pipeline, StandardScaler
+from flock.ml.datasets import make_loans
+
+
+def main() -> None:
+    # One EGML deployment: database + registry + training service +
+    # provenance catalog + policy engine. (Monitoring is off here so the
+    # optimizer may inline the model fully; see patient_readmission.py for
+    # the monitored variant.)
+    session = FlockSession(monitor_models=False)
+
+    # 1. Data lives in the DBMS.
+    session.load_dataset(make_loans(500, random_state=0))
+    print("Loaded", session.sql("SELECT COUNT(*) FROM loans").scalar(),
+          "loan applications into the DBMS")
+
+    # 2. Train in the (simulated) cloud; deploy into the DBMS transactionally.
+    run = session.train_and_deploy(
+        "loan_model",
+        Pipeline([("scale", StandardScaler()),
+                  ("clf", LogisticRegression(max_iter=300))]),
+        table_name="loans",
+        feature_names=["income", "credit_score", "loan_amount",
+                       "debt_ratio", "years_employed"],
+        target_name="approved",
+        description="loan approval v1",
+    )
+    print(f"Training run {run.run_id}: {run.status}, metrics={run.metrics}")
+
+    # 3. Score in SQL — inference is part of the query language.
+    result = session.sql(
+        "SELECT applicant_id, PREDICT(loan_model) AS approval_prob "
+        "FROM loans WHERE PREDICT(loan_model) > 0.9 "
+        "ORDER BY approval_prob DESC LIMIT 5"
+    )
+    print("\nTop applicants by predicted approval probability:")
+    for applicant_id, probability in result.rows():
+        print(f"  applicant {applicant_id}: {probability:.3f}")
+
+    # 4. The cross-optimizer compiled the model into the query plan:
+    print("\nWhat the optimizer did:",
+          session.database.cross_optimizer.last_report)
+    print("\nOptimized plan:")
+    print(session.database.explain(
+        "SELECT applicant_id FROM loans WHERE PREDICT(loan_model) > 0.9"
+    ))
+
+    # 5. Governance came for free.
+    print("\nModels are data:",
+          session.sql("SELECT name, version FROM flock_models").rows())
+    print("Audit chain intact:", session.database.audit.log.verify_chain())
+    print("Models depending on loans.income:",
+          session.models_affected_by_column("loans", "income"))
+
+
+if __name__ == "__main__":
+    main()

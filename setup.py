@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The environment has no ``wheel`` package, so PEP 660 editable installs
+(which build an editable wheel) fail; this setup.py lets
+``pip install -e . --no-use-pep517`` (and plain ``pip install -e .`` on
+older pips) fall back to the classic ``setup.py develop`` path.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,55 @@
+"""Flock: Enterprise-Grade ML on a DBMS.
+
+A reproduction of "Cloudy with high chance of DBMS: a 10-year prediction for
+Enterprise-Grade ML" (Agrawal et al., CIDR 2020). The package implements the
+paper's reference architecture end to end:
+
+- :mod:`flock.db` — in-memory relational engine (SQL, optimizer, vectorized
+  executor, versioned storage, transactions, access control, audit);
+- :mod:`flock.ml` — from-scratch numpy training library (the sklearn
+  stand-in);
+- :mod:`flock.mlgraph` — ONNX-like model graph IR + runtime;
+- :mod:`flock.inference` — in-DBMS inference: PREDICT as a relational
+  operator plus the SQL×ML cross-optimizer;
+- :mod:`flock.provenance` — end-to-end provenance (SQL + Python capture,
+  versioned catalog);
+- :mod:`flock.policy` — the model→decision policy engine;
+- :mod:`flock.registry` — models as governed, versioned first-class data;
+- :mod:`flock.lifecycle` — train-in-cloud / score-in-DBMS orchestration;
+- :mod:`flock.corpus`, :mod:`flock.landscape`, :mod:`flock.workloads` —
+  evaluation substrates (notebook corpora, the systems landscape, TPC-H/C).
+"""
+
+__version__ = "0.1.0"
+
+from flock.db import Database
+from flock.errors import FlockError
+
+__all__ = ["Database", "FlockError", "__version__", "create_database"]
+
+
+def create_database(cross_optimizer=None):
+    """A :class:`~flock.db.Database` wired with a model registry, the
+    inference scorer and the SQL×ML cross-optimizer — the one-call entry
+    point used by the examples.
+
+    Pass a configured :class:`flock.inference.CrossOptimizer` to control
+    which cross-optimizations run (the ablation benchmarks do this).
+    Returns a ``(database, registry)`` pair.
+    """
+    from flock.db.optimizer.rules import Optimizer
+    from flock.inference.optimizer import CrossOptimizer
+    from flock.inference.predict import DefaultScorer
+    from flock.registry import ModelRegistry
+
+    if cross_optimizer is None:
+        cross_optimizer = CrossOptimizer()
+    registry = ModelRegistry()
+    database = Database(
+        model_store=registry,
+        scorer=DefaultScorer(),
+        optimizer=Optimizer(extra_rules=cross_optimizer.rules()),
+    )
+    database.cross_optimizer = cross_optimizer
+    registry.bind_database(database)
+    return database, registry

@@ -1,0 +1,7 @@
+"""``python -m flock`` — the interactive shell."""
+
+import sys
+
+from flock.cli import main
+
+sys.exit(main())

@@ -1,0 +1,220 @@
+"""An interactive SQL shell over a Flock deployment.
+
+Run ``python -m flock`` for a REPL, optionally with ``--demo loans`` to
+preload a dataset and a deployed model, ``--load <dir>`` to restore a
+snapshot. Inside the shell, SQL statements execute directly; dot-commands
+manage the session:
+
+    .help             this text
+    .tables           list tables
+    .views            list views
+    .models           list deployed models
+    .user NAME        switch the active user
+    .audit [N]        show the last N audit records
+    .save DIR         snapshot the database to DIR
+    .quit             exit
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from dataclasses import dataclass, field
+
+from flock import create_database
+from flock.errors import FlockError
+
+
+@dataclass
+class ShellState:
+    """Everything the REPL needs between commands."""
+
+    database: object
+    registry: object
+    user: str = "admin"
+    done: bool = False
+    connections: dict[str, object] = field(default_factory=dict)
+
+    def connection(self):
+        if self.user not in self.connections:
+            self.connections[self.user] = self.database.connect(self.user)
+        return self.connections[self.user]
+
+
+def format_result(result) -> str:
+    """Render a QueryResult as an aligned text table."""
+    if result.batch is None:
+        if result.statement_type in ("INSERT", "UPDATE", "DELETE"):
+            return f"{result.statement_type}: {result.affected_rows} row(s)"
+        return f"{result.statement_type} ok"
+    names = result.column_names
+    rows = [
+        tuple("NULL" if v is None else str(v) for v in row)
+        for row in result.rows()
+    ]
+    widths = [
+        max(len(n), *(len(r[i]) for r in rows)) if rows else len(n)
+        for i, n in enumerate(names)
+    ]
+    header = " | ".join(n.ljust(w) for n, w in zip(names, widths))
+    separator = "-+-".join("-" * w for w in widths)
+    body = [
+        " | ".join(v.ljust(w) for v, w in zip(row, widths)) for row in rows
+    ]
+    footer = f"({len(rows)} row{'s' if len(rows) != 1 else ''})"
+    return "\n".join([header, separator, *body, footer])
+
+
+def execute_line(state: ShellState, line: str) -> str:
+    """One REPL interaction: a dot-command or a SQL statement."""
+    line = line.strip()
+    if not line:
+        return ""
+    if line.startswith("."):
+        return _dot_command(state, line)
+    try:
+        result = state.connection().execute(line)
+    except FlockError as exc:
+        return f"error: {exc}"
+    return format_result(result)
+
+
+def _dot_command(state: ShellState, line: str) -> str:
+    parts = line.split()
+    command, args = parts[0], parts[1:]
+    if command in (".quit", ".exit"):
+        state.done = True
+        return "bye"
+    if command == ".help":
+        return (__doc__ or "").strip()
+    if command == ".tables":
+        return "\n".join(state.database.catalog.table_names()) or "(none)"
+    if command == ".views":
+        return "\n".join(state.database.catalog.view_names()) or "(none)"
+    if command == ".models":
+        names = state.registry.model_names()
+        if not names:
+            return "(none)"
+        lines = []
+        for name in names:
+            latest = state.registry.latest(name)
+            lines.append(
+                f"{name} v{latest.version} "
+                f"({latest.graph.node_count()} operators)"
+            )
+        return "\n".join(lines)
+    if command == ".user":
+        if not args:
+            return f"current user: {state.user}"
+        try:
+            state.database.connect(args[0])
+        except FlockError as exc:
+            return f"error: {exc}"
+        state.user = args[0]
+        return f"now acting as {state.user}"
+    if command == ".audit":
+        limit = int(args[0]) if args else 10
+        records = list(state.database.audit.log)[-limit:]
+        return "\n".join(
+            f"#{r.sequence} {r.user} {r.action} {r.object_name}"
+            for r in records
+        ) or "(empty)"
+    if command == ".save":
+        if not args:
+            return "usage: .save DIR"
+        from flock.db.persist import save_database
+
+        save_database(state.database, args[0])
+        return f"saved to {args[0]}"
+    return f"unknown command {command} (try .help)"
+
+
+def _load_demo(state: ShellState, name: str) -> str:
+    from flock.ml import LogisticRegression, Pipeline, StandardScaler
+    from flock.ml.datasets import (
+        load_dataset_into,
+        make_bigdata_jobs,
+        make_loans,
+        make_patients,
+    )
+    from flock.mlgraph import to_graph
+
+    makers = {
+        "loans": (make_loans, "approved"),
+        "patients": (make_patients, "readmitted"),
+        "jobs": (make_bigdata_jobs, None),
+    }
+    if name not in makers:
+        raise FlockError(
+            f"unknown demo {name!r}; choose from {sorted(makers)}"
+        )
+    maker, target = makers[name]
+    dataset = maker(400)
+    load_dataset_into(state.database, dataset)
+    message = f"loaded table {dataset.name!r} ({dataset.n_rows} rows)"
+    if target is not None:
+        pipeline = Pipeline(
+            [("s", StandardScaler()),
+             ("m", LogisticRegression(max_iter=200))]
+        ).fit(dataset.feature_matrix(), dataset.target_vector())
+        model_name = f"{dataset.name}_model"
+        state.registry.deploy(
+            model_name,
+            to_graph(pipeline, dataset.feature_names, name=model_name),
+        )
+        message += f"; deployed model {model_name!r} — try: " \
+                   f"SELECT PREDICT({model_name}) FROM {dataset.name} LIMIT 5"
+    return message
+
+
+def make_state(load: str | None = None, demo: str | None = None) -> ShellState:
+    """Build a shell state (used by main() and by tests)."""
+    if load:
+        from flock.db.persist import load_database
+        from flock.inference.predict import DefaultScorer
+        from flock.registry import ModelRegistry
+
+        registry = ModelRegistry()
+        database = load_database(load, model_store=registry,
+                                 scorer=DefaultScorer())
+        registry.bind_database(database)
+        registry.load_from_database(database)
+    else:
+        database, registry = create_database()
+    state = ShellState(database=database, registry=registry)
+    if demo:
+        print(_load_demo(state, demo))
+    return state
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="flock", description="Flock interactive SQL shell"
+    )
+    parser.add_argument("--load", help="restore a database snapshot directory")
+    parser.add_argument(
+        "--demo", help="preload a demo dataset+model (loans/patients/jobs)"
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        state = make_state(load=args.load, demo=args.demo)
+    except FlockError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+    print("flock shell — .help for commands, .quit to exit")
+    while not state.done:
+        try:
+            line = input(f"{state.user}> ")
+        except (EOFError, KeyboardInterrupt):
+            print()
+            break
+        output = execute_line(state, line)
+        if output:
+            print(output)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

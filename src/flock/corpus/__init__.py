@@ -1,0 +1,22 @@
+"""flock.corpus — synthetic data-science corpora for the evaluation.
+
+Stands in for the paper's crawl of >4M public GitHub notebooks (Figure 2)
+and the Kaggle/Microsoft script datasets (the Python-provenance coverage
+table): deterministic generators with the same statistical structure and
+known ground truth.
+"""
+
+from flock.corpus.analysis import CoverageCurve, analyze_corpus
+from flock.corpus.generator import CorpusConfig, Notebook, generate_corpus
+from flock.corpus.scripts import ScriptCase, kaggle_like_corpus, enterprise_corpus
+
+__all__ = [
+    "CorpusConfig",
+    "CoverageCurve",
+    "Notebook",
+    "ScriptCase",
+    "analyze_corpus",
+    "enterprise_corpus",
+    "generate_corpus",
+    "kaggle_like_corpus",
+]

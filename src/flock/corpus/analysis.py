@@ -1,0 +1,78 @@
+"""Coverage analysis over notebook corpora (Figure 2's statistic).
+
+For each K: the fraction of notebooks whose *entire* import set falls within
+the K most popular packages (by observed import counts, as the paper's crawl
+measured — not the generator's latent ranks).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from flock.corpus.generator import Corpus
+
+
+@dataclass(frozen=True)
+class CoverageCurve:
+    """Coverage (%) at each requested K, plus corpus-level facts."""
+
+    year: int
+    ks: tuple[int, ...]
+    coverage: tuple[float, ...]  # fractions in [0, 1], aligned with ks
+    total_packages: int
+    top_packages: tuple[str, ...]
+
+    def at(self, k: int) -> float:
+        try:
+            return self.coverage[self.ks.index(k)]
+        except ValueError:
+            raise KeyError(f"coverage was not computed at K={k}") from None
+
+    def rows(self) -> list[tuple[int, float]]:
+        return list(zip(self.ks, self.coverage))
+
+
+DEFAULT_KS = (1, 2, 5, 10, 20, 50, 100, 200, 500)
+
+
+def observed_popularity(corpus: Corpus) -> list[tuple[str, int]]:
+    """Packages by observed import count, most imported first."""
+    counts: Counter[str] = Counter()
+    for notebook in corpus.notebooks:
+        counts.update(notebook.packages)
+    return counts.most_common()
+
+
+def analyze_corpus(
+    corpus: Corpus, ks: tuple[int, ...] = DEFAULT_KS
+) -> CoverageCurve:
+    """Compute the top-K coverage curve for one corpus."""
+    popularity = observed_popularity(corpus)
+    order = [name for name, _ in popularity]
+    rank = {name: i for i, name in enumerate(order)}
+
+    # For each notebook, the rank of its least popular import decides the
+    # smallest K that fully covers it.
+    n = len(corpus.notebooks)
+    needed: list[int] = []
+    for notebook in corpus.notebooks:
+        worst = max(rank[p] for p in notebook.packages) + 1
+        needed.append(worst)
+    needed.sort()
+
+    coverage = []
+    for k in ks:
+        # binary count: notebooks with needed <= k
+        import bisect
+
+        covered = bisect.bisect_right(needed, k)
+        coverage.append(covered / n if n else 0.0)
+
+    return CoverageCurve(
+        year=corpus.config.year,
+        ks=tuple(ks),
+        coverage=tuple(coverage),
+        total_packages=len(order),
+        top_packages=tuple(order[:10]),
+    )

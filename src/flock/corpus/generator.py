@@ -1,0 +1,157 @@
+"""Synthetic notebook-corpus generator (the Figure 2 substrate).
+
+The paper crawled >4M GitHub notebooks in 2017 and 2019 and plotted, for
+each K, the fraction of notebooks whose imports are *completely* covered by
+the K most popular packages. We reproduce the generator of that statistic:
+package popularity follows a Zipf law (empirically true of package imports),
+notebooks sample a handful of packages by popularity, and the two years
+differ exactly the way the paper reports — 2019 has ~3× more packages in
+total (the field expanded) but a more concentrated head (numpy/pandas/
+sklearn solidified), so top-K coverage is a few points *higher*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from flock.errors import FlockError
+
+# The head of the ecosystem, most popular first (Figure 2 calls out numpy,
+# pandas and sklearn as solidifying their position).
+HEAD_PACKAGES = [
+    "numpy",
+    "pandas",
+    "matplotlib",
+    "sklearn",
+    "scipy",
+    "seaborn",
+    "tensorflow",
+    "keras",
+    "torch",
+    "xgboost",
+    "statsmodels",
+    "nltk",
+    "plotly",
+    "requests",
+    "bs4",
+    "cv2",
+    "PIL",
+    "lightgbm",
+    "gensim",
+    "spacy",
+]
+
+
+@dataclass(frozen=True)
+class CorpusConfig:
+    """Parameters of one year's synthetic corpus.
+
+    Import popularity is a Zipf head plus a uniform tail: ``tail_mass`` of
+    the probability is spread evenly over the whole universe (long-tail
+    experimentation), the rest follows ``rank^-zipf_exponent`` (the
+    established head). This matches how the ecosystem actually grew between
+    the paper's 2017 and 2019 crawls: the head *concentrated* while the
+    tail *widened*.
+    """
+
+    year: int
+    n_notebooks: int = 20_000
+    n_packages: int = 2_000
+    zipf_exponent: float = 1.7
+    tail_mass: float = 0.10
+    mean_imports: float = 4.0
+    random_state: int = 7
+
+    def __post_init__(self) -> None:
+        if self.n_packages < len(HEAD_PACKAGES):
+            raise FlockError(
+                f"n_packages must be at least {len(HEAD_PACKAGES)}"
+            )
+        if self.zipf_exponent <= 0:
+            raise FlockError("zipf_exponent must be positive")
+        if not 0.0 <= self.tail_mass < 1.0:
+            raise FlockError("tail_mass must be in [0, 1)")
+
+
+# Calibrated year profiles: between the crawls the corpus grew ~3.5×, the
+# package universe tripled, and the head sharpened. These reproduce the
+# paper's observations (3× more packages used in total; top-10 coverage up
+# ~5 points; numpy/pandas/sklearn on top).
+YEAR_2017 = CorpusConfig(
+    year=2017,
+    n_notebooks=6_000,
+    n_packages=4_000,
+    zipf_exponent=1.7,
+    tail_mass=0.10,
+    random_state=17,
+)
+YEAR_2019 = CorpusConfig(
+    year=2019,
+    n_notebooks=21_000,
+    n_packages=12_000,
+    zipf_exponent=1.95,
+    tail_mass=0.08,
+    random_state=19,
+)
+
+
+@dataclass(frozen=True)
+class Notebook:
+    """One synthetic notebook: just its set of imported packages."""
+
+    notebook_id: int
+    packages: frozenset[str]
+
+
+@dataclass
+class Corpus:
+    """A year's corpus plus the popularity table used to build it."""
+
+    config: CorpusConfig
+    notebooks: list[Notebook]
+    package_names: list[str] = field(repr=False)  # by popularity rank
+
+    @property
+    def total_packages_used(self) -> int:
+        used: set[str] = set()
+        for nb in self.notebooks:
+            used |= nb.packages
+        return len(used)
+
+
+def package_universe(n_packages: int) -> list[str]:
+    """Package names ordered by popularity rank (head first)."""
+    tail = [f"pkg_{i:05d}" for i in range(n_packages - len(HEAD_PACKAGES))]
+    return HEAD_PACKAGES + tail
+
+
+def zipf_weights(n: int, exponent: float, tail_mass: float = 0.0) -> np.ndarray:
+    """Zipf head + uniform tail popularity distribution over n ranks."""
+    ranks = np.arange(1, n + 1, dtype=np.float64)
+    head = ranks**-exponent
+    head = head / head.sum() * (1.0 - tail_mass)
+    return head + tail_mass / n
+
+
+def generate_corpus(config: CorpusConfig) -> Corpus:
+    """Generate one year's notebook corpus deterministically."""
+    rng = np.random.default_rng(config.random_state)
+    names = package_universe(config.n_packages)
+    weights = zipf_weights(
+        config.n_packages, config.zipf_exponent, config.tail_mass
+    )
+
+    notebooks: list[Notebook] = []
+    # Import counts: 1 + Poisson(mean-1); every notebook imports something.
+    counts = 1 + rng.poisson(config.mean_imports - 1.0, size=config.n_notebooks)
+    for i in range(config.n_notebooks):
+        k = min(int(counts[i]), config.n_packages)
+        chosen = rng.choice(
+            config.n_packages, size=k, replace=False, p=weights
+        )
+        notebooks.append(
+            Notebook(i, frozenset(names[j] for j in chosen))
+        )
+    return Corpus(config=config, notebooks=notebooks, package_names=names)

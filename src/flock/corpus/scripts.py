@@ -1,0 +1,348 @@
+"""Synthetic data-science script corpora with ground truth (Table 2).
+
+The paper evaluates Python provenance capture on 49 Kaggle scripts (95% of
+models, 61% of training datasets identified) and 37 uniform Microsoft
+production scripts (100%/100%). We bundle two corpora with the same
+character:
+
+- the *kaggle-like* corpus is heterogeneous and includes constructs static
+  analysis legitimately cannot resolve — models built via ``getattr`` or
+  imported from unknown libraries, datasets loaded through dynamically
+  computed paths or non-KB loader functions;
+- the *enterprise* corpus is templated and uniform, the way production
+  pipelines are.
+
+Each :class:`ScriptCase` carries its ground-truth models and datasets, so
+coverage is *measured*, not asserted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class ScriptCase:
+    """One script plus its ground truth."""
+
+    name: str
+    source: str
+    true_models: tuple[str, ...]  # constructor class names, one per model
+    true_datasets: tuple[str, ...]  # source identifiers
+
+
+@dataclass
+class CoverageResult:
+    """Recall of the analyzer against a corpus's ground truth."""
+
+    scripts: int = 0
+    models_total: int = 0
+    models_found: int = 0
+    datasets_total: int = 0
+    datasets_found: int = 0
+    failures: list[str] = field(default_factory=list)
+
+    @property
+    def model_coverage(self) -> float:
+        return self.models_found / self.models_total if self.models_total else 0.0
+
+    @property
+    def dataset_coverage(self) -> float:
+        return (
+            self.datasets_found / self.datasets_total
+            if self.datasets_total
+            else 0.0
+        )
+
+
+# ----------------------------------------------------------------------
+# Template bodies. {i} is the script index, {csv} a dataset filename,
+# {model} a model class, {target} a target column name.
+# ----------------------------------------------------------------------
+_PLAIN = '''
+import pandas as pd
+from sklearn.{module} import {model}
+from sklearn.metrics import accuracy_score
+from sklearn.model_selection import train_test_split
+
+df = pd.read_csv("{csv}")
+X = df.drop(columns=["{target}"])
+y = df["{target}"]
+X_train, X_test, y_train, y_test = train_test_split(X, y, test_size=0.25)
+clf = {model}({params})
+clf.fit(X_train, y_train)
+pred = clf.predict(X_test)
+print(accuracy_score(y_test, pred))
+'''
+
+_TWO_MODELS = '''
+import pandas as pd
+from sklearn.linear_model import LogisticRegression
+from sklearn.ensemble import RandomForestClassifier
+from sklearn.metrics import roc_auc_score
+
+train = pd.read_csv("{csv}")
+X = train.drop(columns=["{target}"])
+y = train["{target}"]
+base = LogisticRegression(C={c})
+base.fit(X, y)
+forest = RandomForestClassifier(n_estimators={n})
+forest.fit(X, y)
+print(roc_auc_score(y, forest.predict(X)))
+'''
+
+_XGB = '''
+import pandas as pd
+import xgboost as xgb
+from xgboost import XGBClassifier
+
+data = pd.read_csv("{csv}")
+features = data.drop(columns=["{target}"])
+labels = data["{target}"]
+booster = XGBClassifier(max_depth={d}, n_estimators={n})
+booster.fit(features, labels)
+'''
+
+_SQL_SOURCE = '''
+import pandas as pd
+from sklearn.ensemble import GradientBoostingRegressor
+
+frame = pd.read_sql("{query}", connection)
+model = GradientBoostingRegressor(learning_rate={lr})
+model.fit(frame.drop(columns=["{target}"]), frame["{target}"])
+'''
+
+# Adversarial: the model class is resolved dynamically — static analysis
+# cannot know which estimator this constructs.
+_DYNAMIC_MODEL = '''
+import pandas as pd
+import sklearn.ensemble as ensemble
+
+df = pd.read_csv("{csv}")
+X = df.drop(columns=["{target}"])
+y = df["{target}"]
+cls = getattr(ensemble, "RandomForest" + "Classifier")
+model = cls(n_estimators={n})
+model.fit(X, y)
+'''
+
+# Adversarial: an estimator from a library outside the knowledge base.
+_UNKNOWN_LIBRARY = '''
+import pandas as pd
+from fancyboost import FancyBooster
+
+df = pd.read_csv("{csv}")
+model = FancyBooster(rounds={n})
+model.fit(df.drop(columns=["{target}"]), df["{target}"])
+'''
+
+# Adversarial dataset: path assembled at runtime.
+_DYNAMIC_PATH = '''
+import os
+import pandas as pd
+from sklearn.linear_model import LogisticRegression
+
+DATA_DIR = os.environ.get("DATA_DIR", "./data")
+df = pd.read_csv(os.path.join(DATA_DIR, "{csv}"))
+clf = LogisticRegression(max_iter={n})
+clf.fit(df.drop(columns=["{target}"]), df["{target}"])
+'''
+
+# Adversarial dataset: loaded with a non-KB function.
+_NUMPY_LOADER = '''
+import numpy as np
+from sklearn.svm import SVC
+
+raw = np.loadtxt("{csv}", delimiter=",")
+X, y = raw[:, :-1], raw[:, -1]
+svm = SVC(C={c})
+svm.fit(X, y)
+'''
+
+# Adversarial dataset: manual file handling.
+_MANUAL_READ = '''
+import csv
+import pandas as pd
+from sklearn.tree import DecisionTreeClassifier
+
+rows = []
+with open("{csv}") as handle:
+    for row in csv.reader(handle):
+        rows.append(row)
+frame = pd.DataFrame(rows[1:], columns=rows[0])
+tree = DecisionTreeClassifier(max_depth={d})
+tree.fit(frame.drop(columns=["{target}"]), frame["{target}"])
+'''
+
+_ENTERPRISE = '''
+import pandas as pd
+from flock.ml import {model}
+from flock.ml.metrics import accuracy_score
+
+frame = pd.read_sql_table("{table}", engine)
+features = frame.drop(columns=["{target}"])
+labels = frame["{target}"]
+model = {model}({params})
+model.fit(features, labels)
+score = accuracy_score(labels, model.predict(features))
+'''
+
+_SKLEARN_MODELS = [
+    ("linear_model", "LogisticRegression", "C=1.0"),
+    ("ensemble", "RandomForestClassifier", "n_estimators=100"),
+    ("ensemble", "GradientBoostingClassifier", "learning_rate=0.1"),
+    ("tree", "DecisionTreeClassifier", "max_depth=6"),
+    ("svm", "SVC", "C=2.0"),
+    ("naive_bayes", "GaussianNB", ""),
+    ("neighbors", "KNeighborsClassifier", "n_neighbors=5"),
+]
+
+_TOPICS = [
+    "titanic", "housing", "churn", "fraud", "credit", "retail", "clicks",
+    "weather", "sensor", "energy", "sales", "traffic", "reviews", "health",
+]
+
+
+def kaggle_like_corpus(n_scripts: int = 49) -> list[ScriptCase]:
+    """A heterogeneous corpus of *n_scripts* with known ground truth.
+
+    The mix is fixed (deterministic): roughly 1 in 10 models is constructed
+    in a way static analysis cannot resolve, and roughly 4 in 10 datasets
+    are loaded through dynamic paths or non-KB loaders — the failure modes
+    behind the paper's 95% / 61% coverage on Kaggle scripts.
+    """
+    cases: list[ScriptCase] = []
+    # Each tuple: (template, model ground truth, dataset resolvable?).
+    # Per 16 scripts: 19 models of which 1 unresolvable (≈95% coverage) and
+    # 16 datasets of which 6 unresolvable (≈62% coverage).
+    cycle = [
+        ("plain", True, True),
+        ("plain", True, False),  # dynamic path
+        ("two_models", True, True),
+        ("plain", True, False),  # manual read
+        ("numpy_loader", True, False),
+        ("xgb", True, True),
+        ("plain", True, False),  # dynamic path
+        ("sql", True, True),
+        ("dynamic_model", False, True),
+        ("plain", True, True),
+        ("two_models", True, True),
+        ("plain", True, False),  # manual read
+        ("plain", True, True),
+        ("numpy_loader", True, False),
+        ("two_models", True, True),
+        ("plain", True, True),
+    ]
+    for i in range(n_scripts):
+        kind, model_ok, dataset_ok = cycle[i % len(cycle)]
+        topic = _TOPICS[i % len(_TOPICS)]
+        csv = f"{topic}_{i}.csv"
+        target = "label"
+        if kind == "plain":
+            module, model, params = _SKLEARN_MODELS[i % len(_SKLEARN_MODELS)]
+            if dataset_ok:
+                source = _PLAIN.format(
+                    module=module, model=model, params=params,
+                    csv=csv, target=target, i=i,
+                )
+            elif i % 3 == 0:
+                source = _MANUAL_READ.format(csv=csv, target=target, d=4 + i % 5)
+                model = "DecisionTreeClassifier"
+            else:
+                source = _DYNAMIC_PATH.format(csv=csv, target=target, n=100 + i)
+                model = "LogisticRegression"
+            cases.append(ScriptCase(f"kaggle_{i:02d}", source, (model,), (csv,)))
+        elif kind == "two_models":
+            source = _TWO_MODELS.format(csv=csv, target=target, c=0.5, n=200)
+            cases.append(
+                ScriptCase(
+                    f"kaggle_{i:02d}",
+                    source,
+                    ("LogisticRegression", "RandomForestClassifier"),
+                    (csv,),
+                )
+            )
+        elif kind == "xgb":
+            source = _XGB.format(csv=csv, target=target, d=5, n=300)
+            cases.append(
+                ScriptCase(f"kaggle_{i:02d}", source, ("XGBClassifier",), (csv,))
+            )
+        elif kind == "sql":
+            query = f"SELECT * FROM {topic}_features"
+            source = _SQL_SOURCE.format(query=query, target=target, lr=0.05)
+            cases.append(
+                ScriptCase(
+                    f"kaggle_{i:02d}",
+                    source,
+                    ("GradientBoostingRegressor",),
+                    (query,),
+                )
+            )
+        elif kind == "dynamic_model":
+            source = _DYNAMIC_MODEL.format(csv=csv, target=target, n=150)
+            cases.append(
+                ScriptCase(
+                    f"kaggle_{i:02d}",
+                    source,
+                    ("RandomForestClassifier",),
+                    (csv,),
+                )
+            )
+        elif kind == "numpy_loader":
+            source = _NUMPY_LOADER.format(csv=csv, c=1.5)
+            cases.append(
+                ScriptCase(f"kaggle_{i:02d}", source, ("SVC",), (csv,))
+            )
+    return cases
+
+
+def enterprise_corpus(n_scripts: int = 37) -> list[ScriptCase]:
+    """A uniform, templated production corpus (the Microsoft column)."""
+    models = [
+        ("LogisticRegression", "max_iter=200"),
+        ("GradientBoostingClassifier", "n_estimators=50"),
+        ("RandomForestClassifier", "n_estimators=30"),
+        ("DecisionTreeClassifier", "max_depth=8"),
+    ]
+    tables = ["loans", "patients", "bigdata_jobs", "telemetry", "billing"]
+    cases = []
+    for i in range(n_scripts):
+        model, params = models[i % len(models)]
+        table = tables[i % len(tables)]
+        source = _ENTERPRISE.format(
+            model=model, params=params, table=table, target="label"
+        )
+        cases.append(
+            ScriptCase(f"enterprise_{i:02d}", source, (model,), (table,))
+        )
+    return cases
+
+
+def evaluate_coverage(cases: list[ScriptCase], analyzer) -> CoverageResult:
+    """Measure the analyzer's recall against a corpus's ground truth.
+
+    A model counts as found when the analyzer reports its exact constructor
+    class; a dataset counts when the analyzer resolves its exact source
+    identifier.
+    """
+    result = CoverageResult(scripts=len(cases))
+    for case in cases:
+        analysis = analyzer.analyze_script(case.source, case.name)
+        found_models = list(m.class_name for m in analysis.models)
+        for true_model in case.true_models:
+            result.models_total += 1
+            if true_model in found_models:
+                found_models.remove(true_model)
+                result.models_found += 1
+            else:
+                result.failures.append(f"{case.name}: missed model {true_model}")
+        found_sources = set(analysis.dataset_sources)
+        for true_dataset in case.true_datasets:
+            result.datasets_total += 1
+            if true_dataset in found_sources:
+                result.datasets_found += 1
+            else:
+                result.failures.append(
+                    f"{case.name}: missed dataset {true_dataset}"
+                )
+    return result

@@ -1,0 +1,34 @@
+"""flock.db — an in-memory relational engine with governance built in.
+
+The DBMS substrate of the Flock architecture: SQL front-end, logical
+optimizer, vectorized executor, versioned columnar storage, transactions,
+access control and audit logging. ML inference plugs in as the
+:class:`~flock.db.plan.PredictNode` relational operator.
+"""
+
+from flock.db.catalog import Catalog
+from flock.db.engine import Connection, Database
+from flock.db.persist import load_database, save_database
+from flock.db.result import QueryResult
+from flock.db.schema import Column, TableSchema
+from flock.db.storage import ColumnStats, Table, TableStats, TableVersion
+from flock.db.types import DataType
+from flock.db.vector import Batch, ColumnVector
+
+__all__ = [
+    "Batch",
+    "Catalog",
+    "Column",
+    "ColumnStats",
+    "ColumnVector",
+    "Connection",
+    "Database",
+    "DataType",
+    "QueryResult",
+    "Table",
+    "TableSchema",
+    "TableStats",
+    "TableVersion",
+    "load_database",
+    "save_database",
+]

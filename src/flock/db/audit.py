@@ -1,0 +1,124 @@
+"""Tamper-evident audit logging.
+
+Every statement the engine executes is recorded: who, what, on which object,
+and whether it succeeded. Records are hash-chained (each record carries the
+digest of its predecessor) so truncation or in-place edits are detectable —
+the "auditably tracked" storage and scoring of models the paper calls for.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Iterator
+
+
+@dataclass(frozen=True)
+class AuditRecord:
+    sequence: int
+    timestamp: float
+    user: str
+    action: str  # e.g. SELECT, INSERT, PREDICT, DEPLOY_MODEL, GRANT
+    object_name: str
+    detail: str
+    success: bool
+    previous_digest: str
+    digest: str = field(default="", compare=False)
+
+    def payload(self) -> str:
+        return (
+            f"{self.sequence}|{self.timestamp:.6f}|{self.user}|{self.action}|"
+            f"{self.object_name}|{self.detail}|{self.success}|"
+            f"{self.previous_digest}"
+        )
+
+
+_GENESIS = "0" * 64
+
+
+class AuditLog:
+    """An append-only, hash-chained audit trail."""
+
+    def __init__(self) -> None:
+        self._records: list[AuditRecord] = []
+        self._lock = threading.Lock()
+        self._sequence = itertools.count(1)
+
+    def record(
+        self,
+        user: str,
+        action: str,
+        object_name: str,
+        detail: str = "",
+        success: bool = True,
+    ) -> AuditRecord:
+        with self._lock:
+            previous = self._records[-1].digest if self._records else _GENESIS
+            entry = AuditRecord(
+                sequence=next(self._sequence),
+                timestamp=time.time(),
+                user=user,
+                action=action.upper(),
+                object_name=object_name,
+                detail=detail,
+                success=success,
+                previous_digest=previous,
+            )
+            digest = hashlib.sha256(entry.payload().encode()).hexdigest()
+            entry = AuditRecord(
+                entry.sequence,
+                entry.timestamp,
+                entry.user,
+                entry.action,
+                entry.object_name,
+                entry.detail,
+                entry.success,
+                entry.previous_digest,
+                digest,
+            )
+            self._records.append(entry)
+            return entry
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._records)
+
+    def __iter__(self) -> Iterator[AuditRecord]:
+        with self._lock:
+            return iter(list(self._records))
+
+    def records(
+        self,
+        user: str | None = None,
+        action: str | None = None,
+        object_name: str | None = None,
+    ) -> list[AuditRecord]:
+        """Filtered view of the trail."""
+        with self._lock:
+            snapshot = list(self._records)
+        out = []
+        for r in snapshot:
+            if user is not None and r.user != user:
+                continue
+            if action is not None and r.action != action.upper():
+                continue
+            if object_name is not None and r.object_name != object_name:
+                continue
+            out.append(r)
+        return out
+
+    def verify_chain(self) -> bool:
+        """True iff the hash chain is intact (no tampering/truncation)."""
+        with self._lock:
+            snapshot = list(self._records)
+        previous = _GENESIS
+        for r in snapshot:
+            if r.previous_digest != previous:
+                return False
+            if hashlib.sha256(r.payload().encode()).hexdigest() != r.digest:
+                return False
+            previous = r.digest
+        return True

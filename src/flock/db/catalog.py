@@ -1,0 +1,99 @@
+"""The database catalog: named tables and their schemas."""
+
+from __future__ import annotations
+
+import threading
+
+from flock.db.schema import TableSchema
+from flock.db.storage import Table
+from flock.errors import CatalogError
+
+
+class Catalog:
+    """Thread-safe registry of tables and views."""
+
+    def __init__(self) -> None:
+        self._tables: dict[str, Table] = {}
+        self._views: dict[str, object] = {}  # name → view definition
+        self._lock = threading.RLock()
+
+    def create_table(
+        self, schema: TableSchema, if_not_exists: bool = False
+    ) -> Table:
+        key = schema.name.lower()
+        with self._lock:
+            if key in self._views:
+                raise CatalogError(
+                    f"a view named {schema.name!r} already exists"
+                )
+            if key in self._tables:
+                if if_not_exists:
+                    return self._tables[key]
+                raise CatalogError(f"table {schema.name!r} already exists")
+            table = Table(schema)
+            self._tables[key] = table
+            return table
+
+    # -- views --------------------------------------------------------
+    def create_view(self, name: str, definition: object) -> None:
+        key = name.lower()
+        with self._lock:
+            if key in self._tables:
+                raise CatalogError(f"a table named {name!r} already exists")
+            if key in self._views:
+                raise CatalogError(f"view {name!r} already exists")
+            self._views[key] = definition
+
+    def drop_view(self, name: str, if_exists: bool = False) -> bool:
+        key = name.lower()
+        with self._lock:
+            if key not in self._views:
+                if if_exists:
+                    return False
+                raise CatalogError(f"view {name!r} does not exist")
+            del self._views[key]
+            return True
+
+    def has_view(self, name: str) -> bool:
+        with self._lock:
+            return name.lower() in self._views
+
+    def view(self, name: str) -> object:
+        with self._lock:
+            try:
+                return self._views[name.lower()]
+            except KeyError:
+                raise CatalogError(f"view {name!r} does not exist") from None
+
+    def view_names(self) -> list[str]:
+        with self._lock:
+            return sorted(self._views)
+
+    def drop_table(self, name: str, if_exists: bool = False) -> bool:
+        key = name.lower()
+        with self._lock:
+            if key not in self._tables:
+                if if_exists:
+                    return False
+                raise CatalogError(f"table {name!r} does not exist")
+            del self._tables[key]
+            return True
+
+    def table(self, name: str) -> Table:
+        key = name.lower()
+        with self._lock:
+            try:
+                return self._tables[key]
+            except KeyError:
+                raise CatalogError(f"table {name!r} does not exist") from None
+
+    def has_table(self, name: str) -> bool:
+        with self._lock:
+            return name.lower() in self._tables
+
+    def table_names(self) -> list[str]:
+        with self._lock:
+            return sorted(t.name for t in self._tables.values())
+
+    def schema(self, name: str) -> TableSchema:
+        return self.table(name).schema

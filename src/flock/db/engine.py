@@ -1,0 +1,625 @@
+"""The database engine facade.
+
+:class:`Database` wires the catalog, parser, binder, optimizer, executor,
+transaction manager, security manager, audit log and (optionally) a model
+store + scorer into one object. :class:`Connection` is a per-user session
+with explicit transaction control.
+
+The engine keeps a query log (every statement, with user and timestamp) —
+the input to the *lazy* SQL provenance capture mode (§4.2).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Protocol
+
+import numpy as np
+
+from flock.db.binder import Binder, ModelSignature, Scope, ScopeEntry, fold_constants
+from flock.db.catalog import Catalog
+from flock.db.exec.executor import Executor
+from flock.db.expr import BoundLiteral, truthy_mask
+from flock.db.optimizer.rules import Optimizer
+from flock.db.plan import PlanNode, PredictNode, ScanNode
+from flock.db.result import QueryResult
+from flock.db.schema import Column, TableSchema
+from flock.db.security import SecurityManager, model_object
+from flock.db.sql import ast_nodes as ast
+from flock.db.sql.parser import parse_statement
+from flock.db.storage import TableVersion
+from flock.db.txn import Transaction, TransactionManager
+from flock.db.types import SQL_TYPE_ALIASES, DataType
+from flock.db.vector import Batch, ColumnVector
+from flock.errors import (
+    BindError,
+    CatalogError,
+    FlockError,
+    InferenceError,
+    SecurityError,
+)
+
+
+class ModelStore(Protocol):
+    """What the engine needs from a model registry."""
+
+    def has_model(self, name: str) -> bool: ...
+
+    def signature(self, name: str) -> ModelSignature: ...
+
+    def scoring_artifact(self, name: str) -> Any: ...
+
+
+class Scorer(Protocol):
+    """Executes PredictNode operators (provided by flock.inference)."""
+
+    def score(
+        self, node: PredictNode, inputs: Batch, store: ModelStore
+    ) -> list[ColumnVector]: ...
+
+
+@dataclass(frozen=True)
+class QueryLogEntry:
+    """One statement in the engine's query log (lazy provenance input)."""
+
+    sql: str
+    user: str
+    timestamp: float
+    statement_type: str
+    success: bool
+
+
+class Database:
+    """An in-memory SQL engine with governance built in."""
+
+    def __init__(
+        self,
+        model_store: ModelStore | None = None,
+        scorer: Scorer | None = None,
+        optimizer: Optimizer | None = None,
+    ):
+        self.catalog = Catalog()
+        self.transactions = TransactionManager(self.catalog)
+        self.security = SecurityManager()
+        self.audit = AuditLogProxy()
+        self.optimizer = optimizer or Optimizer()
+        self.model_store = model_store
+        self._scorer = scorer
+        self.query_log: list[QueryLogEntry] = []
+
+    # ------------------------------------------------------------------
+    # Connections
+    # ------------------------------------------------------------------
+    def connect(self, user: str = "admin") -> "Connection":
+        if user != "admin" and not self.security.has_principal(user):
+            raise SecurityError(f"unknown user {user!r}")
+        return Connection(self, user)
+
+    def execute(self, sql: str, user: str = "admin") -> QueryResult:
+        """One-shot execution with autocommit (admin by default)."""
+        return self.connect(user).execute(sql)
+
+    def explain(self, sql: str, user: str = "admin") -> str:
+        """The optimized logical plan of a SELECT, as text."""
+        statement = parse_statement(sql)
+        if isinstance(statement, ast.Explain):
+            statement = statement.query
+        if not isinstance(statement, (ast.Select, ast.SetOperation)):
+            raise BindError("EXPLAIN supports SELECT statements only")
+        txn = self.transactions.begin(user)
+        try:
+            plan = self._plan_select(statement, txn)
+            return plan.explain()
+        finally:
+            self.transactions.rollback(txn)
+
+    # ------------------------------------------------------------------
+    # Binder context
+    # ------------------------------------------------------------------
+    def resolve_table(self, name: str) -> TableSchema:
+        return self.catalog.schema(name)
+
+    def resolve_view(self, name: str):
+        if self.catalog.has_view(name):
+            return self.catalog.view(name)
+        return None
+
+    def resolve_model(self, name: str) -> ModelSignature:
+        if self.model_store is None or not self.model_store.has_model(name):
+            raise BindError(f"unknown model {name!r}")
+        return self.model_store.signature(name)
+
+    # OptimizerContext
+    def table_row_count(self, table_name: str) -> int:
+        try:
+            return self.catalog.table(table_name).row_count
+        except CatalogError:
+            return 1000
+
+    def model_artifact(self, model_name: str) -> Any:
+        if self.model_store is None:
+            raise InferenceError("no model store attached to this database")
+        return self.model_store.scoring_artifact(model_name)
+
+    def table_stats(self, table_name: str):
+        return self.catalog.table(table_name).stats()
+
+    # ------------------------------------------------------------------
+    # Scoring hookup
+    # ------------------------------------------------------------------
+    @property
+    def scorer(self) -> Scorer:
+        if self._scorer is None:
+            from flock.inference.predict import DefaultScorer
+
+            self._scorer = DefaultScorer()
+        return self._scorer
+
+    @scorer.setter
+    def scorer(self, value: Scorer) -> None:
+        self._scorer = value
+
+    # ------------------------------------------------------------------
+    # Statement execution (called by Connection)
+    # ------------------------------------------------------------------
+    def _run_statement(
+        self, statement: ast.Statement, sql: str, user: str, txn: Transaction
+    ) -> QueryResult:
+        started = time.time()
+        statement_type = type(statement).__name__.upper()
+        try:
+            result = self._dispatch(statement, user, txn)
+            self.query_log.append(
+                QueryLogEntry(sql, user, started, statement_type, True)
+            )
+            return result
+        except FlockError:
+            self.query_log.append(
+                QueryLogEntry(sql, user, started, statement_type, False)
+            )
+            raise
+
+    def _dispatch(
+        self, statement: ast.Statement, user: str, txn: Transaction
+    ) -> QueryResult:
+        if isinstance(statement, (ast.Select, ast.SetOperation)):
+            return self._execute_select(statement, user, txn)
+        if isinstance(statement, ast.Explain):
+            return self._execute_explain(statement, user, txn)
+        if isinstance(statement, ast.Insert):
+            return self._execute_insert(statement, user, txn)
+        if isinstance(statement, ast.Update):
+            return self._execute_update(statement, user, txn)
+        if isinstance(statement, ast.Delete):
+            return self._execute_delete(statement, user, txn)
+        if isinstance(statement, ast.CreateTable):
+            return self._execute_create_table(statement, user)
+        if isinstance(statement, ast.DropTable):
+            return self._execute_drop_table(statement, user)
+        if isinstance(statement, ast.CreateView):
+            return self._execute_create_view(statement, user)
+        if isinstance(statement, ast.DropView):
+            return self._execute_drop_view(statement, user)
+        if isinstance(statement, ast.CreateUser):
+            return self._execute_security(statement, user)
+        if isinstance(statement, ast.CreateRole):
+            return self._execute_security(statement, user)
+        if isinstance(statement, (ast.Grant, ast.Revoke)):
+            return self._execute_security(statement, user)
+        raise BindError(
+            f"statement {type(statement).__name__} must be executed through "
+            f"a Connection (BEGIN/COMMIT/ROLLBACK)"
+        )
+
+    # -- SELECT -----------------------------------------------------------
+    def _plan_select(
+        self, statement: ast.Statement, txn: Transaction
+    ) -> PlanNode:
+        binder = Binder(self)
+        plan = binder.bind_query(statement)
+        return self.optimizer.optimize(plan, self)
+
+    def _execute_explain(
+        self, statement: ast.Explain, user: str, txn: Transaction
+    ) -> QueryResult:
+        binder = Binder(self)
+        bound = binder.bind_query(statement.query)
+        self._check_plan_privileges(bound, user)
+        plan = self.optimizer.optimize(bound, self)
+        lines = plan.explain().splitlines()
+        batch = Batch(
+            ["plan"],
+            [ColumnVector.from_values(DataType.TEXT, lines)],
+        )
+        return QueryResult("EXPLAIN", batch=batch)
+
+    def _execute_select(
+        self, statement: ast.Statement, user: str, txn: Transaction
+    ) -> QueryResult:
+        binder = Binder(self)
+        bound = binder.bind_query(statement)
+        # Privileges (and the audit trail) are decided on the *bound* plan:
+        # optimizations such as UDF inlining may erase PredictNodes, and an
+        # optimizer rewrite must never widen what a user can do.
+        self._check_plan_privileges(bound, user)
+        tables = sorted(
+            {n.table_name for n in bound.walk() if isinstance(n, ScanNode)}
+        )
+        models = sorted(
+            {n.model_name for n in bound.walk() if isinstance(n, PredictNode)}
+        )
+        plan = self.optimizer.optimize(bound, self)
+        executor = Executor(_EngineExecutionContext(self, txn))
+        batch = executor.run(plan)
+        for table_name in tables:
+            self.audit.log.record(user, "SELECT", table_name)
+        for model_name in models:
+            self.audit.log.record(user, "PREDICT", model_object(model_name))
+        return QueryResult("SELECT", batch=batch)
+
+    def _check_plan_privileges(self, plan: PlanNode, user: str) -> None:
+        for node in plan.walk():
+            if isinstance(node, ScanNode):
+                if node.via_view is not None:
+                    # Definer semantics: the view is the grant boundary.
+                    self.security.check(user, "SELECT", node.via_view)
+                else:
+                    self.security.check(user, "SELECT", node.table_name)
+            elif isinstance(node, PredictNode):
+                self.security.check(user, "PREDICT", model_object(node.model_name))
+
+    # -- INSERT -----------------------------------------------------------
+    def _execute_insert(
+        self, statement: ast.Insert, user: str, txn: Transaction
+    ) -> QueryResult:
+        self.security.check(user, "INSERT", statement.table)
+        table = self.catalog.table(statement.table)
+        schema = table.schema
+
+        if statement.columns:
+            positions = [schema.index_of(c) for c in statement.columns]
+        else:
+            positions = list(range(len(schema)))
+
+        if statement.select is not None:
+            select_result = self._execute_select(statement.select, user, txn)
+            source = select_result.batch
+            assert source is not None
+            if source.num_columns != len(positions):
+                raise BindError(
+                    f"INSERT column count {len(positions)} does not match "
+                    f"SELECT column count {source.num_columns}"
+                )
+            incoming_rows = list(source.rows())
+        else:
+            incoming_rows = []
+            binder = Binder(self)
+            empty_scope = Scope([])
+            for row in statement.rows:
+                if len(row) != len(positions):
+                    raise BindError(
+                        f"INSERT row has {len(row)} values, expected "
+                        f"{len(positions)}"
+                    )
+                values = []
+                for expr in row:
+                    bound = fold_constants(binder._bind_expr(expr, empty_scope))
+                    if not isinstance(bound, BoundLiteral):
+                        raise BindError(
+                            "INSERT VALUES must be constant expressions"
+                        )
+                    values.append(bound.value)
+                incoming_rows.append(tuple(values))
+
+        full_rows = []
+        for row in incoming_rows:
+            full = [None] * len(schema)
+            for position, value in zip(positions, row):
+                column = schema.columns[position]
+                if (
+                    column.dtype is DataType.DATE
+                    and isinstance(value, str)
+                ):
+                    from flock.db.types import date_to_days
+
+                    value = date_to_days(value)
+                full[position] = value
+            full_rows.append(full)
+
+        base = txn.visible_version(statement.table)
+        staged = table.build_insert(full_rows, base=base)
+        txn.stage(statement.table, staged)
+        self.audit.log.record(
+            user, "INSERT", statement.table, detail=f"{len(full_rows)} rows"
+        )
+        return QueryResult("INSERT", affected_rows=len(full_rows))
+
+    # -- UPDATE -----------------------------------------------------------
+    def _execute_update(
+        self, statement: ast.Update, user: str, txn: Transaction
+    ) -> QueryResult:
+        self.security.check(user, "UPDATE", statement.table)
+        table = self.catalog.table(statement.table)
+        schema = table.schema
+        version = txn.visible_version(statement.table)
+        batch = version.batch()
+        scope = Scope(
+            [
+                ScopeEntry(schema.name, c.name, c.dtype)
+                for c in schema.columns
+            ]
+        )
+        binder = Binder(self)
+        if statement.where is not None:
+            predicate = binder._bind_boolean(statement.where, scope)
+            mask = truthy_mask(predicate.evaluate(batch))
+        else:
+            mask = np.ones(batch.num_rows, dtype=bool)
+
+        assignments: dict[int, ColumnVector] = {}
+        for column_name, expr in statement.assignments:
+            position = schema.index_of(column_name)
+            bound = binder._bind_expr(expr, scope)
+            target_dtype = schema.columns[position].dtype
+            if bound.dtype is not target_dtype:
+                from flock.db.expr import BoundCast
+
+                bound = BoundCast(bound, target_dtype)
+            values = bound.evaluate(batch)
+            assignments[position] = values.filter(mask)
+
+        staged = table.build_update(mask, assignments, base=version)
+        txn.stage(statement.table, staged)
+        affected = int(mask.sum())
+        self.audit.log.record(
+            user, "UPDATE", statement.table, detail=f"{affected} rows"
+        )
+        return QueryResult("UPDATE", affected_rows=affected)
+
+    # -- DELETE -----------------------------------------------------------
+    def _execute_delete(
+        self, statement: ast.Delete, user: str, txn: Transaction
+    ) -> QueryResult:
+        self.security.check(user, "DELETE", statement.table)
+        table = self.catalog.table(statement.table)
+        schema = table.schema
+        version = txn.visible_version(statement.table)
+        batch = version.batch()
+        if statement.where is not None:
+            scope = Scope(
+                [
+                    ScopeEntry(schema.name, c.name, c.dtype)
+                    for c in schema.columns
+                ]
+            )
+            binder = Binder(self)
+            predicate = binder._bind_boolean(statement.where, scope)
+            drop = truthy_mask(predicate.evaluate(batch))
+        else:
+            drop = np.ones(batch.num_rows, dtype=bool)
+        staged = table.build_delete(~drop, base=version)
+        txn.stage(statement.table, staged)
+        affected = int(drop.sum())
+        self.audit.log.record(
+            user, "DELETE", statement.table, detail=f"{affected} rows"
+        )
+        return QueryResult("DELETE", affected_rows=affected)
+
+    # -- DDL ---------------------------------------------------------------
+    def _execute_create_table(
+        self, statement: ast.CreateTable, user: str
+    ) -> QueryResult:
+        columns = []
+        for definition in statement.columns:
+            try:
+                dtype = SQL_TYPE_ALIASES[definition.type_name.upper()]
+            except KeyError:
+                raise BindError(
+                    f"unknown column type {definition.type_name!r}"
+                ) from None
+            columns.append(
+                Column(
+                    definition.name,
+                    dtype,
+                    nullable=definition.nullable,
+                    primary_key=definition.primary_key,
+                )
+            )
+        schema = TableSchema.of(statement.name, columns)
+        created = self.catalog.create_table(
+            schema, if_not_exists=statement.if_not_exists
+        )
+        if created.schema is schema and user != "admin":
+            # The creator owns the table.
+            self.security.grant("ALL", statement.name, user)
+        self.audit.log.record(user, "CREATE_TABLE", statement.name)
+        return QueryResult("CREATE_TABLE", detail=statement.name)
+
+    def _execute_drop_table(
+        self, statement: ast.DropTable, user: str
+    ) -> QueryResult:
+        if user != "admin":
+            self.security.check(user, "ALL", statement.name)
+        dropped = self.catalog.drop_table(
+            statement.name, if_exists=statement.if_exists
+        )
+        self.audit.log.record(
+            user, "DROP_TABLE", statement.name, success=dropped
+        )
+        return QueryResult("DROP_TABLE", affected_rows=int(dropped))
+
+    def _execute_create_view(
+        self, statement: ast.CreateView, user: str
+    ) -> QueryResult:
+        # Validate the definition now (names, types, and the *creator's*
+        # privileges on everything underneath — definer semantics).
+        binder = Binder(self)
+        bound = binder.bind_select(statement.query)
+        self._check_plan_privileges(bound, user)
+        self.catalog.create_view(statement.name, statement.query)
+        if user != "admin":
+            self.security.grant("ALL", statement.name, user)
+        self.audit.log.record(user, "CREATE_VIEW", statement.name)
+        return QueryResult("CREATE_VIEW", detail=statement.name)
+
+    def _execute_drop_view(
+        self, statement: ast.DropView, user: str
+    ) -> QueryResult:
+        if user != "admin":
+            self.security.check(user, "ALL", statement.name)
+        dropped = self.catalog.drop_view(
+            statement.name, if_exists=statement.if_exists
+        )
+        self.audit.log.record(
+            user, "DROP_VIEW", statement.name, success=dropped
+        )
+        return QueryResult("DROP_VIEW", affected_rows=int(dropped))
+
+    # -- security statements ------------------------------------------------
+    def _execute_security(
+        self, statement: ast.Statement, user: str
+    ) -> QueryResult:
+        if user != "admin":
+            raise SecurityError("only admin may manage principals and grants")
+        if isinstance(statement, ast.CreateUser):
+            self.security.create_user(statement.name)
+            self.audit.log.record(user, "CREATE_USER", statement.name)
+            return QueryResult("CREATE_USER", detail=statement.name)
+        if isinstance(statement, ast.CreateRole):
+            self.security.create_role(statement.name)
+            self.audit.log.record(user, "CREATE_ROLE", statement.name)
+            return QueryResult("CREATE_ROLE", detail=statement.name)
+        if isinstance(statement, ast.Grant):
+            self.security.grant(
+                statement.privilege, statement.object_name, statement.principal
+            )
+            self.audit.log.record(
+                user,
+                "GRANT",
+                statement.object_name or statement.privilege,
+                detail=f"{statement.privilege} to {statement.principal}",
+            )
+            return QueryResult("GRANT")
+        assert isinstance(statement, ast.Revoke)
+        self.security.revoke(
+            statement.privilege, statement.object_name, statement.principal
+        )
+        self.audit.log.record(
+            user,
+            "REVOKE",
+            statement.object_name or statement.privilege,
+            detail=f"{statement.privilege} from {statement.principal}",
+        )
+        return QueryResult("REVOKE")
+
+
+class AuditLogProxy:
+    """Holds the audit log; kept separate so engines can share one."""
+
+    def __init__(self) -> None:
+        from flock.db.audit import AuditLog
+
+        self.log = AuditLog()
+
+
+class Connection:
+    """A per-user session: statement execution + transaction control."""
+
+    def __init__(self, database: Database, user: str):
+        self.database = database
+        self.user = user
+        self._txn: Transaction | None = None
+
+    @property
+    def in_transaction(self) -> bool:
+        return self._txn is not None and self._txn.active
+
+    def execute(self, sql: str) -> QueryResult:
+        statement = parse_statement(sql)
+        if isinstance(statement, ast.Begin):
+            return self._begin()
+        if isinstance(statement, ast.Commit):
+            return self._commit()
+        if isinstance(statement, ast.Rollback):
+            return self._rollback()
+
+        if self.in_transaction:
+            assert self._txn is not None
+            return self.database._run_statement(
+                statement, sql, self.user, self._txn
+            )
+
+        # Autocommit: implicit transaction per statement. Write conflicts
+        # (another autocommit statement landed first) retry against the new
+        # head — single statements are trivially serializable.
+        from flock.errors import TransactionError
+
+        attempts = 0
+        while True:
+            txn = self.database.transactions.begin(self.user)
+            try:
+                result = self.database._run_statement(
+                    statement, sql, self.user, txn
+                )
+            except FlockError:
+                self.database.transactions.rollback(txn)
+                raise
+            if not txn.has_writes:
+                self.database.transactions.rollback(txn)
+                return result
+            try:
+                self.database.transactions.commit(txn)
+                return result
+            except TransactionError:
+                attempts += 1
+                if attempts >= 10:
+                    raise
+
+    def execute_script(self, sql: str) -> list[QueryResult]:
+        """Execute a ';'-separated script, returning per-statement results."""
+        from flock.db.sql.parser import split_statements
+
+        return [self.execute(text) for text in split_statements(sql)]
+
+    # -- explicit transactions ----------------------------------------------
+    def _begin(self) -> QueryResult:
+        if self.in_transaction:
+            raise BindError("already in a transaction")
+        self._txn = self.database.transactions.begin(self.user)
+        return QueryResult("BEGIN")
+
+    def _commit(self) -> QueryResult:
+        if not self.in_transaction:
+            raise BindError("no transaction in progress")
+        assert self._txn is not None
+        self.database.transactions.commit(self._txn)
+        self._txn = None
+        return QueryResult("COMMIT")
+
+    def _rollback(self) -> QueryResult:
+        if not self.in_transaction:
+            raise BindError("no transaction in progress")
+        assert self._txn is not None
+        self.database.transactions.rollback(self._txn)
+        self._txn = None
+        return QueryResult("ROLLBACK")
+
+
+class _EngineExecutionContext:
+    """ExecutionContext backed by an engine + transaction snapshot."""
+
+    def __init__(self, database: Database, txn: Transaction):
+        self.database = database
+        self.txn = txn
+
+    def table_batch(self, table_name: str) -> Batch:
+        version: TableVersion = self.txn.visible_version(table_name)
+        return version.batch()
+
+    def score(self, node: PredictNode, inputs: Batch) -> list[ColumnVector]:
+        if self.database.model_store is None:
+            raise InferenceError("no model store attached to this database")
+        return self.database.scorer.score(
+            node, inputs, self.database.model_store
+        )

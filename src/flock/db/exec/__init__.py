@@ -1,0 +1,5 @@
+"""Physical execution of logical plans."""
+
+from flock.db.exec.executor import ExecutionContext, Executor
+
+__all__ = ["ExecutionContext", "Executor"]

@@ -1,0 +1,436 @@
+"""A vectorized, materializing plan executor.
+
+Each node is evaluated bottom-up into a :class:`~flock.db.vector.Batch`.
+Tables are materialized in memory, so full materialization per operator is
+the appropriate regime (it is also what keeps the vectorized-vs-per-row
+comparison in the Figure 4 benchmark honest: both regimes share this
+executor and differ only in the Predict operator's strategy).
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+import numpy as np
+
+from flock.db import functions as fn
+from flock.db.expr import BoundExpr, truthy_mask
+from flock.db.plan import (
+    AggregateNode,
+    DistinctNode,
+    FilterNode,
+    JoinNode,
+    LimitNode,
+    PlanNode,
+    PredictNode,
+    ProjectNode,
+    ScanNode,
+    SetOpNode,
+    SortNode,
+)
+from flock.db.types import DataType
+from flock.db.vector import Batch, ColumnVector
+from flock.errors import ExecutionError
+
+
+class ExecutionContext(Protocol):
+    """Runtime services a plan needs: table snapshots and model scoring."""
+
+    def table_batch(self, table_name: str) -> Batch: ...
+
+    def score(self, node: PredictNode, inputs: Batch) -> list[ColumnVector]: ...
+
+
+class Executor:
+    """Evaluates logical plans against an :class:`ExecutionContext`."""
+
+    def __init__(self, context: ExecutionContext):
+        self.context = context
+
+    def run(self, plan: PlanNode) -> Batch:
+        batch = self._execute(plan)
+        if batch.names != plan.field_names():
+            batch = Batch(plan.field_names(), batch.columns)
+        return batch
+
+    # ------------------------------------------------------------------
+    def _execute(self, plan: PlanNode) -> Batch:
+        if isinstance(plan, ScanNode):
+            return self._scan(plan)
+        if isinstance(plan, FilterNode):
+            return self._filter(plan)
+        if isinstance(plan, ProjectNode):
+            return self._project(plan)
+        if isinstance(plan, PredictNode):
+            return self._predict(plan)
+        if isinstance(plan, JoinNode):
+            return self._join(plan)
+        if isinstance(plan, AggregateNode):
+            return self._aggregate(plan)
+        if isinstance(plan, SortNode):
+            return self._sort(plan)
+        if isinstance(plan, LimitNode):
+            return self._limit(plan)
+        if isinstance(plan, DistinctNode):
+            return self._distinct(plan)
+        if isinstance(plan, SetOpNode):
+            return self._set_op(plan)
+        raise ExecutionError(f"cannot execute plan node {type(plan).__name__}")
+
+    def _scan(self, node: ScanNode) -> Batch:
+        base = self.context.table_batch(node.table_name)
+        columns = [base.columns[i] for i in node.column_indexes]
+        return Batch([f.name for f in node.fields], columns)
+
+    def _filter(self, node: FilterNode) -> Batch:
+        child = self._execute(node.child)
+        predicate = node.predicate.evaluate(child)
+        return child.filter(truthy_mask(predicate))
+
+    def _project(self, node: ProjectNode) -> Batch:
+        child = self._execute(node.child)
+        columns = [e.evaluate(child) for e in node.exprs]
+        return Batch([f.name for f in node.fields], columns)
+
+    def _predict(self, node: PredictNode) -> Batch:
+        child = self._execute(node.child)
+        inputs = Batch(
+            [child.names[i] for i in node.input_indexes],
+            [child.columns[i] for i in node.input_indexes],
+        )
+        outputs = self.context.score(node, inputs)
+        return child.with_columns([f.name for f in node.output_fields], outputs)
+
+    # -- joins -----------------------------------------------------------
+    def _join(self, node: JoinNode) -> Batch:
+        left = self._execute(node.left)
+        right = self._execute(node.right)
+        if node.join_type == "CROSS" and node.condition is None:
+            return self._cross(left, right)
+        equi, residual = _split_join_condition(node, left.num_columns)
+        if equi:
+            return self._hash_join(node, left, right, equi, residual)
+        return self._nested_loop(node, left, right, node.condition)
+
+    def _cross(self, left: Batch, right: Batch) -> Batch:
+        left_idx = np.repeat(np.arange(left.num_rows), right.num_rows)
+        right_idx = np.tile(np.arange(right.num_rows), left.num_rows)
+        combined = left.take(left_idx)
+        right_taken = right.take(right_idx)
+        return combined.with_columns(right_taken.names, right_taken.columns)
+
+    def _hash_join(
+        self,
+        node: JoinNode,
+        left: Batch,
+        right: Batch,
+        equi: list[tuple[BoundExpr, BoundExpr]],
+        residual: BoundExpr | None,
+    ) -> Batch:
+        left_keys = [expr.evaluate(left) for expr, _ in equi]
+        right_keys = [expr.evaluate(right) for _, expr in equi]
+
+        table: dict[tuple, list[int]] = {}
+        right_key_rows = _key_rows(right_keys)
+        for i, key in enumerate(right_key_rows):
+            if key is None:
+                continue  # NULL keys never match
+            table.setdefault(key, []).append(i)
+
+        left_out: list[int] = []
+        right_out: list[int] = []
+        unmatched_left: list[int] = []
+        left_key_rows = _key_rows(left_keys)
+        for i, key in enumerate(left_key_rows):
+            matches = table.get(key, []) if key is not None else []
+            if matches:
+                left_out.extend([i] * len(matches))
+                right_out.extend(matches)
+            elif node.join_type == "LEFT":
+                unmatched_left.append(i)
+
+        left_idx = np.array(left_out, dtype=np.int64)
+        right_idx = np.array(right_out, dtype=np.int64)
+        combined = _combine(left, right, left_idx, right_idx)
+
+        if residual is not None:
+            mask = truthy_mask(residual.evaluate(combined))
+            if node.join_type == "LEFT":
+                # Rows failing the residual revert to unmatched.
+                failed_left = set(left_idx[~mask].tolist())
+                surviving_left = set(left_idx[mask].tolist())
+                extra = sorted(failed_left - surviving_left - set(unmatched_left))
+                unmatched_left.extend(extra)
+            combined = combined.filter(mask)
+
+        if node.join_type == "LEFT" and unmatched_left:
+            pad = _left_padding(left, right, np.array(unmatched_left))
+            combined = combined.concat(pad)
+        return combined
+
+    def _nested_loop(
+        self, node: JoinNode, left: Batch, right: Batch, condition: BoundExpr | None
+    ) -> Batch:
+        combined = self._cross(left, right)
+        if condition is None:
+            return combined
+        mask = truthy_mask(condition.evaluate(combined))
+        result = combined.filter(mask)
+        if node.join_type == "LEFT":
+            matched = set(
+                np.repeat(np.arange(left.num_rows), right.num_rows)[mask].tolist()
+            )
+            unmatched = [i for i in range(left.num_rows) if i not in matched]
+            if unmatched:
+                pad = _left_padding(left, right, np.array(unmatched))
+                result = result.concat(pad)
+        return result
+
+    # -- aggregation -------------------------------------------------------
+    def _aggregate(self, node: AggregateNode) -> Batch:
+        child = self._execute(node.child)
+        group_vectors = [e.evaluate(child) for e in node.group_exprs]
+
+        if group_vectors:
+            groups: dict[tuple, list[int]] = {}
+            order: list[tuple] = []
+            pylists = [v.to_pylist() for v in group_vectors]
+            for i, key in enumerate(zip(*pylists)):
+                if key not in groups:
+                    groups[key] = []
+                    order.append(key)
+                groups[key].append(i)
+            group_keys = order
+            group_indexes = [np.array(groups[k], dtype=np.int64) for k in order]
+        else:
+            group_keys = [()]
+            group_indexes = [np.arange(child.num_rows, dtype=np.int64)]
+
+        columns: list[ColumnVector] = []
+        for k, expr in enumerate(node.group_exprs):
+            values = [key[k] for key in group_keys]
+            columns.append(ColumnVector.from_values(expr.dtype, values))
+
+        arg_cache: dict[int, ColumnVector] = {}
+        for spec_index, spec in enumerate(node.aggregates):
+            agg = fn.AGGREGATE_FUNCTIONS[spec.func_name]
+            results = []
+            for indexes in group_indexes:
+                if spec.arg is None:  # COUNT(*)
+                    results.append(len(indexes))
+                    continue
+                if spec_index not in arg_cache:
+                    arg_cache[spec_index] = spec.arg.evaluate(child)
+                restricted = arg_cache[spec_index].take(indexes)
+                results.append(agg.reduce(restricted, spec.distinct))
+            columns.append(ColumnVector.from_values(spec.dtype, results))
+
+        return Batch([f.name for f in node.fields], columns)
+
+    # -- sort / limit / distinct -------------------------------------------
+    def _sort(self, node: SortNode) -> Batch:
+        child = self._execute(node.child)
+        if child.num_rows <= 1 or not node.keys:
+            return child
+        code_arrays = []
+        for expr, ascending in node.keys:
+            vector = expr.evaluate(child)
+            code_arrays.append(_sort_codes(vector, ascending))
+        # np.lexsort treats the LAST array as the primary key.
+        order = np.lexsort(tuple(reversed(code_arrays)))
+        return child.take(order)
+
+    def _limit(self, node: LimitNode) -> Batch:
+        child = self._execute(node.child)
+        start = node.offset
+        stop = child.num_rows if node.limit is None else start + node.limit
+        return child.slice(start, stop)
+
+    def _set_op(self, node: SetOpNode) -> Batch:
+        left = self._execute(node.left)
+        right = Batch(left.names, self._execute(node.right).columns)
+
+        if node.op == "UNION":
+            combined = left.concat(right)
+            if node.all:
+                return combined
+            return self._distinct_rows(combined)
+
+        from collections import Counter
+
+        left_rows = list(left.rows())
+        right_rows = list(right.rows())
+        if node.op == "EXCEPT":
+            if node.all:
+                budget = Counter(right_rows)
+                keep = []
+                for i, row in enumerate(left_rows):
+                    if budget[row] > 0:
+                        budget[row] -= 1
+                    else:
+                        keep.append(i)
+            else:
+                blocked = set(right_rows)
+                seen: set[tuple] = set()
+                keep = []
+                for i, row in enumerate(left_rows):
+                    if row not in blocked and row not in seen:
+                        seen.add(row)
+                        keep.append(i)
+            return left.take(np.array(keep, dtype=np.int64))
+        if node.op == "INTERSECT":
+            if node.all:
+                budget = Counter(right_rows)
+                keep = []
+                for i, row in enumerate(left_rows):
+                    if budget[row] > 0:
+                        budget[row] -= 1
+                        keep.append(i)
+            else:
+                allowed = set(right_rows)
+                seen = set()
+                keep = []
+                for i, row in enumerate(left_rows):
+                    if row in allowed and row not in seen:
+                        seen.add(row)
+                        keep.append(i)
+            return left.take(np.array(keep, dtype=np.int64))
+        raise ExecutionError(f"unknown set operation {node.op!r}")
+
+    def _distinct_rows(self, batch: Batch) -> Batch:
+        seen: set[tuple] = set()
+        keep: list[int] = []
+        pylists = [c.to_pylist() for c in batch.columns]
+        for i, key in enumerate(zip(*pylists)):
+            if key not in seen:
+                seen.add(key)
+                keep.append(i)
+        return batch.take(np.array(keep, dtype=np.int64))
+
+    def _distinct(self, node: DistinctNode) -> Batch:
+        child = self._execute(node.child)
+        seen: set[tuple] = set()
+        keep: list[int] = []
+        pylists = [c.to_pylist() for c in child.columns]
+        for i, key in enumerate(zip(*pylists)):
+            if key not in seen:
+                seen.add(key)
+                keep.append(i)
+        return child.take(np.array(keep, dtype=np.int64))
+
+
+# ----------------------------------------------------------------------
+# Helpers
+# ----------------------------------------------------------------------
+def _conjuncts(expr: BoundExpr) -> list[BoundExpr]:
+    from flock.db.expr import BoundBinary
+
+    if isinstance(expr, BoundBinary) and expr.op == "AND":
+        return _conjuncts(expr.left) + _conjuncts(expr.right)
+    return [expr]
+
+
+def _split_join_condition(
+    node: JoinNode, left_width: int
+) -> tuple[list[tuple[BoundExpr, BoundExpr]], BoundExpr | None]:
+    """Split a join condition into equi-key pairs and a residual predicate.
+
+    An equi pair is a conjunct ``e_left = e_right`` where one side reads only
+    left columns and the other only right columns; the right-side expression
+    is rewritten to right-local column positions. Everything else stays in
+    the residual (evaluated over the combined row).
+    """
+    from flock.db.expr import BoundBinary
+
+    if node.condition is None:
+        return [], None
+    equi: list[tuple[BoundExpr, BoundExpr]] = []
+    residual: list[BoundExpr] = []
+    right_width = len(node.right.fields)
+    right_mapping = {left_width + i: i for i in range(right_width)}
+    for conjunct in _conjuncts(node.condition):
+        if isinstance(conjunct, BoundBinary) and conjunct.op == "=":
+            left_refs = conjunct.left.referenced_columns()
+            right_refs = conjunct.right.referenced_columns()
+            if left_refs and right_refs:
+                if max(left_refs) < left_width and min(right_refs) >= left_width:
+                    equi.append(
+                        (conjunct.left, conjunct.right.rewrite_columns(right_mapping))
+                    )
+                    continue
+                if max(right_refs) < left_width and min(left_refs) >= left_width:
+                    equi.append(
+                        (conjunct.right, conjunct.left.rewrite_columns(right_mapping))
+                    )
+                    continue
+        residual.append(conjunct)
+    residual_expr: BoundExpr | None = None
+    for conjunct in residual:
+        if residual_expr is None:
+            residual_expr = conjunct
+        else:
+            from flock.db.expr import BoundBinary as _BB
+
+            residual_expr = _BB("AND", residual_expr, conjunct, DataType.BOOLEAN)
+    return equi, residual_expr
+
+
+def _key_rows(vectors: list[ColumnVector]) -> list[tuple | None]:
+    """Row keys for hash joins; None where any component is NULL."""
+    n = len(vectors[0]) if vectors else 0
+    pylists = [v.to_pylist() for v in vectors]
+    out: list[tuple | None] = []
+    for i in range(n):
+        key = tuple(p[i] for p in pylists)
+        out.append(None if any(k is None for k in key) else key)
+    return out
+
+
+def _combine(
+    left: Batch, right: Batch, left_idx: np.ndarray, right_idx: np.ndarray
+) -> Batch:
+    taken_left = left.take(left_idx)
+    taken_right = right.take(right_idx)
+    return Batch(
+        taken_left.names + taken_right.names,
+        taken_left.columns + taken_right.columns,
+    )
+
+
+def _left_padding(left: Batch, right: Batch, left_rows: np.ndarray) -> Batch:
+    """Unmatched LEFT JOIN rows: left values, all-NULL right columns."""
+    taken_left = left.take(left_rows)
+    null_columns = [
+        ColumnVector.constant(c.dtype, None, len(left_rows))
+        for c in right.columns
+    ]
+    return Batch(taken_left.names + right.names, taken_left.columns + null_columns)
+
+
+def _sort_codes(vector: ColumnVector, ascending: bool) -> np.ndarray:
+    """Integer codes whose ascending order realizes the requested key order.
+
+    NULLs sort last for ASC and first for DESC (the PostgreSQL default).
+    """
+    present_mask = ~vector.nulls
+    values = vector.values
+    if vector.dtype.numpy_dtype == np.dtype(object):
+        present = sorted(set(values[present_mask].tolist()))
+        rank = {v: i for i, v in enumerate(present)}
+        codes = np.zeros(len(vector), dtype=np.int64)
+        for i in range(len(vector)):
+            if present_mask[i]:
+                codes[i] = rank[values[i]]
+        distinct = len(present)
+    else:
+        present_values = values[present_mask]
+        unique = np.unique(present_values)
+        codes = np.zeros(len(vector), dtype=np.int64)
+        codes[present_mask] = np.searchsorted(unique, present_values)
+        distinct = len(unique)
+    if not ascending:
+        codes = distinct - 1 - codes
+        codes[vector.nulls] = -1  # NULL first on DESC
+    else:
+        codes[vector.nulls] = distinct  # NULL last on ASC
+    return codes

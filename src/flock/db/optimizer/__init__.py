@@ -1,0 +1,6 @@
+"""Logical plan optimizer: rule passes + a simple cost model."""
+
+from flock.db.optimizer.cost import CostModel, estimate_rows
+from flock.db.optimizer.rules import Optimizer, OptimizerContext
+
+__all__ = ["Optimizer", "OptimizerContext", "CostModel", "estimate_rows"]

@@ -1,0 +1,118 @@
+"""A coarse cost model over logical plans.
+
+Cardinality estimation uses table statistics (row counts, distinct counts)
+with textbook default selectivities. The estimates drive join-side selection
+and the inference layer's physical operator selection ("physical operator
+selection based on statistics", §4.1).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from flock.db.expr import BoundBinary, BoundExpr, BoundInList, BoundLike
+from flock.db.plan import (
+    AggregateNode,
+    DistinctNode,
+    FilterNode,
+    JoinNode,
+    LimitNode,
+    PlanNode,
+    PredictNode,
+    ProjectNode,
+    ScanNode,
+    SortNode,
+)
+
+DEFAULT_EQUALITY_SELECTIVITY = 0.1
+DEFAULT_RANGE_SELECTIVITY = 0.3
+DEFAULT_LIKE_SELECTIVITY = 0.25
+DEFAULT_SELECTIVITY = 0.5
+
+
+def predicate_selectivity(predicate: BoundExpr) -> float:
+    """Estimated fraction of rows satisfying *predicate*."""
+    if isinstance(predicate, BoundBinary):
+        if predicate.op == "AND":
+            return predicate_selectivity(predicate.left) * predicate_selectivity(
+                predicate.right
+            )
+        if predicate.op == "OR":
+            left = predicate_selectivity(predicate.left)
+            right = predicate_selectivity(predicate.right)
+            return min(1.0, left + right - left * right)
+        if predicate.op == "=":
+            return DEFAULT_EQUALITY_SELECTIVITY
+        if predicate.op in ("<", "<=", ">", ">="):
+            return DEFAULT_RANGE_SELECTIVITY
+        if predicate.op == "<>":
+            return 1.0 - DEFAULT_EQUALITY_SELECTIVITY
+    if isinstance(predicate, BoundInList):
+        return min(
+            1.0, DEFAULT_EQUALITY_SELECTIVITY * max(len(predicate.items), 1)
+        )
+    if isinstance(predicate, BoundLike):
+        return DEFAULT_LIKE_SELECTIVITY
+    return DEFAULT_SELECTIVITY
+
+
+def estimate_rows(
+    plan: PlanNode, table_rows: Callable[[str], int]
+) -> float:
+    """Estimated output cardinality of *plan*."""
+    if isinstance(plan, ScanNode):
+        return float(table_rows(plan.table_name))
+    if isinstance(plan, FilterNode):
+        return estimate_rows(plan.child, table_rows) * predicate_selectivity(
+            plan.predicate
+        )
+    if isinstance(plan, (ProjectNode, SortNode, PredictNode)):
+        return estimate_rows(plan.children()[0], table_rows)
+    if isinstance(plan, LimitNode):
+        child = estimate_rows(plan.child, table_rows)
+        return child if plan.limit is None else min(child, float(plan.limit))
+    if isinstance(plan, DistinctNode):
+        return estimate_rows(plan.child, table_rows) * 0.5
+    if isinstance(plan, AggregateNode):
+        child = estimate_rows(plan.child, table_rows)
+        if not plan.group_exprs:
+            return 1.0
+        return max(1.0, child * 0.1)
+    from flock.db.plan import SetOpNode
+
+    if isinstance(plan, SetOpNode):
+        left = estimate_rows(plan.left, table_rows)
+        right = estimate_rows(plan.right, table_rows)
+        if plan.op == "UNION":
+            return left + right
+        if plan.op == "EXCEPT":
+            return left
+        return min(left, right)  # INTERSECT
+    if isinstance(plan, JoinNode):
+        left = estimate_rows(plan.left, table_rows)
+        right = estimate_rows(plan.right, table_rows)
+        if plan.join_type == "CROSS" and plan.condition is None:
+            return left * right
+        if plan.condition is None:
+            return left * right
+        return max(
+            1.0, left * right * predicate_selectivity(plan.condition)
+        )
+    return 1000.0
+
+
+class CostModel:
+    """Row-count driven cost estimates bound to a table-size source."""
+
+    def __init__(self, table_rows: Callable[[str], int]):
+        self._table_rows = table_rows
+
+    def rows(self, plan: PlanNode) -> float:
+        return estimate_rows(plan, self._table_rows)
+
+    def cost(self, plan: PlanNode) -> float:
+        """A rough total-work figure: sum of intermediate cardinalities."""
+        total = self.rows(plan)
+        for child in plan.children():
+            total += self.cost(child)
+        return total

@@ -1,0 +1,240 @@
+"""Database persistence: snapshot to disk and restore.
+
+The paper calls for "data abstractions backed by query, lineage-tracking and
+storage technology that can cover heterogeneous, versioned, and *durable*
+data" (§4.2). This module makes a :class:`~flock.db.Database` durable: the
+snapshot covers every table's **full version history** (temporal fidelity —
+historical versions restore scan-identical), views (as re-parseable SQL),
+principals and grants, the hash-chained audit log (which still verifies
+after restore) and the query log (so lazy provenance capture works across
+restarts). Deployed models ride along inside the ``flock_models`` table's
+MODEL-typed column.
+
+Format: a directory with one ``manifest.json`` plus one JSON file per table.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+from typing import Any
+
+from flock.db.audit import AuditRecord
+from flock.db.engine import Database, QueryLogEntry
+from flock.db.schema import Column, TableSchema
+from flock.db.storage import TableVersion
+from flock.db.types import DataType
+from flock.db.vector import ColumnVector
+from flock.errors import FlockError
+
+FORMAT_VERSION = 1
+
+
+# ----------------------------------------------------------------------
+# Save
+# ----------------------------------------------------------------------
+def save_database(database: Database, path: str | Path) -> None:
+    """Snapshot *database* into the directory *path* (created if needed)."""
+    root = Path(path)
+    root.mkdir(parents=True, exist_ok=True)
+
+    table_names = database.catalog.table_names()
+    manifest: dict[str, Any] = {
+        "format_version": FORMAT_VERSION,
+        "tables": table_names,
+        "views": {
+            name: str(database.catalog.view(name))
+            for name in database.catalog.view_names()
+        },
+        "principals": _dump_principals(database),
+        "audit": [_dump_audit_record(r) for r in database.audit.log],
+        "query_log": [
+            {
+                "sql": e.sql,
+                "user": e.user,
+                "timestamp": e.timestamp,
+                "statement_type": e.statement_type,
+                "success": e.success,
+            }
+            for e in database.query_log
+        ],
+    }
+    (root / "manifest.json").write_text(json.dumps(manifest))
+
+    for name in table_names:
+        table = database.catalog.table(name)
+        payload = {
+            "schema": [
+                {
+                    "name": c.name,
+                    "dtype": c.dtype.value,
+                    "nullable": c.nullable,
+                    "primary_key": c.primary_key,
+                }
+                for c in table.schema.columns
+            ],
+            "versions": [
+                _dump_version(v) for v in table.versions()
+            ],
+        }
+        (root / f"table_{name.lower()}.json").write_text(json.dumps(payload))
+
+
+def _dump_version(version: TableVersion) -> dict:
+    columns = []
+    for vector in version.columns:
+        values = []
+        for i in range(len(vector)):
+            if vector.nulls[i]:
+                values.append(None)
+            else:
+                value = vector.values[i]
+                if isinstance(value, float) and not math.isfinite(value):
+                    values.append({"__float__": repr(value)})
+                elif hasattr(value, "item"):
+                    values.append(value.item())
+                else:
+                    values.append(value)
+        columns.append(values)
+    return {
+        "version_id": version.version_id,
+        "operation": version.operation,
+        "columns": columns,
+    }
+
+
+def _dump_principals(database: Database) -> list[dict]:
+    out = []
+    for key, principal in database.security._principals.items():
+        out.append(
+            {
+                "name": principal.name,
+                "is_role": principal.is_role,
+                "roles": sorted(principal.roles),
+                "grants": {
+                    obj: sorted(privs)
+                    for obj, privs in principal.grants.items()
+                },
+            }
+        )
+    return out
+
+
+def _dump_audit_record(record: AuditRecord) -> dict:
+    return {
+        "sequence": record.sequence,
+        "timestamp": record.timestamp,
+        "user": record.user,
+        "action": record.action,
+        "object_name": record.object_name,
+        "detail": record.detail,
+        "success": record.success,
+        "previous_digest": record.previous_digest,
+        "digest": record.digest,
+    }
+
+
+# ----------------------------------------------------------------------
+# Load
+# ----------------------------------------------------------------------
+def load_database(
+    path: str | Path,
+    model_store=None,
+    scorer=None,
+    optimizer=None,
+) -> Database:
+    """Restore a snapshot into a fresh :class:`Database`."""
+    root = Path(path)
+    manifest_path = root / "manifest.json"
+    if not manifest_path.exists():
+        raise FlockError(f"no database snapshot at {root}")
+    manifest = json.loads(manifest_path.read_text())
+    if manifest.get("format_version") != FORMAT_VERSION:
+        raise FlockError(
+            f"unsupported snapshot format {manifest.get('format_version')!r}"
+        )
+
+    database = Database(
+        model_store=model_store, scorer=scorer, optimizer=optimizer
+    )
+
+    for name in manifest["tables"]:
+        payload = json.loads((root / f"table_{name.lower()}.json").read_text())
+        schema = TableSchema.of(
+            name,
+            [
+                Column(
+                    c["name"],
+                    DataType(c["dtype"]),
+                    nullable=c["nullable"],
+                    primary_key=c["primary_key"],
+                )
+                for c in payload["schema"]
+            ],
+        )
+        table = database.catalog.create_table(schema)
+        # Replace the implicit empty history with the stored one.
+        versions = [
+            _load_version(schema, v) for v in payload["versions"]
+        ]
+        table._versions = versions
+        table._head = len(versions) - 1
+
+    from flock.db.sql.parser import parse_statement
+
+    for view_name, view_sql in manifest["views"].items():
+        database.catalog.create_view(view_name, parse_statement(view_sql))
+
+    _load_principals(database, manifest["principals"])
+
+    database.audit.log._records = [
+        AuditRecord(**r) for r in manifest["audit"]
+    ]
+    if manifest["audit"]:
+        import itertools
+
+        database.audit.log._sequence = itertools.count(
+            manifest["audit"][-1]["sequence"] + 1
+        )
+
+    database.query_log = [
+        QueryLogEntry(**e) for e in manifest["query_log"]
+    ]
+    return database
+
+
+def _load_version(schema: TableSchema, payload: dict) -> TableVersion:
+    vectors = []
+    for column, values in zip(schema.columns, payload["columns"]):
+        decoded = [
+            float(v["__float__"]) if isinstance(v, dict) and "__float__" in v
+            else v
+            for v in values
+        ]
+        if column.dtype is DataType.DATE:
+            # Stored physically as day numbers; from_values expects that.
+            vector = ColumnVector.from_values(DataType.DATE, decoded)
+        else:
+            vector = ColumnVector.from_values(column.dtype, decoded)
+        vectors.append(vector)
+    return TableVersion(
+        payload["version_id"], schema, vectors, payload["operation"]
+    )
+
+
+def _load_principals(database: Database, payloads: list[dict]) -> None:
+    security = database.security
+    for p in payloads:
+        if p["name"] == "admin":
+            continue
+        if p["is_role"]:
+            security.create_role(p["name"])
+        else:
+            security.create_user(p["name"])
+    for p in payloads:
+        principal = security.principal(p["name"])
+        principal.roles = set(p["roles"])
+        principal.grants = {
+            obj: set(privs) for obj, privs in p["grants"].items()
+        }

@@ -1,0 +1,71 @@
+"""Query results returned to callers."""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+from flock.db.vector import Batch
+
+
+class QueryResult:
+    """The outcome of one statement.
+
+    For SELECTs, carries the result batch; for DML, the affected row count;
+    for DDL and control statements, just a status tag.
+    """
+
+    def __init__(
+        self,
+        statement_type: str,
+        batch: Batch | None = None,
+        affected_rows: int = 0,
+        detail: str = "",
+    ):
+        self.statement_type = statement_type
+        self.batch = batch
+        self.affected_rows = affected_rows
+        self.detail = detail
+
+    @property
+    def column_names(self) -> list[str]:
+        return list(self.batch.names) if self.batch is not None else []
+
+    @property
+    def row_count(self) -> int:
+        if self.batch is not None:
+            return self.batch.num_rows
+        return self.affected_rows
+
+    def rows(self) -> list[tuple]:
+        """All result rows as Python tuples."""
+        if self.batch is None:
+            return []
+        return list(self.batch.rows())
+
+    def to_dicts(self) -> list[dict[str, Any]]:
+        names = self.column_names
+        return [dict(zip(names, row)) for row in self.rows()]
+
+    def scalar(self) -> Any:
+        """The single value of a 1x1 result."""
+        rows = self.rows()
+        if len(rows) != 1 or len(rows[0]) != 1:
+            raise ValueError(
+                f"scalar() needs a 1x1 result, got "
+                f"{len(rows)}x{len(rows[0]) if rows else 0}"
+            )
+        return rows[0][0]
+
+    def column(self, name: str) -> list[Any]:
+        """One column of the result as a Python list."""
+        if self.batch is None:
+            return []
+        return self.batch.column(name).to_pylist()
+
+    def __iter__(self) -> Iterator[tuple]:
+        return iter(self.rows())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if self.batch is not None:
+            return f"QueryResult({self.statement_type}, {self.row_count} rows)"
+        return f"QueryResult({self.statement_type}, affected={self.affected_rows})"

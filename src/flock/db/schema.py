@@ -1,0 +1,78 @@
+"""Table schemas: columns, constraints and name resolution helpers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from flock.db.types import DataType
+from flock.errors import CatalogError
+
+
+@dataclass(frozen=True)
+class Column:
+    """A named, typed column with optional constraints."""
+
+    name: str
+    dtype: DataType
+    nullable: bool = True
+    primary_key: bool = False
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        extra = "" if self.nullable else " NOT NULL"
+        pk = " PRIMARY KEY" if self.primary_key else ""
+        return f"{self.name} {self.dtype}{extra}{pk}"
+
+
+@dataclass(frozen=True)
+class TableSchema:
+    """An ordered collection of columns, with unique case-insensitive names."""
+
+    name: str
+    columns: tuple[Column, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        seen: set[str] = set()
+        for col in self.columns:
+            key = col.name.lower()
+            if key in seen:
+                raise CatalogError(
+                    f"duplicate column {col.name!r} in table {self.name!r}"
+                )
+            seen.add(key)
+
+    @classmethod
+    def of(cls, name: str, columns: Iterable[Column]) -> "TableSchema":
+        return cls(name, tuple(columns))
+
+    @property
+    def column_names(self) -> list[str]:
+        return [c.name for c in self.columns]
+
+    @property
+    def dtypes(self) -> list[DataType]:
+        return [c.dtype for c in self.columns]
+
+    @property
+    def primary_key_indexes(self) -> list[int]:
+        return [i for i, c in enumerate(self.columns) if c.primary_key]
+
+    def __len__(self) -> int:
+        return len(self.columns)
+
+    def index_of(self, column_name: str) -> int:
+        """Position of *column_name* (case-insensitive)."""
+        lowered = column_name.lower()
+        for i, col in enumerate(self.columns):
+            if col.name.lower() == lowered:
+                return i
+        raise CatalogError(
+            f"table {self.name!r} has no column named {column_name!r}"
+        )
+
+    def column_named(self, column_name: str) -> Column:
+        return self.columns[self.index_of(column_name)]
+
+    def has_column(self, column_name: str) -> bool:
+        lowered = column_name.lower()
+        return any(c.name.lower() == lowered for c in self.columns)

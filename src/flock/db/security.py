@@ -1,0 +1,136 @@
+"""Access control: users, roles and privileges.
+
+Models deployed in the DBMS are governed exactly like tables ("Access to a
+deployed model must be controlled, similar to how access to data or a view is
+controlled in a DBMS", §2): model objects live in the ``model:`` namespace
+and scoring requires the PREDICT privilege.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+from flock.errors import SecurityError
+
+PRIVILEGES = frozenset(
+    {"SELECT", "INSERT", "UPDATE", "DELETE", "PREDICT", "ALL"}
+)
+
+ADMIN_USER = "admin"
+
+
+def model_object(model_name: str) -> str:
+    """The governed object name for a deployed model."""
+    return f"model:{model_name.lower()}"
+
+
+@dataclass
+class Principal:
+    name: str
+    is_role: bool = False
+    roles: set[str] = field(default_factory=set)
+    # object name (lowercase) → set of privileges
+    grants: dict[str, set[str]] = field(default_factory=dict)
+
+
+class SecurityManager:
+    """Grants, revokes and checks privileges for users and roles."""
+
+    def __init__(self) -> None:
+        self._lock = threading.RLock()
+        self._principals: dict[str, Principal] = {
+            ADMIN_USER: Principal(ADMIN_USER)
+        }
+
+    # -- principals -------------------------------------------------------
+    def create_user(self, name: str) -> None:
+        self._create_principal(name, is_role=False)
+
+    def create_role(self, name: str) -> None:
+        self._create_principal(name, is_role=True)
+
+    def _create_principal(self, name: str, is_role: bool) -> None:
+        key = name.lower()
+        with self._lock:
+            if key in self._principals:
+                raise SecurityError(f"principal {name!r} already exists")
+            self._principals[key] = Principal(key, is_role=is_role)
+
+    def has_principal(self, name: str) -> bool:
+        with self._lock:
+            return name.lower() in self._principals
+
+    def principal(self, name: str) -> Principal:
+        key = name.lower()
+        with self._lock:
+            try:
+                return self._principals[key]
+            except KeyError:
+                raise SecurityError(f"unknown principal {name!r}") from None
+
+    # -- grants -----------------------------------------------------------
+    def grant(self, privilege: str, object_name: str | None, principal: str) -> None:
+        """GRANT priv ON object TO principal, or GRANT role TO principal."""
+        target = self.principal(principal)
+        with self._lock:
+            if object_name is None:
+                role = self.principal(privilege)
+                if not role.is_role:
+                    raise SecurityError(
+                        f"{privilege!r} is not a role; role grants need no ON clause"
+                    )
+                target.roles.add(role.name)
+                return
+            privilege = privilege.upper()
+            if privilege not in PRIVILEGES:
+                raise SecurityError(f"unknown privilege {privilege!r}")
+            target.grants.setdefault(object_name.lower(), set()).add(privilege)
+
+    def revoke(self, privilege: str, object_name: str | None, principal: str) -> None:
+        target = self.principal(principal)
+        with self._lock:
+            if object_name is None:
+                target.roles.discard(privilege.lower())
+                return
+            grants = target.grants.get(object_name.lower(), set())
+            grants.discard(privilege.upper())
+
+    # -- checks -----------------------------------------------------------
+    def check(self, user: str, privilege: str, object_name: str) -> None:
+        """Raise :class:`SecurityError` unless *user* may act on the object."""
+        if not self.is_allowed(user, privilege, object_name):
+            raise SecurityError(
+                f"user {user!r} lacks {privilege} on {object_name!r}"
+            )
+
+    def is_allowed(self, user: str, privilege: str, object_name: str) -> bool:
+        key = user.lower()
+        if key == ADMIN_USER:
+            return True
+        with self._lock:
+            if key not in self._principals:
+                return False
+            privilege = privilege.upper()
+            object_key = object_name.lower()
+            seen: set[str] = set()
+            queue = [key]
+            while queue:
+                name = queue.pop()
+                if name in seen:
+                    continue
+                seen.add(name)
+                principal = self._principals.get(name)
+                if principal is None:
+                    continue
+                grants = principal.grants.get(object_key, set())
+                if privilege in grants or "ALL" in grants:
+                    return True
+                queue.extend(principal.roles)
+        return False
+
+    def grants_for(self, principal: str) -> dict[str, set[str]]:
+        """A copy of the direct grants of *principal* (for auditing)."""
+        target = self.principal(principal)
+        with self._lock:
+            return {k: set(v) for k, v in target.grants.items()}

@@ -1,0 +1,19 @@
+"""SQL front-end: lexer, AST and recursive-descent parser.
+
+The parser is shared by the engine and by the SQL provenance module (which
+mirrors the role Apache Calcite plays in the paper: one parser serving
+multiple consumers).
+"""
+
+from flock.db.sql.lexer import Lexer, Token, TokenType, tokenize
+from flock.db.sql.parser import Parser, parse_script, parse_statement
+
+__all__ = [
+    "Lexer",
+    "Token",
+    "TokenType",
+    "tokenize",
+    "Parser",
+    "parse_statement",
+    "parse_script",
+]

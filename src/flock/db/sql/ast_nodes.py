@@ -1,0 +1,488 @@
+"""SQL abstract syntax tree.
+
+Plain dataclasses, produced by :mod:`flock.db.sql.parser` and consumed by the
+binder (:mod:`flock.db.binder`) and the SQL provenance module
+(:mod:`flock.provenance.sql_capture`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional, Union
+
+
+# ----------------------------------------------------------------------
+# Expressions
+# ----------------------------------------------------------------------
+class Expr:
+    """Base class for expression AST nodes."""
+
+    def walk(self):
+        """Yield this node and all descendants, pre-order."""
+        yield self
+        for child in self.children():
+            yield from child.walk()
+
+    def children(self) -> list["Expr"]:
+        return []
+
+
+@dataclass
+class Literal(Expr):
+    value: Any  # int | float | str | bool | None
+
+    def __str__(self) -> str:
+        if self.value is None:
+            return "NULL"
+        if isinstance(self.value, str):
+            escaped = self.value.replace("'", "''")
+            return f"'{escaped}'"
+        if isinstance(self.value, bool):
+            return "TRUE" if self.value else "FALSE"
+        return str(self.value)
+
+
+@dataclass
+class ColumnRef(Expr):
+    name: str
+    table: Optional[str] = None
+
+    def __str__(self) -> str:
+        return f"{self.table}.{self.name}" if self.table else self.name
+
+
+@dataclass
+class Star(Expr):
+    """``*`` or ``t.*`` in a select list or COUNT(*)."""
+
+    table: Optional[str] = None
+
+    def __str__(self) -> str:
+        return f"{self.table}.*" if self.table else "*"
+
+
+@dataclass
+class UnaryOp(Expr):
+    op: str  # '-', '+', 'NOT'
+    operand: Expr
+
+    def children(self) -> list[Expr]:
+        return [self.operand]
+
+    def __str__(self) -> str:
+        return f"({self.op} {self.operand})"
+
+
+@dataclass
+class BinaryOp(Expr):
+    op: str  # arithmetic, comparison, AND/OR, '||'
+    left: Expr
+    right: Expr
+
+    def children(self) -> list[Expr]:
+        return [self.left, self.right]
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.op} {self.right})"
+
+
+@dataclass
+class FunctionCall(Expr):
+    name: str
+    args: list[Expr] = field(default_factory=list)
+    distinct: bool = False
+
+    def children(self) -> list[Expr]:
+        return list(self.args)
+
+    def __str__(self) -> str:
+        # Special syntactic forms must render back to parseable SQL.
+        if self.name == "EXTRACT" and len(self.args) == 2:
+            return f"EXTRACT({self.args[0].value} FROM {self.args[1]})"
+        if self.name == "DATE" and len(self.args) == 1 and isinstance(
+            self.args[0], Literal
+        ):
+            return f"DATE {self.args[0]}"
+        if self.name == "INTERVAL" and len(self.args) == 2:
+            return f"INTERVAL '{self.args[0].value}' {self.args[1].value}"
+        inner = ", ".join(str(a) for a in self.args)
+        prefix = "DISTINCT " if self.distinct else ""
+        return f"{self.name}({prefix}{inner})"
+
+
+@dataclass
+class IsNull(Expr):
+    operand: Expr
+    negated: bool = False
+
+    def children(self) -> list[Expr]:
+        return [self.operand]
+
+    def __str__(self) -> str:
+        op = "IS NOT NULL" if self.negated else "IS NULL"
+        return f"({self.operand} {op})"
+
+
+@dataclass
+class Between(Expr):
+    operand: Expr
+    low: Expr
+    high: Expr
+    negated: bool = False
+
+    def children(self) -> list[Expr]:
+        return [self.operand, self.low, self.high]
+
+    def __str__(self) -> str:
+        neg = "NOT " if self.negated else ""
+        return f"({self.operand} {neg}BETWEEN {self.low} AND {self.high})"
+
+
+@dataclass
+class InList(Expr):
+    operand: Expr
+    items: list[Expr] = field(default_factory=list)
+    negated: bool = False
+
+    def children(self) -> list[Expr]:
+        return [self.operand] + list(self.items)
+
+    def __str__(self) -> str:
+        neg = "NOT " if self.negated else ""
+        inner = ", ".join(str(i) for i in self.items)
+        return f"({self.operand} {neg}IN ({inner}))"
+
+
+@dataclass
+class InQuery(Expr):
+    """``x IN (SELECT ...)`` — uncorrelated subquery membership."""
+
+    operand: Expr
+    query: "Select"
+    negated: bool = False
+
+    def children(self) -> list[Expr]:
+        return [self.operand]
+
+    def __str__(self) -> str:
+        neg = "NOT " if self.negated else ""
+        return f"({self.operand} {neg}IN ({self.query}))"
+
+
+@dataclass
+class Like(Expr):
+    operand: Expr
+    pattern: Expr
+    negated: bool = False
+
+    def children(self) -> list[Expr]:
+        return [self.operand, self.pattern]
+
+    def __str__(self) -> str:
+        neg = "NOT " if self.negated else ""
+        return f"({self.operand} {neg}LIKE {self.pattern})"
+
+
+@dataclass
+class CaseWhen(Expr):
+    """``CASE WHEN c1 THEN v1 ... ELSE default END`` (searched form)."""
+
+    branches: list[tuple[Expr, Expr]] = field(default_factory=list)
+    default: Optional[Expr] = None
+
+    def children(self) -> list[Expr]:
+        out: list[Expr] = []
+        for cond, value in self.branches:
+            out.append(cond)
+            out.append(value)
+        if self.default is not None:
+            out.append(self.default)
+        return out
+
+    def __str__(self) -> str:
+        parts = ["CASE"]
+        for cond, value in self.branches:
+            parts.append(f"WHEN {cond} THEN {value}")
+        if self.default is not None:
+            parts.append(f"ELSE {self.default}")
+        parts.append("END")
+        return " ".join(parts)
+
+
+@dataclass
+class Cast(Expr):
+    operand: Expr
+    type_name: str
+
+    def children(self) -> list[Expr]:
+        return [self.operand]
+
+    def __str__(self) -> str:
+        return f"CAST({self.operand} AS {self.type_name})"
+
+
+@dataclass
+class Predict(Expr):
+    """``PREDICT(model_name, arg...)`` — ML inference as an expression (§4.1).
+
+    The binder lifts this into a :class:`flock.db.plan.PredictNode` so the
+    optimizer can move relational operators across the model boundary.
+    """
+
+    model_name: str
+    args: list[Expr] = field(default_factory=list)
+    output: Optional[str] = None  # which model output to project (default 1st)
+
+    def children(self) -> list[Expr]:
+        return list(self.args)
+
+    def __str__(self) -> str:
+        inner = ", ".join(str(a) for a in self.args)
+        out = f" WITH {self.output}" if self.output else ""
+        return f"PREDICT({self.model_name}, {inner}{out})"
+
+
+# ----------------------------------------------------------------------
+# Table references
+# ----------------------------------------------------------------------
+class TableExpr:
+    """Base class for FROM-clause items."""
+
+
+@dataclass
+class TableRef(TableExpr):
+    name: str
+    alias: Optional[str] = None
+
+    def __str__(self) -> str:
+        return f"{self.name} AS {self.alias}" if self.alias else self.name
+
+
+@dataclass
+class SubqueryRef(TableExpr):
+    query: "Select"
+    alias: str
+
+    def __str__(self) -> str:
+        return f"(...) AS {self.alias}"
+
+
+@dataclass
+class Join(TableExpr):
+    join_type: str  # 'INNER' | 'LEFT' | 'CROSS'
+    left: TableExpr
+    right: TableExpr
+    condition: Optional[Expr] = None
+
+    def __str__(self) -> str:
+        cond = f" ON {self.condition}" if self.condition else ""
+        return f"({self.left} {self.join_type} JOIN {self.right}{cond})"
+
+
+# ----------------------------------------------------------------------
+# Statements
+# ----------------------------------------------------------------------
+class Statement:
+    """Base class for statement AST nodes."""
+
+
+@dataclass
+class SelectItem:
+    expr: Expr
+    alias: Optional[str] = None
+
+
+@dataclass
+class OrderItem:
+    expr: Expr
+    ascending: bool = True
+
+
+@dataclass
+class Select(Statement):
+    items: list[SelectItem] = field(default_factory=list)
+    from_clause: Optional[TableExpr] = None
+    where: Optional[Expr] = None
+    group_by: list[Expr] = field(default_factory=list)
+    having: Optional[Expr] = None
+    order_by: list[OrderItem] = field(default_factory=list)
+    limit: Optional[int] = None
+    offset: Optional[int] = None
+    distinct: bool = False
+
+    def __str__(self) -> str:
+        """Render back to parseable SQL (used to persist view definitions)."""
+        parts = ["SELECT"]
+        if self.distinct:
+            parts.append("DISTINCT")
+        rendered_items = []
+        for item in self.items:
+            text = str(item.expr)
+            if item.alias:
+                text += f" AS {item.alias}"
+            rendered_items.append(text)
+        parts.append(", ".join(rendered_items))
+        if self.from_clause is not None:
+            parts.append(f"FROM {_table_expr_sql(self.from_clause)}")
+        if self.where is not None:
+            parts.append(f"WHERE {self.where}")
+        if self.group_by:
+            parts.append(
+                "GROUP BY " + ", ".join(str(g) for g in self.group_by)
+            )
+        if self.having is not None:
+            parts.append(f"HAVING {self.having}")
+        if self.order_by:
+            parts.append(
+                "ORDER BY "
+                + ", ".join(
+                    f"{o.expr} {'ASC' if o.ascending else 'DESC'}"
+                    for o in self.order_by
+                )
+            )
+        if self.limit is not None:
+            parts.append(f"LIMIT {self.limit}")
+        if self.offset is not None:
+            parts.append(f"OFFSET {self.offset}")
+        return " ".join(parts)
+
+
+def _table_expr_sql(item: "TableExpr") -> str:
+    if isinstance(item, TableRef):
+        return f"{item.name} AS {item.alias}" if item.alias else item.name
+    if isinstance(item, SubqueryRef):
+        return f"({item.query}) AS {item.alias}"
+    if isinstance(item, Join):
+        left = _table_expr_sql(item.left)
+        right = _table_expr_sql(item.right)
+        if item.join_type == "CROSS" and item.condition is None:
+            return f"{left} CROSS JOIN {right}"
+        keyword = "LEFT JOIN" if item.join_type == "LEFT" else "JOIN"
+        condition = f" ON {item.condition}" if item.condition else ""
+        return f"{left} {keyword} {right}{condition}"
+    return "<table>"
+
+
+@dataclass
+class SetOperation(Statement):
+    """``left UNION [ALL] | EXCEPT | INTERSECT right`` query expressions.
+
+    ORDER BY / LIMIT / OFFSET apply to the combined result. ``left`` and
+    ``right`` may themselves be SetOperations (left-associative chains).
+    """
+
+    op: str  # 'UNION' | 'EXCEPT' | 'INTERSECT'
+    all: bool
+    left: Statement = None  # type: ignore[assignment]  # Select | SetOperation
+    right: Statement = None  # type: ignore[assignment]
+    order_by: list[OrderItem] = field(default_factory=list)
+    limit: Optional[int] = None
+    offset: Optional[int] = None
+
+
+@dataclass
+class Explain(Statement):
+    """``EXPLAIN <select>`` — returns the optimized plan as text rows."""
+
+    query: Statement = None  # type: ignore[assignment]
+
+
+@dataclass
+class ColumnDef:
+    name: str
+    type_name: str
+    nullable: bool = True
+    primary_key: bool = False
+
+
+@dataclass
+class CreateTable(Statement):
+    name: str
+    columns: list[ColumnDef] = field(default_factory=list)
+    if_not_exists: bool = False
+
+
+@dataclass
+class DropTable(Statement):
+    name: str
+    if_exists: bool = False
+
+
+@dataclass
+class CreateView(Statement):
+    """``CREATE VIEW name AS SELECT ...`` — views are both a reuse and an
+    access-control mechanism (grants on the view, not its base tables)."""
+
+    name: str
+    query: "Select" = None  # type: ignore[assignment]
+
+
+@dataclass
+class DropView(Statement):
+    name: str
+    if_exists: bool = False
+
+
+@dataclass
+class Insert(Statement):
+    table: str
+    columns: list[str] = field(default_factory=list)  # empty = all, in order
+    rows: list[list[Expr]] = field(default_factory=list)
+    select: Optional[Select] = None
+
+
+@dataclass
+class Update(Statement):
+    table: str
+    assignments: list[tuple[str, Expr]] = field(default_factory=list)
+    where: Optional[Expr] = None
+
+
+@dataclass
+class Delete(Statement):
+    table: str
+    where: Optional[Expr] = None
+
+
+@dataclass
+class Begin(Statement):
+    pass
+
+
+@dataclass
+class Commit(Statement):
+    pass
+
+
+@dataclass
+class Rollback(Statement):
+    pass
+
+
+@dataclass
+class CreateUser(Statement):
+    name: str
+
+
+@dataclass
+class CreateRole(Statement):
+    name: str
+
+
+@dataclass
+class Grant(Statement):
+    """``GRANT priv ON object TO principal`` or ``GRANT role TO principal``."""
+
+    privilege: str  # SELECT/INSERT/UPDATE/DELETE/ALL or a role name
+    object_name: Optional[str]  # None for role grants
+    principal: str
+
+
+@dataclass
+class Revoke(Statement):
+    privilege: str
+    object_name: Optional[str]
+    principal: str
+
+
+SelectLike = Union[Select]

@@ -1,0 +1,191 @@
+"""SQL tokenizer.
+
+Produces a flat list of :class:`Token` for the recursive-descent parser.
+Handles quoted strings with doubled-quote escapes, numeric literals,
+``--`` line comments, ``/* */`` block comments, and multi-character
+operators (``<=``, ``>=``, ``<>``, ``!=``, ``||``).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from flock.errors import LexerError
+
+KEYWORDS = frozenset(
+    """
+    SELECT FROM WHERE GROUP BY HAVING ORDER LIMIT OFFSET AS ON
+    JOIN INNER LEFT RIGHT FULL OUTER CROSS USING
+    AND OR NOT IN IS NULL LIKE BETWEEN EXISTS
+    CASE WHEN THEN ELSE END CAST
+    ASC DESC DISTINCT ALL
+    INSERT INTO VALUES UPDATE SET DELETE
+    CREATE TABLE DROP IF PRIMARY KEY UNIQUE VIEW
+    BEGIN COMMIT ROLLBACK TRANSACTION
+    GRANT REVOKE TO USER ROLE
+    TRUE FALSE
+    UNION EXCEPT INTERSECT EXPLAIN
+    PREDICT MODEL WITH
+    EXTRACT INTERVAL DATE
+    """.split()
+)
+
+
+class TokenType(enum.Enum):
+    KEYWORD = "KEYWORD"
+    IDENT = "IDENT"
+    NUMBER = "NUMBER"
+    STRING = "STRING"
+    OPERATOR = "OPERATOR"
+    PUNCT = "PUNCT"
+    EOF = "EOF"
+
+
+@dataclass(frozen=True)
+class Token:
+    type: TokenType
+    value: str
+    position: int
+
+    def matches(self, token_type: TokenType, value: str | None = None) -> bool:
+        if self.type is not token_type:
+            return False
+        if value is None:
+            return True
+        if token_type in (TokenType.KEYWORD, TokenType.IDENT):
+            return self.value.upper() == value.upper()
+        return self.value == value
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return f"{self.type.value}({self.value!r}@{self.position})"
+
+
+_OPERATORS_2 = ("<=", ">=", "<>", "!=", "||")
+_OPERATORS_1 = "+-*/%<>="
+_PUNCT = "(),.;"
+
+
+class Lexer:
+    """Converts a SQL string into tokens."""
+
+    def __init__(self, text: str):
+        self.text = text
+        self.pos = 0
+
+    def tokens(self) -> list[Token]:
+        out: list[Token] = []
+        while True:
+            self._skip_whitespace_and_comments()
+            if self.pos >= len(self.text):
+                out.append(Token(TokenType.EOF, "", self.pos))
+                return out
+            out.append(self._next_token())
+
+    # ------------------------------------------------------------------
+    def _skip_whitespace_and_comments(self) -> None:
+        text = self.text
+        while self.pos < len(text):
+            ch = text[self.pos]
+            if ch.isspace():
+                self.pos += 1
+            elif text.startswith("--", self.pos):
+                end = text.find("\n", self.pos)
+                self.pos = len(text) if end == -1 else end + 1
+            elif text.startswith("/*", self.pos):
+                end = text.find("*/", self.pos + 2)
+                if end == -1:
+                    raise LexerError("unterminated block comment", self.pos)
+                self.pos = end + 2
+            else:
+                return
+
+    def _next_token(self) -> Token:
+        text, start = self.text, self.pos
+        ch = text[start]
+        if ch == "'":
+            return self._string(start)
+        if ch == '"':
+            return self._quoted_identifier(start)
+        if ch.isdigit() or (
+            ch == "." and start + 1 < len(text) and text[start + 1].isdigit()
+        ):
+            return self._number(start)
+        if ch.isalpha() or ch == "_":
+            return self._word(start)
+        for op in _OPERATORS_2:
+            if text.startswith(op, start):
+                self.pos = start + 2
+                return Token(TokenType.OPERATOR, op, start)
+        if ch in _OPERATORS_1:
+            self.pos = start + 1
+            return Token(TokenType.OPERATOR, ch, start)
+        if ch in _PUNCT:
+            self.pos = start + 1
+            return Token(TokenType.PUNCT, ch, start)
+        raise LexerError(f"unexpected character {ch!r}", start)
+
+    def _string(self, start: int) -> Token:
+        text = self.text
+        i = start + 1
+        parts: list[str] = []
+        while i < len(text):
+            if text[i] == "'":
+                if i + 1 < len(text) and text[i + 1] == "'":
+                    parts.append("'")
+                    i += 2
+                    continue
+                self.pos = i + 1
+                return Token(TokenType.STRING, "".join(parts), start)
+            parts.append(text[i])
+            i += 1
+        raise LexerError("unterminated string literal", start)
+
+    def _quoted_identifier(self, start: int) -> Token:
+        end = self.text.find('"', start + 1)
+        if end == -1:
+            raise LexerError("unterminated quoted identifier", start)
+        self.pos = end + 1
+        return Token(TokenType.IDENT, self.text[start + 1 : end], start)
+
+    def _number(self, start: int) -> Token:
+        text = self.text
+        i = start
+        seen_dot = False
+        seen_exp = False
+        while i < len(text):
+            ch = text[i]
+            if ch.isdigit():
+                i += 1
+            elif ch == "." and not seen_dot and not seen_exp:
+                seen_dot = True
+                i += 1
+            elif ch in "eE" and not seen_exp and i > start:
+                nxt = text[i + 1] if i + 1 < len(text) else ""
+                if nxt.isdigit() or (
+                    nxt in "+-" and i + 2 < len(text) and text[i + 2].isdigit()
+                ):
+                    seen_exp = True
+                    i += 2 if nxt in "+-" else 1
+                else:
+                    break
+            else:
+                break
+        self.pos = i
+        return Token(TokenType.NUMBER, text[start:i], start)
+
+    def _word(self, start: int) -> Token:
+        text = self.text
+        i = start
+        while i < len(text) and (text[i].isalnum() or text[i] == "_"):
+            i += 1
+        self.pos = i
+        word = text[start:i]
+        if word.upper() in KEYWORDS:
+            return Token(TokenType.KEYWORD, word.upper(), start)
+        return Token(TokenType.IDENT, word, start)
+
+
+def tokenize(text: str) -> list[Token]:
+    """Tokenize *text*, returning a list ending with an EOF token."""
+    return Lexer(text).tokens()

@@ -1,0 +1,271 @@
+"""Versioned, in-memory columnar table storage.
+
+Every write (INSERT/UPDATE/DELETE) produces a new immutable
+:class:`TableVersion`, and the full version chain is retained. This matches
+the paper's temporal provenance model (§4.2 C1: "an INSERT to a table results
+in a new version of the table in the provenance data model") and is what the
+SQL provenance module records against.
+
+Statistics (:class:`ColumnStats`, :class:`TableStats`) are computed per
+version and feed both the cost-based optimizer and the inference layer's
+"model compression exploiting input data statistics" (§4.1).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Any, Iterable, Sequence
+
+import numpy as np
+
+from flock.db.schema import TableSchema
+from flock.db.types import DataType
+from flock.db.vector import Batch, ColumnVector
+from flock.errors import ConstraintError, ExecutionError
+
+
+@dataclass(frozen=True)
+class ColumnStats:
+    """Summary statistics for one column of one table version."""
+
+    null_count: int
+    distinct_count: int
+    min_value: Any = None
+    max_value: Any = None
+
+    @classmethod
+    def from_vector(cls, vector: ColumnVector) -> "ColumnStats":
+        null_count = int(vector.nulls.sum())
+        present = vector.values[~vector.nulls]
+        if len(present) == 0:
+            return cls(null_count=null_count, distinct_count=0)
+        if vector.dtype.numpy_dtype == np.dtype(object):
+            distinct = len(set(present.tolist()))
+            if vector.dtype is DataType.TEXT:
+                ordered = sorted(present.tolist())
+                return cls(null_count, distinct, ordered[0], ordered[-1])
+            return cls(null_count, distinct)
+        distinct = len(np.unique(present))
+        return cls(
+            null_count,
+            distinct,
+            present.min().item(),
+            present.max().item(),
+        )
+
+
+@dataclass(frozen=True)
+class TableStats:
+    """Row count plus per-column statistics for one table version."""
+
+    row_count: int
+    columns: dict[str, ColumnStats]
+
+    def column(self, name: str) -> ColumnStats | None:
+        return self.columns.get(name.lower())
+
+
+class TableVersion:
+    """An immutable snapshot of a table's contents."""
+
+    __slots__ = ("version_id", "columns", "operation", "_stats", "schema")
+
+    def __init__(
+        self,
+        version_id: int,
+        schema: TableSchema,
+        columns: Sequence[ColumnVector],
+        operation: str,
+    ):
+        self.version_id = version_id
+        self.schema = schema
+        self.columns = tuple(columns)
+        self.operation = operation
+        self._stats: TableStats | None = None
+
+    @property
+    def row_count(self) -> int:
+        return len(self.columns[0]) if self.columns else 0
+
+    def batch(self) -> Batch:
+        return Batch(self.schema.column_names, list(self.columns))
+
+    def stats(self) -> TableStats:
+        """Per-version statistics, computed lazily and cached."""
+        if self._stats is None:
+            per_column = {
+                col.name.lower(): ColumnStats.from_vector(vec)
+                for col, vec in zip(self.schema.columns, self.columns)
+            }
+            self._stats = TableStats(self.row_count, per_column)
+        return self._stats
+
+
+class Table:
+    """A named table with a full version history.
+
+    All mutation methods return the new :class:`TableVersion`; the caller
+    (the transaction manager) decides when a version becomes the visible
+    head, enabling atomic multi-table commits and rollback.
+    """
+
+    def __init__(self, schema: TableSchema):
+        self.schema = schema
+        self._lock = threading.RLock()
+        empty = [ColumnVector.empty(c.dtype) for c in schema.columns]
+        self._versions: list[TableVersion] = [
+            TableVersion(0, schema, empty, "CREATE")
+        ]
+        self._head = 0
+
+    # ------------------------------------------------------------------
+    # Read side
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        return self.schema.name
+
+    @property
+    def head_version(self) -> TableVersion:
+        with self._lock:
+            return self._versions[self._head]
+
+    @property
+    def version_count(self) -> int:
+        with self._lock:
+            return len(self._versions)
+
+    def version(self, version_id: int) -> TableVersion:
+        with self._lock:
+            for v in self._versions:
+                if v.version_id == version_id:
+                    return v
+        raise ExecutionError(
+            f"table {self.name!r} has no version {version_id}"
+        )
+
+    def versions(self) -> list[TableVersion]:
+        with self._lock:
+            return list(self._versions)
+
+    @property
+    def row_count(self) -> int:
+        return self.head_version.row_count
+
+    def scan(self, version_id: int | None = None) -> Batch:
+        """The table contents as one Batch (head or a historical version)."""
+        version = (
+            self.head_version if version_id is None else self.version(version_id)
+        )
+        return version.batch()
+
+    def stats(self) -> TableStats:
+        return self.head_version.stats()
+
+    # ------------------------------------------------------------------
+    # Write side — builds staged versions; `publish` makes one visible.
+    # ------------------------------------------------------------------
+    def build_insert(
+        self, rows: Iterable[Sequence[Any]], base: TableVersion | None = None
+    ) -> TableVersion:
+        """A staged new version with *rows* appended to *base* (default head)."""
+        base = base or self.head_version
+        rows = list(rows)
+        width = len(self.schema)
+        for row in rows:
+            if len(row) != width:
+                raise ExecutionError(
+                    f"INSERT row has {len(row)} values, table {self.name!r} "
+                    f"has {width} columns"
+                )
+        new_columns = []
+        for i, col in enumerate(self.schema.columns):
+            fresh = ColumnVector.from_values(col.dtype, [row[i] for row in rows])
+            if not col.nullable and fresh.has_nulls():
+                raise ConstraintError(
+                    f"NULL in NOT NULL column {col.name!r} of {self.name!r}"
+                )
+            new_columns.append(base.columns[i].concat(fresh))
+        self._check_primary_key(new_columns)
+        return self._staged(new_columns, "INSERT", base)
+
+    def build_delete(
+        self, keep_mask: np.ndarray, base: TableVersion | None = None
+    ) -> TableVersion:
+        """A staged version keeping only rows where *keep_mask* is True."""
+        base = base or self.head_version
+        new_columns = [c.filter(keep_mask) for c in base.columns]
+        return self._staged(new_columns, "DELETE", base)
+
+    def build_update(
+        self,
+        row_mask: np.ndarray,
+        assignments: dict[int, ColumnVector],
+        base: TableVersion | None = None,
+    ) -> TableVersion:
+        """A staged version with columns replaced where *row_mask* is True.
+
+        ``assignments`` maps column index to a vector of *len(row_mask.sum())*
+        replacement values.
+        """
+        base = base or self.head_version
+        new_columns = []
+        for i, (col, vec) in enumerate(zip(self.schema.columns, base.columns)):
+            if i not in assignments:
+                new_columns.append(vec)
+                continue
+            replacement = assignments[i]
+            values = vec.values.copy()
+            nulls = vec.nulls.copy()
+            values[row_mask] = replacement.values
+            nulls[row_mask] = replacement.nulls
+            updated = ColumnVector(col.dtype, values, nulls)
+            if not col.nullable and updated.has_nulls():
+                raise ConstraintError(
+                    f"NULL in NOT NULL column {col.name!r} of {self.name!r}"
+                )
+            new_columns.append(updated)
+        self._check_primary_key(new_columns)
+        return self._staged(new_columns, "UPDATE", base)
+
+    def build_truncate(self, base: TableVersion | None = None) -> TableVersion:
+        base = base or self.head_version
+        empty = [ColumnVector.empty(c.dtype) for c in self.schema.columns]
+        return self._staged(empty, "TRUNCATE", base)
+
+    def publish(self, staged: TableVersion) -> None:
+        """Make a staged version the visible head (called at commit)."""
+        with self._lock:
+            self._versions.append(staged)
+            self._head = len(self._versions) - 1
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _staged(
+        self,
+        columns: Sequence[ColumnVector],
+        operation: str,
+        base: TableVersion,
+    ) -> TableVersion:
+        with self._lock:
+            next_id = self._versions[-1].version_id + 1
+        return TableVersion(next_id, self.schema, columns, operation)
+
+    def _check_primary_key(self, columns: Sequence[ColumnVector]) -> None:
+        pk = self.schema.primary_key_indexes
+        if not pk:
+            return
+        key_lists = [columns[i].to_pylist() for i in pk]
+        seen: set[tuple] = set()
+        for key in zip(*key_lists):
+            if None in key:
+                raise ConstraintError(
+                    f"NULL in primary key of table {self.name!r}"
+                )
+            if key in seen:
+                raise ConstraintError(
+                    f"duplicate primary key {key!r} in table {self.name!r}"
+                )
+            seen.add(key)

@@ -1,0 +1,122 @@
+"""Transactions: atomic multi-table commits with rollback.
+
+Writes build *staged* table versions that only this transaction sees; commit
+publishes every staged version atomically under a global commit lock, with
+first-updater-wins conflict detection against the base version each table was
+read at. This is what lets multiple deployed models be "updated
+transactionally" (§4.1: models are first-class data, so a model rollout is
+just a multi-table transaction).
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from typing import Callable
+
+from flock.db.catalog import Catalog
+from flock.db.storage import TableVersion
+from flock.errors import TransactionError
+
+_txn_ids = itertools.count(1)
+
+
+class Transaction:
+    """One transaction's private view: staged versions over base snapshots."""
+
+    def __init__(self, manager: "TransactionManager", user: str):
+        self.txn_id = next(_txn_ids)
+        self.user = user
+        self.active = True
+        self._manager = manager
+        self._staged: dict[str, TableVersion] = {}
+        self._base_version_ids: dict[str, int] = {}
+        self._on_commit: list[Callable[[], None]] = []
+        self._on_rollback: list[Callable[[], None]] = []
+
+    # -- reads ----------------------------------------------------------
+    def visible_version(self, table_name: str) -> TableVersion:
+        """The version this transaction sees (its own writes, else head)."""
+        self._check_active()
+        key = table_name.lower()
+        if key in self._staged:
+            return self._staged[key]
+        return self._manager.catalog.table(table_name).head_version
+
+    # -- writes ---------------------------------------------------------
+    def stage(self, table_name: str, version: TableVersion) -> None:
+        """Record a staged version for *table_name* (visible only to us)."""
+        self._check_active()
+        key = table_name.lower()
+        if key not in self._base_version_ids:
+            head = self._manager.catalog.table(table_name).head_version
+            self._base_version_ids[key] = head.version_id
+        self._staged[key] = version
+
+    def on_commit(self, callback: Callable[[], None]) -> None:
+        """Run *callback* after a successful commit (used by the policy
+        engine and the provenance catalog to piggyback on atomicity)."""
+        self._on_commit.append(callback)
+
+    def on_rollback(self, callback: Callable[[], None]) -> None:
+        self._on_rollback.append(callback)
+
+    # -- lifecycle --------------------------------------------------------
+    def commit(self) -> None:
+        self._manager.commit(self)
+
+    def rollback(self) -> None:
+        self._manager.rollback(self)
+
+    @property
+    def has_writes(self) -> bool:
+        return bool(self._staged)
+
+    def _check_active(self) -> None:
+        if not self.active:
+            raise TransactionError(
+                f"transaction {self.txn_id} is no longer active"
+            )
+
+
+class TransactionManager:
+    """Begins, commits and rolls back transactions against a catalog."""
+
+    def __init__(self, catalog: Catalog):
+        self.catalog = catalog
+        self._commit_lock = threading.Lock()
+        self.committed_count = 0
+        self.aborted_count = 0
+
+    def begin(self, user: str = "admin") -> Transaction:
+        return Transaction(self, user)
+
+    def commit(self, txn: Transaction) -> None:
+        txn._check_active()
+        with self._commit_lock:
+            # Validate: no table we wrote moved under us since we based on it.
+            for key, base_id in txn._base_version_ids.items():
+                head = self.catalog.table(key).head_version
+                if head.version_id != base_id:
+                    txn.active = False
+                    self.aborted_count += 1
+                    for callback in txn._on_rollback:
+                        callback()
+                    raise TransactionError(
+                        f"write conflict on table {key!r}: head moved from "
+                        f"version {base_id} to {head.version_id}"
+                    )
+            for key, staged in txn._staged.items():
+                self.catalog.table(key).publish(staged)
+            txn.active = False
+            self.committed_count += 1
+        for callback in txn._on_commit:
+            callback()
+
+    def rollback(self, txn: Transaction) -> None:
+        if not txn.active:
+            return
+        txn.active = False
+        self.aborted_count += 1
+        for callback in txn._on_rollback:
+            callback()

@@ -1,0 +1,231 @@
+"""Columnar value containers.
+
+:class:`ColumnVector` is the unit of data flow inside the engine: a typed
+numpy array of physical values plus an explicit boolean null mask. All
+expression evaluation and all physical operators consume and produce
+ColumnVectors, which is what makes the "vectorized batch" execution regime of
+the Figure 4 experiment real rather than simulated.
+
+:class:`Batch` bundles named ColumnVectors of equal length — the engine's
+analogue of a record batch.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator, Sequence
+
+import numpy as np
+
+from flock.db.types import DataType, coerce_value, python_value
+from flock.errors import ExecutionError
+
+
+class ColumnVector:
+    """A typed column of values with an explicit null mask.
+
+    ``values`` holds physical values (undefined where ``nulls`` is True) and
+    ``nulls`` marks NULL positions. Both arrays always have the same length.
+    """
+
+    __slots__ = ("dtype", "values", "nulls")
+
+    def __init__(self, dtype: DataType, values: np.ndarray, nulls: np.ndarray):
+        if len(values) != len(nulls):
+            raise ExecutionError(
+                f"values ({len(values)}) and nulls ({len(nulls)}) length mismatch"
+            )
+        self.dtype = dtype
+        self.values = values
+        self.nulls = nulls
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_values(cls, dtype: DataType, items: Sequence[Any]) -> "ColumnVector":
+        """Build a vector from Python values, coercing each to *dtype*."""
+        n = len(items)
+        nulls = np.zeros(n, dtype=bool)
+        storage = np.empty(n, dtype=dtype.numpy_dtype)
+        if dtype.numpy_dtype != np.dtype(object):
+            storage[:] = _zero_of(dtype)
+        for i, item in enumerate(items):
+            coerced = coerce_value(item, dtype)
+            if coerced is None:
+                nulls[i] = True
+            else:
+                storage[i] = coerced
+        return cls(dtype, storage, nulls)
+
+    @classmethod
+    def constant(cls, dtype: DataType, value: Any, length: int) -> "ColumnVector":
+        """A vector repeating one (possibly NULL) value *length* times.
+
+        Implemented as zero-copy broadcast views: literals in expressions
+        cost O(1) regardless of batch size. Consumers treat vectors as
+        read-only (mutating operators copy first), so the read-only views
+        are safe.
+        """
+        coerced = coerce_value(value, dtype)
+        if coerced is None:
+            values = np.broadcast_to(
+                np.asarray(_zero_of(dtype), dtype=dtype.numpy_dtype), (length,)
+            )
+            return cls(dtype, values, np.broadcast_to(True, (length,)))
+        values = np.broadcast_to(
+            np.asarray(coerced, dtype=dtype.numpy_dtype), (length,)
+        )
+        return cls(dtype, values, np.broadcast_to(False, (length,)))
+
+    @classmethod
+    def empty(cls, dtype: DataType) -> "ColumnVector":
+        return cls(
+            dtype,
+            np.empty(0, dtype=dtype.numpy_dtype),
+            np.empty(0, dtype=bool),
+        )
+
+    @classmethod
+    def from_numpy(
+        cls, dtype: DataType, values: np.ndarray, nulls: np.ndarray | None = None
+    ) -> "ColumnVector":
+        """Wrap an existing numpy array (no copy) as a ColumnVector."""
+        values = np.asarray(values, dtype=dtype.numpy_dtype)
+        if nulls is None:
+            nulls = np.zeros(len(values), dtype=bool)
+        return cls(dtype, values, np.asarray(nulls, dtype=bool))
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def __getitem__(self, index: int) -> Any:
+        """The user-facing Python value at *index* (None when NULL)."""
+        if self.nulls[index]:
+            return None
+        return python_value(self.values[index], self.dtype)
+
+    def to_pylist(self) -> list[Any]:
+        """All values as user-facing Python objects."""
+        return [self[i] for i in range(len(self))]
+
+    def has_nulls(self) -> bool:
+        return bool(self.nulls.any())
+
+    # ------------------------------------------------------------------
+    # Transformations
+    # ------------------------------------------------------------------
+    def take(self, indices: np.ndarray) -> "ColumnVector":
+        """Gather rows by position."""
+        return ColumnVector(self.dtype, self.values[indices], self.nulls[indices])
+
+    def filter(self, mask: np.ndarray) -> "ColumnVector":
+        """Keep rows where *mask* is True."""
+        return ColumnVector(self.dtype, self.values[mask], self.nulls[mask])
+
+    def slice(self, start: int, stop: int) -> "ColumnVector":
+        return ColumnVector(self.dtype, self.values[start:stop], self.nulls[start:stop])
+
+    def concat(self, other: "ColumnVector") -> "ColumnVector":
+        if other.dtype is not self.dtype:
+            raise ExecutionError(
+                f"cannot concat {self.dtype} column with {other.dtype} column"
+            )
+        return ColumnVector(
+            self.dtype,
+            np.concatenate([self.values, other.values]),
+            np.concatenate([self.nulls, other.nulls]),
+        )
+
+    def copy(self) -> "ColumnVector":
+        return ColumnVector(self.dtype, self.values.copy(), self.nulls.copy())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        preview = self.to_pylist()[:8]
+        return f"ColumnVector({self.dtype}, n={len(self)}, {preview}...)"
+
+
+def _zero_of(dtype: DataType) -> Any:
+    """A placeholder physical value for NULL slots of *dtype*."""
+    if dtype.numpy_dtype == np.dtype(object):
+        return None
+    if dtype is DataType.BOOLEAN:
+        return False
+    if dtype is DataType.FLOAT:
+        return 0.0
+    return 0
+
+
+class Batch:
+    """An ordered set of equally long named columns — one execution quantum."""
+
+    __slots__ = ("columns", "names")
+
+    def __init__(self, names: Sequence[str], columns: Sequence[ColumnVector]):
+        if len(names) != len(columns):
+            raise ExecutionError("column name/vector count mismatch")
+        lengths = {len(c) for c in columns}
+        if len(lengths) > 1:
+            raise ExecutionError(f"ragged batch: column lengths {sorted(lengths)}")
+        self.names = list(names)
+        self.columns = list(columns)
+
+    @property
+    def num_rows(self) -> int:
+        return len(self.columns[0]) if self.columns else 0
+
+    @property
+    def num_columns(self) -> int:
+        return len(self.columns)
+
+    def column(self, name: str) -> ColumnVector:
+        try:
+            return self.columns[self.names.index(name)]
+        except ValueError:
+            raise ExecutionError(f"batch has no column named {name!r}") from None
+
+    def with_columns(
+        self, names: Iterable[str], columns: Iterable[ColumnVector]
+    ) -> "Batch":
+        """A new batch with extra columns appended."""
+        return Batch(self.names + list(names), self.columns + list(columns))
+
+    def select(self, indices: Sequence[int]) -> "Batch":
+        """Project columns by position."""
+        return Batch(
+            [self.names[i] for i in indices], [self.columns[i] for i in indices]
+        )
+
+    def take(self, indices: np.ndarray) -> "Batch":
+        return Batch(self.names, [c.take(indices) for c in self.columns])
+
+    def filter(self, mask: np.ndarray) -> "Batch":
+        return Batch(self.names, [c.filter(mask) for c in self.columns])
+
+    def slice(self, start: int, stop: int) -> "Batch":
+        return Batch(self.names, [c.slice(start, stop) for c in self.columns])
+
+    def concat(self, other: "Batch") -> "Batch":
+        if other.names != self.names:
+            raise ExecutionError("cannot concat batches with different schemas")
+        return Batch(
+            self.names,
+            [a.concat(b) for a, b in zip(self.columns, other.columns)],
+        )
+
+    def rows(self) -> Iterator[tuple]:
+        """Iterate user-facing Python row tuples (slow path, for results)."""
+        pylists = [c.to_pylist() for c in self.columns]
+        return iter(zip(*pylists)) if pylists else iter(())
+
+    def row(self, index: int) -> tuple:
+        return tuple(c[index] for c in self.columns)
+
+    @classmethod
+    def empty(cls, names: Sequence[str], dtypes: Sequence[DataType]) -> "Batch":
+        return cls(list(names), [ColumnVector.empty(d) for d in dtypes])
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Batch({self.num_rows}x{self.num_columns}: {self.names})"

@@ -1,0 +1,93 @@
+"""Exception hierarchy for the flock package.
+
+All exceptions raised by flock derive from :class:`FlockError`, so callers can
+catch a single base class. Subsystems refine it: SQL front-end errors, binder
+and planner errors, execution errors, transaction conflicts, security
+violations, and errors from the ML / inference / provenance layers.
+"""
+
+from __future__ import annotations
+
+
+class FlockError(Exception):
+    """Base class for every error raised by the flock package."""
+
+
+class SQLError(FlockError):
+    """Base class for errors raised by the SQL front-end."""
+
+
+class LexerError(SQLError):
+    """Raised when the SQL lexer encounters an invalid character sequence."""
+
+    def __init__(self, message: str, position: int = -1):
+        super().__init__(message)
+        self.position = position
+
+
+class ParseError(SQLError):
+    """Raised when the SQL parser cannot derive a statement from the tokens."""
+
+    def __init__(self, message: str, token: object = None):
+        super().__init__(message)
+        self.token = token
+
+
+class BindError(SQLError):
+    """Raised when name resolution or type checking of a statement fails."""
+
+
+class CatalogError(FlockError):
+    """Raised for catalog violations (unknown/duplicate tables, columns...)."""
+
+
+class TypeMismatchError(BindError):
+    """Raised when an expression combines incompatible types."""
+
+
+class ExecutionError(FlockError):
+    """Raised when a physical plan fails during execution."""
+
+
+class ConstraintError(ExecutionError):
+    """Raised when a DML statement violates a declared constraint."""
+
+
+class TransactionError(FlockError):
+    """Raised for invalid transaction state transitions or write conflicts."""
+
+
+class SecurityError(FlockError):
+    """Raised when a principal lacks the privilege required by a statement."""
+
+
+class ModelError(FlockError):
+    """Base class for errors raised by the ML training library."""
+
+
+class NotFittedError(ModelError):
+    """Raised when predict/transform is called on an unfitted estimator."""
+
+
+class GraphError(FlockError):
+    """Raised for malformed model graphs (cycles, dangling inputs...)."""
+
+
+class InferenceError(FlockError):
+    """Raised by the in-DBMS inference layer (unknown model, bad schema...)."""
+
+
+class ProvenanceError(FlockError):
+    """Raised by the provenance capture modules and the catalog."""
+
+
+class PolicyError(FlockError):
+    """Raised by the policy engine (invalid rules, failed actions...)."""
+
+
+class RegistryError(FlockError):
+    """Raised by the model registry (unknown model, version conflicts...)."""
+
+
+class WorkloadError(FlockError):
+    """Raised by workload generators for invalid parameters."""

@@ -1,0 +1,32 @@
+"""flock.inference — in-DBMS model scoring and the SQL×ML cross-optimizer.
+
+The paper's core proposal (§4.1): inference is an extension of relational
+query processing. ``PREDICT`` binds to a plan operator
+(:class:`~flock.db.plan.PredictNode`), executed by :class:`DefaultScorer`
+over the :mod:`flock.mlgraph` runtime, and optimized by
+:class:`CrossOptimizer`, which implements the paper's optimization list:
+
+- predicate push-down below the model (relational side, in flock.db) and
+  push-up of predicates over predictions via UDF inlining;
+- automatic pruning of unused input feature-columns from model sparsity;
+- model compression exploiting input data statistics;
+- physical operator selection (vectorized batch vs per-row UDF) based on
+  statistics.
+"""
+
+from flock.inference.compression import compress_graph
+from flock.inference.optimizer import CrossOptimizer
+from flock.inference.predict import DefaultScorer, PreparedModel
+from flock.inference.pruning import prune_predict_inputs
+from flock.inference.selection import choose_strategy
+from flock.inference.udf import inline_graph
+
+__all__ = [
+    "CrossOptimizer",
+    "DefaultScorer",
+    "PreparedModel",
+    "choose_strategy",
+    "compress_graph",
+    "inline_graph",
+    "prune_predict_inputs",
+]

@@ -1,0 +1,168 @@
+"""Model compression exploiting input data statistics (§4.1).
+
+Given observed [min, max] ranges of the columns feeding a model (from the
+DBMS statistics the scans maintain), tree branches that no stored row can
+reach are folded away and linear weights below a tolerance are zeroed.
+Ranges are propagated forward through the featurizer operators so the tree /
+linear ops see ranges in *their own* input space (e.g. post-scaling).
+"""
+
+from __future__ import annotations
+
+import copy
+import math
+
+import numpy as np
+
+from flock.errors import GraphError
+from flock.mlgraph.graph import Graph, Node
+
+Interval = tuple[float, float]
+_FULL: Interval = (-math.inf, math.inf)
+
+
+def compress_graph(
+    graph: Graph,
+    input_ranges: dict[str, Interval],
+    weight_tolerance: float = 0.0,
+) -> tuple[Graph, dict[str, int]]:
+    """A compressed copy of *graph* plus a stats dict.
+
+    ``input_ranges`` maps graph input names to observed (min, max); inputs
+    without statistics are treated as unbounded. Returns the new graph and
+    ``{"tree_nodes_before", "tree_nodes_after", "weights_zeroed"}``.
+    """
+    from flock.mlgraph.ops.trees import tree_dict_nodes
+
+    ranges: dict[str, list[Interval]] = {}
+    for spec in graph.inputs:
+        ranges[spec.name] = [input_ranges.get(spec.name, _FULL)]
+
+    new_nodes: list[Node] = []
+    stats = {"tree_nodes_before": 0, "tree_nodes_after": 0, "weights_zeroed": 0}
+    for node in graph.toposorted():
+        node = copy.deepcopy(node)
+        in_ranges = [ranges[name] for name in node.inputs]
+        if node.op_type == "tree_ensemble":
+            before = sum(tree_dict_nodes(t) for t in node.attrs["trees"])
+            node.attrs["trees"] = [
+                _fold_tree(t, list(in_ranges[0])) for t in node.attrs["trees"]
+            ]
+            after = sum(tree_dict_nodes(t) for t in node.attrs["trees"])
+            stats["tree_nodes_before"] += before
+            stats["tree_nodes_after"] += after
+        elif node.op_type == "linear" and weight_tolerance > 0.0:
+            weights = np.asarray(node.attrs["weights"], dtype=np.float64).copy()
+            small = (np.abs(weights) <= weight_tolerance) & (weights != 0.0)
+            stats["weights_zeroed"] += int(small.sum())
+            weights[small] = 0.0
+            node.attrs["weights"] = weights
+        out_ranges = _propagate_ranges(node, in_ranges)
+        for name, r in zip(node.outputs, out_ranges):
+            ranges[name] = r
+        new_nodes.append(node)
+
+    compressed = Graph(
+        name=graph.name,
+        inputs=list(graph.inputs),
+        outputs=list(graph.outputs),
+        nodes=new_nodes,
+        output_kinds=dict(graph.output_kinds),
+        metadata={**graph.metadata, "compressed": True},
+    )
+    return compressed, stats
+
+
+# ----------------------------------------------------------------------
+# Tree folding
+# ----------------------------------------------------------------------
+def _fold_tree(tree: dict, column_ranges: list[Interval]) -> dict:
+    """Fold branches unreachable under the observed column ranges."""
+    if tree.get("left") is None:
+        return tree
+    feature = int(tree["feature"])
+    threshold = float(tree["threshold"])
+    lo, hi = (
+        column_ranges[feature] if feature < len(column_ranges) else _FULL
+    )
+    if hi <= threshold:
+        # Every stored value goes left.
+        return _fold_tree(tree["left"], column_ranges)
+    if lo > threshold:
+        return _fold_tree(tree["right"], column_ranges)
+    left_ranges = list(column_ranges)
+    right_ranges = list(column_ranges)
+    if feature < len(column_ranges):
+        left_ranges[feature] = (lo, min(hi, threshold))
+        right_ranges[feature] = (max(lo, np.nextafter(threshold, math.inf)), hi)
+    return {
+        "feature": feature,
+        "threshold": threshold,
+        "left": _fold_tree(tree["left"], left_ranges),
+        "right": _fold_tree(tree["right"], right_ranges),
+    }
+
+
+# ----------------------------------------------------------------------
+# Interval propagation through featurizers
+# ----------------------------------------------------------------------
+def _propagate_ranges(
+    node: Node, inputs: list[list[Interval]]
+) -> list[list[Interval]]:
+    op = node.op_type
+    if op == "pack":
+        return [[r[0] for r in inputs]]
+    if op == "concat":
+        return [[interval for block in inputs for interval in block]]
+    if op == "slice_columns":
+        (matrix,) = inputs
+        return [[matrix[i] for i in node.attrs["indices"]]]
+    if op == "pick_column":
+        (matrix,) = inputs
+        return [[matrix[int(node.attrs["index"])]]]
+    if op == "scale":
+        (matrix,) = inputs
+        offset = np.asarray(node.attrs["offset"], dtype=np.float64)
+        divisor = np.asarray(node.attrs["divisor"], dtype=np.float64)
+        out: list[Interval] = []
+        for j, (lo, hi) in enumerate(matrix):
+            o = float(offset[j]) if offset.ndim else float(offset)
+            d = float(divisor[j]) if divisor.ndim else float(divisor)
+            a, b = (lo - o) / d, (hi - o) / d
+            out.append((min(a, b), max(a, b)))
+        return [out]
+    if op == "impute":
+        (matrix,) = inputs
+        statistics = np.asarray(node.attrs["statistics"], dtype=np.float64)
+        out = []
+        for j, (lo, hi) in enumerate(matrix):
+            s = float(statistics[j])
+            out.append((min(lo, s), max(hi, s)))
+        return [out]
+    if op == "onehot":
+        width = len(node.attrs["categories"])
+        return [[(0.0, 1.0)] * width]
+    if op == "text_hash":
+        width = int(node.attrs["n_buckets"])
+        return [[(0.0, math.inf)] * width]
+    if op == "sigmoid":
+        (operand,) = inputs
+        return [[(0.0, 1.0)] * len(operand)]
+    if op in ("linear", "tree_ensemble", "add", "mul", "softmax", "relu",
+              "clip", "argmax", "threshold", "label_map"):
+        # Downstream of the model ops, ranges no longer matter for folding.
+        width = _output_width(node, inputs)
+        return [[_FULL] * width]
+    raise GraphError(f"no range rule for operator {op!r}")
+
+
+def _output_width(node: Node, inputs: list[list[Interval]]) -> int:
+    if node.op_type == "linear":
+        weights = np.asarray(node.attrs["weights"])
+        return 1 if weights.ndim == 1 else int(weights.shape[1])
+    if node.op_type == "tree_ensemble":
+        cursor = node.attrs["trees"][0]
+        while cursor.get("left") is not None:
+            cursor = cursor["left"]
+        return len(cursor["value"]) if len(cursor["value"]) > 1 else 1
+    return len(inputs[0]) if inputs else 1

@@ -1,0 +1,90 @@
+"""The hybrid relational×ML intermediate representation.
+
+The paper derives "an intermediate representation amenable to optimization"
+from end-to-end prediction pipelines (§4.1). In this codebase that IR *is*
+the logical plan: relational operators (:mod:`flock.db.plan`) and the
+:class:`~flock.db.plan.PredictNode` ML operator live in one tree, so one
+optimizer moves work across the SQL/ML boundary. This module provides
+introspection helpers over that hybrid IR.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from flock.db.plan import PlanNode, PredictNode, ScanNode
+
+
+def predict_nodes(plan: PlanNode) -> list[PredictNode]:
+    """All ML operators in the plan, in walk order."""
+    return [n for n in plan.walk() if isinstance(n, PredictNode)]
+
+
+def scan_nodes(plan: PlanNode) -> list[ScanNode]:
+    return [n for n in plan.walk() if isinstance(n, ScanNode)]
+
+
+@dataclass(frozen=True)
+class HybridPlanSummary:
+    """Shape metrics of a hybrid plan (used by tests and ablation benches)."""
+
+    relational_operators: int
+    ml_operators: int
+    scanned_columns: int
+    strategies: tuple[str, ...]
+
+    @property
+    def total_operators(self) -> int:
+        return self.relational_operators + self.ml_operators
+
+
+def summarize(plan: PlanNode) -> HybridPlanSummary:
+    predicts = predict_nodes(plan)
+    scans = scan_nodes(plan)
+    total = sum(1 for _ in plan.walk())
+    return HybridPlanSummary(
+        relational_operators=total - len(predicts),
+        ml_operators=len(predicts),
+        scanned_columns=sum(len(s.column_indexes) for s in scans),
+        strategies=tuple(p.strategy for p in predicts),
+    )
+
+
+def column_origin(
+    plan: PlanNode, column_index: int
+) -> tuple[str, str] | None:
+    """Trace an output column back to a base-table column, if it maps 1:1.
+
+    Returns ``(table_name, column_name)`` or None when the column is
+    computed. Used to look up stored statistics for model compression.
+    """
+    from flock.db.expr import BoundColumn
+    from flock.db.plan import (
+        FilterNode,
+        JoinNode,
+        LimitNode,
+        ProjectNode,
+        SortNode,
+    )
+
+    if isinstance(plan, ScanNode):
+        if column_index < len(plan.fields):
+            return plan.table_name, plan.fields[column_index].name
+        return None
+    if isinstance(plan, (FilterNode, SortNode, LimitNode)):
+        return column_origin(plan.children()[0], column_index)
+    if isinstance(plan, ProjectNode):
+        expr = plan.exprs[column_index]
+        if isinstance(expr, BoundColumn):
+            return column_origin(plan.child, expr.index)
+        return None
+    if isinstance(plan, PredictNode):
+        if column_index < len(plan.child.fields):
+            return column_origin(plan.child, column_index)
+        return None
+    if isinstance(plan, JoinNode):
+        left_width = len(plan.left.fields)
+        if column_index < left_width:
+            return column_origin(plan.left, column_index)
+        return column_origin(plan.right, column_index - left_width)
+    return None

@@ -1,0 +1,44 @@
+"""Physical operator selection for inference (§4.1).
+
+Chooses how a PredictNode executes, "based on statistics, available runtime
+and hardware": vectorized batch scoring amortizes dispatch over the whole
+column but pays a fixed vectorization setup cost; per-row UDF scoring has no
+setup but pays Python dispatch per tuple. The cost model crosses over at a
+small row count, mirroring the batch-vs-tuple trade-off the paper describes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from flock.mlgraph.analysis import graph_size
+from flock.mlgraph.graph import Graph
+
+# Fitted constants: relative cost units per unit of work.
+BATCH_SETUP_COST = 50.0  # per-query vectorization overhead
+BATCH_PER_ROW_COST = 0.02  # amortized vectorized work per row
+ROW_DISPATCH_COST = 12.0  # Python dispatch per tuple
+PER_NODE_FACTOR = 0.01  # extra work per graph operator
+
+
+@dataclass(frozen=True)
+class StrategyEstimate:
+    strategy: str
+    batch_cost: float
+    row_udf_cost: float
+
+
+def estimate_costs(estimated_rows: float, graph: Graph) -> StrategyEstimate:
+    size = graph_size(graph)
+    complexity = 1.0 + PER_NODE_FACTOR * (
+        size["operators"] + 0.01 * size["tree_nodes"]
+    )
+    batch = BATCH_SETUP_COST + BATCH_PER_ROW_COST * estimated_rows * complexity
+    row_udf = ROW_DISPATCH_COST * estimated_rows * complexity
+    strategy = "batch" if batch <= row_udf else "row_udf"
+    return StrategyEstimate(strategy, batch, row_udf)
+
+
+def choose_strategy(estimated_rows: float, graph: Graph) -> str:
+    """'batch' or 'row_udf' for the given cardinality and model."""
+    return estimate_costs(estimated_rows, graph).strategy

@@ -1,0 +1,21 @@
+"""flock.landscape — the competitive-landscape feature matrix (Figure 3)."""
+
+from flock.landscape.matrix import (
+    FEATURES,
+    SYSTEMS,
+    Support,
+    feature_matrix,
+    group_scores,
+    render_matrix,
+    trend_summary,
+)
+
+__all__ = [
+    "FEATURES",
+    "SYSTEMS",
+    "Support",
+    "feature_matrix",
+    "group_scores",
+    "render_matrix",
+    "trend_summary",
+]

@@ -1,0 +1,182 @@
+"""ML systems in the public cloud and major companies (Figure 3).
+
+A data-driven encoding of the paper's feature-support matrix: systems ×
+features with four support levels, grouped into Training / Serving / Data
+Management exactly as the figure is. The cell values transcribe the figure
+(the paper itself flags them as "a subjective judgement based on a few weeks
+of analysis ... at the time of writing" — late 2019). The analysis
+functions derive the two trends the paper calls out: proprietary
+("unicorn") stacks have stronger data-management support, and no third-party
+offering is complete.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class Support(enum.Enum):
+    GOOD = 2
+    OK = 1
+    NO = 0
+    UNKNOWN = -1
+
+    @property
+    def symbol(self) -> str:
+        return {"GOOD": "●", "OK": "◐", "NO": "○", "UNKNOWN": "?"}[self.name]
+
+    @property
+    def score(self) -> float | None:
+        """Numeric score; UNKNOWN cells are excluded from averages."""
+        return None if self is Support.UNKNOWN else float(self.value)
+
+
+@dataclass(frozen=True)
+class System:
+    name: str
+    kind: str  # 'proprietary' | 'cloud' | 'oss'
+
+
+SYSTEMS: list[System] = [
+    System("Bing", "proprietary"),
+    System("Uber Michelangelo", "proprietary"),
+    System("LinkedIn ProML", "proprietary"),
+    System("Azure ML", "cloud"),
+    System("Google Cloud AI", "cloud"),
+    System("AWS SageMaker", "cloud"),
+    System("MLflow", "oss"),
+    System("Kubeflow", "oss"),
+]
+
+# (group, feature) in the figure's order.
+FEATURES: list[tuple[str, str]] = [
+    ("Training", "Experiment Tracking"),
+    ("Training", "Managed Notebooks"),
+    ("Training", "Pipelines / Projects"),
+    ("Training", "Multi-Framework"),
+    ("Training", "Proprietary Algos"),
+    ("Training", "Distributed Training"),
+    ("Training", "Auto ML"),
+    ("Serving", "Batch prediction"),
+    ("Serving", "On-prem deployment"),
+    ("Serving", "Model Monitoring"),
+    ("Serving", "Model Validation"),
+    ("Data Management", "Data Provenance"),
+    ("Data Management", "Data testing"),
+    ("Data Management", "Feature Store"),
+    ("Data Management", "Featurization DSL"),
+    ("Data Management", "Labelling"),
+    ("Data Management", "In-DB ML"),
+]
+
+_G, _O, _N, _U = Support.GOOD, Support.OK, Support.NO, Support.UNKNOWN
+
+# Rows follow FEATURES order; columns follow SYSTEMS order.
+_CELLS: list[list[Support]] = [
+    # ExpTrack    Bing Uber LIn  AzML GCP  SageM MLflow Kubeflow
+    [_G, _G, _G, _G, _O, _O, _G, _O],  # Experiment Tracking
+    [_O, _O, _U, _G, _G, _G, _N, _G],  # Managed Notebooks
+    [_G, _G, _G, _G, _G, _O, _G, _G],  # Pipelines / Projects
+    [_O, _G, _O, _G, _O, _G, _G, _G],  # Multi-Framework
+    [_G, _O, _G, _O, _O, _O, _N, _N],  # Proprietary Algos
+    [_G, _G, _G, _G, _G, _G, _N, _O],  # Distributed Training
+    [_O, _O, _O, _G, _G, _O, _N, _O],  # Auto ML
+    [_G, _G, _G, _G, _G, _G, _O, _O],  # Batch prediction
+    [_N, _G, _G, _O, _N, _N, _G, _G],  # On-prem deployment
+    [_G, _G, _G, _O, _O, _O, _N, _N],  # Model Monitoring
+    [_G, _G, _G, _O, _N, _O, _N, _N],  # Model Validation
+    [_G, _G, _O, _O, _N, _N, _N, _N],  # Data Provenance
+    [_G, _G, _O, _N, _N, _N, _N, _N],  # Data testing
+    [_G, _G, _G, _N, _N, _N, _N, _N],  # Feature Store
+    [_G, _G, _G, _N, _O, _N, _N, _N],  # Featurization DSL
+    [_O, _U, _O, _O, _O, _G, _N, _N],  # Labelling
+    [_O, _N, _N, _G, _G, _O, _N, _N],  # In-DB ML
+]
+
+
+def feature_matrix() -> dict[tuple[str, str], Support]:
+    """``(system_name, feature_name) → Support`` for every cell."""
+    out: dict[tuple[str, str], Support] = {}
+    for row, (_, feature) in enumerate(FEATURES):
+        for col, system in enumerate(SYSTEMS):
+            out[(system.name, feature)] = _CELLS[row][col]
+    return out
+
+
+def group_scores() -> dict[str, dict[str, float]]:
+    """Average support per system per feature group (UNKNOWN excluded)."""
+    matrix = feature_matrix()
+    groups = sorted({g for g, _ in FEATURES})
+    out: dict[str, dict[str, float]] = {}
+    for system in SYSTEMS:
+        scores: dict[str, float] = {}
+        for group in groups:
+            values = [
+                matrix[(system.name, feature)].score
+                for g, feature in FEATURES
+                if g == group
+            ]
+            known = [v for v in values if v is not None]
+            scores[group] = sum(known) / len(known) if known else 0.0
+        out[system.name] = scores
+    return out
+
+
+def trend_summary() -> dict[str, float]:
+    """The two quantitative trends the paper reads off the figure.
+
+    - ``dm_gap``: average Data Management score of proprietary systems minus
+      third-party (cloud + OSS) systems — positive means trend 1 holds;
+    - ``best_third_party_completeness``: the best fraction of features any
+      non-proprietary system supports at least at OK level — well below 1.0
+      means trend 2 ("complete third-party solutions are non-trivial") holds.
+    """
+    matrix = feature_matrix()
+    scores = group_scores()
+    proprietary = [s for s in SYSTEMS if s.kind == "proprietary"]
+    third_party = [s for s in SYSTEMS if s.kind != "proprietary"]
+    dm_prop = sum(scores[s.name]["Data Management"] for s in proprietary) / len(
+        proprietary
+    )
+    dm_third = sum(scores[s.name]["Data Management"] for s in third_party) / len(
+        third_party
+    )
+
+    best = 0.0
+    for system in third_party:
+        supported = sum(
+            1
+            for _, feature in FEATURES
+            if matrix[(system.name, feature)] in (Support.GOOD, Support.OK)
+        )
+        best = max(best, supported / len(FEATURES))
+    return {
+        "dm_proprietary": dm_prop,
+        "dm_third_party": dm_third,
+        "dm_gap": dm_prop - dm_third,
+        "best_third_party_completeness": best,
+    }
+
+
+def render_matrix() -> str:
+    """The figure as aligned text (● Good, ◐ OK, ○ No, ? Unknown)."""
+    matrix = feature_matrix()
+    name_width = max(len(f) for _, f in FEATURES) + 2
+    col_width = max(len(s.name) for s in SYSTEMS) + 2
+    lines = []
+    header = " " * name_width + "".join(
+        s.name.ljust(col_width) for s in SYSTEMS
+    )
+    lines.append(header)
+    current_group = None
+    for group, feature in FEATURES:
+        if group != current_group:
+            lines.append(f"-- {group} --")
+            current_group = group
+        row = feature.ljust(name_width)
+        for system in SYSTEMS:
+            row += matrix[(system.name, feature)].symbol.ljust(col_width)
+        lines.append(row)
+    lines.append("legend: ● Good   ◐ OK   ○ No   ? Unknown")
+    return "\n".join(lines)

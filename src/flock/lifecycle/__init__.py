@@ -1,0 +1,15 @@
+"""flock.lifecycle — train-in-the-cloud, score-in-the-DBMS orchestration."""
+
+from flock.lifecycle.autotune import AutoTuner, Candidate, SearchResult, grid
+from flock.lifecycle.session import FlockSession
+from flock.lifecycle.training import CloudTrainingService, TrainingRun
+
+__all__ = [
+    "AutoTuner",
+    "Candidate",
+    "CloudTrainingService",
+    "FlockSession",
+    "SearchResult",
+    "TrainingRun",
+    "grid",
+]

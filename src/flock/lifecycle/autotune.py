@@ -1,0 +1,145 @@
+"""AutoML-lite: tracked hyperparameter search over the training service.
+
+Figure 3 lists "Auto ML" among the capabilities an EGML platform needs, and
+the paper's enterprise feedback is blunt: "automate it, and don't get me
+sued". This module automates model selection the governed way — every
+candidate is a tracked :class:`~flock.lifecycle.training.TrainingRun`, the
+search is deterministic given its seed, and the winner is chosen by a
+held-out metric, not training fit.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from flock.errors import FlockError
+from flock.lifecycle.training import CloudTrainingService, TrainingRun
+from flock.ml.metrics import accuracy_score, r2_score, train_test_split
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """One point of the search space."""
+
+    estimator_factory: Callable[..., Any]
+    params: dict[str, Any]
+
+    @property
+    def describe(self) -> str:
+        inner = ", ".join(f"{k}={v!r}" for k, v in sorted(self.params.items()))
+        return f"{self.estimator_factory.__name__}({inner})"
+
+
+def grid(estimator_factory: Callable[..., Any], **param_lists) -> list[Candidate]:
+    """The cartesian product of parameter lists for one estimator family."""
+    names = sorted(param_lists)
+    out = []
+    for values in itertools.product(*(param_lists[n] for n in names)):
+        out.append(Candidate(estimator_factory, dict(zip(names, values))))
+    return out
+
+
+@dataclass
+class SearchResult:
+    """Outcome of a search: the winner plus the full leaderboard."""
+
+    best_estimator: Any
+    best_candidate: Candidate
+    best_score: float
+    metric_name: str
+    leaderboard: list[tuple[Candidate, float, TrainingRun]] = field(
+        default_factory=list
+    )
+
+    def summary(self) -> str:
+        lines = [f"AutoML search ({self.metric_name}, higher is better):"]
+        for candidate, score, run in self.leaderboard:
+            marker = " <== best" if candidate is self.best_candidate else ""
+            lines.append(
+                f"  {score:8.4f}  {candidate.describe}  [{run.run_id}]{marker}"
+            )
+        return "\n".join(lines)
+
+
+class AutoTuner:
+    """Searches candidate estimators with held-out evaluation.
+
+    Every fit goes through the :class:`CloudTrainingService`, so the full
+    search is reconstructible from the experiment log — the provenance story
+    extends into model selection.
+    """
+
+    def __init__(
+        self,
+        training: CloudTrainingService | None = None,
+        validation_fraction: float = 0.25,
+        random_state: int = 0,
+    ):
+        self.training = training or CloudTrainingService()
+        self.validation_fraction = validation_fraction
+        self.random_state = random_state
+
+    def search(
+        self,
+        model_name: str,
+        candidates: Sequence[Candidate],
+        X,
+        y,
+        task: str = "classification",
+        metric: Callable | None = None,
+        metric_name: str | None = None,
+    ) -> SearchResult:
+        """Fit every candidate; rank by held-out metric; return the winner."""
+        if not candidates:
+            raise FlockError("AutoTuner.search needs at least one candidate")
+        if task not in ("classification", "regression"):
+            raise FlockError(f"unknown task {task!r}")
+        if metric is None:
+            metric = accuracy_score if task == "classification" else r2_score
+            metric_name = metric_name or (
+                "val_accuracy" if task == "classification" else "val_r2"
+            )
+        metric_name = metric_name or "val_metric"
+
+        X = np.asarray(X)
+        y = np.asarray(y)
+        X_train, X_val, y_train, y_val = train_test_split(
+            X, y, self.validation_fraction, self.random_state
+        )
+
+        leaderboard: list[tuple[Candidate, float, TrainingRun]] = []
+        for candidate in candidates:
+            estimator = candidate.estimator_factory(**candidate.params)
+
+            def evaluate(fitted, _X, _y, estimator=estimator):
+                score = float(metric(y_val, fitted.predict(X_val)))
+                return {metric_name: score}
+
+            run = self.training.submit(
+                model_name,
+                estimator,
+                X_train,
+                y_train,
+                evaluate=evaluate,
+            )
+            leaderboard.append((candidate, run.metrics[metric_name], run))
+
+        leaderboard.sort(key=lambda item: item[1], reverse=True)
+        best_candidate, best_score, best_run = leaderboard[0]
+
+        # Refit the winner on all data (standard practice) and return it.
+        best_estimator = best_candidate.estimator_factory(
+            **best_candidate.params
+        )
+        best_estimator.fit(X, y)
+        return SearchResult(
+            best_estimator=best_estimator,
+            best_candidate=best_candidate,
+            best_score=best_score,
+            metric_name=metric_name,
+            leaderboard=leaderboard,
+        )

@@ -1,0 +1,218 @@
+"""FlockSession: the whole Figure 1 lifecycle behind one object.
+
+Wires together the DBMS (scoring + governance), the cloud training service,
+the model registry, the provenance catalog and the policy engine, and offers
+the canonical end-to-end flow:
+
+    session = FlockSession()
+    session.load_dataset(make_loans(500))
+    session.train_and_deploy("loan_model", pipeline, "loans", features, "approved")
+    session.sql("SELECT applicant_id FROM loans WHERE PREDICT(loan_model) > 0.8")
+
+with full provenance captured across all phases (the paper's conclusion:
+training in the cloud, models stored and scored in managed environments,
+provenance collected across all phases).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from flock import create_database
+from flock.errors import FlockError
+from flock.lifecycle.training import CloudTrainingService, TrainingRun
+from flock.mlgraph import to_graph
+from flock.policy import PolicyEngine
+from flock.provenance import (
+    ProvenanceCatalog,
+    PythonProvenanceCapture,
+    SQLProvenanceCapture,
+)
+from flock.provenance.model import EntityType, Relation
+
+
+class FlockSession:
+    """One EGML deployment: DB + registry + training + provenance + policy."""
+
+    def __init__(
+        self,
+        cross_optimizer=None,
+        eager_provenance: bool = True,
+        monitor_models: bool = True,
+    ):
+        from flock.monitoring import MonitorHub
+
+        self.database, self.registry = create_database(cross_optimizer)
+        self.training = CloudTrainingService()
+        self.provenance = ProvenanceCatalog()
+        self.sql_capture = SQLProvenanceCapture(
+            self.provenance, database=self.database
+        )
+        self.py_capture = PythonProvenanceCapture(self.provenance)
+        self.policies = PolicyEngine(provenance_catalog=self.provenance)
+        self.eager_provenance = eager_provenance
+        self.monitor_models = monitor_models
+        self.monitors = MonitorHub()
+        if monitor_models:
+            # Scoring feeds the monitors; monitored models keep their
+            # Predict operator (inlining would bypass the hook).
+            self.database.scorer.monitor_hub = self.monitors
+            self.database.cross_optimizer.monitor_hub = self.monitors
+
+    # ------------------------------------------------------------------
+    # Data
+    # ------------------------------------------------------------------
+    def sql(self, statement: str, user: str = "admin"):
+        """Execute SQL with (optional) eager provenance capture."""
+        result = self.database.execute(statement, user=user)
+        if self.eager_provenance:
+            self.sql_capture.capture_query(statement, user=user)
+        return result
+
+    def load_dataset(self, dataset, table_name: str | None = None) -> str:
+        """Load a :class:`~flock.ml.datasets.TabularDataset` into the DBMS."""
+        from flock.ml.datasets import load_dataset_into
+
+        table = load_dataset_into(self.database, dataset, table_name)
+        if self.eager_provenance:
+            table_entity = self.provenance.register(EntityType.TABLE, table)
+            for column_name in dataset.columns:
+                column = self.provenance.register(
+                    EntityType.COLUMN, f"{table}.{column_name}"
+                )
+                self.provenance.link(table_entity, column, Relation.CONTAINS)
+        return table
+
+    def table_matrix(
+        self, table_name: str, feature_names: list[str], target_name: str
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Fetch (X, y) from a DB table for training."""
+        columns = ", ".join(feature_names + [target_name])
+        result = self.database.execute(
+            f"SELECT {columns} FROM {table_name}"
+        )
+        batch = result.batch
+        assert batch is not None
+        X = np.column_stack(
+            [
+                np.asarray(batch.column(n).to_pylist(), dtype=np.float64)
+                for n in feature_names
+            ]
+        )
+        y = np.asarray(batch.column(target_name).to_pylist())
+        return X, y
+
+    # ------------------------------------------------------------------
+    # Train in the cloud, deploy to the DBMS
+    # ------------------------------------------------------------------
+    def train_and_deploy(
+        self,
+        model_name: str,
+        estimator,
+        table_name: str,
+        feature_names: list[str],
+        target_name: str,
+        user: str = "admin",
+        description: str = "",
+    ) -> TrainingRun:
+        """The canonical lifecycle: fetch → train (cloud) → convert →
+        deploy (DBMS, transactional) → record provenance end to end."""
+        X, y = self.table_matrix(table_name, feature_names, target_name)
+        run = self.training.submit(
+            model_name,
+            estimator,
+            X,
+            y,
+            dataset_name=table_name,
+            feature_names=feature_names,
+            target_name=target_name,
+        )
+        graph = to_graph(estimator, feature_names, name=model_name)
+        version = self.registry.deploy(
+            model_name,
+            graph,
+            user=user,
+            description=description,
+            metrics=run.metrics,
+            training_run_id=run.run_id,
+        )
+        self._record_training_provenance(run, version, table_name)
+        if self.monitor_models:
+            self._register_monitor(model_name, estimator, feature_names, X)
+        return run
+
+    def _register_monitor(
+        self, model_name, estimator, feature_names, X
+    ) -> None:
+        from flock.monitoring.drift import baseline_from_training
+
+        scores = None
+        if hasattr(estimator, "predict_proba"):
+            scores = estimator.predict_proba(X)[:, 1]
+        elif hasattr(estimator, "predict"):
+            try:
+                scores = np.asarray(estimator.predict(X), dtype=np.float64)
+            except (TypeError, ValueError):
+                scores = None
+        baseline = baseline_from_training(feature_names, X, scores)
+        self.monitors.register(model_name, baseline)
+
+    def drift_report(self, model_name: str):
+        """Drift of scoring traffic vs the model's training baseline."""
+        return self.monitors.monitor(model_name).report()
+
+    def _record_training_provenance(self, run, version, table_name) -> None:
+        run_entity = self.provenance.register(
+            EntityType.TRAINING_RUN,
+            run.run_id,
+            properties={"duration_seconds": run.duration_seconds},
+        )
+        model_entity = self.provenance.register(
+            EntityType.MODEL_VERSION,
+            f"{version.name}:v{version.version}",
+            properties={"metrics": dict(run.metrics)},
+        )
+        self.provenance.link(run_entity, model_entity, Relation.PRODUCES)
+        table_entity = self.provenance.register(EntityType.TABLE, table_name)
+        self.provenance.link(model_entity, table_entity, Relation.TRAINED_ON)
+        for feature in run.feature_names + [run.target_name]:
+            if not feature:
+                continue
+            column = self.provenance.register(
+                EntityType.COLUMN, f"{table_name}.{feature}"
+            )
+            self.provenance.link(table_entity, column, Relation.CONTAINS)
+            self.provenance.link(model_entity, column, Relation.TRAINED_ON)
+        for key, value in run.hyperparameters.items():
+            hp = self.provenance.register(
+                EntityType.HYPERPARAMETER,
+                f"{version.name}:v{version.version}:{key}",
+                properties={"value": value},
+            )
+            self.provenance.link(model_entity, hp, Relation.CONFIGURED_BY)
+
+    # ------------------------------------------------------------------
+    # Governance queries
+    # ------------------------------------------------------------------
+    def models_affected_by_column(
+        self, table_name: str, column_name: str
+    ) -> list[str]:
+        """C3's motivating question: which deployed models must be
+        retrained if this column changes?"""
+        entities = self.provenance.models_depending_on_column(
+            table_name, column_name
+        )
+        return sorted({e.name for e in entities})
+
+    def model_lineage(self, model_name: str, version: int | None = None):
+        """Upstream lineage entities of a deployed model version."""
+        if version is None:
+            version = self.registry.latest(model_name).version
+        entity = self.provenance.find(
+            EntityType.MODEL_VERSION, f"{model_name}:v{version}"
+        )
+        if entity is None:
+            raise FlockError(
+                f"no provenance recorded for {model_name!r} v{version}"
+            )
+        return self.provenance.graph.lineage(entity.entity_id, "upstream")

@@ -1,0 +1,144 @@
+"""The (simulated) cloud training service with experiment tracking.
+
+The paper argues model development/training happens in the cloud: spiky
+resource usage, centralized data, managed infrastructure (§1). This module
+simulates that managed service — submitted training jobs run estimators,
+record metrics and durations, and every run gets a tracked
+:class:`TrainingRun` (the MLflow-style "inner training loop" lineage the
+paper says must be expanded to full provenance).
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+import numpy as np
+
+from flock.errors import FlockError
+from flock.ml.metrics import accuracy_score, r2_score
+
+
+@dataclass
+class TrainingRun:
+    """One tracked training-job execution."""
+
+    run_id: str
+    model_name: str
+    estimator_class: str
+    hyperparameters: dict[str, Any]
+    metrics: dict[str, float] = field(default_factory=dict)
+    dataset_name: str = ""
+    feature_names: list[str] = field(default_factory=list)
+    target_name: str = ""
+    started_at: float = 0.0
+    duration_seconds: float = 0.0
+    status: str = "pending"  # pending | succeeded | failed
+    error: str = ""
+
+
+class CloudTrainingService:
+    """Runs training jobs and tracks their experiments."""
+
+    def __init__(self) -> None:
+        self._runs: list[TrainingRun] = []
+        self._counter = itertools.count(1)
+
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        model_name: str,
+        estimator,
+        X,
+        y,
+        dataset_name: str = "",
+        feature_names: list[str] | None = None,
+        target_name: str = "",
+        evaluate: Callable[[Any, Any, Any], dict[str, float]] | None = None,
+    ) -> TrainingRun:
+        """Train *estimator* on (X, y); returns the tracked run.
+
+        A default metric (accuracy for classifiers, R² for regressors) is
+        recorded on the training data unless *evaluate* is supplied.
+        """
+        run = TrainingRun(
+            run_id=f"run-{next(self._counter)}",
+            model_name=model_name,
+            estimator_class=type(estimator).__name__,
+            hyperparameters=_hyperparameters_of(estimator),
+            dataset_name=dataset_name,
+            feature_names=list(feature_names or []),
+            target_name=target_name,
+            started_at=time.time(),
+        )
+        self._runs.append(run)
+        started = time.perf_counter()
+        try:
+            estimator.fit(X, y)
+            if evaluate is not None:
+                run.metrics = dict(evaluate(estimator, X, y))
+            else:
+                run.metrics = _default_metrics(estimator, X, y)
+            run.status = "succeeded"
+        except Exception as exc:
+            run.status = "failed"
+            run.error = f"{type(exc).__name__}: {exc}"
+            raise
+        finally:
+            run.duration_seconds = time.perf_counter() - started
+        return run
+
+    # ------------------------------------------------------------------
+    def runs(self, model_name: str | None = None) -> list[TrainingRun]:
+        if model_name is None:
+            return list(self._runs)
+        return [r for r in self._runs if r.model_name == model_name]
+
+    def run(self, run_id: str) -> TrainingRun:
+        for r in self._runs:
+            if r.run_id == run_id:
+                return r
+        raise FlockError(f"unknown training run {run_id!r}")
+
+    def best_run(self, model_name: str, metric: str, maximize: bool = True):
+        """The run with the best recorded value of *metric*."""
+        candidates = [
+            r
+            for r in self.runs(model_name)
+            if r.status == "succeeded" and metric in r.metrics
+        ]
+        if not candidates:
+            raise FlockError(
+                f"no successful runs of {model_name!r} with metric {metric!r}"
+            )
+        key = lambda r: r.metrics[metric]  # noqa: E731
+        return max(candidates, key=key) if maximize else min(candidates, key=key)
+
+
+def _hyperparameters_of(estimator) -> dict[str, Any]:
+    getter = getattr(estimator, "get_params", None)
+    if getter is None:
+        return {}
+    out = {}
+    for key, value in getter().items():
+        if isinstance(value, (int, float, str, bool)) or value is None:
+            out[key] = value
+        else:
+            out[key] = repr(value)
+    return out
+
+
+def _default_metrics(estimator, X, y) -> dict[str, float]:
+    try:
+        predictions = estimator.predict(X)
+    except FlockError:
+        return {}
+    y_arr = np.asarray(y).ravel()
+    if hasattr(estimator, "predict_proba") or hasattr(estimator, "classes_"):
+        return {"train_accuracy": accuracy_score(y_arr, predictions)}
+    try:
+        return {"train_r2": r2_score(y_arr, predictions)}
+    except FlockError:
+        return {}

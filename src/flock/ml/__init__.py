@@ -1,0 +1,45 @@
+"""flock.ml — a from-scratch, numpy-only ML training library.
+
+The "training framework" substrate of the Flock architecture. Estimators
+follow the familiar fit/predict/transform protocol; fitted estimators can be
+converted to :mod:`flock.mlgraph` graphs for deployment into the DBMS.
+"""
+
+from flock.ml.base import BaseEstimator, Transformer
+from flock.ml.ensemble import (
+    GradientBoostingClassifier,
+    GradientBoostingRegressor,
+    RandomForestClassifier,
+    RandomForestRegressor,
+)
+from flock.ml.linear import LinearRegression, LogisticRegression, RidgeRegression
+from flock.ml.pipeline import ColumnTransformer, Pipeline
+from flock.ml.preprocess import (
+    MinMaxScaler,
+    OneHotEncoder,
+    SimpleImputer,
+    StandardScaler,
+    TextHasher,
+)
+from flock.ml.tree import DecisionTreeClassifier, DecisionTreeRegressor
+
+__all__ = [
+    "BaseEstimator",
+    "ColumnTransformer",
+    "DecisionTreeClassifier",
+    "DecisionTreeRegressor",
+    "GradientBoostingClassifier",
+    "GradientBoostingRegressor",
+    "LinearRegression",
+    "LogisticRegression",
+    "MinMaxScaler",
+    "OneHotEncoder",
+    "Pipeline",
+    "RandomForestClassifier",
+    "RandomForestRegressor",
+    "RidgeRegression",
+    "SimpleImputer",
+    "StandardScaler",
+    "TextHasher",
+    "Transformer",
+]

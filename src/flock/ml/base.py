@@ -1,0 +1,88 @@
+"""Estimator protocol and shared validation helpers."""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from flock.errors import ModelError, NotFittedError
+
+
+class BaseEstimator:
+    """Base class for everything with a ``fit`` method.
+
+    Subclasses set ``self._fitted = True`` at the end of ``fit`` and call
+    :meth:`_check_fitted` at the start of ``predict``/``transform``.
+    """
+
+    _fitted: bool = False
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._fitted
+
+    def _check_fitted(self) -> None:
+        if not self._fitted:
+            raise NotFittedError(
+                f"{type(self).__name__} must be fitted before use"
+            )
+
+    def get_params(self) -> dict[str, Any]:
+        """Constructor-style hyperparameters (public attributes that do not
+        end in an underscore)."""
+        return {
+            k: v
+            for k, v in vars(self).items()
+            if not k.startswith("_") and not k.endswith("_")
+        }
+
+    def __repr__(self) -> str:
+        params = ", ".join(f"{k}={v!r}" for k, v in self.get_params().items())
+        return f"{type(self).__name__}({params})"
+
+
+class Transformer(BaseEstimator):
+    """Estimators with a ``transform`` method."""
+
+    def transform(self, X: np.ndarray) -> np.ndarray:  # pragma: no cover
+        raise NotImplementedError
+
+    def fit_transform(self, X: np.ndarray, y: np.ndarray | None = None) -> np.ndarray:
+        self.fit(X, y)  # type: ignore[attr-defined]
+        return self.transform(X)
+
+
+def check_2d(X: Any, name: str = "X") -> np.ndarray:
+    """Coerce to a 2-D float-capable array; raise ModelError otherwise."""
+    arr = np.asarray(X)
+    if arr.ndim == 1:
+        arr = arr.reshape(-1, 1)
+    if arr.ndim != 2:
+        raise ModelError(f"{name} must be 2-dimensional, got shape {arr.shape}")
+    if arr.shape[0] == 0:
+        raise ModelError(f"{name} has no rows")
+    return arr
+
+
+def check_numeric_2d(X: Any, name: str = "X") -> np.ndarray:
+    arr = check_2d(X, name)
+    try:
+        return arr.astype(np.float64)
+    except (TypeError, ValueError):
+        raise ModelError(f"{name} must be numeric") from None
+
+
+def check_consistent(X: np.ndarray, y: np.ndarray) -> None:
+    if len(X) != len(y):
+        raise ModelError(
+            f"X has {len(X)} rows but y has {len(y)} values"
+        )
+
+
+def check_feature_count(estimator: BaseEstimator, X: np.ndarray, expected: int) -> None:
+    if X.shape[1] != expected:
+        raise ModelError(
+            f"{type(estimator).__name__} was fitted with {expected} features "
+            f"but got {X.shape[1]}"
+        )

@@ -1,0 +1,254 @@
+"""Synthetic dataset generators.
+
+These supply the enterprise workloads the paper's introduction motivates
+(loan approval, patient recidivism, job resource prediction) plus generic
+classification/regression generators for tests and benchmarks. Every
+generator is seeded and deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from flock.errors import ModelError
+from flock.ml.linear import sigmoid
+
+
+def make_regression(
+    n_samples: int = 200,
+    n_features: int = 5,
+    n_informative: int | None = None,
+    noise: float = 0.1,
+    random_state: int | None = 0,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Linear data with optional uninformative features.
+
+    Returns (X, y, true_coefficients); uninformative features have exactly
+    zero coefficient — handy for testing sparsity-driven column pruning.
+    """
+    if n_samples <= 0 or n_features <= 0:
+        raise ModelError("n_samples and n_features must be positive")
+    rng = np.random.default_rng(random_state)
+    informative = n_informative if n_informative is not None else n_features
+    informative = min(informative, n_features)
+    X = rng.normal(size=(n_samples, n_features))
+    coef = np.zeros(n_features)
+    coef[:informative] = rng.uniform(0.5, 2.0, size=informative) * rng.choice(
+        [-1.0, 1.0], size=informative
+    )
+    y = X @ coef + rng.normal(scale=noise, size=n_samples)
+    return X, y, coef
+
+
+def make_classification(
+    n_samples: int = 200,
+    n_features: int = 5,
+    n_informative: int | None = None,
+    class_sep: float = 1.5,
+    random_state: int | None = 0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Binary classification with a logistic ground truth."""
+    X, score, _ = make_regression(
+        n_samples,
+        n_features,
+        n_informative,
+        noise=0.0,
+        random_state=random_state,
+    )
+    rng = np.random.default_rng(None if random_state is None else random_state + 1)
+    probability = sigmoid(class_sep * score)
+    y = (rng.uniform(size=n_samples) < probability).astype(np.int64)
+    return X, y
+
+
+@dataclass(frozen=True)
+class TabularDataset:
+    """A named tabular dataset with typed columns, ready to load into the DB.
+
+    ``columns`` maps name → ("INTEGER"|"FLOAT"|"TEXT", list of values);
+    ``feature_names`` and ``target`` identify the learning task.
+    """
+
+    name: str
+    columns: dict[str, tuple[str, list]]
+    feature_names: list[str]
+    target: str
+
+    @property
+    def n_rows(self) -> int:
+        first = next(iter(self.columns.values()))
+        return len(first[1])
+
+    def feature_matrix(self) -> np.ndarray:
+        """Numeric features as a float matrix (TEXT features are excluded)."""
+        arrays = []
+        for name in self.feature_names:
+            type_name, values = self.columns[name]
+            if type_name == "TEXT":
+                continue
+            arrays.append(np.asarray(values, dtype=np.float64))
+        return np.column_stack(arrays)
+
+    def target_vector(self) -> np.ndarray:
+        return np.asarray(self.columns[self.target][1])
+
+    def create_table_sql(self, table_name: str | None = None) -> str:
+        table = table_name or self.name
+        parts = ", ".join(
+            f"{name} {type_name}" for name, (type_name, _) in self.columns.items()
+        )
+        return f"CREATE TABLE {table} ({parts})"
+
+    def insert_rows(self) -> list[tuple]:
+        names = list(self.columns)
+        pylists = [self.columns[n][1] for n in names]
+        return list(zip(*pylists))
+
+
+def make_loans(n_samples: int = 500, random_state: int = 0) -> TabularDataset:
+    """Loan-approval data (the paper's financial-institution scenario)."""
+    rng = np.random.default_rng(random_state)
+    income = rng.lognormal(mean=10.8, sigma=0.5, size=n_samples)
+    credit_score = rng.normal(680, 70, size=n_samples).clip(300, 850)
+    loan_amount = rng.lognormal(mean=10.0, sigma=0.7, size=n_samples)
+    debt_ratio = (loan_amount / income).clip(0, 10)
+    years_employed = rng.integers(0, 35, size=n_samples).astype(np.float64)
+    score = (
+        0.01 * (credit_score - 680)
+        + 0.9 * (np.log(income) - 10.8)
+        - 0.8 * (debt_ratio - debt_ratio.mean())
+        + 0.03 * years_employed
+    )
+    approved = (rng.uniform(size=n_samples) < sigmoid(2.0 * score)).astype(int)
+    regions = rng.choice(["north", "south", "east", "west"], size=n_samples)
+    return TabularDataset(
+        name="loans",
+        columns={
+            "applicant_id": ("INTEGER", list(range(1, n_samples + 1))),
+            "income": ("FLOAT", [float(v) for v in income.round(2)]),
+            "credit_score": ("FLOAT", [float(v) for v in credit_score.round(1)]),
+            "loan_amount": ("FLOAT", [float(v) for v in loan_amount.round(2)]),
+            "debt_ratio": ("FLOAT", [float(v) for v in debt_ratio.round(4)]),
+            "years_employed": ("FLOAT", [float(v) for v in years_employed]),
+            "region": ("TEXT", [str(r) for r in regions]),
+            "approved": ("INTEGER", [int(v) for v in approved]),
+        },
+        feature_names=[
+            "income",
+            "credit_score",
+            "loan_amount",
+            "debt_ratio",
+            "years_employed",
+        ],
+        target="approved",
+    )
+
+
+def make_patients(n_samples: int = 500, random_state: int = 1) -> TabularDataset:
+    """Patient-readmission data (the paper's health-insurance scenario)."""
+    rng = np.random.default_rng(random_state)
+    age = rng.integers(18, 95, size=n_samples).astype(np.float64)
+    prior_admissions = rng.poisson(1.2, size=n_samples).astype(np.float64)
+    length_of_stay = rng.gamma(2.0, 2.5, size=n_samples).round(1)
+    chronic_conditions = rng.integers(0, 7, size=n_samples).astype(np.float64)
+    medication_count = (
+        chronic_conditions * 2 + rng.poisson(2.0, size=n_samples)
+    ).astype(np.float64)
+    score = (
+        0.02 * (age - 55)
+        + 0.5 * prior_admissions
+        + 0.08 * (length_of_stay - 5)
+        + 0.3 * chronic_conditions
+        - 2.0
+    )
+    readmitted = (rng.uniform(size=n_samples) < sigmoid(score)).astype(int)
+    wards = rng.choice(["cardiology", "oncology", "general", "ortho"], size=n_samples)
+    return TabularDataset(
+        name="patients",
+        columns={
+            "patient_id": ("INTEGER", list(range(1, n_samples + 1))),
+            "age": ("FLOAT", [float(v) for v in age]),
+            "prior_admissions": ("FLOAT", [float(v) for v in prior_admissions]),
+            "length_of_stay": ("FLOAT", [float(v) for v in length_of_stay]),
+            "chronic_conditions": ("FLOAT", [float(v) for v in chronic_conditions]),
+            "medication_count": ("FLOAT", [float(v) for v in medication_count]),
+            "ward": ("TEXT", [str(w) for w in wards]),
+            "readmitted": ("INTEGER", [int(v) for v in readmitted]),
+        },
+        feature_names=[
+            "age",
+            "prior_admissions",
+            "length_of_stay",
+            "chronic_conditions",
+            "medication_count",
+        ],
+        target="readmitted",
+    )
+
+
+def make_bigdata_jobs(n_samples: int = 400, random_state: int = 2) -> TabularDataset:
+    """Big-data job telemetry for parallelism prediction (the Cosmos
+    scenario of §4.1: predict tokens/parallelism, cap with business rules).
+    """
+    rng = np.random.default_rng(random_state)
+    input_gb = rng.lognormal(mean=4.0, sigma=1.2, size=n_samples)
+    operator_count = rng.integers(3, 120, size=n_samples).astype(np.float64)
+    stage_count = rng.integers(1, 24, size=n_samples).astype(np.float64)
+    historical_runtime = rng.lognormal(mean=6.0, sigma=0.8, size=n_samples)
+    best_parallelism = (
+        0.8 * np.sqrt(input_gb)
+        + 0.3 * stage_count
+        + 0.05 * operator_count
+        + rng.normal(scale=2.0, size=n_samples)
+    ).clip(1, None)
+    return TabularDataset(
+        name="bigdata_jobs",
+        columns={
+            "job_id": ("INTEGER", list(range(1, n_samples + 1))),
+            "input_gb": ("FLOAT", [float(v) for v in input_gb.round(2)]),
+            "operator_count": ("FLOAT", [float(v) for v in operator_count]),
+            "stage_count": ("FLOAT", [float(v) for v in stage_count]),
+            "historical_runtime": (
+                "FLOAT",
+                [float(v) for v in historical_runtime.round(1)],
+            ),
+            "best_parallelism": (
+                "FLOAT",
+                [float(v) for v in best_parallelism.round(1)],
+            ),
+        },
+        feature_names=[
+            "input_gb",
+            "operator_count",
+            "stage_count",
+            "historical_runtime",
+        ],
+        target="best_parallelism",
+    )
+
+
+def load_dataset_into(database, dataset: TabularDataset, table_name: str | None = None):
+    """Create and populate a table in *database* from a TabularDataset."""
+    table = table_name or dataset.name
+    database.execute(dataset.create_table_sql(table))
+    rows = dataset.insert_rows()
+    chunk = 500
+    for start in range(0, len(rows), chunk):
+        values = ", ".join(
+            "(" + ", ".join(_sql_literal(v) for v in row) + ")"
+            for row in rows[start : start + chunk]
+        )
+        database.execute(f"INSERT INTO {table} VALUES {values}")
+    return table
+
+
+def _sql_literal(value) -> str:
+    if value is None:
+        return "NULL"
+    if isinstance(value, str):
+        return "'" + value.replace("'", "''") + "'"
+    if isinstance(value, bool):
+        return "TRUE" if value else "FALSE"
+    return repr(value)

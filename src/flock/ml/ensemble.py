@@ -1,0 +1,249 @@
+"""Tree ensembles: random forests and gradient boosting."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from flock.errors import ModelError
+from flock.ml.base import (
+    BaseEstimator,
+    check_consistent,
+    check_feature_count,
+    check_numeric_2d,
+)
+from flock.ml.linear import sigmoid
+from flock.ml.tree import DecisionTreeClassifier, DecisionTreeRegressor, predict_tree
+
+
+class RandomForestRegressor(BaseEstimator):
+    """Bagged regression trees with feature subsampling."""
+
+    def __init__(
+        self,
+        n_estimators: int = 30,
+        max_depth: int = 8,
+        min_samples_leaf: int = 1,
+        max_features: str | int | None = "sqrt",
+        random_state: int | None = None,
+    ):
+        self.n_estimators = n_estimators
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.random_state = random_state
+
+    def fit(self, X, y) -> "RandomForestRegressor":
+        X = check_numeric_2d(X)
+        y = np.asarray(y, dtype=np.float64).ravel()
+        check_consistent(X, y)
+        rng = np.random.default_rng(self.random_state)
+        n, d = X.shape
+        feature_budget = _resolve_max_features(self.max_features, d)
+        self.estimators_: list[DecisionTreeRegressor] = []
+        for _ in range(self.n_estimators):
+            sample = rng.integers(0, n, size=n)
+            tree = DecisionTreeRegressor(
+                max_depth=self.max_depth,
+                min_samples_leaf=self.min_samples_leaf,
+                max_features=feature_budget,
+                random_state=int(rng.integers(0, 2**31 - 1)),
+            )
+            tree.fit(X[sample], y[sample])
+            self.estimators_.append(tree)
+        self.n_features_ = d
+        self._fitted = True
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        self._check_fitted()
+        X = check_numeric_2d(X)
+        check_feature_count(self, X, self.n_features_)
+        preds = np.stack([t.predict(X) for t in self.estimators_])
+        return preds.mean(axis=0)
+
+
+class RandomForestClassifier(BaseEstimator):
+    """Bagged classification trees; predicts by averaged probabilities."""
+
+    def __init__(
+        self,
+        n_estimators: int = 30,
+        max_depth: int = 8,
+        min_samples_leaf: int = 1,
+        max_features: str | int | None = "sqrt",
+        random_state: int | None = None,
+    ):
+        self.n_estimators = n_estimators
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.random_state = random_state
+
+    def fit(self, X, y) -> "RandomForestClassifier":
+        X = check_numeric_2d(X)
+        y = np.asarray(y).ravel()
+        check_consistent(X, y)
+        self.classes_ = np.unique(y)
+        rng = np.random.default_rng(self.random_state)
+        n, d = X.shape
+        feature_budget = _resolve_max_features(self.max_features, d)
+        self.estimators_: list[DecisionTreeClassifier] = []
+        for _ in range(self.n_estimators):
+            sample = rng.integers(0, n, size=n)
+            while len(np.unique(y[sample])) < len(self.classes_):
+                sample = rng.integers(0, n, size=n)
+            tree = DecisionTreeClassifier(
+                max_depth=self.max_depth,
+                min_samples_leaf=self.min_samples_leaf,
+                max_features=feature_budget,
+                random_state=int(rng.integers(0, 2**31 - 1)),
+            )
+            tree.fit(X[sample], y[sample])
+            self.estimators_.append(tree)
+        self.n_features_ = d
+        self._fitted = True
+        return self
+
+    def predict_proba(self, X) -> np.ndarray:
+        self._check_fitted()
+        X = check_numeric_2d(X)
+        check_feature_count(self, X, self.n_features_)
+        probas = np.stack([t.predict_proba(X) for t in self.estimators_])
+        return probas.mean(axis=0)
+
+    def predict(self, X) -> np.ndarray:
+        proba = self.predict_proba(X)
+        return self.classes_[np.argmax(proba, axis=1)]
+
+
+class GradientBoostingRegressor(BaseEstimator):
+    """Gradient boosting on squared loss with shallow regression trees."""
+
+    def __init__(
+        self,
+        n_estimators: int = 50,
+        learning_rate: float = 0.1,
+        max_depth: int = 3,
+        min_samples_leaf: int = 1,
+        random_state: int | None = None,
+    ):
+        self.n_estimators = n_estimators
+        self.learning_rate = learning_rate
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.random_state = random_state
+
+    def fit(self, X, y) -> "GradientBoostingRegressor":
+        X = check_numeric_2d(X)
+        y = np.asarray(y, dtype=np.float64).ravel()
+        check_consistent(X, y)
+        self.init_ = float(y.mean())
+        residual = y - self.init_
+        self.estimators_: list[DecisionTreeRegressor] = []
+        rng = np.random.default_rng(self.random_state)
+        for _ in range(self.n_estimators):
+            tree = DecisionTreeRegressor(
+                max_depth=self.max_depth,
+                min_samples_leaf=self.min_samples_leaf,
+                random_state=int(rng.integers(0, 2**31 - 1)),
+            )
+            tree.fit(X, residual)
+            update = tree.predict(X)
+            residual = residual - self.learning_rate * update
+            self.estimators_.append(tree)
+        self.n_features_ = X.shape[1]
+        self._fitted = True
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        self._check_fitted()
+        X = check_numeric_2d(X)
+        check_feature_count(self, X, self.n_features_)
+        out = np.full(X.shape[0], self.init_)
+        for tree in self.estimators_:
+            out += self.learning_rate * predict_tree(tree.tree_, X)[:, 0]
+        return out
+
+
+class GradientBoostingClassifier(BaseEstimator):
+    """Binary gradient boosting on logistic loss.
+
+    The additive model produces a log-odds score; ``predict_proba`` applies
+    the logistic function. This is the model family used by the Figure 4
+    inference benchmark (a GBM over featurized tabular data).
+    """
+
+    def __init__(
+        self,
+        n_estimators: int = 50,
+        learning_rate: float = 0.1,
+        max_depth: int = 3,
+        min_samples_leaf: int = 1,
+        random_state: int | None = None,
+    ):
+        self.n_estimators = n_estimators
+        self.learning_rate = learning_rate
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.random_state = random_state
+
+    def fit(self, X, y) -> "GradientBoostingClassifier":
+        X = check_numeric_2d(X)
+        y = np.asarray(y).ravel()
+        check_consistent(X, y)
+        self.classes_ = np.unique(y)
+        if len(self.classes_) != 2:
+            raise ModelError(
+                f"GradientBoostingClassifier is binary; got "
+                f"{len(self.classes_)} classes"
+            )
+        target = (y == self.classes_[1]).astype(np.float64)
+        positive_rate = float(np.clip(target.mean(), 1e-6, 1 - 1e-6))
+        self.init_ = float(np.log(positive_rate / (1.0 - positive_rate)))
+        score = np.full(X.shape[0], self.init_)
+        self.estimators_: list[DecisionTreeRegressor] = []
+        rng = np.random.default_rng(self.random_state)
+        for _ in range(self.n_estimators):
+            gradient = target - sigmoid(score)  # negative gradient of logloss
+            tree = DecisionTreeRegressor(
+                max_depth=self.max_depth,
+                min_samples_leaf=self.min_samples_leaf,
+                random_state=int(rng.integers(0, 2**31 - 1)),
+            )
+            tree.fit(X, gradient)
+            score = score + self.learning_rate * tree.predict(X)
+            self.estimators_.append(tree)
+        self.n_features_ = X.shape[1]
+        self._fitted = True
+        return self
+
+    def decision_function(self, X) -> np.ndarray:
+        self._check_fitted()
+        X = check_numeric_2d(X)
+        check_feature_count(self, X, self.n_features_)
+        score = np.full(X.shape[0], self.init_)
+        for tree in self.estimators_:
+            score += self.learning_rate * predict_tree(tree.tree_, X)[:, 0]
+        return score
+
+    def predict_proba(self, X) -> np.ndarray:
+        p1 = sigmoid(self.decision_function(X))
+        return np.column_stack([1.0 - p1, p1])
+
+    def predict(self, X) -> np.ndarray:
+        p1 = sigmoid(self.decision_function(X))
+        return np.where(p1 >= 0.5, self.classes_[1], self.classes_[0])
+
+
+def _resolve_max_features(spec: str | int | None, n_features: int) -> int | None:
+    if spec is None:
+        return None
+    if spec == "sqrt":
+        return max(1, int(np.sqrt(n_features)))
+    if spec == "log2":
+        return max(1, int(np.log2(n_features)))
+    if isinstance(spec, int):
+        if spec <= 0:
+            raise ModelError("max_features must be positive")
+        return min(spec, n_features)
+    raise ModelError(f"unknown max_features spec {spec!r}")

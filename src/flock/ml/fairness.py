@@ -1,0 +1,189 @@
+"""Fairness metrics and group reports for responsible AI.
+
+The paper's enterprise requirements put "model fairness" next to privacy and
+auditability (§1), and its survey of the field finds "interest in bias,
+fairness and responsible use of machine learning is exploding, though only
+limited solutions exist" (§3). These are the standard group-fairness
+measures, computed per protected group with the same from-scratch discipline
+as the rest of :mod:`flock.ml`:
+
+- **demographic parity**: P(ŷ=1 | group) equal across groups;
+- **equal opportunity**: TPR equal across groups;
+- **predictive equality**: FPR equal across groups.
+
+Ratios follow the four-fifths convention: a min/max ratio below 0.8 flags
+disparate impact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from flock.errors import ModelError
+
+FOUR_FIFTHS = 0.8
+
+
+@dataclass(frozen=True)
+class GroupStats:
+    """Confusion-matrix-derived rates for one protected group."""
+
+    group: object
+    size: int
+    positive_rate: float  # P(ŷ=1)
+    true_positive_rate: float | None  # None when the group has no positives
+    false_positive_rate: float | None  # None when no negatives
+
+
+@dataclass
+class FairnessReport:
+    """Per-group stats plus cross-group disparity ratios."""
+
+    groups: list[GroupStats] = field(default_factory=list)
+
+    def _rates(self, attribute: str) -> list[float]:
+        return [
+            getattr(g, attribute)
+            for g in self.groups
+            if getattr(g, attribute) is not None
+        ]
+
+    def _ratio(self, attribute: str) -> float | None:
+        rates = self._rates(attribute)
+        if len(rates) < 2:
+            return None
+        top = max(rates)
+        if top == 0.0:
+            return 1.0
+        return min(rates) / top
+
+    @property
+    def demographic_parity_ratio(self) -> float | None:
+        return self._ratio("positive_rate")
+
+    @property
+    def equal_opportunity_ratio(self) -> float | None:
+        return self._ratio("true_positive_rate")
+
+    @property
+    def predictive_equality_ratio(self) -> float | None:
+        return self._ratio("false_positive_rate")
+
+    def violations(self, threshold: float = FOUR_FIFTHS) -> list[str]:
+        """Named criteria whose disparity ratio falls below *threshold*."""
+        out = []
+        for name, value in (
+            ("demographic_parity", self.demographic_parity_ratio),
+            ("equal_opportunity", self.equal_opportunity_ratio),
+            ("predictive_equality", self.predictive_equality_ratio),
+        ):
+            if value is not None and value < threshold:
+                out.append(name)
+        return out
+
+    def is_fair(self, threshold: float = FOUR_FIFTHS) -> bool:
+        return not self.violations(threshold)
+
+    def summary(self) -> str:
+        lines = ["Fairness report (four-fifths threshold):"]
+        for g in self.groups:
+            tpr = "n/a" if g.true_positive_rate is None else (
+                f"{g.true_positive_rate:.3f}"
+            )
+            fpr = "n/a" if g.false_positive_rate is None else (
+                f"{g.false_positive_rate:.3f}"
+            )
+            lines.append(
+                f"  group={g.group!r:<12} n={g.size:<5} "
+                f"P(yhat=1)={g.positive_rate:.3f} TPR={tpr} FPR={fpr}"
+            )
+        for name, value in (
+            ("demographic parity", self.demographic_parity_ratio),
+            ("equal opportunity", self.equal_opportunity_ratio),
+            ("predictive equality", self.predictive_equality_ratio),
+        ):
+            if value is not None:
+                flag = "" if value >= FOUR_FIFTHS else "  <-- VIOLATION"
+                lines.append(f"  {name} ratio: {value:.3f}{flag}")
+        return "\n".join(lines)
+
+
+def fairness_report(
+    y_true,
+    y_pred,
+    groups,
+    positive=1,
+) -> FairnessReport:
+    """Group-fairness report for binary predictions.
+
+    *groups* holds the protected-attribute value of each row; *positive* is
+    the favourable outcome label.
+    """
+    y_true = np.asarray(y_true).ravel()
+    y_pred = np.asarray(y_pred).ravel()
+    groups = np.asarray(groups).ravel()
+    if not (len(y_true) == len(y_pred) == len(groups)):
+        raise ModelError("y_true, y_pred and groups must align")
+    if len(y_true) == 0:
+        raise ModelError("fairness_report needs at least one row")
+
+    report = FairnessReport()
+    for group in sorted(set(groups.tolist()), key=repr):
+        mask = groups == group
+        truth = y_true[mask] == positive
+        predicted = y_pred[mask] == positive
+        size = int(mask.sum())
+        positive_rate = float(predicted.mean())
+        positives = int(truth.sum())
+        negatives = size - positives
+        tpr = (
+            float(predicted[truth].mean()) if positives else None
+        )
+        fpr = (
+            float(predicted[~truth].mean()) if negatives else None
+        )
+        report.groups.append(
+            GroupStats(group, size, positive_rate, tpr, fpr)
+        )
+    return report
+
+
+def fairness_report_from_sql(
+    database,
+    table: str,
+    model_name: str,
+    group_column: str,
+    label_column: str,
+    positive=1,
+    cutoff: float = 0.5,
+) -> FairnessReport:
+    """Score *table* in the DBMS and audit the predictions for fairness.
+
+    The whole check runs through governed channels: the query is audited,
+    PREDICT requires the model privilege, and the report can be stored as
+    evidence.
+    """
+    from flock.errors import BindError
+
+    try:
+        # Prefer the calibrated probability output when the model has one
+        # (classifier graphs may put the label first).
+        result = database.execute(
+            f"SELECT {group_column}, {label_column}, "
+            f"PREDICT({model_name}) WITH probability AS p FROM {table}"
+        )
+    except BindError:
+        result = database.execute(
+            f"SELECT {group_column}, {label_column}, "
+            f"PREDICT({model_name}) AS p FROM {table}"
+        )
+    rows = result.rows()
+    groups = [r[0] for r in rows]
+    y_true = [r[1] for r in rows]
+    y_pred = [positive if r[2] >= cutoff else None for r in rows]
+    # Non-positive predictions need a concrete non-positive label:
+    negative = 0 if positive == 1 else f"not-{positive}"
+    y_pred = [negative if p is None else p for p in y_pred]
+    return fairness_report(y_true, y_pred, groups, positive=positive)

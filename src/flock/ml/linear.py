@@ -1,0 +1,170 @@
+"""Linear models: least squares, ridge and logistic regression."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from flock.errors import ModelError
+from flock.ml.base import (
+    BaseEstimator,
+    check_consistent,
+    check_feature_count,
+    check_numeric_2d,
+)
+
+
+class LinearRegression(BaseEstimator):
+    """Ordinary least squares via the normal equations (with lstsq fallback)."""
+
+    def __init__(self, fit_intercept: bool = True):
+        self.fit_intercept = fit_intercept
+
+    def fit(self, X, y) -> "LinearRegression":
+        X = check_numeric_2d(X)
+        y = np.asarray(y, dtype=np.float64).ravel()
+        check_consistent(X, y)
+        design = self._design(X)
+        solution, *_ = np.linalg.lstsq(design, y, rcond=None)
+        if self.fit_intercept:
+            self.intercept_ = float(solution[0])
+            self.coef_ = solution[1:]
+        else:
+            self.intercept_ = 0.0
+            self.coef_ = solution
+        self.n_features_ = X.shape[1]
+        self._fitted = True
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        self._check_fitted()
+        X = check_numeric_2d(X)
+        check_feature_count(self, X, self.n_features_)
+        return X @ self.coef_ + self.intercept_
+
+    def _design(self, X: np.ndarray) -> np.ndarray:
+        if not self.fit_intercept:
+            return X
+        return np.hstack([np.ones((X.shape[0], 1)), X])
+
+
+class RidgeRegression(BaseEstimator):
+    """L2-regularized least squares (closed form)."""
+
+    def __init__(self, alpha: float = 1.0, fit_intercept: bool = True):
+        if alpha < 0:
+            raise ModelError("alpha must be non-negative")
+        self.alpha = alpha
+        self.fit_intercept = fit_intercept
+
+    def fit(self, X, y) -> "RidgeRegression":
+        X = check_numeric_2d(X)
+        y = np.asarray(y, dtype=np.float64).ravel()
+        check_consistent(X, y)
+        if self.fit_intercept:
+            x_mean = X.mean(axis=0)
+            y_mean = float(y.mean())
+            Xc = X - x_mean
+            yc = y - y_mean
+        else:
+            x_mean = np.zeros(X.shape[1])
+            y_mean = 0.0
+            Xc, yc = X, y
+        gram = Xc.T @ Xc + self.alpha * np.eye(X.shape[1])
+        self.coef_ = np.linalg.solve(gram, Xc.T @ yc)
+        self.intercept_ = y_mean - float(x_mean @ self.coef_)
+        self.n_features_ = X.shape[1]
+        self._fitted = True
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        self._check_fitted()
+        X = check_numeric_2d(X)
+        check_feature_count(self, X, self.n_features_)
+        return X @ self.coef_ + self.intercept_
+
+
+def sigmoid(z: np.ndarray) -> np.ndarray:
+    """Numerically stable logistic function."""
+    out = np.empty_like(z)
+    positive = z >= 0
+    out[positive] = 1.0 / (1.0 + np.exp(-z[positive]))
+    exp_z = np.exp(z[~positive])
+    out[~positive] = exp_z / (1.0 + exp_z)
+    return out
+
+
+class LogisticRegression(BaseEstimator):
+    """Binary logistic regression trained with full-batch gradient descent.
+
+    Supports L2 regularization and L1 via proximal (soft-threshold) steps —
+    L1 produces the *sparse* models whose zero weights drive the inference
+    layer's input-column pruning.
+    """
+
+    def __init__(
+        self,
+        learning_rate: float = 0.1,
+        max_iter: int = 500,
+        tol: float = 1e-6,
+        l2: float = 0.0,
+        l1: float = 0.0,
+        fit_intercept: bool = True,
+    ):
+        self.learning_rate = learning_rate
+        self.max_iter = max_iter
+        self.tol = tol
+        self.l2 = l2
+        self.l1 = l1
+        self.fit_intercept = fit_intercept
+
+    def fit(self, X, y) -> "LogisticRegression":
+        X = check_numeric_2d(X)
+        y = np.asarray(y).ravel()
+        check_consistent(X, y)
+        self.classes_ = np.unique(y)
+        if len(self.classes_) != 2:
+            raise ModelError(
+                f"LogisticRegression is binary; got {len(self.classes_)} classes"
+            )
+        target = (y == self.classes_[1]).astype(np.float64)
+
+        n, d = X.shape
+        weights = np.zeros(d)
+        intercept = 0.0
+        step = self.learning_rate
+        for _ in range(self.max_iter):
+            z = X @ weights + intercept
+            error = sigmoid(z) - target
+            grad_w = X.T @ error / n + self.l2 * weights
+            grad_b = float(error.mean())
+            new_weights = weights - step * grad_w
+            if self.l1 > 0.0:
+                shrink = step * self.l1
+                new_weights = np.sign(new_weights) * np.maximum(
+                    np.abs(new_weights) - shrink, 0.0
+                )
+            new_intercept = intercept - step * grad_b if self.fit_intercept else 0.0
+            delta = np.abs(new_weights - weights).max() if d else 0.0
+            weights, intercept = new_weights, new_intercept
+            if delta < self.tol:
+                break
+        self.coef_ = weights
+        self.intercept_ = intercept
+        self.n_features_ = d
+        self._fitted = True
+        return self
+
+    def decision_function(self, X) -> np.ndarray:
+        self._check_fitted()
+        X = check_numeric_2d(X)
+        check_feature_count(self, X, self.n_features_)
+        return X @ self.coef_ + self.intercept_
+
+    def predict_proba(self, X) -> np.ndarray:
+        """``(n, 2)`` array of [P(class0), P(class1)]."""
+        p1 = sigmoid(self.decision_function(X))
+        return np.column_stack([1.0 - p1, p1])
+
+    def predict(self, X) -> np.ndarray:
+        p1 = sigmoid(self.decision_function(X))
+        return np.where(p1 >= 0.5, self.classes_[1], self.classes_[0])

@@ -1,0 +1,134 @@
+"""Evaluation metrics for regression and binary classification."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from flock.errors import ModelError
+
+
+def _as_1d(values) -> np.ndarray:
+    arr = np.asarray(values).ravel()
+    if arr.size == 0:
+        raise ModelError("metric input is empty")
+    return arr
+
+
+def _check_same_length(a: np.ndarray, b: np.ndarray) -> None:
+    if len(a) != len(b):
+        raise ModelError(f"length mismatch: {len(a)} vs {len(b)}")
+
+
+# -- regression -----------------------------------------------------------
+def mean_squared_error(y_true, y_pred) -> float:
+    y_true, y_pred = _as_1d(y_true), _as_1d(y_pred)
+    _check_same_length(y_true, y_pred)
+    return float(np.mean((y_true.astype(float) - y_pred.astype(float)) ** 2))
+
+
+def root_mean_squared_error(y_true, y_pred) -> float:
+    return float(np.sqrt(mean_squared_error(y_true, y_pred)))
+
+
+def mean_absolute_error(y_true, y_pred) -> float:
+    y_true, y_pred = _as_1d(y_true), _as_1d(y_pred)
+    _check_same_length(y_true, y_pred)
+    return float(np.mean(np.abs(y_true.astype(float) - y_pred.astype(float))))
+
+
+def r2_score(y_true, y_pred) -> float:
+    y_true, y_pred = _as_1d(y_true).astype(float), _as_1d(y_pred).astype(float)
+    _check_same_length(y_true, y_pred)
+    ss_res = float(np.sum((y_true - y_pred) ** 2))
+    ss_tot = float(np.sum((y_true - y_true.mean()) ** 2))
+    if ss_tot == 0.0:
+        return 0.0 if ss_res > 0 else 1.0
+    return 1.0 - ss_res / ss_tot
+
+
+# -- classification ---------------------------------------------------------
+def accuracy_score(y_true, y_pred) -> float:
+    y_true, y_pred = _as_1d(y_true), _as_1d(y_pred)
+    _check_same_length(y_true, y_pred)
+    return float(np.mean(y_true == y_pred))
+
+
+def confusion_counts(y_true, y_pred, positive) -> tuple[int, int, int, int]:
+    """(tp, fp, tn, fn) for the given positive label."""
+    y_true, y_pred = _as_1d(y_true), _as_1d(y_pred)
+    _check_same_length(y_true, y_pred)
+    actual = y_true == positive
+    predicted = y_pred == positive
+    tp = int(np.sum(actual & predicted))
+    fp = int(np.sum(~actual & predicted))
+    tn = int(np.sum(~actual & ~predicted))
+    fn = int(np.sum(actual & ~predicted))
+    return tp, fp, tn, fn
+
+
+def precision_score(y_true, y_pred, positive=1) -> float:
+    tp, fp, _, _ = confusion_counts(y_true, y_pred, positive)
+    return tp / (tp + fp) if tp + fp else 0.0
+
+
+def recall_score(y_true, y_pred, positive=1) -> float:
+    tp, _, _, fn = confusion_counts(y_true, y_pred, positive)
+    return tp / (tp + fn) if tp + fn else 0.0
+
+
+def f1_score(y_true, y_pred, positive=1) -> float:
+    precision = precision_score(y_true, y_pred, positive)
+    recall = recall_score(y_true, y_pred, positive)
+    if precision + recall == 0.0:
+        return 0.0
+    return 2 * precision * recall / (precision + recall)
+
+
+def log_loss(y_true, probabilities, eps: float = 1e-12) -> float:
+    """Binary cross-entropy; *probabilities* are P(positive class)."""
+    y = _as_1d(y_true).astype(float)
+    p = np.clip(_as_1d(probabilities).astype(float), eps, 1.0 - eps)
+    _check_same_length(y, p)
+    return float(-np.mean(y * np.log(p) + (1.0 - y) * np.log(1.0 - p)))
+
+
+def roc_auc_score(y_true, scores) -> float:
+    """AUC via the rank statistic (handles score ties)."""
+    y = _as_1d(y_true).astype(float)
+    s = _as_1d(scores).astype(float)
+    _check_same_length(y, s)
+    n_pos = float(np.sum(y == 1))
+    n_neg = float(np.sum(y == 0))
+    if n_pos == 0 or n_neg == 0:
+        raise ModelError("roc_auc_score needs both classes present")
+    order = np.argsort(s, kind="stable")
+    ranks = np.empty(len(s))
+    sorted_scores = s[order]
+    # average ranks over ties
+    i = 0
+    position = 1.0
+    while i < len(s):
+        j = i
+        while j + 1 < len(s) and sorted_scores[j + 1] == sorted_scores[i]:
+            j += 1
+        average = (position + position + (j - i)) / 2.0
+        ranks[order[i : j + 1]] = average
+        position += j - i + 1
+        i = j + 1
+    rank_sum = float(ranks[y == 1].sum())
+    return (rank_sum - n_pos * (n_pos + 1) / 2.0) / (n_pos * n_neg)
+
+
+def train_test_split(
+    X, y, test_fraction: float = 0.25, random_state: int | None = None
+):
+    """Random split into (X_train, X_test, y_train, y_test)."""
+    X = np.asarray(X)
+    y = np.asarray(y)
+    if not 0.0 < test_fraction < 1.0:
+        raise ModelError("test_fraction must be in (0, 1)")
+    rng = np.random.default_rng(random_state)
+    order = rng.permutation(len(X))
+    cut = int(round(len(X) * (1.0 - test_fraction)))
+    train, test = order[:cut], order[cut:]
+    return X[train], X[test], y[train], y[test]

@@ -1,0 +1,124 @@
+"""Pipelines: chained transformers ending in an estimator.
+
+A fitted :class:`Pipeline` is exactly the "inference pipeline" the paper
+deploys: featurizers + model, packaged as one unit so the training-time and
+scoring-time behaviour cannot drift apart.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+import numpy as np
+
+from flock.errors import ModelError
+from flock.ml.base import BaseEstimator, Transformer, check_2d
+
+
+class Pipeline(BaseEstimator):
+    """``[(name, transformer), ..., (name, estimator)]``."""
+
+    def __init__(self, steps: Sequence[tuple[str, BaseEstimator]]):
+        if not steps:
+            raise ModelError("a pipeline needs at least one step")
+        names = [name for name, _ in steps]
+        if len(set(names)) != len(names):
+            raise ModelError("pipeline step names must be unique")
+        for name, step in steps[:-1]:
+            if not isinstance(step, Transformer):
+                raise ModelError(
+                    f"intermediate step {name!r} must be a Transformer"
+                )
+        self.steps = list(steps)
+
+    @property
+    def named_steps(self) -> dict[str, BaseEstimator]:
+        return dict(self.steps)
+
+    @property
+    def final_estimator(self) -> BaseEstimator:
+        return self.steps[-1][1]
+
+    def fit(self, X, y=None) -> "Pipeline":
+        data = X
+        for _, step in self.steps[:-1]:
+            data = step.fit_transform(data, y)  # type: ignore[union-attr]
+        self.final_estimator.fit(data, y)  # type: ignore[call-arg]
+        self._fitted = True
+        return self
+
+    def _transform_through(self, X) -> Any:
+        data = X
+        for _, step in self.steps[:-1]:
+            data = step.transform(data)  # type: ignore[union-attr]
+        return data
+
+    def predict(self, X) -> np.ndarray:
+        self._check_fitted()
+        return self.final_estimator.predict(self._transform_through(X))  # type: ignore[attr-defined]
+
+    def predict_proba(self, X) -> np.ndarray:
+        self._check_fitted()
+        estimator = self.final_estimator
+        if not hasattr(estimator, "predict_proba"):
+            raise ModelError(
+                f"{type(estimator).__name__} does not expose predict_proba"
+            )
+        return estimator.predict_proba(self._transform_through(X))  # type: ignore[attr-defined]
+
+    def transform(self, X) -> Any:
+        self._check_fitted()
+        data = self._transform_through(X)
+        estimator = self.final_estimator
+        if isinstance(estimator, Transformer):
+            return estimator.transform(data)
+        return data
+
+
+class ColumnTransformer(Transformer):
+    """Apply different transformers to different column blocks.
+
+    ``transformers`` is ``[(name, transformer, column_indexes)]``; outputs
+    are horizontally concatenated in declaration order. Columns not named by
+    any transformer are dropped (matching the deployment-safe default: a
+    model only sees features it was trained on).
+    """
+
+    def __init__(
+        self,
+        transformers: Sequence[tuple[str, Transformer, Sequence[int]]],
+    ):
+        if not transformers:
+            raise ModelError("ColumnTransformer needs at least one block")
+        self.transformers = list(transformers)
+
+    def fit(self, X, y=None) -> "ColumnTransformer":
+        X = check_2d(X)
+        for name, transformer, columns in self.transformers:
+            block = X[:, list(columns)]
+            transformer.fit(block, y)
+        self.n_features_ = X.shape[1]
+        self._fitted = True
+        return self
+
+    def transform(self, X) -> np.ndarray:
+        self._check_fitted()
+        X = check_2d(X)
+        outputs = []
+        for name, transformer, columns in self.transformers:
+            block = X[:, list(columns)]
+            outputs.append(np.asarray(transformer.transform(block), dtype=np.float64))
+        return np.hstack(outputs)
+
+    def output_width(self) -> int:
+        """Total number of output features after transformation."""
+        self._check_fitted()
+        total = 0
+        for _, transformer, columns in self.transformers:
+            if hasattr(transformer, "n_output_features_"):
+                total += transformer.n_output_features_
+            elif hasattr(transformer, "n_buckets"):
+                total += transformer.n_buckets * len(list(columns))
+            else:
+                total += len(list(columns))
+        return total

@@ -1,0 +1,190 @@
+"""Feature preprocessing: scalers, encoders, imputation and text hashing.
+
+These are the "featurizers" of the paper's end-to-end prediction pipelines
+("featurizers such as text encoding", §4.1). All of them convert to
+:mod:`flock.mlgraph` operators for in-DBMS deployment.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from flock.errors import ModelError
+from flock.ml.base import Transformer, check_2d, check_feature_count, check_numeric_2d
+
+
+class StandardScaler(Transformer):
+    """Zero-mean, unit-variance scaling per feature."""
+
+    def __init__(self, with_mean: bool = True, with_std: bool = True):
+        self.with_mean = with_mean
+        self.with_std = with_std
+
+    def fit(self, X, y=None) -> "StandardScaler":
+        X = check_numeric_2d(X)
+        self.mean_ = X.mean(axis=0) if self.with_mean else np.zeros(X.shape[1])
+        if self.with_std:
+            std = X.std(axis=0)
+            std[std == 0.0] = 1.0
+            self.scale_ = std
+        else:
+            self.scale_ = np.ones(X.shape[1])
+        self.n_features_ = X.shape[1]
+        self._fitted = True
+        return self
+
+    def transform(self, X) -> np.ndarray:
+        self._check_fitted()
+        X = check_numeric_2d(X)
+        check_feature_count(self, X, self.n_features_)
+        return (X - self.mean_) / self.scale_
+
+    def inverse_transform(self, X) -> np.ndarray:
+        self._check_fitted()
+        X = check_numeric_2d(X)
+        return X * self.scale_ + self.mean_
+
+
+class MinMaxScaler(Transformer):
+    """Scale each feature into [0, 1] based on the training range."""
+
+    def fit(self, X, y=None) -> "MinMaxScaler":
+        X = check_numeric_2d(X)
+        self.min_ = X.min(axis=0)
+        data_range = X.max(axis=0) - self.min_
+        data_range[data_range == 0.0] = 1.0
+        self.range_ = data_range
+        self.n_features_ = X.shape[1]
+        self._fitted = True
+        return self
+
+    def transform(self, X) -> np.ndarray:
+        self._check_fitted()
+        X = check_numeric_2d(X)
+        check_feature_count(self, X, self.n_features_)
+        return (X - self.min_) / self.range_
+
+
+class SimpleImputer(Transformer):
+    """Replace NaNs with the per-feature mean, median or a constant."""
+
+    def __init__(self, strategy: str = "mean", fill_value: float = 0.0):
+        if strategy not in ("mean", "median", "constant"):
+            raise ModelError(f"unknown imputation strategy {strategy!r}")
+        self.strategy = strategy
+        self.fill_value = fill_value
+
+    def fit(self, X, y=None) -> "SimpleImputer":
+        X = check_numeric_2d(X)
+        if self.strategy == "constant":
+            self.statistics_ = np.full(X.shape[1], self.fill_value)
+        else:
+            import warnings
+
+            reducer = np.nanmean if self.strategy == "mean" else np.nanmedian
+            with warnings.catch_warnings():
+                # All-NaN columns legitimately fall back to fill_value.
+                warnings.simplefilter("ignore", RuntimeWarning)
+                stats = reducer(X, axis=0)
+            stats = np.where(np.isnan(stats), self.fill_value, stats)
+            self.statistics_ = stats
+        self.n_features_ = X.shape[1]
+        self._fitted = True
+        return self
+
+    def transform(self, X) -> np.ndarray:
+        self._check_fitted()
+        X = check_numeric_2d(X).copy()
+        check_feature_count(self, X, self.n_features_)
+        mask = np.isnan(X)
+        if mask.any():
+            X[mask] = np.take(self.statistics_, np.nonzero(mask)[1])
+        return X
+
+
+class OneHotEncoder(Transformer):
+    """Dense one-hot encoding of categorical columns.
+
+    Unknown categories at transform time map to the all-zeros vector
+    (``handle_unknown='ignore'`` behaviour), which is what a deployed
+    inference pipeline needs to never fail on fresh data.
+    """
+
+    def fit(self, X, y=None) -> "OneHotEncoder":
+        X = check_2d(X)
+        self.categories_: list[np.ndarray] = []
+        for j in range(X.shape[1]):
+            column = X[:, j]
+            values = sorted({v for v in column.tolist() if v is not None})
+            self.categories_.append(np.array(values, dtype=object))
+        self.n_features_ = X.shape[1]
+        self.n_output_features_ = sum(len(c) for c in self.categories_)
+        self._fitted = True
+        return self
+
+    def transform(self, X) -> np.ndarray:
+        self._check_fitted()
+        X = check_2d(X)
+        check_feature_count(self, X, self.n_features_)
+        out = np.zeros((X.shape[0], self.n_output_features_), dtype=np.float64)
+        offset = 0
+        for j, categories in enumerate(self.categories_):
+            index = {v: k for k, v in enumerate(categories.tolist())}
+            column = X[:, j]
+            for i, v in enumerate(column.tolist()):
+                k = index.get(v)
+                if k is not None:
+                    out[i, offset + k] = 1.0
+            offset += len(categories)
+        return out
+
+    def output_names(self, input_names: list[str] | None = None) -> list[str]:
+        """Readable names of the one-hot output columns."""
+        self._check_fitted()
+        names = []
+        for j, categories in enumerate(self.categories_):
+            prefix = input_names[j] if input_names else f"x{j}"
+            names.extend(f"{prefix}={c}" for c in categories.tolist())
+        return names
+
+
+class TextHasher(Transformer):
+    """Feature hashing for text: token → bucket via a stable hash.
+
+    A deterministic stand-in for bag-of-words/TF-IDF vectorizers; the same
+    hashing runs inside the DBMS via the mlgraph ``text_hash`` operator.
+    """
+
+    def __init__(self, n_buckets: int = 64, lowercase: bool = True):
+        if n_buckets <= 0:
+            raise ModelError("n_buckets must be positive")
+        self.n_buckets = n_buckets
+        self.lowercase = lowercase
+
+    def fit(self, X, y=None) -> "TextHasher":
+        self._fitted = True
+        return self
+
+    @staticmethod
+    def _hash_token(token: str) -> int:
+        # FNV-1a: stable across processes (unlike builtin hash()).
+        value = 2166136261
+        for byte in token.encode("utf-8"):
+            value = ((value ^ byte) * 16777619) & 0xFFFFFFFF
+        return value
+
+    def transform(self, X) -> np.ndarray:
+        self._check_fitted()
+        X = check_2d(X)
+        out = np.zeros((X.shape[0], self.n_buckets), dtype=np.float64)
+        for i in range(X.shape[0]):
+            for j in range(X.shape[1]):
+                text = X[i, j]
+                if text is None:
+                    continue
+                text = str(text)
+                if self.lowercase:
+                    text = text.lower()
+                for token in text.split():
+                    out[i, self._hash_token(token) % self.n_buckets] += 1.0
+        return out

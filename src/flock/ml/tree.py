@@ -1,0 +1,304 @@
+"""CART decision trees (regression and binary/multiclass classification)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from flock.errors import ModelError
+from flock.ml.base import (
+    BaseEstimator,
+    check_consistent,
+    check_feature_count,
+    check_numeric_2d,
+)
+
+
+@dataclass
+class TreeNode:
+    """One node of a fitted tree.
+
+    Internal nodes carry ``feature``/``threshold`` (go left when
+    ``x[feature] <= threshold``); leaves carry ``value`` (the mean target
+    for regression, class-probability vector for classification).
+    """
+
+    feature: int = -1
+    threshold: float = 0.0
+    left: Optional["TreeNode"] = None
+    right: Optional["TreeNode"] = None
+    value: Optional[np.ndarray] = None
+    n_samples: int = 0
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None
+
+    def depth(self) -> int:
+        if self.is_leaf:
+            return 0
+        assert self.left is not None and self.right is not None
+        return 1 + max(self.left.depth(), self.right.depth())
+
+    def node_count(self) -> int:
+        if self.is_leaf:
+            return 1
+        assert self.left is not None and self.right is not None
+        return 1 + self.left.node_count() + self.right.node_count()
+
+    def used_features(self) -> set[int]:
+        """Indexes of every feature this subtree actually splits on —
+        the tree-model half of the sparsity analysis used for input
+        column pruning in the inference optimizer."""
+        if self.is_leaf:
+            return set()
+        assert self.left is not None and self.right is not None
+        return {self.feature} | self.left.used_features() | self.right.used_features()
+
+
+class _TreeBuilder:
+    """Greedy best-first CART builder shared by both tree estimators."""
+
+    def __init__(
+        self,
+        criterion: str,
+        max_depth: int,
+        min_samples_split: int,
+        min_samples_leaf: int,
+        max_features: int | None,
+        rng: np.random.Generator,
+    ):
+        self.criterion = criterion
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.rng = rng
+
+    def build(self, X: np.ndarray, y: np.ndarray, n_classes: int) -> TreeNode:
+        return self._grow(X, y, n_classes, depth=0)
+
+    def _leaf_value(self, y: np.ndarray, n_classes: int) -> np.ndarray:
+        if self.criterion == "mse":
+            return np.array([float(y.mean())])
+        counts = np.bincount(y.astype(np.int64), minlength=n_classes)
+        return counts / counts.sum()
+
+    def _impurity_reduction(
+        self, y: np.ndarray, order: np.ndarray, n_classes: int
+    ) -> tuple[float, int] | None:
+        """Best split position for one sorted feature (gain, split_index)."""
+        n = len(y)
+        sorted_y = y[order]
+        min_leaf = self.min_samples_leaf
+        if self.criterion == "mse":
+            prefix = np.cumsum(sorted_y)
+            total = prefix[-1]
+            prefix_sq = np.cumsum(sorted_y**2)
+            total_sq = prefix_sq[-1]
+            counts = np.arange(1, n)
+            left_sum = prefix[:-1]
+            left_sq = prefix_sq[:-1]
+            right_sum = total - left_sum
+            right_sq = total_sq - left_sq
+            left_var = left_sq - left_sum**2 / counts
+            right_var = right_sq - right_sum**2 / (n - counts)
+            parent_var = total_sq - total**2 / n
+            gains = parent_var - (left_var + right_var)
+        else:  # gini
+            one_hot = np.zeros((n, n_classes))
+            one_hot[np.arange(n), sorted_y.astype(np.int64)] = 1.0
+            prefix = np.cumsum(one_hot, axis=0)
+            total = prefix[-1]
+            counts = np.arange(1, n, dtype=np.float64)
+            left_counts = prefix[:-1]
+            right_counts = total - left_counts
+            left_gini = counts - (left_counts**2).sum(axis=1) / counts
+            right_gini = (n - counts) - (right_counts**2).sum(axis=1) / (n - counts)
+            parent_gini = n - float((total**2).sum()) / n
+            gains = parent_gini - (left_gini + right_gini)
+        # A split is only valid between distinct feature values and when both
+        # sides satisfy min_samples_leaf; the caller checks value ties.
+        positions = np.arange(1, n)
+        valid = (positions >= min_leaf) & (n - positions >= min_leaf)
+        if not valid.any():
+            return None
+        gains = np.where(valid, gains, -np.inf)
+        best = int(np.argmax(gains))
+        if not np.isfinite(gains[best]) or gains[best] <= 1e-12:
+            return None
+        return float(gains[best]), best + 1
+
+    def _grow(
+        self, X: np.ndarray, y: np.ndarray, n_classes: int, depth: int
+    ) -> TreeNode:
+        node = TreeNode(value=self._leaf_value(y, n_classes), n_samples=len(y))
+        if (
+            depth >= self.max_depth
+            or len(y) < self.min_samples_split
+            or _is_pure(y, self.criterion)
+        ):
+            return node
+
+        n_features = X.shape[1]
+        if self.max_features is not None and self.max_features < n_features:
+            candidates = self.rng.choice(
+                n_features, size=self.max_features, replace=False
+            )
+        else:
+            candidates = np.arange(n_features)
+
+        best_gain = 0.0
+        best_feature = -1
+        best_threshold = 0.0
+        for j in candidates:
+            column = X[:, j]
+            order = np.argsort(column, kind="stable")
+            result = self._impurity_reduction(y, order, n_classes)
+            if result is None:
+                continue
+            gain, split = result
+            sorted_col = column[order]
+            # Move the split to a boundary between distinct values.
+            while split < len(y) and sorted_col[split] == sorted_col[split - 1]:
+                split += 1
+            if split >= len(y):
+                continue
+            if gain > best_gain:
+                best_gain = gain
+                best_feature = int(j)
+                best_threshold = float(
+                    (sorted_col[split - 1] + sorted_col[split]) / 2.0
+                )
+
+        if best_feature < 0:
+            return node
+
+        go_left = X[:, best_feature] <= best_threshold
+        if not go_left.any() or go_left.all():
+            return node
+        node.feature = best_feature
+        node.threshold = best_threshold
+        node.left = self._grow(X[go_left], y[go_left], n_classes, depth + 1)
+        node.right = self._grow(X[~go_left], y[~go_left], n_classes, depth + 1)
+        return node
+
+
+def _is_pure(y: np.ndarray, criterion: str) -> bool:
+    if criterion == "mse":
+        return bool(np.all(y == y[0]))
+    return len(np.unique(y)) == 1
+
+
+def predict_tree(root: TreeNode, X: np.ndarray) -> np.ndarray:
+    """Vectorized tree evaluation: route row blocks down the tree."""
+    first_value = root.value
+    assert first_value is not None
+    out = np.zeros((X.shape[0], len(first_value)))
+    stack: list[tuple[TreeNode, np.ndarray]] = [
+        (root, np.arange(X.shape[0], dtype=np.int64))
+    ]
+    while stack:
+        node, rows = stack.pop()
+        if len(rows) == 0:
+            continue
+        if node.is_leaf:
+            assert node.value is not None
+            out[rows] = node.value
+            continue
+        assert node.left is not None and node.right is not None
+        go_left = X[rows, node.feature] <= node.threshold
+        stack.append((node.left, rows[go_left]))
+        stack.append((node.right, rows[~go_left]))
+    return out
+
+
+class DecisionTreeRegressor(BaseEstimator):
+    """CART regression tree (variance reduction)."""
+
+    def __init__(
+        self,
+        max_depth: int = 8,
+        min_samples_split: int = 2,
+        min_samples_leaf: int = 1,
+        max_features: int | None = None,
+        random_state: int | None = None,
+    ):
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.random_state = random_state
+
+    def fit(self, X, y) -> "DecisionTreeRegressor":
+        X = check_numeric_2d(X)
+        y = np.asarray(y, dtype=np.float64).ravel()
+        check_consistent(X, y)
+        builder = _TreeBuilder(
+            "mse",
+            self.max_depth,
+            self.min_samples_split,
+            self.min_samples_leaf,
+            self.max_features,
+            np.random.default_rng(self.random_state),
+        )
+        self.tree_ = builder.build(X, y, n_classes=1)
+        self.n_features_ = X.shape[1]
+        self._fitted = True
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        self._check_fitted()
+        X = check_numeric_2d(X)
+        check_feature_count(self, X, self.n_features_)
+        return predict_tree(self.tree_, X)[:, 0]
+
+
+class DecisionTreeClassifier(BaseEstimator):
+    """CART classification tree (gini impurity)."""
+
+    def __init__(
+        self,
+        max_depth: int = 8,
+        min_samples_split: int = 2,
+        min_samples_leaf: int = 1,
+        max_features: int | None = None,
+        random_state: int | None = None,
+    ):
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.random_state = random_state
+
+    def fit(self, X, y) -> "DecisionTreeClassifier":
+        X = check_numeric_2d(X)
+        y = np.asarray(y).ravel()
+        check_consistent(X, y)
+        self.classes_, encoded = np.unique(y, return_inverse=True)
+        if len(self.classes_) < 2:
+            raise ModelError("need at least two classes")
+        builder = _TreeBuilder(
+            "gini",
+            self.max_depth,
+            self.min_samples_split,
+            self.min_samples_leaf,
+            self.max_features,
+            np.random.default_rng(self.random_state),
+        )
+        self.tree_ = builder.build(X, encoded, n_classes=len(self.classes_))
+        self.n_features_ = X.shape[1]
+        self._fitted = True
+        return self
+
+    def predict_proba(self, X) -> np.ndarray:
+        self._check_fitted()
+        X = check_numeric_2d(X)
+        check_feature_count(self, X, self.n_features_)
+        return predict_tree(self.tree_, X)
+
+    def predict(self, X) -> np.ndarray:
+        proba = self.predict_proba(X)
+        return self.classes_[np.argmax(proba, axis=1)]

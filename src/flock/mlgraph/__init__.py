@@ -1,0 +1,27 @@
+"""flock.mlgraph — a portable model-graph IR with a reference runtime.
+
+The ONNX / ONNX Runtime stand-in of the Flock architecture: fitted
+:mod:`flock.ml` estimators convert into dataflow graphs of typed operators
+("the most widely studied families of models can be uniformly represented",
+§1); the runtime executes them standalone or embedded in the DBMS, in batch
+(vectorized) or row-at-a-time (UDF-style) mode.
+"""
+
+from flock.mlgraph.analysis import used_inputs
+from flock.mlgraph.convert import to_graph
+from flock.mlgraph.graph import Graph, Node, TensorSpec
+from flock.mlgraph.runtime import GraphRuntime
+from flock.mlgraph.serialize import graph_from_dict, graph_to_dict, load_graph, save_graph
+
+__all__ = [
+    "Graph",
+    "GraphRuntime",
+    "Node",
+    "TensorSpec",
+    "graph_from_dict",
+    "graph_to_dict",
+    "load_graph",
+    "save_graph",
+    "to_graph",
+    "used_inputs",
+]

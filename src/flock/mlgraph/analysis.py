@@ -1,0 +1,156 @@
+"""Dataflow analysis over model graphs.
+
+:func:`used_inputs` computes which graph inputs can actually influence the
+outputs, by propagating column-level provenance forward through each
+operator. Zero linear weights and never-split-on tree features break the
+dependence — this is the *model sparsity* analysis behind the paper's
+"automatic pruning (projection) of unused input feature-columns" (§4.1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from flock.errors import GraphError
+from flock.mlgraph.graph import Graph, Node
+from flock.mlgraph.ops.trees import tree_dict_features
+
+# A tensor's provenance: one frozenset of input names per column (vectors
+# have width 1).
+Sources = list[frozenset[str]]
+
+
+def used_inputs(graph: Graph, weight_tolerance: float = 0.0) -> set[str]:
+    """Names of graph inputs that influence at least one output.
+
+    ``weight_tolerance`` treats |weight| <= tolerance as zero, so callers
+    can combine pruning with lossy compression.
+    """
+    provenance: dict[str, Sources] = {
+        spec.name: [frozenset([spec.name])] for spec in graph.inputs
+    }
+    for node in graph.toposorted():
+        provenance_inputs = [provenance[name] for name in node.inputs]
+        outputs = _propagate(node, provenance_inputs, weight_tolerance)
+        for name, sources in zip(node.outputs, outputs):
+            provenance[name] = sources
+    used: set[str] = set()
+    for name in graph.output_names:
+        for column_sources in provenance[name]:
+            used |= column_sources
+    return used
+
+
+def unused_inputs(graph: Graph, weight_tolerance: float = 0.0) -> set[str]:
+    return set(graph.input_names) - used_inputs(graph, weight_tolerance)
+
+
+_PASSTHROUGH = {
+    "scale",
+    "impute",
+    "sigmoid",
+    "softmax",
+    "relu",
+    "clip",
+}
+
+
+def _propagate(
+    node: Node, inputs: list[Sources], tolerance: float
+) -> list[Sources]:
+    op = node.op_type
+    if op in _PASSTHROUGH:
+        return [inputs[0]]
+    if op == "pack":
+        return [[s for sources in inputs for s in sources]]
+    if op == "concat":
+        return [[s for sources in inputs for s in sources]]
+    if op == "slice_columns":
+        (matrix,) = inputs
+        return [[matrix[i] for i in node.attrs["indices"]]]
+    if op == "pick_column":
+        (matrix,) = inputs
+        return [[matrix[int(node.attrs["index"])]]]
+    if op in ("add", "mul"):
+        left, right = inputs
+        width = max(len(left), len(right))
+        out = []
+        for i in range(width):
+            a = left[i] if i < len(left) else left[-1]
+            b = right[i] if i < len(right) else right[-1]
+            out.append(a | b)
+        return [out]
+    if op == "linear":
+        (matrix,) = inputs
+        weights = np.asarray(node.attrs["weights"], dtype=np.float64)
+        if weights.ndim == 1:
+            weights = weights.reshape(-1, 1)
+        d, k = weights.shape
+        if d != len(matrix):
+            raise GraphError(
+                f"linear weights expect {d} columns, matrix has {len(matrix)}"
+            )
+        out = []
+        for col in range(k):
+            sources: frozenset[str] = frozenset()
+            for row in range(d):
+                if abs(weights[row, col]) > tolerance:
+                    sources |= matrix[row]
+            out.append(sources)
+        return [out]
+    if op == "tree_ensemble":
+        (matrix,) = inputs
+        features: set[int] = set()
+        for tree in node.attrs["trees"]:
+            features |= tree_dict_features(tree)
+        sources = frozenset()
+        for f in features:
+            if f < len(matrix):
+                sources |= matrix[f]
+        width = _tree_output_width(node)
+        return [[sources] * width]
+    if op in ("onehot", "text_hash"):
+        (column,) = inputs
+        union = frozenset()
+        for s in column:
+            union |= s
+        width = (
+            len(node.attrs["categories"])
+            if op == "onehot"
+            else int(node.attrs["n_buckets"])
+        )
+        return [[union] * width]
+    if op in ("argmax", "threshold", "label_map"):
+        (operand,) = inputs
+        union = frozenset()
+        for s in operand:
+            union |= s
+        return [[union]]
+    raise GraphError(f"no provenance rule for operator {op!r}")
+
+
+def _tree_output_width(node: Node) -> int:
+    tree = node.attrs["trees"][0]
+    cursor = tree
+    while cursor.get("left") is not None:
+        cursor = cursor["left"]
+    width = len(cursor["value"])
+    return 1 if width == 1 else width
+
+
+def graph_size(graph: Graph) -> dict[str, int]:
+    """Rough complexity metrics: node count, tree nodes, weight count."""
+    from flock.mlgraph.ops.trees import tree_dict_nodes
+
+    tree_nodes = 0
+    weight_count = 0
+    for node in graph.nodes:
+        if node.op_type == "tree_ensemble":
+            tree_nodes += sum(tree_dict_nodes(t) for t in node.attrs["trees"])
+        elif node.op_type == "linear":
+            weight_count += int(np.asarray(node.attrs["weights"]).size)
+    return {
+        "operators": len(graph.nodes),
+        "tree_nodes": tree_nodes,
+        "weights": weight_count,
+    }

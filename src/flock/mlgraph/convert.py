@@ -1,0 +1,351 @@
+"""Fitted flock.ml estimators → model graphs.
+
+:func:`to_graph` is the deployment boundary: the training environment hands
+the registry a :class:`~flock.mlgraph.graph.Graph`, never live Python
+objects, so the scoring behaviour is fixed at conversion time (the paper's
+"packaging the entire inference pipeline ... in a way that preserves the
+exact behavior crafted by the data scientist", §2).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Sequence
+
+import numpy as np
+
+from flock.errors import GraphError
+from flock.ml.ensemble import (
+    GradientBoostingClassifier,
+    GradientBoostingRegressor,
+    RandomForestClassifier,
+    RandomForestRegressor,
+)
+from flock.ml.linear import LinearRegression, LogisticRegression, RidgeRegression
+from flock.ml.pipeline import ColumnTransformer, Pipeline
+from flock.ml.preprocess import (
+    MinMaxScaler,
+    OneHotEncoder,
+    SimpleImputer,
+    StandardScaler,
+    TextHasher,
+)
+from flock.ml.tree import DecisionTreeClassifier, DecisionTreeRegressor, TreeNode
+from flock.mlgraph.graph import Graph, Node, TensorSpec
+
+
+def tree_to_dict(node: TreeNode) -> dict:
+    """Serialize a fitted TreeNode recursively."""
+    if node.is_leaf:
+        assert node.value is not None
+        return {"value": [float(v) for v in node.value], "left": None, "right": None}
+    assert node.left is not None and node.right is not None
+    return {
+        "feature": int(node.feature),
+        "threshold": float(node.threshold),
+        "left": tree_to_dict(node.left),
+        "right": tree_to_dict(node.right),
+    }
+
+
+class _GraphBuilder:
+    """Accumulates nodes with unique tensor names."""
+
+    def __init__(self, inputs: list[TensorSpec]):
+        self.inputs = inputs
+        self.nodes: list[Node] = []
+        self._counter = itertools.count()
+
+    def fresh(self, hint: str) -> str:
+        return f"{hint}_{next(self._counter)}"
+
+    def emit(self, op_type: str, inputs: list[str], attrs: dict | None = None,
+             hint: str | None = None) -> str:
+        out = self.fresh(hint or op_type)
+        self.nodes.append(Node(op_type, inputs, [out], attrs or {}))
+        return out
+
+
+def to_graph(
+    estimator,
+    feature_names: Sequence[str],
+    name: str = "model",
+    feature_types: Sequence[str] | None = None,
+) -> Graph:
+    """Convert a fitted estimator or Pipeline to a model graph.
+
+    *feature_names* are the model's named inputs (one per raw feature
+    column); *feature_types* defaults to all-'float'. Pipelines may start
+    with a ColumnTransformer over mixed float/text columns.
+    """
+    if not getattr(estimator, "is_fitted", False):
+        raise GraphError("estimator must be fitted before conversion")
+    types = list(feature_types) if feature_types else ["float"] * len(feature_names)
+    if len(types) != len(feature_names):
+        raise GraphError("feature_types length must match feature_names")
+    inputs = [TensorSpec(n, t) for n, t in zip(feature_names, types)]
+    builder = _GraphBuilder(inputs)
+
+    if isinstance(estimator, Pipeline):
+        matrix = _convert_transformers(builder, estimator.steps[:-1], inputs)
+        final = estimator.final_estimator
+    else:
+        matrix = _pack_floats(builder, inputs)
+        final = estimator
+
+    outputs, output_kinds = _convert_model(builder, final, matrix)
+    return Graph(
+        name=name,
+        inputs=inputs,
+        outputs=outputs,
+        nodes=builder.nodes,
+        output_kinds=output_kinds,
+        metadata={"estimator": type(final).__name__},
+    )
+
+
+# ----------------------------------------------------------------------
+# Featurizer conversion
+# ----------------------------------------------------------------------
+def _pack_floats(builder: _GraphBuilder, inputs: list[TensorSpec]) -> str:
+    float_names = [s.name for s in inputs if s.dtype in ("float", "int")]
+    if not float_names:
+        raise GraphError("model has no numeric inputs to pack")
+    return builder.emit("pack", float_names, hint="features")
+
+
+def _convert_transformers(
+    builder: _GraphBuilder,
+    steps: list[tuple[str, object]],
+    inputs: list[TensorSpec],
+) -> str:
+    """Convert pipeline transformer steps; returns the feature-matrix tensor."""
+    matrix: str | None = None
+    for index, (step_name, transformer) in enumerate(steps):
+        if isinstance(transformer, ColumnTransformer):
+            if index != 0:
+                raise GraphError(
+                    "ColumnTransformer is only supported as the first step"
+                )
+            matrix = _convert_column_transformer(builder, transformer, inputs)
+            continue
+        if matrix is None:
+            matrix = _pack_floats(builder, inputs)
+        matrix = _convert_matrix_transformer(builder, transformer, matrix)
+    if matrix is None:
+        matrix = _pack_floats(builder, inputs)
+    return matrix
+
+
+def _convert_matrix_transformer(
+    builder: _GraphBuilder, transformer, matrix: str
+) -> str:
+    if isinstance(transformer, StandardScaler):
+        return builder.emit(
+            "scale",
+            [matrix],
+            {"offset": transformer.mean_, "divisor": transformer.scale_},
+        )
+    if isinstance(transformer, MinMaxScaler):
+        return builder.emit(
+            "scale",
+            [matrix],
+            {"offset": transformer.min_, "divisor": transformer.range_},
+        )
+    if isinstance(transformer, SimpleImputer):
+        return builder.emit(
+            "impute", [matrix], {"statistics": transformer.statistics_}
+        )
+    raise GraphError(
+        f"cannot convert transformer {type(transformer).__name__} on a "
+        f"feature matrix"
+    )
+
+
+def _convert_column_transformer(
+    builder: _GraphBuilder, ct: ColumnTransformer, inputs: list[TensorSpec]
+) -> str:
+    blocks: list[str] = []
+    for block_name, transformer, columns in ct.transformers:
+        column_specs = [inputs[i] for i in columns]
+        if isinstance(transformer, OneHotEncoder):
+            encoded = []
+            for spec, categories in zip(column_specs, transformer.categories_):
+                encoded.append(
+                    builder.emit(
+                        "onehot",
+                        [spec.name],
+                        {"categories": list(categories.tolist())},
+                        hint=f"onehot_{spec.name}",
+                    )
+                )
+            blocks.append(
+                encoded[0]
+                if len(encoded) == 1
+                else builder.emit("concat", encoded)
+            )
+            continue
+        if isinstance(transformer, TextHasher):
+            hashed = [
+                builder.emit(
+                    "text_hash",
+                    [spec.name],
+                    {
+                        "n_buckets": transformer.n_buckets,
+                        "lowercase": transformer.lowercase,
+                    },
+                    hint=f"hash_{spec.name}",
+                )
+                for spec in column_specs
+            ]
+            blocks.append(
+                hashed[0] if len(hashed) == 1 else builder.emit("concat", hashed)
+            )
+            continue
+        # Numeric block: pack the named columns, then apply the transformer.
+        packed = builder.emit(
+            "pack", [s.name for s in column_specs], hint=f"block_{block_name}"
+        )
+        blocks.append(_convert_matrix_transformer(builder, transformer, packed))
+    if len(blocks) == 1:
+        return blocks[0]
+    return builder.emit("concat", blocks)
+
+
+# ----------------------------------------------------------------------
+# Model conversion
+# ----------------------------------------------------------------------
+def _convert_model(
+    builder: _GraphBuilder, model, matrix: str
+) -> tuple[list[TensorSpec], dict[str, str]]:
+    if isinstance(model, (LinearRegression, RidgeRegression)):
+        score = builder.emit(
+            "linear",
+            [matrix],
+            {"weights": model.coef_, "bias": model.intercept_},
+            hint="score",
+        )
+        return [TensorSpec(score, "float")], {score: "score"}
+
+    if isinstance(model, LogisticRegression):
+        score = builder.emit(
+            "linear",
+            [matrix],
+            {"weights": model.coef_, "bias": model.intercept_},
+            hint="score",
+        )
+        return _classifier_head(builder, score, model.classes_)
+
+    if isinstance(model, (DecisionTreeRegressor,)):
+        score = builder.emit(
+            "tree_ensemble",
+            [matrix],
+            {"trees": [tree_to_dict(model.tree_)], "aggregation": "average"},
+            hint="score",
+        )
+        return [TensorSpec(score, "float")], {score: "score"}
+
+    if isinstance(model, GradientBoostingRegressor):
+        score = builder.emit(
+            "tree_ensemble",
+            [matrix],
+            {
+                "trees": [tree_to_dict(t.tree_) for t in model.estimators_],
+                "aggregation": "sum",
+                "scale": model.learning_rate,
+                "init": model.init_,
+            },
+            hint="score",
+        )
+        return [TensorSpec(score, "float")], {score: "score"}
+
+    if isinstance(model, RandomForestRegressor):
+        score = builder.emit(
+            "tree_ensemble",
+            [matrix],
+            {
+                "trees": [tree_to_dict(t.tree_) for t in model.estimators_],
+                "aggregation": "average",
+            },
+            hint="score",
+        )
+        return [TensorSpec(score, "float")], {score: "score"}
+
+    if isinstance(model, GradientBoostingClassifier):
+        score = builder.emit(
+            "tree_ensemble",
+            [matrix],
+            {
+                "trees": [tree_to_dict(t.tree_) for t in model.estimators_],
+                "aggregation": "sum",
+                "scale": model.learning_rate,
+                "init": model.init_,
+            },
+            hint="score",
+        )
+        return _classifier_head(builder, score, model.classes_)
+
+    if isinstance(model, (DecisionTreeClassifier, RandomForestClassifier)):
+        if isinstance(model, DecisionTreeClassifier):
+            trees = [tree_to_dict(model.tree_)]
+        else:
+            trees = [tree_to_dict(t.tree_) for t in model.estimators_]
+        proba_matrix = builder.emit(
+            "tree_ensemble",
+            [matrix],
+            {"trees": trees, "aggregation": "average"},
+            hint="proba_matrix",
+        )
+        index = builder.emit("argmax", [proba_matrix], hint="label_idx")
+        label = builder.emit(
+            "label_map",
+            [index],
+            {"labels": [_plain_label(c) for c in model.classes_]},
+            hint="label",
+        )
+        outputs = [TensorSpec(label, _label_dtype(model.classes_))]
+        kinds = {label: "label"}
+        if len(model.classes_) == 2:
+            probability = builder.emit(
+                "pick_column", [proba_matrix], {"index": 1}, hint="probability"
+            )
+            outputs.append(TensorSpec(probability, "float"))
+            kinds[probability] = "probability"
+        return outputs, kinds
+
+    raise GraphError(f"cannot convert model {type(model).__name__} to a graph")
+
+
+def _classifier_head(
+    builder: _GraphBuilder, score: str, classes: np.ndarray
+) -> tuple[list[TensorSpec], dict[str, str]]:
+    """score → probability → label for binary margin classifiers."""
+    probability = builder.emit("sigmoid", [score], hint="probability")
+    index = builder.emit("threshold", [probability], {"cutoff": 0.5}, hint="idx")
+    label = builder.emit(
+        "label_map",
+        [index],
+        {"labels": [_plain_label(c) for c in classes]},
+        hint="label",
+    )
+    outputs = [
+        TensorSpec(probability, "float"),
+        TensorSpec(label, _label_dtype(classes)),
+        TensorSpec(score, "float"),
+    ]
+    kinds = {probability: "probability", label: "label", score: "score"}
+    return outputs, kinds
+
+
+def _plain_label(value):
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    return str(value) if not isinstance(value, (int, float)) else value
+
+
+def _label_dtype(classes: np.ndarray) -> str:
+    if all(isinstance(_plain_label(c), int) for c in classes):
+        return "int"
+    return "text"

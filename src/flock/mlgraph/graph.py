@@ -1,0 +1,157 @@
+"""Model graph structure: typed inputs, operator nodes, named tensors."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from flock.errors import GraphError
+
+VALID_DTYPES = ("float", "int", "text")
+
+
+@dataclass(frozen=True)
+class TensorSpec:
+    """A named graph input or output.
+
+    Inputs are column vectors: one spec per model feature (``dtype`` is
+    'float', 'int' or 'text'). This column granularity is what lets the
+    inference optimizer prune *input columns* rather than opaque blobs.
+    """
+
+    name: str
+    dtype: str = "float"
+
+    def __post_init__(self) -> None:
+        if self.dtype not in VALID_DTYPES:
+            raise GraphError(f"invalid tensor dtype {self.dtype!r}")
+
+
+@dataclass
+class Node:
+    """One operator application: op_type, input/output tensor names, attrs."""
+
+    op_type: str
+    inputs: list[str]
+    outputs: list[str]
+    attrs: dict[str, Any] = field(default_factory=dict)
+
+    def __repr__(self) -> str:
+        return (
+            f"Node({self.op_type}: {', '.join(self.inputs)} -> "
+            f"{', '.join(self.outputs)})"
+        )
+
+
+class Graph:
+    """A validated dataflow graph.
+
+    ``outputs`` name the tensors returned by execution; ``output_kinds``
+    optionally tags each output ('score', 'probability', 'label') so
+    consumers (the PREDICT binder) know what they are getting.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        inputs: list[TensorSpec],
+        outputs: list[TensorSpec],
+        nodes: list[Node],
+        output_kinds: dict[str, str] | None = None,
+        metadata: dict[str, Any] | None = None,
+    ):
+        self.name = name
+        self.inputs = list(inputs)
+        self.outputs = list(outputs)
+        self.nodes = list(nodes)
+        self.output_kinds = dict(output_kinds or {})
+        self.metadata = dict(metadata or {})
+        self._validate()
+
+    # ------------------------------------------------------------------
+    @property
+    def input_names(self) -> list[str]:
+        return [spec.name for spec in self.inputs]
+
+    @property
+    def output_names(self) -> list[str]:
+        return [spec.name for spec in self.outputs]
+
+    def node_count(self) -> int:
+        return len(self.nodes)
+
+    def output_field_names(self) -> list[tuple[str, str]]:
+        """``(field_name, tensor_name)`` pairs for consumers of this model.
+
+        The field name is the output's *kind* ('probability', 'label',
+        'score') when one is tagged and unique, else the raw tensor name.
+        The PREDICT binder and the scorer both rely on this mapping, so it
+        lives here rather than being duplicated.
+        """
+        pairs: list[tuple[str, str]] = []
+        seen: set[str] = set()
+        for spec in self.outputs:
+            kind = self.output_kinds.get(spec.name)
+            field_name = kind if kind and kind not in seen else spec.name
+            seen.add(field_name)
+            pairs.append((field_name, spec.name))
+        return pairs
+
+    def producer_of(self, tensor: str) -> Node | None:
+        for node in self.nodes:
+            if tensor in node.outputs:
+                return node
+        return None
+
+    def consumers_of(self, tensor: str) -> list[Node]:
+        return [node for node in self.nodes if tensor in node.inputs]
+
+    def toposorted(self) -> list[Node]:
+        """Nodes in a valid execution order (validated at construction)."""
+        available = set(self.input_names)
+        remaining = list(self.nodes)
+        ordered: list[Node] = []
+        while remaining:
+            progressed = False
+            still: list[Node] = []
+            for node in remaining:
+                if all(i in available for i in node.inputs):
+                    ordered.append(node)
+                    available.update(node.outputs)
+                    progressed = True
+                else:
+                    still.append(node)
+            if not progressed:
+                raise GraphError(
+                    f"graph {self.name!r} has a cycle or dangling inputs: "
+                    f"{[n.op_type for n in still]}"
+                )
+            remaining = still
+        return ordered
+
+    # ------------------------------------------------------------------
+    def _validate(self) -> None:
+        seen_tensors = set(self.input_names)
+        if len(seen_tensors) != len(self.inputs):
+            raise GraphError(f"graph {self.name!r} has duplicate input names")
+        for node in self.nodes:
+            for out in node.outputs:
+                if out in seen_tensors:
+                    raise GraphError(
+                        f"tensor {out!r} produced more than once in "
+                        f"graph {self.name!r}"
+                    )
+                seen_tensors.add(out)
+        for spec in self.outputs:
+            if spec.name not in seen_tensors:
+                raise GraphError(
+                    f"graph output {spec.name!r} is never produced"
+                )
+        # toposorted() raises on cycles / dangling inputs.
+        self.toposorted()
+
+    def __repr__(self) -> str:
+        return (
+            f"Graph({self.name!r}, {len(self.inputs)} inputs, "
+            f"{len(self.nodes)} nodes, outputs={self.output_names})"
+        )

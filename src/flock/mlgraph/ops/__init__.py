@@ -1,0 +1,48 @@
+"""Operator registry for model graphs.
+
+Each operator has a name and a batch implementation
+``execute(attrs, inputs) -> outputs`` over numpy arrays. Row-at-a-time
+execution is handled by the runtime (it slices rows and calls the same
+implementations), so batch and per-row modes cannot diverge semantically.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from flock.errors import GraphError
+
+OpImpl = Callable[[dict, list[np.ndarray]], list[np.ndarray]]
+
+_REGISTRY: dict[str, OpImpl] = {}
+
+
+def register(op_type: str) -> Callable[[OpImpl], OpImpl]:
+    """Class decorator/function decorator registering an op implementation."""
+
+    def wrap(impl: OpImpl) -> OpImpl:
+        if op_type in _REGISTRY:
+            raise GraphError(f"operator {op_type!r} registered twice")
+        _REGISTRY[op_type] = impl
+        return impl
+
+    return wrap
+
+
+def lookup(op_type: str) -> OpImpl:
+    try:
+        return _REGISTRY[op_type]
+    except KeyError:
+        raise GraphError(f"unknown operator {op_type!r}") from None
+
+
+def registered_ops() -> list[str]:
+    return sorted(_REGISTRY)
+
+
+# Importing the op modules populates the registry.
+from flock.mlgraph.ops import featurize, linear, math, trees  # noqa: E402,F401
+
+__all__ = ["OpImpl", "lookup", "register", "registered_ops"]

@@ -1,0 +1,69 @@
+"""Featurizer operators: scaling, imputation, one-hot, text hashing."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from flock.mlgraph.ops import register
+
+
+@register("scale")
+def scale(attrs: dict, inputs: list[np.ndarray]) -> list[np.ndarray]:
+    """(X - offset) / divisor per column (standard and min-max scaling)."""
+    (matrix,) = inputs
+    offset = np.asarray(attrs["offset"], dtype=np.float64)
+    divisor = np.asarray(attrs["divisor"], dtype=np.float64)
+    return [(np.asarray(matrix, dtype=np.float64) - offset) / divisor]
+
+
+@register("impute")
+def impute(attrs: dict, inputs: list[np.ndarray]) -> list[np.ndarray]:
+    """Replace NaNs with per-column statistics."""
+    (matrix,) = inputs
+    out = np.asarray(matrix, dtype=np.float64).copy()
+    stats = np.asarray(attrs["statistics"], dtype=np.float64)
+    mask = np.isnan(out)
+    if mask.any():
+        out[mask] = np.take(stats, np.nonzero(mask)[1])
+    return [out]
+
+
+@register("onehot")
+def onehot(attrs: dict, inputs: list[np.ndarray]) -> list[np.ndarray]:
+    """One-hot encode a single (text/int) column; unknowns map to zeros."""
+    (column,) = inputs
+    categories = list(attrs["categories"])
+    index = {v: k for k, v in enumerate(categories)}
+    flat = np.asarray(column).reshape(-1)
+    out = np.zeros((len(flat), len(categories)), dtype=np.float64)
+    for i, v in enumerate(flat.tolist()):
+        k = index.get(v)
+        if k is not None:
+            out[i, k] = 1.0
+    return [out]
+
+
+def _fnv1a(token: str) -> int:
+    value = 2166136261
+    for byte in token.encode("utf-8"):
+        value = ((value ^ byte) * 16777619) & 0xFFFFFFFF
+    return value
+
+
+@register("text_hash")
+def text_hash(attrs: dict, inputs: list[np.ndarray]) -> list[np.ndarray]:
+    """Bag-of-hashed-tokens featurization of a text column."""
+    (column,) = inputs
+    n_buckets = int(attrs["n_buckets"])
+    lowercase = bool(attrs.get("lowercase", True))
+    flat = np.asarray(column).reshape(-1)
+    out = np.zeros((len(flat), n_buckets), dtype=np.float64)
+    for i, text in enumerate(flat.tolist()):
+        if text is None:
+            continue
+        text = str(text)
+        if lowercase:
+            text = text.lower()
+        for token in text.split():
+            out[i, _fnv1a(token) % n_buckets] += 1.0
+    return [out]

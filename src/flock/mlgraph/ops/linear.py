@@ -1,0 +1,20 @@
+"""Linear-model operator."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from flock.mlgraph.ops import register
+
+
+@register("linear")
+def linear(attrs: dict, inputs: list[np.ndarray]) -> list[np.ndarray]:
+    """``X @ weights + bias``.
+
+    ``weights`` is ``(d,)`` (vector output) or ``(d, k)``; ``bias`` is a
+    scalar or ``(k,)``.
+    """
+    (matrix,) = inputs
+    weights = np.asarray(attrs["weights"], dtype=np.float64)
+    bias = np.asarray(attrs["bias"], dtype=np.float64)
+    return [np.asarray(matrix, dtype=np.float64) @ weights + bias]

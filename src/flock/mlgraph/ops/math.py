@@ -1,0 +1,106 @@
+"""Structural and element-wise operators."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from flock.errors import GraphError
+from flock.mlgraph.ops import register
+
+
+@register("pack")
+def pack(attrs: dict, inputs: list[np.ndarray]) -> list[np.ndarray]:
+    """Stack column vectors into an ``(n, d)`` float matrix."""
+    if not inputs:
+        raise GraphError("pack needs at least one input column")
+    columns = [np.asarray(c, dtype=np.float64).reshape(-1) for c in inputs]
+    return [np.column_stack(columns)]
+
+
+@register("slice_columns")
+def slice_columns(attrs: dict, inputs: list[np.ndarray]) -> list[np.ndarray]:
+    """Select matrix columns by the ``indices`` attribute."""
+    (matrix,) = inputs
+    indices = list(attrs["indices"])
+    return [matrix[:, indices]]
+
+
+@register("pick_column")
+def pick_column(attrs: dict, inputs: list[np.ndarray]) -> list[np.ndarray]:
+    """Extract one matrix column as a vector (``index`` attribute)."""
+    (matrix,) = inputs
+    return [matrix[:, int(attrs["index"])]]
+
+
+@register("concat")
+def concat(attrs: dict, inputs: list[np.ndarray]) -> list[np.ndarray]:
+    """Horizontally concatenate matrices/columns."""
+    blocks = [
+        b.reshape(-1, 1) if b.ndim == 1 else b for b in inputs
+    ]
+    return [np.hstack(blocks)]
+
+
+@register("add")
+def add(attrs: dict, inputs: list[np.ndarray]) -> list[np.ndarray]:
+    left, right = inputs
+    return [left + right]
+
+
+@register("mul")
+def mul(attrs: dict, inputs: list[np.ndarray]) -> list[np.ndarray]:
+    left, right = inputs
+    return [left * right]
+
+
+@register("sigmoid")
+def sigmoid(attrs: dict, inputs: list[np.ndarray]) -> list[np.ndarray]:
+    (z,) = inputs
+    out = np.empty_like(z, dtype=np.float64)
+    positive = z >= 0
+    out[positive] = 1.0 / (1.0 + np.exp(-z[positive]))
+    exp_z = np.exp(z[~positive])
+    out[~positive] = exp_z / (1.0 + exp_z)
+    return [out]
+
+
+@register("softmax")
+def softmax(attrs: dict, inputs: list[np.ndarray]) -> list[np.ndarray]:
+    (z,) = inputs
+    shifted = z - z.max(axis=1, keepdims=True)
+    exp_z = np.exp(shifted)
+    return [exp_z / exp_z.sum(axis=1, keepdims=True)]
+
+
+@register("relu")
+def relu(attrs: dict, inputs: list[np.ndarray]) -> list[np.ndarray]:
+    (z,) = inputs
+    return [np.maximum(z, 0.0)]
+
+
+@register("clip")
+def clip(attrs: dict, inputs: list[np.ndarray]) -> list[np.ndarray]:
+    (z,) = inputs
+    return [np.clip(z, attrs.get("lo"), attrs.get("hi"))]
+
+
+@register("argmax")
+def argmax(attrs: dict, inputs: list[np.ndarray]) -> list[np.ndarray]:
+    (matrix,) = inputs
+    return [np.argmax(matrix, axis=1).astype(np.int64)]
+
+
+@register("threshold")
+def threshold(attrs: dict, inputs: list[np.ndarray]) -> list[np.ndarray]:
+    """1 where value >= ``cutoff`` (default 0.5), else 0."""
+    (values,) = inputs
+    cutoff = float(attrs.get("cutoff", 0.5))
+    return [(np.asarray(values, dtype=np.float64) >= cutoff).astype(np.int64)]
+
+
+@register("label_map")
+def label_map(attrs: dict, inputs: list[np.ndarray]) -> list[np.ndarray]:
+    """Map integer indexes to labels via the ``labels`` attribute."""
+    (indexes,) = inputs
+    labels = np.asarray(attrs["labels"], dtype=object)
+    return [labels[np.asarray(indexes, dtype=np.int64)]]

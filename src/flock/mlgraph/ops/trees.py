@@ -1,0 +1,82 @@
+"""Tree-ensemble operator.
+
+Trees are serialized as nested dicts: internal nodes have ``feature``,
+``threshold``, ``left``, ``right``; leaves have ``value`` (a list —
+length 1 for regression scores, class-probability vector otherwise).
+The ensemble aggregates per the ``aggregation`` attribute:
+
+- ``sum``: ``init + scale * Σ tree(x)``  (gradient boosting)
+- ``average``: mean of tree outputs       (random forests)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from flock.errors import GraphError
+from flock.mlgraph.ops import register
+
+
+def eval_tree_dict(tree: dict, matrix: np.ndarray) -> np.ndarray:
+    """Vectorized evaluation of one serialized tree: (n, len(value))."""
+    width = _leaf_width(tree)
+    out = np.zeros((matrix.shape[0], width))
+    stack = [(tree, np.arange(matrix.shape[0], dtype=np.int64))]
+    while stack:
+        node, rows = stack.pop()
+        if len(rows) == 0:
+            continue
+        if "value" in node and node.get("left") is None:
+            out[rows] = np.asarray(node["value"], dtype=np.float64)
+            continue
+        go_left = matrix[rows, int(node["feature"])] <= float(node["threshold"])
+        stack.append((node["left"], rows[go_left]))
+        stack.append((node["right"], rows[~go_left]))
+    return out
+
+
+def _leaf_width(tree: dict) -> int:
+    node = tree
+    while node.get("left") is not None:
+        node = node["left"]
+    return len(node["value"])
+
+
+def tree_dict_features(tree: dict) -> set[int]:
+    """Feature indexes this serialized tree splits on."""
+    if tree.get("left") is None:
+        return set()
+    return (
+        {int(tree["feature"])}
+        | tree_dict_features(tree["left"])
+        | tree_dict_features(tree["right"])
+    )
+
+
+def tree_dict_nodes(tree: dict) -> int:
+    if tree.get("left") is None:
+        return 1
+    return 1 + tree_dict_nodes(tree["left"]) + tree_dict_nodes(tree["right"])
+
+
+@register("tree_ensemble")
+def tree_ensemble(attrs: dict, inputs: list[np.ndarray]) -> list[np.ndarray]:
+    (matrix,) = inputs
+    matrix = np.asarray(matrix, dtype=np.float64)
+    trees = attrs["trees"]
+    aggregation = attrs.get("aggregation", "sum")
+    if not trees:
+        raise GraphError("tree_ensemble has no trees")
+    outputs = [eval_tree_dict(tree, matrix) for tree in trees]
+    stacked = np.stack(outputs)
+    if aggregation == "sum":
+        scale = float(attrs.get("scale", 1.0))
+        init = float(attrs.get("init", 0.0))
+        combined = init + scale * stacked.sum(axis=0)
+    elif aggregation == "average":
+        combined = stacked.mean(axis=0)
+    else:
+        raise GraphError(f"unknown aggregation {aggregation!r}")
+    if combined.shape[1] == 1:
+        return [combined[:, 0]]
+    return [combined]

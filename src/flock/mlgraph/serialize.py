@@ -1,0 +1,88 @@
+"""Model graph serialization (JSON).
+
+The portable "model format" of the architecture: what the registry stores in
+MODEL-typed columns and what deployment ships from the training environment
+to the DBMS. Numpy attribute arrays become nested lists; operator
+implementations coerce back with ``np.asarray``, so round-trips are exact
+for the dtypes the ops use.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from flock.errors import GraphError
+from flock.mlgraph.graph import Graph, Node, TensorSpec
+
+FORMAT_VERSION = 1
+
+
+def _plain(value: Any) -> Any:
+    """Convert numpy containers/scalars to plain JSON-compatible values."""
+    if isinstance(value, np.ndarray):
+        return _plain(value.tolist())
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, (np.bool_,)):
+        return bool(value)
+    if isinstance(value, dict):
+        return {k: _plain(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_plain(v) for v in value]
+    return value
+
+
+def graph_to_dict(graph: Graph) -> dict:
+    return {
+        "format_version": FORMAT_VERSION,
+        "name": graph.name,
+        "inputs": [{"name": s.name, "dtype": s.dtype} for s in graph.inputs],
+        "outputs": [{"name": s.name, "dtype": s.dtype} for s in graph.outputs],
+        "output_kinds": dict(graph.output_kinds),
+        "metadata": _plain(graph.metadata),
+        "nodes": [
+            {
+                "op_type": n.op_type,
+                "inputs": list(n.inputs),
+                "outputs": list(n.outputs),
+                "attrs": _plain(n.attrs),
+            }
+            for n in graph.nodes
+        ],
+    }
+
+
+def graph_from_dict(payload: dict) -> Graph:
+    version = payload.get("format_version")
+    if version != FORMAT_VERSION:
+        raise GraphError(f"unsupported graph format version {version!r}")
+    return Graph(
+        name=payload["name"],
+        inputs=[TensorSpec(s["name"], s["dtype"]) for s in payload["inputs"]],
+        outputs=[TensorSpec(s["name"], s["dtype"]) for s in payload["outputs"]],
+        nodes=[
+            Node(
+                op_type=n["op_type"],
+                inputs=list(n["inputs"]),
+                outputs=list(n["outputs"]),
+                attrs=dict(n["attrs"]),
+            )
+            for n in payload["nodes"]
+        ],
+        output_kinds=payload.get("output_kinds", {}),
+        metadata=payload.get("metadata", {}),
+    )
+
+
+def save_graph(graph: Graph, path: str | Path) -> None:
+    Path(path).write_text(json.dumps(graph_to_dict(graph)))
+
+
+def load_graph(path: str | Path) -> Graph:
+    return graph_from_dict(json.loads(Path(path).read_text()))

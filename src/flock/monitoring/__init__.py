@@ -1,0 +1,25 @@
+"""flock.monitoring — model monitoring and drift detection.
+
+The paper's lifecycle demands it twice: Figure 3 lists "Model Monitoring" as
+a differentiating feature (proprietary stacks have it, third-party mostly do
+not), and §2 notes that "as the underlying data evolves models need to be
+updated". This package watches the inputs and outputs of deployed models at
+scoring time, compares them against the training-time baseline, and flags
+drift so the lifecycle can retrain.
+"""
+
+from flock.monitoring.drift import (
+    BaselineStats,
+    DriftReport,
+    FeatureBaseline,
+    ModelMonitor,
+    MonitorHub,
+)
+
+__all__ = [
+    "BaselineStats",
+    "DriftReport",
+    "FeatureBaseline",
+    "ModelMonitor",
+    "MonitorHub",
+]

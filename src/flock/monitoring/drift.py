@@ -1,0 +1,256 @@
+"""Input/output drift detection against a training-time baseline.
+
+Per numeric feature the baseline stores decile edges from the training data;
+scoring-time observations accumulate into the same bins and drift is scored
+with the Population Stability Index (PSI):
+
+    PSI = Σ_bins (p_observed − p_baseline) · ln(p_observed / p_baseline)
+
+The conventional reading (credit-risk practice): PSI < 0.1 stable,
+0.1–0.25 moderate shift, > 0.25 action required. Prediction drift uses the
+same statistic over the model's score distribution.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from flock.errors import FlockError
+
+DEFAULT_BINS = 10
+_EPS = 1e-6
+
+
+@dataclass(frozen=True)
+class FeatureBaseline:
+    """Decile histogram of one feature at training time."""
+
+    name: str
+    edges: tuple[float, ...]  # len = bins - 1 interior edges
+    proportions: tuple[float, ...]  # len = bins, sums to 1
+    mean: float
+    std: float
+
+    @classmethod
+    def from_values(
+        cls, name: str, values: np.ndarray, bins: int = DEFAULT_BINS
+    ) -> "FeatureBaseline":
+        values = np.asarray(values, dtype=np.float64)
+        values = values[~np.isnan(values)]
+        if len(values) == 0:
+            raise FlockError(f"feature {name!r} has no baseline values")
+        quantiles = np.linspace(0, 1, bins + 1)[1:-1]
+        edges = np.unique(np.quantile(values, quantiles))
+        counts = _bin_counts(values, edges)
+        proportions = counts / counts.sum()
+        return cls(
+            name=name,
+            edges=tuple(float(e) for e in edges),
+            proportions=tuple(float(p) for p in proportions),
+            mean=float(values.mean()),
+            std=float(values.std()) or 1.0,
+        )
+
+
+def _bin_counts(values: np.ndarray, edges) -> np.ndarray:
+    indexes = np.searchsorted(np.asarray(edges), values, side="right")
+    return np.bincount(indexes, minlength=len(edges) + 1).astype(np.float64)
+
+
+def population_stability_index(
+    baseline: np.ndarray, observed: np.ndarray
+) -> float:
+    """PSI between two proportion vectors of equal length."""
+    p = np.clip(np.asarray(baseline, dtype=np.float64), _EPS, None)
+    q = np.clip(np.asarray(observed, dtype=np.float64), _EPS, None)
+    p = p / p.sum()
+    q = q / q.sum()
+    return float(np.sum((q - p) * np.log(q / p)))
+
+
+@dataclass(frozen=True)
+class BaselineStats:
+    """Training-time profile of a model: features + score distribution."""
+
+    features: dict[str, FeatureBaseline]
+    score: FeatureBaseline | None = None
+
+
+@dataclass
+class DriftReport:
+    """Drift of the observed scoring traffic vs the baseline."""
+
+    model_name: str
+    observations: int
+    feature_psi: dict[str, float] = field(default_factory=dict)
+    score_psi: float | None = None
+
+    @property
+    def max_feature_psi(self) -> float:
+        return max(self.feature_psi.values(), default=0.0)
+
+    def drifted_features(self, threshold: float = 0.25) -> list[str]:
+        return sorted(
+            name for name, psi in self.feature_psi.items() if psi > threshold
+        )
+
+    def is_drifted(self, threshold: float = 0.25) -> bool:
+        if self.max_feature_psi > threshold:
+            return True
+        return self.score_psi is not None and self.score_psi > threshold
+
+
+class ModelMonitor:
+    """Accumulates scoring-time observations for one deployed model."""
+
+    def __init__(self, model_name: str, baseline: BaselineStats):
+        self.model_name = model_name
+        self.baseline = baseline
+        self._lock = threading.Lock()
+        self._feature_counts: dict[str, np.ndarray] = {
+            name: np.zeros(len(fb.proportions))
+            for name, fb in baseline.features.items()
+        }
+        self._score_counts: np.ndarray | None = (
+            np.zeros(len(baseline.score.proportions))
+            if baseline.score is not None
+            else None
+        )
+        self.observations = 0
+
+    # ------------------------------------------------------------------
+    def observe(
+        self,
+        features: dict[str, np.ndarray],
+        scores: np.ndarray | None = None,
+    ) -> None:
+        """Record one batch of scoring inputs (and optionally outputs)."""
+        with self._lock:
+            n = 0
+            for name, values in features.items():
+                fb = self.baseline.features.get(name)
+                if fb is None:
+                    continue
+                values = np.asarray(values, dtype=np.float64)
+                values = values[~np.isnan(values)]
+                n = max(n, len(values))
+                self._feature_counts[name] += _bin_counts(values, fb.edges)
+            if (
+                scores is not None
+                and self._score_counts is not None
+                and self.baseline.score is not None
+            ):
+                scores = np.asarray(scores, dtype=np.float64)
+                self._score_counts += _bin_counts(
+                    scores, self.baseline.score.edges
+                )
+                n = max(n, len(scores))
+            self.observations += n
+
+    def report(self) -> DriftReport:
+        with self._lock:
+            feature_psi = {}
+            for name, counts in self._feature_counts.items():
+                if counts.sum() == 0:
+                    continue
+                fb = self.baseline.features[name]
+                feature_psi[name] = population_stability_index(
+                    np.asarray(fb.proportions), counts / counts.sum()
+                )
+            score_psi = None
+            if (
+                self._score_counts is not None
+                and self._score_counts.sum() > 0
+                and self.baseline.score is not None
+            ):
+                score_psi = population_stability_index(
+                    np.asarray(self.baseline.score.proportions),
+                    self._score_counts / self._score_counts.sum(),
+                )
+            return DriftReport(
+                model_name=self.model_name,
+                observations=self.observations,
+                feature_psi=feature_psi,
+                score_psi=score_psi,
+            )
+
+    def reset(self) -> None:
+        """Forget observations (e.g. after retraining)."""
+        with self._lock:
+            for counts in self._feature_counts.values():
+                counts[:] = 0.0
+            if self._score_counts is not None:
+                self._score_counts[:] = 0.0
+            self.observations = 0
+
+
+class MonitorHub:
+    """All monitors of a deployment; pluggable into the scorer.
+
+    When attached to :class:`flock.inference.predict.DefaultScorer`, every
+    in-DBMS PREDICT automatically feeds the matching monitor — model
+    monitoring without touching application queries.
+    """
+
+    def __init__(self) -> None:
+        self._monitors: dict[str, ModelMonitor] = {}
+        self._lock = threading.Lock()
+
+    def register(
+        self, model_name: str, baseline: BaselineStats
+    ) -> ModelMonitor:
+        monitor = ModelMonitor(model_name, baseline)
+        with self._lock:
+            self._monitors[model_name.lower()] = monitor
+        return monitor
+
+    def monitor(self, model_name: str) -> ModelMonitor:
+        with self._lock:
+            try:
+                return self._monitors[model_name.lower()]
+            except KeyError:
+                raise FlockError(
+                    f"no monitor registered for model {model_name!r}"
+                ) from None
+
+    def has_monitor(self, model_name: str) -> bool:
+        with self._lock:
+            return model_name.lower() in self._monitors
+
+    # Scorer hook ---------------------------------------------------------
+    def on_score(
+        self,
+        model_name: str,
+        feeds: dict[str, np.ndarray],
+        outputs: dict[str, np.ndarray],
+        score_tensor: str | None,
+    ) -> None:
+        with self._lock:
+            monitor = self._monitors.get(model_name.lower())
+        if monitor is None:
+            return
+        scores = outputs.get(score_tensor) if score_tensor else None
+        monitor.observe(feeds, scores)
+
+
+def baseline_from_training(
+    feature_names: list[str],
+    X: np.ndarray,
+    scores: np.ndarray | None = None,
+    bins: int = DEFAULT_BINS,
+) -> BaselineStats:
+    """Profile a training matrix (and optionally training-time scores)."""
+    X = np.asarray(X, dtype=np.float64)
+    features = {
+        name: FeatureBaseline.from_values(name, X[:, i], bins)
+        for i, name in enumerate(feature_names)
+    }
+    score = (
+        FeatureBaseline.from_values("__score__", np.asarray(scores), bins)
+        if scores is not None
+        else None
+    )
+    return BaselineStats(features=features, score=score)

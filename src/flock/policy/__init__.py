@@ -1,0 +1,33 @@
+"""flock.policy — bridging the model–application divide (§4.1).
+
+"Business rules and constraints are important factors that need to be taken
+into account before any action is taken": the policy engine monitors model
+outputs, applies user-defined policies (caps, floors, conditional overrides,
+vetoes) before any action reaches the application domain, maintains the
+system state and actions taken over time for debugging/explanation, and
+executes actions transactionally with rollback on failure.
+"""
+
+from flock.policy.engine import PolicyEngine
+from flock.policy.rules import (
+    CapPolicy,
+    FloorPolicy,
+    OverridePolicy,
+    Policy,
+    PolicyOutcome,
+    VetoPolicy,
+)
+from flock.policy.state import ActionRecord, Decision, SystemState
+
+__all__ = [
+    "ActionRecord",
+    "CapPolicy",
+    "Decision",
+    "FloorPolicy",
+    "OverridePolicy",
+    "Policy",
+    "PolicyEngine",
+    "PolicyOutcome",
+    "SystemState",
+    "VetoPolicy",
+]

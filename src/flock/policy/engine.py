@@ -1,0 +1,198 @@
+"""The policy engine: monitor → apply policies → act transactionally."""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Mapping
+
+from flock.errors import PolicyError
+from flock.policy.rules import Policy, PolicyOutcome
+from flock.policy.state import Decision, SystemState
+
+
+class PolicyEngine:
+    """Applies an ordered policy chain to model outputs and executes the
+    resulting actions transactionally.
+
+    The engine is generic and extensible (the paper's [28]-style module):
+    policies are user-defined objects, the decision context is an arbitrary
+    mapping of application attributes, and actions are callables (optionally
+    paired with compensations) or DBMS transactions.
+    """
+
+    def __init__(
+        self,
+        policies: list[Policy] | None = None,
+        provenance_catalog=None,
+    ):
+        self._policies: list[Policy] = []
+        self.state = SystemState()
+        # When a provenance catalog is attached, every decision becomes a
+        # DECISION entity linked to the model that scored it and the
+        # policies that governed it — end-to-end accountability (§4.1).
+        self.provenance_catalog = provenance_catalog
+        for policy in policies or []:
+            self.add_policy(policy)
+
+    # ------------------------------------------------------------------
+    # Policy management
+    # ------------------------------------------------------------------
+    def add_policy(self, policy: Policy) -> None:
+        if any(p.name == policy.name for p in self._policies):
+            raise PolicyError(f"duplicate policy name {policy.name!r}")
+        self._policies.append(policy)
+        self._policies.sort(key=lambda p: p.priority)
+
+    def remove_policy(self, name: str) -> bool:
+        before = len(self._policies)
+        self._policies = [p for p in self._policies if p.name != name]
+        return len(self._policies) != before
+
+    @property
+    def policies(self) -> list[Policy]:
+        return list(self._policies)
+
+    # ------------------------------------------------------------------
+    # Decisions
+    # ------------------------------------------------------------------
+    def decide(
+        self,
+        model_name: str,
+        raw_value: Any,
+        context: Mapping[str, Any] | None = None,
+    ) -> Decision:
+        """Run *raw_value* through the policy chain and record the decision."""
+        context = dict(context or {})
+        outcomes: list[PolicyOutcome] = []
+        value = raw_value
+        vetoed = False
+        for policy in self._policies:
+            outcome = policy.apply(value, context)
+            outcomes.append(outcome)
+            if outcome.vetoed:
+                vetoed = True
+                break
+            if outcome.applied:
+                value = outcome.value
+        decision = Decision(
+            decision_id=self.state.next_decision_id(),
+            model_name=model_name,
+            raw_value=raw_value,
+            final_value=None if vetoed else value,
+            vetoed=vetoed,
+            outcomes=tuple(outcomes),
+            context=context,
+            timestamp=time.time(),
+        )
+        self.state.record_decision(decision)
+        if self.provenance_catalog is not None:
+            self._record_provenance(decision)
+        return decision
+
+    def _record_provenance(self, decision: Decision) -> None:
+        from flock.provenance.model import EntityType, Relation
+
+        catalog = self.provenance_catalog
+        entity = catalog.register(
+            EntityType.DECISION,
+            f"decision-{decision.decision_id}",
+            properties={
+                "raw": repr(decision.raw_value),
+                "final": repr(decision.final_value),
+                "vetoed": decision.vetoed,
+            },
+        )
+        model = catalog.register(EntityType.MODEL, decision.model_name)
+        catalog.link(entity, model, Relation.SCORED_BY)
+        for outcome in decision.outcomes:
+            if outcome.applied:
+                policy = catalog.register(
+                    EntityType.POLICY, outcome.policy_name
+                )
+                catalog.link(entity, policy, Relation.GOVERNED_BY)
+
+    def decide_batch(
+        self,
+        model_name: str,
+        raw_values,
+        contexts=None,
+    ) -> list[Decision]:
+        """Vector form of :meth:`decide` (one decision per value)."""
+        raw_values = list(raw_values)
+        if contexts is None:
+            contexts = [{}] * len(raw_values)
+        contexts = list(contexts)
+        if len(contexts) != len(raw_values):
+            raise PolicyError("contexts length must match raw_values")
+        return [
+            self.decide(model_name, v, c)
+            for v, c in zip(raw_values, contexts)
+        ]
+
+    # ------------------------------------------------------------------
+    # Transactional actions
+    # ------------------------------------------------------------------
+    def act(
+        self,
+        decision: Decision,
+        action: Callable[[Any], Any],
+        compensate: Callable[[Any], None] | None = None,
+    ) -> Any:
+        """Execute *action(final_value)*; roll back via *compensate* on error.
+
+        Vetoed decisions never execute. The outcome is recorded against the
+        decision in the system state.
+        """
+        if decision.vetoed:
+            self.state.record_action(
+                decision.decision_id, "skipped_veto", "decision was vetoed"
+            )
+            return None
+        try:
+            result = action(decision.final_value)
+        except Exception as exc:
+            if compensate is not None:
+                compensate(decision.final_value)
+            self.state.record_action(
+                decision.decision_id, "rolled_back", f"{type(exc).__name__}: {exc}"
+            )
+            raise
+        self.state.record_action(decision.decision_id, "committed")
+        return result
+
+    def act_in_database(
+        self,
+        decision: Decision,
+        database,
+        statements: list[str],
+        user: str = "admin",
+    ) -> bool:
+        """Apply SQL statements for a decision as one DBMS transaction.
+
+        All statements commit atomically; any failure rolls the whole
+        transaction back and records it. Returns True on commit.
+        """
+        if decision.vetoed:
+            self.state.record_action(
+                decision.decision_id, "skipped_veto", "decision was vetoed"
+            )
+            return False
+        connection = database.connect(user)
+        connection.execute("BEGIN")
+        try:
+            for sql in statements:
+                connection.execute(sql)
+            connection.execute("COMMIT")
+        except Exception as exc:
+            if connection.in_transaction:
+                connection.execute("ROLLBACK")
+            self.state.record_action(
+                decision.decision_id,
+                "rolled_back",
+                f"{type(exc).__name__}: {exc}",
+            )
+            return False
+        self.state.record_action(
+            decision.decision_id, "committed", f"{len(statements)} statements"
+        )
+        return True

@@ -1,0 +1,182 @@
+"""User-defined policies over model outputs.
+
+A policy inspects a *decision context* — the model's raw prediction plus any
+application attributes — and may adjust or veto the value. Policies compose
+by priority; each records a human-readable reason so every final decision is
+explainable end to end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping
+
+from flock.errors import PolicyError
+
+
+@dataclass(frozen=True)
+class PolicyOutcome:
+    """What one policy did to a proposed value."""
+
+    policy_name: str
+    applied: bool
+    value: Any
+    vetoed: bool = False
+    reason: str = ""
+
+
+class Policy:
+    """Base class: override :meth:`apply`.
+
+    ``priority`` orders application (lower runs first); the value each
+    policy sees is the output of the previous one.
+    """
+
+    def __init__(self, name: str, priority: int = 100):
+        if not name:
+            raise PolicyError("policy needs a name")
+        self.name = name
+        self.priority = priority
+
+    def apply(self, value: Any, context: Mapping[str, Any]) -> PolicyOutcome:
+        raise NotImplementedError
+
+    def _pass(self, value: Any) -> PolicyOutcome:
+        return PolicyOutcome(self.name, applied=False, value=value)
+
+
+class CapPolicy(Policy):
+    """Clamp a numeric prediction to an upper bound.
+
+    The paper's concrete example: models "occasionally predict resource
+    requirements in excess of the amounts allowed by user-specified caps.
+    Business rules expressed as policies then override the model."
+    The bound may be a constant or computed from the context (e.g. a
+    per-customer cap).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        maximum: float | Callable[[Mapping[str, Any]], float],
+        priority: int = 50,
+    ):
+        super().__init__(name, priority)
+        self.maximum = maximum
+
+    def apply(self, value: Any, context: Mapping[str, Any]) -> PolicyOutcome:
+        bound = (
+            self.maximum(context) if callable(self.maximum) else self.maximum
+        )
+        if value is None or value <= bound:
+            return self._pass(value)
+        return PolicyOutcome(
+            self.name,
+            applied=True,
+            value=bound,
+            reason=f"capped {value} to {bound}",
+        )
+
+
+class FloorPolicy(Policy):
+    """Clamp a numeric prediction to a lower bound."""
+
+    def __init__(
+        self,
+        name: str,
+        minimum: float | Callable[[Mapping[str, Any]], float],
+        priority: int = 50,
+    ):
+        super().__init__(name, priority)
+        self.minimum = minimum
+
+    def apply(self, value: Any, context: Mapping[str, Any]) -> PolicyOutcome:
+        bound = (
+            self.minimum(context) if callable(self.minimum) else self.minimum
+        )
+        if value is None or value >= bound:
+            return self._pass(value)
+        return PolicyOutcome(
+            self.name,
+            applied=True,
+            value=bound,
+            reason=f"raised {value} to {bound}",
+        )
+
+
+class OverridePolicy(Policy):
+    """Replace the value when a condition over the context holds."""
+
+    def __init__(
+        self,
+        name: str,
+        condition: Callable[[Any, Mapping[str, Any]], bool],
+        replacement: Any | Callable[[Any, Mapping[str, Any]], Any],
+        reason: str = "",
+        priority: int = 60,
+    ):
+        super().__init__(name, priority)
+        self.condition = condition
+        self.replacement = replacement
+        self.reason = reason
+
+    def apply(self, value: Any, context: Mapping[str, Any]) -> PolicyOutcome:
+        if not self.condition(value, context):
+            return self._pass(value)
+        new_value = (
+            self.replacement(value, context)
+            if callable(self.replacement)
+            else self.replacement
+        )
+        return PolicyOutcome(
+            self.name,
+            applied=True,
+            value=new_value,
+            reason=self.reason or f"override {value!r} -> {new_value!r}",
+        )
+
+
+class VetoPolicy(Policy):
+    """Block the action entirely when a condition holds.
+
+    Vetoed decisions never reach the application; the engine records them
+    for audit/debugging ("automate it, and don't get me sued", §3).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        condition: Callable[[Any, Mapping[str, Any]], bool],
+        reason: str = "",
+        priority: int = 10,
+    ):
+        super().__init__(name, priority)
+        self.condition = condition
+        self.reason = reason
+
+    def apply(self, value: Any, context: Mapping[str, Any]) -> PolicyOutcome:
+        if not self.condition(value, context):
+            return self._pass(value)
+        return PolicyOutcome(
+            self.name,
+            applied=True,
+            value=value,
+            vetoed=True,
+            reason=self.reason or "vetoed by policy",
+        )
+
+
+class LambdaPolicy(Policy):
+    """Fully custom policy from a callable (for tests and power users)."""
+
+    def __init__(
+        self,
+        name: str,
+        fn: Callable[[Any, Mapping[str, Any]], PolicyOutcome],
+        priority: int = 100,
+    ):
+        super().__init__(name, priority)
+        self.fn = fn
+
+    def apply(self, value: Any, context: Mapping[str, Any]) -> PolicyOutcome:
+        return self.fn(value, context)

@@ -1,0 +1,138 @@
+"""Decision and action history.
+
+"It also maintains the system state and actions taken over time allowing to
+easily debug and explain the system's actions" (§4.1): every decision keeps
+the raw model output, the chain of policy outcomes that transformed it, and
+the final action's result — so :meth:`SystemState.explain` reconstructs why
+the application did what it did.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any
+
+from flock.errors import PolicyError
+from flock.policy.rules import PolicyOutcome
+
+
+@dataclass(frozen=True)
+class Decision:
+    """The result of running model output through the policy chain."""
+
+    decision_id: int
+    model_name: str
+    raw_value: Any
+    final_value: Any
+    vetoed: bool
+    outcomes: tuple[PolicyOutcome, ...]
+    context: dict[str, Any]
+    timestamp: float
+
+    @property
+    def overridden(self) -> bool:
+        return any(o.applied for o in self.outcomes)
+
+    @property
+    def applied_policies(self) -> list[str]:
+        return [o.policy_name for o in self.outcomes if o.applied]
+
+
+@dataclass(frozen=True)
+class ActionRecord:
+    """One attempted application-domain action for a decision."""
+
+    decision_id: int
+    status: str  # 'committed' | 'rolled_back' | 'skipped_veto'
+    detail: str
+    timestamp: float
+
+
+class SystemState:
+    """Thread-safe store of decisions and actions."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._decisions: list[Decision] = []
+        self._actions: list[ActionRecord] = []
+        self._ids = itertools.count(1)
+
+    def next_decision_id(self) -> int:
+        return next(self._ids)
+
+    def record_decision(self, decision: Decision) -> None:
+        with self._lock:
+            self._decisions.append(decision)
+
+    def record_action(
+        self, decision_id: int, status: str, detail: str = ""
+    ) -> ActionRecord:
+        record = ActionRecord(decision_id, status, detail, time.time())
+        with self._lock:
+            self._actions.append(record)
+        return record
+
+    # ------------------------------------------------------------------
+    def decisions(
+        self,
+        model_name: str | None = None,
+        overridden_only: bool = False,
+        vetoed_only: bool = False,
+    ) -> list[Decision]:
+        with self._lock:
+            snapshot = list(self._decisions)
+        out = []
+        for d in snapshot:
+            if model_name is not None and d.model_name != model_name:
+                continue
+            if overridden_only and not d.overridden:
+                continue
+            if vetoed_only and not d.vetoed:
+                continue
+            out.append(d)
+        return out
+
+    def actions(self, decision_id: int | None = None) -> list[ActionRecord]:
+        with self._lock:
+            snapshot = list(self._actions)
+        if decision_id is None:
+            return snapshot
+        return [a for a in snapshot if a.decision_id == decision_id]
+
+    def decision(self, decision_id: int) -> Decision:
+        with self._lock:
+            for d in self._decisions:
+                if d.decision_id == decision_id:
+                    return d
+        raise PolicyError(f"unknown decision {decision_id}")
+
+    def explain(self, decision_id: int) -> str:
+        """A human-readable trace: model output → policies → final action."""
+        decision = self.decision(decision_id)
+        lines = [
+            f"decision {decision.decision_id} (model={decision.model_name})",
+            f"  raw model output: {decision.raw_value!r}",
+        ]
+        for outcome in decision.outcomes:
+            if outcome.applied:
+                verdict = "VETO" if outcome.vetoed else f"-> {outcome.value!r}"
+                lines.append(
+                    f"  policy {outcome.policy_name}: {verdict} ({outcome.reason})"
+                )
+            else:
+                lines.append(f"  policy {outcome.policy_name}: pass")
+        lines.append(
+            f"  final: {'VETOED' if decision.vetoed else repr(decision.final_value)}"
+        )
+        for action in self.actions(decision.decision_id):
+            lines.append(f"  action: {action.status} {action.detail}".rstrip())
+        return "\n".join(lines)
+
+    def override_rate(self, model_name: str | None = None) -> float:
+        decisions = self.decisions(model_name)
+        if not decisions:
+            return 0.0
+        return sum(1 for d in decisions if d.overridden) / len(decisions)

@@ -1,0 +1,33 @@
+"""flock.provenance — end-to-end provenance for EGML workloads (§4.2).
+
+Three modules mirroring the paper's solution:
+
+- :mod:`flock.provenance.model` — the polymorphic + temporal provenance data
+  model (challenge C1);
+- :mod:`flock.provenance.sql_capture` — eager and lazy SQL capture
+  (challenge C2, playing the role Apache Calcite plays in the paper);
+- :mod:`flock.provenance.py_capture` — Python static-analysis capture with
+  an ML-API knowledge base;
+- :mod:`flock.provenance.catalog` — the versioned catalog bridging the two
+  (challenge C3, the Apache Atlas stand-in);
+- :mod:`flock.provenance.compress` — compression/summarization keeping the
+  provenance graph tractable.
+"""
+
+from flock.provenance.catalog import ProvenanceCatalog
+from flock.provenance.compress import compress_provenance
+from flock.provenance.model import Entity, EntityType, ProvenanceEdge, ProvenanceGraph
+from flock.provenance.py_capture import PythonProvenanceCapture, ScriptAnalysis
+from flock.provenance.sql_capture import SQLProvenanceCapture
+
+__all__ = [
+    "Entity",
+    "EntityType",
+    "ProvenanceCatalog",
+    "ProvenanceEdge",
+    "ProvenanceGraph",
+    "PythonProvenanceCapture",
+    "SQLProvenanceCapture",
+    "ScriptAnalysis",
+    "compress_provenance",
+]

@@ -1,0 +1,159 @@
+"""The provenance catalog (the Apache Atlas stand-in).
+
+Stores all provenance information and acts as the bridge between the SQL
+and Python provenance modules (challenge C3): both register entities by
+qualified name here, so a Python script's training dataset and a DBMS table
+resolve to the *same* entity and cross-system lineage falls out of the
+graph. All registrations are versioned: re-registering a qualified name
+creates a new version entity chained to its predecessor (challenge C1's
+temporal dimension).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any
+
+from flock.provenance.model import (
+    Entity,
+    EntityType,
+    ProvenanceEdge,
+    ProvenanceGraph,
+    Relation,
+)
+
+
+class ProvenanceCatalog:
+    """A thread-safe, versioned registry over a ProvenanceGraph."""
+
+    def __init__(self) -> None:
+        self.graph = ProvenanceGraph()
+        self._lock = threading.RLock()
+        # qualified name → list of entity ids (version chain, oldest first)
+        self._by_name: dict[str, list[str]] = {}
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def register(
+        self,
+        entity_type: EntityType,
+        name: str,
+        properties: dict[str, Any] | None = None,
+        new_version: bool = False,
+    ) -> Entity:
+        """Register (or look up) an entity by qualified name.
+
+        With ``new_version=True`` a fresh version is appended to the chain
+        and linked ``PRECEDES`` from the previous version; otherwise the
+        latest existing version is returned unchanged.
+        """
+        qualified = f"{entity_type.value.lower()}:{name.lower()}"
+        with self._lock:
+            chain = self._by_name.get(qualified)
+            if chain and not new_version:
+                return self.graph.entity(chain[-1])
+            version = len(chain) + 1 if chain else 1
+            entity = Entity(
+                entity_id=self.graph.new_entity_id(entity_type.value.lower()),
+                entity_type=entity_type,
+                name=name,
+                version=version,
+                properties=dict(properties or {}),
+            )
+            self.graph.add_entity(entity)
+            if chain:
+                self.graph.add_edge(
+                    ProvenanceEdge(chain[-1], entity.entity_id, Relation.PRECEDES)
+                )
+            self._by_name.setdefault(qualified, []).append(entity.entity_id)
+            return entity
+
+    def link(
+        self,
+        src: Entity,
+        dst: Entity,
+        relation: Relation,
+        properties: dict[str, Any] | None = None,
+    ) -> ProvenanceEdge:
+        with self._lock:
+            return self.graph.add_edge(
+                ProvenanceEdge(
+                    src.entity_id,
+                    dst.entity_id,
+                    relation,
+                    dict(properties or {}),
+                )
+            )
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def find(self, entity_type: EntityType, name: str) -> Entity | None:
+        """The latest version registered under this qualified name."""
+        qualified = f"{entity_type.value.lower()}:{name.lower()}"
+        with self._lock:
+            chain = self._by_name.get(qualified)
+            if not chain:
+                return None
+            return self.graph.entity(chain[-1])
+
+    def versions_of(self, entity_type: EntityType, name: str) -> list[Entity]:
+        qualified = f"{entity_type.value.lower()}:{name.lower()}"
+        with self._lock:
+            chain = self._by_name.get(qualified, [])
+            return [self.graph.entity(eid) for eid in chain]
+
+    def search(self, entity_type: EntityType) -> list[Entity]:
+        return self.graph.entities(entity_type)
+
+    # ------------------------------------------------------------------
+    # Cross-system queries (the point of the bridge)
+    # ------------------------------------------------------------------
+    def models_depending_on_column(
+        self, table_name: str, column_name: str
+    ) -> list[Entity]:
+        """Models whose training lineage reaches the given DB column —
+        the paper's C3 motivating example (invalidate models on schema
+        change).
+
+        The walk follows incoming edges but never *through* container
+        entities (TABLE/TABLE_VERSION): a model that merely trained on the
+        same table is not a dependant of this particular column.
+        """
+        column = self.find(EntityType.COLUMN, f"{table_name}.{column_name}")
+        if column is None:
+            return []
+        containers = {EntityType.TABLE, EntityType.TABLE_VERSION}
+        seen = {column.entity_id}
+        frontier = [column.entity_id]
+        hits: list[Entity] = []
+        while frontier:
+            next_frontier: list[str] = []
+            for node in frontier:
+                for edge in self.graph.edges(dst_id=node):
+                    src = edge.src_id
+                    if src in seen:
+                        continue
+                    seen.add(src)
+                    entity = self.graph.entity(src)
+                    if entity.entity_type in (
+                        EntityType.MODEL,
+                        EntityType.MODEL_VERSION,
+                    ):
+                        hits.append(entity)
+                    if entity.entity_type not in containers:
+                        next_frontier.append(src)
+            frontier = next_frontier
+        return hits
+
+    @property
+    def size(self) -> int:
+        return self.graph.size
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "nodes": self.graph.node_count,
+            "edges": self.graph.edge_count,
+            "size": self.graph.size,
+        }

@@ -1,0 +1,138 @@
+"""Provenance graph compression and summarization.
+
+The paper's Table 1 experiment finds the provenance data model "can become
+substantially large in size (e.g., a table having as many versions as the
+insertions that have happened to it)" and proposes optimized capture
+"through compression and summarization". This module implements both:
+
+- **version-chain summarization**: a table's N version entities collapse to
+  first + last + a count property;
+- **edge deduplication**: repeated (src, dst, relation) edges collapse to
+  one edge carrying a multiplicity property.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from flock.provenance.model import (
+    Entity,
+    EntityType,
+    ProvenanceEdge,
+    ProvenanceGraph,
+    Relation,
+)
+
+
+@dataclass(frozen=True)
+class CompressionReport:
+    nodes_before: int
+    edges_before: int
+    nodes_after: int
+    edges_after: int
+
+    @property
+    def size_before(self) -> int:
+        return self.nodes_before + self.edges_before
+
+    @property
+    def size_after(self) -> int:
+        return self.nodes_after + self.edges_after
+
+    @property
+    def ratio(self) -> float:
+        if self.size_before == 0:
+            return 1.0
+        return self.size_after / self.size_before
+
+
+def compress_provenance(
+    graph: ProvenanceGraph,
+    summarize_versions: bool = True,
+    dedupe_edges: bool = True,
+) -> tuple[ProvenanceGraph, CompressionReport]:
+    """A compressed copy of *graph* plus a before/after report."""
+    keep: dict[str, Entity] = {e.entity_id: e for e in graph.entities()}
+    redirect: dict[str, str] = {}
+
+    if summarize_versions:
+        chains = _version_chains(graph)
+        for chain in chains:
+            if len(chain) <= 2:
+                continue
+            first, last = chain[0], chain[-1]
+            collapsed = Entity(
+                entity_id=last.entity_id,
+                entity_type=last.entity_type,
+                name=last.name,
+                version=last.version,
+                properties={
+                    **last.properties,
+                    "collapsed_versions": len(chain),
+                    "first_version": first.version,
+                },
+                created_at=last.created_at,
+            )
+            keep[last.entity_id] = collapsed
+            for middle in chain[:-1]:
+                if middle.entity_id != last.entity_id:
+                    keep.pop(middle.entity_id, None)
+                    redirect[middle.entity_id] = last.entity_id
+
+    out = ProvenanceGraph()
+    for entity in keep.values():
+        out.add_entity(entity)
+
+    seen_edges: dict[tuple[str, str, Relation], int] = {}
+    materialized: dict[tuple[str, str, Relation], ProvenanceEdge] = {}
+    for edge in graph.edges():
+        src = redirect.get(edge.src_id, edge.src_id)
+        dst = redirect.get(edge.dst_id, edge.dst_id)
+        if src not in keep or dst not in keep or src == dst:
+            continue
+        key = (src, dst, edge.relation)
+        if dedupe_edges:
+            if key in seen_edges:
+                seen_edges[key] += 1
+                continue
+            seen_edges[key] = 1
+            materialized[key] = ProvenanceEdge(
+                src, dst, edge.relation, dict(edge.properties)
+            )
+        else:
+            out.add_edge(ProvenanceEdge(src, dst, edge.relation, edge.properties))
+    if dedupe_edges:
+        for key, edge in materialized.items():
+            count = seen_edges[key]
+            if count > 1:
+                edge = ProvenanceEdge(
+                    edge.src_id,
+                    edge.dst_id,
+                    edge.relation,
+                    {**edge.properties, "multiplicity": count},
+                )
+            out.add_edge(edge)
+
+    report = CompressionReport(
+        nodes_before=graph.node_count,
+        edges_before=graph.edge_count,
+        nodes_after=out.node_count,
+        edges_after=out.edge_count,
+    )
+    return out, report
+
+
+def _version_chains(graph: ProvenanceGraph) -> list[list[Entity]]:
+    """Maximal version chains (TABLE_VERSION and versioned COLUMN entities),
+    oldest first."""
+    by_name: dict[tuple[EntityType, str], list[Entity]] = {}
+    for entity_type in (EntityType.TABLE_VERSION, EntityType.COLUMN):
+        for entity in graph.entities(entity_type):
+            by_name.setdefault(
+                (entity_type, entity.name.lower()), []
+            ).append(entity)
+    chains = []
+    for versions in by_name.values():
+        versions.sort(key=lambda e: e.version)
+        chains.append(versions)
+    return chains

@@ -1,0 +1,157 @@
+"""Provenance graph export: JSON interchange and Graphviz DOT.
+
+The catalog is the system of record; exports exist for the two things
+regulators and engineers actually do with provenance — hand it to another
+system (JSON) and look at it (DOT).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from flock.errors import ProvenanceError
+from flock.provenance.model import (
+    Entity,
+    EntityType,
+    ProvenanceEdge,
+    ProvenanceGraph,
+    Relation,
+)
+
+FORMAT_VERSION = 1
+
+_DOT_COLORS = {
+    EntityType.TABLE: "lightblue",
+    EntityType.TABLE_VERSION: "azure",
+    EntityType.COLUMN: "lightcyan",
+    EntityType.QUERY: "lightyellow",
+    EntityType.SCRIPT: "lightyellow",
+    EntityType.DATASET: "lightgreen",
+    EntityType.MODEL: "lightpink",
+    EntityType.MODEL_VERSION: "pink",
+    EntityType.HYPERPARAMETER: "lavender",
+    EntityType.METRIC: "lavender",
+    EntityType.TRAINING_RUN: "wheat",
+    EntityType.FEATURE: "lightcyan",
+    EntityType.POLICY: "gray90",
+    EntityType.DECISION: "gray80",
+}
+
+
+def graph_to_json(graph: ProvenanceGraph) -> dict:
+    """A JSON-compatible dict of the whole graph."""
+    return {
+        "format_version": FORMAT_VERSION,
+        "entities": [
+            {
+                "entity_id": e.entity_id,
+                "entity_type": e.entity_type.value,
+                "name": e.name,
+                "version": e.version,
+                "properties": _jsonable(e.properties),
+                "created_at": e.created_at,
+            }
+            for e in graph.entities()
+        ],
+        "edges": [
+            {
+                "src_id": edge.src_id,
+                "dst_id": edge.dst_id,
+                "relation": edge.relation.value,
+                "properties": _jsonable(edge.properties),
+            }
+            for edge in graph.edges()
+        ],
+    }
+
+
+def graph_from_json(payload: dict) -> ProvenanceGraph:
+    """Rebuild a graph from :func:`graph_to_json` output."""
+    if payload.get("format_version") != FORMAT_VERSION:
+        raise ProvenanceError(
+            f"unsupported provenance export version "
+            f"{payload.get('format_version')!r}"
+        )
+    graph = ProvenanceGraph()
+    for e in payload["entities"]:
+        graph.add_entity(
+            Entity(
+                entity_id=e["entity_id"],
+                entity_type=EntityType(e["entity_type"]),
+                name=e["name"],
+                version=e["version"],
+                properties=dict(e["properties"]),
+                created_at=e["created_at"],
+            )
+        )
+    for edge in payload["edges"]:
+        graph.add_edge(
+            ProvenanceEdge(
+                edge["src_id"],
+                edge["dst_id"],
+                Relation(edge["relation"]),
+                dict(edge["properties"]),
+            )
+        )
+    return graph
+
+
+def save_provenance(graph: ProvenanceGraph, path: str | Path) -> None:
+    Path(path).write_text(json.dumps(graph_to_json(graph)))
+
+
+def load_provenance(path: str | Path) -> ProvenanceGraph:
+    return graph_from_json(json.loads(Path(path).read_text()))
+
+
+def graph_to_dot(
+    graph: ProvenanceGraph,
+    max_entities: int | None = None,
+) -> str:
+    """Graphviz DOT text (optionally truncated for readability)."""
+    entities = graph.entities()
+    if max_entities is not None:
+        entities = entities[:max_entities]
+    included = {e.entity_id for e in entities}
+    lines = [
+        "digraph provenance {",
+        "  rankdir=LR;",
+        "  node [shape=box, style=filled];",
+    ]
+    for e in entities:
+        label = _escape(f"{e.entity_type.value}\\n{e.name}"
+                        + (f" v{e.version}" if e.version > 1 else ""))
+        color = _DOT_COLORS.get(e.entity_type, "white")
+        lines.append(
+            f'  "{e.entity_id}" [label="{label}", fillcolor="{color}"];'
+        )
+    for edge in graph.edges():
+        if edge.src_id in included and edge.dst_id in included:
+            lines.append(
+                f'  "{edge.src_id}" -> "{edge.dst_id}" '
+                f'[label="{edge.relation.value}"];'
+            )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def _jsonable(properties: dict) -> dict:
+    out = {}
+    for key, value in properties.items():
+        if isinstance(value, (str, int, float, bool)) or value is None:
+            out[key] = value
+        elif isinstance(value, dict):
+            out[key] = _jsonable(value)
+        elif isinstance(value, (list, tuple)):
+            out[key] = [
+                v if isinstance(v, (str, int, float, bool)) else repr(v)
+                for v in value
+            ]
+        else:
+            out[key] = repr(value)
+    return out
+
+
+def _escape(text: str) -> str:
+    return text.replace('"', '\\"')

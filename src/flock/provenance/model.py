@@ -1,0 +1,220 @@
+"""The provenance data model (challenge C1).
+
+*Polymorphic*: entities cover tables, columns, queries, scripts, datasets,
+models, hyperparameters and metrics in one typed graph. *Temporal*: entities
+carry versions; a write to a table creates a new TABLE_VERSION entity chained
+to its predecessor, so "a model may have multiple versions, one for each
+re-run of a training pipeline" is representable directly.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+import time
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+from flock.errors import ProvenanceError
+
+
+class EntityType(enum.Enum):
+    TABLE = "TABLE"
+    TABLE_VERSION = "TABLE_VERSION"
+    COLUMN = "COLUMN"
+    QUERY = "QUERY"
+    SCRIPT = "SCRIPT"
+    DATASET = "DATASET"
+    MODEL = "MODEL"
+    MODEL_VERSION = "MODEL_VERSION"
+    HYPERPARAMETER = "HYPERPARAMETER"
+    METRIC = "METRIC"
+    FEATURE = "FEATURE"
+    TRAINING_RUN = "TRAINING_RUN"
+    POLICY = "POLICY"
+    DECISION = "DECISION"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+class Relation(enum.Enum):
+    READS = "READS"  # query/script → table/column/dataset
+    WRITES = "WRITES"  # query → table
+    CONTAINS = "CONTAINS"  # table → column
+    VERSION_OF = "VERSION_OF"  # table_version → table
+    PRECEDES = "PRECEDES"  # version N → version N+1
+    TRAINED_ON = "TRAINED_ON"  # model → dataset/table
+    PRODUCES = "PRODUCES"  # script/run → model
+    CONFIGURED_BY = "CONFIGURED_BY"  # model → hyperparameter
+    EVALUATED_BY = "EVALUATED_BY"  # model → metric
+    DERIVES = "DERIVES"  # generic derivation
+    SCORED_BY = "SCORED_BY"  # decision → model_version
+    GOVERNED_BY = "GOVERNED_BY"  # decision → policy
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass(frozen=True)
+class Entity:
+    """A node of the provenance graph."""
+
+    entity_id: str
+    entity_type: EntityType
+    name: str
+    version: int = 1
+    properties: dict[str, Any] = field(default_factory=dict, compare=False)
+    created_at: float = field(default_factory=time.time, compare=False)
+
+    @property
+    def qualified_name(self) -> str:
+        return f"{self.entity_type.value.lower()}:{self.name.lower()}"
+
+
+@dataclass(frozen=True)
+class ProvenanceEdge:
+    """A directed, typed edge of the provenance graph."""
+
+    src_id: str
+    dst_id: str
+    relation: Relation
+    properties: dict[str, Any] = field(default_factory=dict, compare=False)
+
+
+class ProvenanceGraph:
+    """An in-memory typed multigraph with lineage traversal."""
+
+    def __init__(self) -> None:
+        self._entities: dict[str, Entity] = {}
+        self._edges: list[ProvenanceEdge] = []
+        self._out: dict[str, list[int]] = {}
+        self._in: dict[str, list[int]] = {}
+        self._id_counter = itertools.count(1)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def new_entity_id(self, prefix: str) -> str:
+        return f"{prefix}-{next(self._id_counter)}"
+
+    def add_entity(self, entity: Entity) -> Entity:
+        if entity.entity_id in self._entities:
+            raise ProvenanceError(
+                f"entity {entity.entity_id!r} already exists"
+            )
+        self._entities[entity.entity_id] = entity
+        return entity
+
+    def add_edge(self, edge: ProvenanceEdge) -> ProvenanceEdge:
+        if edge.src_id not in self._entities:
+            raise ProvenanceError(f"unknown edge source {edge.src_id!r}")
+        if edge.dst_id not in self._entities:
+            raise ProvenanceError(f"unknown edge target {edge.dst_id!r}")
+        index = len(self._edges)
+        self._edges.append(edge)
+        self._out.setdefault(edge.src_id, []).append(index)
+        self._in.setdefault(edge.dst_id, []).append(index)
+        return edge
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def entity(self, entity_id: str) -> Entity:
+        try:
+            return self._entities[entity_id]
+        except KeyError:
+            raise ProvenanceError(f"unknown entity {entity_id!r}") from None
+
+    def has_entity(self, entity_id: str) -> bool:
+        return entity_id in self._entities
+
+    def entities(
+        self, entity_type: EntityType | None = None
+    ) -> list[Entity]:
+        if entity_type is None:
+            return list(self._entities.values())
+        return [
+            e for e in self._entities.values() if e.entity_type is entity_type
+        ]
+
+    def edges(
+        self,
+        relation: Relation | None = None,
+        src_id: str | None = None,
+        dst_id: str | None = None,
+    ) -> list[ProvenanceEdge]:
+        out: Iterable[ProvenanceEdge] = self._edges
+        if src_id is not None:
+            out = (self._edges[i] for i in self._out.get(src_id, []))
+        elif dst_id is not None:
+            out = (self._edges[i] for i in self._in.get(dst_id, []))
+        result = []
+        for edge in out:
+            if relation is not None and edge.relation is not relation:
+                continue
+            if dst_id is not None and edge.dst_id != dst_id:
+                continue
+            if src_id is not None and edge.src_id != src_id:
+                continue
+            result.append(edge)
+        return result
+
+    @property
+    def node_count(self) -> int:
+        return len(self._entities)
+
+    @property
+    def edge_count(self) -> int:
+        return len(self._edges)
+
+    @property
+    def size(self) -> int:
+        """Nodes + edges — the metric the paper's Table 1 reports."""
+        return self.node_count + self.edge_count
+
+    # ------------------------------------------------------------------
+    # Lineage traversal
+    # ------------------------------------------------------------------
+    def lineage(
+        self,
+        entity_id: str,
+        direction: str = "upstream",
+        max_depth: int | None = None,
+    ) -> list[Entity]:
+        """Entities reachable from *entity_id*.
+
+        ``upstream`` follows edges from dst to src (what did this derive
+        from?); ``downstream`` follows src to dst (what depends on this?).
+        """
+        if direction not in ("upstream", "downstream"):
+            raise ProvenanceError(f"unknown direction {direction!r}")
+        seen: set[str] = {entity_id}
+        frontier = [entity_id]
+        out: list[Entity] = []
+        depth = 0
+        while frontier and (max_depth is None or depth < max_depth):
+            next_frontier: list[str] = []
+            for node in frontier:
+                if direction == "upstream":
+                    neighbours = [
+                        self._edges[i].dst_id for i in self._out.get(node, [])
+                    ]
+                else:
+                    neighbours = [
+                        self._edges[i].src_id for i in self._in.get(node, [])
+                    ]
+                for n in neighbours:
+                    if n not in seen:
+                        seen.add(n)
+                        out.append(self._entities[n])
+                        next_frontier.append(n)
+            frontier = next_frontier
+            depth += 1
+        return out
+
+    def impacted_by(self, entity_id: str) -> list[Entity]:
+        """Everything downstream of an entity — e.g. "if we change a column
+        in a database, models trained in Python that depend on this column
+        may need to be invalidated and retrained" (C3)."""
+        return self.lineage(entity_id, direction="downstream")

@@ -1,0 +1,371 @@
+"""Python provenance capture via static analysis (§4.2).
+
+Parses data-science scripts with the stdlib ``ast`` module and, using the
+:mod:`~flock.provenance.kb` knowledge base, identifies which variables hold
+models, which hold training data (and from which sources it was loaded),
+which hyperparameters configured each model and which metrics evaluated it.
+Detected entities are registered in the provenance catalog; dataset sources
+that name DBMS tables connect to the SQL provenance module's entities —
+the cross-system bridge of challenge C3.
+"""
+
+from __future__ import annotations
+
+import ast as python_ast
+from dataclasses import dataclass, field
+
+from flock.errors import ProvenanceError
+from flock.provenance.catalog import ProvenanceCatalog
+from flock.provenance.kb import KnowledgeBase
+from flock.provenance.model import EntityType, Relation
+
+
+@dataclass
+class DetectedModel:
+    """A model variable found in a script."""
+
+    variable: str
+    class_name: str
+    hyperparameters: dict[str, object] = field(default_factory=dict)
+    training_datasets: list[str] = field(default_factory=list)
+    metrics: list[str] = field(default_factory=list)
+    trained: bool = False
+
+
+@dataclass
+class DetectedDataset:
+    """A training-data source found in a script."""
+
+    kind: str  # 'file' | 'sql' | 'table' | 'named'
+    source: str
+
+
+@dataclass
+class ScriptAnalysis:
+    """Everything the static analyzer extracted from one script."""
+
+    script_name: str
+    models: list[DetectedModel] = field(default_factory=list)
+    datasets: list[DetectedDataset] = field(default_factory=list)
+
+    @property
+    def model_classes(self) -> set[str]:
+        return {m.class_name for m in self.models}
+
+    @property
+    def dataset_sources(self) -> set[str]:
+        return {d.source for d in self.datasets}
+
+
+@dataclass
+class _VarInfo:
+    kind: str  # 'model' | 'data' | 'module' | 'other'
+    class_name: str = ""
+    module_path: str = ""
+    sources: set[str] = field(default_factory=set)
+    model: DetectedModel | None = None
+
+
+class PythonProvenanceCapture:
+    """Static analyzer for data-science scripts."""
+
+    def __init__(
+        self,
+        catalog: ProvenanceCatalog | None = None,
+        knowledge_base: KnowledgeBase | None = None,
+    ):
+        self.catalog = catalog
+        self.kb = knowledge_base or KnowledgeBase()
+
+    # ------------------------------------------------------------------
+    def analyze_script(self, source: str, name: str = "script") -> ScriptAnalysis:
+        try:
+            tree = python_ast.parse(source)
+        except SyntaxError as exc:
+            raise ProvenanceError(f"cannot parse script {name!r}: {exc}") from exc
+
+        state = _AnalysisState(self.kb)
+        for statement in tree.body:
+            state.visit_statement(statement)
+
+        analysis = ScriptAnalysis(
+            script_name=name,
+            models=state.models,
+            datasets=state.datasets,
+        )
+        if self.catalog is not None:
+            self._register(analysis)
+        return analysis
+
+    # ------------------------------------------------------------------
+    def _register(self, analysis: ScriptAnalysis) -> None:
+        catalog = self.catalog
+        assert catalog is not None
+        script_entity = catalog.register(
+            EntityType.SCRIPT, analysis.script_name
+        )
+        dataset_entities = {}
+        for dataset in analysis.datasets:
+            entity = catalog.register(
+                EntityType.DATASET,
+                dataset.source,
+                properties={"kind": dataset.kind},
+            )
+            dataset_entities[dataset.source] = entity
+            catalog.link(script_entity, entity, Relation.READS)
+            if dataset.kind == "table":
+                table_entity = catalog.find(EntityType.TABLE, dataset.source)
+                if table_entity is not None:
+                    # Cross-system bridge: the script's dataset IS a DB table.
+                    catalog.link(entity, table_entity, Relation.DERIVES)
+        for model in analysis.models:
+            model_entity = catalog.register(
+                EntityType.MODEL,
+                f"{analysis.script_name}::{model.variable}",
+                properties={"class": model.class_name},
+                new_version=True,
+            )
+            catalog.link(script_entity, model_entity, Relation.PRODUCES)
+            for source in model.training_datasets:
+                entity = dataset_entities.get(source)
+                if entity is not None:
+                    catalog.link(model_entity, entity, Relation.TRAINED_ON)
+            for key, value in model.hyperparameters.items():
+                hp_entity = catalog.register(
+                    EntityType.HYPERPARAMETER,
+                    f"{analysis.script_name}::{model.variable}::{key}",
+                    properties={"value": value},
+                    new_version=True,
+                )
+                catalog.link(model_entity, hp_entity, Relation.CONFIGURED_BY)
+            for metric in model.metrics:
+                metric_entity = catalog.register(
+                    EntityType.METRIC,
+                    f"{analysis.script_name}::{model.variable}::{metric}",
+                    new_version=True,
+                )
+                catalog.link(model_entity, metric_entity, Relation.EVALUATED_BY)
+
+
+class _AnalysisState:
+    """Single-forward-pass abstract interpretation of a script body."""
+
+    def __init__(self, kb: KnowledgeBase):
+        self.kb = kb
+        self.variables: dict[str, _VarInfo] = {}
+        self.import_aliases: dict[str, str] = {}  # alias → module path
+        self.from_imports: dict[str, str] = {}  # local name → module path
+        self.from_import_names: dict[str, str] = {}  # local name → original
+        self.models: list[DetectedModel] = []
+        self.datasets: list[DetectedDataset] = []
+        self._dataset_by_source: dict[str, DetectedDataset] = {}
+        self.last_trained: DetectedModel | None = None
+
+    # ------------------------------------------------------------------
+    def visit_statement(self, node: python_ast.stmt) -> None:
+        if isinstance(node, python_ast.Import):
+            for alias in node.names:
+                self.import_aliases[alias.asname or alias.name.split(".")[0]] = (
+                    alias.name
+                )
+        elif isinstance(node, python_ast.ImportFrom) and node.module:
+            for alias in node.names:
+                local = alias.asname or alias.name
+                self.from_imports[local] = node.module
+                self.from_import_names[local] = alias.name
+        elif isinstance(node, python_ast.Assign):
+            self._visit_assign(node)
+        elif isinstance(node, python_ast.Expr):
+            self._visit_calls_in(node.value)
+        elif isinstance(
+            node, (python_ast.If, python_ast.For, python_ast.While,
+                   python_ast.With, python_ast.Try, python_ast.FunctionDef)
+        ):
+            body = list(getattr(node, "body", []))
+            body += list(getattr(node, "orelse", []))
+            body += list(getattr(node, "finalbody", []))
+            for child in body:
+                self.visit_statement(child)
+
+    # ------------------------------------------------------------------
+    def _visit_assign(self, node: python_ast.Assign) -> None:
+        value_info = self._evaluate(node.value)
+        targets = node.targets[0]
+        if isinstance(targets, python_ast.Name):
+            if value_info.kind == "model" and value_info.model is not None:
+                value_info.model.variable = targets.id
+            self.variables[targets.id] = value_info
+        elif isinstance(targets, (python_ast.Tuple, python_ast.List)):
+            # e.g. X_train, X_test, y_train, y_test = train_test_split(X, y)
+            for element in targets.elts:
+                if isinstance(element, python_ast.Name):
+                    self.variables[element.id] = _VarInfo(
+                        kind=value_info.kind
+                        if value_info.kind == "data"
+                        else "other",
+                        sources=set(value_info.sources),
+                    )
+        # Calls evaluated for side effects (e.g. model.fit inside assign).
+        self._visit_calls_in(node.value)
+
+    def _visit_calls_in(self, expr: python_ast.expr) -> None:
+        """Process every call in an expression tree for side effects
+        (training and metric calls may be nested, e.g. inside print())."""
+        for node in python_ast.walk(expr):
+            if isinstance(node, python_ast.Call):
+                self._visit_call_expr(node)
+
+    def _visit_call_expr(self, node: python_ast.Call) -> None:
+        func = node.func
+        if isinstance(func, python_ast.Attribute) and self.kb.is_train_method(
+            func.attr
+        ):
+            base = func.value
+            if isinstance(base, python_ast.Name):
+                info = self.variables.get(base.id)
+                if info is not None and info.kind == "model" and info.model:
+                    sources: set[str] = set()
+                    for arg in node.args:
+                        sources |= self._evaluate(arg).sources
+                    for source in sorted(sources):
+                        if source not in info.model.training_datasets:
+                            info.model.training_datasets.append(source)
+                    info.model.trained = True
+                    self.last_trained = info.model
+        func_name = self._call_name(func)
+        if func_name and self.kb.is_metric(func_name):
+            target = self._metric_target(node) or self.last_trained
+            if target is not None and func_name not in target.metrics:
+                target.metrics.append(func_name)
+
+    # ------------------------------------------------------------------
+    def _evaluate(self, node: python_ast.expr) -> _VarInfo:
+        if isinstance(node, python_ast.Name):
+            return self.variables.get(node.id, _VarInfo("other"))
+        if isinstance(node, python_ast.Call):
+            return self._evaluate_call(node)
+        if isinstance(node, python_ast.Subscript):
+            return self._derive_data(self._evaluate(node.value))
+        if isinstance(node, python_ast.Attribute):
+            inner = self._evaluate(node.value)
+            if inner.kind == "data":
+                return self._derive_data(inner)
+            return _VarInfo("other", sources=set(inner.sources))
+        if isinstance(node, python_ast.BinOp):
+            left = self._evaluate(node.left)
+            right = self._evaluate(node.right)
+            return _VarInfo("data" if left.kind == "data" or right.kind == "data"
+                            else "other", sources=left.sources | right.sources)
+        if isinstance(node, (python_ast.Tuple, python_ast.List)):
+            sources: set[str] = set()
+            kind = "other"
+            for element in node.elts:
+                info = self._evaluate(element)
+                sources |= info.sources
+                if info.kind in ("data", "model"):
+                    kind = "data"
+            return _VarInfo(kind, sources=sources)
+        return _VarInfo("other")
+
+    def _evaluate_call(self, node: python_ast.Call) -> _VarInfo:
+        func = node.func
+        func_name = self._call_name(func)
+
+        # Data loaders: pd.read_csv("x.csv"), pd.read_sql(...), ...
+        if func_name:
+            loader = self.kb.is_data_loader(func_name)
+            if loader is not None:
+                kind, arg_index = loader
+                source = self._literal_arg(node, arg_index) or f"<dynamic:{func_name}>"
+                dataset = self._dataset_by_source.get(source)
+                if dataset is None:
+                    dataset = DetectedDataset(kind=kind, source=source)
+                    self._dataset_by_source[source] = dataset
+                    self.datasets.append(dataset)
+                return _VarInfo("data", sources={source})
+
+        # Model/transformer constructors.
+        if func_name:
+            module_hint = self._module_hint(func)
+            role = self.kb.classify_constructor(func_name, module_hint)
+            if role == "model":
+                model = DetectedModel(
+                    variable="?",
+                    class_name=func_name,
+                    hyperparameters=self._literal_kwargs(node),
+                )
+                # The caller (assign) binds the variable name.
+                info = _VarInfo("model", class_name=func_name, model=model)
+                self.models.append(model)
+                return info
+            if role == "transformer":
+                return _VarInfo("other")
+
+        # Method calls on data propagate data-ness (df.drop(...), df.fillna()).
+        if isinstance(func, python_ast.Attribute):
+            inner = self._evaluate(func.value)
+            if inner.kind == "data":
+                return self._derive_data(inner)
+            if inner.kind == "model":
+                # model.predict(X) → predictions derived from the model.
+                out = _VarInfo("other", sources=set(inner.sources))
+                out.model = inner.model
+                return out
+        # train_test_split and friends: union of argument sources.
+        sources = set()
+        for arg in node.args:
+            sources |= self._evaluate(arg).sources
+        if sources:
+            return _VarInfo("data", sources=sources)
+        return _VarInfo("other")
+
+    def _derive_data(self, inner: _VarInfo) -> _VarInfo:
+        return _VarInfo("data", sources=set(inner.sources))
+
+    # ------------------------------------------------------------------
+    def _call_name(self, func: python_ast.expr) -> str | None:
+        if isinstance(func, python_ast.Name):
+            # Resolve from-import aliases back to the original symbol.
+            return self.from_import_names.get(func.id, func.id)
+        if isinstance(func, python_ast.Attribute):
+            return func.attr
+        return None
+
+    def _module_hint(self, func: python_ast.expr) -> str | None:
+        if isinstance(func, python_ast.Name):
+            return self.from_imports.get(func.id)
+        if isinstance(func, python_ast.Attribute):
+            parts = []
+            cursor = func.value
+            while isinstance(cursor, python_ast.Attribute):
+                parts.append(cursor.attr)
+                cursor = cursor.value
+            if isinstance(cursor, python_ast.Name):
+                root = self.import_aliases.get(cursor.id, cursor.id)
+                return ".".join([root] + list(reversed(parts)))
+        return None
+
+    def _literal_arg(self, node: python_ast.Call, index: int) -> str | None:
+        if index < len(node.args):
+            arg = node.args[index]
+            if isinstance(arg, python_ast.Constant) and isinstance(
+                arg.value, str
+            ):
+                return arg.value
+        return None
+
+    def _literal_kwargs(self, node: python_ast.Call) -> dict[str, object]:
+        out: dict[str, object] = {}
+        for keyword in node.keywords:
+            if keyword.arg is None:
+                continue
+            if isinstance(keyword.value, python_ast.Constant):
+                out[keyword.arg] = keyword.value.value
+        return out
+
+    def _metric_target(self, node: python_ast.Call) -> DetectedModel | None:
+        for arg in node.args:
+            info = self._evaluate(arg)
+            if info.model is not None:
+                return info.model
+        return None

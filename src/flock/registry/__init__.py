@@ -1,0 +1,5 @@
+"""flock.registry — model management: models as governed, versioned data."""
+
+from flock.registry.store import DeployedSignature, ModelRegistry, ModelVersion
+
+__all__ = ["DeployedSignature", "ModelRegistry", "ModelVersion"]

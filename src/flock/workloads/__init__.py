@@ -1,0 +1,35 @@
+"""flock.workloads — TPC-H and TPC-C generators.
+
+The substrates of the paper's SQL-provenance experiment (Table 1: 2,208
+TPC-H queries and 2,200 TPC-C queries). Schemas are the standard ones;
+query templates are rewritten into this engine's SQL subset (no correlated
+subqueries — they are expressed as joins against aggregated FROM-subqueries)
+while touching the same tables and columns, which is what coarse-grained
+provenance capture measures.
+"""
+
+from flock.workloads.tpch import (
+    TPCH_TABLES,
+    create_tpch_schema,
+    generate_tpch_data,
+    generate_tpch_queries,
+    tpch_query,
+)
+from flock.workloads.tpcc import (
+    TPCC_TABLES,
+    create_tpcc_schema,
+    generate_tpcc_data,
+    generate_tpcc_transactions,
+)
+
+__all__ = [
+    "TPCC_TABLES",
+    "TPCH_TABLES",
+    "create_tpcc_schema",
+    "create_tpch_schema",
+    "generate_tpcc_data",
+    "generate_tpch_data",
+    "generate_tpch_queries",
+    "generate_tpcc_transactions",
+    "tpch_query",
+]

@@ -1,0 +1,371 @@
+"""TPC-C: schema, a tiny data generator, and the five transaction templates.
+
+Used two ways: (a) the provenance experiment captures lineage from the
+generated statement stream (Table 1's 2,200 TPC-C queries); (b) the
+transactions actually run against :class:`flock.db.Database`, exercising the
+versioned storage (every UPDATE/INSERT makes a table version — the very
+blow-up the paper's provenance compression addresses).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from flock.errors import WorkloadError
+
+TPCC_TABLES = [
+    "warehouse",
+    "district",
+    "customer_c",
+    "history",
+    "neworder",
+    "orders_c",
+    "orderline",
+    "item",
+    "stock",
+]
+
+_SCHEMA_SQL = """
+CREATE TABLE warehouse (
+    w_id INTEGER PRIMARY KEY,
+    w_name TEXT,
+    w_street_1 TEXT,
+    w_street_2 TEXT,
+    w_city TEXT,
+    w_state TEXT,
+    w_zip TEXT,
+    w_tax FLOAT,
+    w_ytd FLOAT
+);
+CREATE TABLE district (
+    d_id INTEGER NOT NULL,
+    d_w_id INTEGER NOT NULL,
+    d_name TEXT,
+    d_street_1 TEXT,
+    d_street_2 TEXT,
+    d_city TEXT,
+    d_state TEXT,
+    d_zip TEXT,
+    d_tax FLOAT,
+    d_ytd FLOAT,
+    d_next_o_id INTEGER
+);
+CREATE TABLE customer_c (
+    c_id INTEGER NOT NULL,
+    c_d_id INTEGER NOT NULL,
+    c_w_id INTEGER NOT NULL,
+    c_first TEXT,
+    c_middle TEXT,
+    c_last TEXT,
+    c_street_1 TEXT,
+    c_street_2 TEXT,
+    c_city TEXT,
+    c_state TEXT,
+    c_zip TEXT,
+    c_phone TEXT,
+    c_since DATE,
+    c_credit TEXT,
+    c_credit_lim FLOAT,
+    c_discount FLOAT,
+    c_balance FLOAT,
+    c_ytd_payment FLOAT,
+    c_payment_cnt INTEGER,
+    c_delivery_cnt INTEGER,
+    c_data TEXT
+);
+CREATE TABLE history (
+    h_c_id INTEGER,
+    h_c_d_id INTEGER,
+    h_c_w_id INTEGER,
+    h_d_id INTEGER,
+    h_w_id INTEGER,
+    h_date DATE,
+    h_amount FLOAT,
+    h_data TEXT
+);
+CREATE TABLE neworder (
+    no_o_id INTEGER NOT NULL,
+    no_d_id INTEGER NOT NULL,
+    no_w_id INTEGER NOT NULL
+);
+CREATE TABLE orders_c (
+    o_id INTEGER NOT NULL,
+    o_d_id INTEGER NOT NULL,
+    o_w_id INTEGER NOT NULL,
+    o_c_id INTEGER,
+    o_entry_d DATE,
+    o_carrier_id INTEGER,
+    o_ol_cnt INTEGER,
+    o_all_local INTEGER
+);
+CREATE TABLE orderline (
+    ol_o_id INTEGER NOT NULL,
+    ol_d_id INTEGER NOT NULL,
+    ol_w_id INTEGER NOT NULL,
+    ol_number INTEGER NOT NULL,
+    ol_i_id INTEGER,
+    ol_supply_w_id INTEGER,
+    ol_delivery_d DATE,
+    ol_quantity INTEGER,
+    ol_amount FLOAT,
+    ol_dist_info TEXT
+);
+CREATE TABLE item (
+    i_id INTEGER PRIMARY KEY,
+    i_im_id INTEGER,
+    i_name TEXT,
+    i_price FLOAT,
+    i_data TEXT
+);
+CREATE TABLE stock (
+    s_i_id INTEGER NOT NULL,
+    s_w_id INTEGER NOT NULL,
+    s_quantity INTEGER,
+    s_dist_01 TEXT,
+    s_dist_02 TEXT,
+    s_dist_03 TEXT,
+    s_dist_04 TEXT,
+    s_dist_05 TEXT,
+    s_ytd FLOAT,
+    s_order_cnt INTEGER,
+    s_remote_cnt INTEGER,
+    s_data TEXT
+);
+"""
+
+
+def create_tpcc_schema(database) -> None:
+    database.connect().execute_script(_SCHEMA_SQL)
+
+
+def generate_tpcc_data(
+    database,
+    warehouses: int = 1,
+    districts_per_warehouse: int = 3,
+    customers_per_district: int = 20,
+    items: int = 50,
+    seed: int = 11,
+) -> dict:
+    """Populate a miniature TPC-C instance; returns per-table row counts."""
+    if warehouses < 1:
+        raise WorkloadError("need at least one warehouse")
+    rng = np.random.default_rng(seed)
+    counts: dict[str, int] = {}
+
+    rows = [
+        (
+            w, f"WH{w}", f"{w} Main St", "Suite 1", "Springfield", "CA",
+            f"9{w % 10}000", round(float(rng.uniform(0.0, 0.2)), 4), 30000.0,
+        )
+        for w in range(1, warehouses + 1)
+    ]
+    _insert(database, "warehouse", rows)
+    counts["warehouse"] = len(rows)
+
+    rows = []
+    for w in range(1, warehouses + 1):
+        for d in range(1, districts_per_warehouse + 1):
+            rows.append(
+                (
+                    d, w, f"D{w}-{d}", f"{d} Side St", "Floor 2",
+                    "Springfield", "CA", f"9{d % 10}001",
+                    round(float(rng.uniform(0.0, 0.2)), 4), 3000.0, 1,
+                )
+            )
+    _insert(database, "district", rows)
+    counts["district"] = len(rows)
+
+    rows = []
+    for w in range(1, warehouses + 1):
+        for d in range(1, districts_per_warehouse + 1):
+            for c in range(1, customers_per_district + 1):
+                rows.append(
+                    (
+                        c, d, w, f"First{c}", "OE", f"Last{c % 10}",
+                        f"{c} Elm St", "", "Springfield", "CA",
+                        f"9{c % 10}002", f"555-{c:04d}", "2015-01-01",
+                        "GC" if rng.random() < 0.9 else "BC",
+                        50000.0, round(float(rng.uniform(0.0, 0.5)), 4),
+                        -10.0, 10.0, 1, 0, "customer data",
+                    )
+                )
+    _insert(database, "customer_c", rows)
+    counts["customer_c"] = len(rows)
+
+    rows = [
+        (
+            i,
+            int(rng.integers(1, 10_000)),
+            f"Item{i}",
+            round(float(rng.uniform(1.0, 100.0)), 2),
+            "original" if rng.random() < 0.9 else "generic",
+        )
+        for i in range(1, items + 1)
+    ]
+    _insert(database, "item", rows)
+    counts["item"] = len(rows)
+
+    rows = []
+    for w in range(1, warehouses + 1):
+        for i in range(1, items + 1):
+            rows.append(
+                (
+                    i, w, int(rng.integers(10, 101)),
+                    "dist1", "dist2", "dist3", "dist4", "dist5",
+                    0.0, 0, 0, "stock data",
+                )
+            )
+    _insert(database, "stock", rows)
+    counts["stock"] = len(rows)
+    for empty in ("history", "neworder", "orders_c", "orderline"):
+        counts[empty] = 0
+    return counts
+
+
+def _insert(database, table: str, rows: list[tuple], chunk: int = 400) -> None:
+    for start in range(0, len(rows), chunk):
+        parts = []
+        for row in rows[start : start + chunk]:
+            values = []
+            for value in row:
+                if isinstance(value, str):
+                    values.append("'" + value.replace("'", "''") + "'")
+                elif value is None:
+                    values.append("NULL")
+                else:
+                    values.append(repr(value))
+            parts.append("(" + ", ".join(values) + ")")
+        database.execute(f"INSERT INTO {table} VALUES {', '.join(parts)}")
+
+
+# ----------------------------------------------------------------------
+# Transaction templates. Each is a list of parameterized statements.
+# ----------------------------------------------------------------------
+class _TxnState:
+    """Monotonic counters so generated keys do not collide."""
+
+    def __init__(self, rng: np.random.Generator):
+        self.rng = rng
+        self.next_order_id = 1000
+
+
+def _new_order(state: _TxnState, w: int, d: int, c: int) -> list[str]:
+    rng = state.rng
+    order_id = state.next_order_id
+    state.next_order_id += 1
+    n_lines = int(rng.integers(2, 6))
+    statements = [
+        f"SELECT c_discount, c_last, c_credit FROM customer_c "
+        f"WHERE c_w_id = {w} AND c_d_id = {d} AND c_id = {c}",
+        f"SELECT w_tax FROM warehouse WHERE w_id = {w}",
+        f"UPDATE district SET d_next_o_id = d_next_o_id + 1 "
+        f"WHERE d_w_id = {w} AND d_id = {d}",
+        f"INSERT INTO orders_c VALUES ({order_id}, {d}, {w}, {c}, "
+        f"'2019-06-{rng.integers(1, 29):02d}', NULL, {n_lines}, 1)",
+        f"INSERT INTO neworder VALUES ({order_id}, {d}, {w})",
+    ]
+    for line in range(1, n_lines + 1):
+        item = int(rng.integers(1, 51))
+        qty = int(rng.integers(1, 10))
+        statements.append(
+            f"SELECT i_price, i_name, i_data FROM item WHERE i_id = {item}"
+        )
+        statements.append(
+            f"UPDATE stock SET s_quantity = s_quantity - {qty}, "
+            f"s_ytd = s_ytd + {qty}, s_order_cnt = s_order_cnt + 1 "
+            f"WHERE s_i_id = {item} AND s_w_id = {w}"
+        )
+        amount = round(float(state.rng.uniform(1, 500)), 2)
+        statements.append(
+            f"INSERT INTO orderline VALUES ({order_id}, {d}, {w}, {line}, "
+            f"{item}, {w}, NULL, {qty}, {amount}, 'dist{d}')"
+        )
+    return statements
+
+
+def _payment(state: _TxnState, w: int, d: int, c: int) -> list[str]:
+    amount = round(float(state.rng.uniform(1.0, 5000.0)), 2)
+    return [
+        f"UPDATE warehouse SET w_ytd = w_ytd + {amount} WHERE w_id = {w}",
+        f"UPDATE district SET d_ytd = d_ytd + {amount} "
+        f"WHERE d_w_id = {w} AND d_id = {d}",
+        f"UPDATE customer_c SET c_balance = c_balance - {amount}, "
+        f"c_ytd_payment = c_ytd_payment + {amount}, "
+        f"c_payment_cnt = c_payment_cnt + 1 "
+        f"WHERE c_w_id = {w} AND c_d_id = {d} AND c_id = {c}",
+        f"INSERT INTO history VALUES ({c}, {d}, {w}, {d}, {w}, "
+        f"'2019-06-15', {amount}, 'payment')",
+    ]
+
+
+def _order_status(state: _TxnState, w: int, d: int, c: int) -> list[str]:
+    return [
+        f"SELECT c_balance, c_first, c_last FROM customer_c "
+        f"WHERE c_w_id = {w} AND c_d_id = {d} AND c_id = {c}",
+        f"SELECT o_id, o_entry_d, o_carrier_id FROM orders_c "
+        f"WHERE o_w_id = {w} AND o_d_id = {d} AND o_c_id = {c} "
+        f"ORDER BY o_id DESC LIMIT 1",
+        f"SELECT ol_i_id, ol_quantity, ol_amount, ol_delivery_d "
+        f"FROM orderline WHERE ol_w_id = {w} AND ol_d_id = {d}",
+    ]
+
+
+def _delivery(state: _TxnState, w: int, d: int, c: int) -> list[str]:
+    carrier = int(state.rng.integers(1, 11))
+    return [
+        f"SELECT MIN(no_o_id) AS oldest FROM neworder "
+        f"WHERE no_w_id = {w} AND no_d_id = {d}",
+        f"DELETE FROM neworder WHERE no_w_id = {w} AND no_d_id = {d} "
+        f"AND no_o_id < 1005",
+        f"UPDATE orders_c SET o_carrier_id = {carrier} "
+        f"WHERE o_w_id = {w} AND o_d_id = {d} AND o_carrier_id IS NULL",
+        f"UPDATE orderline SET ol_delivery_d = '2019-06-20' "
+        f"WHERE ol_w_id = {w} AND ol_d_id = {d} AND ol_delivery_d IS NULL",
+        f"UPDATE customer_c SET c_delivery_cnt = c_delivery_cnt + 1 "
+        f"WHERE c_w_id = {w} AND c_d_id = {d} AND c_id = {c}",
+    ]
+
+
+def _stock_level(state: _TxnState, w: int, d: int, c: int) -> list[str]:
+    threshold = int(state.rng.integers(10, 21))
+    return [
+        f"SELECT d_next_o_id FROM district WHERE d_w_id = {w} AND d_id = {d}",
+        f"SELECT COUNT(DISTINCT s.s_i_id) AS low_stock "
+        f"FROM orderline ol JOIN stock s ON s.s_i_id = ol.ol_i_id "
+        f"WHERE ol.ol_w_id = {w} AND ol.ol_d_id = {d} "
+        f"AND s.s_w_id = {w} AND s.s_quantity < {threshold}",
+    ]
+
+
+_TRANSACTIONS = {
+    "new_order": (_new_order, 0.45),
+    "payment": (_payment, 0.43),
+    "order_status": (_order_status, 0.04),
+    "delivery": (_delivery, 0.04),
+    "stock_level": (_stock_level, 0.04),
+}
+
+
+def generate_tpcc_transactions(
+    statement_count: int = 2200,
+    warehouses: int = 1,
+    districts_per_warehouse: int = 3,
+    customers_per_district: int = 20,
+    seed: int = 3,
+) -> list[str]:
+    """A statement stream of roughly *statement_count* queries following the
+    TPC-C transaction mix (45/43/4/4/4)."""
+    rng = np.random.default_rng(seed)
+    state = _TxnState(rng)
+    names = list(_TRANSACTIONS)
+    weights = np.array([_TRANSACTIONS[n][1] for n in names])
+    weights = weights / weights.sum()
+    statements: list[str] = []
+    while len(statements) < statement_count:
+        name = names[int(rng.choice(len(names), p=weights))]
+        maker = _TRANSACTIONS[name][0]
+        w = int(rng.integers(1, warehouses + 1))
+        d = int(rng.integers(1, districts_per_warehouse + 1))
+        c = int(rng.integers(1, customers_per_district + 1))
+        statements.extend(maker(state, w, d, c))
+    return statements[:statement_count]

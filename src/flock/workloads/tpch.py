@@ -1,0 +1,675 @@
+"""TPC-H: schema, scaled data generator and all 22 query templates.
+
+The templates keep TPC-H's table/column footprint and analytical shape but
+are rewritten into this engine's SQL subset: correlated subqueries and
+EXISTS become joins against aggregated FROM-subqueries, and scalar-subquery
+thresholds become parameters. Every template both parses *and executes* on
+:class:`flock.db.Database`.
+
+``generate_tpch_queries(2208)`` reproduces the query batch of the paper's
+provenance experiment ("queries generated out of all query templates in
+TPC-H": 2,208 ≈ 22 templates × ~100 parameterizations).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from flock.errors import WorkloadError
+
+TPCH_TABLES = [
+    "region",
+    "nation",
+    "supplier",
+    "customer",
+    "part",
+    "partsupp",
+    "orders",
+    "lineitem",
+]
+
+_SCHEMA_SQL = """
+CREATE TABLE region (
+    r_regionkey INTEGER PRIMARY KEY,
+    r_name TEXT NOT NULL,
+    r_comment TEXT
+);
+CREATE TABLE nation (
+    n_nationkey INTEGER PRIMARY KEY,
+    n_name TEXT NOT NULL,
+    n_regionkey INTEGER NOT NULL,
+    n_comment TEXT
+);
+CREATE TABLE supplier (
+    s_suppkey INTEGER PRIMARY KEY,
+    s_name TEXT NOT NULL,
+    s_address TEXT,
+    s_nationkey INTEGER NOT NULL,
+    s_phone TEXT,
+    s_acctbal FLOAT,
+    s_comment TEXT
+);
+CREATE TABLE customer (
+    c_custkey INTEGER PRIMARY KEY,
+    c_name TEXT NOT NULL,
+    c_address TEXT,
+    c_nationkey INTEGER NOT NULL,
+    c_phone TEXT,
+    c_acctbal FLOAT,
+    c_mktsegment TEXT,
+    c_comment TEXT
+);
+CREATE TABLE part (
+    p_partkey INTEGER PRIMARY KEY,
+    p_name TEXT NOT NULL,
+    p_mfgr TEXT,
+    p_brand TEXT,
+    p_type TEXT,
+    p_size INTEGER,
+    p_container TEXT,
+    p_retailprice FLOAT,
+    p_comment TEXT
+);
+CREATE TABLE partsupp (
+    ps_partkey INTEGER NOT NULL,
+    ps_suppkey INTEGER NOT NULL,
+    ps_availqty INTEGER,
+    ps_supplycost FLOAT,
+    ps_comment TEXT
+);
+CREATE TABLE orders (
+    o_orderkey INTEGER PRIMARY KEY,
+    o_custkey INTEGER NOT NULL,
+    o_orderstatus TEXT,
+    o_totalprice FLOAT,
+    o_orderdate DATE,
+    o_orderpriority TEXT,
+    o_clerk TEXT,
+    o_shippriority INTEGER,
+    o_comment TEXT
+);
+CREATE TABLE lineitem (
+    l_orderkey INTEGER NOT NULL,
+    l_partkey INTEGER NOT NULL,
+    l_suppkey INTEGER NOT NULL,
+    l_linenumber INTEGER NOT NULL,
+    l_quantity FLOAT,
+    l_extendedprice FLOAT,
+    l_discount FLOAT,
+    l_tax FLOAT,
+    l_returnflag TEXT,
+    l_linestatus TEXT,
+    l_shipdate DATE,
+    l_commitdate DATE,
+    l_receiptdate DATE,
+    l_shipinstruct TEXT,
+    l_shipmode TEXT,
+    l_comment TEXT
+);
+"""
+
+REGIONS = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"]
+NATIONS = [
+    ("ALGERIA", 0), ("ARGENTINA", 1), ("BRAZIL", 1), ("CANADA", 1),
+    ("EGYPT", 4), ("ETHIOPIA", 0), ("FRANCE", 3), ("GERMANY", 3),
+    ("INDIA", 2), ("INDONESIA", 2), ("IRAN", 4), ("IRAQ", 4),
+    ("JAPAN", 2), ("JORDAN", 4), ("KENYA", 0), ("MOROCCO", 0),
+    ("MOZAMBIQUE", 0), ("PERU", 1), ("CHINA", 2), ("ROMANIA", 3),
+    ("SAUDI ARABIA", 4), ("VIETNAM", 2), ("RUSSIA", 3),
+    ("UNITED KINGDOM", 3), ("UNITED STATES", 1),
+]
+SEGMENTS = ["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"]
+PRIORITIES = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"]
+SHIPMODES = ["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"]
+SHIPINSTRUCT = [
+    "DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN",
+]
+CONTAINERS = ["SM CASE", "SM BOX", "MED BAG", "MED BOX", "LG CASE", "LG BOX"]
+BRANDS = [f"Brand#{i}{j}" for i in range(1, 6) for j in range(1, 6)]
+TYPE_SYLL1 = ["STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"]
+TYPE_SYLL2 = ["ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"]
+TYPE_SYLL3 = ["TIN", "NICKEL", "BRASS", "STEEL", "COPPER"]
+NAME_WORDS = [
+    "almond", "antique", "aquamarine", "azure", "beige", "bisque", "black",
+    "blanched", "blue", "blush", "brown", "burlywood", "chartreuse",
+    "chiffon", "chocolate", "coral", "cornflower", "cream", "cyan",
+]
+
+
+def create_tpch_schema(database) -> None:
+    """Create the eight TPC-H tables."""
+    database.connect().execute_script(_SCHEMA_SQL)
+
+
+def generate_tpch_data(database, scale: float = 0.002, seed: int = 42) -> dict:
+    """Populate a scaled-down TPC-H instance.
+
+    ``scale`` is the fraction of SF1 (scale=0.002 → 12k lineitem rows).
+    Returns per-table row counts.
+    """
+    if scale <= 0:
+        raise WorkloadError("scale must be positive")
+    rng = np.random.default_rng(seed)
+    counts = {
+        "supplier": max(3, int(10_000 * scale)),
+        "customer": max(5, int(150_000 * scale)),
+        "part": max(5, int(200_000 * scale)),
+        "orders": max(10, int(1_500_000 * scale)),
+    }
+
+    _insert(database, "region", [
+        (i, name, f"region {name.lower()}") for i, name in enumerate(REGIONS)
+    ])
+    _insert(database, "nation", [
+        (i, name, region, f"nation {name.lower()}")
+        for i, (name, region) in enumerate(NATIONS)
+    ])
+
+    n_supp = counts["supplier"]
+    _insert(database, "supplier", [
+        (
+            i + 1,
+            f"Supplier#{i + 1:09d}",
+            f"addr {i}",
+            int(rng.integers(0, len(NATIONS))),
+            f"{rng.integers(10, 35)}-{rng.integers(100, 999)}-{rng.integers(1000, 9999)}",
+            float(np.round(rng.uniform(-999.99, 9999.99), 2)),
+            "supplier comment",
+        )
+        for i in range(n_supp)
+    ])
+
+    n_cust = counts["customer"]
+    _insert(database, "customer", [
+        (
+            i + 1,
+            f"Customer#{i + 1:09d}",
+            f"addr {i}",
+            int(rng.integers(0, len(NATIONS))),
+            f"{rng.integers(10, 35)}-{rng.integers(100, 999)}-{rng.integers(1000, 9999)}",
+            float(np.round(rng.uniform(-999.99, 9999.99), 2)),
+            SEGMENTS[int(rng.integers(0, len(SEGMENTS)))],
+            "no special requests here" if rng.random() < 0.9 else
+            "special requests pending",
+        )
+        for i in range(n_cust)
+    ])
+
+    n_part = counts["part"]
+    part_rows = []
+    for i in range(n_part):
+        name = " ".join(
+            rng.choice(NAME_WORDS, size=3, replace=False).tolist()
+        )
+        p_type = (
+            f"{TYPE_SYLL1[int(rng.integers(0, 6))]} "
+            f"{TYPE_SYLL2[int(rng.integers(0, 5))]} "
+            f"{TYPE_SYLL3[int(rng.integers(0, 5))]}"
+        )
+        part_rows.append(
+            (
+                i + 1,
+                name,
+                f"Manufacturer#{rng.integers(1, 6)}",
+                BRANDS[int(rng.integers(0, len(BRANDS)))],
+                p_type,
+                int(rng.integers(1, 51)),
+                CONTAINERS[int(rng.integers(0, len(CONTAINERS)))],
+                float(np.round(900 + (i % 1000), 2)),
+                "part comment",
+            )
+        )
+    _insert(database, "part", part_rows)
+
+    partsupp_rows = []
+    for i in range(n_part):
+        for k in range(4):
+            partsupp_rows.append(
+                (
+                    i + 1,
+                    int(rng.integers(1, n_supp + 1)),
+                    int(rng.integers(1, 10_000)),
+                    float(np.round(rng.uniform(1.0, 1000.0), 2)),
+                    "partsupp comment",
+                )
+            )
+    _insert(database, "partsupp", partsupp_rows)
+    counts["partsupp"] = len(partsupp_rows)
+
+    n_orders = counts["orders"]
+    base_day = 8036  # 1992-01-01
+    order_rows = []
+    order_dates = {}
+    for i in range(n_orders):
+        day = int(base_day + rng.integers(0, 2400))
+        order_dates[i + 1] = day
+        order_rows.append(
+            (
+                i + 1,
+                int(rng.integers(1, n_cust + 1)),
+                str(rng.choice(["O", "F", "P"], p=[0.45, 0.45, 0.10])),
+                float(np.round(rng.uniform(1000, 400000), 2)),
+                day,
+                PRIORITIES[int(rng.integers(0, len(PRIORITIES)))],
+                f"Clerk#{rng.integers(1, 1000):09d}",
+                0,
+                "order comment",
+            )
+        )
+    _insert(database, "orders", order_rows, date_columns={4})
+
+    lineitem_rows = []
+    for order_key, order_day in order_dates.items():
+        for line in range(int(rng.integers(1, 8))):
+            quantity = float(rng.integers(1, 51))
+            price = float(np.round(rng.uniform(900.0, 105000.0), 2))
+            ship = order_day + int(rng.integers(1, 122))
+            commit = order_day + int(rng.integers(30, 91))
+            receipt = ship + int(rng.integers(1, 31))
+            lineitem_rows.append(
+                (
+                    order_key,
+                    int(rng.integers(1, n_part + 1)),
+                    int(rng.integers(1, n_supp + 1)),
+                    line + 1,
+                    quantity,
+                    price,
+                    float(np.round(rng.uniform(0.0, 0.10), 2)),
+                    float(np.round(rng.uniform(0.0, 0.08), 2)),
+                    str(rng.choice(["R", "A", "N"], p=[0.25, 0.25, 0.5])),
+                    str(rng.choice(["O", "F"])),
+                    ship,
+                    commit,
+                    receipt,
+                    SHIPINSTRUCT[int(rng.integers(0, len(SHIPINSTRUCT)))],
+                    SHIPMODES[int(rng.integers(0, len(SHIPMODES)))],
+                    "lineitem comment",
+                )
+            )
+    _insert(database, "lineitem", lineitem_rows, date_columns={10, 11, 12})
+    counts["lineitem"] = len(lineitem_rows)
+    counts["region"] = len(REGIONS)
+    counts["nation"] = len(NATIONS)
+    return counts
+
+
+def _insert(database, table: str, rows: list[tuple], date_columns=frozenset(),
+            chunk: int = 500) -> None:
+    from flock.db.types import days_to_date
+
+    for start in range(0, len(rows), chunk):
+        parts = []
+        for row in rows[start : start + chunk]:
+            values = []
+            for j, value in enumerate(row):
+                if j in date_columns:
+                    values.append(f"'{days_to_date(value).isoformat()}'")
+                elif isinstance(value, str):
+                    escaped = value.replace("'", "''")
+                    values.append(f"'{escaped}'")
+                elif value is None:
+                    values.append("NULL")
+                else:
+                    values.append(repr(value))
+            parts.append("(" + ", ".join(values) + ")")
+        database.execute(f"INSERT INTO {table} VALUES {', '.join(parts)}")
+
+
+# ----------------------------------------------------------------------
+# The 22 query templates (engine-subset rewrites; see module docstring).
+# ----------------------------------------------------------------------
+_TEMPLATES: dict[int, str] = {
+    1: """
+        SELECT l_returnflag, l_linestatus,
+               SUM(l_quantity) AS sum_qty,
+               SUM(l_extendedprice) AS sum_base_price,
+               SUM(l_extendedprice * (1 - l_discount)) AS sum_disc_price,
+               SUM(l_extendedprice * (1 - l_discount) * (1 + l_tax)) AS sum_charge,
+               AVG(l_quantity) AS avg_qty,
+               AVG(l_extendedprice) AS avg_price,
+               AVG(l_discount) AS avg_disc,
+               COUNT(*) AS count_order
+        FROM lineitem
+        WHERE l_shipdate <= DATE '1998-12-01' - INTERVAL '{delta}' DAY
+        GROUP BY l_returnflag, l_linestatus
+        ORDER BY l_returnflag, l_linestatus
+    """,
+    2: """
+        SELECT s.s_acctbal, s.s_name, n.n_name, p.p_partkey, p.p_mfgr
+        FROM part p
+        JOIN partsupp ps ON p.p_partkey = ps.ps_partkey
+        JOIN supplier s ON s.s_suppkey = ps.ps_suppkey
+        JOIN nation n ON s.s_nationkey = n.n_nationkey
+        JOIN region r ON n.n_regionkey = r.r_regionkey
+        JOIN (SELECT ps_partkey, MIN(ps_supplycost) AS min_cost
+              FROM partsupp GROUP BY ps_partkey) m
+          ON m.ps_partkey = p.p_partkey
+        WHERE p.p_size = {size} AND r.r_name = '{region}'
+          AND ps.ps_supplycost = m.min_cost
+        ORDER BY s.s_acctbal DESC, n.n_name, s.s_name LIMIT 100
+    """,
+    3: """
+        SELECT l.l_orderkey,
+               SUM(l.l_extendedprice * (1 - l.l_discount)) AS revenue,
+               o.o_orderdate, o.o_shippriority
+        FROM customer c
+        JOIN orders o ON c.c_custkey = o.o_custkey
+        JOIN lineitem l ON l.l_orderkey = o.o_orderkey
+        WHERE c.c_mktsegment = '{segment}'
+          AND o.o_orderdate < DATE '{date}'
+          AND l.l_shipdate > DATE '{date}'
+        GROUP BY l.l_orderkey, o.o_orderdate, o.o_shippriority
+        ORDER BY revenue DESC, o.o_orderdate LIMIT 10
+    """,
+    4: """
+        SELECT o.o_orderpriority, COUNT(*) AS order_count
+        FROM orders o
+        JOIN (SELECT DISTINCT l_orderkey FROM lineitem
+              WHERE l_commitdate < l_receiptdate) late
+          ON o.o_orderkey = late.l_orderkey
+        WHERE o.o_orderdate >= DATE '{date}'
+          AND o.o_orderdate < DATE '{date}' + INTERVAL '3' MONTH
+        GROUP BY o.o_orderpriority
+        ORDER BY o.o_orderpriority
+    """,
+    5: """
+        SELECT n.n_name,
+               SUM(l.l_extendedprice * (1 - l.l_discount)) AS revenue
+        FROM customer c
+        JOIN orders o ON c.c_custkey = o.o_custkey
+        JOIN lineitem l ON l.l_orderkey = o.o_orderkey
+        JOIN supplier s ON l.l_suppkey = s.s_suppkey
+        JOIN nation n ON s.s_nationkey = n.n_nationkey
+        JOIN region r ON n.n_regionkey = r.r_regionkey
+        WHERE r.r_name = '{region}' AND c.c_nationkey = s.s_nationkey
+          AND o.o_orderdate >= DATE '{date}'
+          AND o.o_orderdate < DATE '{date}' + INTERVAL '1' YEAR
+        GROUP BY n.n_name
+        ORDER BY revenue DESC
+    """,
+    6: """
+        SELECT SUM(l_extendedprice * l_discount) AS revenue
+        FROM lineitem
+        WHERE l_shipdate >= DATE '{date}'
+          AND l_shipdate < DATE '{date}' + INTERVAL '1' YEAR
+          AND l_discount BETWEEN {discount} - 0.01 AND {discount} + 0.01
+          AND l_quantity < {quantity}
+    """,
+    7: """
+        SELECT n1.n_name AS supp_nation, n2.n_name AS cust_nation,
+               EXTRACT(YEAR FROM l.l_shipdate) AS l_year,
+               SUM(l.l_extendedprice * (1 - l.l_discount)) AS revenue
+        FROM supplier s
+        JOIN lineitem l ON s.s_suppkey = l.l_suppkey
+        JOIN orders o ON o.o_orderkey = l.l_orderkey
+        JOIN customer c ON c.c_custkey = o.o_custkey
+        JOIN nation n1 ON s.s_nationkey = n1.n_nationkey
+        JOIN nation n2 ON c.c_nationkey = n2.n_nationkey
+        WHERE ((n1.n_name = '{nation1}' AND n2.n_name = '{nation2}')
+            OR (n1.n_name = '{nation2}' AND n2.n_name = '{nation1}'))
+          AND l.l_shipdate BETWEEN DATE '1995-01-01' AND DATE '1996-12-31'
+        GROUP BY n1.n_name, n2.n_name, EXTRACT(YEAR FROM l.l_shipdate)
+        ORDER BY supp_nation, cust_nation, l_year
+    """,
+    8: """
+        SELECT EXTRACT(YEAR FROM o.o_orderdate) AS o_year,
+               SUM(CASE WHEN n2.n_name = '{nation1}'
+                        THEN l.l_extendedprice * (1 - l.l_discount)
+                        ELSE 0.0 END)
+                 / SUM(l.l_extendedprice * (1 - l.l_discount)) AS mkt_share
+        FROM part p
+        JOIN lineitem l ON p.p_partkey = l.l_partkey
+        JOIN supplier s ON s.s_suppkey = l.l_suppkey
+        JOIN orders o ON o.o_orderkey = l.l_orderkey
+        JOIN customer c ON c.c_custkey = o.o_custkey
+        JOIN nation n1 ON c.c_nationkey = n1.n_nationkey
+        JOIN region r ON n1.n_regionkey = r.r_regionkey
+        JOIN nation n2 ON s.s_nationkey = n2.n_nationkey
+        WHERE r.r_name = '{region}'
+          AND o.o_orderdate BETWEEN DATE '1995-01-01' AND DATE '1996-12-31'
+          AND p.p_type = '{type}'
+        GROUP BY EXTRACT(YEAR FROM o.o_orderdate)
+        ORDER BY o_year
+    """,
+    9: """
+        SELECT n.n_name AS nation,
+               EXTRACT(YEAR FROM o.o_orderdate) AS o_year,
+               SUM(l.l_extendedprice * (1 - l.l_discount)
+                   - ps.ps_supplycost * l.l_quantity) AS sum_profit
+        FROM part p
+        JOIN lineitem l ON p.p_partkey = l.l_partkey
+        JOIN supplier s ON s.s_suppkey = l.l_suppkey
+        JOIN partsupp ps ON ps.ps_suppkey = l.l_suppkey
+                        AND ps.ps_partkey = l.l_partkey
+        JOIN orders o ON o.o_orderkey = l.l_orderkey
+        JOIN nation n ON s.s_nationkey = n.n_nationkey
+        WHERE p.p_name LIKE '%{color}%'
+        GROUP BY n.n_name, EXTRACT(YEAR FROM o.o_orderdate)
+        ORDER BY nation, o_year DESC
+    """,
+    10: """
+        SELECT c.c_custkey, c.c_name,
+               SUM(l.l_extendedprice * (1 - l.l_discount)) AS revenue,
+               c.c_acctbal, n.n_name, c.c_address, c.c_phone
+        FROM customer c
+        JOIN orders o ON c.c_custkey = o.o_custkey
+        JOIN lineitem l ON l.l_orderkey = o.o_orderkey
+        JOIN nation n ON c.c_nationkey = n.n_nationkey
+        WHERE o.o_orderdate >= DATE '{date}'
+          AND o.o_orderdate < DATE '{date}' + INTERVAL '3' MONTH
+          AND l.l_returnflag = 'R'
+        GROUP BY c.c_custkey, c.c_name, c.c_acctbal, c.c_phone,
+                 n.n_name, c.c_address
+        ORDER BY revenue DESC LIMIT 20
+    """,
+    11: """
+        SELECT ps.ps_partkey,
+               SUM(ps.ps_supplycost * ps.ps_availqty) AS value
+        FROM partsupp ps
+        JOIN supplier s ON ps.ps_suppkey = s.s_suppkey
+        JOIN nation n ON s.s_nationkey = n.n_nationkey
+        WHERE n.n_name = '{nation1}'
+        GROUP BY ps.ps_partkey
+        HAVING SUM(ps.ps_supplycost * ps.ps_availqty) > {threshold}
+        ORDER BY value DESC
+    """,
+    12: """
+        SELECT l.l_shipmode,
+               SUM(CASE WHEN o.o_orderpriority = '1-URGENT'
+                         OR o.o_orderpriority = '2-HIGH'
+                        THEN 1 ELSE 0 END) AS high_line_count,
+               SUM(CASE WHEN o.o_orderpriority <> '1-URGENT'
+                        AND o.o_orderpriority <> '2-HIGH'
+                        THEN 1 ELSE 0 END) AS low_line_count
+        FROM orders o
+        JOIN lineitem l ON o.o_orderkey = l.l_orderkey
+        WHERE l.l_shipmode IN ('{shipmode1}', '{shipmode2}')
+          AND l.l_commitdate < l.l_receiptdate
+          AND l.l_shipdate < l.l_commitdate
+          AND l.l_receiptdate >= DATE '{date}'
+          AND l.l_receiptdate < DATE '{date}' + INTERVAL '1' YEAR
+        GROUP BY l.l_shipmode
+        ORDER BY l.l_shipmode
+    """,
+    13: """
+        SELECT c_count, COUNT(*) AS custdist
+        FROM (SELECT c.c_custkey AS custkey,
+                     COUNT(o.o_orderkey) AS c_count
+              FROM customer c
+              LEFT JOIN orders o ON c.c_custkey = o.o_custkey
+                   AND o.o_comment NOT LIKE '%special%requests%'
+              GROUP BY c.c_custkey) c_orders
+        GROUP BY c_count
+        ORDER BY custdist DESC, c_count DESC
+    """,
+    14: """
+        SELECT 100.00 * SUM(CASE WHEN p.p_type LIKE 'PROMO%'
+                                 THEN l.l_extendedprice * (1 - l.l_discount)
+                                 ELSE 0.0 END)
+               / SUM(l.l_extendedprice * (1 - l.l_discount)) AS promo_revenue
+        FROM lineitem l
+        JOIN part p ON l.l_partkey = p.p_partkey
+        WHERE l.l_shipdate >= DATE '{date}'
+          AND l.l_shipdate < DATE '{date}' + INTERVAL '1' MONTH
+    """,
+    15: """
+        SELECT s.s_suppkey, s.s_name, s.s_address, s.s_phone,
+               r.total_revenue
+        FROM supplier s
+        JOIN (SELECT l_suppkey AS supplier_no,
+                     SUM(l_extendedprice * (1 - l_discount)) AS total_revenue
+              FROM lineitem
+              WHERE l_shipdate >= DATE '{date}'
+                AND l_shipdate < DATE '{date}' + INTERVAL '3' MONTH
+              GROUP BY l_suppkey) r
+          ON s.s_suppkey = r.supplier_no
+        ORDER BY r.total_revenue DESC, s.s_suppkey LIMIT 1
+    """,
+    16: """
+        SELECT p.p_brand, p.p_type, p.p_size,
+               COUNT(DISTINCT ps.ps_suppkey) AS supplier_cnt
+        FROM partsupp ps
+        JOIN part p ON p.p_partkey = ps.ps_partkey
+        WHERE p.p_brand <> '{brand}'
+          AND p.p_type NOT LIKE '{typeprefix}%'
+          AND p.p_size IN ({size1}, {size2}, {size3}, {size4})
+          AND ps.ps_suppkey NOT IN (SELECT s_suppkey FROM supplier
+                                    WHERE s_comment LIKE '%Complaints%')
+        GROUP BY p.p_brand, p.p_type, p.p_size
+        ORDER BY supplier_cnt DESC, p.p_brand, p.p_type, p.p_size
+    """,
+    17: """
+        SELECT SUM(l.l_extendedprice) / 7.0 AS avg_yearly
+        FROM lineitem l
+        JOIN part p ON p.p_partkey = l.l_partkey
+        JOIN (SELECT l_partkey, 0.2 * AVG(l_quantity) AS small_qty
+              FROM lineitem GROUP BY l_partkey) a
+          ON a.l_partkey = l.l_partkey
+        WHERE p.p_brand = '{brand}' AND p.p_container = '{container}'
+          AND l.l_quantity < a.small_qty
+    """,
+    18: """
+        SELECT c.c_name, c.c_custkey, o.o_orderkey, o.o_orderdate,
+               o.o_totalprice, SUM(l.l_quantity) AS total_qty
+        FROM customer c
+        JOIN orders o ON c.c_custkey = o.o_custkey
+        JOIN lineitem l ON o.o_orderkey = l.l_orderkey
+        WHERE o.o_orderkey IN (SELECT l_orderkey FROM lineitem
+                               GROUP BY l_orderkey
+                               HAVING SUM(l_quantity) > {quantity})
+        GROUP BY c.c_name, c.c_custkey, o.o_orderkey, o.o_orderdate,
+                 o.o_totalprice
+        ORDER BY o.o_totalprice DESC, o.o_orderdate LIMIT 100
+    """,
+    19: """
+        SELECT SUM(l.l_extendedprice * (1 - l.l_discount)) AS revenue
+        FROM lineitem l
+        JOIN part p ON p.p_partkey = l.l_partkey
+        WHERE (p.p_brand = '{brand}'
+               AND l.l_quantity BETWEEN {q1} AND {q1} + 10
+               AND p.p_size BETWEEN 1 AND 5)
+           OR (p.p_brand = '{brand2}'
+               AND l.l_quantity BETWEEN {q2} AND {q2} + 10
+               AND p.p_size BETWEEN 1 AND 10)
+           OR (p.p_brand = '{brand3}'
+               AND l.l_quantity BETWEEN {q3} AND {q3} + 10
+               AND p.p_size BETWEEN 1 AND 15)
+    """,
+    20: """
+        SELECT s.s_name, s.s_address
+        FROM supplier s
+        JOIN nation n ON s.s_nationkey = n.n_nationkey
+        JOIN (SELECT DISTINCT ps.ps_suppkey AS suppkey
+              FROM partsupp ps
+              JOIN (SELECT l_partkey, l_suppkey,
+                           0.5 * SUM(l_quantity) AS half_qty
+                    FROM lineitem
+                    WHERE l_shipdate >= DATE '{date}'
+                      AND l_shipdate < DATE '{date}' + INTERVAL '1' YEAR
+                    GROUP BY l_partkey, l_suppkey) lq
+                ON ps.ps_partkey = lq.l_partkey
+               AND ps.ps_suppkey = lq.l_suppkey
+              WHERE ps.ps_availqty > lq.half_qty) ok
+          ON s.s_suppkey = ok.suppkey
+        WHERE n.n_name = '{nation1}'
+        ORDER BY s.s_name
+    """,
+    21: """
+        SELECT s.s_name, COUNT(*) AS numwait
+        FROM supplier s
+        JOIN lineitem l1 ON s.s_suppkey = l1.l_suppkey
+        JOIN orders o ON o.o_orderkey = l1.l_orderkey
+        JOIN nation n ON s.s_nationkey = n.n_nationkey
+        WHERE o.o_orderstatus = 'F'
+          AND l1.l_receiptdate > l1.l_commitdate
+          AND n.n_name = '{nation1}'
+        GROUP BY s.s_name
+        ORDER BY numwait DESC, s.s_name LIMIT 100
+    """,
+    22: """
+        SELECT SUBSTR(c.c_phone, 1, 2) AS cntrycode,
+               COUNT(*) AS numcust,
+               SUM(c.c_acctbal) AS totacctbal
+        FROM customer c
+        LEFT JOIN orders o ON o.o_custkey = c.c_custkey
+        WHERE SUBSTR(c.c_phone, 1, 2) IN
+              ('{cc1}', '{cc2}', '{cc3}', '{cc4}', '{cc5}', '{cc6}', '{cc7}')
+          AND c.c_acctbal > {balance}
+          AND o.o_orderkey IS NULL
+        GROUP BY SUBSTR(c.c_phone, 1, 2)
+        ORDER BY cntrycode
+    """,
+}
+
+
+def tpch_query(template_id: int, rng: np.random.Generator | None = None) -> str:
+    """Instantiate one TPC-H template with (seeded) random parameters."""
+    if template_id not in _TEMPLATES:
+        raise WorkloadError(f"unknown TPC-H template {template_id}")
+    rng = rng or np.random.default_rng(0)
+    nations = [n for n, _ in NATIONS]
+    n1, n2 = rng.choice(len(nations), size=2, replace=False)
+    sizes = rng.choice(np.arange(1, 51), size=4, replace=False)
+    shipmode1, shipmode2 = rng.choice(len(SHIPMODES), size=2, replace=False)
+    params = {
+        "delta": int(rng.integers(60, 121)),
+        "size": int(rng.integers(1, 51)),
+        "region": REGIONS[int(rng.integers(0, len(REGIONS)))],
+        "segment": SEGMENTS[int(rng.integers(0, len(SEGMENTS)))],
+        "date": f"199{rng.integers(3, 8)}-0{rng.integers(1, 10)}-01",
+        "discount": round(float(rng.uniform(0.02, 0.09)), 2),
+        "quantity": int(rng.integers(24, 36)),
+        "nation1": nations[n1],
+        "nation2": nations[n2],
+        "type": (
+            f"{TYPE_SYLL1[int(rng.integers(0, 6))]} "
+            f"{TYPE_SYLL2[int(rng.integers(0, 5))]} "
+            f"{TYPE_SYLL3[int(rng.integers(0, 5))]}"
+        ),
+        "color": NAME_WORDS[int(rng.integers(0, len(NAME_WORDS)))],
+        "threshold": int(rng.integers(1_000, 100_000)),
+        "shipmode1": SHIPMODES[shipmode1],
+        "shipmode2": SHIPMODES[shipmode2],
+        "brand": BRANDS[int(rng.integers(0, len(BRANDS)))],
+        "brand2": BRANDS[int(rng.integers(0, len(BRANDS)))],
+        "brand3": BRANDS[int(rng.integers(0, len(BRANDS)))],
+        "typeprefix": TYPE_SYLL1[int(rng.integers(0, 6))],
+        "size1": int(sizes[0]),
+        "size2": int(sizes[1]),
+        "size3": int(sizes[2]),
+        "size4": int(sizes[3]),
+        "container": CONTAINERS[int(rng.integers(0, len(CONTAINERS)))],
+        "q1": int(rng.integers(1, 11)),
+        "q2": int(rng.integers(10, 21)),
+        "q3": int(rng.integers(20, 31)),
+        "cc1": "10", "cc2": "11", "cc3": "12", "cc4": "13",
+        "cc5": "14", "cc6": "15", "cc7": "16",
+        "balance": round(float(rng.uniform(0.0, 5000.0)), 2),
+    }
+    return _TEMPLATES[template_id].format(**params).strip()
+
+
+def generate_tpch_queries(count: int = 2208, seed: int = 1) -> list[str]:
+    """*count* parameterized queries cycling through all 22 templates."""
+    rng = np.random.default_rng(seed)
+    return [tpch_query(i % 22 + 1, rng) for i in range(count)]

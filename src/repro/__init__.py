@@ -1,0 +1,10 @@
+"""Compatibility shim: the public import name of this project is ``flock``.
+
+``import repro`` re-exports the :mod:`flock` package so the original
+scaffold name keeps working.
+"""
+
+import flock
+from flock import *  # noqa: F401,F403
+
+__version__ = flock.__version__

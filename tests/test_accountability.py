@@ -1,0 +1,118 @@
+"""End-to-end accountability: scoring and decisions in the provenance graph."""
+
+import pytest
+
+from flock.lifecycle import FlockSession
+from flock.ml import LogisticRegression
+from flock.ml.datasets import make_loans
+from flock.policy import CapPolicy, PolicyEngine, VetoPolicy
+from flock.provenance import ProvenanceCatalog, SQLProvenanceCapture
+from flock.provenance.model import EntityType, Relation
+
+
+class TestPredictProvenance:
+    def test_capture_records_model_read(self):
+        catalog = ProvenanceCatalog()
+        capture = SQLProvenanceCapture(catalog)
+        result = capture.capture_query(
+            "SELECT id, PREDICT(risk_model) AS p FROM patients "
+            "WHERE PREDICT(risk_model) > 0.5"
+        )
+        assert result.models_scored == ["risk_model"]
+        model = catalog.find(EntityType.MODEL, "risk_model")
+        assert model is not None
+        reads = catalog.graph.edges(relation=Relation.READS,
+                                    dst_id=model.entity_id)
+        assert len(reads) == 1  # deduped across the two PREDICT mentions
+
+    def test_predict_args_columns_still_captured(self):
+        catalog = ProvenanceCatalog()
+        capture = SQLProvenanceCapture(catalog)
+        result = capture.capture_query(
+            "SELECT PREDICT(m, age, income) FROM people"
+        )
+        assert set(result.input_columns) == {"people.age", "people.income"}
+        assert result.models_scored == ["m"]
+
+
+class TestDecisionProvenance:
+    def test_decisions_recorded_with_links(self):
+        catalog = ProvenanceCatalog()
+        engine = PolicyEngine(
+            [CapPolicy("cap", 1.0)], provenance_catalog=catalog
+        )
+        decision = engine.decide("m", 5.0, {})
+        entity = catalog.find(
+            EntityType.DECISION, f"decision-{decision.decision_id}"
+        )
+        assert entity is not None
+        assert entity.properties["vetoed"] is False
+        upstream = {
+            e.name
+            for e in catalog.graph.lineage(entity.entity_id, "upstream")
+        }
+        assert upstream == {"m", "cap"}
+
+    def test_pass_through_policies_not_linked(self):
+        catalog = ProvenanceCatalog()
+        engine = PolicyEngine(
+            [CapPolicy("cap", 100.0)], provenance_catalog=catalog
+        )
+        decision = engine.decide("m", 1.0, {})
+        entity = catalog.find(
+            EntityType.DECISION, f"decision-{decision.decision_id}"
+        )
+        governed = catalog.graph.edges(
+            relation=Relation.GOVERNED_BY, src_id=entity.entity_id
+        )
+        assert governed == []
+
+    def test_vetoed_decision_recorded(self):
+        catalog = ProvenanceCatalog()
+        engine = PolicyEngine(
+            [VetoPolicy("nope", lambda v, c: True)],
+            provenance_catalog=catalog,
+        )
+        decision = engine.decide("m", 1.0, {})
+        entity = catalog.find(
+            EntityType.DECISION, f"decision-{decision.decision_id}"
+        )
+        assert entity.properties["vetoed"] is True
+
+    def test_no_catalog_no_recording(self):
+        engine = PolicyEngine([CapPolicy("cap", 1.0)])
+        engine.decide("m", 5.0, {})  # must not raise
+
+
+class TestFullChain:
+    def test_table_change_impact_reaches_decisions(self):
+        """The governance question in full: who is affected if this data
+        changes? Answer: the model trained on it, the queries that scored
+        it, and the decisions made from those scores."""
+        session = FlockSession()
+        session.load_dataset(make_loans(80, random_state=1))
+        session.train_and_deploy(
+            "m", LogisticRegression(max_iter=50), "loans",
+            ["income", "credit_score"], "approved",
+        )
+        session.sql("SELECT PREDICT(m) FROM loans LIMIT 3")
+        session.policies.add_policy(CapPolicy("cap", 0.9))
+        decision = session.policies.decide("m", 0.95, {})
+
+        model_version = session.provenance.find(
+            EntityType.MODEL_VERSION, "m:v1"
+        )
+        impacted_types = {
+            e.entity_type
+            for e in session.provenance.graph.impacted_by(
+                model_version.entity_id
+            )
+        }
+        # The model version traces back to the training run at minimum.
+        assert EntityType.TRAINING_RUN in impacted_types
+
+        model = session.provenance.find(EntityType.MODEL, "m")
+        impacted = session.provenance.graph.impacted_by(model.entity_id)
+        kinds = {e.entity_type for e in impacted}
+        assert EntityType.QUERY in kinds  # the scoring query
+        assert EntityType.DECISION in kinds  # the governed decision

@@ -1,0 +1,164 @@
+"""AutoML-lite search and fairness-report tests."""
+
+import numpy as np
+import pytest
+
+from flock.errors import FlockError, ModelError
+from flock.lifecycle.autotune import AutoTuner, Candidate, grid
+from flock.lifecycle.training import CloudTrainingService
+from flock.ml import DecisionTreeClassifier, LogisticRegression, RidgeRegression
+from flock.ml.datasets import make_classification, make_regression
+from flock.ml.fairness import (
+    FOUR_FIFTHS,
+    fairness_report,
+    fairness_report_from_sql,
+)
+
+
+class TestGrid:
+    def test_cartesian_product(self):
+        candidates = grid(
+            LogisticRegression, l2=[0.0, 1.0], max_iter=[50, 100, 150]
+        )
+        assert len(candidates) == 6
+        assert all(isinstance(c, Candidate) for c in candidates)
+        params = {(c.params["l2"], c.params["max_iter"]) for c in candidates}
+        assert (1.0, 100) in params
+
+    def test_describe(self):
+        candidate = grid(LogisticRegression, l2=[0.5])[0]
+        assert "LogisticRegression" in candidate.describe
+        assert "l2=0.5" in candidate.describe
+
+
+class TestAutoTuner:
+    def test_classification_search(self):
+        X, y = make_classification(400, 5, random_state=0)
+        tuner = AutoTuner(random_state=1)
+        result = tuner.search(
+            "clf",
+            grid(DecisionTreeClassifier, max_depth=[1, 6], random_state=[0]),
+            X,
+            y,
+        )
+        assert result.metric_name == "val_accuracy"
+        assert len(result.leaderboard) == 2
+        # Deeper tree should win on this separable data.
+        assert result.best_candidate.params["max_depth"] == 6
+        assert result.best_estimator.is_fitted
+        # Every candidate became a tracked run.
+        assert len(tuner.training.runs("clf")) == 2
+
+    def test_regression_search(self):
+        X, y, _ = make_regression(300, 4, noise=0.5, random_state=2)
+        tuner = AutoTuner(random_state=3)
+        result = tuner.search(
+            "reg",
+            grid(RidgeRegression, alpha=[0.01, 1000.0]),
+            X,
+            y,
+            task="regression",
+        )
+        assert result.metric_name == "val_r2"
+        assert result.best_candidate.params["alpha"] == 0.01
+
+    def test_leaderboard_sorted(self):
+        X, y = make_classification(200, 3, random_state=4)
+        result = AutoTuner(random_state=5).search(
+            "m",
+            grid(DecisionTreeClassifier, max_depth=[1, 3, 8],
+                 random_state=[0]),
+            X,
+            y,
+        )
+        scores = [s for _, s, _ in result.leaderboard]
+        assert scores == sorted(scores, reverse=True)
+        assert "best" in result.summary()
+
+    def test_empty_candidates_rejected(self):
+        with pytest.raises(FlockError):
+            AutoTuner().search("m", [], np.zeros((4, 1)), np.zeros(4))
+
+    def test_unknown_task_rejected(self):
+        with pytest.raises(FlockError):
+            AutoTuner().search(
+                "m",
+                grid(LogisticRegression),
+                np.zeros((4, 1)),
+                np.zeros(4),
+                task="clustering",
+            )
+
+    def test_shared_training_service(self):
+        service = CloudTrainingService()
+        X, y = make_classification(150, 3, random_state=6)
+        AutoTuner(training=service).search(
+            "m", grid(DecisionTreeClassifier, max_depth=[2, 4],
+                      random_state=[0]), X, y
+        )
+        assert len(service.runs("m")) == 2
+
+
+class TestFairnessReport:
+    def test_perfectly_fair(self):
+        y_true = [1, 0, 1, 0]
+        y_pred = [1, 0, 1, 0]
+        groups = ["a", "a", "b", "b"]
+        report = fairness_report(y_true, y_pred, groups)
+        assert report.demographic_parity_ratio == 1.0
+        assert report.is_fair()
+        assert report.violations() == []
+
+    def test_demographic_parity_violation(self):
+        # Group a gets approved 80% of the time, group b 20%.
+        y_pred = [1, 1, 1, 1, 0] + [1, 0, 0, 0, 0]
+        y_true = [1] * 5 + [1] * 5
+        groups = ["a"] * 5 + ["b"] * 5
+        report = fairness_report(y_true, y_pred, groups)
+        assert report.demographic_parity_ratio == pytest.approx(0.25)
+        assert "demographic_parity" in report.violations()
+        assert not report.is_fair()
+
+    def test_equal_opportunity(self):
+        # TPRs: group a 1.0, group b 0.5.
+        y_true = [1, 1, 1, 1]
+        y_pred = [1, 1, 1, 0]
+        groups = ["a", "a", "b", "b"]
+        report = fairness_report(y_true, y_pred, groups)
+        assert report.equal_opportunity_ratio == pytest.approx(0.5)
+        # No negatives anywhere: predictive equality is undefined.
+        assert report.predictive_equality_ratio is None
+
+    def test_group_stats(self):
+        report = fairness_report(
+            [1, 0, 1, 0], [1, 1, 0, 0], ["x", "x", "y", "y"]
+        )
+        by_group = {g.group: g for g in report.groups}
+        assert by_group["x"].positive_rate == 1.0
+        assert by_group["x"].false_positive_rate == 1.0
+        assert by_group["y"].true_positive_rate == 0.0
+
+    def test_misaligned_inputs(self):
+        with pytest.raises(ModelError):
+            fairness_report([1], [1, 0], ["a", "b"])
+
+    def test_summary_text(self):
+        report = fairness_report(
+            [1, 0, 1, 0], [1, 1, 0, 0], ["x", "x", "y", "y"]
+        )
+        text = report.summary()
+        assert "group='x'" in text and "VIOLATION" in text
+
+    def test_fairness_from_sql(self, loan_setup):
+        database, registry, dataset, pipeline = loan_setup
+        report = fairness_report_from_sql(
+            database,
+            table="loans",
+            model_name="loan_model",
+            group_column="region",
+            label_column="approved",
+        )
+        assert len(report.groups) == 4
+        assert report.demographic_parity_ratio is not None
+        # The PREDICT ran through governed channels: audit has it.
+        assert database.audit.log.records(action="PREDICT")

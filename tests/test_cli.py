@@ -1,0 +1,97 @@
+"""Tests for the interactive shell (driven programmatically)."""
+
+import pytest
+
+from flock.cli import ShellState, execute_line, format_result, make_state
+
+
+@pytest.fixture
+def shell():
+    state = make_state()
+    execute_line(state, "CREATE TABLE t (a INT, b TEXT)")
+    execute_line(state, "INSERT INTO t VALUES (1, 'x'), (2, NULL)")
+    return state
+
+
+class TestExecuteLine:
+    def test_select_renders_table(self, shell):
+        out = execute_line(shell, "SELECT a, b FROM t ORDER BY a")
+        assert "a" in out and "b" in out
+        assert "NULL" in out
+        assert "(2 rows)" in out
+
+    def test_dml_reports_counts(self, shell):
+        out = execute_line(shell, "UPDATE t SET b = 'y' WHERE a = 2")
+        assert out == "UPDATE: 1 row(s)"
+
+    def test_errors_are_messages_not_raises(self, shell):
+        out = execute_line(shell, "SELECT nope FROM t")
+        assert out.startswith("error:")
+
+    def test_empty_line(self, shell):
+        assert execute_line(shell, "   ") == ""
+
+    def test_explain_through_shell(self, shell):
+        out = execute_line(shell, "EXPLAIN SELECT a FROM t WHERE a > 1")
+        assert "Scan(t" in out
+
+
+class TestDotCommands:
+    def test_tables_and_views(self, shell):
+        assert "t" in execute_line(shell, ".tables")
+        execute_line(shell, "CREATE VIEW v AS SELECT a FROM t")
+        assert "v" in execute_line(shell, ".views")
+
+    def test_help_and_unknown(self, shell):
+        assert ".tables" in execute_line(shell, ".help")
+        assert "unknown command" in execute_line(shell, ".bogus")
+
+    def test_quit_sets_done(self, shell):
+        assert execute_line(shell, ".quit") == "bye"
+        assert shell.done
+
+    def test_user_switching_enforces_security(self, shell):
+        execute_line(shell, "CREATE USER guest")
+        assert "guest" in execute_line(shell, ".user guest")
+        out = execute_line(shell, "SELECT a FROM t")
+        assert out.startswith("error:")
+        assert "current user: guest" in execute_line(shell, ".user")
+        assert "error" in execute_line(shell, ".user nobody_here")
+
+    def test_audit(self, shell):
+        out = execute_line(shell, ".audit 5")
+        assert "CREATE_TABLE" in out or "INSERT" in out
+
+    def test_models_listing(self, shell):
+        assert execute_line(shell, ".models") == "(none)"
+
+    def test_save_and_reload(self, shell, tmp_path):
+        out = execute_line(shell, f".save {tmp_path / 'snap'}")
+        assert "saved" in out
+        restored = make_state(load=str(tmp_path / "snap"))
+        assert "(2 rows)" in execute_line(
+            restored, "SELECT * FROM t ORDER BY a"
+        )
+
+
+class TestDemo:
+    def test_demo_loans_scores(self, capsys):
+        state = make_state(demo="loans")
+        capsys.readouterr()
+        out = execute_line(
+            state, "SELECT PREDICT(loans_model) AS p FROM loans LIMIT 3"
+        )
+        assert "(3 rows)" in out
+        assert "loans_model" in execute_line(state, ".models")
+
+    def test_unknown_demo(self):
+        from flock.errors import FlockError
+
+        with pytest.raises(FlockError):
+            make_state(demo="nothing")
+
+
+class TestFormatResult:
+    def test_empty_result(self, shell):
+        out = execute_line(shell, "SELECT a FROM t WHERE a > 99")
+        assert "(0 rows)" in out

@@ -1,0 +1,126 @@
+"""Tests for the evaluation substrates: notebook corpus and landscape."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from flock.corpus.analysis import analyze_corpus, observed_popularity
+from flock.corpus.generator import (
+    HEAD_PACKAGES,
+    YEAR_2017,
+    YEAR_2019,
+    CorpusConfig,
+    generate_corpus,
+    package_universe,
+    zipf_weights,
+)
+from flock.errors import FlockError
+from flock.landscape import (
+    FEATURES,
+    SYSTEMS,
+    Support,
+    feature_matrix,
+    group_scores,
+    render_matrix,
+    trend_summary,
+)
+
+SMALL_2017 = dataclasses.replace(YEAR_2017, n_notebooks=2000)
+SMALL_2019 = dataclasses.replace(YEAR_2019, n_notebooks=6000)
+
+
+class TestGenerator:
+    def test_deterministic(self):
+        a = generate_corpus(SMALL_2017)
+        b = generate_corpus(SMALL_2017)
+        assert [nb.packages for nb in a.notebooks[:20]] == [
+            nb.packages for nb in b.notebooks[:20]
+        ]
+
+    def test_every_notebook_imports_something(self):
+        corpus = generate_corpus(SMALL_2017)
+        assert all(len(nb.packages) >= 1 for nb in corpus.notebooks)
+
+    def test_zipf_weights_normalized_and_monotone(self):
+        weights = zipf_weights(100, 1.5, tail_mass=0.1)
+        assert weights.sum() == pytest.approx(1.0)
+        assert (np.diff(weights) <= 1e-15).all()
+
+    def test_universe_head_first(self):
+        names = package_universe(100)
+        assert names[: len(HEAD_PACKAGES)] == HEAD_PACKAGES
+
+    def test_config_validation(self):
+        with pytest.raises(FlockError):
+            CorpusConfig(2020, n_packages=2)
+        with pytest.raises(FlockError):
+            CorpusConfig(2020, zipf_exponent=-1.0)
+        with pytest.raises(FlockError):
+            CorpusConfig(2020, tail_mass=1.5)
+
+
+class TestCoverageAnalysis:
+    def test_curve_monotone_in_k(self):
+        curve = analyze_corpus(generate_corpus(SMALL_2017))
+        values = list(curve.coverage)
+        assert values == sorted(values)
+
+    def test_head_packages_dominate(self):
+        curve = analyze_corpus(generate_corpus(SMALL_2017))
+        assert "numpy" in curve.top_packages[:3]
+
+    def test_unknown_k_raises(self):
+        curve = analyze_corpus(generate_corpus(SMALL_2017))
+        with pytest.raises(KeyError):
+            curve.at(12345)
+
+    def test_popularity_sorted(self):
+        corpus = generate_corpus(SMALL_2017)
+        popularity = observed_popularity(corpus)
+        counts = [c for _, c in popularity]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_paper_observations_hold(self):
+        """Figure 2's two callouts: ~3× more packages; top-10 covers more."""
+        a17 = analyze_corpus(generate_corpus(SMALL_2017))
+        a19 = analyze_corpus(generate_corpus(SMALL_2019))
+        ratio = a19.total_packages / a17.total_packages
+        assert ratio > 2.0
+        assert a19.at(10) > a17.at(10)
+
+
+class TestLandscape:
+    def test_matrix_complete(self):
+        matrix = feature_matrix()
+        assert len(matrix) == len(SYSTEMS) * len(FEATURES)
+        assert all(isinstance(v, Support) for v in matrix.values())
+
+    def test_groups(self):
+        groups = {g for g, _ in FEATURES}
+        assert groups == {"Training", "Serving", "Data Management"}
+
+    def test_paper_trend_1_proprietary_data_management(self):
+        trends = trend_summary()
+        assert trends["dm_gap"] > 0.5  # clearly stronger
+
+    def test_paper_trend_2_no_complete_third_party(self):
+        trends = trend_summary()
+        assert trends["best_third_party_completeness"] < 0.9
+
+    def test_scores_in_range(self):
+        for system_scores in group_scores().values():
+            for value in system_scores.values():
+                assert 0.0 <= value <= 2.0
+
+    def test_render_contains_all_systems(self):
+        text = render_matrix()
+        for system in SYSTEMS:
+            assert system.name in text
+        assert "legend" in text
+
+    def test_unknown_cells_excluded_from_scores(self):
+        # LinkedIn has an UNKNOWN cell: its Training average must still be
+        # a valid number.
+        scores = group_scores()["LinkedIn ProML"]
+        assert np.isfinite(scores["Training"])

@@ -1,0 +1,303 @@
+"""Unit + property tests for bound expression evaluation (incl. SQL 3VL)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from flock.db.expr import (
+    BoundBinary,
+    BoundCase,
+    BoundCast,
+    BoundColumn,
+    BoundInList,
+    BoundIsNull,
+    BoundLike,
+    BoundLiteral,
+    BoundUnary,
+    truthy_mask,
+)
+from flock.db.types import DataType
+from flock.db.vector import Batch, ColumnVector
+from flock.errors import ExecutionError
+
+
+def _batch(**columns) -> Batch:
+    names = list(columns)
+    vectors = []
+    for name in names:
+        dtype, values = columns[name]
+        vectors.append(ColumnVector.from_values(dtype, values))
+    return Batch(names, vectors)
+
+
+def col(index: int, dtype: DataType) -> BoundColumn:
+    return BoundColumn(index, dtype, f"c{index}")
+
+
+class TestArithmetic:
+    def test_add_with_null_propagation(self):
+        batch = _batch(a=(DataType.INTEGER, [1, None, 3]))
+        expr = BoundBinary(
+            "+", col(0, DataType.INTEGER), BoundLiteral(DataType.INTEGER, 10),
+            DataType.INTEGER,
+        )
+        assert expr.evaluate(batch).to_pylist() == [11, None, 13]
+
+    def test_division_promotes_to_float(self):
+        batch = _batch(a=(DataType.INTEGER, [7]))
+        expr = BoundBinary(
+            "/", col(0, DataType.INTEGER), BoundLiteral(DataType.INTEGER, 2),
+            DataType.FLOAT,
+        )
+        assert expr.evaluate(batch).to_pylist() == [3.5]
+
+    def test_division_by_zero_raises(self):
+        batch = _batch(a=(DataType.INTEGER, [1]))
+        expr = BoundBinary(
+            "/", col(0, DataType.INTEGER), BoundLiteral(DataType.INTEGER, 0),
+            DataType.FLOAT,
+        )
+        with pytest.raises(ExecutionError, match="division by zero"):
+            expr.evaluate(batch)
+
+    def test_division_by_zero_masked_by_null(self):
+        # NULL / 0 is NULL, not an error.
+        batch = _batch(a=(DataType.INTEGER, [None]))
+        expr = BoundBinary(
+            "/", col(0, DataType.INTEGER), BoundLiteral(DataType.INTEGER, 0),
+            DataType.FLOAT,
+        )
+        assert expr.evaluate(batch).to_pylist() == [None]
+
+    def test_modulo(self):
+        batch = _batch(a=(DataType.INTEGER, [7, 9]))
+        expr = BoundBinary(
+            "%", col(0, DataType.INTEGER), BoundLiteral(DataType.INTEGER, 4),
+            DataType.INTEGER,
+        )
+        assert expr.evaluate(batch).to_pylist() == [3, 1]
+
+    def test_unary_minus(self):
+        batch = _batch(a=(DataType.FLOAT, [1.5, None]))
+        expr = BoundUnary("-", col(0, DataType.FLOAT))
+        assert expr.evaluate(batch).to_pylist() == [-1.5, None]
+
+    def test_concat_operator(self):
+        batch = _batch(a=(DataType.TEXT, ["x", None]))
+        expr = BoundBinary(
+            "||", col(0, DataType.TEXT), BoundLiteral(DataType.TEXT, "!"),
+            DataType.TEXT,
+        )
+        assert expr.evaluate(batch).to_pylist() == ["x!", None]
+
+
+class TestComparisons:
+    def test_numeric_comparison_mixed_types(self):
+        batch = _batch(a=(DataType.INTEGER, [1, 2, 3]))
+        expr = BoundBinary(
+            "<", col(0, DataType.INTEGER), BoundLiteral(DataType.FLOAT, 2.5),
+            DataType.BOOLEAN,
+        )
+        assert expr.evaluate(batch).to_pylist() == [True, True, False]
+
+    def test_text_comparison(self):
+        batch = _batch(a=(DataType.TEXT, ["apple", "pear", None]))
+        expr = BoundBinary(
+            "=", col(0, DataType.TEXT), BoundLiteral(DataType.TEXT, "pear"),
+            DataType.BOOLEAN,
+        )
+        assert expr.evaluate(batch).to_pylist() == [False, True, None]
+
+
+class TestKleeneLogic:
+    def _bool_col(self, values):
+        return _batch(a=(DataType.BOOLEAN, values))
+
+    def test_and_false_dominates_null(self):
+        batch = _batch(
+            a=(DataType.BOOLEAN, [False, True, None]),
+            b=(DataType.BOOLEAN, [None, None, None]),
+        )
+        expr = BoundBinary(
+            "AND", col(0, DataType.BOOLEAN), col(1, DataType.BOOLEAN),
+            DataType.BOOLEAN,
+        )
+        assert expr.evaluate(batch).to_pylist() == [False, None, None]
+
+    def test_or_true_dominates_null(self):
+        batch = _batch(
+            a=(DataType.BOOLEAN, [True, False, None]),
+            b=(DataType.BOOLEAN, [None, None, None]),
+        )
+        expr = BoundBinary(
+            "OR", col(0, DataType.BOOLEAN), col(1, DataType.BOOLEAN),
+            DataType.BOOLEAN,
+        )
+        assert expr.evaluate(batch).to_pylist() == [True, None, None]
+
+    def test_not_propagates_null(self):
+        batch = self._bool_col([True, False, None])
+        expr = BoundUnary("NOT", col(0, DataType.BOOLEAN))
+        assert expr.evaluate(batch).to_pylist() == [False, True, None]
+
+    def test_truthy_mask_treats_null_as_false(self):
+        vec = ColumnVector.from_values(DataType.BOOLEAN, [True, None, False])
+        assert truthy_mask(vec).tolist() == [True, False, False]
+
+
+_TRI = st.sampled_from([True, False, None])
+
+
+@given(st.lists(st.tuples(_TRI, _TRI), min_size=1, max_size=30))
+def test_kleene_and_or_property(pairs):
+    """Vectorized AND/OR match the Kleene truth tables element-wise."""
+    a_values = [p[0] for p in pairs]
+    b_values = [p[1] for p in pairs]
+    batch = _batch(
+        a=(DataType.BOOLEAN, a_values), b=(DataType.BOOLEAN, b_values)
+    )
+    and_expr = BoundBinary(
+        "AND", col(0, DataType.BOOLEAN), col(1, DataType.BOOLEAN),
+        DataType.BOOLEAN,
+    )
+    or_expr = BoundBinary(
+        "OR", col(0, DataType.BOOLEAN), col(1, DataType.BOOLEAN),
+        DataType.BOOLEAN,
+    )
+
+    def kleene_and(x, y):
+        if x is False or y is False:
+            return False
+        if x is None or y is None:
+            return None
+        return True
+
+    def kleene_or(x, y):
+        if x is True or y is True:
+            return True
+        if x is None or y is None:
+            return None
+        return False
+
+    assert and_expr.evaluate(batch).to_pylist() == [
+        kleene_and(x, y) for x, y in pairs
+    ]
+    assert or_expr.evaluate(batch).to_pylist() == [
+        kleene_or(x, y) for x, y in pairs
+    ]
+
+
+class TestPredicates:
+    def test_is_null(self):
+        batch = _batch(a=(DataType.INTEGER, [1, None]))
+        assert BoundIsNull(col(0, DataType.INTEGER), False).evaluate(
+            batch
+        ).to_pylist() == [False, True]
+        assert BoundIsNull(col(0, DataType.INTEGER), True).evaluate(
+            batch
+        ).to_pylist() == [True, False]
+
+    def test_in_list_numeric_and_text(self):
+        batch = _batch(a=(DataType.INTEGER, [1, 2, None]))
+        expr = BoundInList(col(0, DataType.INTEGER), [1, 3], False)
+        assert expr.evaluate(batch).to_pylist() == [True, False, None]
+        batch_t = _batch(a=(DataType.TEXT, ["x", "y"]))
+        expr_t = BoundInList(col(0, DataType.TEXT), ["y"], True)
+        assert expr_t.evaluate(batch_t).to_pylist() == [True, False]
+
+    def test_like(self):
+        batch = _batch(a=(DataType.TEXT, ["promo box", "standard", None]))
+        expr = BoundLike(col(0, DataType.TEXT), "promo%", False)
+        assert expr.evaluate(batch).to_pylist() == [True, False, None]
+
+    def test_like_underscore_and_anchoring(self):
+        batch = _batch(a=(DataType.TEXT, ["cat", "cart", "scat"]))
+        expr = BoundLike(col(0, DataType.TEXT), "c_t", False)
+        assert expr.evaluate(batch).to_pylist() == [True, False, False]
+
+
+class TestCaseAndCast:
+    def test_case_first_match_wins(self):
+        batch = _batch(a=(DataType.INTEGER, [1, 5, 20]))
+        branches = [
+            (
+                BoundBinary(
+                    "<", col(0, DataType.INTEGER),
+                    BoundLiteral(DataType.INTEGER, 3), DataType.BOOLEAN,
+                ),
+                BoundLiteral(DataType.TEXT, "small"),
+            ),
+            (
+                BoundBinary(
+                    "<", col(0, DataType.INTEGER),
+                    BoundLiteral(DataType.INTEGER, 10), DataType.BOOLEAN,
+                ),
+                BoundLiteral(DataType.TEXT, "medium"),
+            ),
+        ]
+        expr = BoundCase(branches, BoundLiteral(DataType.TEXT, "large"),
+                         DataType.TEXT)
+        assert expr.evaluate(batch).to_pylist() == ["small", "medium", "large"]
+
+    def test_case_without_default_yields_null(self):
+        batch = _batch(a=(DataType.INTEGER, [100]))
+        branches = [
+            (
+                BoundBinary(
+                    "<", col(0, DataType.INTEGER),
+                    BoundLiteral(DataType.INTEGER, 3), DataType.BOOLEAN,
+                ),
+                BoundLiteral(DataType.INTEGER, 1),
+            )
+        ]
+        expr = BoundCase(branches, None, DataType.INTEGER)
+        assert expr.evaluate(batch).to_pylist() == [None]
+
+    def test_cast_int_to_text_and_back(self):
+        batch = _batch(a=(DataType.INTEGER, [42, None]))
+        as_text = BoundCast(col(0, DataType.INTEGER), DataType.TEXT)
+        assert as_text.evaluate(batch).to_pylist() == ["42", None]
+        batch_t = _batch(a=(DataType.TEXT, ["17"]))
+        as_int = BoundCast(col(0, DataType.TEXT), DataType.INTEGER)
+        assert as_int.evaluate(batch_t).to_pylist() == [17]
+
+    def test_cast_invalid_text_raises(self):
+        batch = _batch(a=(DataType.TEXT, ["nope"]))
+        with pytest.raises(ExecutionError):
+            BoundCast(col(0, DataType.TEXT), DataType.FLOAT).evaluate(batch)
+
+    def test_cast_text_to_date(self):
+        batch = _batch(a=(DataType.TEXT, ["2020-06-15"]))
+        out = BoundCast(col(0, DataType.TEXT), DataType.DATE).evaluate(batch)
+        assert out.to_pylist()[0].isoformat() == "2020-06-15"
+
+
+class TestColumnTracking:
+    def test_referenced_columns(self):
+        expr = BoundBinary(
+            "+",
+            col(2, DataType.INTEGER),
+            BoundBinary(
+                "*", col(5, DataType.INTEGER), col(2, DataType.INTEGER),
+                DataType.INTEGER,
+            ),
+            DataType.INTEGER,
+        )
+        assert expr.referenced_columns() == {2, 5}
+
+    def test_rewrite_columns(self):
+        expr = BoundBinary(
+            "+", col(1, DataType.INTEGER), col(3, DataType.INTEGER),
+            DataType.INTEGER,
+        )
+        rewritten = expr.rewrite_columns({1: 0, 3: 1})
+        assert rewritten.referenced_columns() == {0, 1}
+        # Original untouched.
+        assert expr.referenced_columns() == {1, 3}
+
+    def test_rewrite_handles_shared_subtrees(self):
+        shared = col(2, DataType.INTEGER)
+        expr = BoundBinary("+", shared, shared, DataType.INTEGER)
+        rewritten = expr.rewrite_columns({2: 0})
+        assert rewritten.referenced_columns() == {0}

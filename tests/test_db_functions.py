@@ -1,0 +1,151 @@
+"""Unit tests for built-in scalar and aggregate functions."""
+
+import math
+
+import pytest
+
+from flock.db import functions as fn
+from flock.db.types import DataType
+from flock.db.vector import ColumnVector
+from flock.errors import BindError
+
+
+def _vec(dtype, values):
+    return ColumnVector.from_values(dtype, values)
+
+
+def _call(name, *vectors, length=None):
+    scalar = fn.lookup_scalar(name)
+    n = length if length is not None else len(vectors[0])
+    return scalar.impl(list(vectors), n)
+
+
+class TestScalars:
+    def test_abs(self):
+        out = _call("ABS", _vec(DataType.INTEGER, [-3, 4, None]))
+        assert out.to_pylist() == [3, 4, None]
+
+    def test_round_digits(self):
+        out = _call(
+            "ROUND",
+            _vec(DataType.FLOAT, [3.14159]),
+            _vec(DataType.INTEGER, [2]),
+        )
+        assert out.to_pylist() == [3.14]
+
+    def test_floor_ceil(self):
+        assert _call("FLOOR", _vec(DataType.FLOAT, [2.7])).to_pylist() == [2]
+        assert _call("CEIL", _vec(DataType.FLOAT, [2.1])).to_pylist() == [3]
+
+    def test_sqrt_exp_ln_power(self):
+        assert _call("SQRT", _vec(DataType.FLOAT, [9.0])).to_pylist() == [3.0]
+        assert _call("EXP", _vec(DataType.FLOAT, [0.0])).to_pylist() == [1.0]
+        out = _call("LN", _vec(DataType.FLOAT, [math.e]))
+        assert out.to_pylist()[0] == pytest.approx(1.0)
+        out = _call(
+            "POWER", _vec(DataType.FLOAT, [2.0]), _vec(DataType.FLOAT, [10.0])
+        )
+        assert out.to_pylist() == [1024.0]
+
+    def test_text_functions(self):
+        assert _call("UPPER", _vec(DataType.TEXT, ["abc", None])).to_pylist() == [
+            "ABC", None,
+        ]
+        assert _call("LOWER", _vec(DataType.TEXT, ["AbC"])).to_pylist() == ["abc"]
+        assert _call("TRIM", _vec(DataType.TEXT, ["  x "])).to_pylist() == ["x"]
+        assert _call("LENGTH", _vec(DataType.TEXT, ["abcd"])).to_pylist() == [4]
+
+    def test_substr_one_based(self):
+        out = _call(
+            "SUBSTR",
+            _vec(DataType.TEXT, ["telephone"]),
+            _vec(DataType.INTEGER, [1]),
+            _vec(DataType.INTEGER, [4]),
+        )
+        assert out.to_pylist() == ["tele"]
+
+    def test_coalesce(self):
+        out = _call(
+            "COALESCE",
+            _vec(DataType.INTEGER, [None, 1, None]),
+            _vec(DataType.INTEGER, [7, 8, None]),
+            _vec(DataType.INTEGER, [9, 9, 9]),
+        )
+        assert out.to_pylist() == [7, 1, 9]
+
+    def test_extract_units(self):
+        from flock.db.types import date_to_days
+
+        days = _vec(DataType.DATE, [date_to_days("1995-03-17")])
+        for unit, expected in (("YEAR", 1995), ("MONTH", 3), ("DAY", 17)):
+            out = _call(
+                "EXTRACT", _vec(DataType.TEXT, [unit]), days, length=1
+            )
+            assert out.to_pylist() == [expected]
+
+    def test_interval_days(self):
+        assert fn.interval_days("3", "DAY") == 3
+        assert fn.interval_days("2", "MONTH") == 60
+        assert fn.interval_days("1", "YEAR") == 365
+        with pytest.raises(BindError):
+            fn.interval_days("1", "FORTNIGHT")
+
+    def test_arity_check(self):
+        with pytest.raises(BindError):
+            fn.lookup_scalar("ABS").check_arity(2)
+
+    def test_unknown_function(self):
+        with pytest.raises(BindError):
+            fn.lookup_scalar("NO_SUCH_FN")
+
+
+class TestAggregates:
+    def test_count_skips_nulls(self):
+        agg = fn.AGGREGATE_FUNCTIONS["COUNT"]
+        assert agg.reduce(_vec(DataType.INTEGER, [1, None, 3]), False) == 2
+
+    def test_count_distinct(self):
+        agg = fn.AGGREGATE_FUNCTIONS["COUNT"]
+        assert agg.reduce(_vec(DataType.INTEGER, [1, 1, 2, None]), True) == 2
+        assert agg.reduce(_vec(DataType.TEXT, ["a", "a", "b"]), True) == 2
+
+    def test_sum_empty_is_null(self):
+        agg = fn.AGGREGATE_FUNCTIONS["SUM"]
+        assert agg.reduce(_vec(DataType.INTEGER, [None, None]), False) is None
+
+    def test_sum_and_avg(self):
+        assert fn.AGGREGATE_FUNCTIONS["SUM"].reduce(
+            _vec(DataType.FLOAT, [1.5, 2.5, None]), False
+        ) == 4.0
+        assert fn.AGGREGATE_FUNCTIONS["AVG"].reduce(
+            _vec(DataType.INTEGER, [2, 4]), False
+        ) == 3.0
+
+    def test_min_max_text(self):
+        assert fn.AGGREGATE_FUNCTIONS["MIN"].reduce(
+            _vec(DataType.TEXT, ["pear", "apple"]), False
+        ) == "apple"
+        assert fn.AGGREGATE_FUNCTIONS["MAX"].reduce(
+            _vec(DataType.TEXT, ["pear", "apple"]), False
+        ) == "pear"
+
+    def test_stddev(self):
+        out = fn.AGGREGATE_FUNCTIONS["STDDEV"].reduce(
+            _vec(DataType.FLOAT, [1.0, 3.0]), False
+        )
+        assert out == pytest.approx(math.sqrt(2.0))
+        assert (
+            fn.AGGREGATE_FUNCTIONS["STDDEV"].reduce(
+                _vec(DataType.FLOAT, [1.0]), False
+            )
+            is None
+        )
+
+    def test_sum_rejects_text(self):
+        with pytest.raises(BindError):
+            fn.AGGREGATE_FUNCTIONS["SUM"].return_type(DataType.TEXT)
+
+    def test_is_aggregate(self):
+        assert fn.is_aggregate("count")
+        assert fn.is_aggregate("SUM")
+        assert not fn.is_aggregate("ABS")

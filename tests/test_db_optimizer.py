@@ -1,0 +1,224 @@
+"""Optimizer tests: rewrites preserve semantics and improve plans."""
+
+import pytest
+
+from flock.db import Database
+from flock.db.optimizer.cost import (
+    CostModel,
+    estimate_rows,
+    predicate_selectivity,
+)
+from flock.db.optimizer.rules import Optimizer
+from flock.db.plan import FilterNode, JoinNode, ProjectNode, ScanNode
+from flock.db.sql.parser import parse_statement
+from flock.db.binder import Binder
+
+
+def _optimized_plan(db, sql, **flags):
+    optimizer = Optimizer(**flags)
+    plan = Binder(db).bind_select(parse_statement(sql))
+    return optimizer.optimize(plan, db)
+
+
+@pytest.fixture
+def rich_db(db):
+    db.execute(
+        "CREATE TABLE big (id INT, k INT, payload TEXT, extra1 TEXT, "
+        "extra2 FLOAT)"
+    )
+    db.execute("CREATE TABLE small (k INT, label TEXT)")
+    rows = ", ".join(
+        f"({i}, {i % 10}, 'p{i}', 'x', {float(i)})" for i in range(200)
+    )
+    db.execute(f"INSERT INTO big VALUES {rows}")
+    db.execute(
+        "INSERT INTO small VALUES (1, 'one'), (2, 'two'), (3, 'three')"
+    )
+    return db
+
+
+class TestPredicatePushdown:
+    def test_filter_moves_below_project(self, rich_db):
+        plan = _optimized_plan(
+            rich_db, "SELECT id * 2 AS d FROM big WHERE id < 5"
+        )
+        # The filter must sit below the projection, directly over the scan.
+        assert isinstance(plan, ProjectNode)
+        assert isinstance(plan.child, FilterNode)
+        assert isinstance(plan.child.child, ScanNode)
+
+    def test_filter_splits_across_join(self, rich_db):
+        plan = _optimized_plan(
+            rich_db,
+            "SELECT b.id FROM big b JOIN small s ON b.k = s.k "
+            "WHERE b.id < 10 AND s.label = 'one'",
+        )
+        joins = [n for n in plan.walk() if isinstance(n, JoinNode)]
+        assert len(joins) == 1
+        join = joins[0]
+        # Both sides gained a filter below the join.
+        assert any(isinstance(n, FilterNode) for n in join.left.walk())
+        assert any(isinstance(n, FilterNode) for n in join.right.walk())
+
+    def test_cross_join_becomes_inner(self, rich_db):
+        plan = _optimized_plan(
+            rich_db,
+            "SELECT b.id FROM big b, small s WHERE b.k = s.k",
+        )
+        joins = [n for n in plan.walk() if isinstance(n, JoinNode)]
+        assert joins and all(j.join_type == "INNER" for j in joins)
+        assert all(j.condition is not None for j in joins)
+
+    def test_pushdown_does_not_cross_limit(self, rich_db):
+        plan = _optimized_plan(
+            rich_db,
+            "SELECT d FROM (SELECT id AS d FROM big LIMIT 5) t WHERE d > 2",
+        )
+        # Filter must remain above the Limit (semantics!).
+        from flock.db.plan import LimitNode
+
+        def find_filter_below_limit(node):
+            if isinstance(node, LimitNode):
+                return any(
+                    isinstance(n, FilterNode) for n in node.walk()
+                    if n is not node
+                )
+            return any(
+                find_filter_below_limit(c) for c in node.children()
+            )
+
+        assert not find_filter_below_limit(plan)
+
+    def test_disabled_pushdown_keeps_plan_correct(self, rich_db):
+        sql = "SELECT id FROM big WHERE id < 5 ORDER BY id"
+        on = rich_db.execute(sql).rows()
+        rich_db.optimizer = Optimizer(
+            enable_predicate_pushdown=False,
+            enable_projection_pruning=False,
+            enable_join_rules=False,
+        )
+        off = rich_db.execute(sql).rows()
+        assert on == off
+
+
+class TestProjectionPruning:
+    def test_scan_narrowed_to_used_columns(self, rich_db):
+        plan = _optimized_plan(rich_db, "SELECT id FROM big WHERE k = 1")
+        scans = [n for n in plan.walk() if isinstance(n, ScanNode)]
+        assert len(scans) == 1
+        names = [f.name for f in scans[0].fields]
+        assert set(names) == {"id", "k"}  # payload/extras pruned
+
+    def test_star_keeps_all(self, rich_db):
+        plan = _optimized_plan(rich_db, "SELECT * FROM big")
+        scans = [n for n in plan.walk() if isinstance(n, ScanNode)]
+        assert len(scans[0].fields) == 5
+
+    def test_aggregate_prunes_unused_inputs(self, rich_db):
+        plan = _optimized_plan(
+            rich_db, "SELECT k, COUNT(*) FROM big GROUP BY k"
+        )
+        scans = [n for n in plan.walk() if isinstance(n, ScanNode)]
+        assert [f.name for f in scans[0].fields] == ["k"]
+
+    def test_pruned_and_unpruned_agree(self, rich_db):
+        sql = (
+            "SELECT b.id, s.label FROM big b JOIN small s ON b.k = s.k "
+            "WHERE b.id < 30 ORDER BY b.id"
+        )
+        with_pruning = rich_db.execute(sql).rows()
+        rich_db.optimizer = Optimizer(enable_projection_pruning=False)
+        without = rich_db.execute(sql).rows()
+        assert with_pruning == without
+
+
+class TestConstantFolding:
+    def test_column_free_predicate_folds_away(self, rich_db):
+        plan = _optimized_plan(rich_db, "SELECT id FROM big WHERE 1 + 1 = 2")
+        assert not any(isinstance(n, FilterNode) for n in plan.walk())
+
+    def test_arithmetic_folded_in_projection(self, rich_db):
+        plan = _optimized_plan(rich_db, "SELECT 2 * 3 + 1 AS c FROM big")
+        from flock.db.expr import BoundLiteral
+
+        project = next(n for n in plan.walk() if isinstance(n, ProjectNode))
+        assert isinstance(project.exprs[0], BoundLiteral)
+        assert project.exprs[0].value == 7
+
+
+class TestCostModel:
+    def test_selectivities_ordered(self):
+        from flock.db.expr import BoundBinary, BoundColumn, BoundLiteral
+        from flock.db.types import DataType
+
+        eq = BoundBinary(
+            "=",
+            BoundColumn(0, DataType.INTEGER, "a"),
+            BoundLiteral(DataType.INTEGER, 1),
+            DataType.BOOLEAN,
+        )
+        rng = BoundBinary(
+            "<",
+            BoundColumn(0, DataType.INTEGER, "a"),
+            BoundLiteral(DataType.INTEGER, 1),
+            DataType.BOOLEAN,
+        )
+        assert predicate_selectivity(eq) < predicate_selectivity(rng)
+        conj = BoundBinary("AND", eq, rng, DataType.BOOLEAN)
+        assert predicate_selectivity(conj) == pytest.approx(
+            predicate_selectivity(eq) * predicate_selectivity(rng)
+        )
+
+    def test_estimate_rows_scan_and_filter(self, rich_db):
+        plan = Binder(rich_db).bind_select(
+            parse_statement("SELECT id FROM big WHERE k = 1")
+        )
+        rows = estimate_rows(plan, rich_db.table_row_count)
+        assert 0 < rows < 200
+
+    def test_join_sides_swapped_for_small_build(self, rich_db):
+        # big JOIN small: the optimizer should build on `small`.
+        plan = _optimized_plan(
+            rich_db,
+            "SELECT b.id FROM small s JOIN big b ON b.k = s.k",
+        )
+        joins = [n for n in plan.walk() if isinstance(n, JoinNode)]
+        assert len(joins) == 1
+        cost = CostModel(rich_db.table_row_count)
+        assert cost.rows(joins[0].right) <= cost.rows(joins[0].left)
+
+    def test_swap_preserves_results(self, rich_db):
+        sql = (
+            "SELECT b.id, s.label FROM small s JOIN big b ON b.k = s.k "
+            "ORDER BY b.id LIMIT 5"
+        )
+        swapped = rich_db.execute(sql).rows()
+        rich_db.optimizer = Optimizer(enable_join_rules=False)
+        unswapped = rich_db.execute(sql).rows()
+        assert swapped == unswapped
+
+
+class TestOptimizerEquivalence:
+    """The golden property: every rewrite preserves query results."""
+
+    QUERIES = [
+        "SELECT id, payload FROM big WHERE id % 7 = 0 ORDER BY id",
+        "SELECT k, COUNT(*) AS n, SUM(extra2) AS s FROM big GROUP BY k "
+        "HAVING COUNT(*) > 10 ORDER BY k",
+        "SELECT b.id, s.label FROM big b JOIN small s ON b.k = s.k "
+        "WHERE b.id BETWEEN 10 AND 50 ORDER BY b.id",
+        "SELECT DISTINCT k FROM big WHERE payload LIKE 'p1%' ORDER BY k",
+        "SELECT t.k, t.n FROM (SELECT k, COUNT(*) AS n FROM big GROUP BY k) t "
+        "WHERE t.n > 15 ORDER BY t.k",
+    ]
+
+    @pytest.mark.parametrize("sql", QUERIES)
+    def test_all_optimizations_off_vs_on(self, rich_db, sql):
+        optimized = rich_db.execute(sql).rows()
+        rich_db.optimizer = Optimizer(
+            enable_predicate_pushdown=False,
+            enable_projection_pruning=False,
+            enable_join_rules=False,
+        )
+        naive = rich_db.execute(sql).rows()
+        assert optimized == naive

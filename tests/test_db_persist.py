@@ -1,0 +1,154 @@
+"""Persistence tests: snapshot/restore fidelity across every subsystem."""
+
+import numpy as np
+import pytest
+
+from flock import create_database
+from flock.db import Database
+from flock.db.persist import load_database, save_database
+from flock.errors import FlockError, SecurityError
+
+
+@pytest.fixture
+def rich_database(tmp_path):
+    db = Database()
+    db.execute(
+        "CREATE TABLE emp (id INT PRIMARY KEY, name TEXT NOT NULL, "
+        "salary FLOAT, hired DATE)"
+    )
+    db.execute(
+        "INSERT INTO emp VALUES (1,'ann',100.0,'2020-01-05'), "
+        "(2,'bob',NULL,'2021-03-01')"
+    )
+    db.execute("UPDATE emp SET salary = 95.0 WHERE id = 2")
+    db.execute("CREATE VIEW emp_names AS SELECT id, name FROM emp")
+    db.execute("CREATE USER alice")
+    db.execute("CREATE ROLE reader")
+    db.execute("GRANT SELECT ON emp_names TO reader")
+    db.execute("GRANT reader TO alice")
+    return db
+
+
+class TestRoundTrip:
+    def test_rows_identical(self, rich_database, tmp_path):
+        save_database(rich_database, tmp_path / "snap")
+        restored = load_database(tmp_path / "snap")
+        assert restored.execute(
+            "SELECT id, name, salary, hired FROM emp ORDER BY id"
+        ).rows() == rich_database.execute(
+            "SELECT id, name, salary, hired FROM emp ORDER BY id"
+        ).rows()
+
+    def test_version_history_preserved(self, rich_database, tmp_path):
+        save_database(rich_database, tmp_path / "snap")
+        restored = load_database(tmp_path / "snap")
+        original = rich_database.catalog.table("emp")
+        table = restored.catalog.table("emp")
+        assert table.version_count == original.version_count
+        # The pre-UPDATE version still scans the old salary.
+        old = table.scan(version_id=1)
+        salary = old.column("salary").to_pylist()
+        assert None in salary
+
+    def test_views_restored_and_queryable(self, rich_database, tmp_path):
+        save_database(rich_database, tmp_path / "snap")
+        restored = load_database(tmp_path / "snap")
+        rows = restored.execute(
+            "SELECT name FROM emp_names ORDER BY id"
+        ).rows()
+        assert rows == [("ann",), ("bob",)]
+
+    def test_security_restored(self, rich_database, tmp_path):
+        save_database(rich_database, tmp_path / "snap")
+        restored = load_database(tmp_path / "snap")
+        # alice reads through the view (role grant), not the base table.
+        assert restored.execute(
+            "SELECT COUNT(*) FROM emp_names", user="alice"
+        ).scalar() == 2
+        with pytest.raises(SecurityError):
+            restored.execute("SELECT salary FROM emp", user="alice")
+
+    def test_audit_chain_survives(self, rich_database, tmp_path):
+        save_database(rich_database, tmp_path / "snap")
+        restored = load_database(tmp_path / "snap")
+        assert restored.audit.log.verify_chain()
+        assert len(restored.audit.log) == len(rich_database.audit.log)
+        # New records continue the chain.
+        restored.execute("SELECT COUNT(*) FROM emp")
+        assert restored.audit.log.verify_chain()
+
+    def test_query_log_restored_for_lazy_provenance(
+        self, rich_database, tmp_path
+    ):
+        save_database(rich_database, tmp_path / "snap")
+        restored = load_database(tmp_path / "snap")
+        from flock.provenance import ProvenanceCatalog, SQLProvenanceCapture
+
+        catalog = ProvenanceCatalog()
+        capture = SQLProvenanceCapture(catalog, database=restored)
+        summary = capture.capture_log(restored.query_log)
+        assert summary.query_count >= 4
+
+    def test_writes_after_restore(self, rich_database, tmp_path):
+        save_database(rich_database, tmp_path / "snap")
+        restored = load_database(tmp_path / "snap")
+        restored.execute(
+            "INSERT INTO emp VALUES (3,'cyd',70.0,'2023-05-05')"
+        )
+        assert restored.execute("SELECT COUNT(*) FROM emp").scalar() == 3
+        # Primary key constraint still enforced post-restore.
+        from flock.errors import ConstraintError
+
+        with pytest.raises(ConstraintError):
+            restored.execute(
+                "INSERT INTO emp VALUES (3,'dup',1.0,'2023-01-01')"
+            )
+
+    def test_missing_snapshot_raises(self, tmp_path):
+        with pytest.raises(FlockError):
+            load_database(tmp_path / "nothing")
+
+    def test_bad_format_version(self, rich_database, tmp_path):
+        import json
+
+        save_database(rich_database, tmp_path / "snap")
+        manifest = tmp_path / "snap" / "manifest.json"
+        payload = json.loads(manifest.read_text())
+        payload["format_version"] = 99
+        manifest.write_text(json.dumps(payload))
+        with pytest.raises(FlockError):
+            load_database(tmp_path / "snap")
+
+
+class TestModelsSurvive:
+    def test_deployed_models_restore_and_score(self, tmp_path):
+        from flock.ml import LogisticRegression
+        from flock.ml.datasets import load_dataset_into, make_loans
+        from flock.mlgraph import to_graph
+        from flock.registry import ModelRegistry
+
+        database, registry = create_database()
+        dataset = make_loans(100, random_state=0)
+        load_dataset_into(database, dataset)
+        model = LogisticRegression(max_iter=80).fit(
+            dataset.feature_matrix(), dataset.target_vector()
+        )
+        registry.deploy(
+            "m", to_graph(model, dataset.feature_names, name="m")
+        )
+        before = database.execute(
+            "SELECT PREDICT(m) AS p FROM loans ORDER BY applicant_id"
+        ).column("p")
+
+        save_database(database, tmp_path / "snap")
+
+        # Fresh process simulation: restore + rebuild the registry from the
+        # flock_models system table.
+        fresh_registry = ModelRegistry()
+        restored = load_database(tmp_path / "snap", model_store=fresh_registry)
+        fresh_registry.bind_database(restored)
+        assert fresh_registry.load_from_database(restored) == 1
+        after = restored.execute(
+            "SELECT PREDICT(m) AS p FROM loans ORDER BY applicant_id"
+        ).column("p")
+        assert np.allclose(before, after)

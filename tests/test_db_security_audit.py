@@ -1,0 +1,182 @@
+"""Access control and audit log tests."""
+
+import pytest
+
+from flock.db import Database
+from flock.db.audit import AuditLog
+from flock.db.security import SecurityManager, model_object
+from flock.errors import SecurityError
+
+
+class TestSecurityManager:
+    def test_admin_always_allowed(self):
+        sec = SecurityManager()
+        assert sec.is_allowed("admin", "DELETE", "anything")
+
+    def test_direct_grant(self):
+        sec = SecurityManager()
+        sec.create_user("alice")
+        assert not sec.is_allowed("alice", "SELECT", "emp")
+        sec.grant("SELECT", "emp", "alice")
+        assert sec.is_allowed("alice", "SELECT", "emp")
+        assert not sec.is_allowed("alice", "DELETE", "emp")
+
+    def test_all_privilege(self):
+        sec = SecurityManager()
+        sec.create_user("alice")
+        sec.grant("ALL", "emp", "alice")
+        for privilege in ("SELECT", "INSERT", "UPDATE", "DELETE"):
+            assert sec.is_allowed("alice", privilege, "emp")
+
+    def test_role_inheritance(self):
+        sec = SecurityManager()
+        sec.create_user("alice")
+        sec.create_role("analyst")
+        sec.grant("SELECT", "emp", "analyst")
+        sec.grant("analyst", None, "alice")  # role grant
+        assert sec.is_allowed("alice", "SELECT", "emp")
+
+    def test_nested_roles(self):
+        sec = SecurityManager()
+        sec.create_user("u")
+        sec.create_role("inner")
+        sec.create_role("outer")
+        sec.grant("SELECT", "t", "inner")
+        sec.grant("inner", None, "outer")
+        sec.grant("outer", None, "u")
+        assert sec.is_allowed("u", "SELECT", "t")
+
+    def test_revoke(self):
+        sec = SecurityManager()
+        sec.create_user("alice")
+        sec.grant("SELECT", "emp", "alice")
+        sec.revoke("SELECT", "emp", "alice")
+        assert not sec.is_allowed("alice", "SELECT", "emp")
+
+    def test_duplicate_principal(self):
+        sec = SecurityManager()
+        sec.create_user("alice")
+        with pytest.raises(SecurityError):
+            sec.create_user("ALICE")
+
+    def test_check_raises(self):
+        sec = SecurityManager()
+        sec.create_user("bob")
+        with pytest.raises(SecurityError):
+            sec.check("bob", "SELECT", "emp")
+
+    def test_unknown_user_denied(self):
+        sec = SecurityManager()
+        assert not sec.is_allowed("ghost", "SELECT", "emp")
+
+    def test_model_object_namespace(self):
+        assert model_object("LoanModel") == "model:loanmodel"
+
+
+class TestEngineSecurity:
+    def test_select_requires_privilege(self, emp_db):
+        emp_db.execute("CREATE USER intern")
+        with pytest.raises(SecurityError):
+            emp_db.execute("SELECT * FROM emp", user="intern")
+        emp_db.execute("GRANT SELECT ON emp TO intern")
+        result = emp_db.execute("SELECT COUNT(*) FROM emp", user="intern")
+        assert result.scalar() == 5
+
+    def test_dml_requires_specific_privileges(self, emp_db):
+        emp_db.execute("CREATE USER writer")
+        emp_db.execute("GRANT INSERT ON emp TO writer")
+        emp_db.execute(
+            "INSERT INTO emp VALUES (9, 'zed', 'ops', 10.0, '2024-01-01')",
+            user="writer",
+        )
+        with pytest.raises(SecurityError):
+            emp_db.execute("DELETE FROM emp WHERE id = 9", user="writer")
+
+    def test_only_admin_manages_grants(self, emp_db):
+        emp_db.execute("CREATE USER mallory")
+        with pytest.raises(SecurityError):
+            emp_db.execute("GRANT ALL ON emp TO mallory", user="mallory")
+
+    def test_unknown_user_cannot_connect(self, emp_db):
+        with pytest.raises(SecurityError):
+            emp_db.connect("ghost")
+
+    def test_table_creator_owns_table(self, db):
+        db.execute("CREATE USER owner")
+        db.execute("CREATE TABLE mine (a INT)", user="owner")
+        db.execute("INSERT INTO mine VALUES (1)", user="owner")
+        db.execute("DROP TABLE mine", user="owner")
+
+    def test_predict_requires_model_privilege(self, loan_setup):
+        database, registry, dataset, _ = loan_setup
+        database.execute("CREATE USER scorer")
+        database.execute("GRANT SELECT ON loans TO scorer")
+        with pytest.raises(SecurityError):
+            database.execute(
+                "SELECT PREDICT(loan_model) FROM loans", user="scorer"
+            )
+        database.security.grant("PREDICT", model_object("loan_model"), "scorer")
+        result = database.execute(
+            "SELECT PREDICT(loan_model) AS p FROM loans LIMIT 3",
+            user="scorer",
+        )
+        assert result.row_count == 3
+
+
+class TestAuditLog:
+    def test_chain_verification(self):
+        log = AuditLog()
+        for i in range(5):
+            log.record("u", "SELECT", f"t{i}")
+        assert log.verify_chain()
+        assert len(log) == 5
+
+    def test_tampering_detected(self):
+        log = AuditLog()
+        log.record("u", "SELECT", "t")
+        log.record("u", "DELETE", "t")
+        # Forge the first record in place.
+        forged = log._records[0].__class__(
+            sequence=1,
+            timestamp=log._records[0].timestamp,
+            user="mallory",
+            action="SELECT",
+            object_name="t",
+            detail="",
+            success=True,
+            previous_digest=log._records[0].previous_digest,
+            digest=log._records[0].digest,
+        )
+        log._records[0] = forged
+        assert not log.verify_chain()
+
+    def test_truncation_detected(self):
+        log = AuditLog()
+        log.record("u", "A", "x")
+        log.record("u", "B", "y")
+        del log._records[0]
+        assert not log.verify_chain()
+
+    def test_filters(self):
+        log = AuditLog()
+        log.record("alice", "SELECT", "emp")
+        log.record("bob", "DELETE", "emp")
+        log.record("alice", "SELECT", "dept")
+        assert len(log.records(user="alice")) == 2
+        assert len(log.records(action="delete")) == 1
+        assert len(log.records(object_name="emp")) == 2
+
+    def test_engine_records_statements(self, emp_db):
+        emp_db.execute("SELECT COUNT(*) FROM emp")
+        emp_db.execute("DELETE FROM emp WHERE id = 5")
+        actions = [r.action for r in emp_db.audit.log]
+        assert "SELECT" in actions
+        assert "DELETE" in actions
+        assert emp_db.audit.log.verify_chain()
+
+    def test_predict_is_audited(self, loan_setup):
+        database, *_ = loan_setup
+        database.execute("SELECT PREDICT(loan_model) FROM loans LIMIT 1")
+        predict_records = database.audit.log.records(action="PREDICT")
+        assert predict_records
+        assert predict_records[-1].object_name == "model:loan_model"

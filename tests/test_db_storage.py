@@ -1,0 +1,185 @@
+"""Unit + property tests for versioned columnar storage."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from flock.db.schema import Column, TableSchema
+from flock.db.storage import ColumnStats, Table
+from flock.db.types import DataType
+from flock.db.vector import ColumnVector
+from flock.errors import CatalogError, ConstraintError, ExecutionError
+
+
+def _table(primary_key: bool = False) -> Table:
+    return Table(
+        TableSchema.of(
+            "t",
+            [
+                Column("id", DataType.INTEGER, nullable=False,
+                       primary_key=primary_key),
+                Column("name", DataType.TEXT),
+                Column("score", DataType.FLOAT),
+            ],
+        )
+    )
+
+
+class TestSchema:
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(CatalogError):
+            TableSchema.of(
+                "t",
+                [Column("a", DataType.INTEGER), Column("A", DataType.TEXT)],
+            )
+
+    def test_index_of_case_insensitive(self):
+        schema = _table().schema
+        assert schema.index_of("NAME") == 1
+        with pytest.raises(CatalogError):
+            schema.index_of("missing")
+
+    def test_primary_key_indexes(self):
+        assert _table(primary_key=True).schema.primary_key_indexes == [0]
+
+
+class TestVersioning:
+    def test_insert_creates_staged_version_only(self):
+        table = _table()
+        staged = table.build_insert([(1, "a", 1.0)])
+        # Not yet visible.
+        assert table.row_count == 0
+        table.publish(staged)
+        assert table.row_count == 1
+        assert table.version_count == 2
+
+    def test_version_history_retained(self):
+        table = _table()
+        for i in range(3):
+            table.publish(table.build_insert([(i, f"n{i}", float(i))]))
+        assert table.version_count == 4
+        assert table.version(0).row_count == 0
+        assert table.version(2).row_count == 2
+        assert [v.operation for v in table.versions()] == [
+            "CREATE", "INSERT", "INSERT", "INSERT",
+        ]
+
+    def test_historical_scan(self):
+        table = _table()
+        table.publish(table.build_insert([(1, "a", 1.0)]))
+        table.publish(table.build_delete(np.array([False])))
+        assert table.row_count == 0
+        assert table.scan(version_id=1).num_rows == 1
+
+    def test_unknown_version(self):
+        with pytest.raises(ExecutionError):
+            _table().version(99)
+
+
+class TestMutations:
+    def test_delete_keep_mask(self):
+        table = _table()
+        table.publish(
+            table.build_insert([(1, "a", 1.0), (2, "b", 2.0), (3, "c", 3.0)])
+        )
+        table.publish(table.build_delete(np.array([True, False, True])))
+        assert table.scan().column("id").to_pylist() == [1, 3]
+
+    def test_update_assignments(self):
+        table = _table()
+        table.publish(table.build_insert([(1, "a", 1.0), (2, "b", 2.0)]))
+        mask = np.array([False, True])
+        replacement = ColumnVector.from_values(DataType.FLOAT, [99.0])
+        table.publish(table.build_update(mask, {2: replacement}))
+        assert table.scan().column("score").to_pylist() == [1.0, 99.0]
+
+    def test_truncate(self):
+        table = _table()
+        table.publish(table.build_insert([(1, "a", 1.0)]))
+        table.publish(table.build_truncate())
+        assert table.row_count == 0
+        assert table.version_count == 3
+
+    def test_wrong_width_rejected(self):
+        with pytest.raises(ExecutionError):
+            _table().build_insert([(1, "a")])
+
+    def test_not_null_enforced(self):
+        with pytest.raises(ConstraintError):
+            _table().build_insert([(None, "a", 1.0)])
+
+    def test_primary_key_duplicates_rejected(self):
+        table = _table(primary_key=True)
+        with pytest.raises(ConstraintError):
+            table.build_insert([(1, "a", 1.0), (1, "b", 2.0)])
+
+    def test_primary_key_checked_across_versions(self):
+        table = _table(primary_key=True)
+        table.publish(table.build_insert([(1, "a", 1.0)]))
+        with pytest.raises(ConstraintError):
+            table.build_insert([(1, "again", 2.0)])
+
+
+class TestStats:
+    def test_column_stats(self):
+        table = _table()
+        table.publish(
+            table.build_insert(
+                [(1, "a", 2.0), (2, "b", None), (3, "a", 8.0)]
+            )
+        )
+        stats = table.stats()
+        assert stats.row_count == 3
+        score = stats.column("score")
+        assert score.null_count == 1
+        assert score.min_value == 2.0
+        assert score.max_value == 8.0
+        name = stats.column("name")
+        assert name.distinct_count == 2
+        assert name.min_value == "a" and name.max_value == "b"
+
+    def test_stats_cached_per_version(self):
+        table = _table()
+        table.publish(table.build_insert([(1, "a", 1.0)]))
+        version = table.head_version
+        assert version.stats() is version.stats()
+
+    def test_empty_column_stats(self):
+        stats = ColumnStats.from_vector(
+            ColumnVector.from_values(DataType.FLOAT, [None, None])
+        )
+        assert stats.null_count == 2
+        assert stats.distinct_count == 0
+        assert stats.min_value is None
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(-100, 100),
+            st.one_of(st.text(max_size=5), st.none()),
+            st.one_of(st.floats(-1e6, 1e6), st.none()),
+        ),
+        max_size=30,
+    )
+)
+def test_insert_roundtrip_property(rows):
+    """Whatever rows go in, the head version scans them back unchanged."""
+    table = _table()
+    table.publish(table.build_insert(rows))
+    scanned = list(table.scan().rows())
+    assert scanned == [tuple(r) for r in rows]
+
+
+@given(st.lists(st.integers(0, 5), min_size=1, max_size=8))
+def test_version_count_property(batches):
+    """Each publish adds exactly one version; history never shrinks."""
+    table = _table()
+    for batch_index, n in enumerate(batches):
+        rows = [
+            (batch_index * 100 + i, "x", 0.5) for i in range(n)
+        ]
+        table.publish(table.build_insert(rows))
+    assert table.version_count == len(batches) + 1
+    assert table.row_count == sum(batches)

@@ -1,0 +1,166 @@
+"""Transaction tests: atomicity, isolation, conflicts, rollback."""
+
+import pytest
+
+from flock.db import Database
+from flock.errors import TransactionError
+
+
+@pytest.fixture
+def accounts(db):
+    db.execute("CREATE TABLE acct (id INT PRIMARY KEY, balance FLOAT)")
+    db.execute("INSERT INTO acct VALUES (1, 100.0), (2, 50.0)")
+    return db
+
+
+class TestExplicitTransactions:
+    def test_commit_makes_writes_visible(self, accounts):
+        conn = accounts.connect()
+        conn.execute("BEGIN")
+        conn.execute("UPDATE acct SET balance = balance - 10 WHERE id = 1")
+        conn.execute("UPDATE acct SET balance = balance + 10 WHERE id = 2")
+        # Another connection sees nothing yet.
+        other = accounts.connect()
+        assert other.execute(
+            "SELECT balance FROM acct WHERE id = 1"
+        ).scalar() == 100.0
+        conn.execute("COMMIT")
+        assert other.execute(
+            "SELECT balance FROM acct WHERE id = 1"
+        ).scalar() == 90.0
+        assert other.execute(
+            "SELECT balance FROM acct WHERE id = 2"
+        ).scalar() == 60.0
+
+    def test_rollback_discards_everything(self, accounts):
+        conn = accounts.connect()
+        conn.execute("BEGIN")
+        conn.execute("DELETE FROM acct")
+        conn.execute("INSERT INTO acct VALUES (9, 1.0)")
+        conn.execute("ROLLBACK")
+        assert accounts.execute("SELECT COUNT(*) FROM acct").scalar() == 2
+
+    def test_own_writes_visible_inside_txn(self, accounts):
+        conn = accounts.connect()
+        conn.execute("BEGIN")
+        conn.execute("UPDATE acct SET balance = 0 WHERE id = 1")
+        assert conn.execute(
+            "SELECT balance FROM acct WHERE id = 1"
+        ).scalar() == 0.0
+        conn.execute("ROLLBACK")
+
+    def test_write_conflict_detected(self, accounts):
+        conn_a = accounts.connect()
+        conn_b = accounts.connect()
+        conn_a.execute("BEGIN")
+        conn_a.execute("UPDATE acct SET balance = 1 WHERE id = 1")
+        conn_b.execute("BEGIN")
+        conn_b.execute("UPDATE acct SET balance = 2 WHERE id = 1")
+        conn_a.execute("COMMIT")
+        with pytest.raises(TransactionError, match="conflict"):
+            conn_b.execute("COMMIT")
+        # The loser's write is gone.
+        assert accounts.execute(
+            "SELECT balance FROM acct WHERE id = 1"
+        ).scalar() == 1.0
+
+    def test_disjoint_tables_do_not_conflict(self, accounts):
+        accounts.execute("CREATE TABLE other (x INT)")
+        conn_a = accounts.connect()
+        conn_b = accounts.connect()
+        conn_a.execute("BEGIN")
+        conn_a.execute("INSERT INTO other VALUES (1)")
+        conn_b.execute("BEGIN")
+        conn_b.execute("UPDATE acct SET balance = 5 WHERE id = 2")
+        conn_a.execute("COMMIT")
+        conn_b.execute("COMMIT")
+        assert accounts.execute("SELECT COUNT(*) FROM other").scalar() == 1
+
+    def test_nested_begin_rejected(self, accounts):
+        conn = accounts.connect()
+        conn.execute("BEGIN")
+        from flock.errors import BindError
+
+        with pytest.raises(BindError):
+            conn.execute("BEGIN")
+
+    def test_commit_without_begin_rejected(self, accounts):
+        from flock.errors import BindError
+
+        with pytest.raises(BindError):
+            accounts.connect().execute("COMMIT")
+
+    def test_transaction_not_reusable_after_commit(self, accounts):
+        conn = accounts.connect()
+        conn.execute("BEGIN")
+        conn.execute("COMMIT")
+        assert not conn.in_transaction
+        conn.execute("BEGIN")  # a fresh transaction works
+        conn.execute("ROLLBACK")
+
+
+class TestAutocommit:
+    def test_each_statement_commits(self, accounts):
+        accounts.execute("UPDATE acct SET balance = 0 WHERE id = 1")
+        assert accounts.execute(
+            "SELECT balance FROM acct WHERE id = 1"
+        ).scalar() == 0.0
+
+    def test_failed_statement_leaves_no_trace(self, accounts):
+        from flock.errors import ExecutionError
+
+        version_count = accounts.catalog.table("acct").version_count
+        with pytest.raises(ExecutionError):
+            accounts.execute(
+                "UPDATE acct SET balance = balance / 0 WHERE id = 1"
+            )
+        assert accounts.catalog.table("acct").version_count == version_count
+
+    def test_counters(self, accounts):
+        committed = accounts.transactions.committed_count
+        accounts.execute("INSERT INTO acct VALUES (3, 1.0)")
+        assert accounts.transactions.committed_count == committed + 1
+
+
+class TestMultiTableAtomicity:
+    def test_models_rollout_style_commit(self, db):
+        """Multiple tables move atomically (the paper's multi-model rollout)."""
+        db.execute("CREATE TABLE m1 (v INT)")
+        db.execute("CREATE TABLE m2 (v INT)")
+        conn = db.connect()
+        conn.execute("BEGIN")
+        conn.execute("INSERT INTO m1 VALUES (1)")
+        conn.execute("INSERT INTO m2 VALUES (1)")
+        conn.execute("ROLLBACK")
+        assert db.execute("SELECT COUNT(*) FROM m1").scalar() == 0
+        assert db.execute("SELECT COUNT(*) FROM m2").scalar() == 0
+        conn.execute("BEGIN")
+        conn.execute("INSERT INTO m1 VALUES (2)")
+        conn.execute("INSERT INTO m2 VALUES (2)")
+        conn.execute("COMMIT")
+        assert db.execute("SELECT COUNT(*) FROM m1").scalar() == 1
+        assert db.execute("SELECT COUNT(*) FROM m2").scalar() == 1
+
+    def test_on_commit_hooks_fire(self, db):
+        db.execute("CREATE TABLE t (v INT)")
+        fired = []
+        txn = db.transactions.begin()
+        table = db.catalog.table("t")
+        txn.stage("t", table.build_insert([(1,)]))
+        txn.on_commit(lambda: fired.append("commit"))
+        txn.commit()
+        assert fired == ["commit"]
+
+    def test_on_rollback_hooks_fire(self, db):
+        fired = []
+        txn = db.transactions.begin()
+        txn.on_rollback(lambda: fired.append("rollback"))
+        txn.rollback()
+        assert fired == ["rollback"]
+
+    def test_inactive_transaction_rejects_reads(self, db):
+        db.execute("CREATE TABLE t (v INT)")
+        txn = db.transactions.begin()
+        txn.rollback()
+        with pytest.raises(TransactionError):
+            txn.visible_version("t")

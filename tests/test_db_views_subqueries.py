@@ -1,0 +1,194 @@
+"""Views (definer-semantics access control) and IN-subquery tests."""
+
+import pytest
+
+from flock.db import Database
+from flock.errors import BindError, CatalogError, SecurityError
+
+
+@pytest.fixture
+def view_db(db):
+    db.execute("CREATE TABLE emp (id INT, name TEXT, dept TEXT, ssn TEXT)")
+    db.execute(
+        "INSERT INTO emp VALUES (1,'ann','eng','111'), (2,'bob','eng','222'), "
+        "(3,'cyd','hr','333')"
+    )
+    db.execute("CREATE VIEW emp_public AS SELECT id, name, dept FROM emp")
+    return db
+
+
+class TestViews:
+    def test_view_query(self, view_db):
+        rows = view_db.execute(
+            "SELECT name FROM emp_public WHERE dept = 'eng' ORDER BY id"
+        ).rows()
+        assert rows == [("ann",), ("bob",)]
+
+    def test_view_hides_columns(self, view_db):
+        with pytest.raises(BindError):
+            view_db.execute("SELECT ssn FROM emp_public")
+
+    def test_view_with_alias(self, view_db):
+        rows = view_db.execute(
+            "SELECT p.name FROM emp_public p WHERE p.id = 1"
+        ).rows()
+        assert rows == [("ann",)]
+
+    def test_view_reflects_base_changes(self, view_db):
+        view_db.execute("INSERT INTO emp VALUES (4,'dee','ops','444')")
+        assert view_db.execute(
+            "SELECT COUNT(*) FROM emp_public"
+        ).scalar() == 4
+
+    def test_view_joins_with_tables(self, view_db):
+        view_db.execute("CREATE TABLE floors (dept TEXT, floor INT)")
+        view_db.execute("INSERT INTO floors VALUES ('eng', 3)")
+        rows = view_db.execute(
+            "SELECT p.name, f.floor FROM emp_public p "
+            "JOIN floors f ON p.dept = f.dept ORDER BY p.id"
+        ).rows()
+        assert rows == [("ann", 3), ("bob", 3)]
+
+    def test_view_over_aggregate(self, view_db):
+        view_db.execute(
+            "CREATE VIEW dept_sizes AS "
+            "SELECT dept, COUNT(*) AS n FROM emp GROUP BY dept"
+        )
+        rows = view_db.execute(
+            "SELECT dept, n FROM dept_sizes ORDER BY dept"
+        ).rows()
+        assert rows == [("eng", 2), ("hr", 1)]
+
+    def test_view_of_view(self, view_db):
+        view_db.execute(
+            "CREATE VIEW eng_only AS "
+            "SELECT id, name FROM emp_public WHERE dept = 'eng'"
+        )
+        assert view_db.execute(
+            "SELECT COUNT(*) FROM eng_only"
+        ).scalar() == 2
+
+    def test_duplicate_and_collision_rejected(self, view_db):
+        with pytest.raises(CatalogError):
+            view_db.execute("CREATE VIEW emp_public AS SELECT id FROM emp")
+        with pytest.raises(CatalogError):
+            view_db.execute("CREATE VIEW emp AS SELECT id FROM emp")
+        with pytest.raises(CatalogError):
+            view_db.execute("CREATE TABLE emp_public (x INT)")
+
+    def test_drop_view(self, view_db):
+        view_db.execute("DROP VIEW emp_public")
+        with pytest.raises(CatalogError):
+            view_db.execute("SELECT * FROM emp_public")
+        with pytest.raises(CatalogError):
+            view_db.execute("DROP VIEW emp_public")
+        view_db.execute("DROP VIEW IF EXISTS emp_public")
+
+    def test_invalid_definition_rejected_at_creation(self, view_db):
+        with pytest.raises(BindError):
+            view_db.execute("CREATE VIEW broken AS SELECT nope FROM emp")
+
+
+class TestViewSecurity:
+    def test_definer_semantics(self, view_db):
+        """A grant on the view suffices; the base table stays locked."""
+        view_db.execute("CREATE USER clerk")
+        view_db.execute("GRANT SELECT ON emp_public TO clerk")
+        rows = view_db.execute(
+            "SELECT name FROM emp_public ORDER BY id", user="clerk"
+        ).rows()
+        assert len(rows) == 3
+        with pytest.raises(SecurityError):
+            view_db.execute("SELECT ssn FROM emp", user="clerk")
+
+    def test_view_without_grant_denied(self, view_db):
+        view_db.execute("CREATE USER stranger")
+        with pytest.raises(SecurityError):
+            view_db.execute("SELECT name FROM emp_public", user="stranger")
+
+    def test_creator_needs_base_privileges(self, view_db):
+        view_db.execute("CREATE USER schemer")
+        with pytest.raises(SecurityError):
+            view_db.execute(
+                "CREATE VIEW leak AS SELECT ssn FROM emp", user="schemer"
+            )
+
+    def test_create_view_audited(self, view_db):
+        records = view_db.audit.log.records(action="CREATE_VIEW")
+        assert records and records[0].object_name == "emp_public"
+
+
+class TestInSubqueries:
+    @pytest.fixture
+    def sub_db(self, db):
+        db.execute("CREATE TABLE orders_t (id INT, customer TEXT)")
+        db.execute("CREATE TABLE vip (name TEXT)")
+        db.execute(
+            "INSERT INTO orders_t VALUES (1,'ann'), (2,'bob'), (3,'ann'), "
+            "(4,'cyd'), (5, NULL)"
+        )
+        db.execute("INSERT INTO vip VALUES ('ann'), ('ann'), ('dee')")
+        return db
+
+    def test_in_semijoin_no_duplicates(self, sub_db):
+        # 'ann' appears twice in vip, but each order appears once.
+        rows = sub_db.execute(
+            "SELECT id FROM orders_t WHERE customer IN "
+            "(SELECT name FROM vip) ORDER BY id"
+        ).rows()
+        assert rows == [(1,), (3,)]
+
+    def test_not_in_antijoin(self, sub_db):
+        rows = sub_db.execute(
+            "SELECT id FROM orders_t WHERE customer NOT IN "
+            "(SELECT name FROM vip) ORDER BY id"
+        ).rows()
+        assert rows == [(2,), (4,), (5,)]
+
+    def test_in_combined_with_other_predicates(self, sub_db):
+        rows = sub_db.execute(
+            "SELECT id FROM orders_t WHERE customer IN "
+            "(SELECT name FROM vip) AND id > 1"
+        ).rows()
+        assert rows == [(3,)]
+
+    def test_subquery_with_where(self, sub_db):
+        rows = sub_db.execute(
+            "SELECT id FROM orders_t WHERE customer IN "
+            "(SELECT name FROM vip WHERE name <> 'ann')"
+        ).rows()
+        assert rows == []
+
+    def test_multi_column_subquery_rejected(self, sub_db):
+        with pytest.raises(BindError):
+            sub_db.execute(
+                "SELECT id FROM orders_t WHERE customer IN "
+                "(SELECT name, name FROM vip)"
+            )
+
+    def test_in_query_in_select_list_rejected(self, sub_db):
+        with pytest.raises(BindError):
+            sub_db.execute(
+                "SELECT customer IN (SELECT name FROM vip) FROM orders_t"
+            )
+
+    def test_nested_in_or_rejected(self, sub_db):
+        with pytest.raises(BindError):
+            sub_db.execute(
+                "SELECT id FROM orders_t WHERE id = 1 OR customer IN "
+                "(SELECT name FROM vip)"
+            )
+
+    def test_aggregate_over_semijoin(self, sub_db):
+        n = sub_db.execute(
+            "SELECT COUNT(*) FROM orders_t WHERE customer IN "
+            "(SELECT name FROM vip)"
+        ).scalar()
+        assert n == 2
+
+    def test_star_does_not_leak_hidden_column(self, sub_db):
+        result = sub_db.execute(
+            "SELECT * FROM orders_t WHERE customer IN "
+            "(SELECT name FROM vip) ORDER BY id"
+        )
+        assert result.column_names == ["id", "customer"]

@@ -1,0 +1,143 @@
+"""Failure-injection tests: broken components must fail clean, not dirty."""
+
+import numpy as np
+import pytest
+
+from flock import create_database
+from flock.db import Database
+from flock.errors import ConstraintError, ExecutionError, InferenceError
+
+
+class TestScoringFailures:
+    def test_broken_scorer_fails_query_not_database(self, loan_setup):
+        database, registry, dataset, _ = loan_setup
+
+        class BrokenScorer:
+            def score(self, node, inputs, store):
+                raise InferenceError("scorer exploded")
+
+        # Disable inlining so the scorer is actually consulted.
+        from flock.inference import CrossOptimizer
+
+        database.optimizer.extra_rules = [
+            CrossOptimizer(enable_inlining=False).apply
+        ]
+        original = database._scorer
+        database.scorer = BrokenScorer()
+        try:
+            with pytest.raises(InferenceError, match="exploded"):
+                database.execute("SELECT PREDICT(loan_model) FROM loans")
+        finally:
+            database.scorer = original
+        # The database is still healthy.
+        assert database.execute("SELECT COUNT(*) FROM loans").scalar() == 200
+        assert database.audit.log.verify_chain()
+
+    def test_broken_monitor_does_not_break_scoring(self, loan_setup):
+        database, *_ = loan_setup
+
+        class BrokenHub:
+            def has_monitor(self, name):
+                return True  # also disables inlining
+
+            def on_score(self, *args, **kwargs):
+                raise RuntimeError("monitor exploded")
+
+        database.scorer.monitor_hub = BrokenHub()
+        database.cross_optimizer.monitor_hub = BrokenHub()
+        try:
+            result = database.execute(
+                "SELECT PREDICT(loan_model) AS p FROM loans LIMIT 5"
+            )
+            assert result.row_count == 5
+        finally:
+            database.scorer.monitor_hub = None
+            database.cross_optimizer.monitor_hub = None
+
+    def test_model_missing_inputs_fails_cleanly(self, loan_setup):
+        database, *_ = loan_setup
+        from flock.errors import BindError
+
+        with pytest.raises(BindError):
+            database.execute(
+                "SELECT PREDICT(loan_model, income) FROM loans"
+            )
+        # No residue in the query path.
+        assert database.execute("SELECT COUNT(*) FROM loans").scalar() == 200
+
+
+class TestWriteFailures:
+    def test_multi_row_insert_is_all_or_nothing(self, db):
+        db.execute("CREATE TABLE t (a INT NOT NULL)")
+        with pytest.raises(ConstraintError):
+            db.execute("INSERT INTO t VALUES (1), (NULL), (3)")
+        assert db.execute("SELECT COUNT(*) FROM t").scalar() == 0
+
+    def test_update_failure_keeps_old_values(self, db):
+        db.execute("CREATE TABLE t (a INT)")
+        db.execute("INSERT INTO t VALUES (1), (0), (4)")
+        with pytest.raises(ExecutionError):
+            db.execute("UPDATE t SET a = 10 / a")
+        assert sorted(db.execute("SELECT a FROM t").column("a")) == [0, 1, 4]
+
+    def test_explicit_txn_failure_then_rollback_then_reuse(self, db):
+        db.execute("CREATE TABLE t (a INT NOT NULL)")
+        conn = db.connect()
+        conn.execute("BEGIN")
+        conn.execute("INSERT INTO t VALUES (1)")
+        with pytest.raises(ConstraintError):
+            conn.execute("INSERT INTO t VALUES (NULL)")
+        # The transaction is still open; the user decides what to do.
+        assert conn.in_transaction
+        conn.execute("ROLLBACK")
+        assert db.execute("SELECT COUNT(*) FROM t").scalar() == 0
+        conn.execute("INSERT INTO t VALUES (7)")
+        assert db.execute("SELECT COUNT(*) FROM t").scalar() == 1
+
+    def test_primary_key_violation_mid_transaction(self, db):
+        db.execute("CREATE TABLE t (id INT PRIMARY KEY)")
+        db.execute("INSERT INTO t VALUES (1)")
+        conn = db.connect()
+        conn.execute("BEGIN")
+        conn.execute("INSERT INTO t VALUES (2)")
+        with pytest.raises(ConstraintError):
+            conn.execute("INSERT INTO t VALUES (2)")  # dup within txn view
+        conn.execute("COMMIT")  # the successful part commits
+        assert sorted(db.execute("SELECT id FROM t").column("id")) == [1, 2]
+
+
+class TestRegistryFailures:
+    def test_failed_training_never_deploys(self):
+        from flock.lifecycle import FlockSession
+        from flock.ml import LinearRegression
+        from flock.ml.datasets import make_loans
+
+        session = FlockSession()
+        session.load_dataset(make_loans(50, random_state=0))
+
+        class ExplodingModel(LinearRegression):
+            def fit(self, X, y):
+                raise RuntimeError("training cluster on fire")
+
+        with pytest.raises(RuntimeError):
+            session.train_and_deploy(
+                "doomed", ExplodingModel(), "loans",
+                ["income"], "approved",
+            )
+        assert not session.registry.has_model("doomed")
+        assert session.database.execute(
+            "SELECT COUNT(*) FROM flock_models"
+        ).scalar() == 0
+        run = session.training.runs("doomed")[0]
+        assert run.status == "failed"
+
+    def test_bad_graph_rejected_before_any_mutation(self):
+        from flock.errors import RegistryError
+
+        database, registry = create_database()
+        with pytest.raises(RegistryError):
+            registry.deploy_many([("good", None), ("bad", None)])
+        assert registry.model_names() == []
+        assert database.execute(
+            "SELECT COUNT(*) FROM flock_models"
+        ).scalar() == 0

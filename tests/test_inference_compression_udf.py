@@ -1,0 +1,214 @@
+"""Unit tests for model compression and UDF inlining internals."""
+
+import math
+
+import numpy as np
+import pytest
+
+from flock.db.expr import BoundColumn, BoundLiteral
+from flock.db.types import DataType
+from flock.db.vector import Batch, ColumnVector
+from flock.inference.compression import compress_graph
+from flock.inference.udf import inline_graph
+from flock.ml import (
+    DecisionTreeRegressor,
+    GradientBoostingRegressor,
+    LinearRegression,
+    LogisticRegression,
+    Pipeline,
+    StandardScaler,
+)
+from flock.ml.datasets import make_classification, make_regression
+from flock.mlgraph import GraphRuntime, to_graph
+from flock.mlgraph.analysis import graph_size
+from flock.mlgraph.graph import Graph, Node, TensorSpec
+
+
+def _batch(X, names):
+    return Batch(
+        names,
+        [
+            ColumnVector.from_values(DataType.FLOAT, X[:, i].tolist())
+            for i in range(X.shape[1])
+        ],
+    )
+
+
+def _input_exprs(names):
+    return {
+        n: BoundColumn(i, DataType.FLOAT, n) for i, n in enumerate(names)
+    }
+
+
+class TestCompression:
+    def test_unreachable_branches_folded(self):
+        # A deep tree over [0, 50]; stored stats say data only spans [0, 10],
+        # so every branch beyond 10 folds away.
+        X = np.linspace(0, 50, 200).reshape(-1, 1)
+        y = X[:, 0]  # identity target → splits all along the range
+        tree = DecisionTreeRegressor(max_depth=6).fit(X, y)
+        graph = to_graph(tree, ["x"])
+        before = graph_size(graph)["tree_nodes"]
+        compressed, stats = compress_graph(graph, {"x": (0.0, 10.0)})
+        after = graph_size(compressed)["tree_nodes"]
+        assert after < before
+        assert stats["tree_nodes_after"] == after
+
+        # Results unchanged on data within the stated range.
+        X_in = np.linspace(0, 10, 40)
+        rt = GraphRuntime()
+        a = rt.run(graph, {"x": X_in})
+        b = rt.run(compressed, {"x": X_in})
+        key = graph.output_names[0]
+        assert np.allclose(a[key], b[key])
+
+    def test_ranges_propagate_through_scaler(self):
+        X, y, _ = make_regression(200, 2, random_state=0)
+        pipe = Pipeline(
+            [("s", StandardScaler()), ("m", DecisionTreeRegressor(max_depth=5))]
+        ).fit(X, y)
+        graph = to_graph(pipe, ["a", "b"])
+        # Claim a very narrow observed range: heavy folding expected.
+        narrow = {"a": (0.0, 0.1), "b": (0.0, 0.1)}
+        compressed, stats = compress_graph(graph, narrow)
+        assert stats["tree_nodes_after"] < stats["tree_nodes_before"]
+
+    def test_no_stats_no_change(self):
+        X, y, _ = make_regression(100, 2, random_state=1)
+        gbm = GradientBoostingRegressor(n_estimators=5, random_state=0).fit(X, y)
+        graph = to_graph(gbm, ["a", "b"])
+        compressed, stats = compress_graph(graph, {})
+        assert stats["tree_nodes_before"] == stats["tree_nodes_after"]
+
+    def test_weight_thresholding(self):
+        X, y, _ = make_regression(100, 3, random_state=2)
+        model = LinearRegression().fit(X, y)
+        model.coef_ = np.array([5.0, 1e-12, -2.0])
+        graph = to_graph(model, ["a", "b", "c"])
+        compressed, stats = compress_graph(
+            graph, {}, weight_tolerance=1e-9
+        )
+        assert stats["weights_zeroed"] == 1
+        linear = next(
+            n for n in compressed.nodes if n.op_type == "linear"
+        )
+        assert np.asarray(linear.attrs["weights"])[1] == 0.0
+
+    def test_compression_exactness_within_range(self):
+        """Compressed models agree with originals on all in-range data."""
+        X, y, _ = make_regression(300, 3, random_state=3)
+        gbm = GradientBoostingRegressor(n_estimators=10, random_state=0).fit(X, y)
+        names = ["a", "b", "c"]
+        graph = to_graph(gbm, names)
+        ranges = {
+            n: (float(X[:, i].min()), float(X[:, i].max()))
+            for i, n in enumerate(names)
+        }
+        compressed, _ = compress_graph(graph, ranges)
+        rt = GraphRuntime()
+        feeds = {n: X[:, i] for i, n in enumerate(names)}
+        key = graph.output_names[0]
+        assert np.allclose(
+            rt.run(graph, feeds)[key], rt.run(compressed, feeds)[key]
+        )
+
+
+class TestInlining:
+    def test_linear_regression_inlines_exactly(self):
+        X, y, _ = make_regression(60, 3, random_state=4)
+        model = LinearRegression().fit(X, y)
+        names = ["a", "b", "c"]
+        graph = to_graph(model, names)
+        exprs = inline_graph(graph, _input_exprs(names))
+        assert exprs is not None and "score" in exprs
+        got = exprs["score"].evaluate(_batch(X, names)).values
+        assert np.allclose(got, model.predict(X))
+
+    def test_logistic_pipeline_inlines_probability_and_label(self):
+        X, y = make_classification(80, 3, random_state=5)
+        pipe = Pipeline(
+            [("s", StandardScaler()), ("m", LogisticRegression(max_iter=100))]
+        ).fit(X, y)
+        names = ["a", "b", "c"]
+        graph = to_graph(pipe, names)
+        exprs = inline_graph(graph, _input_exprs(names))
+        assert exprs is not None
+        batch = _batch(X, names)
+        probability = exprs["probability"].evaluate(batch).values
+        assert np.allclose(probability, pipe.predict_proba(X)[:, 1])
+        label = exprs["label"].evaluate(batch)
+        assert np.array_equal(
+            np.array(label.to_pylist()), pipe.predict(X)
+        )
+
+    def test_small_tree_inlines(self):
+        X, y, _ = make_regression(100, 2, random_state=6)
+        tree = DecisionTreeRegressor(max_depth=3).fit(X, y)
+        names = ["a", "b"]
+        graph = to_graph(tree, names)
+        exprs = inline_graph(graph, _input_exprs(names))
+        assert exprs is not None
+        got = exprs["score"].evaluate(_batch(X, names)).values
+        assert np.allclose(got, tree.predict(X))
+
+    def test_budget_rejects_big_ensembles(self):
+        X, y, _ = make_regression(200, 3, random_state=7)
+        gbm = GradientBoostingRegressor(n_estimators=60, random_state=0).fit(X, y)
+        graph = to_graph(gbm, ["a", "b", "c"])
+        assert inline_graph(graph, _input_exprs(["a", "b", "c"]), max_nodes=200) is None
+
+    def test_constant_fill_inputs(self):
+        X, y, _ = make_regression(50, 2, random_state=8)
+        model = LinearRegression().fit(X, y)
+        model.coef_ = np.array([model.coef_[0], 0.0])
+        graph = to_graph(model, ["a", "b"])
+        exprs = inline_graph(
+            graph,
+            {
+                "a": BoundColumn(0, DataType.FLOAT, "a"),
+                "b": BoundLiteral(DataType.FLOAT, 0.0),  # pruned input
+            },
+        )
+        assert exprs is not None
+        batch = _batch(X[:, :1], ["a"])
+        got = exprs["score"].evaluate(batch).values
+        assert np.allclose(got, X[:, 0] * model.coef_[0] + model.intercept_)
+
+    def test_text_hash_not_inlinable(self):
+        graph = Graph(
+            "t",
+            inputs=[TensorSpec("c", "text")],
+            outputs=[TensorSpec("m")],
+            nodes=[
+                Node("text_hash", ["c"], ["h"], {"n_buckets": 4}),
+                Node("pick_column", ["h"], ["m"], {"index": 0}),
+            ],
+        )
+        from flock.db.expr import BoundColumn as BC
+
+        assert inline_graph(graph, {"c": BC(0, DataType.TEXT, "c")}) is None
+
+    def test_onehot_inlines_as_case(self):
+        graph = Graph(
+            "oh",
+            inputs=[TensorSpec("color", "text")],
+            outputs=[TensorSpec("score")],
+            nodes=[
+                Node("onehot", ["color"], ["enc"], {"categories": ["r", "g"]}),
+                Node(
+                    "linear", ["enc"], ["score"],
+                    {"weights": [2.0, 5.0], "bias": 1.0},
+                ),
+            ],
+            output_kinds={"score": "score"},
+        )
+        exprs = inline_graph(
+            graph, {"color": BoundColumn(0, DataType.TEXT, "color")}
+        )
+        assert exprs is not None
+        batch = Batch(
+            ["color"],
+            [ColumnVector.from_values(DataType.TEXT, ["r", "g", "zzz"])],
+        )
+        got = exprs["score"].evaluate(batch).values
+        assert got.tolist() == [3.0, 6.0, 1.0]

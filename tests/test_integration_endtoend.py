@@ -1,0 +1,204 @@
+"""Integration test: the full Flock story from Figure 1, in one scenario.
+
+A health insurer trains a readmission model in the (simulated) cloud,
+deploys it into the DBMS, scores patients in SQL, governs everything with
+access control + audit + provenance, and routes predictions through
+business policies before acting — the complete EGML lifecycle.
+"""
+
+import numpy as np
+import pytest
+
+from flock.errors import SecurityError
+from flock.lifecycle import FlockSession
+from flock.ml import LogisticRegression, Pipeline, StandardScaler
+from flock.ml.datasets import make_patients
+from flock.policy import CapPolicy, VetoPolicy
+from flock.provenance.model import EntityType
+
+
+FEATURES = [
+    "age",
+    "prior_admissions",
+    "length_of_stay",
+    "chronic_conditions",
+    "medication_count",
+]
+
+
+@pytest.fixture(scope="module")
+def session():
+    s = FlockSession()
+    s.load_dataset(make_patients(300, random_state=0))
+    s.train_and_deploy(
+        "readmit_model",
+        Pipeline(
+            [("s", StandardScaler()), ("m", LogisticRegression(max_iter=200))]
+        ),
+        "patients",
+        FEATURES,
+        "readmitted",
+        description="readmission risk v1",
+    )
+    return s
+
+
+class TestScoringInTheDBMS:
+    def test_predict_in_sql(self, session):
+        result = session.sql(
+            "SELECT patient_id, PREDICT(readmit_model) AS risk "
+            "FROM patients WHERE PREDICT(readmit_model) > 0.7 "
+            "ORDER BY risk DESC"
+        )
+        assert result.row_count > 0
+        risks = result.column("risk")
+        assert all(r > 0.7 for r in risks)
+        assert risks == sorted(risks, reverse=True)
+
+    def test_predictions_match_training_environment(self, session):
+        """Deployment preserved the data scientist's exact behaviour (§2)."""
+        result = session.sql(
+            "SELECT patient_id, PREDICT(readmit_model) AS risk FROM patients "
+            "ORDER BY patient_id"
+        )
+        got = np.array(result.column("risk"))
+        X, _ = session.table_matrix("patients", FEATURES, "readmitted")
+        run = session.training.runs("readmit_model")[0]
+        assert run.status == "succeeded"
+        # Retrain an identical pipeline to compare.
+        pipeline = Pipeline(
+            [("s", StandardScaler()), ("m", LogisticRegression(max_iter=200))]
+        ).fit(X, session.table_matrix("patients", FEATURES, "readmitted")[1])
+        assert np.allclose(got, pipeline.predict_proba(X)[:, 1], atol=1e-9)
+
+    def test_aggregate_risk_by_ward(self, session):
+        result = session.sql(
+            "SELECT ward, COUNT(*) AS n, AVG(PREDICT(readmit_model)) AS avg_risk "
+            "FROM patients GROUP BY ward ORDER BY avg_risk DESC"
+        )
+        assert result.row_count == 4
+
+
+class TestGovernance:
+    def test_access_control_on_data_and_model(self, session):
+        database = session.database
+        database.execute("CREATE USER nurse")
+        database.execute("GRANT SELECT ON patients TO nurse")
+        with pytest.raises(SecurityError):
+            database.execute(
+                "SELECT PREDICT(readmit_model) FROM patients", user="nurse"
+            )
+        database.security.grant("PREDICT", "model:readmit_model", "nurse")
+        result = database.execute(
+            "SELECT PREDICT(readmit_model) AS r FROM patients LIMIT 1",
+            user="nurse",
+        )
+        assert result.row_count == 1
+
+    def test_audit_trail_intact_and_complete(self, session):
+        log = session.database.audit.log
+        assert log.verify_chain()
+        actions = {r.action for r in log}
+        assert {"CREATE_TABLE", "INSERT", "SELECT", "PREDICT",
+                "DEPLOY_MODEL"} <= actions
+
+    def test_provenance_answers_why(self, session):
+        lineage = session.model_lineage("readmit_model")
+        names = {e.name for e in lineage}
+        assert "patients" in names
+        assert "patients.age" in names
+        # Hyperparameters are part of the genesis record.
+        assert any(
+            e.entity_type is EntityType.HYPERPARAMETER for e in lineage
+        )
+
+    def test_impact_analysis(self, session):
+        affected = session.models_affected_by_column("patients", "age")
+        assert "readmit_model:v1" in affected
+
+    def test_model_is_data_in_the_dbms(self, session):
+        rows = session.database.execute(
+            "SELECT name, version FROM flock_models"
+        ).rows()
+        assert ("readmit_model", 1) in rows
+
+
+class TestDecisionsViaPolicies:
+    def test_policy_chain_on_model_output(self, session):
+        session.policies.add_policy(
+            CapPolicy("risk_cap", 0.9, priority=50)
+        )
+        session.policies.add_policy(
+            VetoPolicy(
+                "manual_review",
+                lambda v, ctx: ctx.get("hospice", False),
+                reason="hospice patients reviewed by hand",
+                priority=10,
+            )
+        )
+        result = session.sql(
+            "SELECT patient_id, PREDICT(readmit_model) AS risk FROM patients "
+            "ORDER BY risk DESC LIMIT 3"
+        )
+        decisions = [
+            session.policies.decide(
+                "readmit_model", risk, {"patient_id": pid}
+            )
+            for pid, risk in result.rows()
+        ]
+        assert all(d.final_value <= 0.9 for d in decisions)
+        vetoed = session.policies.decide(
+            "readmit_model", 0.5, {"hospice": True}
+        )
+        assert vetoed.vetoed
+
+    def test_transactional_action_into_dbms(self, session):
+        session.database.execute(
+            "CREATE TABLE IF NOT EXISTS interventions "
+            "(patient_id INT, risk FLOAT)"
+        )
+        decision = session.policies.decide(
+            "readmit_model", 0.85, {"patient_id": 1}
+        )
+        ok = session.policies.act_in_database(
+            decision,
+            session.database,
+            [f"INSERT INTO interventions VALUES (1, {decision.final_value})"],
+        )
+        assert ok
+        assert session.database.execute(
+            "SELECT COUNT(*) FROM interventions"
+        ).scalar() == 1
+
+    def test_explainability_end_to_end(self, session):
+        decision = session.policies.decide(
+            "readmit_model", 0.95, {"patient_id": 2}
+        )
+        trace = session.policies.state.explain(decision.decision_id)
+        assert "raw model output: 0.95" in trace
+        assert "risk_cap" in trace
+
+
+class TestRetrainingFlow:
+    def test_version2_and_both_tracked(self, session):
+        session.train_and_deploy(
+            "readmit_model",
+            LogisticRegression(max_iter=100),
+            "patients",
+            FEATURES,
+            "readmitted",
+            description="readmission risk v2",
+        )
+        assert session.registry.latest("readmit_model").version == 2
+        rows = session.database.execute(
+            "SELECT version FROM flock_models WHERE name = 'readmit_model' "
+            "ORDER BY version"
+        ).column("version")
+        assert rows == [1, 2]
+        # Both model versions' provenance exists.
+        assert session.provenance.find(
+            EntityType.MODEL_VERSION, "readmit_model:v1"
+        ) is not None
+        assert session.provenance.find(
+            EntityType.MODEL_VERSION, "readmit_model:v2"
+        ) is not None

@@ -1,0 +1,136 @@
+"""Lifecycle tests: the cloud training service and FlockSession."""
+
+import numpy as np
+import pytest
+
+from flock.errors import FlockError
+from flock.lifecycle import CloudTrainingService, FlockSession
+from flock.ml import (
+    GradientBoostingRegressor,
+    LinearRegression,
+    LogisticRegression,
+    Pipeline,
+    StandardScaler,
+)
+from flock.ml.datasets import make_loans, make_regression
+
+
+class TestCloudTrainingService:
+    def test_submit_tracks_run(self):
+        service = CloudTrainingService()
+        X, y, _ = make_regression(100, 3, random_state=0)
+        run = service.submit("m", LinearRegression(), X, y, dataset_name="d")
+        assert run.status == "succeeded"
+        assert run.run_id == "run-1"
+        assert "train_r2" in run.metrics
+        assert run.duration_seconds >= 0.0
+        assert run.hyperparameters["fit_intercept"] is True
+
+    def test_failed_run_recorded(self):
+        service = CloudTrainingService()
+        with pytest.raises(Exception):
+            service.submit("m", LinearRegression(), np.zeros((3, 2)), np.zeros(5))
+        run = service.runs("m")[0]
+        assert run.status == "failed"
+        assert run.error
+
+    def test_best_run_selection(self):
+        service = CloudTrainingService()
+        X, y, _ = make_regression(150, 3, noise=1.0, random_state=1)
+        service.submit(
+            "m", GradientBoostingRegressor(n_estimators=2, random_state=0), X, y
+        )
+        service.submit(
+            "m", GradientBoostingRegressor(n_estimators=30, random_state=0), X, y
+        )
+        best = service.best_run("m", "train_r2")
+        assert best.hyperparameters["n_estimators"] == 30
+
+    def test_best_run_without_runs(self):
+        with pytest.raises(FlockError):
+            CloudTrainingService().best_run("ghost", "r2")
+
+    def test_custom_evaluation(self):
+        service = CloudTrainingService()
+        X, y, _ = make_regression(60, 2, random_state=2)
+        run = service.submit(
+            "m",
+            LinearRegression(),
+            X,
+            y,
+            evaluate=lambda est, X_, y_: {"custom": 1.23},
+        )
+        assert run.metrics == {"custom": 1.23}
+
+
+class TestFlockSession:
+    @pytest.fixture
+    def session(self):
+        s = FlockSession()
+        s.load_dataset(make_loans(150, random_state=0))
+        return s
+
+    def test_full_lifecycle(self, session):
+        run = session.train_and_deploy(
+            "loan_model",
+            Pipeline(
+                [("s", StandardScaler()), ("m", LogisticRegression(max_iter=150))]
+            ),
+            "loans",
+            ["income", "credit_score", "loan_amount", "debt_ratio",
+             "years_employed"],
+            "approved",
+        )
+        assert run.status == "succeeded"
+        assert session.registry.latest("loan_model").version == 1
+        result = session.sql(
+            "SELECT COUNT(*) FROM loans WHERE PREDICT(loan_model) > 0.5"
+        )
+        assert 0 < result.scalar() <= 150
+
+    def test_provenance_spans_phases(self, session):
+        session.train_and_deploy(
+            "loan_model",
+            LogisticRegression(max_iter=100),
+            "loans",
+            ["income", "credit_score"],
+            "approved",
+        )
+        lineage = session.model_lineage("loan_model")
+        names = {e.name for e in lineage}
+        assert "loans" in names
+        assert "loans.income" in names
+
+    def test_models_affected_by_column(self, session):
+        session.train_and_deploy(
+            "loan_model",
+            LogisticRegression(max_iter=100),
+            "loans",
+            ["income", "credit_score"],
+            "approved",
+        )
+        affected = session.models_affected_by_column("loans", "income")
+        assert affected == ["loan_model:v1"]
+        assert session.models_affected_by_column("loans", "region") == []
+
+    def test_sql_captures_provenance_eagerly(self, session):
+        from flock.provenance.model import EntityType
+
+        session.sql("SELECT income FROM loans WHERE approved = 1")
+        queries = session.provenance.search(EntityType.QUERY)
+        assert queries
+
+    def test_missing_lineage_raises(self, session):
+        with pytest.raises(FlockError):
+            session.model_lineage("ghost", version=1)
+
+    def test_retraining_bumps_version(self, session):
+        features = ["income", "credit_score"]
+        session.train_and_deploy(
+            "m", LogisticRegression(max_iter=50), "loans", features, "approved"
+        )
+        session.train_and_deploy(
+            "m", LogisticRegression(max_iter=80), "loans", features, "approved"
+        )
+        assert session.registry.latest("m").version == 2
+        assert len(session.training.runs("m")) == 2

@@ -1,0 +1,126 @@
+"""Tests for linear models."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from flock.errors import ModelError, NotFittedError
+from flock.ml import LinearRegression, LogisticRegression, RidgeRegression
+from flock.ml.datasets import make_classification, make_regression
+from flock.ml.linear import sigmoid
+from flock.ml.metrics import accuracy_score, r2_score
+
+
+class TestLinearRegression:
+    def test_recovers_exact_coefficients(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(100, 3))
+        true = np.array([2.0, -1.0, 0.5])
+        y = X @ true + 3.0
+        model = LinearRegression().fit(X, y)
+        assert np.allclose(model.coef_, true, atol=1e-8)
+        assert model.intercept_ == pytest.approx(3.0, abs=1e-8)
+
+    def test_no_intercept(self):
+        X = np.array([[1.0], [2.0], [3.0]])
+        y = np.array([2.0, 4.0, 6.0])
+        model = LinearRegression(fit_intercept=False).fit(X, y)
+        assert model.intercept_ == 0.0
+        assert model.coef_[0] == pytest.approx(2.0)
+
+    def test_predict_before_fit(self):
+        with pytest.raises(NotFittedError):
+            LinearRegression().predict(np.zeros((1, 2)))
+
+    def test_feature_count_checked(self):
+        model = LinearRegression().fit(np.zeros((5, 3)), np.zeros(5))
+        with pytest.raises(ModelError):
+            model.predict(np.zeros((2, 4)))
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ModelError):
+            LinearRegression().fit(np.zeros((5, 2)), np.zeros(4))
+
+    def test_high_r2_on_synthetic(self):
+        X, y, _ = make_regression(300, 5, noise=0.05, random_state=1)
+        model = LinearRegression().fit(X, y)
+        assert r2_score(y, model.predict(X)) > 0.99
+
+
+class TestRidge:
+    def test_alpha_shrinks_coefficients(self):
+        X, y, _ = make_regression(100, 4, noise=0.1, random_state=2)
+        small = RidgeRegression(alpha=0.01).fit(X, y)
+        large = RidgeRegression(alpha=1000.0).fit(X, y)
+        assert np.linalg.norm(large.coef_) < np.linalg.norm(small.coef_)
+
+    def test_alpha_zero_matches_ols(self):
+        X, y, _ = make_regression(80, 3, noise=0.0, random_state=3)
+        ridge = RidgeRegression(alpha=0.0).fit(X, y)
+        ols = LinearRegression().fit(X, y)
+        assert np.allclose(ridge.coef_, ols.coef_, atol=1e-6)
+
+    def test_negative_alpha_rejected(self):
+        with pytest.raises(ModelError):
+            RidgeRegression(alpha=-1.0)
+
+
+class TestSigmoid:
+    def test_extremes_are_stable(self):
+        out = sigmoid(np.array([-1000.0, 0.0, 1000.0]))
+        assert out[0] == 0.0
+        assert out[1] == 0.5
+        assert out[2] == 1.0
+        assert not np.isnan(out).any()
+
+    @given(st.lists(st.floats(-50, 50), min_size=1, max_size=30))
+    def test_in_unit_interval(self, values):
+        out = sigmoid(np.array(values))
+        assert ((out >= 0) & (out <= 1)).all()
+
+    @given(st.floats(-30, 30))
+    def test_symmetry(self, z):
+        assert sigmoid(np.array([z]))[0] + sigmoid(np.array([-z]))[0] == (
+            pytest.approx(1.0)
+        )
+
+
+class TestLogisticRegression:
+    def test_separable_data_learned(self):
+        X, y = make_classification(300, 4, random_state=4)
+        model = LogisticRegression(max_iter=400).fit(X, y)
+        assert accuracy_score(y, model.predict(X)) > 0.85
+
+    def test_predict_proba_rows_sum_to_one(self):
+        X, y = make_classification(100, 3, random_state=5)
+        model = LogisticRegression(max_iter=100).fit(X, y)
+        proba = model.predict_proba(X)
+        assert proba.shape == (100, 2)
+        assert np.allclose(proba.sum(axis=1), 1.0)
+
+    def test_l1_produces_exact_zeros(self):
+        X, y = make_classification(
+            400, 8, n_informative=2, random_state=6
+        )
+        model = LogisticRegression(l1=0.12, max_iter=600).fit(X, y)
+        assert int(np.sum(model.coef_ == 0.0)) >= 2
+
+    def test_non_binary_rejected(self):
+        X = np.zeros((6, 2))
+        y = np.array([0, 1, 2, 0, 1, 2])
+        with pytest.raises(ModelError):
+            LogisticRegression().fit(X, y)
+
+    def test_string_class_labels(self):
+        X, y01 = make_classification(120, 3, random_state=7)
+        labels = np.where(y01 == 1, "yes", "no")
+        model = LogisticRegression(max_iter=200).fit(X, labels)
+        predictions = model.predict(X)
+        assert set(predictions.tolist()) <= {"yes", "no"}
+
+    def test_l2_regularization_shrinks(self):
+        X, y = make_classification(200, 4, random_state=8)
+        plain = LogisticRegression(max_iter=300).fit(X, y)
+        shrunk = LogisticRegression(l2=5.0, max_iter=300).fit(X, y)
+        assert np.linalg.norm(shrunk.coef_) < np.linalg.norm(plain.coef_)

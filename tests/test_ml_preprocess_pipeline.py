@@ -1,0 +1,233 @@
+"""Tests for featurizers, pipelines and metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from flock.errors import ModelError, NotFittedError
+from flock.ml import (
+    ColumnTransformer,
+    LogisticRegression,
+    MinMaxScaler,
+    OneHotEncoder,
+    Pipeline,
+    SimpleImputer,
+    StandardScaler,
+    TextHasher,
+)
+from flock.ml import metrics as M
+from flock.ml.datasets import make_classification
+
+
+class TestStandardScaler:
+    def test_zero_mean_unit_variance(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(loc=5.0, scale=3.0, size=(200, 2))
+        out = StandardScaler().fit_transform(X)
+        assert np.allclose(out.mean(axis=0), 0.0, atol=1e-9)
+        assert np.allclose(out.std(axis=0), 1.0, atol=1e-9)
+
+    def test_constant_column_no_nan(self):
+        X = np.column_stack([np.ones(10), np.arange(10.0)])
+        out = StandardScaler().fit_transform(X)
+        assert not np.isnan(out).any()
+
+    def test_inverse_transform_roundtrip(self):
+        X = np.random.default_rng(1).normal(size=(50, 3)) * 4 + 2
+        scaler = StandardScaler().fit(X)
+        assert np.allclose(scaler.inverse_transform(scaler.transform(X)), X)
+
+    def test_unfitted(self):
+        with pytest.raises(NotFittedError):
+            StandardScaler().transform(np.zeros((2, 2)))
+
+    @settings(deadline=None, max_examples=25)
+    @given(
+        st.lists(
+            st.lists(st.floats(-1e4, 1e4), min_size=2, max_size=2),
+            min_size=2,
+            max_size=50,
+        )
+    )
+    def test_property_bounded_output(self, rows):
+        X = np.array(rows)
+        out = StandardScaler().fit_transform(X)
+        # Standardized data has |z| <= sqrt(n) always.
+        assert (np.abs(out) <= np.sqrt(len(rows)) + 1e-6).all()
+
+
+class TestMinMaxScaler:
+    def test_unit_interval(self):
+        X = np.random.default_rng(2).uniform(-50, 50, size=(40, 3))
+        out = MinMaxScaler().fit_transform(X)
+        assert out.min() >= 0.0 and out.max() <= 1.0
+        assert out.max() == pytest.approx(1.0)
+
+    def test_transform_can_exceed_bounds_on_new_data(self):
+        scaler = MinMaxScaler().fit(np.array([[0.0], [10.0]]))
+        assert scaler.transform(np.array([[20.0]]))[0, 0] == 2.0
+
+
+class TestImputer:
+    def test_mean_strategy(self):
+        X = np.array([[1.0, np.nan], [3.0, 4.0]])
+        out = SimpleImputer().fit_transform(X)
+        assert out[0, 1] == 4.0
+
+    def test_median_strategy(self):
+        X = np.array([[1.0], [100.0], [2.0], [np.nan]])
+        imputer = SimpleImputer(strategy="median").fit(X)
+        assert imputer.statistics_[0] == 2.0
+
+    def test_constant_strategy(self):
+        X = np.array([[np.nan]])
+        out = SimpleImputer(strategy="constant", fill_value=-1.0).fit_transform(X)
+        assert out[0, 0] == -1.0
+
+    def test_all_nan_column_uses_fill_value(self):
+        X = np.array([[np.nan], [np.nan]])
+        out = SimpleImputer(strategy="mean", fill_value=0.0).fit_transform(X)
+        assert (out == 0.0).all()
+
+    def test_bad_strategy(self):
+        with pytest.raises(ModelError):
+            SimpleImputer(strategy="magic")
+
+
+class TestOneHotEncoder:
+    def test_basic_encoding(self):
+        X = np.array([["red"], ["blue"], ["red"]], dtype=object)
+        enc = OneHotEncoder().fit(X)
+        out = enc.transform(X)
+        assert out.shape == (3, 2)
+        assert out.sum() == 3.0
+        assert enc.output_names(["color"]) == ["color=blue", "color=red"]
+
+    def test_unknown_category_is_all_zeros(self):
+        X = np.array([["a"], ["b"]], dtype=object)
+        enc = OneHotEncoder().fit(X)
+        out = enc.transform(np.array([["zzz"]], dtype=object))
+        assert (out == 0).all()
+
+    def test_multi_column(self):
+        X = np.array([["a", "x"], ["b", "y"]], dtype=object)
+        enc = OneHotEncoder().fit(X)
+        assert enc.n_output_features_ == 4
+        assert enc.transform(X).shape == (2, 4)
+
+
+class TestTextHasher:
+    def test_deterministic_across_instances(self):
+        X = np.array([["the quick brown fox"]], dtype=object)
+        a = TextHasher(n_buckets=32).fit_transform(X)
+        b = TextHasher(n_buckets=32).fit_transform(X)
+        assert np.array_equal(a, b)
+
+    def test_token_counts(self):
+        X = np.array([["cat cat dog"]], dtype=object)
+        out = TextHasher(n_buckets=64).fit_transform(X)
+        assert out.sum() == 3.0
+
+    def test_none_cells_skipped(self):
+        X = np.array([[None]], dtype=object)
+        out = TextHasher(n_buckets=8).fit_transform(X)
+        assert out.sum() == 0.0
+
+    def test_bucket_validation(self):
+        with pytest.raises(ModelError):
+            TextHasher(n_buckets=0)
+
+
+class TestPipeline:
+    def test_end_to_end(self):
+        X, y = make_classification(150, 4, random_state=0)
+        pipe = Pipeline(
+            [("scale", StandardScaler()), ("clf", LogisticRegression(max_iter=150))]
+        ).fit(X, y)
+        assert M.accuracy_score(y, pipe.predict(X)) > 0.8
+        assert pipe.predict_proba(X).shape == (150, 2)
+
+    def test_intermediate_must_be_transformer(self):
+        with pytest.raises(ModelError):
+            Pipeline(
+                [
+                    ("clf", LogisticRegression()),
+                    ("scale", StandardScaler()),
+                ]
+            )
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ModelError):
+            Pipeline(
+                [("a", StandardScaler()), ("a", LogisticRegression())]
+            )
+
+    def test_named_steps(self):
+        pipe = Pipeline(
+            [("s", StandardScaler()), ("m", LogisticRegression())]
+        )
+        assert set(pipe.named_steps) == {"s", "m"}
+
+    def test_column_transformer_blocks(self):
+        X = np.empty((4, 3), dtype=object)
+        X[:, 0] = [1.0, 2.0, 3.0, 4.0]
+        X[:, 1] = [10.0, 20.0, 30.0, 40.0]
+        X[:, 2] = ["a", "b", "a", "b"]
+        ct = ColumnTransformer(
+            [
+                ("num", StandardScaler(), [0, 1]),
+                ("cat", OneHotEncoder(), [2]),
+            ]
+        ).fit(X)
+        out = ct.transform(X)
+        assert out.shape == (4, 4)
+        assert ct.output_width() == 4
+
+
+class TestMetrics:
+    def test_confusion_and_derived(self):
+        y_true = [1, 1, 0, 0, 1]
+        y_pred = [1, 0, 0, 1, 1]
+        tp, fp, tn, fn = M.confusion_counts(y_true, y_pred, 1)
+        assert (tp, fp, tn, fn) == (2, 1, 1, 1)
+        assert M.precision_score(y_true, y_pred) == pytest.approx(2 / 3)
+        assert M.recall_score(y_true, y_pred) == pytest.approx(2 / 3)
+        assert M.f1_score(y_true, y_pred) == pytest.approx(2 / 3)
+
+    def test_r2_perfect_and_mean(self):
+        y = np.array([1.0, 2.0, 3.0])
+        assert M.r2_score(y, y) == 1.0
+        assert M.r2_score(y, np.full(3, y.mean())) == 0.0
+
+    def test_auc_perfect_and_random(self):
+        y = np.array([0, 0, 1, 1])
+        assert M.roc_auc_score(y, np.array([0.1, 0.2, 0.8, 0.9])) == 1.0
+        assert M.roc_auc_score(y, np.array([0.9, 0.8, 0.2, 0.1])) == 0.0
+        assert M.roc_auc_score(y, np.array([0.5, 0.5, 0.5, 0.5])) == 0.5
+
+    def test_auc_single_class_rejected(self):
+        with pytest.raises(ModelError):
+            M.roc_auc_score(np.ones(4), np.zeros(4))
+
+    def test_log_loss_clipping(self):
+        value = M.log_loss([1, 0], [1.0, 0.0])
+        assert np.isfinite(value)
+
+    @given(
+        st.lists(st.floats(-100, 100), min_size=2, max_size=30),
+    )
+    def test_mse_nonnegative_property(self, values):
+        y = np.array(values)
+        assert M.mean_squared_error(y, y) == 0.0
+        shifted = y + 1.0
+        assert M.mean_squared_error(y, shifted) == pytest.approx(1.0)
+
+    def test_train_test_split_partition(self):
+        X = np.arange(40).reshape(20, 2)
+        y = np.arange(20)
+        X_tr, X_te, y_tr, y_te = M.train_test_split(
+            X, y, test_fraction=0.25, random_state=0
+        )
+        assert len(X_tr) == 15 and len(X_te) == 5
+        assert sorted(np.concatenate([y_tr, y_te]).tolist()) == list(range(20))

@@ -1,0 +1,153 @@
+"""Tests for decision trees and ensembles."""
+
+import numpy as np
+import pytest
+
+from flock.errors import ModelError
+from flock.ml import (
+    DecisionTreeClassifier,
+    DecisionTreeRegressor,
+    GradientBoostingClassifier,
+    GradientBoostingRegressor,
+    RandomForestClassifier,
+    RandomForestRegressor,
+)
+from flock.ml.datasets import make_classification, make_regression
+from flock.ml.metrics import accuracy_score, r2_score
+from flock.ml.tree import predict_tree
+
+
+class TestDecisionTreeRegressor:
+    def test_fits_step_function_exactly(self):
+        X = np.array([[0.0], [1.0], [2.0], [3.0]])
+        y = np.array([1.0, 1.0, 5.0, 5.0])
+        tree = DecisionTreeRegressor(max_depth=2).fit(X, y)
+        assert np.allclose(tree.predict(X), y)
+
+    def test_max_depth_limits_tree(self):
+        X, y, _ = make_regression(200, 3, random_state=0)
+        shallow = DecisionTreeRegressor(max_depth=2).fit(X, y)
+        assert shallow.tree_.depth() <= 2
+
+    def test_min_samples_leaf_respected(self):
+        X, y, _ = make_regression(100, 2, random_state=1)
+        tree = DecisionTreeRegressor(max_depth=10, min_samples_leaf=20).fit(X, y)
+
+        def check(node):
+            if node.is_leaf:
+                assert node.n_samples >= 20
+            else:
+                check(node.left)
+                check(node.right)
+
+        check(tree.tree_)
+
+    def test_constant_target_single_leaf(self):
+        X = np.random.default_rng(0).normal(size=(30, 2))
+        y = np.full(30, 7.0)
+        tree = DecisionTreeRegressor().fit(X, y)
+        assert tree.tree_.is_leaf
+        assert tree.predict(X[:3]).tolist() == [7.0, 7.0, 7.0]
+
+    def test_used_features(self):
+        # Only feature 0 is informative: the tree should not split on 1.
+        rng = np.random.default_rng(2)
+        X = np.column_stack([rng.normal(size=300), np.zeros(300)])
+        y = (X[:, 0] > 0).astype(float) * 10
+        tree = DecisionTreeRegressor(max_depth=3).fit(X, y)
+        assert tree.tree_.used_features() == {0}
+
+
+class TestDecisionTreeClassifier:
+    def test_pure_split(self):
+        X = np.array([[0.0], [0.1], [5.0], [5.1]])
+        y = np.array(["a", "a", "b", "b"])
+        tree = DecisionTreeClassifier(max_depth=3).fit(X, y)
+        assert tree.predict(X).tolist() == ["a", "a", "b", "b"]
+
+    def test_probabilities_sum_to_one(self):
+        X, y = make_classification(150, 4, random_state=3)
+        tree = DecisionTreeClassifier(max_depth=4).fit(X, y)
+        proba = tree.predict_proba(X)
+        assert np.allclose(proba.sum(axis=1), 1.0)
+
+    def test_single_class_rejected(self):
+        with pytest.raises(ModelError):
+            DecisionTreeClassifier().fit(np.zeros((5, 1)), np.zeros(5))
+
+    def test_multiclass(self):
+        rng = np.random.default_rng(4)
+        X = rng.normal(size=(300, 2))
+        y = (X[:, 0] > 0).astype(int) + (X[:, 1] > 0).astype(int)
+        tree = DecisionTreeClassifier(max_depth=4).fit(X, y)
+        assert accuracy_score(y, tree.predict(X)) > 0.9
+
+
+class TestPredictTreeVectorized:
+    def test_matches_row_by_row(self):
+        X, y, _ = make_regression(120, 3, random_state=5)
+        tree = DecisionTreeRegressor(max_depth=5).fit(X, y)
+        batch = predict_tree(tree.tree_, X)[:, 0]
+        singles = np.array(
+            [predict_tree(tree.tree_, X[i : i + 1])[0, 0] for i in range(len(X))]
+        )
+        assert np.allclose(batch, singles)
+
+
+class TestRandomForest:
+    def test_regressor_beats_single_tree_oob_ish(self):
+        X, y, _ = make_regression(300, 5, noise=0.5, random_state=6)
+        forest = RandomForestRegressor(n_estimators=15, random_state=0).fit(X, y)
+        assert r2_score(y, forest.predict(X)) > 0.8
+
+    def test_classifier_deterministic_given_seed(self):
+        X, y = make_classification(150, 4, random_state=7)
+        a = RandomForestClassifier(n_estimators=5, random_state=1).fit(X, y)
+        b = RandomForestClassifier(n_estimators=5, random_state=1).fit(X, y)
+        assert np.array_equal(a.predict(X), b.predict(X))
+
+    def test_max_features_specs(self):
+        from flock.ml.ensemble import _resolve_max_features
+
+        assert _resolve_max_features("sqrt", 16) == 4
+        assert _resolve_max_features("log2", 16) == 4
+        assert _resolve_max_features(3, 16) == 3
+        assert _resolve_max_features(None, 16) is None
+        with pytest.raises(ModelError):
+            _resolve_max_features("bogus", 16)
+        with pytest.raises(ModelError):
+            _resolve_max_features(0, 16)
+
+
+class TestGradientBoosting:
+    def test_regressor_reduces_residuals_with_more_trees(self):
+        X, y, _ = make_regression(200, 4, noise=0.2, random_state=8)
+        few = GradientBoostingRegressor(n_estimators=3, random_state=0).fit(X, y)
+        many = GradientBoostingRegressor(n_estimators=60, random_state=0).fit(X, y)
+        from flock.ml.metrics import mean_squared_error
+
+        assert mean_squared_error(y, many.predict(X)) < mean_squared_error(
+            y, few.predict(X)
+        )
+
+    def test_classifier_accuracy_and_proba(self):
+        X, y = make_classification(300, 5, random_state=9)
+        model = GradientBoostingClassifier(
+            n_estimators=30, random_state=0
+        ).fit(X, y)
+        assert accuracy_score(y, model.predict(X)) > 0.85
+        proba = model.predict_proba(X)
+        assert np.allclose(proba.sum(axis=1), 1.0)
+
+    def test_classifier_init_is_log_odds(self):
+        X, y = make_classification(200, 3, random_state=10)
+        model = GradientBoostingClassifier(n_estimators=1, random_state=0).fit(X, y)
+        positive_rate = float(np.mean(y == model.classes_[1]))
+        expected = np.log(positive_rate / (1 - positive_rate))
+        assert model.init_ == pytest.approx(expected)
+
+    def test_binary_only(self):
+        with pytest.raises(ModelError):
+            GradientBoostingClassifier().fit(
+                np.zeros((6, 1)), np.array([0, 1, 2, 0, 1, 2])
+            )

@@ -1,0 +1,257 @@
+"""Conversion equivalence: fitted estimators vs their model graphs.
+
+The deployment contract of the whole architecture: for every supported
+estimator family, the converted graph reproduces the Python model's
+predictions exactly (bit-for-bit on the same floating-point path).
+"""
+
+import numpy as np
+import pytest
+
+from flock.errors import GraphError
+from flock.ml import (
+    ColumnTransformer,
+    DecisionTreeClassifier,
+    DecisionTreeRegressor,
+    GradientBoostingClassifier,
+    GradientBoostingRegressor,
+    LinearRegression,
+    LogisticRegression,
+    OneHotEncoder,
+    Pipeline,
+    RandomForestClassifier,
+    RandomForestRegressor,
+    RidgeRegression,
+    SimpleImputer,
+    StandardScaler,
+    TextHasher,
+)
+from flock.ml.datasets import make_classification, make_regression
+from flock.mlgraph import GraphRuntime, to_graph, used_inputs
+from flock.mlgraph.analysis import graph_size, unused_inputs
+
+
+def _feeds(X, names):
+    return {n: X[:, i] for i, n in enumerate(names)}
+
+
+def _output(graph, outputs, kind):
+    tensor = next(t for f, t in graph.output_field_names() if f == kind)
+    return outputs[tensor]
+
+
+NAMES5 = [f"f{i}" for i in range(5)]
+
+
+class TestRegressorConversion:
+    @pytest.mark.parametrize(
+        "estimator",
+        [
+            LinearRegression(),
+            RidgeRegression(alpha=0.5),
+            DecisionTreeRegressor(max_depth=4),
+            GradientBoostingRegressor(n_estimators=12, random_state=0),
+            RandomForestRegressor(n_estimators=6, random_state=0),
+        ],
+    )
+    def test_scores_match_exactly(self, estimator):
+        X, y, _ = make_regression(150, 5, random_state=1)
+        estimator.fit(X, y)
+        graph = to_graph(estimator, NAMES5)
+        out = GraphRuntime().run(graph, _feeds(X, NAMES5))
+        score = _output(graph, out, "score")
+        assert np.allclose(score, estimator.predict(X), atol=1e-12)
+
+
+class TestClassifierConversion:
+    @pytest.mark.parametrize(
+        "estimator",
+        [
+            LogisticRegression(max_iter=150),
+            GradientBoostingClassifier(n_estimators=10, random_state=0),
+        ],
+    )
+    def test_probability_and_label_match(self, estimator):
+        X, y = make_classification(200, 5, random_state=2)
+        estimator.fit(X, y)
+        graph = to_graph(estimator, NAMES5)
+        out = GraphRuntime().run(graph, _feeds(X, NAMES5))
+        probability = _output(graph, out, "probability")
+        label = _output(graph, out, "label")
+        assert np.allclose(probability, estimator.predict_proba(X)[:, 1])
+        assert np.array_equal(
+            np.asarray(label, dtype=int), estimator.predict(X)
+        )
+
+    @pytest.mark.parametrize(
+        "estimator",
+        [
+            DecisionTreeClassifier(max_depth=4),
+            RandomForestClassifier(n_estimators=6, random_state=0),
+        ],
+    )
+    def test_tree_classifier_labels_match(self, estimator):
+        X, y = make_classification(150, 5, random_state=3)
+        estimator.fit(X, y)
+        graph = to_graph(estimator, NAMES5)
+        out = GraphRuntime().run(graph, _feeds(X, NAMES5))
+        label = _output(graph, out, "label")
+        assert np.array_equal(np.asarray(label, dtype=int), estimator.predict(X))
+        probability = _output(graph, out, "probability")
+        assert np.allclose(probability, estimator.predict_proba(X)[:, 1])
+
+    def test_string_labels_preserved(self):
+        X, y01 = make_classification(100, 3, random_state=4)
+        y = np.where(y01 == 1, "approve", "reject")
+        model = LogisticRegression(max_iter=100).fit(X, y)
+        names = ["a", "b", "c"]
+        graph = to_graph(model, names)
+        out = GraphRuntime().run(graph, _feeds(X, names))
+        label = _output(graph, out, "label")
+        assert set(np.asarray(label).tolist()) <= {"approve", "reject"}
+
+
+class TestPipelineConversion:
+    def test_scaler_pipeline(self):
+        X, y = make_classification(150, 4, random_state=5)
+        pipe = Pipeline(
+            [("s", StandardScaler()), ("m", LogisticRegression(max_iter=150))]
+        ).fit(X, y)
+        names = [f"f{i}" for i in range(4)]
+        graph = to_graph(pipe, names)
+        out = GraphRuntime().run(graph, _feeds(X, names))
+        assert np.allclose(
+            _output(graph, out, "probability"), pipe.predict_proba(X)[:, 1]
+        )
+
+    def test_imputer_pipeline_handles_nan(self):
+        X, y = make_classification(120, 3, random_state=6)
+        X = X.copy()
+        X[::7, 1] = np.nan
+        pipe = Pipeline(
+            [
+                ("i", SimpleImputer()),
+                ("s", StandardScaler()),
+                ("m", LogisticRegression(max_iter=100)),
+            ]
+        ).fit(X, y)
+        names = ["a", "b", "c"]
+        graph = to_graph(pipe, names)
+        out = GraphRuntime().run(graph, _feeds(X, names))
+        assert np.allclose(
+            _output(graph, out, "probability"), pipe.predict_proba(X)[:, 1]
+        )
+
+    def test_column_transformer_mixed_types(self):
+        rng = np.random.default_rng(7)
+        n = 120
+        X = np.empty((n, 3), dtype=object)
+        X[:, 0] = rng.normal(size=n)
+        X[:, 1] = rng.normal(size=n)
+        X[:, 2] = rng.choice(["north", "south"], size=n)
+        y = (np.asarray(X[:, 0], dtype=float) > 0).astype(int)
+        pipe = Pipeline(
+            [
+                (
+                    "ct",
+                    ColumnTransformer(
+                        [
+                            ("num", StandardScaler(), [0, 1]),
+                            ("cat", OneHotEncoder(), [2]),
+                        ]
+                    ),
+                ),
+                ("m", LogisticRegression(max_iter=150)),
+            ]
+        ).fit(X, y)
+        graph = to_graph(
+            pipe, ["a", "b", "region"], feature_types=["float", "float", "text"]
+        )
+        feeds = {
+            "a": np.asarray(X[:, 0], dtype=float),
+            "b": np.asarray(X[:, 1], dtype=float),
+            "region": X[:, 2],
+        }
+        out = GraphRuntime().run(graph, feeds)
+        assert np.allclose(
+            _output(graph, out, "probability"), pipe.predict_proba(X)[:, 1]
+        )
+
+    def test_text_hasher_block(self):
+        rng = np.random.default_rng(8)
+        n = 80
+        X = np.empty((n, 2), dtype=object)
+        X[:, 0] = rng.normal(size=n)
+        X[:, 1] = rng.choice(["good stuff", "bad stuff", "meh"], size=n)
+        y = rng.integers(0, 2, size=n)
+        pipe = Pipeline(
+            [
+                (
+                    "ct",
+                    ColumnTransformer(
+                        [
+                            ("num", StandardScaler(), [0]),
+                            ("txt", TextHasher(n_buckets=16), [1]),
+                        ]
+                    ),
+                ),
+                ("m", LogisticRegression(max_iter=80)),
+            ]
+        ).fit(X, y)
+        graph = to_graph(
+            pipe, ["v", "comment"], feature_types=["float", "text"]
+        )
+        feeds = {"v": np.asarray(X[:, 0], dtype=float), "comment": X[:, 1]}
+        out = GraphRuntime().run(graph, feeds)
+        assert np.allclose(
+            _output(graph, out, "probability"), pipe.predict_proba(X)[:, 1]
+        )
+
+    def test_unfitted_rejected(self):
+        with pytest.raises(GraphError):
+            to_graph(LinearRegression(), ["a"])
+
+    def test_feature_types_length_checked(self):
+        X, y, _ = make_regression(30, 2, random_state=9)
+        model = LinearRegression().fit(X, y)
+        with pytest.raises(GraphError):
+            to_graph(model, ["a", "b"], feature_types=["float"])
+
+
+class TestAnalysis:
+    def test_zero_weight_inputs_unused(self):
+        X, y, coef = make_regression(
+            200, 6, n_informative=3, noise=0.0, random_state=10
+        )
+        model = LinearRegression().fit(X, y)
+        # Force exact zeros on the uninformative features.
+        model.coef_[np.abs(model.coef_) < 1e-8] = 0.0
+        names = [f"f{i}" for i in range(6)]
+        graph = to_graph(model, names)
+        used = used_inputs(graph)
+        expected = {names[i] for i in range(6) if coef[i] != 0.0}
+        assert used == expected
+        assert unused_inputs(graph) == set(names) - expected
+
+    def test_tree_unused_features(self):
+        rng = np.random.default_rng(11)
+        X = np.column_stack([rng.normal(size=200), np.zeros(200)])
+        y = (X[:, 0] > 0).astype(float)
+        tree = DecisionTreeRegressor(max_depth=3).fit(X, y)
+        graph = to_graph(tree, ["signal", "dead"])
+        assert used_inputs(graph) == {"signal"}
+
+    def test_weight_tolerance_widens_pruning(self):
+        X, y, _ = make_regression(100, 3, noise=0.0, random_state=12)
+        model = LinearRegression().fit(X, y)
+        model.coef_ = np.array([1.0, 1e-6, 2.0])
+        graph = to_graph(model, ["a", "b", "c"])
+        assert used_inputs(graph) == {"a", "b", "c"}
+        assert used_inputs(graph, weight_tolerance=1e-3) == {"a", "c"}
+
+    def test_graph_size_metrics(self):
+        X, y = make_classification(100, 4, random_state=13)
+        gbm = GradientBoostingClassifier(n_estimators=5, random_state=0).fit(X, y)
+        size = graph_size(to_graph(gbm, [f"f{i}" for i in range(4)]))
+        assert size["tree_nodes"] > 5
+        assert size["operators"] >= 4

@@ -1,0 +1,218 @@
+"""Model monitoring and drift detection tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from flock.errors import FlockError
+from flock.monitoring import ModelMonitor, MonitorHub
+from flock.monitoring.drift import (
+    FeatureBaseline,
+    baseline_from_training,
+    population_stability_index,
+)
+
+
+class TestPSI:
+    def test_identical_distributions_zero(self):
+        p = np.array([0.2, 0.3, 0.5])
+        assert population_stability_index(p, p) == pytest.approx(0.0)
+
+    def test_shifted_distribution_positive(self):
+        p = np.array([0.5, 0.3, 0.2])
+        q = np.array([0.1, 0.2, 0.7])
+        assert population_stability_index(p, q) > 0.25
+
+    def test_symmetric(self):
+        p = np.array([0.6, 0.4])
+        q = np.array([0.3, 0.7])
+        assert population_stability_index(p, q) == pytest.approx(
+            population_stability_index(q, p)
+        )
+
+    @settings(deadline=None, max_examples=30)
+    @given(
+        st.lists(st.floats(0.01, 1.0), min_size=2, max_size=10),
+        st.lists(st.floats(0.01, 1.0), min_size=2, max_size=10),
+    )
+    def test_nonnegative_property(self, p, q):
+        n = min(len(p), len(q))
+        assert population_stability_index(p[:n], q[:n]) >= -1e-12
+
+
+class TestBaseline:
+    def test_from_values_deciles(self):
+        rng = np.random.default_rng(0)
+        fb = FeatureBaseline.from_values("x", rng.normal(size=2000))
+        assert len(fb.proportions) == len(fb.edges) + 1
+        assert sum(fb.proportions) == pytest.approx(1.0)
+        # Decile bins are roughly equal mass.
+        assert max(fb.proportions) < 0.2
+
+    def test_nan_values_skipped(self):
+        values = np.array([1.0, np.nan, 2.0, 3.0])
+        fb = FeatureBaseline.from_values("x", values)
+        assert fb.mean == pytest.approx(2.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(FlockError):
+            FeatureBaseline.from_values("x", np.array([np.nan]))
+
+    def test_baseline_from_training(self):
+        X = np.random.default_rng(1).normal(size=(500, 3))
+        scores = np.random.default_rng(2).uniform(size=500)
+        baseline = baseline_from_training(["a", "b", "c"], X, scores)
+        assert set(baseline.features) == {"a", "b", "c"}
+        assert baseline.score is not None
+
+
+class TestModelMonitor:
+    def _monitor(self):
+        rng = np.random.default_rng(3)
+        X = rng.normal(size=(1000, 2))
+        baseline = baseline_from_training(["a", "b"], X)
+        return ModelMonitor("m", baseline), X
+
+    def test_no_drift_on_same_distribution(self):
+        monitor, X = self._monitor()
+        rng = np.random.default_rng(4)
+        fresh = rng.normal(size=(1000, 2))
+        monitor.observe({"a": fresh[:, 0], "b": fresh[:, 1]})
+        report = monitor.report()
+        assert report.max_feature_psi < 0.1
+        assert not report.is_drifted()
+
+    def test_detects_mean_shift(self):
+        monitor, _ = self._monitor()
+        rng = np.random.default_rng(5)
+        shifted = rng.normal(loc=3.0, size=1000)
+        stable = rng.normal(size=1000)
+        monitor.observe({"a": shifted, "b": stable})
+        report = monitor.report()
+        assert report.feature_psi["a"] > 0.25
+        assert report.feature_psi["b"] < 0.1
+        assert report.drifted_features() == ["a"]
+        assert report.is_drifted()
+
+    def test_accumulates_across_batches(self):
+        monitor, _ = self._monitor()
+        rng = np.random.default_rng(6)
+        for _ in range(4):
+            batch = rng.normal(size=(250, 2))
+            monitor.observe({"a": batch[:, 0], "b": batch[:, 1]})
+        assert monitor.report().observations == 1000
+
+    def test_reset(self):
+        monitor, _ = self._monitor()
+        monitor.observe({"a": np.ones(10), "b": np.ones(10)})
+        monitor.reset()
+        assert monitor.report().observations == 0
+        assert monitor.report().feature_psi == {}
+
+    def test_unknown_features_ignored(self):
+        monitor, _ = self._monitor()
+        monitor.observe({"zzz": np.ones(5)})
+        assert monitor.report().feature_psi == {}
+
+    def test_score_drift(self):
+        rng = np.random.default_rng(7)
+        X = rng.normal(size=(500, 1))
+        baseline = baseline_from_training(
+            ["a"], X, scores=rng.uniform(0, 0.5, size=500)
+        )
+        monitor = ModelMonitor("m", baseline)
+        monitor.observe(
+            {"a": rng.normal(size=500)},
+            scores=rng.uniform(0.5, 1.0, size=500),
+        )
+        report = monitor.report()
+        assert report.score_psi is not None
+        assert report.score_psi > 0.25
+
+
+class TestMonitorHub:
+    def test_register_and_lookup(self):
+        hub = MonitorHub()
+        X = np.random.default_rng(8).normal(size=(100, 1))
+        hub.register("M", baseline_from_training(["a"], X))
+        assert hub.has_monitor("m")
+        assert hub.monitor("M").model_name == "M"
+        with pytest.raises(FlockError):
+            hub.monitor("ghost")
+
+    def test_on_score_routes_to_monitor(self):
+        hub = MonitorHub()
+        X = np.random.default_rng(9).normal(size=(100, 1))
+        hub.register("m", baseline_from_training(["a"], X))
+        hub.on_score(
+            "m", {"a": np.zeros(10)}, {"prob": np.full(10, 0.5)}, "prob"
+        )
+        assert hub.monitor("m").report().observations == 10
+
+    def test_on_score_unknown_model_is_noop(self):
+        hub = MonitorHub()
+        hub.on_score("ghost", {"a": np.zeros(3)}, {}, None)  # no error
+
+
+class TestSessionIntegration:
+    def test_predict_feeds_monitor_automatically(self):
+        from flock.lifecycle import FlockSession
+        from flock.ml import LogisticRegression
+        from flock.ml.datasets import make_loans
+
+        session = FlockSession()
+        session.load_dataset(make_loans(200, random_state=0))
+        session.train_and_deploy(
+            "m", LogisticRegression(max_iter=100), "loans",
+            ["income", "credit_score"], "approved",
+        )
+        session.sql("SELECT PREDICT(m) FROM loans")
+        report = session.drift_report("m")
+        assert report.observations == 200
+        # Same data as training: no drift.
+        assert not report.is_drifted()
+
+    def test_data_shift_detected_through_sql(self):
+        from flock.lifecycle import FlockSession
+        from flock.ml import LogisticRegression
+        from flock.ml.datasets import make_loans
+
+        session = FlockSession()
+        session.load_dataset(make_loans(300, random_state=1))
+        session.train_and_deploy(
+            "m", LogisticRegression(max_iter=100), "loans",
+            ["income", "credit_score"], "approved",
+        )
+        session.sql("UPDATE loans SET income = income * 10")
+        session.sql("SELECT PREDICT(m) FROM loans")
+        report = session.drift_report("m")
+        assert "income" in report.drifted_features()
+
+    def test_monitored_models_not_inlined(self):
+        from flock.lifecycle import FlockSession
+        from flock.ml import LogisticRegression
+        from flock.ml.datasets import make_loans
+
+        session = FlockSession()
+        session.load_dataset(make_loans(100, random_state=2))
+        session.train_and_deploy(
+            "m", LogisticRegression(max_iter=50), "loans",
+            ["income", "credit_score"], "approved",
+        )
+        plan = session.database.explain("SELECT PREDICT(m) FROM loans")
+        assert "Predict(" in plan  # kept for observability
+
+    def test_monitoring_off_restores_inlining(self):
+        from flock.lifecycle import FlockSession
+        from flock.ml import LogisticRegression
+        from flock.ml.datasets import make_loans
+
+        session = FlockSession(monitor_models=False)
+        session.load_dataset(make_loans(100, random_state=3))
+        session.train_and_deploy(
+            "m", LogisticRegression(max_iter=50), "loans",
+            ["income", "credit_score"], "approved",
+        )
+        plan = session.database.explain("SELECT PREDICT(m) FROM loans")
+        assert "Predict(" not in plan

@@ -1,0 +1,197 @@
+"""Policy engine tests: rules, decision chains, transactional actions."""
+
+import pytest
+
+from flock.errors import PolicyError
+from flock.policy import (
+    CapPolicy,
+    FloorPolicy,
+    OverridePolicy,
+    PolicyEngine,
+    VetoPolicy,
+)
+
+
+class TestRules:
+    def test_cap_constant(self):
+        cap = CapPolicy("cap", 10.0)
+        assert cap.apply(15.0, {}).value == 10.0
+        assert cap.apply(15.0, {}).applied
+        assert not cap.apply(5.0, {}).applied
+
+    def test_cap_from_context(self):
+        cap = CapPolicy("cap", lambda ctx: ctx["user_cap"])
+        assert cap.apply(100.0, {"user_cap": 30.0}).value == 30.0
+
+    def test_floor(self):
+        floor = FloorPolicy("floor", 1.0)
+        assert floor.apply(0.2, {}).value == 1.0
+        assert not floor.apply(2.0, {}).applied
+
+    def test_override(self):
+        rule = OverridePolicy(
+            "manual",
+            condition=lambda v, ctx: ctx.get("blocked"),
+            replacement=0.0,
+            reason="blocked account",
+        )
+        outcome = rule.apply(0.9, {"blocked": True})
+        assert outcome.applied and outcome.value == 0.0
+        assert "blocked" in outcome.reason
+        assert not rule.apply(0.9, {"blocked": False}).applied
+
+    def test_veto(self):
+        veto = VetoPolicy("minors", lambda v, ctx: ctx.get("age", 99) < 18)
+        assert veto.apply(0.5, {"age": 10}).vetoed
+        assert not veto.apply(0.5, {"age": 40}).vetoed
+
+    def test_unnamed_policy_rejected(self):
+        with pytest.raises(PolicyError):
+            CapPolicy("", 1.0)
+
+
+class TestEngineDecisions:
+    def _engine(self):
+        engine = PolicyEngine()
+        engine.add_policy(CapPolicy("cap", 0.95, priority=50))
+        engine.add_policy(
+            VetoPolicy(
+                "minors",
+                lambda v, ctx: ctx.get("age", 99) < 18,
+                priority=10,
+            )
+        )
+        return engine
+
+    def test_priority_order(self):
+        engine = self._engine()
+        names = [p.name for p in engine.policies]
+        assert names == ["minors", "cap"]  # lower priority first
+
+    def test_chain_applies_in_order(self):
+        engine = self._engine()
+        decision = engine.decide("m", 0.99, {"age": 30})
+        assert decision.final_value == 0.95
+        assert decision.applied_policies == ["cap"]
+        assert decision.overridden
+
+    def test_veto_short_circuits(self):
+        engine = self._engine()
+        decision = engine.decide("m", 0.99, {"age": 12})
+        assert decision.vetoed
+        assert decision.final_value is None
+        # The cap never ran.
+        assert [o.policy_name for o in decision.outcomes] == ["minors"]
+
+    def test_duplicate_policy_names_rejected(self):
+        engine = self._engine()
+        with pytest.raises(PolicyError):
+            engine.add_policy(CapPolicy("cap", 1.0))
+
+    def test_remove_policy(self):
+        engine = self._engine()
+        assert engine.remove_policy("cap")
+        assert not engine.remove_policy("cap")
+
+    def test_decide_batch(self):
+        engine = self._engine()
+        decisions = engine.decide_batch("m", [0.2, 0.99], [{}, {}])
+        assert [d.final_value for d in decisions] == [0.2, 0.95]
+        with pytest.raises(PolicyError):
+            engine.decide_batch("m", [1.0], [{}, {}])
+
+    def test_override_rate(self):
+        engine = self._engine()
+        engine.decide("m", 0.1)
+        engine.decide("m", 0.99)
+        assert engine.state.override_rate("m") == 0.5
+
+
+class TestStateAndExplain:
+    def test_explain_full_trace(self):
+        engine = PolicyEngine([CapPolicy("cap", 10.0)])
+        decision = engine.decide("jobs_model", 50.0, {"job": "j1"})
+        text = engine.state.explain(decision.decision_id)
+        assert "raw model output: 50.0" in text
+        assert "cap" in text
+        assert "10.0" in text
+
+    def test_unknown_decision(self):
+        engine = PolicyEngine()
+        with pytest.raises(PolicyError):
+            engine.state.explain(999)
+
+    def test_filters(self):
+        engine = PolicyEngine([CapPolicy("cap", 1.0)])
+        engine.decide("a", 5.0)
+        engine.decide("b", 0.5)
+        assert len(engine.state.decisions(model_name="a")) == 1
+        assert len(engine.state.decisions(overridden_only=True)) == 1
+
+
+class TestTransactionalActions:
+    def test_act_commits(self):
+        engine = PolicyEngine()
+        decision = engine.decide("m", 42.0)
+        result = engine.act(decision, lambda v: v * 2)
+        assert result == 84.0
+        assert engine.state.actions(decision.decision_id)[0].status == (
+            "committed"
+        )
+
+    def test_act_rolls_back_on_failure(self):
+        engine = PolicyEngine()
+        decision = engine.decide("m", 1.0)
+        compensated = []
+        with pytest.raises(RuntimeError):
+            engine.act(
+                decision,
+                lambda v: (_ for _ in ()).throw(RuntimeError("boom")),
+                compensate=compensated.append,
+            )
+        assert compensated == [1.0]
+        assert engine.state.actions(decision.decision_id)[0].status == (
+            "rolled_back"
+        )
+
+    def test_vetoed_never_acts(self):
+        engine = PolicyEngine(
+            [VetoPolicy("always", lambda v, ctx: True)]
+        )
+        decision = engine.decide("m", 1.0)
+        acted = []
+        assert engine.act(decision, acted.append) is None
+        assert acted == []
+        assert engine.state.actions(decision.decision_id)[0].status == (
+            "skipped_veto"
+        )
+
+    def test_act_in_database_commits(self, db):
+        db.execute("CREATE TABLE actions (job TEXT, tokens INT)")
+        engine = PolicyEngine([CapPolicy("cap", 100)])
+        decision = engine.decide("jobs", 500, {"job": "j1"})
+        ok = engine.act_in_database(
+            decision,
+            db,
+            [f"INSERT INTO actions VALUES ('j1', {int(decision.final_value)})"],
+        )
+        assert ok
+        assert db.execute("SELECT tokens FROM actions").scalar() == 100
+
+    def test_act_in_database_rolls_back_all_statements(self, db):
+        db.execute("CREATE TABLE actions (job TEXT, tokens INT)")
+        engine = PolicyEngine()
+        decision = engine.decide("jobs", 10)
+        ok = engine.act_in_database(
+            decision,
+            db,
+            [
+                "INSERT INTO actions VALUES ('good', 1)",
+                "INSERT INTO broken_table VALUES (1)",  # fails
+            ],
+        )
+        assert not ok
+        # The first statement was rolled back with the second.
+        assert db.execute("SELECT COUNT(*) FROM actions").scalar() == 0
+        status = engine.state.actions(decision.decision_id)[0].status
+        assert status == "rolled_back"

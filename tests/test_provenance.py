@@ -1,0 +1,237 @@
+"""Provenance tests: data model, catalog, SQL capture, compression."""
+
+import pytest
+
+from flock.db import Database
+from flock.errors import ProvenanceError
+from flock.provenance import (
+    ProvenanceCatalog,
+    SQLProvenanceCapture,
+    compress_provenance,
+)
+from flock.provenance.model import (
+    Entity,
+    EntityType,
+    ProvenanceEdge,
+    ProvenanceGraph,
+    Relation,
+)
+
+
+class TestProvenanceGraph:
+    def _graph(self):
+        g = ProvenanceGraph()
+        table = g.add_entity(Entity("t1", EntityType.TABLE, "emp"))
+        column = g.add_entity(Entity("c1", EntityType.COLUMN, "emp.salary"))
+        model = g.add_entity(Entity("m1", EntityType.MODEL, "pay_model"))
+        g.add_edge(ProvenanceEdge("t1", "c1", Relation.CONTAINS))
+        g.add_edge(ProvenanceEdge("m1", "c1", Relation.TRAINED_ON))
+        return g
+
+    def test_size_is_nodes_plus_edges(self):
+        g = self._graph()
+        assert g.node_count == 3
+        assert g.edge_count == 2
+        assert g.size == 5
+
+    def test_duplicate_entity_rejected(self):
+        g = self._graph()
+        with pytest.raises(ProvenanceError):
+            g.add_entity(Entity("t1", EntityType.TABLE, "emp"))
+
+    def test_dangling_edge_rejected(self):
+        g = self._graph()
+        with pytest.raises(ProvenanceError):
+            g.add_edge(ProvenanceEdge("t1", "ghost", Relation.READS))
+
+    def test_upstream_lineage(self):
+        g = self._graph()
+        names = {e.name for e in g.lineage("m1", "upstream")}
+        assert names == {"emp.salary"}
+
+    def test_downstream_impact(self):
+        g = self._graph()
+        impacted = {e.name for e in g.impacted_by("c1")}
+        assert "pay_model" in impacted
+
+    def test_max_depth(self):
+        g = self._graph()
+        assert g.lineage("t1", "downstream", max_depth=0) == []
+
+    def test_edge_filters(self):
+        g = self._graph()
+        assert len(g.edges(relation=Relation.CONTAINS)) == 1
+        assert len(g.edges(src_id="m1")) == 1
+        assert len(g.edges(dst_id="c1")) == 2
+
+
+class TestCatalog:
+    def test_register_is_idempotent(self):
+        cat = ProvenanceCatalog()
+        a = cat.register(EntityType.TABLE, "emp")
+        b = cat.register(EntityType.TABLE, "EMP")
+        assert a.entity_id == b.entity_id
+
+    def test_new_version_chains(self):
+        cat = ProvenanceCatalog()
+        v1 = cat.register(EntityType.TABLE_VERSION, "emp", new_version=True)
+        v2 = cat.register(EntityType.TABLE_VERSION, "emp", new_version=True)
+        assert (v1.version, v2.version) == (1, 2)
+        assert cat.find(EntityType.TABLE_VERSION, "emp").version == 2
+        assert len(cat.versions_of(EntityType.TABLE_VERSION, "emp")) == 2
+        # PRECEDES edge between versions.
+        edges = cat.graph.edges(relation=Relation.PRECEDES)
+        assert len(edges) == 1
+
+    def test_search_by_type(self):
+        cat = ProvenanceCatalog()
+        cat.register(EntityType.MODEL, "m1")
+        cat.register(EntityType.TABLE, "t1")
+        assert len(cat.search(EntityType.MODEL)) == 1
+
+    def test_cross_system_model_column_query(self):
+        cat = ProvenanceCatalog()
+        table = cat.register(EntityType.TABLE, "loans")
+        column = cat.register(EntityType.COLUMN, "loans.income")
+        cat.link(table, column, Relation.CONTAINS)
+        model = cat.register(EntityType.MODEL, "loan_model")
+        cat.link(model, column, Relation.TRAINED_ON)
+        hits = cat.models_depending_on_column("loans", "income")
+        assert [e.name for e in hits] == ["loan_model"]
+        assert cat.models_depending_on_column("loans", "nothing") == []
+
+
+class TestSQLCapture:
+    def test_select_tables_and_columns(self):
+        cat = ProvenanceCatalog()
+        cap = SQLProvenanceCapture(cat)
+        result = cap.capture_query(
+            "SELECT a.x, b.y FROM t1 a JOIN t2 b ON a.k = b.k WHERE a.z > 1"
+        )
+        assert sorted(result.input_tables) == ["t1", "t2"]
+        assert set(result.input_columns) == {
+            "t1.x", "t2.y", "t1.k", "t2.k", "t1.z",
+        }
+
+    def test_unqualified_columns_resolved_with_schema(self):
+        db = Database()
+        db.execute("CREATE TABLE t1 (x INT)")
+        db.execute("CREATE TABLE t2 (y INT)")
+        cat = ProvenanceCatalog()
+        cap = SQLProvenanceCapture(cat, database=db)
+        result = cap.capture_query(
+            "SELECT x, y FROM t1 JOIN t2 ON x = y"
+        )
+        assert set(result.input_columns) == {"t1.x", "t2.y"}
+
+    def test_writes_create_versions(self):
+        cat = ProvenanceCatalog()
+        cap = SQLProvenanceCapture(cat)
+        cap.capture_query("INSERT INTO t VALUES (1)")
+        cap.capture_query("INSERT INTO t VALUES (2)")
+        cap.capture_query("UPDATE t SET a = 1")
+        versions = cat.versions_of(EntityType.TABLE_VERSION, "t")
+        assert [v.version for v in versions] == [1, 2, 3]
+
+    def test_insert_select_reads_and_writes(self):
+        cat = ProvenanceCatalog()
+        cap = SQLProvenanceCapture(cat)
+        result = cap.capture_query("INSERT INTO dst SELECT a FROM src")
+        assert result.output_tables == ["dst"]
+        assert "src" in result.input_tables
+
+    def test_create_table_registers_columns(self):
+        cat = ProvenanceCatalog()
+        cap = SQLProvenanceCapture(cat)
+        cap.capture_query("CREATE TABLE t (a INT, b TEXT)")
+        assert cat.find(EntityType.COLUMN, "t.a") is not None
+        assert cat.find(EntityType.COLUMN, "t.b") is not None
+
+    def test_subquery_tables_captured(self):
+        cat = ProvenanceCatalog()
+        cap = SQLProvenanceCapture(cat)
+        result = cap.capture_query(
+            "SELECT s.n FROM (SELECT COUNT(*) AS n FROM inner_t) s"
+        )
+        assert "inner_t" in result.input_tables
+
+    def test_capture_many_skips_unparseable(self):
+        cat = ProvenanceCatalog()
+        cap = SQLProvenanceCapture(cat)
+        summary = cap.capture_many(
+            ["SELECT a FROM t", "THIS IS NOT SQL", "SELECT b FROM t"]
+        )
+        assert summary.query_count == 2
+        assert summary.graph_size == cat.size
+
+    def test_lazy_capture_from_engine_log(self, emp_db):
+        emp_db.execute("SELECT name FROM emp WHERE salary > 80")
+        emp_db.execute("DELETE FROM emp WHERE id = 5")
+        cat = ProvenanceCatalog()
+        cap = SQLProvenanceCapture(cat, database=emp_db)
+        summary = cap.capture_log(emp_db.query_log)
+        assert summary.query_count >= 2
+        assert cat.find(EntityType.TABLE, "emp") is not None
+        assert cat.versions_of(EntityType.TABLE_VERSION, "emp")
+
+    def test_lazy_skips_failed_statements(self, emp_db):
+        from flock.errors import BindError
+
+        with pytest.raises(BindError):
+            emp_db.execute("SELECT nope FROM emp")
+        cat = ProvenanceCatalog()
+        cap = SQLProvenanceCapture(cat, database=emp_db)
+        count_before_failures = sum(
+            1 for e in emp_db.query_log if e.success
+        )
+        summary = cap.capture_log(emp_db.query_log)
+        assert summary.query_count == count_before_failures
+
+
+class TestCompression:
+    def _versioned_catalog(self, writes=10):
+        db = Database()
+        db.execute("CREATE TABLE t (a INT, b INT, c INT)")
+        cat = ProvenanceCatalog()
+        cap = SQLProvenanceCapture(cat, database=db)
+        for i in range(writes):
+            cap.capture_query(f"INSERT INTO t VALUES ({i}, {i}, {i})")
+        return cat
+
+    def test_version_chains_collapse(self):
+        cat = self._versioned_catalog(12)
+        compressed, report = compress_provenance(cat.graph)
+        assert report.size_after < report.size_before
+        assert report.ratio < 1.0
+        # Exactly one TABLE_VERSION entity remains, carrying the count.
+        versions = compressed.entities(EntityType.TABLE_VERSION)
+        assert len(versions) == 1
+        assert versions[0].properties["collapsed_versions"] == 12
+
+    def test_short_chains_untouched(self):
+        cat = self._versioned_catalog(2)
+        compressed, report = compress_provenance(cat.graph)
+        assert len(compressed.entities(EntityType.TABLE_VERSION)) == 2
+
+    def test_edge_dedup_with_multiplicity(self):
+        g = ProvenanceGraph()
+        g.add_entity(Entity("a", EntityType.QUERY, "q"))
+        g.add_entity(Entity("b", EntityType.TABLE, "t"))
+        for _ in range(5):
+            g.add_edge(ProvenanceEdge("a", "b", Relation.READS))
+        compressed, report = compress_provenance(g)
+        assert compressed.edge_count == 1
+        edge = compressed.edges()[0]
+        assert edge.properties["multiplicity"] == 5
+
+    def test_lineage_preserved_through_compression(self):
+        cat = self._versioned_catalog(8)
+        compressed, _ = compress_provenance(cat.graph)
+        table = None
+        for entity in compressed.entities(EntityType.TABLE):
+            if entity.name == "t":
+                table = entity
+        assert table is not None
+        # Queries still reach the table.
+        impacted = compressed.impacted_by(table.entity_id)
+        assert any(e.entity_type is EntityType.QUERY for e in impacted)

@@ -1,0 +1,194 @@
+"""Provenance export tests and engine concurrency tests."""
+
+import json
+import threading
+
+import pytest
+
+from flock.db import Database
+from flock.errors import ProvenanceError, TransactionError
+from flock.provenance import ProvenanceCatalog, SQLProvenanceCapture
+from flock.provenance.export import (
+    graph_from_json,
+    graph_to_dot,
+    graph_to_json,
+    load_provenance,
+    save_provenance,
+)
+from flock.provenance.model import EntityType
+
+
+@pytest.fixture
+def captured():
+    catalog = ProvenanceCatalog()
+    capture = SQLProvenanceCapture(catalog)
+    capture.capture_query("SELECT a, b FROM t1 JOIN t2 ON t1.k = t2.k")
+    capture.capture_query("INSERT INTO t1 VALUES (1)")
+    return catalog.graph
+
+
+class TestExport:
+    def test_json_roundtrip(self, captured):
+        payload = json.loads(json.dumps(graph_to_json(captured)))
+        restored = graph_from_json(payload)
+        assert restored.node_count == captured.node_count
+        assert restored.edge_count == captured.edge_count
+        # Lineage still works after the round trip.
+        query = restored.entities(EntityType.QUERY)[0]
+        assert restored.lineage(query.entity_id, "upstream")
+
+    def test_file_roundtrip(self, captured, tmp_path):
+        path = tmp_path / "prov.json"
+        save_provenance(captured, path)
+        restored = load_provenance(path)
+        assert restored.size == captured.size
+
+    def test_version_check(self, captured):
+        payload = graph_to_json(captured)
+        payload["format_version"] = 42
+        with pytest.raises(ProvenanceError):
+            graph_from_json(payload)
+
+    def test_dot_output(self, captured):
+        dot = graph_to_dot(captured)
+        assert dot.startswith("digraph provenance {")
+        assert "READS" in dot
+        assert dot.rstrip().endswith("}")
+
+    def test_dot_truncation(self, captured):
+        dot = graph_to_dot(captured, max_entities=2)
+        assert dot.count("fillcolor") == 2
+
+    def test_nonserializable_properties_coerced(self):
+        from flock.provenance.model import Entity, ProvenanceGraph
+
+        graph = ProvenanceGraph()
+        graph.add_entity(
+            Entity("e1", EntityType.MODEL, "m",
+                   properties={"obj": object(), "ok": 1})
+        )
+        payload = graph_to_json(graph)
+        json.dumps(payload)  # must not raise
+        assert payload["entities"][0]["properties"]["ok"] == 1
+
+
+class TestConcurrency:
+    def test_parallel_readers_during_writes(self):
+        db = Database()
+        db.execute("CREATE TABLE t (v INT)")
+        db.execute("INSERT INTO t VALUES (0)")
+        errors: list[Exception] = []
+        stop = threading.Event()
+
+        def reader():
+            try:
+                while not stop.is_set():
+                    count = db.execute("SELECT COUNT(*) FROM t").scalar()
+                    assert count >= 1
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=reader) for _ in range(4)]
+        for t in threads:
+            t.start()
+        try:
+            for i in range(30):
+                db.execute(f"INSERT INTO t VALUES ({i + 1})")
+        finally:
+            stop.set()
+            for t in threads:
+                t.join()
+        assert not errors
+        assert db.execute("SELECT COUNT(*) FROM t").scalar() == 31
+
+    def test_concurrent_conflicting_writers_one_wins(self):
+        db = Database()
+        db.execute("CREATE TABLE counter (v INT)")
+        db.execute("INSERT INTO counter VALUES (0)")
+        outcomes: list[str] = []
+        barrier = threading.Barrier(2)
+
+        def writer(tag: str):
+            conn = db.connect()
+            conn.execute("BEGIN")
+            conn.execute("UPDATE counter SET v = v + 1")
+            barrier.wait()  # both hold staged writes before committing
+            try:
+                conn.execute("COMMIT")
+                outcomes.append(f"{tag}:commit")
+            except TransactionError:
+                outcomes.append(f"{tag}:abort")
+
+        threads = [
+            threading.Thread(target=writer, args=(f"w{i}",)) for i in range(2)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert sorted(o.split(":")[1] for o in outcomes) == ["abort", "commit"]
+        # Exactly one increment survived: no lost updates.
+        assert db.execute("SELECT v FROM counter").scalar() == 1
+
+    def test_concurrent_disjoint_writers_all_commit(self):
+        db = Database()
+        for i in range(4):
+            db.execute(f"CREATE TABLE t{i} (v INT)")
+        errors: list[Exception] = []
+
+        def writer(i: int):
+            try:
+                for k in range(10):
+                    db.execute(f"INSERT INTO t{i} VALUES ({k})")
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=writer, args=(i,)) for i in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        for i in range(4):
+            assert db.execute(f"SELECT COUNT(*) FROM t{i}").scalar() == 10
+
+    def test_concurrent_same_table_autocommit_retries(self):
+        """Autocommit inserts to one table from many threads all land."""
+        db = Database()
+        db.execute("CREATE TABLE t (v INT)")
+        errors: list[Exception] = []
+
+        def writer(base: int):
+            try:
+                for k in range(8):
+                    db.execute(f"INSERT INTO t VALUES ({base * 100 + k})")
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=writer, args=(i,)) for i in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert db.execute("SELECT COUNT(*) FROM t").scalar() == 32
+        assert db.execute("SELECT COUNT(DISTINCT v) FROM t").scalar() == 32
+
+    def test_audit_log_thread_safe(self):
+        db = Database()
+        db.execute("CREATE TABLE t (v INT)")
+
+        def worker():
+            for _ in range(20):
+                db.execute("SELECT COUNT(*) FROM t")
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert db.audit.log.verify_chain()

@@ -1,0 +1,220 @@
+"""Python static-analysis provenance tests."""
+
+import pytest
+
+from flock.errors import ProvenanceError
+from flock.provenance import ProvenanceCatalog, PythonProvenanceCapture
+from flock.provenance.kb import KnowledgeBase
+from flock.provenance.model import EntityType
+
+
+@pytest.fixture
+def analyzer():
+    return PythonProvenanceCapture()
+
+
+class TestModelDetection:
+    def test_from_import_constructor(self, analyzer):
+        analysis = analyzer.analyze_script(
+            "from sklearn.linear_model import LogisticRegression\n"
+            "clf = LogisticRegression(C=2.0)\n"
+        )
+        assert len(analysis.models) == 1
+        model = analysis.models[0]
+        assert model.variable == "clf"
+        assert model.class_name == "LogisticRegression"
+        assert model.hyperparameters == {"C": 2.0}
+
+    def test_module_attribute_constructor(self, analyzer):
+        analysis = analyzer.analyze_script(
+            "import xgboost as xgb\n"
+            "model = xgb.XGBClassifier(max_depth=4)\n"
+        )
+        assert analysis.model_classes == {"XGBClassifier"}
+
+    def test_aliased_import(self, analyzer):
+        analysis = analyzer.analyze_script(
+            "from sklearn.ensemble import RandomForestClassifier as RF\n"
+            "m = RF(n_estimators=10)\n"
+        )
+        assert analysis.model_classes == {"RandomForestClassifier"}
+
+    def test_unknown_library_not_detected(self, analyzer):
+        analysis = analyzer.analyze_script(
+            "from fancyboost import FancyBooster\n"
+            "m = FancyBooster()\nm.fit(X, y)\n"
+        )
+        assert analysis.models == []
+
+    def test_dynamic_constructor_not_detected(self, analyzer):
+        analysis = analyzer.analyze_script(
+            "import sklearn.ensemble as e\n"
+            "cls = getattr(e, 'RandomForest' + 'Classifier')\n"
+            "m = cls()\n"
+        )
+        assert analysis.models == []
+
+    def test_multiple_models(self, analyzer):
+        analysis = analyzer.analyze_script(
+            "from sklearn.linear_model import LogisticRegression\n"
+            "from sklearn.tree import DecisionTreeClassifier\n"
+            "a = LogisticRegression()\n"
+            "b = DecisionTreeClassifier(max_depth=3)\n"
+        )
+        assert analysis.model_classes == {
+            "LogisticRegression", "DecisionTreeClassifier",
+        }
+
+    def test_transformer_not_counted_as_model(self, analyzer):
+        analysis = analyzer.analyze_script(
+            "from sklearn.preprocessing import StandardScaler\n"
+            "s = StandardScaler()\n"
+        )
+        assert analysis.models == []
+
+
+class TestDatasetDetection:
+    def test_read_csv(self, analyzer):
+        analysis = analyzer.analyze_script(
+            "import pandas as pd\ndf = pd.read_csv('train.csv')\n"
+        )
+        assert analysis.dataset_sources == {"train.csv"}
+
+    def test_read_sql(self, analyzer):
+        analysis = analyzer.analyze_script(
+            "import pandas as pd\n"
+            "df = pd.read_sql('SELECT * FROM loans', conn)\n"
+        )
+        assert analysis.dataset_sources == {"SELECT * FROM loans"}
+
+    def test_dynamic_path_unresolved(self, analyzer):
+        analysis = analyzer.analyze_script(
+            "import os\nimport pandas as pd\n"
+            "df = pd.read_csv(os.path.join(d, 'x.csv'))\n"
+        )
+        assert analysis.dataset_sources == {"<dynamic:read_csv>"}
+
+    def test_duplicate_loads_deduped(self, analyzer):
+        analysis = analyzer.analyze_script(
+            "import pandas as pd\n"
+            "a = pd.read_csv('x.csv')\nb = pd.read_csv('x.csv')\n"
+        )
+        assert len(analysis.datasets) == 1
+
+
+class TestTrainingLinkage:
+    SCRIPT = (
+        "import pandas as pd\n"
+        "from sklearn.linear_model import LogisticRegression\n"
+        "from sklearn.metrics import accuracy_score\n"
+        "from sklearn.model_selection import train_test_split\n"
+        "df = pd.read_csv('loans.csv')\n"
+        "X = df.drop(columns=['y'])\n"
+        "y = df['y']\n"
+        "X_tr, X_te, y_tr, y_te = train_test_split(X, y)\n"
+        "clf = LogisticRegression(max_iter=100)\n"
+        "clf.fit(X_tr, y_tr)\n"
+        "pred = clf.predict(X_te)\n"
+        "print(accuracy_score(y_te, pred))\n"
+    )
+
+    def test_fit_links_dataset_through_derivations(self, analyzer):
+        analysis = analyzer.analyze_script(self.SCRIPT)
+        model = analysis.models[0]
+        assert model.trained
+        assert model.training_datasets == ["loans.csv"]
+
+    def test_metric_linked_to_model(self, analyzer):
+        analysis = analyzer.analyze_script(self.SCRIPT)
+        assert analysis.models[0].metrics == ["accuracy_score"]
+
+    def test_fit_inside_loop_or_if(self, analyzer):
+        analysis = analyzer.analyze_script(
+            "import pandas as pd\n"
+            "from sklearn.svm import SVC\n"
+            "df = pd.read_csv('d.csv')\n"
+            "m = SVC()\n"
+            "if True:\n"
+            "    m.fit(df, df['y'])\n"
+        )
+        assert analysis.models[0].trained
+        assert analysis.models[0].training_datasets == ["d.csv"]
+
+    def test_syntax_error_raises(self, analyzer):
+        with pytest.raises(ProvenanceError):
+            analyzer.analyze_script("def broken(:\n")
+
+
+class TestCatalogRegistration:
+    def test_entities_and_cross_system_bridge(self):
+        cat = ProvenanceCatalog()
+        # SQL side knows the table.
+        table = cat.register(EntityType.TABLE, "loans")
+        analyzer = PythonProvenanceCapture(cat)
+        analyzer.analyze_script(
+            "import pandas as pd\n"
+            "from sklearn.linear_model import LogisticRegression\n"
+            "df = pd.read_sql_table('loans', engine)\n"
+            "m = LogisticRegression()\n"
+            "m.fit(df, df['y'])\n",
+            name="train_loans",
+        )
+        script = cat.find(EntityType.SCRIPT, "train_loans")
+        assert script is not None
+        dataset = cat.find(EntityType.DATASET, "loans")
+        assert dataset is not None
+        # The bridge: dataset → table edge exists (C3).
+        from flock.provenance.model import Relation
+
+        bridge = cat.graph.edges(
+            relation=Relation.DERIVES, src_id=dataset.entity_id
+        )
+        assert any(e.dst_id == table.entity_id for e in bridge)
+
+    def test_hyperparameters_registered(self):
+        cat = ProvenanceCatalog()
+        analyzer = PythonProvenanceCapture(cat)
+        analyzer.analyze_script(
+            "from sklearn.svm import SVC\nm = SVC(C=3.0)\n", name="s"
+        )
+        hp = cat.find(EntityType.HYPERPARAMETER, "s::m::C")
+        assert hp is not None
+        assert hp.properties["value"] == 3.0
+
+
+class TestKnowledgeBase:
+    def test_module_hint_filters(self):
+        kb = KnowledgeBase()
+        assert kb.classify_constructor("LogisticRegression", "sklearn.linear_model")
+        assert kb.classify_constructor("LogisticRegression", None) == "model"
+        assert kb.classify_constructor("LogisticRegression", "notsklearn") is None
+
+    def test_data_loaders(self):
+        kb = KnowledgeBase()
+        assert kb.is_data_loader("read_csv") == ("file", 0)
+        assert kb.is_data_loader("load_stuff") is None
+
+    def test_extensible(self):
+        from flock.provenance.kb import ApiEntry
+
+        kb = KnowledgeBase([ApiEntry("fancyboost", "FancyBooster", "model")])
+        assert kb.classify_constructor("FancyBooster", "fancyboost") == "model"
+
+
+class TestCoverageCorpora:
+    def test_enterprise_corpus_full_coverage(self, analyzer):
+        from flock.corpus.scripts import enterprise_corpus, evaluate_coverage
+
+        result = evaluate_coverage(enterprise_corpus(37), analyzer)
+        assert result.model_coverage == 1.0
+        assert result.dataset_coverage == 1.0
+
+    def test_kaggle_corpus_partial_coverage(self, analyzer):
+        from flock.corpus.scripts import evaluate_coverage, kaggle_like_corpus
+
+        result = evaluate_coverage(kaggle_like_corpus(49), analyzer)
+        # The paper's Table 2 shape: high-but-not-total model coverage,
+        # substantially lower dataset coverage.
+        assert 0.90 <= result.model_coverage < 1.0
+        assert 0.50 <= result.dataset_coverage <= 0.75
+        assert result.dataset_coverage < result.model_coverage

@@ -1,0 +1,165 @@
+"""Model registry tests: versioning, transactional deployment, governance."""
+
+import numpy as np
+import pytest
+
+from flock import create_database
+from flock.db.types import DataType
+from flock.errors import RegistryError
+from flock.ml import LinearRegression
+from flock.ml.datasets import make_regression
+from flock.mlgraph import to_graph
+from flock.registry import ModelRegistry
+
+
+@pytest.fixture
+def graph():
+    X, y, _ = make_regression(50, 3, random_state=0)
+    model = LinearRegression().fit(X, y)
+    return to_graph(model, ["a", "b", "c"], name="m")
+
+
+class TestDeployment:
+    def test_versions_increment(self, graph):
+        registry = ModelRegistry()
+        v1 = registry.deploy("m", graph)
+        v2 = registry.deploy("m", graph)
+        assert (v1.version, v2.version) == (1, 2)
+        assert registry.latest("m").version == 2
+        assert registry.version("m", 1).version == 1
+        assert len(registry.versions("m")) == 2
+
+    def test_unknown_model(self):
+        registry = ModelRegistry()
+        with pytest.raises(RegistryError):
+            registry.latest("ghost")
+        with pytest.raises(RegistryError):
+            registry.versions("ghost")
+
+    def test_unknown_version(self, graph):
+        registry = ModelRegistry()
+        registry.deploy("m", graph)
+        with pytest.raises(RegistryError):
+            registry.version("m", 7)
+
+    def test_non_graph_rejected(self):
+        registry = ModelRegistry()
+        with pytest.raises(RegistryError):
+            registry.deploy("m", {"not": "a graph"})
+
+    def test_deploy_many_atomic_visibility(self, graph):
+        registry = ModelRegistry()
+        versions = registry.deploy_many([("a", graph), ("b", graph)])
+        assert [v.name for v in versions] == ["a", "b"]
+        assert registry.has_model("a") and registry.has_model("b")
+
+    def test_empty_deploy_many_rejected(self):
+        with pytest.raises(RegistryError):
+            ModelRegistry().deploy_many([])
+
+    def test_rollback_is_append_only(self, graph):
+        import numpy as np
+
+        from flock.mlgraph import GraphRuntime, Node, TensorSpec
+        from flock.mlgraph.graph import Graph
+
+        other = Graph(
+            "m",
+            [TensorSpec("a"), TensorSpec("b"), TensorSpec("c")],
+            [TensorSpec("score")],
+            [
+                Node("pack", ["a", "b", "c"], ["mat"]),
+                Node("linear", ["mat"], ["score"],
+                     {"weights": [9.0, 9.0, 9.0], "bias": 0.0}),
+            ],
+            output_kinds={"score": "score"},
+        )
+        registry = ModelRegistry()
+        registry.deploy("m", graph)  # v1
+        registry.deploy("m", other)  # v2 (the bad rollout)
+        rolled = registry.rollback("m", to_version=1)
+        assert rolled.version == 3
+        assert "rollback to v1" in rolled.description
+        # v3 serves v1's behaviour.
+        feeds = {n: np.ones(2) for n in ("a", "b", "c")}
+        v1_out = GraphRuntime().run(registry.version("m", 1).graph, feeds)
+        v3_out = GraphRuntime().run(registry.latest("m").graph, feeds)
+        key = registry.latest("m").graph.output_names[0]
+        assert np.allclose(v1_out[key], v3_out[key])
+        # History intact: all three versions remain queryable.
+        assert [v.version for v in registry.versions("m")] == [1, 2, 3]
+
+    def test_rollback_unknown_version(self, graph):
+        registry = ModelRegistry()
+        registry.deploy("m", graph)
+        with pytest.raises(RegistryError):
+            registry.rollback("m", to_version=5)
+
+    def test_metrics_and_run_id_recorded(self, graph):
+        registry = ModelRegistry()
+        mv = registry.deploy(
+            "m", graph, metrics={"r2": 0.9}, training_run_id="run-7"
+        )
+        assert mv.metrics == {"r2": 0.9}
+        assert mv.training_run_id == "run-7"
+
+
+class TestSignature:
+    def test_signature_shape(self, graph):
+        registry = ModelRegistry()
+        registry.deploy("m", graph)
+        signature = registry.signature("m")
+        assert signature.input_names == ["a", "b", "c"]
+        assert signature.input_dtypes == [DataType.FLOAT] * 3
+        assert signature.output_fields[0].name == "score"
+        assert signature.output_fields[0].dtype is DataType.FLOAT
+
+    def test_scoring_artifact_is_graph(self, graph):
+        registry = ModelRegistry()
+        registry.deploy("m", graph)
+        assert registry.scoring_artifact("m") is graph
+
+
+class TestModelsAsData:
+    def test_deploy_mirrors_into_system_table(self, graph):
+        database, registry = create_database()
+        registry.deploy("m", graph, description="first")
+        rows = database.execute(
+            "SELECT name, version, description FROM flock_models"
+        ).rows()
+        assert rows == [("m", 1, "first")]
+
+    def test_multi_model_rollout_single_version_bump(self, graph):
+        database, registry = create_database()
+        table = database.catalog.table(ModelRegistry.SYSTEM_TABLE)
+        before = table.version_count
+        registry.deploy_many([("a", graph), ("b", graph)])
+        # One transaction → exactly one new table version for both rows.
+        assert table.version_count == before + 1
+        assert database.execute(
+            "SELECT COUNT(*) FROM flock_models"
+        ).scalar() == 2
+
+    def test_deployment_audited(self, graph):
+        database, registry = create_database()
+        registry.deploy("m", graph)
+        records = database.audit.log.records(action="DEPLOY_MODEL")
+        assert records and records[0].object_name == "model:m"
+
+    def test_registry_reload_from_database(self, graph):
+        database, registry = create_database()
+        registry.deploy("m", graph)
+        registry.deploy("m", graph)
+        fresh = ModelRegistry()
+        loaded = fresh.load_from_database(database)
+        assert loaded == 2
+        assert fresh.latest("m").version == 2
+        # The reloaded graph still scores.
+        restored = fresh.scoring_artifact("m")
+        from flock.mlgraph import GraphRuntime
+
+        out = GraphRuntime().run(
+            restored,
+            {"a": np.zeros(2), "b": np.zeros(2), "c": np.zeros(2)},
+        )
+        assert len(out[restored.output_names[0]]) == 2

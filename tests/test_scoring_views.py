@@ -1,0 +1,65 @@
+"""Scoring views: PREDICT inside view definitions.
+
+The paper's governance model treats deployed models like views; composing
+the two — a view that scores — gives applications a governed, named scoring
+surface with no direct table or model access.
+"""
+
+import numpy as np
+import pytest
+
+from flock.errors import SecurityError
+
+
+class TestScoringViews:
+    def test_view_with_predict(self, loan_setup):
+        database, registry, dataset, pipeline = loan_setup
+        database.execute(
+            "CREATE VIEW scored_loans AS "
+            "SELECT applicant_id, PREDICT(loan_model) AS p FROM loans"
+        )
+        rows = database.execute(
+            "SELECT applicant_id, p FROM scored_loans "
+            "WHERE p > 0.9 ORDER BY p DESC"
+        ).rows()
+        probs = pipeline.predict_proba(dataset.feature_matrix())[:, 1]
+        expected = sorted(
+            ((i + 1, p) for i, p in enumerate(probs) if p > 0.9),
+            key=lambda t: -t[1],
+        )
+        assert len(rows) == len(expected)
+        for (gid, gp), (wid, wp) in zip(rows, expected):
+            assert gid == wid and gp == pytest.approx(wp)
+
+    def test_scoring_view_grant_covers_model_and_table(self, loan_setup):
+        database, *_ = loan_setup
+        database.execute(
+            "CREATE VIEW risk_view AS "
+            "SELECT applicant_id, PREDICT(loan_model) AS p FROM loans"
+        )
+        database.execute("CREATE USER app")
+        database.execute("GRANT SELECT ON risk_view TO app")
+        # Table access is covered by the view (definer semantics), but the
+        # model itself stays governed: scoring still requires PREDICT.
+        with pytest.raises(SecurityError):
+            database.execute("SELECT p FROM risk_view LIMIT 1", user="app")
+        database.security.grant("PREDICT", "model:loan_model", "app")
+        result = database.execute(
+            "SELECT p FROM risk_view LIMIT 3", user="app"
+        )
+        assert result.row_count == 3
+        with pytest.raises(SecurityError):
+            database.execute("SELECT income FROM loans", user="app")
+
+    def test_aggregation_over_scoring_view(self, loan_setup):
+        database, *_ = loan_setup
+        database.execute(
+            "CREATE VIEW scored2 AS "
+            "SELECT region, PREDICT(loan_model) AS p FROM loans"
+        )
+        rows = database.execute(
+            "SELECT region, AVG(p) AS avg_p FROM scored2 "
+            "GROUP BY region ORDER BY region"
+        ).rows()
+        assert len(rows) == 4
+        assert all(0.0 <= r[1] <= 1.0 for r in rows)

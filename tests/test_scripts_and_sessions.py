@@ -1,0 +1,151 @@
+"""Script execution, session ergonomics, and cross-feature interactions."""
+
+import pytest
+
+from flock.db import Database
+from flock.db.persist import load_database, save_database
+
+
+class TestExecuteScript:
+    def test_script_with_transaction_block(self, db):
+        conn = db.connect()
+        results = conn.execute_script(
+            """
+            CREATE TABLE t (a INT);
+            BEGIN;
+            INSERT INTO t VALUES (1);
+            INSERT INTO t VALUES (2);
+            COMMIT;
+            SELECT COUNT(*) FROM t;
+            """
+        )
+        assert results[-1].scalar() == 2
+        assert results[1].statement_type == "BEGIN"
+
+    def test_script_rollback_block(self, db):
+        conn = db.connect()
+        results = conn.execute_script(
+            """
+            CREATE TABLE t (a INT);
+            BEGIN;
+            INSERT INTO t VALUES (1);
+            ROLLBACK;
+            SELECT COUNT(*) FROM t;
+            """
+        )
+        assert results[-1].scalar() == 0
+
+    def test_script_stops_at_first_error(self, db):
+        from flock.errors import BindError
+
+        conn = db.connect()
+        with pytest.raises(BindError):
+            conn.execute_script(
+                "CREATE TABLE t (a INT); SELECT nope FROM t; "
+                "INSERT INTO t VALUES (1)"
+            )
+        # The statement after the failure never ran.
+        assert db.execute("SELECT COUNT(*) FROM t").scalar() == 0
+
+    def test_comments_and_blank_statements(self, db):
+        conn = db.connect()
+        results = conn.execute_script(
+            "-- setup\nCREATE TABLE t (a INT);;\n/* no-op */ ;"
+            "INSERT INTO t VALUES (1);"
+        )
+        assert len(results) == 2
+
+
+class TestVersionedPersistenceInteraction:
+    def test_tpcc_versions_survive_snapshot(self, tmp_path):
+        from flock.workloads import (
+            create_tpcc_schema,
+            generate_tpcc_data,
+            generate_tpcc_transactions,
+        )
+
+        db = Database()
+        create_tpcc_schema(db)
+        generate_tpcc_data(db)
+        for sql in generate_tpcc_transactions(80, seed=9):
+            db.execute(sql)
+        stock_versions = db.catalog.table("stock").version_count
+        save_database(db, tmp_path / "snap")
+        restored = load_database(tmp_path / "snap")
+        assert restored.catalog.table("stock").version_count == stock_versions
+        # Historical version scans agree.
+        v_old = db.catalog.table("stock").scan(version_id=1)
+        r_old = restored.catalog.table("stock").scan(version_id=1)
+        assert list(v_old.rows()) == list(r_old.rows())
+
+
+class TestSessionErgonomics:
+    def test_table_matrix_shapes(self):
+        from flock.lifecycle import FlockSession
+        from flock.ml.datasets import make_patients
+
+        session = FlockSession()
+        session.load_dataset(make_patients(60, random_state=0))
+        X, y = session.table_matrix(
+            "patients", ["age", "length_of_stay"], "readmitted"
+        )
+        assert X.shape == (60, 2)
+        assert set(y.tolist()) <= {0, 1}
+
+    def test_eager_provenance_can_be_disabled(self):
+        from flock.lifecycle import FlockSession
+        from flock.ml.datasets import make_loans
+        from flock.provenance.model import EntityType
+
+        session = FlockSession(eager_provenance=False)
+        session.load_dataset(make_loans(30, random_state=0))
+        session.sql("SELECT COUNT(*) FROM loans")
+        assert session.provenance.search(EntityType.QUERY) == []
+
+    def test_drift_report_requires_monitoring(self):
+        from flock.errors import FlockError
+        from flock.lifecycle import FlockSession
+
+        session = FlockSession(monitor_models=False)
+        with pytest.raises(FlockError):
+            session.drift_report("ghost")
+
+
+class TestModelRollbackThroughSession:
+    def test_rollback_restores_served_predictions(self):
+        import numpy as np
+
+        from flock.lifecycle import FlockSession
+        from flock.ml import LogisticRegression, Pipeline, StandardScaler
+        from flock.ml.datasets import make_loans
+
+        session = FlockSession(monitor_models=False)
+        session.load_dataset(make_loans(120, random_state=5))
+        features = ["income", "credit_score"]
+        session.train_and_deploy(
+            "m",
+            Pipeline([("s", StandardScaler()),
+                      ("c", LogisticRegression(max_iter=120))]),
+            "loans", features, "approved",
+        )
+        v1 = session.sql(
+            "SELECT PREDICT(m) AS p FROM loans ORDER BY applicant_id"
+        ).column("p")
+        session.train_and_deploy(
+            "m", LogisticRegression(max_iter=5), "loans",
+            features, "approved",
+        )
+        v2 = session.sql(
+            "SELECT PREDICT(m) AS p FROM loans ORDER BY applicant_id"
+        ).column("p")
+        assert not np.allclose(v1, v2)
+        session.registry.rollback("m", to_version=1)
+        v3 = session.sql(
+            "SELECT PREDICT(m) AS p FROM loans ORDER BY applicant_id"
+        ).column("p")
+        assert np.allclose(v1, v3)
+        # The rollback itself is in the models-as-data table and the audit.
+        versions = session.sql(
+            "SELECT version FROM flock_models WHERE name = 'm'"
+        ).column("version")
+        assert versions == [1, 2, 3]

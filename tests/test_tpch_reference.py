@@ -1,0 +1,185 @@
+"""TPC-H result validation against independent numpy references.
+
+The engine's answers for representative query shapes (scan-aggregate,
+join-group-sort, selective scan, CASE-in-aggregate) are recomputed with
+plain numpy over the raw table contents — a completely separate code path
+from the SQL stack.
+"""
+
+import numpy as np
+import pytest
+
+from flock.db import Database
+from flock.db.types import date_to_days
+from flock.workloads import create_tpch_schema, generate_tpch_data
+
+
+@pytest.fixture(scope="module")
+def tpch():
+    db = Database()
+    create_tpch_schema(db)
+    generate_tpch_data(db, scale=0.0006, seed=17)
+    arrays = {}
+    for table in ("lineitem", "orders", "customer"):
+        batch = db.catalog.table(table).scan()
+        arrays[table] = {
+            name: np.array(batch.column(name).values)
+            for name in batch.names
+        }
+        # Recover null masks for nullable numeric work.
+        arrays[table]["__nulls__"] = {
+            name: batch.column(name).nulls.copy() for name in batch.names
+        }
+    return db, arrays
+
+
+class TestQ1Reference:
+    def test_full_aggregate_rows(self, tpch):
+        db, arrays = tpch
+        cutoff = date_to_days("1998-12-01") - 90
+        got = db.execute(
+            "SELECT l_returnflag, l_linestatus, SUM(l_quantity) AS sq, "
+            "SUM(l_extendedprice * (1 - l_discount)) AS disc, "
+            "AVG(l_discount) AS ad, COUNT(*) AS n "
+            "FROM lineitem WHERE l_shipdate <= DATE '1998-12-01' "
+            "- INTERVAL '90' DAY "
+            "GROUP BY l_returnflag, l_linestatus "
+            "ORDER BY l_returnflag, l_linestatus"
+        ).rows()
+
+        li = arrays["lineitem"]
+        mask = li["l_shipdate"] <= cutoff
+        keys = sorted(
+            set(zip(li["l_returnflag"][mask].tolist(),
+                    li["l_linestatus"][mask].tolist()))
+        )
+        expected = []
+        for rf, ls in keys:
+            m = mask & (li["l_returnflag"] == rf) & (li["l_linestatus"] == ls)
+            qty = li["l_quantity"][m]
+            price = li["l_extendedprice"][m]
+            disc = li["l_discount"][m]
+            expected.append(
+                (
+                    rf, ls,
+                    float(qty.sum()),
+                    float((price * (1 - disc)).sum()),
+                    float(disc.mean()),
+                    int(m.sum()),
+                )
+            )
+        assert len(got) == len(expected)
+        for g, e in zip(got, expected):
+            assert g[0] == e[0] and g[1] == e[1]
+            assert g[2] == pytest.approx(e[2])
+            assert g[3] == pytest.approx(e[3])
+            assert g[4] == pytest.approx(e[4])
+            assert g[5] == e[5]
+
+
+class TestQ6Reference:
+    def test_selective_sum(self, tpch):
+        db, arrays = tpch
+        start = date_to_days("1994-01-01")
+        got = db.execute(
+            "SELECT SUM(l_extendedprice * l_discount) FROM lineitem "
+            "WHERE l_shipdate >= DATE '1994-01-01' "
+            "AND l_shipdate < DATE '1994-01-01' + INTERVAL '1' YEAR "
+            "AND l_discount BETWEEN 0.02 AND 0.06 AND l_quantity < 30"
+        ).scalar()
+        li = arrays["lineitem"]
+        mask = (
+            (li["l_shipdate"] >= start)
+            & (li["l_shipdate"] < start + 365)
+            & (li["l_discount"] >= 0.02)
+            & (li["l_discount"] <= 0.06)
+            & (li["l_quantity"] < 30)
+        )
+        expected = float(
+            (li["l_extendedprice"][mask] * li["l_discount"][mask]).sum()
+        )
+        if got is None:
+            assert not mask.any()
+        else:
+            assert got == pytest.approx(expected)
+
+
+class TestQ3Reference:
+    def test_join_group_topk(self, tpch):
+        db, arrays = tpch
+        cut = date_to_days("1995-03-15")
+        got = db.execute(
+            "SELECT l.l_orderkey, "
+            "SUM(l.l_extendedprice * (1 - l.l_discount)) AS revenue "
+            "FROM customer c JOIN orders o ON c.c_custkey = o.o_custkey "
+            "JOIN lineitem l ON l.l_orderkey = o.o_orderkey "
+            "WHERE c.c_mktsegment = 'BUILDING' "
+            "AND o.o_orderdate < DATE '1995-03-15' "
+            "AND l.l_shipdate > DATE '1995-03-15' "
+            "GROUP BY l.l_orderkey ORDER BY revenue DESC, l.l_orderkey "
+            "LIMIT 10"
+        ).rows()
+
+        cust = arrays["customer"]
+        orders = arrays["orders"]
+        li = arrays["lineitem"]
+        building = set(
+            cust["c_custkey"][cust["c_mktsegment"] == "BUILDING"].tolist()
+        )
+        order_ok = {
+            int(k)
+            for k, d, c in zip(
+                orders["o_orderkey"], orders["o_orderdate"],
+                orders["o_custkey"],
+            )
+            if d < cut and int(c) in building
+        }
+        revenue: dict[int, float] = {}
+        for key, ship, price, disc in zip(
+            li["l_orderkey"], li["l_shipdate"], li["l_extendedprice"],
+            li["l_discount"],
+        ):
+            if ship > cut and int(key) in order_ok:
+                revenue[int(key)] = revenue.get(int(key), 0.0) + float(
+                    price * (1 - disc)
+                )
+        expected = sorted(
+            revenue.items(), key=lambda kv: (-kv[1], kv[0])
+        )[:10]
+        assert len(got) == len(expected)
+        for (gk, gr), (ek, er) in zip(got, expected):
+            assert gk == ek
+            assert gr == pytest.approx(er)
+
+
+class TestQ14Reference:
+    def test_case_in_aggregate_ratio(self, tpch):
+        db, arrays = tpch
+        # Promo revenue share over all lineitems joined to parts.
+        got = db.execute(
+            "SELECT 100.0 * SUM(CASE WHEN p.p_type LIKE 'PROMO%' "
+            "THEN l.l_extendedprice * (1 - l.l_discount) ELSE 0.0 END) "
+            "/ SUM(l.l_extendedprice * (1 - l.l_discount)) "
+            "FROM lineitem l JOIN part p ON l.l_partkey = p.p_partkey"
+        ).scalar()
+        part = db.catalog.table("part").scan()
+        types = {
+            int(k): t
+            for k, t in zip(
+                part.column("p_partkey").to_pylist(),
+                part.column("p_type").to_pylist(),
+            )
+        }
+        li = arrays["lineitem"]
+        promo = total = 0.0
+        for key, price, disc in zip(
+            li["l_partkey"], li["l_extendedprice"], li["l_discount"]
+        ):
+            p_type = types.get(int(key))
+            if p_type is None:
+                continue
+            value = float(price * (1 - disc))
+            total += value
+            if p_type.startswith("PROMO"):
+                promo += value
+        assert got == pytest.approx(100.0 * promo / total)

@@ -1,0 +1,138 @@
+"""TPC-H / TPC-C workload tests: parseability, executability, determinism."""
+
+import numpy as np
+import pytest
+
+from flock.db import Database
+from flock.db.sql.parser import parse_statement
+from flock.errors import WorkloadError
+from flock.workloads import (
+    TPCC_TABLES,
+    TPCH_TABLES,
+    create_tpcc_schema,
+    create_tpch_schema,
+    generate_tpcc_data,
+    generate_tpcc_transactions,
+    generate_tpch_data,
+    generate_tpch_queries,
+    tpch_query,
+)
+
+
+@pytest.fixture(scope="module")
+def tpch_db():
+    db = Database()
+    create_tpch_schema(db)
+    generate_tpch_data(db, scale=0.0004, seed=7)
+    return db
+
+
+@pytest.fixture(scope="module")
+def tpcc_db():
+    db = Database()
+    create_tpcc_schema(db)
+    generate_tpcc_data(db)
+    return db
+
+
+class TestTPCH:
+    def test_schema_created(self, tpch_db):
+        for table in TPCH_TABLES:
+            assert tpch_db.catalog.has_table(table)
+
+    def test_data_scaled(self, tpch_db):
+        lineitem = tpch_db.catalog.table("lineitem").row_count
+        orders = tpch_db.catalog.table("orders").row_count
+        assert lineitem > orders > 0
+        assert tpch_db.catalog.table("region").row_count == 5
+        assert tpch_db.catalog.table("nation").row_count == 25
+
+    def test_invalid_scale(self):
+        with pytest.raises(WorkloadError):
+            generate_tpch_data(Database(), scale=0.0)
+
+    @pytest.mark.parametrize("template_id", list(range(1, 23)))
+    def test_every_template_parses_and_executes(self, tpch_db, template_id):
+        rng = np.random.default_rng(template_id)
+        sql = tpch_query(template_id, rng)
+        parse_statement(sql)  # parses
+        result = tpch_db.execute(sql)  # executes
+        assert result.row_count >= 0
+
+    def test_unknown_template(self):
+        with pytest.raises(WorkloadError):
+            tpch_query(23)
+
+    def test_query_batch_covers_all_templates(self):
+        queries = generate_tpch_queries(44, seed=3)
+        assert len(queries) == 44
+        # Each template appears exactly twice in 44 queries.
+        q1_count = sum("l_returnflag" in q and "GROUP BY" in q for q in queries)
+        assert q1_count >= 2
+
+    def test_query_generation_deterministic(self):
+        assert generate_tpch_queries(10, seed=5) == generate_tpch_queries(
+            10, seed=5
+        )
+
+    def test_q1_aggregate_shape(self, tpch_db):
+        sql = tpch_query(1, np.random.default_rng(0))
+        result = tpch_db.execute(sql)
+        assert result.column_names[:2] == ["l_returnflag", "l_linestatus"]
+        # count_order is a positive count in every group.
+        assert all(row[-1] > 0 for row in result.rows())
+
+    def test_q6_revenue_matches_reference(self, tpch_db):
+        """Q6 agrees with a hand-rolled pandas-style reference."""
+        sql = (
+            "SELECT SUM(l_extendedprice * l_discount) AS revenue "
+            "FROM lineitem WHERE l_quantity < 25 AND "
+            "l_discount BETWEEN 0.03 AND 0.07"
+        )
+        got = tpch_db.execute(sql).scalar()
+        batch = tpch_db.catalog.table("lineitem").scan()
+        qty = np.array(batch.column("l_quantity").to_pylist())
+        price = np.array(batch.column("l_extendedprice").to_pylist())
+        disc = np.array(batch.column("l_discount").to_pylist())
+        mask = (qty < 25) & (disc >= 0.03) & (disc <= 0.07)
+        expected = float((price[mask] * disc[mask]).sum())
+        if got is None:
+            assert not mask.any()
+        else:
+            assert got == pytest.approx(expected)
+
+
+class TestTPCC:
+    def test_schema_created(self, tpcc_db):
+        for table in TPCC_TABLES:
+            assert tpcc_db.catalog.has_table(table)
+
+    def test_transaction_mix_statements_parse(self):
+        statements = generate_tpcc_transactions(300, seed=1)
+        assert len(statements) == 300
+        for sql in statements:
+            parse_statement(sql)
+
+    def test_transactions_execute_and_version_tables(self, tpcc_db):
+        before = tpcc_db.catalog.table("stock").version_count
+        for sql in generate_tpcc_transactions(150, seed=2):
+            tpcc_db.execute(sql)
+        assert tpcc_db.catalog.table("stock").version_count > before
+        assert tpcc_db.catalog.table("orders_c").row_count > 0
+
+    def test_mix_contains_all_transaction_types(self):
+        statements = " ".join(generate_tpcc_transactions(800, seed=3))
+        assert "INSERT INTO orders_c" in statements  # new order
+        assert "INSERT INTO history" in statements  # payment
+        assert "DELETE FROM neworder" in statements  # delivery
+        assert "COUNT(DISTINCT s.s_i_id)" in statements  # stock level
+        assert "ORDER BY o_id DESC LIMIT 1" in statements  # order status
+
+    def test_warehouse_validation(self):
+        with pytest.raises(WorkloadError):
+            generate_tpcc_data(Database(), warehouses=0)
+
+    def test_deterministic(self):
+        assert generate_tpcc_transactions(50, seed=4) == (
+            generate_tpcc_transactions(50, seed=4)
+        )
