@@ -59,9 +59,11 @@ def main() -> None:
             decision,
             session.database,
             [
-                f"INSERT INTO allocations VALUES ({job_id}, "
-                f"{decision.final_value}, "
-                f"{'TRUE' if decision.overridden else 'FALSE'})"
+                (
+                    "INSERT INTO allocations VALUES (?, ?, ?)",
+                    [int(job_id), float(decision.final_value),
+                     bool(decision.overridden)],
+                )
             ],
         )
         marker = "CAPPED" if decision.overridden else "as predicted"

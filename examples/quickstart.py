@@ -33,22 +33,36 @@ def main() -> None:
     )
     print(f"Training run {run.run_id}: {run.status}, metrics={run.metrics}")
 
-    # 3. Score in SQL — inference is part of the query language.
+    # 3. Score in SQL — inference is part of the query language. Values
+    # bind through '?' placeholders; no string interpolation.
     result = session.sql(
         "SELECT applicant_id, PREDICT(loan_model) AS approval_prob "
-        "FROM loans WHERE PREDICT(loan_model) > 0.9 "
-        "ORDER BY approval_prob DESC LIMIT 5"
+        "FROM loans WHERE PREDICT(loan_model) > ? "
+        "ORDER BY approval_prob DESC LIMIT 5",
+        [0.9],
     )
     print("\nTop applicants by predicted approval probability:")
     for applicant_id, probability in result.rows():
         print(f"  applicant {applicant_id}: {probability:.3f}")
+    print("Query stats:", result.stats)
 
     # 4. The cross-optimizer compiled the model into the query plan:
     print("\nWhat the optimizer did:",
           session.database.cross_optimizer.last_report)
-    print("\nOptimized plan:")
-    print(session.database.explain(
-        "SELECT applicant_id FROM loans WHERE PREDICT(loan_model) > 0.9"
+    print("\nOptimized plan, annotated with measured execution "
+          "(EXPLAIN ANALYZE):")
+    print(session.database.explain_analyze(
+        "SELECT applicant_id FROM loans WHERE PREDICT(loan_model) > ?",
+        params=[0.9],
+    ))
+
+    # The engine measures itself: per-operator spans and process metrics.
+    from flock import observability
+    print("\nWhere statement time went (span tree of the last query):")
+    print(observability.render_span_tree(session.database.last_trace))
+    print("\nEngine metrics so far:")
+    print(observability.render_metrics(
+        observability.metrics().snapshot("db.")
     ))
 
     # 5. Governance came for free.

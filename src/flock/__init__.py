@@ -22,20 +22,59 @@ paper's reference architecture end to end:
 
 __version__ = "0.1.0"
 
+from dataclasses import dataclass
+from typing import Any, Iterator
+
 from flock.db import Database
 from flock.errors import FlockError
 
-__all__ = ["Database", "FlockError", "__version__", "create_database"]
+__all__ = [
+    "Database",
+    "FlockError",
+    "FlockSession",
+    "__version__",
+    "create_database",
+]
 
 
-def create_database(cross_optimizer=None):
+@dataclass
+class FlockSession:
+    """The handles returned by :func:`create_database`.
+
+    A named bundle instead of a bare tuple: ``.db`` is the engine,
+    ``.registry`` the model store, ``.cross_optimizer`` the SQL×ML
+    cross-optimizer wired into the engine's rule pass.  Iterating yields
+    ``(db, registry)`` so existing ``database, registry = create_database()``
+    call sites keep working.
+
+    (Distinct from :class:`flock.lifecycle.FlockSession`, the full
+    train-in-cloud/score-in-DBMS deployment object, which builds on this.)
+    """
+
+    db: Database
+    registry: Any
+    cross_optimizer: Any
+
+    @property
+    def database(self) -> Database:
+        """Alias for :attr:`db`."""
+        return self.db
+
+    def __iter__(self) -> Iterator[Any]:
+        yield self.db
+        yield self.registry
+
+
+def create_database(cross_optimizer=None) -> FlockSession:
     """A :class:`~flock.db.Database` wired with a model registry, the
     inference scorer and the SQL×ML cross-optimizer — the one-call entry
     point used by the examples.
 
     Pass a configured :class:`flock.inference.CrossOptimizer` to control
     which cross-optimizations run (the ablation benchmarks do this).
-    Returns a ``(database, registry)`` pair.
+    Returns a :class:`FlockSession`; unpack it as ``db, registry = ...``
+    or keep the object and use ``.db`` / ``.registry`` /
+    ``.cross_optimizer``.
     """
     from flock.db.optimizer.rules import Optimizer
     from flock.inference.optimizer import CrossOptimizer
@@ -52,4 +91,4 @@ def create_database(cross_optimizer=None):
     )
     database.cross_optimizer = cross_optimizer
     registry.bind_database(database)
-    return database, registry
+    return FlockSession(database, registry, cross_optimizer)

@@ -2,8 +2,9 @@
 
 Run ``python -m flock`` for a REPL, optionally with ``--demo loans`` to
 preload a dataset and a deployed model, ``--load <dir>`` to restore a
-snapshot. Inside the shell, SQL statements execute directly; dot-commands
-manage the session:
+snapshot. ``python -m flock stats`` runs queries non-interactively and
+reports the observability counters and the last statement's trace. Inside
+the shell, SQL statements execute directly; dot-commands manage the session:
 
     .help             this text
     .tables           list tables
@@ -11,6 +12,9 @@ manage the session:
     .models           list deployed models
     .user NAME        switch the active user
     .audit [N]        show the last N audit records
+    .stats [PREFIX]   show process metrics (optionally name-filtered)
+    .trace            show the last statement's span tree
+    .log [N]          show the last N query-log entries with timings
     .save DIR         snapshot the database to DIR
     .quit             exit
 """
@@ -119,6 +123,25 @@ def _dot_command(state: ShellState, line: str) -> str:
             f"#{r.sequence} {r.user} {r.action} {r.object_name}"
             for r in records
         ) or "(empty)"
+    if command == ".stats":
+        from flock import observability
+
+        prefix = args[0] if args else ""
+        return observability.render_metrics(
+            observability.metrics().snapshot(prefix)
+        )
+    if command == ".trace":
+        from flock import observability
+
+        return observability.render_span_tree(state.database.last_trace)
+    if command == ".log":
+        limit = int(args[0]) if args else 10
+        entries = state.database.query_log[-limit:]
+        return "\n".join(
+            f"{e.statement_type:<12} {e.duration_ms:8.3f}ms "
+            f"{'ok' if e.success else 'ERR'}  {e.sql[:60]}"
+            for e in entries
+        ) or "(empty)"
     if command == ".save":
         if not args:
             return "usage: .save DIR"
@@ -187,7 +210,71 @@ def make_state(load: str | None = None, demo: str | None = None) -> ShellState:
     return state
 
 
+def stats_main(argv: list[str]) -> int:
+    """``flock stats``: run queries non-interactively, report observability.
+
+    Executes each ``--query`` against a fresh (or restored/demo) database,
+    then prints the process metrics snapshot and the last statement's span
+    tree — the CI-friendly way to eyeball where SQL×ML time goes.
+    """
+    from flock import observability
+
+    parser = argparse.ArgumentParser(
+        prog="flock stats",
+        description="Run queries and report flock observability metrics",
+    )
+    parser.add_argument("--load", help="restore a database snapshot directory")
+    parser.add_argument(
+        "--demo", help="preload a demo dataset+model (loans/patients/jobs)"
+    )
+    parser.add_argument(
+        "--query", action="append", default=[],
+        help="SQL to execute before reporting (repeatable)",
+    )
+    parser.add_argument(
+        "--prefix", default="",
+        help="only report metrics whose name starts with PREFIX",
+    )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="emit machine-readable JSON instead of text tables",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        state = make_state(load=args.load, demo=args.demo)
+        connection = state.connection()
+        for sql in args.query:
+            connection.execute(sql)
+    except FlockError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+    snapshot = observability.metrics().snapshot(args.prefix)
+    trace = state.database.last_trace
+    if args.json:
+        import json
+
+        print(json.dumps(
+            {
+                "metrics": snapshot,
+                "last_trace": trace.to_dict() if trace is not None else None,
+            },
+            indent=2,
+            default=str,
+        ))
+    else:
+        print(observability.render_metrics(snapshot))
+        if trace is not None:
+            print("\nlast statement trace:")
+            print(observability.render_span_tree(trace))
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "stats":
+        return stats_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="flock", description="Flock interactive SQL shell"
     )

@@ -145,8 +145,38 @@ _ONE_ROW = _OneRowBatch()
 class Binder:
     """Binds SELECT statements (and standalone expressions) to plans."""
 
-    def __init__(self, context: BinderContext):
+    def __init__(
+        self,
+        context: BinderContext,
+        parameters: list[Any] | None = None,
+    ):
         self.context = context
+        # Positional values for '?' placeholders; None means the statement
+        # must not contain any placeholders.
+        self.parameters = parameters
+
+    def _bind_parameter(self, param: ast.Parameter) -> BoundLiteral:
+        if self.parameters is None:
+            raise BindError(
+                "statement contains '?' placeholders but no parameters "
+                "were supplied"
+            )
+        if not 0 <= param.index < len(self.parameters):
+            raise BindError(
+                f"parameter {param.index + 1} is out of range: "
+                f"{len(self.parameters)} value(s) supplied"
+            )
+        value = self.parameters[param.index]
+        if value is None:
+            return BoundLiteral(DataType.TEXT, None)
+        try:
+            dtype = infer_type(value)
+        except TypeMismatchError:
+            raise TypeMismatchError(
+                f"parameter {param.index + 1} has unsupported type "
+                f"{type(value).__name__!r}"
+            ) from None
+        return BoundLiteral(dtype, value)
 
     # ------------------------------------------------------------------
     # Query expressions (SELECT and set operations)
@@ -733,6 +763,8 @@ class Binder:
             if expr.value is None:
                 return BoundLiteral(DataType.TEXT, None)
             return BoundLiteral(infer_type(expr.value), expr.value)
+        if isinstance(expr, ast.Parameter):
+            return self._bind_parameter(expr)
         if isinstance(expr, ast.UnaryOp):
             inner = self._bind_post_aggregate(expr.operand, post)
             return BoundUnary(expr.op, inner)
@@ -782,6 +814,8 @@ class Binder:
             if expr.value is None:
                 return BoundLiteral(DataType.TEXT, None)
             return BoundLiteral(infer_type(expr.value), expr.value)
+        if isinstance(expr, ast.Parameter):
+            return self._bind_parameter(expr)
         if isinstance(expr, ast.ColumnRef):
             position, dtype = scope.resolve(expr.name, expr.table)
             return BoundColumn(position, dtype, expr.name)

@@ -12,22 +12,23 @@ the input to the *lazy* SQL provenance capture mode (§4.2).
 from __future__ import annotations
 
 import time
+from collections import deque
 from dataclasses import dataclass
-from typing import Any, Protocol
+from typing import Any, Protocol, Sequence
 
 import numpy as np
 
 from flock.db.binder import Binder, ModelSignature, Scope, ScopeEntry, fold_constants
 from flock.db.catalog import Catalog
-from flock.db.exec.executor import Executor
+from flock.db.exec.executor import Executor, render_analyzed_plan
 from flock.db.expr import BoundLiteral, truthy_mask
 from flock.db.optimizer.rules import Optimizer
 from flock.db.plan import PlanNode, PredictNode, ScanNode
-from flock.db.result import QueryResult
+from flock.db.result import QueryResult, QueryStats
 from flock.db.schema import Column, TableSchema
 from flock.db.security import SecurityManager, model_object
 from flock.db.sql import ast_nodes as ast
-from flock.db.sql.parser import parse_statement
+from flock.db.sql.parser import Parser, parse_statement
 from flock.db.storage import TableVersion
 from flock.db.txn import Transaction, TransactionManager
 from flock.db.types import SQL_TYPE_ALIASES, DataType
@@ -61,13 +62,18 @@ class Scorer(Protocol):
 
 @dataclass(frozen=True)
 class QueryLogEntry:
-    """One statement in the engine's query log (lazy provenance input)."""
+    """One statement in the engine's query log (lazy provenance input).
+
+    ``duration_ms`` defaults to 0.0 so entries restored from manifests
+    persisted before the field existed keep loading.
+    """
 
     sql: str
     user: str
     timestamp: float
     statement_type: str
     success: bool
+    duration_ms: float = 0.0
 
 
 class Database:
@@ -87,6 +93,12 @@ class Database:
         self.model_store = model_store
         self._scorer = scorer
         self.query_log: list[QueryLogEntry] = []
+        # Span trees of the most recent traced statements (newest last).
+        self.recent_traces: deque = deque(maxlen=32)
+        # The SQL×ML cross-optimizer, when one is wired in (see
+        # flock.create_database); declared here so it is part of the API
+        # rather than an ad-hoc attribute.
+        self.cross_optimizer = None
 
     # ------------------------------------------------------------------
     # Connections
@@ -96,23 +108,62 @@ class Database:
             raise SecurityError(f"unknown user {user!r}")
         return Connection(self, user)
 
-    def execute(self, sql: str, user: str = "admin") -> QueryResult:
-        """One-shot execution with autocommit (admin by default)."""
-        return self.connect(user).execute(sql)
+    def execute(
+        self,
+        sql: str,
+        params: Sequence[Any] | None = None,
+        user: str = "admin",
+    ) -> QueryResult:
+        """One-shot execution with autocommit (admin by default).
 
-    def explain(self, sql: str, user: str = "admin") -> str:
-        """The optimized logical plan of a SELECT, as text."""
-        statement = parse_statement(sql)
+        ``params`` binds ``?`` placeholders positionally, so callers never
+        interpolate values into SQL text.
+        """
+        return self.connect(user).execute(sql, params)
+
+    def explain(
+        self,
+        sql: str,
+        user: str = "admin",
+        analyze: bool = False,
+        params: Sequence[Any] | None = None,
+    ) -> str:
+        """The optimized logical plan of a SELECT, as text.
+
+        With ``analyze=True`` (or an ``EXPLAIN ANALYZE`` statement) the plan
+        is also executed and every node is annotated with actual row counts
+        and wall time.  Routed through the single statement entry point, so
+        it is privilege-checked, audited and traced like any other
+        statement.
+        """
+        text = sql.strip().rstrip(";")
+        statement = parse_statement(text)
         if isinstance(statement, ast.Explain):
             statement = statement.query
+        elif analyze:
+            text = f"EXPLAIN ANALYZE {text}"
+        else:
+            text = f"EXPLAIN {text}"
         if not isinstance(statement, (ast.Select, ast.SetOperation)):
             raise BindError("EXPLAIN supports SELECT statements only")
-        txn = self.transactions.begin(user)
-        try:
-            plan = self._plan_select(statement, txn)
-            return plan.explain()
-        finally:
-            self.transactions.rollback(txn)
+        result = self.connect(user).execute(text, params)
+        return "\n".join(row[0] for row in result.rows())
+
+    def explain_analyze(
+        self,
+        sql: str,
+        user: str = "admin",
+        params: Sequence[Any] | None = None,
+    ) -> str:
+        """``EXPLAIN ANALYZE``: the plan annotated with measured execution."""
+        return self.explain(sql, user=user, analyze=True, params=params)
+
+    @property
+    def last_trace(self):
+        """Span tree of the most recently traced statement (or None)."""
+        if not self.recent_traces:
+            return None
+        return self.recent_traces[-1]
 
     # ------------------------------------------------------------------
     # Binder context
@@ -164,35 +215,93 @@ class Database:
     # Statement execution (called by Connection)
     # ------------------------------------------------------------------
     def _run_statement(
-        self, statement: ast.Statement, sql: str, user: str, txn: Transaction
+        self,
+        statement: ast.Statement,
+        sql: str,
+        user: str,
+        txn: Transaction,
+        params: list[Any] | None = None,
     ) -> QueryResult:
+        """The single entry point every statement execution goes through.
+
+        Query-log entries, audit records, metrics and the statement trace
+        span are all emitted exactly once per statement here, whether the
+        caller is ``Database.execute``, ``Connection.execute`` or
+        ``Database.explain``.
+        """
+        from flock import observability as obs
+
         started = time.time()
         statement_type = type(statement).__name__.upper()
+        start_ns = time.perf_counter_ns()
+        trace = None
         try:
-            result = self._dispatch(statement, user, txn)
-            self.query_log.append(
-                QueryLogEntry(sql, user, started, statement_type, True)
-            )
-            return result
+            with obs.get_tracer().span(
+                "db.statement",
+                {"statement": statement_type, "user": user},
+            ) as span:
+                if obs.enabled():
+                    trace = span
+                result = self._dispatch(statement, user, txn, params)
+                span.set_attribute("rows", result.row_count)
         except FlockError:
-            self.query_log.append(
-                QueryLogEntry(sql, user, started, statement_type, False)
+            duration_ms = (time.perf_counter_ns() - start_ns) / 1e6
+            self._record_statement(
+                sql, user, started, statement_type, False, duration_ms, trace
             )
             raise
+        duration_ms = (time.perf_counter_ns() - start_ns) / 1e6
+        result.stats = QueryStats(
+            statement_type, duration_ms, result.row_count, trace
+        )
+        self._record_statement(
+            sql, user, started, statement_type, True, duration_ms, trace
+        )
+        return result
+
+    def _record_statement(
+        self,
+        sql: str,
+        user: str,
+        started: float,
+        statement_type: str,
+        success: bool,
+        duration_ms: float,
+        trace,
+    ) -> None:
+        from flock import observability as obs
+
+        self.query_log.append(
+            QueryLogEntry(
+                sql, user, started, statement_type, success, duration_ms
+            )
+        )
+        if trace is not None:
+            self.recent_traces.append(trace)
+        registry = obs.metrics()
+        registry.counter("db.statements").inc()
+        registry.counter(f"db.statements.{statement_type.lower()}").inc()
+        if not success:
+            registry.counter("db.statement_errors").inc()
+        registry.histogram("db.statement_ms").observe(duration_ms)
 
     def _dispatch(
-        self, statement: ast.Statement, user: str, txn: Transaction
+        self,
+        statement: ast.Statement,
+        user: str,
+        txn: Transaction,
+        params: list[Any] | None = None,
     ) -> QueryResult:
         if isinstance(statement, (ast.Select, ast.SetOperation)):
-            return self._execute_select(statement, user, txn)
+            return self._execute_select(statement, user, txn, params)
         if isinstance(statement, ast.Explain):
-            return self._execute_explain(statement, user, txn)
+            return self._execute_explain(statement, user, txn, params)
         if isinstance(statement, ast.Insert):
-            return self._execute_insert(statement, user, txn)
+            return self._execute_insert(statement, user, txn, params)
         if isinstance(statement, ast.Update):
-            return self._execute_update(statement, user, txn)
+            return self._execute_update(statement, user, txn, params)
         if isinstance(statement, ast.Delete):
-            return self._execute_delete(statement, user, txn)
+            return self._execute_delete(statement, user, txn, params)
         if isinstance(statement, ast.CreateTable):
             return self._execute_create_table(statement, user)
         if isinstance(statement, ast.DropTable):
@@ -213,21 +322,33 @@ class Database:
         )
 
     # -- SELECT -----------------------------------------------------------
-    def _plan_select(
-        self, statement: ast.Statement, txn: Transaction
-    ) -> PlanNode:
-        binder = Binder(self)
-        plan = binder.bind_query(statement)
-        return self.optimizer.optimize(plan, self)
-
     def _execute_explain(
-        self, statement: ast.Explain, user: str, txn: Transaction
+        self, statement: ast.Explain, user: str, txn: Transaction,
+        params: list[Any] | None = None,
     ) -> QueryResult:
-        binder = Binder(self)
+        binder = Binder(self, params)
         bound = binder.bind_query(statement.query)
         self._check_plan_privileges(bound, user)
+        # Capture the read set now: optimizer rewrites (e.g. UDF inlining)
+        # mutate the bound tree and may erase PredictNodes.
+        reads = _collect_reads(bound)
         plan = self.optimizer.optimize(bound, self)
-        lines = plan.explain().splitlines()
+        if statement.analyze:
+            executor = Executor(
+                _EngineExecutionContext(self, txn), collect_stats=True
+            )
+            start_ns = time.perf_counter_ns()
+            batch = executor.run(plan)
+            total_ms = (time.perf_counter_ns() - start_ns) / 1e6
+            lines = render_analyzed_plan(plan, executor.node_stats).splitlines()
+            lines.append(
+                f"Execution: {total_ms:.3f} ms, {batch.num_rows} row(s)"
+            )
+            # ANALYZE reads real data, so it leaves the same audit trail a
+            # SELECT would.
+            self._audit_reads(reads, user)
+        else:
+            lines = plan.explain().splitlines()
         batch = Batch(
             ["plan"],
             [ColumnVector.from_values(DataType.TEXT, lines)],
@@ -235,28 +356,33 @@ class Database:
         return QueryResult("EXPLAIN", batch=batch)
 
     def _execute_select(
-        self, statement: ast.Statement, user: str, txn: Transaction
+        self, statement: ast.Statement, user: str, txn: Transaction,
+        params: list[Any] | None = None,
     ) -> QueryResult:
-        binder = Binder(self)
-        bound = binder.bind_query(statement)
+        from flock import observability as obs
+
+        tracer = obs.get_tracer()
+        with tracer.span("db.bind"):
+            binder = Binder(self, params)
+            bound = binder.bind_query(statement)
         # Privileges (and the audit trail) are decided on the *bound* plan:
         # optimizations such as UDF inlining may erase PredictNodes, and an
         # optimizer rewrite must never widen what a user can do.
         self._check_plan_privileges(bound, user)
-        tables = sorted(
-            {n.table_name for n in bound.walk() if isinstance(n, ScanNode)}
-        )
-        models = sorted(
-            {n.model_name for n in bound.walk() if isinstance(n, PredictNode)}
-        )
-        plan = self.optimizer.optimize(bound, self)
+        reads = _collect_reads(bound)
+        with tracer.span("db.optimize"):
+            plan = self.optimizer.optimize(bound, self)
         executor = Executor(_EngineExecutionContext(self, txn))
         batch = executor.run(plan)
+        self._audit_reads(reads, user)
+        return QueryResult("SELECT", batch=batch)
+
+    def _audit_reads(self, reads: tuple[list[str], list[str]], user: str) -> None:
+        tables, models = reads
         for table_name in tables:
             self.audit.log.record(user, "SELECT", table_name)
         for model_name in models:
             self.audit.log.record(user, "PREDICT", model_object(model_name))
-        return QueryResult("SELECT", batch=batch)
 
     def _check_plan_privileges(self, plan: PlanNode, user: str) -> None:
         for node in plan.walk():
@@ -271,7 +397,8 @@ class Database:
 
     # -- INSERT -----------------------------------------------------------
     def _execute_insert(
-        self, statement: ast.Insert, user: str, txn: Transaction
+        self, statement: ast.Insert, user: str, txn: Transaction,
+        params: list[Any] | None = None,
     ) -> QueryResult:
         self.security.check(user, "INSERT", statement.table)
         table = self.catalog.table(statement.table)
@@ -283,7 +410,9 @@ class Database:
             positions = list(range(len(schema)))
 
         if statement.select is not None:
-            select_result = self._execute_select(statement.select, user, txn)
+            select_result = self._execute_select(
+                statement.select, user, txn, params
+            )
             source = select_result.batch
             assert source is not None
             if source.num_columns != len(positions):
@@ -294,7 +423,7 @@ class Database:
             incoming_rows = list(source.rows())
         else:
             incoming_rows = []
-            binder = Binder(self)
+            binder = Binder(self, params)
             empty_scope = Scope([])
             for row in statement.rows:
                 if len(row) != len(positions):
@@ -337,7 +466,8 @@ class Database:
 
     # -- UPDATE -----------------------------------------------------------
     def _execute_update(
-        self, statement: ast.Update, user: str, txn: Transaction
+        self, statement: ast.Update, user: str, txn: Transaction,
+        params: list[Any] | None = None,
     ) -> QueryResult:
         self.security.check(user, "UPDATE", statement.table)
         table = self.catalog.table(statement.table)
@@ -350,7 +480,7 @@ class Database:
                 for c in schema.columns
             ]
         )
-        binder = Binder(self)
+        binder = Binder(self, params)
         if statement.where is not None:
             predicate = binder._bind_boolean(statement.where, scope)
             mask = truthy_mask(predicate.evaluate(batch))
@@ -379,7 +509,8 @@ class Database:
 
     # -- DELETE -----------------------------------------------------------
     def _execute_delete(
-        self, statement: ast.Delete, user: str, txn: Transaction
+        self, statement: ast.Delete, user: str, txn: Transaction,
+        params: list[Any] | None = None,
     ) -> QueryResult:
         self.security.check(user, "DELETE", statement.table)
         table = self.catalog.table(statement.table)
@@ -393,7 +524,7 @@ class Database:
                     for c in schema.columns
                 ]
             )
-            binder = Binder(self)
+            binder = Binder(self, params)
             predicate = binder._bind_boolean(statement.where, scope)
             drop = truthy_mask(predicate.evaluate(batch))
         else:
@@ -514,6 +645,17 @@ class Database:
         return QueryResult("REVOKE")
 
 
+def _collect_reads(bound: PlanNode) -> tuple[list[str], list[str]]:
+    """(table names, model names) a bound plan reads, for audit records."""
+    tables = sorted(
+        {n.table_name for n in bound.walk() if isinstance(n, ScanNode)}
+    )
+    models = sorted(
+        {n.model_name for n in bound.walk() if isinstance(n, PredictNode)}
+    )
+    return tables, models
+
+
 class AuditLogProxy:
     """Holds the audit log; kept separate so engines can share one."""
 
@@ -535,8 +677,25 @@ class Connection:
     def in_transaction(self) -> bool:
         return self._txn is not None and self._txn.active
 
-    def execute(self, sql: str) -> QueryResult:
-        statement = parse_statement(sql)
+    def execute(
+        self, sql: str, params: Sequence[Any] | None = None
+    ) -> QueryResult:
+        """Execute one statement; ``params`` bind ``?`` placeholders."""
+        parser = Parser(sql)
+        statement = parser.parse()
+        bound_params = None if params is None else list(params)
+        if bound_params is not None and (
+            parser.parameter_count != len(bound_params)
+        ):
+            raise BindError(
+                f"statement has {parser.parameter_count} '?' placeholder(s) "
+                f"but {len(bound_params)} parameter value(s) were supplied"
+            )
+        if bound_params is None and parser.parameter_count:
+            raise BindError(
+                "statement contains '?' placeholders but no parameters "
+                "were supplied"
+            )
         if isinstance(statement, ast.Begin):
             return self._begin()
         if isinstance(statement, ast.Commit):
@@ -547,7 +706,7 @@ class Connection:
         if self.in_transaction:
             assert self._txn is not None
             return self.database._run_statement(
-                statement, sql, self.user, self._txn
+                statement, sql, self.user, self._txn, bound_params
             )
 
         # Autocommit: implicit transaction per statement. Write conflicts
@@ -560,7 +719,7 @@ class Connection:
             txn = self.database.transactions.begin(self.user)
             try:
                 result = self.database._run_statement(
-                    statement, sql, self.user, txn
+                    statement, sql, self.user, txn, bound_params
                 )
             except FlockError:
                 self.database.transactions.rollback(txn)

@@ -9,6 +9,8 @@ executor and differ only in the Predict operator's strategy).
 
 from __future__ import annotations
 
+import time
+from dataclasses import dataclass, field
 from typing import Protocol
 
 import numpy as np
@@ -31,6 +33,7 @@ from flock.db.plan import (
 from flock.db.types import DataType
 from flock.db.vector import Batch, ColumnVector
 from flock.errors import ExecutionError
+from flock.observability import get_tracer, metrics
 
 
 class ExecutionContext(Protocol):
@@ -41,11 +44,66 @@ class ExecutionContext(Protocol):
     def score(self, node: PredictNode, inputs: Batch) -> list[ColumnVector]: ...
 
 
-class Executor:
-    """Evaluates logical plans against an :class:`ExecutionContext`."""
+@dataclass
+class NodeStats:
+    """Per-plan-node runtime stats collected for EXPLAIN ANALYZE.
 
-    def __init__(self, context: ExecutionContext):
+    ``wall_ns`` is inclusive (the node plus everything under it), which is
+    what the nested EXPLAIN ANALYZE tree reads naturally as.
+    """
+
+    rows_out: int = 0
+    wall_ns: int = 0
+    calls: int = 0
+    extras: dict = field(default_factory=dict)
+
+    @property
+    def wall_ms(self) -> float:
+        return self.wall_ns / 1e6
+
+
+def render_analyzed_plan(plan: PlanNode, stats: dict[int, NodeStats]) -> str:
+    """The plan tree with per-node row counts and wall time annotations.
+
+    Mirrors :meth:`PlanNode.explain`; ``stats`` is keyed by ``id(node)``
+    (as collected by ``Executor(collect_stats=True)``).
+    """
+    lines: list[str] = []
+
+    def visit(node: PlanNode, indent: int) -> None:
+        line = "  " * indent + node.describe()
+        node_stats = stats.get(id(node))
+        if node_stats is not None:
+            parts = []
+            child_stats = [stats.get(id(c)) for c in node.children()]
+            if child_stats and all(cs is not None for cs in child_stats):
+                rows_in = sum(cs.rows_out for cs in child_stats)
+                parts.append(f"rows_in={rows_in}")
+            parts.append(f"rows={node_stats.rows_out}")
+            parts.append(f"time={node_stats.wall_ms:.3f}ms")
+            parts.extend(f"{k}={v}" for k, v in node_stats.extras.items())
+            line += "  [" + " ".join(parts) + "]"
+        lines.append(line)
+        for child in node.children():
+            visit(child, indent + 1)
+
+    visit(plan, 0)
+    return "\n".join(lines)
+
+
+class Executor:
+    """Evaluates logical plans against an :class:`ExecutionContext`.
+
+    With ``collect_stats=True`` every operator execution is recorded into
+    :attr:`node_stats` (keyed by ``id(plan_node)``) — the data source for
+    ``EXPLAIN ANALYZE``. Trace spans are always emitted (one per operator
+    node) unless tracing is globally disabled.
+    """
+
+    def __init__(self, context: ExecutionContext, collect_stats: bool = False):
         self.context = context
+        self.collect_stats = collect_stats
+        self.node_stats: dict[int, NodeStats] = {}
 
     def run(self, plan: PlanNode) -> Batch:
         batch = self._execute(plan)
@@ -55,6 +113,25 @@ class Executor:
 
     # ------------------------------------------------------------------
     def _execute(self, plan: PlanNode) -> Batch:
+        op_name = type(plan).__name__
+        with get_tracer().span(f"exec.{op_name}") as span:
+            start_ns = time.perf_counter_ns()
+            batch = self._execute_node(plan)
+            elapsed_ns = time.perf_counter_ns() - start_ns
+            span.set_attribute("rows_out", batch.num_rows)
+            if isinstance(plan, PredictNode):
+                span.set_attribute("strategy", plan.strategy or "batch")
+            if self.collect_stats:
+                node_stats = self.node_stats.setdefault(id(plan), NodeStats())
+                node_stats.calls += 1
+                node_stats.rows_out += batch.num_rows
+                node_stats.wall_ns += elapsed_ns
+                if isinstance(plan, PredictNode):
+                    node_stats.extras["strategy"] = plan.strategy or "batch"
+        metrics().counter("exec.operators").inc()
+        return batch
+
+    def _execute_node(self, plan: PlanNode) -> Batch:
         if isinstance(plan, ScanNode):
             return self._scan(plan)
         if isinstance(plan, FilterNode):

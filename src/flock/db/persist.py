@@ -56,6 +56,7 @@ def save_database(database: Database, path: str | Path) -> None:
                 "timestamp": e.timestamp,
                 "statement_type": e.statement_type,
                 "success": e.success,
+                "duration_ms": e.duration_ms,
             }
             for e in database.query_log
         ],

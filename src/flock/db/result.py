@@ -2,16 +2,41 @@
 
 from __future__ import annotations
 
-from typing import Any, Iterator
+from dataclasses import dataclass
+from typing import Any, Iterator, Optional
 
 from flock.db.vector import Batch
+
+
+@dataclass
+class QueryStats:
+    """Per-query timing summary attached to a :class:`QueryResult`.
+
+    ``trace`` is the statement's :class:`flock.observability.Span` tree (or
+    None when tracing is disabled); render it with
+    :func:`flock.observability.render_span_tree`.
+    """
+
+    statement_type: str = ""
+    wall_ms: float = 0.0
+    rows: int = 0
+    trace: Any = None
+
+    def __str__(self) -> str:
+        return (
+            f"{self.statement_type or '?'}: {self.rows} rows "
+            f"in {self.wall_ms:.3f}ms"
+        )
 
 
 class QueryResult:
     """The outcome of one statement.
 
     For SELECTs, carries the result batch; for DML, the affected row count;
-    for DDL and control statements, just a status tag.
+    for DDL and control statements, just a status tag. The stable consumer
+    surface is ``rows()``, ``scalar()``, ``to_dict()``/``to_dicts()``,
+    ``len(result)``, and ``result.stats`` (set by the engine for statements
+    executed through a :class:`~flock.db.engine.Connection`).
     """
 
     def __init__(
@@ -25,6 +50,7 @@ class QueryResult:
         self.batch = batch
         self.affected_rows = affected_rows
         self.detail = detail
+        self.stats: Optional[QueryStats] = None
 
     @property
     def column_names(self) -> list[str]:
@@ -42,7 +68,17 @@ class QueryResult:
             return []
         return list(self.batch.rows())
 
+    def to_dict(self) -> dict[str, list[Any]]:
+        """Columnar view: column name → list of values."""
+        if self.batch is None:
+            return {}
+        return {
+            name: self.batch.column(name).to_pylist()
+            for name in self.column_names
+        }
+
     def to_dicts(self) -> list[dict[str, Any]]:
+        """Row view: one dict per result row."""
         names = self.column_names
         return [dict(zip(names, row)) for row in self.rows()]
 
@@ -61,6 +97,9 @@ class QueryResult:
         if self.batch is None:
             return []
         return self.batch.column(name).to_pylist()
+
+    def __len__(self) -> int:
+        return self.row_count
 
     def __iter__(self) -> Iterator[tuple]:
         return iter(self.rows())

@@ -43,6 +43,16 @@ class Literal(Expr):
 
 
 @dataclass
+class Parameter(Expr):
+    """``?`` placeholder bound positionally from ``execute(sql, params)``."""
+
+    index: int  # zero-based position among the statement's placeholders
+
+    def __str__(self) -> str:
+        return "?"
+
+
+@dataclass
 class ColumnRef(Expr):
     name: str
     table: Optional[str] = None
@@ -382,9 +392,12 @@ class SetOperation(Statement):
 
 @dataclass
 class Explain(Statement):
-    """``EXPLAIN <select>`` — returns the optimized plan as text rows."""
+    """``EXPLAIN [ANALYZE] <select>`` — returns the optimized plan as text
+    rows; with ANALYZE the plan is also executed and each node is annotated
+    with actual row counts and wall time."""
 
     query: Statement = None  # type: ignore[assignment]
+    analyze: bool = False
 
 
 @dataclass

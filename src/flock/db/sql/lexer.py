@@ -25,7 +25,7 @@ KEYWORDS = frozenset(
     BEGIN COMMIT ROLLBACK TRANSACTION
     GRANT REVOKE TO USER ROLE
     TRUE FALSE
-    UNION EXCEPT INTERSECT EXPLAIN
+    UNION EXCEPT INTERSECT EXPLAIN ANALYZE
     PREDICT MODEL WITH
     EXTRACT INTERVAL DATE
     """.split()
@@ -63,7 +63,7 @@ class Token:
 
 _OPERATORS_2 = ("<=", ">=", "<>", "!=", "||")
 _OPERATORS_1 = "+-*/%<>="
-_PUNCT = "(),.;"
+_PUNCT = "(),.;?"
 
 
 class Lexer:

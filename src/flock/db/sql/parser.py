@@ -27,6 +27,8 @@ class Parser:
         self.text = text
         self.tokens = tokenize(text)
         self.pos = 0
+        # Number of '?' placeholders seen; each becomes ast.Parameter(index).
+        self.parameter_count = 0
 
     # ------------------------------------------------------------------
     # Token helpers
@@ -103,7 +105,8 @@ class Parser:
         if self._check_keyword("SELECT"):
             return self._query_expression()
         if self._accept(TokenType.KEYWORD, "EXPLAIN"):
-            return ast.Explain(self._query_expression())
+            analyze = bool(self._accept(TokenType.KEYWORD, "ANALYZE"))
+            return ast.Explain(self._query_expression(), analyze=analyze)
         if self._check_keyword("INSERT"):
             return self._insert()
         if self._check_keyword("UPDATE"):
@@ -564,6 +567,10 @@ class Parser:
             )
         if self._accept(TokenType.KEYWORD, "PREDICT"):
             return self._predict()
+        if self._accept(TokenType.PUNCT, "?"):
+            param = ast.Parameter(self.parameter_count)
+            self.parameter_count += 1
+            return param
         if self._check(TokenType.OPERATOR, "*"):
             self._advance()
             return ast.Star()

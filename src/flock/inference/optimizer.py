@@ -66,12 +66,22 @@ class CrossOptimizer:
         self.last_report = []
         if not any(isinstance(n, PredictNode) for n in plan.walk()):
             return plan
-        self._prepare_all(plan, context)
-        if self.enable_inlining:
-            plan = self._inline_pass(plan)
-            plan = apply_pushdown(plan)
-        if self.enable_strategy_selection:
-            self._select_strategies(plan, context)
+        from flock.observability import get_tracer, metrics
+
+        with get_tracer().span("xopt.apply") as span:
+            with get_tracer().span("xopt.prepare"):
+                self._prepare_all(plan, context)
+            if self.enable_inlining:
+                with get_tracer().span("xopt.inline"):
+                    plan = self._inline_pass(plan)
+                    plan = apply_pushdown(plan)
+            if self.enable_strategy_selection:
+                with get_tracer().span("xopt.strategy"):
+                    self._select_strategies(plan, context)
+            span.set_attribute("rules_applied", len(self.last_report))
+        registry = metrics()
+        registry.counter("xopt.applications").inc()
+        registry.counter("xopt.decisions").inc(len(self.last_report))
         return plan
 
     # -- preparation: compression + pruning -------------------------------

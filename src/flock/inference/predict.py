@@ -9,6 +9,7 @@ prepared artifact (pruned inputs, compressed graph) attached to the node.
 from __future__ import annotations
 
 import re
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -19,6 +20,7 @@ from flock.db.vector import Batch, ColumnVector
 from flock.errors import InferenceError
 from flock.mlgraph.graph import Graph
 from flock.mlgraph.runtime import GraphRuntime
+from flock.observability import get_tracer, metrics
 
 
 @dataclass
@@ -50,6 +52,26 @@ class DefaultScorer:
         self.monitor_hub = monitor_hub
 
     def score(
+        self, node: PredictNode, inputs: Batch, store
+    ) -> list[ColumnVector]:
+        with get_tracer().span(
+            "predict.score",
+            {
+                "model": node.model_name,
+                "strategy": node.strategy or "batch",
+            },
+        ) as span:
+            start_ns = time.perf_counter_ns()
+            result = self._score(node, inputs, store)
+            elapsed_ms = (time.perf_counter_ns() - start_ns) / 1e6
+            span.set_attribute("rows", inputs.num_rows)
+        registry = metrics()
+        registry.counter("predict.batches").inc()
+        registry.histogram("predict.batch_rows").observe(inputs.num_rows)
+        registry.histogram("predict.score_ms").observe(elapsed_ms)
+        return result
+
+    def _score(
         self, node: PredictNode, inputs: Batch, store
     ) -> list[ColumnVector]:
         prepared = node.compiled

@@ -62,9 +62,13 @@ class FlockSession:
     # ------------------------------------------------------------------
     # Data
     # ------------------------------------------------------------------
-    def sql(self, statement: str, user: str = "admin"):
-        """Execute SQL with (optional) eager provenance capture."""
-        result = self.database.execute(statement, user=user)
+    def sql(self, statement: str, params=None, user: str = "admin"):
+        """Execute SQL with (optional) eager provenance capture.
+
+        ``params`` bind ``?`` placeholders positionally, exactly as in
+        :meth:`flock.db.Database.execute`.
+        """
+        result = self.database.execute(statement, params, user=user)
         if self.eager_provenance:
             self.sql_capture.capture_query(statement, user=user)
         return result

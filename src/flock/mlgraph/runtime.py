@@ -59,14 +59,28 @@ class GraphRuntime:
             raise GraphError(f"ragged input feeds: lengths {sorted(lengths)}")
         n_rows = lengths.pop() if lengths else 0
 
-        if mode == "batch":
-            result = self._run_batch(graph, feeds)
-        elif mode == "per_row":
-            result = self._run_per_row(graph, feeds, n_rows)
-        else:
-            raise GraphError(f"unknown execution mode {mode!r}")
+        from flock.observability import get_tracer, metrics
+
+        executions_before = self.stats.node_executions
+        with get_tracer().span(
+            "mlgraph.run",
+            {"mode": mode, "graph": getattr(graph, "name", "?")},
+        ) as span:
+            if mode == "batch":
+                result = self._run_batch(graph, feeds)
+            elif mode == "per_row":
+                result = self._run_per_row(graph, feeds, n_rows)
+            else:
+                raise GraphError(f"unknown execution mode {mode!r}")
+            span.set_attribute("rows", n_rows)
         self.stats.runs += 1
         self.stats.rows += n_rows
+        registry = metrics()
+        registry.counter("mlgraph.runs").inc()
+        registry.counter("mlgraph.node_executions").inc(
+            self.stats.node_executions - executions_before
+        )
+        registry.histogram("mlgraph.run_rows").observe(n_rows)
         return result
 
     # ------------------------------------------------------------------

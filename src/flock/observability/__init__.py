@@ -1,0 +1,38 @@
+"""Operator-level observability for the SQL×ML pipeline.
+
+This package is the measurement substrate the paper's cross-optimization
+argument rests on (§4.1 / Figure 4): the engine can only co-optimize SQL
+and ML if it can *see* where time and rows go.  Three pieces:
+
+- :func:`metrics` — a process-wide :class:`MetricsRegistry` of counters,
+  gauges, and histograms (with p50/p95/p99 snapshots over a recent window).
+- :func:`get_tracer` — a contextvar-nested :class:`Tracer` producing
+  :class:`Span` trees with nanosecond timings across the engine, executor,
+  cross-optimizer, scorer, and mlgraph runtime.
+- :mod:`flock.observability.render` — text/JSON rendering for both, used by
+  ``EXPLAIN ANALYZE``, the ``flock stats`` CLI, and the shell dot-commands.
+
+Instrumentation must never change results or raise: it only observes.  Use
+:func:`set_enabled` to turn span collection off wholesale (metrics stay on;
+they are cheap counters/histogram inserts).
+"""
+
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry, metrics
+from .render import render_metrics, render_span_tree, span_to_json
+from .tracing import Span, Tracer, enabled, get_tracer, set_enabled
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "metrics",
+    "Span",
+    "Tracer",
+    "get_tracer",
+    "set_enabled",
+    "enabled",
+    "render_span_tree",
+    "render_metrics",
+    "span_to_json",
+]

@@ -1,0 +1,229 @@
+"""Process-wide metrics primitives: counters, gauges, and histograms.
+
+The registry is intentionally tiny and dependency-free: a thread-safe map of
+named instruments that any layer (engine, executor, optimizer, scorer,
+mlgraph runtime) can update without caring who reads them.  Snapshots are
+plain dictionaries so they can be printed, JSON-encoded, or asserted on in
+tests without touching live instrument state.
+
+Instruments are created lazily on first use::
+
+    from flock import observability
+
+    observability.metrics().counter("db.statements").inc()
+    observability.metrics().histogram("db.statement_ms").observe(1.8)
+    print(observability.metrics().snapshot())
+
+Histogram percentiles are computed from a bounded reservoir of the most
+recent observations (``window`` samples, default 1024) so long-running
+processes keep constant memory while still answering p50/p95/p99 queries
+about recent behaviour.  Totals (count/sum/min/max) cover the full lifetime.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Iterable, List, Optional
+
+
+class Counter:
+    """Monotonically increasing count of events."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("Counter.inc amount must be >= 0")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def snapshot(self) -> dict:
+        return {"type": "counter", "value": self._value}
+
+
+class Gauge:
+    """Point-in-time value that can go up or down."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value -= amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def snapshot(self) -> dict:
+        return {"type": "gauge", "value": self._value}
+
+
+def _percentile(sorted_values: List[float], q: float) -> float:
+    """Linear-interpolated percentile of an already-sorted sample."""
+    if not sorted_values:
+        return 0.0
+    if len(sorted_values) == 1:
+        return sorted_values[0]
+    rank = q * (len(sorted_values) - 1)
+    low = int(rank)
+    high = min(low + 1, len(sorted_values) - 1)
+    frac = rank - low
+    return sorted_values[low] * (1.0 - frac) + sorted_values[high] * frac
+
+
+class Histogram:
+    """Distribution of observed values with percentile snapshots.
+
+    Lifetime totals (count/sum/min/max) are exact; percentiles are computed
+    over a sliding window of the most recent ``window`` observations.
+    """
+
+    __slots__ = ("name", "window", "_ring", "_next", "_count", "_sum",
+                 "_min", "_max", "_lock")
+
+    def __init__(self, name: str, window: int = 1024):
+        if window <= 0:
+            raise ValueError("Histogram window must be positive")
+        self.name = name
+        self.window = window
+        self._ring: List[float] = []
+        self._next = 0
+        self._count = 0
+        self._sum = 0.0
+        self._min: Optional[float] = None
+        self._max: Optional[float] = None
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        with self._lock:
+            self._count += 1
+            self._sum += value
+            if self._min is None or value < self._min:
+                self._min = value
+            if self._max is None or value > self._max:
+                self._max = value
+            if len(self._ring) < self.window:
+                self._ring.append(value)
+            else:
+                self._ring[self._next] = value
+                self._next = (self._next + 1) % self.window
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    def percentile(self, q: float) -> float:
+        """Percentile of the recent window; ``q`` in [0, 1]."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("percentile q must be in [0, 1]")
+        with self._lock:
+            sample = sorted(self._ring)
+        return _percentile(sample, q)
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            sample = sorted(self._ring)
+            count, total = self._count, self._sum
+            lo, hi = self._min, self._max
+        return {
+            "type": "histogram",
+            "count": count,
+            "sum": total,
+            "min": lo if lo is not None else 0.0,
+            "max": hi if hi is not None else 0.0,
+            "mean": (total / count) if count else 0.0,
+            "p50": _percentile(sample, 0.50),
+            "p95": _percentile(sample, 0.95),
+            "p99": _percentile(sample, 0.99),
+        }
+
+
+class MetricsRegistry:
+    """Thread-safe named registry of counters, gauges, and histograms."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        with self._lock:
+            inst = self._counters.get(name)
+            if inst is None:
+                inst = self._counters[name] = Counter(name)
+            return inst
+
+    def gauge(self, name: str) -> Gauge:
+        with self._lock:
+            inst = self._gauges.get(name)
+            if inst is None:
+                inst = self._gauges[name] = Gauge(name)
+            return inst
+
+    def histogram(self, name: str, window: int = 1024) -> Histogram:
+        with self._lock:
+            inst = self._histograms.get(name)
+            if inst is None:
+                inst = self._histograms[name] = Histogram(name, window)
+            return inst
+
+    def names(self) -> List[str]:
+        with self._lock:
+            return sorted({*self._counters, *self._gauges, *self._histograms})
+
+    def snapshot(self, prefix: str = "") -> Dict[str, dict]:
+        """Dictionary of instrument name -> snapshot dict, sorted by name."""
+        with self._lock:
+            instruments: Iterable = [
+                *self._counters.values(),
+                *self._gauges.values(),
+                *self._histograms.values(),
+            ]
+        return {
+            inst.name: inst.snapshot()
+            for inst in sorted(instruments, key=lambda i: i.name)
+            if inst.name.startswith(prefix)
+        }
+
+    def reset(self) -> None:
+        """Drop every instrument (used by tests and the CLI)."""
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+
+
+_GLOBAL_REGISTRY = MetricsRegistry()
+
+
+def metrics() -> MetricsRegistry:
+    """The process-wide registry used by all flock instrumentation."""
+    return _GLOBAL_REGISTRY

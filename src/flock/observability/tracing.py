@@ -1,0 +1,158 @@
+"""Trace spans for the SQL×ML pipeline.
+
+A :class:`Span` is one timed region of work (a statement, an operator node,
+an optimizer rule, a scoring batch).  Spans nest through a ``contextvars``
+variable, so instrumented layers never pass spans explicitly: whoever is
+inside ``tracer.span(...)`` becomes the parent of any span opened deeper in
+the call stack — including across the engine → executor → scorer → mlgraph
+boundaries.
+
+Timings use ``time.perf_counter_ns()``.  Spans record exceptions but never
+swallow them, and the context manager restores the previous current span
+even when the body raises.  Tracing can be disabled process-wide with
+:func:`set_enabled`, in which case ``tracer.span(...)`` yields a shared
+no-op span with near-zero overhead (used by the overhead benchmark).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import contextvars
+import time
+from typing import Any, Dict, Iterator, List, Optional
+
+_ENABLED = True
+
+
+def set_enabled(value: bool) -> None:
+    """Globally enable or disable span collection."""
+    global _ENABLED
+    _ENABLED = bool(value)
+
+
+def enabled() -> bool:
+    return _ENABLED
+
+
+class Span:
+    """One timed, attributed region of work in a span tree."""
+
+    __slots__ = ("name", "attributes", "children", "start_ns", "end_ns",
+                 "status", "error")
+
+    def __init__(self, name: str, attributes: Optional[Dict[str, Any]] = None):
+        self.name = name
+        self.attributes: Dict[str, Any] = dict(attributes or {})
+        self.children: List[Span] = []
+        self.start_ns = 0
+        self.end_ns = 0
+        self.status = "ok"
+        self.error: Optional[str] = None
+
+    @property
+    def duration_ns(self) -> int:
+        return max(0, self.end_ns - self.start_ns)
+
+    @property
+    def duration_ms(self) -> float:
+        return self.duration_ns / 1e6
+
+    def set_attribute(self, key: str, value: Any) -> None:
+        self.attributes[key] = value
+
+    def to_dict(self) -> dict:
+        """JSON-friendly representation of this span and its subtree."""
+        out = {
+            "name": self.name,
+            "duration_ms": round(self.duration_ms, 6),
+            "status": self.status,
+        }
+        if self.error:
+            out["error"] = self.error
+        if self.attributes:
+            out["attributes"] = dict(self.attributes)
+        if self.children:
+            out["children"] = [c.to_dict() for c in self.children]
+        return out
+
+    def find(self, name: str) -> Optional["Span"]:
+        """Depth-first search for the first descendant (or self) by name."""
+        if self.name == name:
+            return self
+        for child in self.children:
+            hit = child.find(name)
+            if hit is not None:
+                return hit
+        return None
+
+    def walk(self) -> Iterator["Span"]:
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Span({self.name!r}, {self.duration_ms:.3f}ms, {self.status})"
+
+
+class _NullSpan(Span):
+    """Shared inert span handed out while tracing is disabled."""
+
+    def set_attribute(self, key: str, value: Any) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan("disabled")
+
+
+class Tracer:
+    """Builds span trees with contextvar-based nesting.
+
+    Finished root spans (spans opened with no active parent) are handed to
+    ``on_root`` callbacks — the engine uses that to attach statement traces
+    to its query log.
+    """
+
+    def __init__(self):
+        self._current: contextvars.ContextVar[Optional[Span]] = \
+            contextvars.ContextVar("flock_current_span", default=None)
+        self._last_root: Optional[Span] = None
+
+    @property
+    def last_root(self) -> Optional[Span]:
+        """Most recently completed root span (None until one finishes)."""
+        return self._last_root
+
+    def current(self) -> Optional[Span]:
+        return self._current.get()
+
+    @contextlib.contextmanager
+    def span(self, name: str,
+             attributes: Optional[Dict[str, Any]] = None) -> Iterator[Span]:
+        if not _ENABLED:
+            yield _NULL_SPAN
+            return
+        node = Span(name, attributes)
+        parent = self._current.get()
+        if parent is not None and parent is not _NULL_SPAN:
+            parent.children.append(node)
+        token = self._current.set(node)
+        node.start_ns = time.perf_counter_ns()
+        try:
+            yield node
+        except BaseException as exc:
+            node.status = "error"
+            node.error = f"{type(exc).__name__}: {exc}"
+            raise
+        finally:
+            node.end_ns = time.perf_counter_ns()
+            self._current.reset(token)
+            if parent is None or parent is _NULL_SPAN:
+                self._last_root = node
+
+
+_GLOBAL_TRACER = Tracer()
+
+
+def get_tracer() -> Tracer:
+    """The process-wide tracer used by all flock instrumentation."""
+    return _GLOBAL_TRACER

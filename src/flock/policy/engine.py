@@ -164,13 +164,15 @@ class PolicyEngine:
         self,
         decision: Decision,
         database,
-        statements: list[str],
+        statements: list,
         user: str = "admin",
     ) -> bool:
         """Apply SQL statements for a decision as one DBMS transaction.
 
-        All statements commit atomically; any failure rolls the whole
-        transaction back and records it. Returns True on commit.
+        Each statement is a SQL string or a ``(sql, params)`` pair where
+        ``params`` bind ``?`` placeholders. All statements commit
+        atomically; any failure rolls the whole transaction back and
+        records it. Returns True on commit.
         """
         if decision.vetoed:
             self.state.record_action(
@@ -180,8 +182,12 @@ class PolicyEngine:
         connection = database.connect(user)
         connection.execute("BEGIN")
         try:
-            for sql in statements:
-                connection.execute(sql)
+            for statement in statements:
+                if isinstance(statement, str):
+                    connection.execute(statement)
+                else:
+                    sql, params = statement
+                    connection.execute(sql, params)
             connection.execute("COMMIT")
         except Exception as exc:
             if connection.in_transaction:

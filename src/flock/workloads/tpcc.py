@@ -223,19 +223,16 @@ def generate_tpcc_data(
 
 
 def _insert(database, table: str, rows: list[tuple], chunk: int = 400) -> None:
+    if not rows:
+        return
+    row_template = "(" + ", ".join("?" * len(rows[0])) + ")"
     for start in range(0, len(rows), chunk):
-        parts = []
-        for row in rows[start : start + chunk]:
-            values = []
-            for value in row:
-                if isinstance(value, str):
-                    values.append("'" + value.replace("'", "''") + "'")
-                elif value is None:
-                    values.append("NULL")
-                else:
-                    values.append(repr(value))
-            parts.append("(" + ", ".join(values) + ")")
-        database.execute(f"INSERT INTO {table} VALUES {', '.join(parts)}")
+        batch = rows[start : start + chunk]
+        sql = (
+            f"INSERT INTO {table} VALUES "
+            + ", ".join([row_template] * len(batch))
+        )
+        database.execute(sql, [value for row in batch for value in row])
 
 
 # ----------------------------------------------------------------------

@@ -297,22 +297,21 @@ def _insert(database, table: str, rows: list[tuple], date_columns=frozenset(),
             chunk: int = 500) -> None:
     from flock.db.types import days_to_date
 
+    if not rows:
+        return
+    row_template = "(" + ", ".join("?" * len(rows[0])) + ")"
     for start in range(0, len(rows), chunk):
-        parts = []
-        for row in rows[start : start + chunk]:
-            values = []
-            for j, value in enumerate(row):
-                if j in date_columns:
-                    values.append(f"'{days_to_date(value).isoformat()}'")
-                elif isinstance(value, str):
-                    escaped = value.replace("'", "''")
-                    values.append(f"'{escaped}'")
-                elif value is None:
-                    values.append("NULL")
-                else:
-                    values.append(repr(value))
-            parts.append("(" + ", ".join(values) + ")")
-        database.execute(f"INSERT INTO {table} VALUES {', '.join(parts)}")
+        batch = rows[start : start + chunk]
+        sql = (
+            f"INSERT INTO {table} VALUES "
+            + ", ".join([row_template] * len(batch))
+        )
+        params = [
+            days_to_date(value).isoformat() if j in date_columns else value
+            for row in batch
+            for j, value in enumerate(row)
+        ]
+        database.execute(sql, params)
 
 
 # ----------------------------------------------------------------------
