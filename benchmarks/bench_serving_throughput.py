@@ -1,0 +1,70 @@
+"""Serving throughput: FlockServer vs sequential engine calls.
+
+The workload is the paper's canonical enterprise serving scenario (§2, §4.1):
+a deployed classification model behind a stream of concurrent point
+predictions — ``SELECT applicant_id, PREDICT(loan_model) AS p FROM loans
+WHERE applicant_id = ?``. The baseline executes requests one at a time
+through the engine (parse + bind + optimize + score per request); the
+serving layer runs the same requests from 16 client threads through
+:class:`flock.serving.FlockServer`, which reuses cached plans and coalesces
+concurrent point lookups into vectorized IN-list scans.
+
+Acceptance gate (ISSUE.md): ≥2× served throughput at concurrency 16 with a
+plan-cache hit rate above 90% after warmup.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import FULL, write_report
+from flock.serving.bench import render_benchmark, run_serving_benchmark
+
+REQUESTS = 1_600 if FULL else 800
+N_ROWS = 20_000 if FULL else 5_000
+
+
+@pytest.fixture(scope="module")
+def serving_report() -> dict:
+    report = run_serving_benchmark(
+        requests=REQUESTS,
+        concurrency=16,
+        n_rows=N_ROWS,
+        workers=8,
+        max_batch_size=32,
+        batch_wait_ms=2.0,
+    )
+    write_report("serving_throughput", render_benchmark(report))
+    return report
+
+
+class TestServingThroughput:
+    def test_speedup_at_concurrency_16(self, serving_report):
+        assert serving_report["concurrency"] == 16
+        assert serving_report["speedup"] >= 2.0
+
+    def test_plan_cache_hit_rate(self, serving_report):
+        assert serving_report["hit_rate"] > 0.90
+
+    def test_batching_engaged(self, serving_report):
+        assert serving_report["batched_requests"] > 0
+        assert serving_report["mean_batch_size"] > 1.0
+
+
+def bench_serving_throughput(benchmark, serving_report):
+    """Benchmark one served burst (fixture already wrote the report)."""
+    from flock.serving import FlockServer
+    from flock.serving.bench import POINT_QUERY, build_serving_fixture
+
+    session = build_serving_fixture(n_rows=2_000)
+    with FlockServer(session, workers=8, batch_wait_ms=1.0) as server:
+        server.execute(POINT_QUERY, [1])  # warm the plan cache
+
+        def burst():
+            futures = [
+                server.submit(POINT_QUERY, [k % 2_000 + 1]) for k in range(64)
+            ]
+            for future in futures:
+                future.result()
+
+        benchmark(burst)

@@ -3,8 +3,11 @@
 Run ``python -m flock`` for a REPL, optionally with ``--demo loans`` to
 preload a dataset and a deployed model, ``--load <dir>`` to restore a
 snapshot. ``python -m flock stats`` runs queries non-interactively and
-reports the observability counters and the last statement's trace. Inside
-the shell, SQL statements execute directly; dot-commands manage the session:
+reports the observability counters and the last statement's trace.
+``python -m flock serve`` runs statements through the concurrent serving
+layer (:mod:`flock.serving`) and reports its stats; ``python -m flock
+bench-serve`` benchmarks served vs sequential throughput. Inside the
+shell, SQL statements execute directly; dot-commands manage the session:
 
     .help             this text
     .tables           list tables
@@ -271,10 +274,125 @@ def stats_main(argv: list[str]) -> int:
     return 0
 
 
+def serve_main(argv: list[str]) -> int:
+    """``flock serve``: a serving shell over a FlockServer.
+
+    SQL statements read from stdin (one per line) execute through the
+    concurrent serving layer — plan cache, micro-batching, admission
+    control — instead of directly against the engine. ``--query`` runs
+    statements non-interactively; exit reports the serving stats.
+    """
+    from flock.serving import FlockServer
+
+    parser = argparse.ArgumentParser(
+        prog="flock serve",
+        description="Serve SQL/PREDICT statements through flock.serving",
+    )
+    parser.add_argument("--load", help="restore a database snapshot directory")
+    parser.add_argument(
+        "--demo", help="preload a demo dataset+model (loans/patients/jobs)"
+    )
+    parser.add_argument(
+        "--query", action="append", default=[],
+        help="SQL to execute through the server (repeatable); skips the shell",
+    )
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--max-batch-size", type=int, default=32)
+    parser.add_argument("--batch-wait-ms", type=float, default=1.0)
+    parser.add_argument("--max-pending", type=int, default=256)
+    parser.add_argument("--user", default="admin")
+    args = parser.parse_args(argv)
+
+    try:
+        state = make_state(load=args.load, demo=args.demo)
+    except FlockError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+    server = FlockServer(
+        state.database,
+        workers=args.workers,
+        max_batch_size=args.max_batch_size,
+        batch_wait_ms=args.batch_wait_ms,
+        max_pending=args.max_pending,
+    )
+    client = server.connect(args.user)
+    status = 0
+    try:
+        if args.query:
+            for sql in args.query:
+                try:
+                    print(format_result(client.execute(sql)))
+                except FlockError as exc:
+                    print(f"error: {exc}", file=sys.stderr)
+                    status = 1
+        else:
+            print(
+                f"flock serving shell — {args.workers} workers, "
+                "SQL per line, ^D to exit"
+            )
+            while True:
+                try:
+                    line = input(f"{args.user}(serve)> ")
+                except (EOFError, KeyboardInterrupt):
+                    print()
+                    break
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    print(format_result(client.execute(line)))
+                except FlockError as exc:
+                    print(f"error: {exc}")
+    finally:
+        server.shutdown()
+    stats = server.stats()
+    print(
+        f"served {stats['served']} statement(s); plan cache hit rate "
+        f"{stats['plan_cache_hit_rate'] * 100:.1f}%; "
+        f"{stats['batched_requests']} coalesced into "
+        f"{stats['batches']} batch(es)"
+    )
+    return status
+
+
+def bench_serve_main(argv: list[str]) -> int:
+    """``flock bench-serve``: sequential vs served throughput comparison."""
+    from flock.serving.bench import render_benchmark, run_serving_benchmark
+
+    parser = argparse.ArgumentParser(
+        prog="flock bench-serve",
+        description="Benchmark flock.serving against sequential execution",
+    )
+    parser.add_argument("--requests", type=int, default=800)
+    parser.add_argument("--concurrency", type=int, default=16)
+    parser.add_argument("--rows", type=int, default=5_000)
+    parser.add_argument("--workers", type=int, default=8)
+    parser.add_argument("--max-batch-size", type=int, default=32)
+    parser.add_argument("--batch-wait-ms", type=float, default=2.0)
+    args = parser.parse_args(argv)
+
+    report = run_serving_benchmark(
+        requests=args.requests,
+        concurrency=args.concurrency,
+        n_rows=args.rows,
+        workers=args.workers,
+        max_batch_size=args.max_batch_size,
+        batch_wait_ms=args.batch_wait_ms,
+    )
+    for line in render_benchmark(report):
+        print(line)
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     if argv and argv[0] == "stats":
         return stats_main(argv[1:])
+    if argv and argv[0] == "serve":
+        return serve_main(argv[1:])
+    if argv and argv[0] == "bench-serve":
+        return bench_serve_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="flock", description="Flock interactive SQL shell"
     )

@@ -11,10 +11,11 @@ the input to the *lazy* SQL provenance capture mode (§4.2).
 
 from __future__ import annotations
 
+import threading
 import time
 from collections import deque
 from dataclasses import dataclass
-from typing import Any, Protocol, Sequence
+from typing import Any, Callable, Iterable, Protocol, Sequence
 
 import numpy as np
 
@@ -30,7 +31,7 @@ from flock.db.security import SecurityManager, model_object
 from flock.db.sql import ast_nodes as ast
 from flock.db.sql.parser import Parser, parse_statement
 from flock.db.storage import TableVersion
-from flock.db.txn import Transaction, TransactionManager
+from flock.db.txn import ReadWriteLock, Transaction, TransactionManager
 from flock.db.types import SQL_TYPE_ALIASES, DataType
 from flock.db.vector import Batch, ColumnVector
 from flock.errors import (
@@ -92,6 +93,16 @@ class Database:
         self.optimizer = optimizer or Optimizer()
         self.model_store = model_store
         self._scorer = scorer
+        # Statement-level concurrency control: SELECT/PREDICT take the read
+        # side (concurrent, each on its own snapshot), DML/DDL the write
+        # side (execution + commit under one exclusive section, so readers
+        # never see a half-published multi-table commit).
+        self.statement_lock = ReadWriteLock()
+        # Monotonic counter bumped by DDL and by model (re-)deployment;
+        # prepared-plan caches compare it to decide whether a cached plan
+        # is still valid.
+        self._invalidation_epoch = 0
+        self._epoch_lock = threading.Lock()
         self.query_log: list[QueryLogEntry] = []
         # Span trees of the most recent traced statements (newest last).
         self.recent_traces: deque = deque(maxlen=32)
@@ -166,6 +177,23 @@ class Database:
         return self.recent_traces[-1]
 
     # ------------------------------------------------------------------
+    # Plan-cache invalidation
+    # ------------------------------------------------------------------
+    @property
+    def invalidation_epoch(self) -> int:
+        """Changes whenever DDL runs or a model is (re-)deployed.
+
+        Prepared-plan caches (:mod:`flock.serving`) stamp entries with this
+        value and rebuild them when it moves — schema changes and model
+        swaps invalidate cached plans without any callback plumbing.
+        """
+        return self._invalidation_epoch
+
+    def bump_invalidation_epoch(self) -> None:
+        with self._epoch_lock:
+            self._invalidation_epoch += 1
+
+    # ------------------------------------------------------------------
     # Binder context
     # ------------------------------------------------------------------
     def resolve_table(self, name: str) -> TableSchema:
@@ -229,10 +257,25 @@ class Database:
         caller is ``Database.execute``, ``Connection.execute`` or
         ``Database.explain``.
         """
+        statement_type = type(statement).__name__.upper()
+        return self._observed_statement(
+            sql,
+            user,
+            statement_type,
+            lambda: self._dispatch(statement, user, txn, params),
+        )
+
+    def _observed_statement(
+        self,
+        sql: str,
+        user: str,
+        statement_type: str,
+        runner: Callable[[], QueryResult],
+    ) -> QueryResult:
+        """Run *runner* with the per-statement trace/metrics/log envelope."""
         from flock import observability as obs
 
         started = time.time()
-        statement_type = type(statement).__name__.upper()
         start_ns = time.perf_counter_ns()
         trace = None
         try:
@@ -242,7 +285,7 @@ class Database:
             ) as span:
                 if obs.enabled():
                     trace = span
-                result = self._dispatch(statement, user, txn, params)
+                result = runner()
                 span.set_attribute("rows", result.row_count)
         except FlockError:
             duration_ms = (time.perf_counter_ns() - start_ns) / 1e6
@@ -258,6 +301,189 @@ class Database:
             sql, user, started, statement_type, True, duration_ms, trace
         )
         return result
+
+    # ------------------------------------------------------------------
+    # Serving fast paths (see flock.serving)
+    # ------------------------------------------------------------------
+    def run_select_ast(
+        self,
+        statement: ast.Statement,
+        sql: str,
+        user: str = "admin",
+        params: list[Any] | None = None,
+    ) -> QueryResult:
+        """Execute an already-parsed read-only statement under a snapshot.
+
+        The serving layer's warm path: on a plan-cache hit the SQL text is
+        never re-parsed, and coalesced micro-batches execute their combined
+        statement here. Takes the shared side of the statement lock, so any
+        number of these run concurrently with each other.
+        """
+        if not isinstance(
+            statement, (ast.Select, ast.SetOperation, ast.Explain)
+        ):
+            raise BindError(
+                "run_select_ast supports read-only statements only"
+            )
+        with self.statement_lock.read_locked():
+            txn = self.transactions.begin(user)
+            try:
+                return self._run_statement(statement, sql, user, txn, params)
+            finally:
+                self.transactions.rollback(txn)
+
+    def execute_plan(
+        self,
+        plan: PlanNode,
+        *,
+        sql: str,
+        user: str = "admin",
+        reads: tuple[list[str], list[str]] = ([], []),
+        privileges: Sequence[tuple[str, str]] = (),
+    ) -> QueryResult:
+        """Execute an already-bound-and-optimized read-only plan.
+
+        The prepared-statement hot path: parse/bind/optimize are skipped
+        entirely, but privileges are re-checked and reads re-audited on
+        every execution so plan reuse can never widen what a user sees.
+        The caller (the plan cache) is responsible for invalidation; the
+        plan itself must not be mutated here — execution is read-only over
+        the plan tree, which is what makes one cached plan safe to share
+        across threads.
+        """
+
+        def runner() -> QueryResult:
+            for action, object_name in privileges:
+                self.security.check(user, action, object_name)
+            txn = self.transactions.begin(user)
+            try:
+                executor = Executor(_EngineExecutionContext(self, txn))
+                batch = executor.run(plan)
+            finally:
+                self.transactions.rollback(txn)
+            self._audit_reads(reads, user)
+            return QueryResult("SELECT", batch=batch)
+
+        with self.statement_lock.read_locked():
+            return self._observed_statement(sql, user, "SELECT", runner)
+
+    def executemany(
+        self,
+        sql: str,
+        seq_of_params: Iterable[Sequence[Any]],
+        user: str = "admin",
+    ) -> QueryResult:
+        """Bind once, re-bind parameters per row — the bulk-load fast path.
+
+        For a single-row parameterized ``INSERT ... VALUES (?, ...)`` the
+        statement is parsed once, every parameter row is materialized
+        against that one template, and all rows are staged and committed as
+        a single table version (one commit, one audit record) instead of
+        one per row. Any other statement falls back to per-row execution.
+        """
+        parser = Parser(sql)
+        statement = parser.parse()
+        rows_params = [list(p) for p in seq_of_params]
+        if not rows_params:
+            return QueryResult("INSERT", affected_rows=0)
+        if (
+            isinstance(statement, ast.Insert)
+            and statement.select is None
+            and len(statement.rows) == 1
+        ):
+            with self.statement_lock.write_locked():
+                return self._observed_statement(
+                    sql,
+                    user,
+                    "INSERT",
+                    lambda: self._executemany_insert(
+                        parser, statement, rows_params, user
+                    ),
+                )
+        connection = self.connect(user)
+        total = 0
+        last: QueryResult | None = None
+        for params in rows_params:
+            last = connection.execute(sql, params)
+            total += last.affected_rows
+        assert last is not None
+        return QueryResult(last.statement_type, affected_rows=total)
+
+    def _executemany_insert(
+        self,
+        parser: Parser,
+        statement: ast.Insert,
+        rows_params: list[list[Any]],
+        user: str,
+    ) -> QueryResult:
+        from flock.errors import TransactionError
+
+        self.security.check(user, "INSERT", statement.table)
+        table = self.catalog.table(statement.table)
+        schema = table.schema
+        if statement.columns:
+            positions = [schema.index_of(c) for c in statement.columns]
+        else:
+            positions = list(range(len(schema)))
+        template = statement.rows[0]
+        if len(template) != len(positions):
+            raise BindError(
+                f"INSERT row has {len(template)} values, expected "
+                f"{len(positions)}"
+            )
+        # Bind the row template once: each slot is either a '?' parameter
+        # (re-bound per row) or a constant (folded once).
+        binder = Binder(self, None)
+        empty_scope = Scope([])
+        slots: list[tuple[bool, Any]] = []
+        for expr in template:
+            if isinstance(expr, ast.Parameter):
+                slots.append((True, expr.index))
+            else:
+                bound = fold_constants(binder._bind_expr(expr, empty_scope))
+                if not isinstance(bound, BoundLiteral):
+                    raise BindError(
+                        "INSERT VALUES must be constant expressions"
+                    )
+                slots.append((False, bound.value))
+
+        full_rows = []
+        for params in rows_params:
+            if len(params) != parser.parameter_count:
+                raise BindError(
+                    f"statement has {parser.parameter_count} '?' "
+                    f"placeholder(s) but {len(params)} parameter value(s) "
+                    f"were supplied"
+                )
+            full = [None] * len(schema)
+            for (is_param, slot), position in zip(slots, positions):
+                value = params[slot] if is_param else slot
+                full[position] = _coerce_insert_value(
+                    schema.columns[position], value
+                )
+            full_rows.append(full)
+
+        attempts = 0
+        while True:
+            txn = self.transactions.begin(user)
+            base = txn.visible_version(statement.table)
+            txn.stage(
+                statement.table, table.build_insert(full_rows, base=base)
+            )
+            try:
+                self.transactions.commit(txn)
+                break
+            except TransactionError:
+                attempts += 1
+                if attempts >= 10:
+                    raise
+        self.audit.log.record(
+            user,
+            "INSERT",
+            statement.table,
+            detail=f"{len(full_rows)} rows (executemany)",
+        )
+        return QueryResult("INSERT", affected_rows=len(full_rows))
 
     def _record_statement(
         self,
@@ -445,15 +671,9 @@ class Database:
         for row in incoming_rows:
             full = [None] * len(schema)
             for position, value in zip(positions, row):
-                column = schema.columns[position]
-                if (
-                    column.dtype is DataType.DATE
-                    and isinstance(value, str)
-                ):
-                    from flock.db.types import date_to_days
-
-                    value = date_to_days(value)
-                full[position] = value
+                full[position] = _coerce_insert_value(
+                    schema.columns[position], value
+                )
             full_rows.append(full)
 
         base = txn.visible_version(statement.table)
@@ -565,6 +785,7 @@ class Database:
             # The creator owns the table.
             self.security.grant("ALL", statement.name, user)
         self.audit.log.record(user, "CREATE_TABLE", statement.name)
+        self.bump_invalidation_epoch()
         return QueryResult("CREATE_TABLE", detail=statement.name)
 
     def _execute_drop_table(
@@ -578,6 +799,8 @@ class Database:
         self.audit.log.record(
             user, "DROP_TABLE", statement.name, success=dropped
         )
+        if dropped:
+            self.bump_invalidation_epoch()
         return QueryResult("DROP_TABLE", affected_rows=int(dropped))
 
     def _execute_create_view(
@@ -592,6 +815,7 @@ class Database:
         if user != "admin":
             self.security.grant("ALL", statement.name, user)
         self.audit.log.record(user, "CREATE_VIEW", statement.name)
+        self.bump_invalidation_epoch()
         return QueryResult("CREATE_VIEW", detail=statement.name)
 
     def _execute_drop_view(
@@ -605,6 +829,8 @@ class Database:
         self.audit.log.record(
             user, "DROP_VIEW", statement.name, success=dropped
         )
+        if dropped:
+            self.bump_invalidation_epoch()
         return QueryResult("DROP_VIEW", affected_rows=int(dropped))
 
     # -- security statements ------------------------------------------------
@@ -645,6 +871,14 @@ class Database:
         return QueryResult("REVOKE")
 
 
+def _coerce_insert_value(column: Column, value: Any) -> Any:
+    if column.dtype is DataType.DATE and isinstance(value, str):
+        from flock.db.types import date_to_days
+
+        return date_to_days(value)
+    return value
+
+
 def _collect_reads(bound: PlanNode) -> tuple[list[str], list[str]]:
     """(table names, model names) a bound plan reads, for audit records."""
     tables = sorted(
@@ -654,6 +888,23 @@ def _collect_reads(bound: PlanNode) -> tuple[list[str], list[str]]:
         {n.model_name for n in bound.walk() if isinstance(n, PredictNode)}
     )
     return tables, models
+
+
+_SHARED_STATE_STATEMENTS = (
+    ast.CreateTable,
+    ast.DropTable,
+    ast.CreateView,
+    ast.DropView,
+    ast.CreateUser,
+    ast.CreateRole,
+    ast.Grant,
+    ast.Revoke,
+)
+
+
+def _mutates_shared_state(statement: ast.Statement) -> bool:
+    """DDL/security mutate engine-shared structures at execution time."""
+    return isinstance(statement, _SHARED_STATE_STATEMENTS)
 
 
 class AuditLogProxy:
@@ -680,7 +931,14 @@ class Connection:
     def execute(
         self, sql: str, params: Sequence[Any] | None = None
     ) -> QueryResult:
-        """Execute one statement; ``params`` bind ``?`` placeholders."""
+        """Execute one statement; ``params`` bind ``?`` placeholders.
+
+        Statements run under the engine's readers-writer statement lock:
+        read-only statements share it (concurrent SELECT/PREDICT, each on
+        its own snapshot), write statements hold it exclusively across
+        execution *and* commit so no reader ever observes a half-published
+        multi-table commit.
+        """
         parser = Parser(sql)
         statement = parser.parse()
         bound_params = None if params is None else list(params)
@@ -696,44 +954,70 @@ class Connection:
                 "statement contains '?' placeholders but no parameters "
                 "were supplied"
             )
+        lock = self.database.statement_lock
         if isinstance(statement, ast.Begin):
             return self._begin()
         if isinstance(statement, ast.Commit):
-            return self._commit()
+            # Commit publishes staged versions: exclusive.
+            with lock.write_locked():
+                return self._commit()
         if isinstance(statement, ast.Rollback):
             return self._rollback()
 
         if self.in_transaction:
             assert self._txn is not None
-            return self.database._run_statement(
-                statement, sql, self.user, self._txn, bound_params
+            # DML inside an explicit transaction only stages versions
+            # private to this transaction, so it can share the lock with
+            # readers; DDL and security statements mutate shared engine
+            # structures immediately and need exclusivity.
+            guard = (
+                lock.write_locked()
+                if _mutates_shared_state(statement)
+                else lock.read_locked()
             )
+            with guard:
+                return self.database._run_statement(
+                    statement, sql, self.user, self._txn, bound_params
+                )
 
-        # Autocommit: implicit transaction per statement. Write conflicts
-        # (another autocommit statement landed first) retry against the new
-        # head — single statements are trivially serializable.
+        if isinstance(statement, (ast.Select, ast.SetOperation, ast.Explain)):
+            # Read-only autocommit: snapshot, run, release — never commits.
+            with lock.read_locked():
+                txn = self.database.transactions.begin(self.user)
+                try:
+                    return self.database._run_statement(
+                        statement, sql, self.user, txn, bound_params
+                    )
+                finally:
+                    self.database.transactions.rollback(txn)
+
+        # Autocommit write: implicit transaction per statement, executed and
+        # committed under the exclusive lock. Write conflicts (a commit from
+        # an explicit transaction landed first) retry against the new head —
+        # single statements are trivially serializable.
         from flock.errors import TransactionError
 
-        attempts = 0
-        while True:
-            txn = self.database.transactions.begin(self.user)
-            try:
-                result = self.database._run_statement(
-                    statement, sql, self.user, txn, bound_params
-                )
-            except FlockError:
-                self.database.transactions.rollback(txn)
-                raise
-            if not txn.has_writes:
-                self.database.transactions.rollback(txn)
-                return result
-            try:
-                self.database.transactions.commit(txn)
-                return result
-            except TransactionError:
-                attempts += 1
-                if attempts >= 10:
+        with lock.write_locked():
+            attempts = 0
+            while True:
+                txn = self.database.transactions.begin(self.user)
+                try:
+                    result = self.database._run_statement(
+                        statement, sql, self.user, txn, bound_params
+                    )
+                except FlockError:
+                    self.database.transactions.rollback(txn)
                     raise
+                if not txn.has_writes:
+                    self.database.transactions.rollback(txn)
+                    return result
+                try:
+                    self.database.transactions.commit(txn)
+                    return result
+                except TransactionError:
+                    attempts += 1
+                    if attempts >= 10:
+                        raise
 
     def execute_script(self, sql: str) -> list[QueryResult]:
         """Execute a ';'-separated script, returning per-statement results."""

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import itertools
 import threading
+from contextlib import contextmanager
 from typing import Callable
 
 from flock.db.catalog import Catalog
@@ -19,6 +20,105 @@ from flock.db.storage import TableVersion
 from flock.errors import TransactionError
 
 _txn_ids = itertools.count(1)
+
+
+class ReadWriteLock:
+    """A writer-preference readers-writer lock with same-thread reentrancy.
+
+    The engine takes the *read* side for SELECT/PREDICT statements (many can
+    run concurrently, each against its own MVCC snapshot) and the *write*
+    side for DML/DDL (execution and commit happen under one exclusive
+    section, so a reader can never observe a half-published multi-table
+    commit). Writer preference keeps a steady stream of point queries from
+    starving deployments and loads.
+
+    Reentrancy rules: a thread holding the write lock may re-acquire either
+    side (statement handlers and commit hooks nest); a thread holding only a
+    read lock may re-acquire the read side but must not upgrade to write —
+    upgrades deadlock under concurrency, so they raise immediately.
+    """
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writer: int | None = None
+        self._write_depth = 0
+        self._waiting_writers = 0
+        self._local = threading.local()
+
+    def _read_depth(self) -> int:
+        return getattr(self._local, "read_depth", 0)
+
+    def acquire_read(self) -> None:
+        me = threading.get_ident()
+        if self._writer == me or self._read_depth() > 0:
+            # Nested under our own write or read section: already safe.
+            self._local.read_depth = self._read_depth() + 1
+            return
+        with self._cond:
+            while self._writer is not None or self._waiting_writers:
+                self._cond.wait()
+            self._readers += 1
+        self._local.read_depth = 1
+        self._local.counted = True
+
+    def release_read(self) -> None:
+        depth = self._read_depth()
+        if depth <= 0:
+            raise RuntimeError("release_read without a matching acquire_read")
+        self._local.read_depth = depth - 1
+        if depth == 1 and getattr(self._local, "counted", False):
+            self._local.counted = False
+            with self._cond:
+                self._readers -= 1
+                if self._readers == 0:
+                    self._cond.notify_all()
+
+    def acquire_write(self) -> None:
+        me = threading.get_ident()
+        if self._writer == me:
+            self._write_depth += 1
+            return
+        if self._read_depth() > 0:
+            raise RuntimeError(
+                "cannot upgrade a read lock to a write lock"
+            )
+        with self._cond:
+            self._waiting_writers += 1
+            try:
+                while self._writer is not None or self._readers:
+                    self._cond.wait()
+                self._writer = me
+                self._write_depth = 1
+            finally:
+                self._waiting_writers -= 1
+
+    def release_write(self) -> None:
+        with self._cond:
+            if self._writer != threading.get_ident():
+                raise RuntimeError(
+                    "release_write by a thread that does not hold the lock"
+                )
+            self._write_depth -= 1
+            if self._write_depth == 0:
+                self._writer = None
+                self._cond.notify_all()
+
+    @contextmanager
+    def read_locked(self):
+        self.acquire_read()
+        try:
+            yield
+        finally:
+            self.release_read()
+
+    @contextmanager
+    def write_locked(self):
+        self.acquire_write()
+        try:
+            yield
+        finally:
+            self.release_write()
 
 
 class Transaction:

@@ -91,3 +91,19 @@ class RegistryError(FlockError):
 
 class WorkloadError(FlockError):
     """Raised by workload generators for invalid parameters."""
+
+
+class ServingError(FlockError):
+    """Base class for errors raised by the prediction-serving layer."""
+
+
+class ServerOverloadedError(ServingError):
+    """Raised when admission control rejects a request (queue full)."""
+
+
+class ServerTimeoutError(ServingError):
+    """Raised when a request misses its deadline before completing."""
+
+
+class ServerClosedError(ServingError):
+    """Raised when a request is submitted to a stopped server."""

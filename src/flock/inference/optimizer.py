@@ -20,6 +20,7 @@ examples and the ablation benchmarks can observe what fired.
 from __future__ import annotations
 
 import math
+import threading
 from dataclasses import dataclass, field as dataclass_field
 
 from flock.db.expr import BoundColumn, BoundLiteral
@@ -50,12 +51,34 @@ class CrossOptimizer:
     # monitor listens on. Trading a constant-factor speedup for observability
     # is the right default for governed deployments.
     monitor_hub: object | None = None
-    last_report: list[str] = dataclass_field(default_factory=list)
     # Compression cache: (model graph identity, observed ranges) →
     # (compressed graph, stats). Table statistics are cached per storage
     # version, so the key is stable until either the model or the data
-    # changes — re-deploys and writes invalidate naturally.
+    # changes — re-deploys and writes invalidate naturally. Guarded by
+    # _cache_lock: concurrent readers share one optimizer instance.
     _compression_cache: dict = dataclass_field(default_factory=dict)
+    _cache_lock: threading.Lock = dataclass_field(
+        default_factory=threading.Lock, repr=False
+    )
+    # Decision log storage. last_report is thread-local: concurrent
+    # optimizations (one per serving worker) each see only their own
+    # statement's decisions, matching what single-threaded callers always
+    # observed.
+    _report_local: threading.local = dataclass_field(
+        default_factory=threading.local, repr=False
+    )
+
+    @property
+    def last_report(self) -> list[str]:
+        """Decisions made by this thread's most recent optimization."""
+        report = getattr(self._report_local, "report", None)
+        if report is None:
+            report = self._report_local.report = []
+        return report
+
+    @last_report.setter
+    def last_report(self, value: list[str]) -> None:
+        self._report_local.report = list(value)
 
     def rules(self):
         """Rule callables for :class:`flock.db.optimizer.rules.Optimizer`."""
@@ -97,14 +120,16 @@ class CrossOptimizer:
                     id(graph),
                     tuple(sorted(ranges.items())),
                 )
-                cached = self._compression_cache.get(cache_key)
+                with self._cache_lock:
+                    cached = self._compression_cache.get(cache_key)
                 if cached is None:
                     cached = compress_graph(
                         graph, ranges, self.weight_tolerance
                     )
-                    if len(self._compression_cache) > 256:
-                        self._compression_cache.clear()
-                    self._compression_cache[cache_key] = cached
+                    with self._cache_lock:
+                        if len(self._compression_cache) > 256:
+                            self._compression_cache.clear()
+                        self._compression_cache[cache_key] = cached
                 graph, stats = cached
                 folded = stats["tree_nodes_before"] - stats["tree_nodes_after"]
                 if folded or stats["weights_zeroed"]:

@@ -11,6 +11,7 @@ Two execution regimes, shared op implementations:
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -33,12 +34,26 @@ class RuntimeStats:
         self.node_executions += 1
         self.per_op[op_type] = self.per_op.get(op_type, 0) + 1
 
+    def merge(self, other: "RuntimeStats") -> None:
+        self.runs += other.runs
+        self.rows += other.rows
+        self.node_executions += other.node_executions
+        for op_type, count in other.per_op.items():
+            self.per_op[op_type] = self.per_op.get(op_type, 0) + count
+
 
 class GraphRuntime:
-    """Executes model graphs against named input feeds."""
+    """Executes model graphs against named input feeds.
+
+    One runtime instance is shared by every concurrent PREDICT under the
+    serving layer, so per-run counters accumulate into a run-local
+    :class:`RuntimeStats` and merge into :attr:`stats` under a lock only
+    when the run completes.
+    """
 
     def __init__(self) -> None:
         self.stats = RuntimeStats()
+        self._stats_lock = threading.Lock()
 
     def run(
         self,
@@ -61,31 +76,34 @@ class GraphRuntime:
 
         from flock.observability import get_tracer, metrics
 
-        executions_before = self.stats.node_executions
+        local = RuntimeStats()
         with get_tracer().span(
             "mlgraph.run",
             {"mode": mode, "graph": getattr(graph, "name", "?")},
         ) as span:
             if mode == "batch":
-                result = self._run_batch(graph, feeds)
+                result = self._run_batch(graph, feeds, local)
             elif mode == "per_row":
-                result = self._run_per_row(graph, feeds, n_rows)
+                result = self._run_per_row(graph, feeds, n_rows, local)
             else:
                 raise GraphError(f"unknown execution mode {mode!r}")
             span.set_attribute("rows", n_rows)
-        self.stats.runs += 1
-        self.stats.rows += n_rows
+        local.runs = 1
+        local.rows = n_rows
+        with self._stats_lock:
+            self.stats.merge(local)
         registry = metrics()
         registry.counter("mlgraph.runs").inc()
         registry.counter("mlgraph.node_executions").inc(
-            self.stats.node_executions - executions_before
+            local.node_executions
         )
         registry.histogram("mlgraph.run_rows").observe(n_rows)
         return result
 
     # ------------------------------------------------------------------
     def _run_batch(
-        self, graph: Graph, feeds: dict[str, np.ndarray]
+        self, graph: Graph, feeds: dict[str, np.ndarray],
+        stats: RuntimeStats,
     ) -> dict[str, np.ndarray]:
         tensors: dict[str, np.ndarray] = {
             name: np.asarray(feeds[name]) for name in graph.input_names
@@ -101,17 +119,18 @@ class GraphRuntime:
                 )
             for name, value in zip(node.outputs, outputs):
                 tensors[name] = value
-            self.stats.note(node.op_type)
+            stats.note(node.op_type)
         return {name: tensors[name] for name in graph.output_names}
 
     def _run_per_row(
-        self, graph: Graph, feeds: dict[str, np.ndarray], n_rows: int
+        self, graph: Graph, feeds: dict[str, np.ndarray], n_rows: int,
+        stats: RuntimeStats,
     ) -> dict[str, np.ndarray]:
         collected: dict[str, list] = {name: [] for name in graph.output_names}
         arrays = {name: np.asarray(feeds[name]) for name in graph.input_names}
         for i in range(n_rows):
             row_feed = {name: arrays[name][i : i + 1] for name in arrays}
-            row_out = self._run_batch(graph, row_feed)
+            row_out = self._run_batch(graph, row_feed, stats)
             for name, value in row_out.items():
                 collected[name].append(value)
         out: dict[str, np.ndarray] = {}

@@ -150,6 +150,10 @@ class ModelRegistry:
 
             for mv in staged:
                 self._versions.setdefault(mv.name.lower(), []).append(mv)
+            if self._database is not None:
+                # Cached plans bake in the model version they were optimized
+                # against; a (re-)deployment must invalidate them.
+                self._database.bump_invalidation_epoch()
             return staged
 
     def _mirror_to_database(self, staged: list[ModelVersion], user: str) -> None:

@@ -1,0 +1,60 @@
+"""flock.serving — the concurrent prediction-serving layer.
+
+The paper's core bet is that prediction serving is a database workload:
+a served model is a prepared statement, a burst of point predictions is a
+batchable scan, and the way to make both fast is the machinery a DBMS
+already has — plan caching, admission control, concurrency control and
+observability. This package supplies that layer on top of the engine:
+
+- :class:`FlockServer` — a thread-pooled in-process server with dynamic
+  micro-batching of point PREDICT/SELECT queries, bounded admission, and
+  per-request deadlines;
+- :class:`PlanCache` — SQL-text-keyed prepared plans with epoch-based
+  invalidation on DDL and model redeployment;
+- :class:`FlockClient` — a thin client handle bound to one user.
+
+Typical use::
+
+    from flock import create_database
+    from flock.serving import FlockServer
+
+    session = create_database()
+    ...  # create tables, train + deploy models
+    with FlockServer(session, workers=8) as server:
+        future = server.submit(
+            "SELECT PREDICT(churn_model) FROM users WHERE id = ?", [42]
+        )
+        result = future.result()
+"""
+
+from flock.errors import (
+    ServerClosedError,
+    ServerOverloadedError,
+    ServerTimeoutError,
+    ServingError,
+)
+from flock.serving.plancache import (
+    BATCH_KEY_ALIAS,
+    CachedPlan,
+    PlanCache,
+    PointQueryShape,
+    analyze_point_query,
+    build_batch_statement,
+)
+from flock.serving.server import FlockClient, FlockServer, ServingFuture
+
+__all__ = [
+    "BATCH_KEY_ALIAS",
+    "CachedPlan",
+    "FlockClient",
+    "FlockServer",
+    "PlanCache",
+    "PointQueryShape",
+    "ServerClosedError",
+    "ServerOverloadedError",
+    "ServerTimeoutError",
+    "ServingError",
+    "ServingFuture",
+    "analyze_point_query",
+    "build_batch_statement",
+]

@@ -1,0 +1,256 @@
+"""The prepared-plan cache: SQL text → parsed/bound/optimized artifacts.
+
+Prediction serving repeats a small set of statement shapes millions of
+times; re-deriving the plan per request throws away exactly the work the
+paper says a DBMS gets for free. The cache keeps, per SQL text:
+
+- the parsed statement (reused by every execution — parse once);
+- for parameterless SELECTs, the fully bound + optimized plan plus its
+  read set and privilege checks, executed directly via
+  :meth:`flock.db.engine.Database.execute_plan` (bind/optimize skipped);
+- for single-parameter *point queries* (``... WHERE col = ?``), the shape
+  analysis the micro-batcher needs to coalesce N concurrent requests into
+  one ``col IN (?, ..., ?)`` statement and scatter rows back per request.
+
+Entries are stamped with the engine's ``invalidation_epoch``; DDL and model
+(re-)deployment bump it, so schema changes and model swaps invalidate
+cached plans without callback plumbing. Cached plan trees are never mutated
+after preparation — execution is read-only over them — which is what makes
+one plan safe to share across server worker threads.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any
+
+from flock.db import functions as fn
+from flock.db.binder import Binder
+from flock.db.engine import Database, _collect_reads
+from flock.db.plan import PlanNode, PredictNode, ScanNode
+from flock.db.security import model_object
+from flock.db.sql import ast_nodes as ast
+from flock.db.sql.parser import Parser
+from flock.observability import metrics
+
+
+@dataclass(frozen=True)
+class PointQueryShape:
+    """A batchable point query: single table, ``WHERE key_column = ?``."""
+
+    table: str
+    key_column: str
+    key_qualifier: str | None
+
+
+@dataclass
+class CachedPlan:
+    """Everything reusable about one SQL text."""
+
+    sql: str
+    statement: ast.Statement
+    parameter_count: int
+    epoch: int
+    shape: PointQueryShape | None = None
+    # Present only for parameterless SELECTs (the fully prepared form).
+    plan: PlanNode | None = None
+    reads: tuple[list[str], list[str]] = field(
+        default_factory=lambda: ([], [])
+    )
+    privileges: list[tuple[str, str]] = field(default_factory=list)
+
+    @property
+    def is_select(self) -> bool:
+        return isinstance(self.statement, (ast.Select, ast.SetOperation))
+
+    @property
+    def batchable(self) -> bool:
+        return self.shape is not None
+
+
+class PlanCache:
+    """Thread-safe SQL-text-keyed cache with epoch invalidation."""
+
+    def __init__(self, database: Database, max_entries: int = 512):
+        self.database = database
+        self.max_entries = max_entries
+        self._lock = threading.Lock()
+        self._entries: dict[str, CachedPlan] = {}
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    # ------------------------------------------------------------------
+    def lookup(self, sql: str) -> CachedPlan | None:
+        """The cached entry for *sql*, building it on first sight.
+
+        Returns None when the statement does not parse — the caller then
+        routes the request through the normal execution path, which raises
+        the parse error with full context.
+        """
+        registry = metrics()
+        epoch = self.database.invalidation_epoch
+        with self._lock:
+            entry = self._entries.get(sql)
+            if entry is not None and entry.epoch == epoch:
+                self.hits += 1
+            else:
+                if entry is not None:
+                    self.invalidations += 1
+                    registry.counter(
+                        "serving.plan_cache.invalidations"
+                    ).inc()
+                self.misses += 1
+                entry = None
+        if entry is not None:
+            registry.counter("serving.plan_cache.hits").inc()
+            return entry
+        registry.counter("serving.plan_cache.misses").inc()
+        entry = self._build(sql, epoch)
+        if entry is None:
+            return None
+        with self._lock:
+            if len(self._entries) >= self.max_entries:
+                self._entries.clear()
+            self._entries[sql] = entry
+        return entry
+
+    def invalidate_all(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    # ------------------------------------------------------------------
+    def _build(self, sql: str, epoch: int) -> CachedPlan | None:
+        try:
+            parser = Parser(sql)
+            statement = parser.parse()
+        except Exception:
+            return None
+        entry = CachedPlan(
+            sql=sql,
+            statement=statement,
+            parameter_count=parser.parameter_count,
+            epoch=epoch,
+        )
+        if isinstance(statement, ast.Select):
+            entry.shape = analyze_point_query(
+                statement, parser.parameter_count
+            )
+        if entry.is_select and parser.parameter_count == 0:
+            self._prepare_plan(entry)
+        return entry
+
+    def _prepare_plan(self, entry: CachedPlan) -> None:
+        """Bind + optimize a parameterless SELECT once, keep the plan."""
+        database = self.database
+        try:
+            bound = Binder(database, None).bind_query(entry.statement)
+            entry.reads = _collect_reads(bound)
+            entry.privileges = _collect_privileges(bound)
+            entry.plan = database.optimizer.optimize(bound, database)
+        except Exception:
+            # Not preparable (e.g. references a dropped table): leave the
+            # entry AST-only; execution will surface the real error.
+            entry.plan = None
+
+
+def _collect_privileges(bound: PlanNode) -> list[tuple[str, str]]:
+    """The (action, object) checks the engine would make for this plan."""
+    checks: list[tuple[str, str]] = []
+    for node in bound.walk():
+        if isinstance(node, ScanNode):
+            if node.via_view is not None:
+                checks.append(("SELECT", node.via_view))
+            else:
+                checks.append(("SELECT", node.table_name))
+        elif isinstance(node, PredictNode):
+            checks.append(("PREDICT", model_object(node.model_name)))
+    return sorted(set(checks))
+
+
+# ----------------------------------------------------------------------
+# Point-query analysis and batch rewriting
+# ----------------------------------------------------------------------
+BATCH_KEY_ALIAS = "__flock_batch_key"
+
+
+def analyze_point_query(
+    statement: ast.Select, parameter_count: int
+) -> PointQueryShape | None:
+    """Recognize ``SELECT ... FROM t WHERE col = ?`` shapes.
+
+    Only statements whose result is a pure per-row function of the matched
+    rows qualify: no aggregates, grouping, ordering, limits or DISTINCT —
+    those change meaning when point queries are coalesced into one IN-list
+    statement.
+    """
+    if parameter_count != 1:
+        return None
+    if (
+        statement.group_by
+        or statement.having is not None
+        or statement.order_by
+        or statement.distinct
+        or statement.limit is not None
+        or statement.offset is not None
+    ):
+        return None
+    if not isinstance(statement.from_clause, ast.TableRef):
+        return None
+    where = statement.where
+    if not (isinstance(where, ast.BinaryOp) and where.op == "="):
+        return None
+    left, right = where.left, where.right
+    if isinstance(left, ast.Parameter) and isinstance(right, ast.ColumnRef):
+        left, right = right, left
+    if not (
+        isinstance(left, ast.ColumnRef) and isinstance(right, ast.Parameter)
+    ):
+        return None
+    for item in statement.items:
+        for node in item.expr.walk():
+            if isinstance(node, ast.FunctionCall) and fn.is_aggregate(
+                node.name
+            ):
+                return None
+            if isinstance(node, (ast.InQuery, ast.Parameter)):
+                return None
+    return PointQueryShape(
+        table=statement.from_clause.name,
+        key_column=left.name,
+        key_qualifier=left.table,
+    )
+
+
+def build_batch_statement(
+    statement: ast.Select, shape: PointQueryShape, n_keys: int
+) -> ast.Select:
+    """The coalesced form: ``WHERE col IN (?, ..., ?)`` + the scatter key.
+
+    The original select list is preserved verbatim; one extra projection of
+    the key column (aliased ``__flock_batch_key``) is appended so results
+    can be scattered back to the originating requests by key value.
+    """
+    key_ref = ast.ColumnRef(shape.key_column, shape.key_qualifier)
+    items = list(statement.items) + [
+        ast.SelectItem(key_ref, alias=BATCH_KEY_ALIAS)
+    ]
+    where = ast.InList(
+        operand=ast.ColumnRef(shape.key_column, shape.key_qualifier),
+        items=[ast.Parameter(i) for i in range(n_keys)],
+    )
+    return ast.Select(
+        items=items,
+        from_clause=statement.from_clause,
+        where=where,
+    )

@@ -222,17 +222,11 @@ def generate_tpcc_data(
     return counts
 
 
-def _insert(database, table: str, rows: list[tuple], chunk: int = 400) -> None:
+def _insert(database, table: str, rows: list[tuple]) -> None:
     if not rows:
         return
-    row_template = "(" + ", ".join("?" * len(rows[0])) + ")"
-    for start in range(0, len(rows), chunk):
-        batch = rows[start : start + chunk]
-        sql = (
-            f"INSERT INTO {table} VALUES "
-            + ", ".join([row_template] * len(batch))
-        )
-        database.execute(sql, [value for row in batch for value in row])
+    sql = f"INSERT INTO {table} VALUES ({', '.join('?' * len(rows[0]))})"
+    database.executemany(sql, rows)
 
 
 # ----------------------------------------------------------------------

@@ -293,25 +293,22 @@ def generate_tpch_data(database, scale: float = 0.002, seed: int = 42) -> dict:
     return counts
 
 
-def _insert(database, table: str, rows: list[tuple], date_columns=frozenset(),
-            chunk: int = 500) -> None:
+def _insert(database, table: str, rows: list[tuple],
+            date_columns=frozenset()) -> None:
     from flock.db.types import days_to_date
 
     if not rows:
         return
-    row_template = "(" + ", ".join("?" * len(rows[0])) + ")"
-    for start in range(0, len(rows), chunk):
-        batch = rows[start : start + chunk]
-        sql = (
-            f"INSERT INTO {table} VALUES "
-            + ", ".join([row_template] * len(batch))
-        )
-        params = [
-            days_to_date(value).isoformat() if j in date_columns else value
-            for row in batch
-            for j, value in enumerate(row)
+    if date_columns:
+        rows = [
+            tuple(
+                days_to_date(value).isoformat() if j in date_columns else value
+                for j, value in enumerate(row)
+            )
+            for row in rows
         ]
-        database.execute(sql, params)
+    sql = f"INSERT INTO {table} VALUES ({', '.join('?' * len(rows[0]))})"
+    database.executemany(sql, rows)
 
 
 # ----------------------------------------------------------------------
