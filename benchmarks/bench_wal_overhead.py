@@ -1,0 +1,151 @@
+"""WAL overhead and replay throughput on the TPC-C workload.
+
+The durability machinery (flock.db.wal) must be cheap enough to leave on:
+the acceptance gate is ≤2× wall time on the TPC-C load + transaction mix
+with group commit, relative to the pure in-memory engine. The same run
+measures recovery speed — records/s and rows/s replayed when the loaded
+directory is reopened.
+"""
+
+from __future__ import annotations
+
+import shutil
+import tempfile
+import time
+from pathlib import Path
+
+import pytest
+
+from benchmarks.conftest import FULL, write_report
+from flock.db import Database
+from flock.workloads import (
+    create_tpcc_schema,
+    generate_tpcc_data,
+    generate_tpcc_transactions,
+)
+
+STATEMENTS = 600 if FULL else 250
+SCALE = dict(
+    warehouses=1,
+    districts_per_warehouse=3,
+    customers_per_district=20 if FULL else 10,
+    items=50 if FULL else 30,
+)
+
+
+def _run_workload(database) -> int:
+    """Load TPC-C and push the transaction mix; every write statement is an
+    autocommit WAL commit, which is what makes the fsync cadence honest."""
+    create_tpcc_schema(database)
+    counts = generate_tpcc_data(database, **SCALE)
+    statements = generate_tpcc_transactions(
+        statement_count=STATEMENTS,
+        warehouses=SCALE["warehouses"],
+        districts_per_warehouse=SCALE["districts_per_warehouse"],
+        customers_per_district=SCALE["customers_per_district"],
+    )
+    conn = database.connect()
+    for sql in statements:
+        conn.execute(sql)
+    return sum(counts.values())
+
+
+@pytest.fixture(scope="module")
+def wal_report() -> dict:
+    root = Path(tempfile.mkdtemp(prefix="flock-wal-bench-"))
+    report: dict = {}
+    try:
+        start = time.perf_counter()
+        memory_db = Database()
+        report["rows_loaded"] = _run_workload(memory_db)
+        report["memory_s"] = time.perf_counter() - start
+
+        for mode, kwargs in [
+            ("commit", dict(sync_mode="commit")),
+            ("group", dict(sync_mode="group", group_window_ms=0.0)),
+        ]:
+            directory = root / mode
+            start = time.perf_counter()
+            db = Database.open(directory, checkpoint_bytes=0, **kwargs)
+            _run_workload(db)
+            report[f"{mode}_s"] = time.perf_counter() - start
+            report[f"{mode}_log_bytes"] = db.wal.log_bytes
+            db.close()
+            report[f"{mode}_overhead"] = (
+                report[f"{mode}_s"] / report["memory_s"]
+            )
+
+        # Recovery: reopen the commit-mode directory and replay its log.
+        recovered = Database.open(root / "commit")
+        recovery = recovered.wal.last_recovery
+        report["replay_records"] = recovery.records_scanned
+        report["replay_ms"] = recovery.replay_ms
+        report["replay_records_per_s"] = (
+            recovery.records_scanned / (recovery.replay_ms / 1000.0)
+        )
+        report["replay_rows_per_s"] = (
+            report["rows_loaded"] / (recovery.replay_ms / 1000.0)
+        )
+        recovered.close()
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+    write_report(
+        "wal_overhead",
+        [
+            "WAL overhead on TPC-C load + transaction mix "
+            f"({report['rows_loaded']} rows, {STATEMENTS} statements)",
+            "",
+            f"{'configuration':<24}{'wall s':>10}{'overhead':>10}"
+            f"{'log KiB':>10}",
+            f"{'in-memory':<24}{report['memory_s']:>10.3f}{1.0:>10.2f}"
+            f"{'-':>10}",
+            f"{'wal sync=commit':<24}{report['commit_s']:>10.3f}"
+            f"{report['commit_overhead']:>10.2f}"
+            f"{report['commit_log_bytes'] / 1024:>10.1f}",
+            f"{'wal sync=group':<24}{report['group_s']:>10.3f}"
+            f"{report['group_overhead']:>10.2f}"
+            f"{report['group_log_bytes'] / 1024:>10.1f}",
+            "",
+            "Recovery replay of the sync=commit log:",
+            f"  records replayed   {report['replay_records']}",
+            f"  replay wall ms     {report['replay_ms']:.1f}",
+            f"  records/s          {report['replay_records_per_s']:.0f}",
+            f"  rows/s             {report['replay_rows_per_s']:.0f}",
+            "",
+            "Gate: group-commit overhead <= 2.0x in-memory.",
+        ],
+    )
+    return report
+
+
+class TestWalOverhead:
+    def test_group_commit_overhead_within_gate(self, wal_report):
+        assert wal_report["group_overhead"] <= 2.0
+
+    def test_replay_recovers_every_record(self, wal_report):
+        assert wal_report["replay_records"] > 0
+        assert wal_report["replay_records_per_s"] > 0
+
+    def test_log_actually_carried_the_workload(self, wal_report):
+        assert wal_report["commit_log_bytes"] > 100_000
+
+
+def bench_wal_commit_append(benchmark):
+    """Benchmark the per-commit WAL cost in isolation (append + fsync)."""
+    root = Path(tempfile.mkdtemp(prefix="flock-wal-append-"))
+    try:
+        db = Database.open(root, checkpoint_bytes=0)
+        db.execute("CREATE TABLE bench (k INT, v TEXT)")
+        counter = iter(range(10_000_000))
+
+        def one_commit():
+            db.execute(
+                "INSERT INTO bench VALUES (?, ?)",
+                [next(counter), "x" * 64],
+            )
+
+        benchmark(one_commit)
+        db.close()
+    finally:
+        shutil.rmtree(root, ignore_errors=True)

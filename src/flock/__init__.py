@@ -34,6 +34,7 @@ __all__ = [
     "FlockSession",
     "__version__",
     "create_database",
+    "open_session",
 ]
 
 
@@ -91,4 +92,42 @@ def create_database(cross_optimizer=None) -> FlockSession:
     )
     database.cross_optimizer = cross_optimizer
     registry.bind_database(database)
+    return FlockSession(database, registry, cross_optimizer)
+
+
+def open_session(
+    path,
+    cross_optimizer=None,
+    *,
+    sync_mode: str = "commit",
+    group_window_ms: float = 1.0,
+    checkpoint_bytes: int | None = None,
+) -> FlockSession:
+    """The durable counterpart of :func:`create_database`.
+
+    Opens (or creates) the database directory *path* with write-ahead
+    logging and crash recovery (see :mod:`flock.db.wal`), wired with the
+    same registry/scorer/cross-optimizer stack. ``sync_mode`` is
+    ``"commit"`` (fsync before every acknowledgement), ``"group"``
+    (batched fsyncs across concurrent commits) or ``"off"``. The recovery
+    details are on ``session.db.wal.last_recovery``.
+    """
+    from flock.db.optimizer.rules import Optimizer
+    from flock.inference.optimizer import CrossOptimizer
+    from flock.inference.predict import DefaultScorer
+    from flock.registry import ModelRegistry
+
+    if cross_optimizer is None:
+        cross_optimizer = CrossOptimizer()
+    registry = ModelRegistry()
+    database = Database.open(
+        path,
+        model_store=registry,
+        scorer=DefaultScorer(),
+        optimizer=Optimizer(extra_rules=cross_optimizer.rules()),
+        sync_mode=sync_mode,
+        group_window_ms=group_window_ms,
+        checkpoint_bytes=checkpoint_bytes,
+    )
+    database.cross_optimizer = cross_optimizer
     return FlockSession(database, registry, cross_optimizer)

@@ -2,11 +2,14 @@
 
 Run ``python -m flock`` for a REPL, optionally with ``--demo loans`` to
 preload a dataset and a deployed model, ``--load <dir>`` to restore a
-snapshot. ``python -m flock stats`` runs queries non-interactively and
-reports the observability counters and the last statement's trace.
-``python -m flock serve`` runs statements through the concurrent serving
-layer (:mod:`flock.serving`) and reports its stats; ``python -m flock
-bench-serve`` benchmarks served vs sequential throughput. Inside the
+snapshot, or ``--data-dir <dir>`` to open a durable database (write-ahead
+logged, crash-recovered on open). ``python -m flock stats`` runs queries
+non-interactively and reports the observability counters and the last
+statement's trace. ``python -m flock serve`` runs statements through the
+concurrent serving layer (:mod:`flock.serving`) and reports its stats;
+``python -m flock bench-serve`` benchmarks served vs sequential
+throughput. ``python -m flock recover <dir>`` recovers a durable
+directory and reports what the write-ahead log replayed. Inside the
 shell, SQL statements execute directly; dot-commands manage the session:
 
     .help             this text
@@ -19,6 +22,7 @@ shell, SQL statements execute directly; dot-commands manage the session:
     .trace            show the last statement's span tree
     .log [N]          show the last N query-log entries with timings
     .save DIR         snapshot the database to DIR
+    .checkpoint       checkpoint a durable database (truncates its WAL)
     .quit             exit
 """
 
@@ -152,6 +156,14 @@ def _dot_command(state: ShellState, line: str) -> str:
 
         save_database(state.database, args[0])
         return f"saved to {args[0]}"
+    if command == ".checkpoint":
+        if state.database.wal is None:
+            return "error: not a durable database (start with --data-dir)"
+        try:
+            state.database.checkpoint()
+        except FlockError as exc:
+            return f"error: {exc}"
+        return f"checkpointed {state.database.wal.directory}"
     return f"unknown command {command} (try .help)"
 
 
@@ -193,9 +205,18 @@ def _load_demo(state: ShellState, name: str) -> str:
     return message
 
 
-def make_state(load: str | None = None, demo: str | None = None) -> ShellState:
+def make_state(
+    load: str | None = None,
+    demo: str | None = None,
+    data_dir: str | None = None,
+) -> ShellState:
     """Build a shell state (used by main() and by tests)."""
-    if load:
+    if data_dir:
+        from flock import open_session
+
+        session = open_session(data_dir)
+        database, registry = session.db, session.registry
+    elif load:
         from flock.db.persist import load_database
         from flock.inference.predict import DefaultScorer
         from flock.registry import ModelRegistry
@@ -290,6 +311,10 @@ def serve_main(argv: list[str]) -> int:
     )
     parser.add_argument("--load", help="restore a database snapshot directory")
     parser.add_argument(
+        "--data-dir",
+        help="open a durable (WAL + checkpoint) database directory",
+    )
+    parser.add_argument(
         "--demo", help="preload a demo dataset+model (loans/patients/jobs)"
     )
     parser.add_argument(
@@ -304,7 +329,9 @@ def serve_main(argv: list[str]) -> int:
     args = parser.parse_args(argv)
 
     try:
-        state = make_state(load=args.load, demo=args.demo)
+        state = make_state(
+            load=args.load, demo=args.demo, data_dir=args.data_dir
+        )
     except FlockError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
@@ -385,6 +412,82 @@ def bench_serve_main(argv: list[str]) -> int:
     return 0
 
 
+def recover_main(argv: list[str]) -> int:
+    """``flock recover``: open a durable directory and report the recovery.
+
+    Recovery itself happens inside :func:`flock.open_session` — this
+    command exists to run it explicitly (e.g. after a crash, before
+    restarting serving) and to inspect what the write-ahead log held:
+    commits replayed, audit records restored, and whether a torn or
+    corrupt tail was discarded.
+    """
+    from flock import open_session
+
+    parser = argparse.ArgumentParser(
+        prog="flock recover",
+        description="Recover a durable flock database directory",
+    )
+    parser.add_argument("dir", help="the database directory (WAL + checkpoint)")
+    parser.add_argument(
+        "--checkpoint", action="store_true",
+        help="write a fresh checkpoint after recovery (truncates the WAL)",
+    )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="emit the recovery report as machine-readable JSON",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        session = open_session(args.dir)
+    except FlockError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    database = session.db
+    report = database.wal.last_recovery
+    if args.checkpoint:
+        database.checkpoint()
+    if args.json:
+        import json
+
+        payload = report.as_dict()
+        payload["tables"] = {
+            name: database.catalog.table(name).row_count
+            for name in database.catalog.table_names()
+        }
+        payload["checkpointed"] = args.checkpoint
+        print(json.dumps(payload, indent=2))
+    else:
+        print(f"recovered {args.dir}")
+        print(
+            f"  checkpoint: "
+            f"{'loaded' if report.checkpoint_loaded else 'none'} "
+            f"(generation {report.generation})"
+        )
+        print(
+            f"  wal: {report.records_scanned} record(s) scanned, "
+            f"{report.commits_replayed} commit(s) and "
+            f"{report.ddl_replayed} DDL replayed in "
+            f"{report.replay_ms:.1f} ms"
+        )
+        print(
+            f"  tail: {report.tail_status}"
+            + (
+                f" ({report.discarded_bytes} byte(s) discarded)"
+                if report.discarded_bytes
+                else ""
+            )
+        )
+        print(f"  audit: {report.audit_records_restored} record(s) restored")
+        for name in database.catalog.table_names():
+            rows = database.catalog.table(name).row_count
+            print(f"  table {name}: {rows} row(s)")
+        if args.checkpoint:
+            print("  checkpointed; WAL truncated")
+    database.close()
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     if argv and argv[0] == "stats":
@@ -393,17 +496,25 @@ def main(argv: list[str] | None = None) -> int:
         return serve_main(argv[1:])
     if argv and argv[0] == "bench-serve":
         return bench_serve_main(argv[1:])
+    if argv and argv[0] == "recover":
+        return recover_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="flock", description="Flock interactive SQL shell"
     )
     parser.add_argument("--load", help="restore a database snapshot directory")
+    parser.add_argument(
+        "--data-dir",
+        help="open a durable (WAL + checkpoint) database directory",
+    )
     parser.add_argument(
         "--demo", help="preload a demo dataset+model (loans/patients/jobs)"
     )
     args = parser.parse_args(argv)
 
     try:
-        state = make_state(load=args.load, demo=args.demo)
+        state = make_state(
+            load=args.load, demo=args.demo, data_dir=args.data_dir
+        )
     except FlockError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1

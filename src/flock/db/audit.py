@@ -90,6 +90,33 @@ class AuditLog:
         with self._lock:
             return iter(list(self._records))
 
+    @property
+    def last_sequence(self) -> int:
+        """Sequence number of the newest record (0 when empty)."""
+        with self._lock:
+            return self._records[-1].sequence if self._records else 0
+
+    def records_after(self, sequence: int) -> list[AuditRecord]:
+        """Records newer than *sequence*, oldest first (WAL piggybacking)."""
+        with self._lock:
+            return [r for r in self._records if r.sequence > sequence]
+
+    def restore(self, records: list[AuditRecord]) -> None:
+        """Append recovered *records*, skipping any we already hold.
+
+        Recovery replays WAL records whose piggybacked audit entries may
+        overlap what the checkpoint snapshot already restored; matching on
+        sequence keeps the trail exactly-once and the hash chain intact.
+        """
+        with self._lock:
+            last = self._records[-1].sequence if self._records else 0
+            for record in records:
+                if record.sequence <= last:
+                    continue
+                self._records.append(record)
+                last = record.sequence
+            self._sequence = itertools.count(last + 1)
+
     def records(
         self,
         user: str | None = None,

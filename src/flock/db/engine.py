@@ -110,6 +110,71 @@ class Database:
         # flock.create_database); declared here so it is part of the API
         # rather than an ad-hoc attribute.
         self.cross_optimizer = None
+        # The write-ahead log, when this database is durable (attached by
+        # flock.db.wal.open_database / Database.open). None means purely
+        # in-memory: the whole durability path costs one None check.
+        self.wal = None
+
+    # ------------------------------------------------------------------
+    # Durability (see flock.db.wal)
+    # ------------------------------------------------------------------
+    @classmethod
+    def open(
+        cls,
+        path,
+        *,
+        model_store: ModelStore | None = None,
+        scorer: "Scorer | None" = None,
+        optimizer: Optimizer | None = None,
+        sync_mode: str = "commit",
+        group_window_ms: float = 1.0,
+        checkpoint_bytes: int | None = None,
+    ) -> "Database":
+        """Open (or create) a durable database directory with crash recovery.
+
+        Loads the newest checkpoint, replays the committed WAL suffix and
+        attaches a live log; the recovery details are on
+        ``database.wal.last_recovery``. ``checkpoint_bytes`` sets the
+        auto-checkpoint threshold (None keeps the WAL default, 0 disables
+        auto-checkpointing).
+        """
+        from flock.db import wal as wal_module
+
+        kwargs = dict(
+            model_store=model_store,
+            scorer=scorer,
+            optimizer=optimizer,
+            sync_mode=sync_mode,
+            group_window_ms=group_window_ms,
+        )
+        if checkpoint_bytes is not None:
+            kwargs["checkpoint_bytes"] = checkpoint_bytes
+        return wal_module.open_database(path, **kwargs)
+
+    def checkpoint(self) -> None:
+        """Snapshot to disk and truncate the WAL (durable databases only)."""
+        if self.wal is None:
+            raise FlockError(
+                "checkpoint() requires a durable database (Database.open)"
+            )
+        self.wal.checkpoint()
+
+    def maybe_auto_checkpoint(self) -> None:
+        """Checkpoint if the WAL outgrew its threshold; no-op in memory."""
+        if self.wal is not None:
+            self.wal.maybe_checkpoint()
+
+    def close(self) -> None:
+        """Detach and close the WAL (flushes; does not checkpoint)."""
+        if self.wal is not None:
+            self.wal.close()
+            self.wal = None
+            self.transactions.wal = None
+
+    def _log_ddl(self, op: dict) -> None:
+        """Log a catalog/security mutation that just became visible."""
+        if self.wal is not None:
+            self.wal.log_ddl(op)
 
     # ------------------------------------------------------------------
     # Connections
@@ -463,6 +528,15 @@ class Database:
                 )
             full_rows.append(full)
 
+        # Audit before the commit (like the per-statement INSERT path): the
+        # record then rides inside the commit's WAL entry, so the trail and
+        # the data are durable together.
+        self.audit.log.record(
+            user,
+            "INSERT",
+            statement.table,
+            detail=f"{len(full_rows)} rows (executemany)",
+        )
         attempts = 0
         while True:
             txn = self.transactions.begin(user)
@@ -477,12 +551,7 @@ class Database:
                 attempts += 1
                 if attempts >= 10:
                     raise
-        self.audit.log.record(
-            user,
-            "INSERT",
-            statement.table,
-            detail=f"{len(full_rows)} rows (executemany)",
-        )
+        self.maybe_auto_checkpoint()
         return QueryResult("INSERT", affected_rows=len(full_rows))
 
     def _record_statement(
@@ -785,6 +854,23 @@ class Database:
             # The creator owns the table.
             self.security.grant("ALL", statement.name, user)
         self.audit.log.record(user, "CREATE_TABLE", statement.name)
+        if created.schema is schema:
+            self._log_ddl(
+                {
+                    "kind": "create_table",
+                    "name": statement.name,
+                    "columns": [
+                        {
+                            "name": c.name,
+                            "dtype": c.dtype.value,
+                            "nullable": c.nullable,
+                            "primary_key": c.primary_key,
+                        }
+                        for c in schema.columns
+                    ],
+                    "owner": user if user != "admin" else None,
+                }
+            )
         self.bump_invalidation_epoch()
         return QueryResult("CREATE_TABLE", detail=statement.name)
 
@@ -800,6 +886,7 @@ class Database:
             user, "DROP_TABLE", statement.name, success=dropped
         )
         if dropped:
+            self._log_ddl({"kind": "drop_table", "name": statement.name})
             self.bump_invalidation_epoch()
         return QueryResult("DROP_TABLE", affected_rows=int(dropped))
 
@@ -815,6 +902,14 @@ class Database:
         if user != "admin":
             self.security.grant("ALL", statement.name, user)
         self.audit.log.record(user, "CREATE_VIEW", statement.name)
+        self._log_ddl(
+            {
+                "kind": "create_view",
+                "name": statement.name,
+                "sql": str(statement.query),
+                "owner": user if user != "admin" else None,
+            }
+        )
         self.bump_invalidation_epoch()
         return QueryResult("CREATE_VIEW", detail=statement.name)
 
@@ -830,6 +925,7 @@ class Database:
             user, "DROP_VIEW", statement.name, success=dropped
         )
         if dropped:
+            self._log_ddl({"kind": "drop_view", "name": statement.name})
             self.bump_invalidation_epoch()
         return QueryResult("DROP_VIEW", affected_rows=int(dropped))
 
@@ -842,10 +938,12 @@ class Database:
         if isinstance(statement, ast.CreateUser):
             self.security.create_user(statement.name)
             self.audit.log.record(user, "CREATE_USER", statement.name)
+            self._log_ddl({"kind": "create_user", "name": statement.name})
             return QueryResult("CREATE_USER", detail=statement.name)
         if isinstance(statement, ast.CreateRole):
             self.security.create_role(statement.name)
             self.audit.log.record(user, "CREATE_ROLE", statement.name)
+            self._log_ddl({"kind": "create_role", "name": statement.name})
             return QueryResult("CREATE_ROLE", detail=statement.name)
         if isinstance(statement, ast.Grant):
             self.security.grant(
@@ -857,6 +955,14 @@ class Database:
                 statement.object_name or statement.privilege,
                 detail=f"{statement.privilege} to {statement.principal}",
             )
+            self._log_ddl(
+                {
+                    "kind": "grant",
+                    "privilege": statement.privilege,
+                    "object": statement.object_name,
+                    "principal": statement.principal,
+                }
+            )
             return QueryResult("GRANT")
         assert isinstance(statement, ast.Revoke)
         self.security.revoke(
@@ -867,6 +973,14 @@ class Database:
             "REVOKE",
             statement.object_name or statement.privilege,
             detail=f"{statement.privilege} from {statement.principal}",
+        )
+        self._log_ddl(
+            {
+                "kind": "revoke",
+                "privilege": statement.privilege,
+                "object": statement.object_name,
+                "principal": statement.principal,
+            }
         )
         return QueryResult("REVOKE")
 
@@ -1013,6 +1127,7 @@ class Connection:
                     return result
                 try:
                     self.database.transactions.commit(txn)
+                    self.database.maybe_auto_checkpoint()
                     return result
                 except TransactionError:
                     attempts += 1
@@ -1038,6 +1153,7 @@ class Connection:
         assert self._txn is not None
         self.database.transactions.commit(self._txn)
         self._txn = None
+        self.database.maybe_auto_checkpoint()
         return QueryResult("COMMIT")
 
     def _rollback(self) -> QueryResult:

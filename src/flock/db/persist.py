@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import json
 import math
+import os
 from pathlib import Path
 from typing import Any
 
@@ -27,6 +28,7 @@ from flock.db.storage import TableVersion
 from flock.db.types import DataType
 from flock.db.vector import ColumnVector
 from flock.errors import FlockError
+from flock.testing import faultpoints
 
 FORMAT_VERSION = 1
 
@@ -34,8 +36,20 @@ FORMAT_VERSION = 1
 # ----------------------------------------------------------------------
 # Save
 # ----------------------------------------------------------------------
-def save_database(database: Database, path: str | Path) -> None:
-    """Snapshot *database* into the directory *path* (created if needed)."""
+def save_database(
+    database: Database,
+    path: str | Path,
+    *,
+    wal_generation: int | None = None,
+    durable: bool = False,
+) -> None:
+    """Snapshot *database* into the directory *path* (created if needed).
+
+    ``wal_generation`` stamps the snapshot with the write-ahead-log
+    generation that starts *after* it (see :mod:`flock.db.wal`); ``durable``
+    fsyncs every file and the directory, which checkpointing requires before
+    it may truncate the log.
+    """
     root = Path(path)
     root.mkdir(parents=True, exist_ok=True)
 
@@ -61,7 +75,11 @@ def save_database(database: Database, path: str | Path) -> None:
             for e in database.query_log
         ],
     }
-    (root / "manifest.json").write_text(json.dumps(manifest))
+    if wal_generation is not None:
+        manifest["wal_generation"] = wal_generation
+    _write_json(root / "manifest.json", manifest, durable)
+
+    faultpoints.reach("checkpoint.mid_write")
 
     for name in table_names:
         table = database.catalog.table(name)
@@ -79,29 +97,63 @@ def save_database(database: Database, path: str | Path) -> None:
                 _dump_version(v) for v in table.versions()
             ],
         }
-        (root / f"table_{name.lower()}.json").write_text(json.dumps(payload))
+        _write_json(root / f"table_{name.lower()}.json", payload, durable)
+
+    if durable:
+        _fsync_dir(root)
+
+
+def _write_json(path: Path, obj: Any, durable: bool) -> None:
+    data = json.dumps(obj)
+    if not durable:
+        path.write_text(data)
+        return
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(data)
+        fh.flush()
+        os.fsync(fh.fileno())
+
+
+def _fsync_dir(path: Path) -> None:
+    fd = os.open(path, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def dump_values(vector: ColumnVector) -> list:
+    """One column's values as JSON-safe Python objects (NULL as None)."""
+    values = []
+    for i in range(len(vector)):
+        if vector.nulls[i]:
+            values.append(None)
+        else:
+            value = vector.values[i]
+            if isinstance(value, float) and not math.isfinite(value):
+                # float() first: repr(np.float64(nan)) spells the type out.
+                values.append({"__float__": repr(float(value))})
+            elif hasattr(value, "item"):
+                values.append(value.item())
+            else:
+                values.append(value)
+    return values
+
+
+def load_values(values: list) -> list:
+    """Invert :func:`dump_values` (decode non-finite float markers)."""
+    return [
+        float(v["__float__"]) if isinstance(v, dict) and "__float__" in v
+        else v
+        for v in values
+    ]
 
 
 def _dump_version(version: TableVersion) -> dict:
-    columns = []
-    for vector in version.columns:
-        values = []
-        for i in range(len(vector)):
-            if vector.nulls[i]:
-                values.append(None)
-            else:
-                value = vector.values[i]
-                if isinstance(value, float) and not math.isfinite(value):
-                    values.append({"__float__": repr(value)})
-                elif hasattr(value, "item"):
-                    values.append(value.item())
-                else:
-                    values.append(value)
-        columns.append(values)
     return {
         "version_id": version.version_id,
         "operation": version.operation,
-        "columns": columns,
+        "columns": [dump_values(vector) for vector in version.columns],
     }
 
 
@@ -208,11 +260,7 @@ def load_database(
 def _load_version(schema: TableSchema, payload: dict) -> TableVersion:
     vectors = []
     for column, values in zip(schema.columns, payload["columns"]):
-        decoded = [
-            float(v["__float__"]) if isinstance(v, dict) and "__float__" in v
-            else v
-            for v in values
-        ]
+        decoded = load_values(values)
         if column.dtype is DataType.DATE:
             # Stored physically as day numbers; from_values expects that.
             vector = ColumnVector.from_values(DataType.DATE, decoded)

@@ -69,7 +69,9 @@ class TableStats:
 class TableVersion:
     """An immutable snapshot of a table's contents."""
 
-    __slots__ = ("version_id", "columns", "operation", "_stats", "schema")
+    __slots__ = (
+        "version_id", "columns", "operation", "_stats", "schema", "delta",
+    )
 
     def __init__(
         self,
@@ -83,6 +85,10 @@ class TableVersion:
         self.columns = tuple(columns)
         self.operation = operation
         self._stats: TableStats | None = None
+        # Logical change relative to the base version, set by the build_*
+        # methods and consumed by the write-ahead log; None for versions
+        # built outside the normal write path (restore, replay seeds).
+        self.delta: tuple | None = None
 
     @property
     def row_count(self) -> int:
@@ -179,16 +185,35 @@ class Table:
                     f"INSERT row has {len(row)} values, table {self.name!r} "
                     f"has {width} columns"
                 )
+        fresh = [
+            ColumnVector.from_values(col.dtype, [row[i] for row in rows])
+            for i, col in enumerate(self.schema.columns)
+        ]
+        return self.build_append(fresh, base)
+
+    def build_append(
+        self,
+        fresh: Sequence[ColumnVector],
+        base: TableVersion | None = None,
+    ) -> TableVersion:
+        """A staged INSERT version appending pre-built column vectors.
+
+        Split out of :meth:`build_insert` so WAL replay — which logs the
+        appended vectors, not the source rows — re-enters the same
+        constraint checks the original execution ran.
+        """
+        base = base or self.head_version
         new_columns = []
         for i, col in enumerate(self.schema.columns):
-            fresh = ColumnVector.from_values(col.dtype, [row[i] for row in rows])
-            if not col.nullable and fresh.has_nulls():
+            if not col.nullable and fresh[i].has_nulls():
                 raise ConstraintError(
                     f"NULL in NOT NULL column {col.name!r} of {self.name!r}"
                 )
-            new_columns.append(base.columns[i].concat(fresh))
+            new_columns.append(base.columns[i].concat(fresh[i]))
         self._check_primary_key(new_columns)
-        return self._staged(new_columns, "INSERT", base)
+        staged = self._staged(new_columns, "INSERT", base)
+        staged.delta = ("INSERT", tuple(fresh))
+        return staged
 
     def build_delete(
         self, keep_mask: np.ndarray, base: TableVersion | None = None
@@ -196,7 +221,9 @@ class Table:
         """A staged version keeping only rows where *keep_mask* is True."""
         base = base or self.head_version
         new_columns = [c.filter(keep_mask) for c in base.columns]
-        return self._staged(new_columns, "DELETE", base)
+        staged = self._staged(new_columns, "DELETE", base)
+        staged.delta = ("DELETE", keep_mask)
+        return staged
 
     def build_update(
         self,
@@ -227,12 +254,16 @@ class Table:
                 )
             new_columns.append(updated)
         self._check_primary_key(new_columns)
-        return self._staged(new_columns, "UPDATE", base)
+        staged = self._staged(new_columns, "UPDATE", base)
+        staged.delta = ("UPDATE", row_mask, assignments)
+        return staged
 
     def build_truncate(self, base: TableVersion | None = None) -> TableVersion:
         base = base or self.head_version
         empty = [ColumnVector.empty(c.dtype) for c in self.schema.columns]
-        return self._staged(empty, "TRUNCATE", base)
+        staged = self._staged(empty, "TRUNCATE", base)
+        staged.delta = ("TRUNCATE",)
+        return staged
 
     def publish(self, staged: TableVersion) -> None:
         """Make a staged version the visible head (called at commit)."""

@@ -131,6 +131,11 @@ class Transaction:
         self._manager = manager
         self._staged: dict[str, TableVersion] = {}
         self._base_version_ids: dict[str, int] = {}
+        # Ordered log of every staged version, including intermediate ones a
+        # later statement in the same transaction superseded in _staged.
+        # The WAL records these, so replay re-applies the same sequence of
+        # logical deltas instead of one opaque final state per table.
+        self._effects: list[tuple[str, TableVersion]] = []
         self._on_commit: list[Callable[[], None]] = []
         self._on_rollback: list[Callable[[], None]] = []
 
@@ -152,6 +157,7 @@ class Transaction:
             head = self._manager.catalog.table(table_name).head_version
             self._base_version_ids[key] = head.version_id
         self._staged[key] = version
+        self._effects.append((key, version))
 
     def on_commit(self, callback: Callable[[], None]) -> None:
         """Run *callback* after a successful commit (used by the policy
@@ -187,12 +193,17 @@ class TransactionManager:
         self._commit_lock = threading.Lock()
         self.committed_count = 0
         self.aborted_count = 0
+        # Set by flock.db.wal when the database is durable; None keeps the
+        # engine purely in-memory with zero overhead on this path.
+        self.wal = None
 
     def begin(self, user: str = "admin") -> Transaction:
         return Transaction(self, user)
 
     def commit(self, txn: Transaction) -> None:
         txn._check_active()
+        wal = self.wal
+        lsn = None
         with self._commit_lock:
             # Validate: no table we wrote moved under us since we based on it.
             for key, base_id in txn._base_version_ids.items():
@@ -206,10 +217,27 @@ class TransactionManager:
                         f"write conflict on table {key!r}: head moved from "
                         f"version {base_id} to {head.version_id}"
                     )
+            if wal is not None and txn._effects:
+                # Log before publish: in "commit" mode this appends *and*
+                # fsyncs, so the record is durable before anything becomes
+                # visible; in "group" mode it only appends, and the fsync
+                # happens in wait_durable below before the commit call
+                # returns (acknowledgement), which the log's prefix-flush
+                # property makes safe.
+                try:
+                    lsn = wal.log_commit(txn)
+                except Exception:
+                    txn.active = False
+                    self.aborted_count += 1
+                    for callback in txn._on_rollback:
+                        callback()
+                    raise
             for key, staged in txn._staged.items():
                 self.catalog.table(key).publish(staged)
             txn.active = False
             self.committed_count += 1
+        if wal is not None and lsn is not None:
+            wal.wait_durable(lsn)
         for callback in txn._on_commit:
             callback()
 

@@ -93,6 +93,33 @@ class WorkloadError(FlockError):
     """Raised by workload generators for invalid parameters."""
 
 
+class DurabilityError(FlockError):
+    """Raised by the durability layer (WAL append/fsync/checkpoint failures).
+
+    Once the write-ahead log fails mid-write it is *poisoned*: further
+    commits raise this error until the database is reopened (and thereby
+    recovered), so an unloggable commit can never be acknowledged.
+    """
+
+
+class RecoveryError(DurabilityError):
+    """Raised when crash recovery finds damage it cannot repair.
+
+    A torn or corrupt log *tail* is expected after a crash and is handled
+    (reported, truncated) without raising; this error is reserved for
+    structural damage before the tail — e.g. a WAL record referencing
+    state the checkpoint does not contain.
+    """
+
+
+class FaultInjected(FlockError):
+    """Raised by :mod:`flock.testing.faultpoints` for ``error``-action faults."""
+
+    def __init__(self, point: str):
+        super().__init__(f"injected fault at point {point!r}")
+        self.point = point
+
+
 class ServingError(FlockError):
     """Base class for errors raised by the prediction-serving layer."""
 

@@ -81,6 +81,26 @@ class ModelRegistry:
                 ],
             )
             database.catalog.create_table(schema)
+            if getattr(database, "wal", None) is not None:
+                # Binding after recovery recreates the table implicitly, but
+                # a bind against an already-durable database must log it so
+                # later deploy commits replay against an existing table.
+                database._log_ddl(
+                    {
+                        "kind": "create_table",
+                        "name": self.SYSTEM_TABLE,
+                        "columns": [
+                            {
+                                "name": c.name,
+                                "dtype": c.dtype.value,
+                                "nullable": c.nullable,
+                                "primary_key": c.primary_key,
+                            }
+                            for c in schema.columns
+                        ],
+                        "owner": None,
+                    }
+                )
 
     # ------------------------------------------------------------------
     # Deployment
@@ -176,6 +196,16 @@ class ModelRegistry:
             )
             for mv in staged
         ]
+        # Audit before the commit so the DEPLOY_MODEL records ride inside
+        # the commit's WAL entry: a crash can never leave the flock_models
+        # row durable without its audit trail (or vice versa).
+        for mv in staged:
+            database.audit.log.record(
+                user,
+                "DEPLOY_MODEL",
+                f"model:{mv.name.lower()}",
+                detail=f"version {mv.version}",
+            )
         attempts = 0
         while True:
             txn = database.transactions.begin(user)
@@ -188,13 +218,6 @@ class ModelRegistry:
                 attempts += 1
                 if attempts >= 10:
                     raise
-        for mv in staged:
-            database.audit.log.record(
-                user,
-                "DEPLOY_MODEL",
-                f"model:{mv.name.lower()}",
-                detail=f"version {mv.version}",
-            )
 
     def rollback(
         self, name: str, to_version: int, user: str = "admin"

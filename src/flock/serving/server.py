@@ -197,7 +197,9 @@ class FlockServer:
 
         New submissions are rejected immediately with
         :class:`ServerClosedError`. With ``drain=False`` queued requests
-        fail with the same error instead of executing.
+        fail with the same error instead of executing. A drained shutdown
+        of a durable database also checkpoints it, so a clean restart
+        recovers from the snapshot instead of replaying the whole log.
         """
         self._closed = True
         if not drain:
@@ -207,6 +209,9 @@ class FlockServer:
         for thread in self._threads:
             thread.join(timeout)
         self._threads = []
+        if drain and getattr(self.database, "wal", None) is not None:
+            if not self.database.wal.poisoned:
+                self.database.checkpoint()
 
     def __enter__(self) -> "FlockServer":
         self.start()

@@ -1,0 +1,11 @@
+"""Test-support machinery that ships with the engine.
+
+The durability work is *proven* rather than assumed: the WAL and checkpoint
+paths call :func:`flock.testing.faultpoints.reach` at named points, and the
+crash-recovery suite arms those points to kill or fail the process exactly
+there. The framework is generic — any future subsystem can register points.
+"""
+
+from flock.testing import faultpoints
+
+__all__ = ["faultpoints"]

@@ -1,0 +1,132 @@
+"""Randomized durable workload driver for crash-recovery stress tests.
+
+Run as a child process (``python -m flock.testing.crashload``) against a
+database directory while :mod:`flock.testing.faultpoints` — armed through
+the ``FLOCK_FAULTPOINTS`` environment variable — kills it at a random WAL
+or checkpoint fault point. Before attempting each operation the child
+appends a ``try <op> <id>`` line to an *acknowledgement file* (fsynced), and
+after the commit is acknowledged an ``ok <op> <id>`` line, so the parent
+can state the durability contract precisely:
+
+- every ``ok`` operation must be recovered (acknowledged ⇒ durable);
+- every recovered operation must have a ``try`` line (nothing invented);
+- operations with ``try`` but no ``ok`` may land either way (the crash hit
+  between execution and acknowledgement — "presumed commit" is allowed).
+
+The workload mixes paired-table transactions (atomicity witnesses), single
+inserts/deletes, DDL, model deployments and explicit checkpoints.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import random
+import sys
+
+
+class AckFile:
+    """Append-only, fsync-per-line journal the crash cannot rewind."""
+
+    def __init__(self, path: str):
+        self._fh = open(path, "a", encoding="utf-8")
+
+    def line(self, text: str) -> None:
+        self._fh.write(text + "\n")
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+
+
+def _tiny_graph():
+    from flock.ml import LinearRegression
+    from flock.ml.datasets import make_regression
+    from flock.mlgraph import to_graph
+
+    X, y, _ = make_regression(30, 2, random_state=7)
+    return to_graph(LinearRegression().fit(X, y), ["f0", "f1"])
+
+
+def run(directory: str, seed: int, ops: int, ack_path: str,
+        sync_mode: str = "commit") -> None:
+    import flock
+
+    rng = random.Random(seed)
+    ack = AckFile(ack_path)
+    graph = _tiny_graph()  # built before any WAL traffic
+
+    session = flock.open_session(
+        directory, sync_mode=sync_mode, group_window_ms=0.2
+    )
+    db = session.db
+    db.execute("CREATE TABLE IF NOT EXISTS pair_a (m INT PRIMARY KEY)")
+    db.execute("CREATE TABLE IF NOT EXISTS pair_b (m INT PRIMARY KEY)")
+    db.execute(
+        "CREATE TABLE IF NOT EXISTS singles "
+        "(m INT PRIMARY KEY, payload TEXT)"
+    )
+
+    marker = 0
+    ok_singles: list[int] = []
+    tables = 0
+    deploys = 0
+
+    for _ in range(ops):
+        roll = rng.random()
+        if roll < 0.30:
+            marker += 1
+            ack.line(f"try pair {marker}")
+            conn = db.connect()
+            conn.execute("BEGIN")
+            conn.execute(f"INSERT INTO pair_a VALUES ({marker})")
+            conn.execute(f"INSERT INTO pair_b VALUES ({marker})")
+            conn.execute("COMMIT")
+            ack.line(f"ok pair {marker}")
+        elif roll < 0.62:
+            marker += 1
+            ack.line(f"try single {marker}")
+            db.execute(
+                "INSERT INTO singles VALUES (?, ?)",
+                [marker, f"payload-{marker}"],
+            )
+            ack.line(f"ok single {marker}")
+            ok_singles.append(marker)
+        elif roll < 0.76 and ok_singles:
+            victim = ok_singles.pop(rng.randrange(len(ok_singles)))
+            ack.line(f"try delete {victim}")
+            db.execute(f"DELETE FROM singles WHERE m = {victim}")
+            ack.line(f"ok delete {victim}")
+        elif roll < 0.86:
+            tables += 1
+            ack.line(f"try table {tables}")
+            db.execute(f"CREATE TABLE extra_{tables} (k INT)")
+            db.execute(f"INSERT INTO extra_{tables} VALUES ({tables})")
+            ack.line(f"ok table {tables}")
+        elif roll < 0.93:
+            deploys += 1
+            ack.line(f"try deploy {deploys}")
+            session.registry.deploy(f"stress_m{deploys}", graph)
+            ack.line(f"ok deploy {deploys}")
+        else:
+            ack.line("try checkpoint 0")
+            db.checkpoint()
+            ack.line("ok checkpoint 0")
+
+    db.close()
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="crash-recovery stress workload (child process)"
+    )
+    parser.add_argument("--dir", required=True)
+    parser.add_argument("--seed", type=int, required=True)
+    parser.add_argument("--ops", type=int, default=60)
+    parser.add_argument("--ack-file", required=True)
+    parser.add_argument("--sync-mode", default="commit")
+    args = parser.parse_args(argv)
+    run(args.dir, args.seed, args.ops, args.ack_file, args.sync_mode)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,117 @@
+"""The fault-point injection framework itself.
+
+Everything else in the durability suite leans on these semantics: countdown
+arming, error vs crash actions, environment-variable control for child
+processes, and exact hit accounting.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+from flock.errors import FaultInjected
+from flock.testing import faultpoints
+
+SRC = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+
+
+@pytest.fixture(autouse=True)
+def _clean_faults():
+    faultpoints.clear()
+    yield
+    faultpoints.clear()
+
+
+def test_unarmed_point_is_a_noop():
+    faultpoints.reach("wal.pre_fsync")  # must not raise
+    assert not faultpoints.armed("wal.pre_fsync")
+    assert faultpoints.hit_count("wal.pre_fsync") == 0
+
+
+def test_error_action_raises_on_first_hit():
+    faultpoints.set_fault("wal.pre_fsync", action="error")
+    assert faultpoints.armed("wal.pre_fsync")
+    with pytest.raises(FaultInjected) as excinfo:
+        faultpoints.reach("wal.pre_fsync")
+    assert excinfo.value.point == "wal.pre_fsync"
+
+
+def test_countdown_fires_on_nth_hit():
+    faultpoints.set_fault("checkpoint.mid_write", action="error", after=3)
+    assert not faultpoints.armed("checkpoint.mid_write")
+    faultpoints.reach("checkpoint.mid_write")
+    faultpoints.reach("checkpoint.mid_write")
+    assert faultpoints.armed("checkpoint.mid_write")
+    with pytest.raises(FaultInjected):
+        faultpoints.reach("checkpoint.mid_write")
+    assert faultpoints.hit_count("checkpoint.mid_write") == 3
+
+
+def test_clear_disarms():
+    faultpoints.set_fault("wal.mid_record", action="error")
+    faultpoints.clear("wal.mid_record")
+    faultpoints.reach("wal.mid_record")  # must not raise
+    faultpoints.set_fault("wal.mid_record", action="error")
+    faultpoints.clear()
+    faultpoints.reach("wal.mid_record")
+
+
+def test_set_fault_validates_inputs():
+    with pytest.raises(ValueError):
+        faultpoints.set_fault("x", action="explode")
+    with pytest.raises(ValueError):
+        faultpoints.set_fault("x", after=0)
+
+
+def test_env_spec_parsing():
+    faults = faultpoints._parse_env(
+        "wal.pre_fsync=crash:3, checkpoint.mid_write=error ,wal.pre_ack"
+    )
+    assert faults["wal.pre_fsync"].action == "crash"
+    assert faults["wal.pre_fsync"].after == 3
+    assert faults["checkpoint.mid_write"].action == "error"
+    assert faults["checkpoint.mid_write"].after == 1
+    assert faults["wal.pre_ack"].action == "error"
+    with pytest.raises(ValueError):
+        faultpoints._parse_env("a=explode")
+
+
+def test_crash_action_kills_the_process_like_sigkill():
+    """A crash-armed point must end the child with no Python-level cleanup."""
+    code = (
+        "from flock.testing import faultpoints\n"
+        "import atexit, sys\n"
+        "atexit.register(lambda: print('CLEANUP RAN'))\n"
+        "faultpoints.reach('wal.pre_fsync')\n"
+        "print('BEFORE')\n"
+        "faultpoints.reach('wal.pre_fsync')\n"
+        "print('AFTER')\n"
+    )
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC
+    env["FLOCK_FAULTPOINTS"] = "wal.pre_fsync=crash:2"
+    proc = subprocess.run(
+        [sys.executable, "-c", code],
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=60,
+    )
+    assert proc.returncode == faultpoints.CRASH_EXIT_CODE
+    assert "BEFORE" in proc.stdout
+    assert "AFTER" not in proc.stdout
+    assert "CLEANUP RAN" not in proc.stdout
+
+
+def test_known_points_cover_the_wal_and_checkpoint_paths():
+    for point in (
+        "wal.pre_fsync",
+        "wal.mid_record",
+        "wal.post_fsync_pre_apply",
+        "checkpoint.mid_write",
+    ):
+        assert point in faultpoints.KNOWN_POINTS

@@ -1,0 +1,142 @@
+"""Torn and corrupt WAL tails.
+
+A crash can stop a log write anywhere: these tests truncate the log at
+*every* byte boundary of its final record and separately flip *every* byte
+of that record, then require recovery to (a) not raise, (b) recover exactly
+the commits before the damaged one, and (c) report the damage instead of
+hiding it.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import pytest
+
+from flock.db import Database
+from flock.db.wal import _FRAME, _HEADER
+
+_pristine_cache: dict = {}
+
+
+@pytest.fixture(scope="module")
+def pristine(tmp_path_factory):
+    """Bytes of a clean 3-record log: one DDL commit plus two inserts.
+
+    Recovery of a damaged copy must yield the state just before the last
+    record: table ``t`` containing only row (1,).
+    """
+    if not _pristine_cache:
+        root = tmp_path_factory.mktemp("pristine")
+        db = Database.open(root)
+        db.execute("CREATE TABLE t (x INT)")
+        db.execute("INSERT INTO t VALUES (1)")
+        db.execute("INSERT INTO t VALUES (2)")
+        db.close()
+        _pristine_cache["data"] = (root / "wal.log").read_bytes()
+    return _pristine_cache["data"]
+
+
+def record_boundaries(data: bytes) -> list[int]:
+    """Offsets at which each complete record ends."""
+    boundaries = []
+    offset = _HEADER.size
+    while offset < len(data):
+        length, _ = _FRAME.unpack_from(data, offset)
+        offset += _FRAME.size + length
+        boundaries.append(offset)
+    assert boundaries[-1] == len(data)
+    return boundaries
+
+
+def recover_from(tmp_path, data: bytes, name: str) -> Database:
+    root = tmp_path / name
+    root.mkdir()
+    (root / "wal.log").write_bytes(data)
+    return Database.open(root)
+
+
+def test_truncation_at_every_byte_of_the_last_record(pristine, tmp_path):
+    boundaries = record_boundaries(pristine)
+    last_start = boundaries[-2]
+    size = len(pristine)
+    for cut in range(last_start, size):
+        db = recover_from(tmp_path, pristine[:cut], f"cut{cut}")
+        report = db.wal.last_recovery
+        try:
+            assert db.execute("SELECT x FROM t ORDER BY x").rows() == [(1,)]
+            if cut == last_start:
+                assert report.tail_status == "clean"
+                assert report.discarded_bytes == 0
+            else:
+                assert report.tail_status == "torn"
+                assert report.discarded_bytes == cut - last_start
+            # The DDL record and the first insert commit replay; the
+            # damaged second insert does not.
+            assert (report.ddl_replayed, report.commits_replayed) == (1, 1)
+        finally:
+            db.close()
+
+
+def test_bit_flip_in_every_byte_of_the_last_record(pristine, tmp_path):
+    boundaries = record_boundaries(pristine)
+    last_start = boundaries[-2]
+    size = len(pristine)
+    for offset in range(last_start, size):
+        mutated = bytearray(pristine)
+        mutated[offset] ^= 0x40
+        db = recover_from(tmp_path, bytes(mutated), f"flip{offset}")
+        report = db.wal.last_recovery
+        try:
+            assert db.execute("SELECT x FROM t ORDER BY x").rows() == [(1,)]
+            # A flipped length field reads as a frame running past EOF
+            # (torn); any other flip fails the CRC or JSON decode (corrupt).
+            assert report.tail_status in ("torn", "corrupt")
+            assert report.discarded_bytes == size - last_start
+            assert (report.ddl_replayed, report.commits_replayed) == (1, 1)
+        finally:
+            db.close()
+
+
+def test_corrupt_header_discards_whole_log(pristine, tmp_path):
+    mutated = bytearray(pristine)
+    mutated[0] ^= 0xFF  # break the magic
+    db = recover_from(tmp_path, bytes(mutated), "badmagic")
+    try:
+        assert db.wal.last_recovery.tail_status == "corrupt"
+        assert db.wal.last_recovery.commits_replayed == 0
+        assert "t" not in db.catalog.table_names()
+    finally:
+        db.close()
+
+
+def test_log_shorter_than_header_is_survivable(pristine, tmp_path):
+    db = recover_from(tmp_path, pristine[:7], "stub")
+    try:
+        assert db.wal.last_recovery.tail_status == "corrupt"
+        assert db.catalog.table_names() == []
+        db.execute("CREATE TABLE fresh (x INT)")  # usable afterwards
+    finally:
+        db.close()
+
+
+def test_database_stays_writable_after_tail_truncation(pristine, tmp_path):
+    """The damaged tail is physically truncated; new commits append after
+    the last valid record and survive another reopen."""
+    boundaries = record_boundaries(pristine)
+    last_start = boundaries[-2]
+    cut = last_start + (len(pristine) - last_start) // 2
+    root = tmp_path / "writable"
+    root.mkdir()
+    (root / "wal.log").write_bytes(pristine[:cut])
+
+    db = Database.open(root)
+    assert db.wal.last_recovery.tail_status == "torn"
+    assert (root / "wal.log").stat().st_size == last_start
+    db.execute("INSERT INTO t VALUES (99)")
+    db.close()
+
+    db = Database.open(root)
+    assert db.wal.last_recovery.tail_status == "clean"
+    assert db.execute("SELECT x FROM t ORDER BY x").rows() == [(1,), (99,)]
+    db.close()
