@@ -22,6 +22,8 @@ import numpy as np
 from flock.db.binder import Binder, ModelSignature, Scope, ScopeEntry, fold_constants
 from flock.db.catalog import Catalog
 from flock.db.exec.executor import Executor, render_analyzed_plan
+from flock.db.exec.parallel import ParallelConfig
+from flock.db.exec.pool import WorkerPool
 from flock.db.expr import BoundLiteral, truthy_mask
 from flock.db.optimizer.rules import Optimizer
 from flock.db.plan import PlanNode, PredictNode, ScanNode
@@ -85,6 +87,9 @@ class Database:
         model_store: ModelStore | None = None,
         scorer: Scorer | None = None,
         optimizer: Optimizer | None = None,
+        workers: int | None = None,
+        morsel_rows: int | None = None,
+        min_parallel_rows: int | None = None,
     ):
         self.catalog = Catalog()
         self.transactions = TransactionManager(self.catalog)
@@ -114,6 +119,16 @@ class Database:
         # flock.db.wal.open_database / Database.open). None means purely
         # in-memory: the whole durability path costs one None check.
         self.wal = None
+        # Morsel-driven parallel execution: settings come from constructor
+        # arguments, then FLOCK_WORKERS/FLOCK_MORSEL_ROWS/
+        # FLOCK_PARALLEL_MIN_ROWS, then the serial default (workers=1).
+        # The pool itself is built lazily on first parallel-eligible query
+        # and is shared by every statement path (including serving).
+        self.parallel = ParallelConfig.from_env(
+            workers, morsel_rows, min_parallel_rows
+        )
+        self._worker_pool: WorkerPool | None = None
+        self._pool_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # Durability (see flock.db.wal)
@@ -170,6 +185,61 @@ class Database:
             self.wal.close()
             self.wal = None
             self.transactions.wal = None
+        with self._pool_lock:
+            if self._worker_pool is not None:
+                self._worker_pool.shutdown()
+                self._worker_pool = None
+
+    # ------------------------------------------------------------------
+    # Morsel-parallel execution (see flock.db.exec.parallel)
+    # ------------------------------------------------------------------
+    @property
+    def workers(self) -> int:
+        """Current worker-pool size (1 = serial execution)."""
+        return self.parallel.workers
+
+    def set_workers(self, workers: int) -> None:
+        """Resize the worker pool (``SET flock.workers = N``).
+
+        Callers reach this through the exclusive side of the statement
+        lock, so no reader is mid-fan-out while the old pool is retired;
+        its threads finish any queued morsels and exit.
+        """
+        workers = int(workers)
+        if workers < 1:
+            raise BindError("flock.workers must be >= 1")
+        with self._pool_lock:
+            self.parallel.workers = workers
+            if (
+                self._worker_pool is not None
+                and self._worker_pool.workers != workers
+            ):
+                self._worker_pool.shutdown()
+                self._worker_pool = None
+
+    def _acquire_pool(self) -> WorkerPool | None:
+        """The shared pool, created lazily; None while workers <= 1."""
+        if self.parallel.workers <= 1:
+            return None
+        with self._pool_lock:
+            pool = self._worker_pool
+            if pool is None or pool.workers != self.parallel.workers:
+                if pool is not None:
+                    pool.shutdown()
+                pool = WorkerPool(self.parallel.workers)
+                self._worker_pool = pool
+            return pool
+
+    def _executor(
+        self, txn: Transaction, collect_stats: bool = False
+    ) -> Executor:
+        """An executor wired to this engine's snapshot context and pool."""
+        return Executor(
+            _EngineExecutionContext(self, txn),
+            collect_stats=collect_stats,
+            pool=self._acquire_pool(),
+            parallel=self.parallel,
+        )
 
     def _log_ddl(self, op: dict) -> None:
         """Log a catalog/security mutation that just became visible."""
@@ -422,7 +492,7 @@ class Database:
                 self.security.check(user, action, object_name)
             txn = self.transactions.begin(user)
             try:
-                executor = Executor(_EngineExecutionContext(self, txn))
+                executor = self._executor(txn)
                 batch = executor.run(plan)
             finally:
                 self.transactions.rollback(txn)
@@ -611,6 +681,8 @@ class Database:
             return self._execute_security(statement, user)
         if isinstance(statement, (ast.Grant, ast.Revoke)):
             return self._execute_security(statement, user)
+        if isinstance(statement, ast.SetOption):
+            return self._execute_set_option(statement, user)
         raise BindError(
             f"statement {type(statement).__name__} must be executed through "
             f"a Connection (BEGIN/COMMIT/ROLLBACK)"
@@ -629,9 +701,7 @@ class Database:
         reads = _collect_reads(bound)
         plan = self.optimizer.optimize(bound, self)
         if statement.analyze:
-            executor = Executor(
-                _EngineExecutionContext(self, txn), collect_stats=True
-            )
+            executor = self._executor(txn, collect_stats=True)
             start_ns = time.perf_counter_ns()
             batch = executor.run(plan)
             total_ms = (time.perf_counter_ns() - start_ns) / 1e6
@@ -667,7 +737,7 @@ class Database:
         reads = _collect_reads(bound)
         with tracer.span("db.optimize"):
             plan = self.optimizer.optimize(bound, self)
-        executor = Executor(_EngineExecutionContext(self, txn))
+        executor = self._executor(txn)
         batch = executor.run(plan)
         self._audit_reads(reads, user)
         return QueryResult("SELECT", batch=batch)
@@ -929,6 +999,39 @@ class Database:
             self.bump_invalidation_epoch()
         return QueryResult("DROP_VIEW", affected_rows=int(dropped))
 
+    # -- engine settings ----------------------------------------------------
+    def _execute_set_option(
+        self, statement: ast.SetOption, user: str
+    ) -> QueryResult:
+        """``SET flock.workers = 4`` and friends — engine-wide knobs.
+
+        Settings affect every session, so only admin may change them. The
+        statement runs under the exclusive statement lock (it is classed
+        with DDL in ``_mutates_shared_state``), which is what makes the
+        worker-pool swap in :meth:`set_workers` safe against in-flight
+        parallel readers.
+        """
+        if user != "admin":
+            raise SecurityError("only admin may change engine settings")
+        name = statement.name.lower()
+        value = statement.value
+        if not isinstance(value, int) or isinstance(value, bool):
+            raise BindError(f"SET {name} expects an integer value")
+        if name == "flock.workers":
+            self.set_workers(value)
+        elif name == "flock.morsel_rows":
+            if value < 1:
+                raise BindError("flock.morsel_rows must be >= 1")
+            self.parallel.morsel_rows = value
+        elif name == "flock.parallel_min_rows":
+            if value < 0:
+                raise BindError("flock.parallel_min_rows must be >= 0")
+            self.parallel.min_parallel_rows = value
+        else:
+            raise BindError(f"unknown setting {name!r}")
+        self.audit.log.record(user, "SET", name, detail=str(value))
+        return QueryResult("SET", detail=f"{name} = {value}")
+
     # -- security statements ------------------------------------------------
     def _execute_security(
         self, statement: ast.Statement, user: str
@@ -1013,6 +1116,7 @@ _SHARED_STATE_STATEMENTS = (
     ast.CreateRole,
     ast.Grant,
     ast.Revoke,
+    ast.SetOption,
 )
 
 

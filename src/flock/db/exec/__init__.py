@@ -1,5 +1,13 @@
 """Physical execution of logical plans."""
 
 from flock.db.exec.executor import ExecutionContext, Executor
+from flock.db.exec.parallel import ParallelConfig
+from flock.db.exec.pool import WorkerPool, in_worker_thread
 
-__all__ = ["ExecutionContext", "Executor"]
+__all__ = [
+    "ExecutionContext",
+    "Executor",
+    "ParallelConfig",
+    "WorkerPool",
+    "in_worker_thread",
+]

@@ -9,6 +9,7 @@ executor and differ only in the Predict operator's strategy).
 
 from __future__ import annotations
 
+import contextvars
 import time
 from dataclasses import dataclass, field
 from typing import Protocol
@@ -16,6 +17,8 @@ from typing import Protocol
 import numpy as np
 
 from flock.db import functions as fn
+from flock.db.exec import parallel as par
+from flock.db.exec.pool import WorkerPool, in_worker_thread
 from flock.db.expr import BoundExpr, truthy_mask
 from flock.db.plan import (
     AggregateNode,
@@ -34,6 +37,7 @@ from flock.db.types import DataType
 from flock.db.vector import Batch, ColumnVector
 from flock.errors import ExecutionError
 from flock.observability import get_tracer, metrics
+from flock.testing import faultpoints
 
 
 class ExecutionContext(Protocol):
@@ -98,12 +102,37 @@ class Executor:
     :attr:`node_stats` (keyed by ``id(plan_node)``) — the data source for
     ``EXPLAIN ANALYZE``. Trace spans are always emitted (one per operator
     node) unless tracing is globally disabled.
+
+    When a :class:`~flock.db.exec.pool.WorkerPool` and a
+    :class:`~flock.db.exec.parallel.ParallelConfig` with ``workers > 1``
+    are supplied, eligible Scan→Filter/Project/Predict pipelines (and the
+    aggregates / ORDER BY+LIMIT heads above them) execute morsel-parallel
+    with bit-identical results (see :mod:`flock.db.exec.parallel`). The
+    snapshot is pinned in the driver thread: ``context.table_batch`` is
+    called exactly once per scan and workers only see immutable slices of
+    that batch, so MVCC isolation is unaffected by the fan-out.
     """
 
-    def __init__(self, context: ExecutionContext, collect_stats: bool = False):
+    def __init__(
+        self,
+        context: ExecutionContext,
+        collect_stats: bool = False,
+        pool: WorkerPool | None = None,
+        parallel: par.ParallelConfig | None = None,
+    ):
         self.context = context
         self.collect_stats = collect_stats
         self.node_stats: dict[int, NodeStats] = {}
+        self.pool = pool
+        self.parallel = parallel
+        # A morsel worker must never fan out again: nested parallelism
+        # would let pool tasks block on the very pool they run in.
+        self._parallel_enabled = (
+            pool is not None
+            and parallel is not None
+            and parallel.workers > 1
+            and not in_worker_thread()
+        )
 
     def run(self, plan: PlanNode) -> Batch:
         batch = self._execute(plan)
@@ -132,6 +161,10 @@ class Executor:
         return batch
 
     def _execute_node(self, plan: PlanNode) -> Batch:
+        if self._parallel_enabled:
+            result = self._try_parallel(plan)
+            if result is not None:
+                return result
         if isinstance(plan, ScanNode):
             return self._scan(plan)
         if isinstance(plan, FilterNode):
@@ -160,23 +193,230 @@ class Executor:
         return Batch([f.name for f in node.fields], columns)
 
     def _filter(self, node: FilterNode) -> Batch:
-        child = self._execute(node.child)
+        return self._filter_batch(node, self._execute(node.child))
+
+    def _filter_batch(self, node: FilterNode, child: Batch) -> Batch:
         predicate = node.predicate.evaluate(child)
         return child.filter(truthy_mask(predicate))
 
     def _project(self, node: ProjectNode) -> Batch:
-        child = self._execute(node.child)
+        return self._project_batch(node, self._execute(node.child))
+
+    def _project_batch(self, node: ProjectNode, child: Batch) -> Batch:
         columns = [e.evaluate(child) for e in node.exprs]
         return Batch([f.name for f in node.fields], columns)
 
     def _predict(self, node: PredictNode) -> Batch:
-        child = self._execute(node.child)
+        return self._predict_batch(node, self._execute(node.child))
+
+    def _predict_batch(self, node: PredictNode, child: Batch) -> Batch:
         inputs = Batch(
             [child.names[i] for i in node.input_indexes],
             [child.columns[i] for i in node.input_indexes],
         )
         outputs = self.context.score(node, inputs)
         return child.with_columns([f.name for f in node.output_fields], outputs)
+
+    def _apply_stage(self, stage: PlanNode, batch: Batch) -> Batch:
+        """Run one pipeline stage over an already-materialized input."""
+        if isinstance(stage, FilterNode):
+            return self._filter_batch(stage, batch)
+        if isinstance(stage, ProjectNode):
+            return self._project_batch(stage, batch)
+        if isinstance(stage, PredictNode):
+            return self._predict_batch(stage, batch)
+        raise ExecutionError(
+            f"{type(stage).__name__} is not a pipeline stage"
+        )
+
+    # -- morsel-driven parallel execution ---------------------------------
+    def _try_parallel(self, plan: PlanNode) -> Batch | None:
+        """Morsel-parallel execution of *plan*, or None to stay serial.
+
+        Three parallel shapes, each with a deterministic merge (see
+        :mod:`flock.db.exec.parallel`): aggregates over a pipeline segment,
+        ORDER BY+LIMIT (top-k) over a segment, and plain pipeline tails
+        (also reached for the inputs of joins, sorts, distincts and set
+        operations, which then run serially over the merged batch).
+        """
+        if isinstance(plan, AggregateNode):
+            segment = par.find_segment(plan.child)
+            prepared = self._prepare_morsels(segment, allow_bare_scan=True)
+            if prepared is None:
+                return None
+            scan_batch, bounds = prepared
+            partials = self._run_morsels(
+                plan, segment, scan_batch, bounds,
+                sink=lambda batch: par.aggregate_partial(plan, batch),
+            )
+            return par.merge_aggregate_partials(plan, partials)
+
+        if isinstance(plan, LimitNode):
+            sort = plan.child
+            if (
+                isinstance(sort, SortNode)
+                and sort.keys
+                and plan.limit is not None
+            ):
+                segment = par.find_segment(sort.child)
+                prepared = self._prepare_morsels(
+                    segment, allow_bare_scan=True
+                )
+                if prepared is None:
+                    return None
+                scan_batch, bounds = prepared
+                keep = plan.offset + plan.limit
+                partials = self._run_morsels(
+                    plan, segment, scan_batch, bounds,
+                    sink=lambda batch: par.topk_partial(
+                        sort.keys, keep, batch
+                    ),
+                )
+                return par.merge_topk(
+                    sort.keys, plan.limit, plan.offset, partials
+                )
+            segment = par.find_segment(plan.child)
+            prepared = self._prepare_morsels(segment)
+            if prepared is None:
+                return None
+            scan_batch, bounds = prepared
+            # Each morsel needs at most offset+limit of its own rows: the
+            # serial result is a prefix of the morsel-order concatenation.
+            stop = None if plan.limit is None else plan.offset + plan.limit
+            outputs = self._run_morsels(
+                plan, segment, scan_batch, bounds,
+                sink=(
+                    None
+                    if stop is None
+                    else lambda batch: batch.slice(0, stop)
+                ),
+            )
+            merged = par.concat_batches(outputs)
+            end = merged.num_rows if plan.limit is None else stop
+            return merged.slice(plan.offset, end)
+
+        if isinstance(plan, (FilterNode, ProjectNode, PredictNode)):
+            segment = par.find_segment(plan)
+            prepared = self._prepare_morsels(segment)
+            if prepared is None:
+                return None
+            scan_batch, bounds = prepared
+            outputs = self._run_morsels(plan, segment, scan_batch, bounds)
+            return par.concat_batches(outputs)
+        return None
+
+    def _prepare_morsels(
+        self,
+        segment: par.PipelineSegment | None,
+        allow_bare_scan: bool = False,
+    ) -> tuple[Batch, list[tuple[int, int]]] | None:
+        """Pin the snapshot and split it, or None when serial is better.
+
+        ``context.table_batch`` runs here, in the driver thread, exactly
+        once per scan: workers share the returned immutable batch, so every
+        morsel sees the same MVCC snapshot. A bare scan only parallelizes
+        when a sink (aggregation, top-k) supplies the per-morsel work; a
+        plain pipeline over it would be pure concatenation overhead.
+        """
+        from flock.db.optimizer.cost import choose_morsel_rows
+
+        if segment is None or (not segment.stages and not allow_bare_scan):
+            return None
+        config = self.parallel
+        assert config is not None and self.pool is not None
+        start_ns = time.perf_counter_ns()
+        base = self.context.table_batch(segment.scan.table_name)
+        scan_batch = Batch(
+            [f.name for f in segment.scan.fields],
+            [base.columns[i] for i in segment.scan.column_indexes],
+        )
+        morsel_rows = choose_morsel_rows(
+            scan_batch.num_rows,
+            has_predict=segment.has_predict,
+            workers=self.pool.workers,
+            morsel_rows=config.morsel_rows,
+            min_parallel_rows=config.min_parallel_rows,
+        )
+        if morsel_rows <= 0:
+            return None
+        bounds = par.morsel_bounds(scan_batch.num_rows, morsel_rows)
+        if len(bounds) < 2:
+            return None
+        if self.collect_stats:
+            scan_stats = self.node_stats.setdefault(
+                id(segment.scan), NodeStats()
+            )
+            scan_stats.calls += 1
+            scan_stats.rows_out += scan_batch.num_rows
+            scan_stats.wall_ns += time.perf_counter_ns() - start_ns
+        return scan_batch, bounds
+
+    def _run_morsels(
+        self,
+        plan: PlanNode,
+        segment: par.PipelineSegment,
+        scan_batch: Batch,
+        bounds: list[tuple[int, int]],
+        sink=None,
+    ) -> list:
+        """Fan morsels out on the pool; results come back in morsel order.
+
+        ``sink`` (partial-state builder or pruner) runs inside the worker,
+        so group gathering and local top-k sorts are parallel too. Per-task
+        ``contextvars`` copies keep each morsel's trace span nested under
+        the current operator span.
+        """
+        assert self.pool is not None
+        stages = segment.stages
+
+        def run_one(index: int, start: int, stop: int):
+            faultpoints.reach("parallel.pre_morsel")
+            with get_tracer().span(
+                "exec.morsel", {"index": index, "rows": stop - start}
+            ):
+                batch = scan_batch.slice(start, stop)
+                stage_stats = []
+                for stage in stages:
+                    stage_start = time.perf_counter_ns()
+                    batch = self._apply_stage(stage, batch)
+                    stage_stats.append(
+                        (
+                            id(stage),
+                            batch.num_rows,
+                            time.perf_counter_ns() - stage_start,
+                        )
+                    )
+                result = batch if sink is None else sink(batch)
+            faultpoints.reach("parallel.post_morsel")
+            return result, stage_stats
+
+        tasks = []
+        for index, (start, stop) in enumerate(bounds):
+            task_context = contextvars.copy_context()
+            tasks.append(
+                lambda ctx=task_context, i=index, lo=start, hi=stop: ctx.run(
+                    run_one, i, lo, hi
+                )
+            )
+        outcomes = self.pool.run_ordered(tasks)
+
+        registry = metrics()
+        registry.counter("parallel.fragments").inc()
+        registry.counter("parallel.morsels").inc(len(bounds))
+        registry.histogram("parallel.morsels_per_fragment").observe(
+            len(bounds)
+        )
+        if self.collect_stats:
+            plan_stats = self.node_stats.setdefault(id(plan), NodeStats())
+            plan_stats.extras["workers"] = self.pool.workers
+            plan_stats.extras["morsels"] = len(bounds)
+            for _, stage_stats in outcomes:
+                for node_id, rows_out, wall_ns in stage_stats:
+                    entry = self.node_stats.setdefault(node_id, NodeStats())
+                    entry.calls += 1
+                    entry.rows_out += rows_out
+                    entry.wall_ns += wall_ns
+        return [result for result, _ in outcomes]
 
     # -- joins -----------------------------------------------------------
     def _join(self, node: JoinNode) -> Batch:

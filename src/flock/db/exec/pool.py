@@ -1,0 +1,108 @@
+"""The shared morsel worker pool.
+
+One :class:`WorkerPool` per :class:`~flock.db.engine.Database` runs every
+parallel pipeline fragment in the engine — ad-hoc queries, prepared plans
+and the serving layer all share it, so total thread count is bounded by the
+``flock.workers`` setting rather than by concurrent statement count.
+
+Pool threads are tagged so the executor can refuse *nested* parallelism: a
+morsel task that somehow reaches the parallel driver again (e.g. through a
+scorer that issues a query) falls back to serial execution instead of
+deadlocking the pool against itself.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, TypeVar
+
+from flock.observability import metrics
+
+T = TypeVar("T")
+
+_IN_WORKER = threading.local()
+
+
+def in_worker_thread() -> bool:
+    """True when the calling thread is a morsel worker of *any* pool."""
+    return getattr(_IN_WORKER, "flag", False)
+
+
+def _mark_worker() -> None:
+    _IN_WORKER.flag = True
+
+
+class WorkerPool:
+    """A fixed-size thread pool with ordered fan-out/fan-in semantics.
+
+    ``run_ordered`` is the only submission primitive the executor needs:
+    results come back in task order (the basis of deterministic merges) and
+    the first failure — by task index, not by wall-clock — is re-raised, so
+    parallel error surfacing matches what serial execution would raise.
+    """
+
+    def __init__(self, workers: int, name: str = "flock-exec"):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.workers = workers
+        self._executor = ThreadPoolExecutor(
+            max_workers=workers,
+            thread_name_prefix=name,
+            initializer=_mark_worker,
+        )
+        self._busy = 0
+        self._busy_lock = threading.Lock()
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    def run_ordered(self, tasks: list[Callable[[], T]]) -> list[T]:
+        """Run *tasks* on the pool; return their results in task order.
+
+        If any task raises, the exception of the **lowest-index** failing
+        task is re-raised after all tasks have settled (a later morsel must
+        not mask the error serial execution would have hit first).
+        """
+        futures = [self._executor.submit(self._run_one, fn) for fn in tasks]
+        results: list[T] = []
+        first_error: tuple[int, BaseException] | None = None
+        for index, future in enumerate(futures):
+            try:
+                results.append(future.result())
+            except BaseException as exc:  # noqa: BLE001 - re-raised below
+                results.append(None)  # type: ignore[arg-type]
+                if first_error is None or index < first_error[0]:
+                    first_error = (index, exc)
+        if first_error is not None:
+            raise first_error[1]
+        return results
+
+    def _run_one(self, fn: Callable[[], T]) -> T:
+        with self._busy_lock:
+            self._busy += 1
+            busy = self._busy
+        gauge = metrics().gauge("parallel.pool_busy")
+        gauge.set(busy)
+        try:
+            return fn()
+        finally:
+            with self._busy_lock:
+                self._busy -= 1
+                busy = self._busy
+            gauge.set(busy)
+
+    # ------------------------------------------------------------------
+    @property
+    def busy(self) -> int:
+        """Tasks currently executing (for stats surfaces)."""
+        with self._busy_lock:
+            return self._busy
+
+    def shutdown(self) -> None:
+        """Stop accepting work; running morsels finish first."""
+        if not self._closed:
+            self._closed = True
+            self._executor.shutdown(wait=False)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"WorkerPool(workers={self.workers}, busy={self.busy})"

@@ -498,4 +498,17 @@ class Revoke(Statement):
     principal: str
 
 
+@dataclass
+class SetOption(Statement):
+    """``SET <dotted.name> = <int>`` — an engine-wide setting change.
+
+    The only settings today drive morsel-parallel execution
+    (``flock.workers``, ``flock.morsel_rows``, ``flock.parallel_min_rows``),
+    so values are plain integers rather than general expressions.
+    """
+
+    name: str
+    value: int
+
+
 SelectLike = Union[Select]

@@ -131,6 +131,8 @@ class Parser:
             return self._grant_or_revoke(is_grant=True)
         if self._check_keyword("REVOKE"):
             return self._grant_or_revoke(is_grant=False)
+        if self._check_keyword("SET"):
+            return self._set_option()
         raise ParseError(
             f"unexpected statement start {self.current.value!r}", self.current
         )
@@ -328,6 +330,28 @@ class Parser:
         column = self._expect_identifier()
         self._expect(TokenType.OPERATOR, "=")
         return column, self._expr()
+
+    def _set_option(self) -> ast.SetOption:
+        """``SET flock.workers = 4`` — engine settings, integers only.
+
+        A bare ``SET`` can only open this statement: ``UPDATE ... SET``
+        consumes its SET inside :meth:`_update`.
+        """
+        self._expect(TokenType.KEYWORD, "SET")
+        parts = [self._expect_identifier()]
+        while self._accept(TokenType.PUNCT, "."):
+            parts.append(self._expect_identifier())
+        self._expect(TokenType.OPERATOR, "=")
+        negative = bool(self._accept(TokenType.OPERATOR, "-"))
+        token = self._expect(TokenType.NUMBER)
+        try:
+            value = int(token.value)
+        except ValueError:
+            raise ParseError(
+                f"SET expects an integer value, found {token.value!r}",
+                token,
+            ) from None
+        return ast.SetOption(".".join(parts), -value if negative else value)
 
     def _delete(self) -> ast.Delete:
         self._expect(TokenType.KEYWORD, "DELETE")

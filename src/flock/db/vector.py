@@ -215,6 +215,47 @@ class Batch:
             [a.concat(b) for a, b in zip(self.columns, other.columns)],
         )
 
+    def morsels(self, morsel_rows: int) -> Iterator["Batch"]:
+        """Iterate zero-copy slices of at most *morsel_rows* rows, in order.
+
+        The unit of the morsel-driven parallel executor: each slice shares
+        the underlying numpy buffers, so splitting a snapshot across worker
+        threads costs O(columns) per morsel, not O(rows).
+        """
+        if morsel_rows < 1:
+            raise ExecutionError("morsel_rows must be >= 1")
+        for start in range(0, self.num_rows, morsel_rows):
+            yield self.slice(start, min(start + morsel_rows, self.num_rows))
+
+    @staticmethod
+    def concat_all(batches: Sequence["Batch"]) -> "Batch":
+        """Concatenate *batches* in order with one allocation per column.
+
+        Equivalent to repeated :meth:`concat` (bitwise — concatenation only
+        moves values) but linear instead of quadratic in total rows, which
+        is what the parallel merge path needs.
+        """
+        if not batches:
+            raise ExecutionError("concat_all needs at least one batch")
+        first = batches[0]
+        if len(batches) == 1:
+            return first
+        for other in batches[1:]:
+            if other.names != first.names:
+                raise ExecutionError(
+                    "cannot concat batches with different schemas"
+                )
+        columns = []
+        for i, column in enumerate(first.columns):
+            columns.append(
+                ColumnVector(
+                    column.dtype,
+                    np.concatenate([b.columns[i].values for b in batches]),
+                    np.concatenate([b.columns[i].nulls for b in batches]),
+                )
+            )
+        return Batch(first.names, columns)
+
     def rows(self) -> Iterator[tuple]:
         """Iterate user-facing Python row tuples (slow path, for results)."""
         pylists = [c.to_pylist() for c in self.columns]

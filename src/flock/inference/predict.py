@@ -9,6 +9,7 @@ prepared artifact (pruned inputs, compressed graph) attached to the node.
 from __future__ import annotations
 
 import re
+import threading
 import time
 from dataclasses import dataclass, field
 
@@ -50,6 +51,10 @@ class DefaultScorer:
     def __init__(self, monitor_hub=None) -> None:
         self.runtime = GraphRuntime()
         self.monitor_hub = monitor_hub
+        # Concurrent morsels (and concurrent serving statements) score
+        # through one shared scorer; monitor hubs keep windowed state that
+        # is not guaranteed re-entrant, so reports are serialized.
+        self._monitor_lock = threading.Lock()
 
     def score(
         self, node: PredictNode, inputs: Batch, store
@@ -109,9 +114,10 @@ class DefaultScorer:
                 "probability", tensor_by_field.get("score")
             )
             try:
-                self.monitor_hub.on_score(
-                    node.model_name, feeds, outputs, score_tensor
-                )
+                with self._monitor_lock:
+                    self.monitor_hub.on_score(
+                        node.model_name, feeds, outputs, score_tensor
+                    )
             except Exception:
                 # Observability must never break scoring: a broken monitor
                 # loses telemetry, not queries.

@@ -13,8 +13,19 @@ def linear(attrs: dict, inputs: list[np.ndarray]) -> list[np.ndarray]:
 
     ``weights`` is ``(d,)`` (vector output) or ``(d, k)``; ``bias`` is a
     scalar or ``(k,)``.
+
+    Computed with einsum rather than ``@``: BLAS picks different kernels
+    (and therefore different float summation orders) by matrix shape, so
+    ``(X @ W)[i]`` need not bit-match ``X[i:j] @ W``. einsum reduces each
+    row with one fixed-order loop, making scoring invariant under row
+    slicing — the property the morsel-parallel executor relies on for
+    bit-identical parallel PREDICT results. It also releases the GIL, so
+    concurrent morsels overlap.
     """
     (matrix,) = inputs
     weights = np.asarray(attrs["weights"], dtype=np.float64)
     bias = np.asarray(attrs["bias"], dtype=np.float64)
-    return [np.asarray(matrix, dtype=np.float64) @ weights + bias]
+    matrix = np.asarray(matrix, dtype=np.float64)
+    if weights.ndim == 1:
+        return [np.einsum("nk,k->n", matrix, weights) + bias]
+    return [np.einsum("nk,km->nm", matrix, weights) + bias]

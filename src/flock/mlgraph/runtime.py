@@ -54,6 +54,31 @@ class GraphRuntime:
     def __init__(self) -> None:
         self.stats = RuntimeStats()
         self._stats_lock = threading.Lock()
+        # Topological order per graph object: morsel-parallel PREDICT runs
+        # the same graph once per morsel, and re-deriving the topo order on
+        # every run would be pure per-morsel overhead. Keyed by id() with a
+        # weakref guard against id reuse after collection.
+        self._topo_cache: dict[int, tuple[object, list]] = {}
+        self._topo_lock = threading.Lock()
+
+    def _toposorted(self, graph: Graph) -> list:
+        import weakref
+
+        key = id(graph)
+        with self._topo_lock:
+            entry = self._topo_cache.get(key)
+            if entry is not None and entry[0]() is graph:
+                return entry[1]
+        topo = list(graph.toposorted())
+        try:
+            ref = weakref.ref(graph)
+        except TypeError:  # graph type without weakref support
+            return topo
+        with self._topo_lock:
+            if len(self._topo_cache) > 256:  # bound a long-lived runtime
+                self._topo_cache.clear()
+            self._topo_cache[key] = (ref, topo)
+        return topo
 
     def run(
         self,
@@ -108,7 +133,7 @@ class GraphRuntime:
         tensors: dict[str, np.ndarray] = {
             name: np.asarray(feeds[name]) for name in graph.input_names
         }
-        for node in graph.toposorted():
+        for node in self._toposorted(graph):
             impl = lookup(node.op_type)
             inputs = [tensors[name] for name in node.inputs]
             outputs = impl(node.attrs, inputs)

@@ -16,6 +16,12 @@ process::
 
 arms ``wal.pre_fsync`` to crash on its 3rd hit and ``checkpoint.mid_write``
 to raise on its 1st.
+
+A third action, ``sleep``, delays instead of failing — the tool concurrency
+stress tests use it to stretch race windows (e.g. holding a parallel query
+inside its morsel fan-out while writers commit). The optional third field of
+the env form is the delay in milliseconds:
+``parallel.pre_morsel=sleep:1:5`` sleeps 5 ms from the 1st hit onward.
 """
 
 from __future__ import annotations
@@ -40,6 +46,8 @@ KNOWN_POINTS = (
     "checkpoint.mid_write",
     "checkpoint.pre_swap",
     "checkpoint.post_swap",
+    "parallel.pre_morsel",
+    "parallel.post_morsel",
 )
 
 _ENV_VAR = "FLOCK_FAULTPOINTS"
@@ -47,9 +55,10 @@ _ENV_VAR = "FLOCK_FAULTPOINTS"
 
 @dataclass
 class _Fault:
-    action: str  # "error" | "crash"
+    action: str  # "error" | "crash" | "sleep"
     after: int  # fire on the Nth hit (1 = first)
     hits: int = 0
+    delay_ms: float = 1.0  # "sleep" only
 
 
 _lock = threading.Lock()
@@ -64,11 +73,16 @@ def _parse_env(spec: str) -> dict[str, _Fault]:
         if not part:
             continue
         name, _, rhs = part.partition("=")
-        action, _, after = rhs.partition(":")
+        action, _, rest = rhs.partition(":")
+        after, _, delay = rest.partition(":")
         action = action or "error"
-        if action not in ("error", "crash"):
+        if action not in ("error", "crash", "sleep"):
             raise ValueError(f"unknown fault action {action!r} in {part!r}")
-        faults[name.strip()] = _Fault(action=action, after=int(after or 1))
+        faults[name.strip()] = _Fault(
+            action=action,
+            after=int(after or 1),
+            delay_ms=float(delay or 1.0),
+        )
     return faults
 
 
@@ -82,15 +96,20 @@ def _ensure_env_loaded() -> None:
         _faults.update(_parse_env(spec))
 
 
-def set_fault(name: str, action: str = "error", after: int = 1) -> None:
-    """Arm *name* to fire (raise or crash) on its *after*-th hit."""
-    if action not in ("error", "crash"):
+def set_fault(
+    name: str,
+    action: str = "error",
+    after: int = 1,
+    delay_ms: float = 1.0,
+) -> None:
+    """Arm *name* to fire (raise, crash or sleep) from its *after*-th hit."""
+    if action not in ("error", "crash", "sleep"):
         raise ValueError(f"unknown fault action {action!r}")
     if after < 1:
         raise ValueError("after must be >= 1")
     with _lock:
         _ensure_env_loaded()
-        _faults[name] = _Fault(action=action, after=after)
+        _faults[name] = _Fault(action=action, after=after, delay_ms=delay_ms)
 
 
 def clear(name: str | None = None) -> None:
@@ -133,9 +152,17 @@ def reach(name: str) -> None:
         if fault.hits < fault.after:
             return
         action = fault.action
+        delay_ms = fault.delay_ms
     if action == "crash":
         # os._exit skips atexit handlers, finally blocks and buffered-file
         # flushes — the process dies as abruptly as under SIGKILL, which is
         # exactly what crash-recovery tests must simulate.
         os._exit(CRASH_EXIT_CODE)
+    if action == "sleep":
+        # Outside the lock: a delay must widen *caller* race windows, not
+        # serialize every other faultpoint check behind it.
+        import time
+
+        time.sleep(delay_ms / 1000.0)
+        return
     raise FaultInjected(name)

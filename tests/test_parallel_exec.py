@@ -1,0 +1,447 @@
+"""Morsel-driven parallel execution: determinism, merging and plumbing.
+
+Three layers of coverage:
+
+- property tests (hypothesis) — random tables with arbitrary shapes, NULL
+  ratios and int/float/bool/text mixes are run through a serial engine, a
+  morsel-parallel twin with tiny forced morsels, and a numpy reference;
+  results must be *bit-identical* between serial and parallel (repr-level:
+  row order, -0.0 vs 0.0, exact mantissas), and numerically correct vs
+  numpy;
+- unit tests of the mergeable-state machinery — morsel bounds, column and
+  batch concatenation, the worker pool's ordering and error contracts, the
+  cost model's serial-vs-parallel decision;
+- engine plumbing — ``SET flock.workers``, environment configuration,
+  EXPLAIN ANALYZE parallelism annotations, the nested-parallelism guard.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from flock.db import Database
+from flock.db.exec.parallel import (
+    ParallelConfig,
+    concat_columns,
+    morsel_bounds,
+)
+from flock.db.exec.pool import WorkerPool, in_worker_thread
+from flock.db.optimizer.cost import (
+    DEFAULT_MORSEL_ROWS,
+    choose_morsel_rows,
+)
+from flock.db.types import DataType
+from flock.db.vector import Batch, ColumnVector
+from flock.errors import BindError, ExecutionError
+
+
+# ----------------------------------------------------------------------
+# Twin-engine helpers
+# ----------------------------------------------------------------------
+def _twin(morsel_rows: int = 3):
+    serial = Database(workers=1)
+    parallel = Database(
+        workers=4, morsel_rows=morsel_rows, min_parallel_rows=1
+    )
+    return serial, parallel
+
+
+def _load(db, rows):
+    db.execute("CREATE TABLE t (i INT, f FLOAT, b BOOLEAN, s TEXT)")
+    if not rows:
+        return
+    values = ", ".join(
+        "({}, {}, {}, {})".format(
+            "NULL" if i is None else i,
+            "NULL" if f is None else repr(f),
+            "NULL" if b is None else ("TRUE" if b else "FALSE"),
+            "NULL" if s is None else f"'{s}'",
+        )
+        for i, f, b, s in rows
+    )
+    db.execute(f"INSERT INTO t VALUES {values}")
+
+
+def _rows(db, sql):
+    return repr(db.execute(sql).rows())
+
+
+row_strategy = st.tuples(
+    st.one_of(st.none(), st.integers(-100, 100)),
+    st.one_of(
+        st.none(),
+        st.floats(-1e6, 1e6, allow_nan=False).map(lambda x: round(x, 6)),
+    ),
+    st.one_of(st.none(), st.booleans()),
+    st.one_of(st.none(), st.sampled_from(["a", "b", "c"])),
+)
+
+# Shapes deliberately include empty (0 rows), single-row, and sizes around
+# morsel boundaries (morsel_rows=3 → 2/3/4-row tables hit the "fewer rows
+# than one morsel", "exactly one morsel" and "ragged tail" cases).
+table_strategy = st.lists(row_strategy, min_size=0, max_size=40)
+
+
+@settings(deadline=None, max_examples=40)
+@given(table_strategy)
+def test_aggregates_bit_identical_and_match_numpy(rows):
+    serial, parallel = _twin()
+    try:
+        for db in (serial, parallel):
+            _load(db, rows)
+        sql = (
+            "SELECT COUNT(*), COUNT(i), COUNT(DISTINCT i), SUM(i), "
+            "SUM(f), AVG(f), MIN(f), MAX(f), STDDEV(f), MIN(s), MAX(s) "
+            "FROM t"
+        )
+        assert _rows(serial, sql) == _rows(parallel, sql)
+
+        got = serial.execute(sql).rows()[0]
+        ints = [i for i, _, _, _ in rows if i is not None]
+        floats = [f for _, f, _, _ in rows if f is not None]
+        texts = [s for _, _, _, s in rows if s is not None]
+        assert got[0] == len(rows)
+        assert got[1] == len(ints)
+        assert got[2] == len(set(ints))
+        assert got[3] == (sum(ints) if ints else None)
+        if floats:
+            assert math.isclose(
+                got[4], float(np.sum(floats)), rel_tol=1e-9, abs_tol=1e-9
+            )
+            assert math.isclose(
+                got[5], float(np.mean(floats)), rel_tol=1e-9, abs_tol=1e-9
+            )
+            assert got[6] == min(floats)
+            assert got[7] == max(floats)
+        else:
+            assert got[4] is None and got[5] is None
+            assert got[6] is None and got[7] is None
+        assert got[9] == (min(texts) if texts else None)
+        assert got[10] == (max(texts) if texts else None)
+    finally:
+        serial.close()
+        parallel.close()
+
+
+@settings(deadline=None, max_examples=40)
+@given(table_strategy)
+def test_grouped_aggregates_bit_identical(rows):
+    serial, parallel = _twin()
+    try:
+        for db in (serial, parallel):
+            _load(db, rows)
+        # Group order is first-appearance order: identical output order is
+        # part of the contract, so no ORDER BY here on purpose.
+        for sql in (
+            "SELECT s, COUNT(*), SUM(f), AVG(i), COUNT(DISTINCT i) "
+            "FROM t GROUP BY s",
+            "SELECT b, s, STDDEV(f), MIN(i), MAX(f) FROM t GROUP BY b, s",
+            "SELECT i, COUNT(*) FROM t GROUP BY i HAVING COUNT(*) > 1",
+        ):
+            assert _rows(serial, sql) == _rows(parallel, sql), sql
+    finally:
+        serial.close()
+        parallel.close()
+
+
+@settings(deadline=None, max_examples=40)
+@given(table_strategy, st.integers(1, 10), st.integers(0, 4))
+def test_topk_and_pipelines_bit_identical(rows, limit, offset):
+    serial, parallel = _twin()
+    try:
+        for db in (serial, parallel):
+            _load(db, rows)
+        for sql in (
+            f"SELECT i, f, s FROM t ORDER BY f DESC, i "
+            f"LIMIT {limit} OFFSET {offset}",
+            f"SELECT i, s FROM t ORDER BY s, f LIMIT {limit}",
+            f"SELECT i, f FROM t LIMIT {limit} OFFSET {offset}",
+            "SELECT i * 2 + 1, f FROM t WHERE i > 0",
+            "SELECT DISTINCT s FROM t",
+            "SELECT i, f FROM t ORDER BY i, f, s",
+        ):
+            assert _rows(serial, sql) == _rows(parallel, sql), sql
+    finally:
+        serial.close()
+        parallel.close()
+
+
+@settings(deadline=None, max_examples=20)
+@given(st.lists(st.integers(-5, 5), min_size=1, max_size=30))
+def test_error_surfacing_bit_identical(values):
+    """Division by zero raises the same error, parallel or not — the
+    lowest-index-morsel rule makes the parallel engine surface exactly the
+    failure serial execution would hit first."""
+    serial, parallel = _twin(morsel_rows=2)
+    try:
+        for db in (serial, parallel):
+            db.execute("CREATE TABLE z (v INT)")
+            db.execute(
+                "INSERT INTO z VALUES "
+                + ", ".join(f"({v})" for v in values)
+            )
+        outcomes = []
+        for db in (serial, parallel):
+            try:
+                outcomes.append(("ok", repr(db.execute(
+                    "SELECT 10 / v FROM z"
+                ).rows())))
+            except ExecutionError as exc:
+                outcomes.append(("err", str(exc)))
+        assert outcomes[0] == outcomes[1]
+        if any(v == 0 for v in values):
+            assert outcomes[0][0] == "err"
+    finally:
+        serial.close()
+        parallel.close()
+
+
+# ----------------------------------------------------------------------
+# Mergeable-state machinery
+# ----------------------------------------------------------------------
+class TestMorselBounds:
+    def test_partitions_exactly(self):
+        assert morsel_bounds(10, 3) == [(0, 3), (3, 6), (6, 9), (9, 10)]
+        assert morsel_bounds(9, 3) == [(0, 3), (3, 6), (6, 9)]
+        assert morsel_bounds(2, 3) == [(0, 2)]
+        assert morsel_bounds(0, 3) == []
+
+    def test_bounds_cover_every_row_once(self):
+        for n in range(0, 50):
+            for m in range(1, 9):
+                bounds = morsel_bounds(n, m)
+                covered = [i for lo, hi in bounds for i in range(lo, hi)]
+                assert covered == list(range(n)), (n, m)
+
+
+class TestConcat:
+    def test_concat_columns_matches_pairwise(self):
+        rng = np.random.default_rng(0)
+        chunks = []
+        for size in (0, 3, 1, 7, 0, 4):
+            values = rng.normal(size=size)
+            nulls = rng.random(size) < 0.3
+            chunks.append(ColumnVector(DataType.FLOAT, values, nulls))
+        merged = concat_columns(DataType.FLOAT, chunks)
+        reference = chunks[0]
+        for chunk in chunks[1:]:
+            reference = reference.concat(chunk)
+        assert np.array_equal(merged.values, reference.values)
+        assert np.array_equal(merged.nulls, reference.nulls)
+
+    def test_concat_columns_empty(self):
+        merged = concat_columns(DataType.INTEGER, [])
+        assert len(merged) == 0 and merged.dtype is DataType.INTEGER
+
+    def test_batch_concat_all_matches_pairwise(self):
+        def batch(lo, hi):
+            return Batch(
+                ["x"],
+                [ColumnVector.from_values(
+                    DataType.INTEGER, list(range(lo, hi))
+                )],
+            )
+
+        pieces = [batch(0, 3), batch(3, 3), batch(3, 8), batch(8, 9)]
+        merged = Batch.concat_all(pieces)
+        assert list(merged.columns[0].values) == list(range(9))
+
+    def test_morsels_are_zero_copy_views(self):
+        batch = Batch(
+            ["x"],
+            [ColumnVector.from_values(DataType.INTEGER, list(range(10)))],
+        )
+        morsels = list(batch.morsels(4))
+        assert [m.num_rows for m in morsels] == [4, 4, 2]
+        assert morsels[1].columns[0].values.base is not None
+
+
+class TestWorkerPool:
+    def test_results_in_submission_order(self):
+        import time
+
+        pool = WorkerPool(4)
+        try:
+            def make(i):
+                def task():
+                    time.sleep(0.01 * ((7 - i) % 4))  # finish out of order
+                    return i
+                return task
+
+            assert pool.run_ordered([make(i) for i in range(8)]) == list(
+                range(8)
+            )
+        finally:
+            pool.shutdown()
+
+    def test_lowest_index_error_wins(self):
+        pool = WorkerPool(4)
+        try:
+            def ok():
+                return 1
+
+            def boom(tag):
+                def task():
+                    raise ValueError(tag)
+                return task
+
+            with pytest.raises(ValueError, match="first"):
+                pool.run_ordered([ok, boom("first"), ok, boom("second")])
+        finally:
+            pool.shutdown()
+
+    def test_workers_are_marked(self):
+        pool = WorkerPool(2)
+        try:
+            assert not in_worker_thread()
+            assert pool.run_ordered(
+                [lambda: in_worker_thread()] * 4
+            ) == [True] * 4
+        finally:
+            pool.shutdown()
+
+
+class TestCostModel:
+    def test_serial_for_small_or_single_worker(self):
+        assert choose_morsel_rows(10**6, has_predict=False, workers=1) == 0
+        assert choose_morsel_rows(100, has_predict=False, workers=4) == 0
+        assert choose_morsel_rows(0, has_predict=False, workers=4) == 0
+
+    def test_parallel_above_threshold(self):
+        rows = 10**6
+        chosen = choose_morsel_rows(rows, has_predict=False, workers=4)
+        assert chosen == DEFAULT_MORSEL_ROWS
+        assert len(morsel_bounds(rows, chosen)) >= 2
+
+    def test_predict_lowers_threshold(self):
+        rows = 4096
+        assert choose_morsel_rows(rows, has_predict=False, workers=4) == 0
+        assert choose_morsel_rows(rows, has_predict=True, workers=4) > 0
+
+    def test_explicit_floor_and_morsel_size_win(self):
+        chosen = choose_morsel_rows(
+            40, has_predict=False, workers=4,
+            morsel_rows=7, min_parallel_rows=1,
+        )
+        assert 0 < chosen <= 7
+
+    def test_never_a_single_morsel(self):
+        for rows in range(1, 400):
+            chosen = choose_morsel_rows(
+                rows, has_predict=False, workers=4,
+                morsel_rows=300, min_parallel_rows=1,
+            )
+            if chosen:
+                assert len(morsel_bounds(rows, chosen)) >= 2, rows
+
+
+# ----------------------------------------------------------------------
+# Engine plumbing
+# ----------------------------------------------------------------------
+class TestEngineConfiguration:
+    def test_env_configuration(self, monkeypatch):
+        monkeypatch.setenv("FLOCK_WORKERS", "3")
+        monkeypatch.setenv("FLOCK_MORSEL_ROWS", "512")
+        monkeypatch.setenv("FLOCK_PARALLEL_MIN_ROWS", "64")
+        config = ParallelConfig.from_env()
+        assert config.workers == 3
+        assert config.morsel_rows == 512
+        assert config.min_parallel_rows == 64
+
+    def test_explicit_args_beat_env(self, monkeypatch):
+        monkeypatch.setenv("FLOCK_WORKERS", "3")
+        assert ParallelConfig.from_env(workers=2).workers == 2
+
+    def test_set_workers_statement(self):
+        db = Database(workers=1)  # explicit: FLOCK_WORKERS may be set in CI
+        try:
+            assert db.workers == 1
+            result = db.execute("SET flock.workers = 4")
+            assert result.detail == "flock.workers = 4"
+            assert db.workers == 4
+            db.execute("SET flock.morsel_rows = 128")
+            db.execute("SET flock.parallel_min_rows = 0")
+            assert db.parallel.morsel_rows == 128
+            assert db.parallel.min_parallel_rows == 0
+        finally:
+            db.close()
+
+    def test_set_rejects_bad_values(self):
+        db = Database()
+        try:
+            with pytest.raises(BindError):
+                db.execute("SET flock.workers = 0")
+            with pytest.raises(BindError):
+                db.execute("SET flock.unknown_thing = 1")
+        finally:
+            db.close()
+
+    def test_set_requires_admin(self):
+        db = Database()
+        try:
+            db.execute("CREATE USER bob")
+            from flock.errors import SecurityError
+
+            with pytest.raises(SecurityError):
+                db.execute("SET flock.workers = 2", user="bob")
+        finally:
+            db.close()
+
+    def test_explain_analyze_reports_parallelism(self):
+        db = Database(workers=4, morsel_rows=5, min_parallel_rows=1)
+        try:
+            db.execute("CREATE TABLE t (v INT)")
+            db.execute(
+                "INSERT INTO t VALUES "
+                + ", ".join(f"({i})" for i in range(40))
+            )
+            result = db.execute(
+                "EXPLAIN ANALYZE SELECT SUM(v) FROM t"
+            )
+            text = "\n".join(r[0] for r in result.rows())
+            assert "workers=4" in text
+            assert "morsels=8" in text
+        finally:
+            db.close()
+
+    def test_parallel_metrics_recorded(self):
+        from flock.observability import metrics
+
+        db = Database(workers=4, morsel_rows=5, min_parallel_rows=1)
+        try:
+            db.execute("CREATE TABLE t (v INT)")
+            db.execute(
+                "INSERT INTO t VALUES "
+                + ", ".join(f"({i})" for i in range(40))
+            )
+            before = metrics().counter("parallel.fragments").value
+            db.execute("SELECT SUM(v) FROM t")
+            after = metrics().counter("parallel.fragments").value
+            assert after > before
+        finally:
+            db.close()
+
+    def test_no_nested_parallelism(self):
+        """A query running inside a pool worker must not fan out again."""
+        db = Database(workers=4, morsel_rows=5, min_parallel_rows=1)
+        try:
+            db.execute("CREATE TABLE t (v INT)")
+            db.execute(
+                "INSERT INTO t VALUES "
+                + ", ".join(f"({i})" for i in range(40))
+            )
+            pool = db._acquire_pool()
+
+            def inner():
+                result = db.execute("EXPLAIN ANALYZE SELECT SUM(v) FROM t")
+                return "\n".join(r[0] for r in result.rows())
+
+            (text,) = pool.run_ordered([inner])
+            assert "workers=" not in text
+        finally:
+            db.close()
