@@ -25,7 +25,7 @@ import time
 import numpy as np
 import pytest
 
-from benchmarks.conftest import FULL, write_report
+from benchmarks.conftest import FULL, write_json_report, write_report
 from flock.db import Database
 
 Q6_ROWS = 600_000 if FULL else 120_000
@@ -156,6 +156,7 @@ def scaling_report() -> dict:
                 f"{speedup:>9.2f}"
             )
     write_report("parallel_scaling", lines)
+    write_json_report("parallel_scaling", report)
     return report
 
 

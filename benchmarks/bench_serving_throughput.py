@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import pytest
 
-from benchmarks.conftest import FULL, write_report
+from benchmarks.conftest import FULL, write_json_report, write_report
 from flock.serving.bench import render_benchmark, run_serving_benchmark
 
 REQUESTS = 1_600 if FULL else 800
@@ -35,6 +35,7 @@ def serving_report() -> dict:
         batch_wait_ms=2.0,
     )
     write_report("serving_throughput", render_benchmark(report))
+    write_json_report("serving_throughput", report)
     return report
 
 

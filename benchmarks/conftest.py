@@ -4,16 +4,23 @@ Every benchmark regenerates one of the paper's tables/figures and writes the
 measured rows/series to ``benchmarks/results/<name>.txt`` so EXPERIMENTS.md
 can be checked against fresh runs. Set ``FLOCK_BENCH_FULL=1`` to include the
 paper's largest dataset sizes (slower).
+
+Benchmarks with machine-readable output additionally call
+:func:`write_json_report`, which writes ``benchmarks/results/<name>.json``
+and refreshes the committed ``BENCH_<name>.json`` artifact at the repo root
+so result history travels with the code.
 """
 
 from __future__ import annotations
 
+import json
 import os
 from pathlib import Path
 
 import pytest
 
 RESULTS_DIR = Path(__file__).parent / "results"
+REPO_ROOT = Path(__file__).parent.parent
 
 FULL = os.environ.get("FLOCK_BENCH_FULL", "0") == "1"
 
@@ -23,6 +30,18 @@ def write_report(name: str, lines: list[str]) -> None:
     RESULTS_DIR.mkdir(exist_ok=True)
     path = RESULTS_DIR / f"{name}.txt"
     path.write_text("\n".join(lines) + "\n")
+
+
+def write_json_report(name: str, payload: dict) -> None:
+    """Persist a benchmark's machine-readable results.
+
+    Writes ``benchmarks/results/<name>.json`` and the committed repo-root
+    artifact ``BENCH_<name>.json`` (same content).
+    """
+    data = json.dumps(payload, indent=2, sort_keys=True, default=str) + "\n"
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.json").write_text(data)
+    (REPO_ROOT / f"BENCH_{name}.json").write_text(data)
 
 
 @pytest.fixture(scope="session")

@@ -397,6 +397,10 @@ def bench_serve_main(argv: list[str]) -> int:
     parser.add_argument("--workers", type=int, default=8)
     parser.add_argument("--max-batch-size", type=int, default=32)
     parser.add_argument("--batch-wait-ms", type=float, default=2.0)
+    parser.add_argument(
+        "--json", action="store_true",
+        help="emit the benchmark report as machine-readable JSON",
+    )
     args = parser.parse_args(argv)
 
     report = run_serving_benchmark(
@@ -407,8 +411,13 @@ def bench_serve_main(argv: list[str]) -> int:
         max_batch_size=args.max_batch_size,
         batch_wait_ms=args.batch_wait_ms,
     )
-    for line in render_benchmark(report):
-        print(line)
+    if args.json:
+        import json
+
+        print(json.dumps(report, indent=2, sort_keys=True, default=str))
+    else:
+        for line in render_benchmark(report):
+            print(line)
     return 0
 
 

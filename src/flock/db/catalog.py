@@ -1,20 +1,25 @@
-"""The database catalog: named tables and their schemas."""
+"""The database catalog: named tables, views and secondary indexes."""
 
 from __future__ import annotations
 
 import threading
 
+from flock.db.index import IndexDef
 from flock.db.schema import TableSchema
 from flock.db.storage import Table
 from flock.errors import CatalogError
 
 
 class Catalog:
-    """Thread-safe registry of tables and views."""
+    """Thread-safe registry of tables, views and secondary indexes."""
 
     def __init__(self) -> None:
         self._tables: dict[str, Table] = {}
         self._views: dict[str, object] = {}  # name → view definition
+        # CREATE INDEX namespace (database-wide, like table names). The
+        # automatic primary-key indexes live on their Table only and are
+        # not registered here.
+        self._indexes: dict[str, IndexDef] = {}
         self._lock = threading.RLock()
 
     def create_table(
@@ -77,7 +82,60 @@ class Catalog:
                     return False
                 raise CatalogError(f"table {name!r} does not exist")
             del self._tables[key]
+            # Indexes follow their table's lifetime.
+            self._indexes = {
+                k: d for k, d in self._indexes.items() if d.table != key
+            }
             return True
+
+    # -- secondary indexes ---------------------------------------------
+    def create_index(
+        self,
+        name: str,
+        table_name: str,
+        column: str,
+        if_not_exists: bool = False,
+    ) -> IndexDef:
+        """Register and attach a hash index over ``table_name(column)``.
+
+        Validates the table and column exist (the Table raises CatalogError
+        for unknown columns) and that the name is free database-wide.
+        """
+        key = name.lower()
+        with self._lock:
+            table = self.table(table_name)
+            if key in self._indexes:
+                if if_not_exists:
+                    return self._indexes[key]
+                raise CatalogError(f"index {name!r} already exists")
+            defn = IndexDef(
+                name=key, table=table.name.lower(), column=column
+            )
+            table.create_index(defn)
+            self._indexes[key] = defn
+            return defn
+
+    def drop_index(self, name: str, if_exists: bool = False) -> bool:
+        key = name.lower()
+        with self._lock:
+            defn = self._indexes.get(key)
+            if defn is None:
+                if if_exists:
+                    return False
+                raise CatalogError(f"index {name!r} does not exist")
+            del self._indexes[key]
+            if defn.table in self._tables:
+                self._tables[defn.table].drop_index(key)
+            return True
+
+    def has_index(self, name: str) -> bool:
+        with self._lock:
+            return name.lower() in self._indexes
+
+    def index_defs(self) -> list[IndexDef]:
+        """Registered secondary-index definitions, sorted by name."""
+        with self._lock:
+            return [self._indexes[k] for k in sorted(self._indexes)]
 
     def table(self, name: str) -> Table:
         key = name.lower()

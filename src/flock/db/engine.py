@@ -11,6 +11,7 @@ the input to the *lazy* SQL provenance capture mode (§4.2).
 
 from __future__ import annotations
 
+import os
 import threading
 import time
 from collections import deque
@@ -129,6 +130,13 @@ class Database:
         )
         self._worker_pool: WorkerPool | None = None
         self._pool_lock = threading.Lock()
+        # Index-based access paths (hash indexes + zone maps). On by
+        # default; FLOCK_INDEXES=0 or `SET flock.indexes = 0` forces every
+        # query down the full-scan path — the live differential oracle the
+        # index-off CI job and the twin fuzzer rely on.
+        self._indexes_enabled = (
+            os.environ.get("FLOCK_INDEXES", "").strip() != "0"
+        )
 
     # ------------------------------------------------------------------
     # Durability (see flock.db.wal)
@@ -358,6 +366,19 @@ class Database:
 
     def table_stats(self, table_name: str):
         return self.catalog.table(table_name).stats()
+
+    def indexes_enabled(self) -> bool:
+        """Whether the optimizer may choose index/zone-map access paths."""
+        return self._indexes_enabled
+
+    def index_for(self, table_name: str, column_position: int) -> str | None:
+        """Name of a hash index over ``table_name[column_position]``, if any."""
+        try:
+            table = self.catalog.table(table_name)
+        except CatalogError:
+            return None
+        idx = table.index_on_column(column_position)
+        return None if idx is None else idx.defn.name
 
     # ------------------------------------------------------------------
     # Scoring hookup
@@ -675,6 +696,10 @@ class Database:
             return self._execute_create_view(statement, user)
         if isinstance(statement, ast.DropView):
             return self._execute_drop_view(statement, user)
+        if isinstance(statement, ast.CreateIndex):
+            return self._execute_create_index(statement, user)
+        if isinstance(statement, ast.DropIndex):
+            return self._execute_drop_index(statement, user)
         if isinstance(statement, ast.CreateUser):
             return self._execute_security(statement, user)
         if isinstance(statement, ast.CreateRole):
@@ -999,6 +1024,49 @@ class Database:
             self.bump_invalidation_epoch()
         return QueryResult("DROP_VIEW", affected_rows=int(dropped))
 
+    def _execute_create_index(
+        self, statement: ast.CreateIndex, user: str
+    ) -> QueryResult:
+        # Creating an index changes access paths for everyone reading the
+        # table, so it is gated on table ownership like DROP TABLE.
+        if user != "admin":
+            self.security.check(user, "ALL", statement.table)
+        self.catalog.create_index(
+            statement.name, statement.table, statement.column
+        )
+        self.audit.log.record(
+            user,
+            "CREATE_INDEX",
+            statement.name,
+            detail=f"{statement.table}({statement.column})",
+        )
+        self._log_ddl(
+            {
+                "kind": "create_index",
+                "name": statement.name,
+                "table": statement.table,
+                "column": statement.column,
+            }
+        )
+        self.bump_invalidation_epoch()
+        return QueryResult("CREATE_INDEX", detail=statement.name)
+
+    def _execute_drop_index(
+        self, statement: ast.DropIndex, user: str
+    ) -> QueryResult:
+        if user != "admin":
+            raise SecurityError("only admin may drop indexes")
+        dropped = self.catalog.drop_index(
+            statement.name, if_exists=statement.if_exists
+        )
+        self.audit.log.record(
+            user, "DROP_INDEX", statement.name, success=dropped
+        )
+        if dropped:
+            self._log_ddl({"kind": "drop_index", "name": statement.name})
+            self.bump_invalidation_epoch()
+        return QueryResult("DROP_INDEX", affected_rows=int(dropped))
+
     # -- engine settings ----------------------------------------------------
     def _execute_set_option(
         self, statement: ast.SetOption, user: str
@@ -1027,6 +1095,13 @@ class Database:
             if value < 0:
                 raise BindError("flock.parallel_min_rows must be >= 0")
             self.parallel.min_parallel_rows = value
+        elif name == "flock.indexes":
+            if value not in (0, 1):
+                raise BindError("flock.indexes must be 0 or 1")
+            self._indexes_enabled = bool(value)
+            # Cached serving plans may embed IndexLookup/zone-map access
+            # paths chosen under the old setting.
+            self.bump_invalidation_epoch()
         else:
             raise BindError(f"unknown setting {name!r}")
         self.audit.log.record(user, "SET", name, detail=str(value))
@@ -1112,6 +1187,8 @@ _SHARED_STATE_STATEMENTS = (
     ast.DropTable,
     ast.CreateView,
     ast.DropView,
+    ast.CreateIndex,
+    ast.DropIndex,
     ast.CreateUser,
     ast.CreateRole,
     ast.Grant,
@@ -1279,6 +1356,32 @@ class _EngineExecutionContext:
     def table_batch(self, table_name: str) -> Batch:
         version: TableVersion = self.txn.visible_version(table_name)
         return version.batch()
+
+    def table_version(self, table_name: str) -> TableVersion:
+        """The snapshot version zone-map pruning should run against."""
+        return self.txn.visible_version(table_name)
+
+    def index_lookup(
+        self, table_name: str, index_name: str, key_values
+    ) -> np.ndarray | None:
+        """Row ids matching *key_values* via a hash index, or None.
+
+        Returns None (caller falls back to a full scan; the Filter above
+        still applies the predicate) when the index was dropped after the
+        plan was cached, or when this transaction reads its own staged
+        version — indexes only ever reflect published table heads.
+        """
+        try:
+            table = self.database.catalog.table(table_name)
+        except CatalogError:
+            return None
+        idx = table.index(index_name)
+        if idx is None:
+            return None
+        version = self.txn.visible_version(table_name)
+        if version is not table.head_version:
+            return None
+        return idx.lookup(version, key_values)
 
     def score(self, node: PredictNode, inputs: Batch) -> list[ColumnVector]:
         if self.database.model_store is None:

@@ -17,6 +17,8 @@ from typing import Protocol
 import numpy as np
 
 from flock.db import functions as fn
+from flock.db import index as index_module
+from flock.db.exec import grouping
 from flock.db.exec import parallel as par
 from flock.db.exec.pool import WorkerPool, in_worker_thread
 from flock.db.expr import BoundExpr, truthy_mask
@@ -24,6 +26,7 @@ from flock.db.plan import (
     AggregateNode,
     DistinctNode,
     FilterNode,
+    IndexLookupNode,
     JoinNode,
     LimitNode,
     PlanNode,
@@ -188,9 +191,47 @@ class Executor:
         raise ExecutionError(f"cannot execute plan node {type(plan).__name__}")
 
     def _scan(self, node: ScanNode) -> Batch:
+        return self._source_batch(node)
+
+    def _source_batch(self, node: ScanNode) -> Batch:
+        """Materialize a scan's input: index lookup, zone pruning or full.
+
+        The shared access-path entry for the serial scan and the parallel
+        morsel preparation. Both accelerations are advisory supersets — the
+        filter above re-checks the full predicate — so any fallback (a
+        context without index services, a snapshot the index cannot serve)
+        silently degrades to the plain full scan.
+        """
         base = self.context.table_batch(node.table_name)
-        columns = [base.columns[i] for i in node.column_indexes]
-        return Batch([f.name for f in node.fields], columns)
+        extras: dict = {}
+        selected = [base.columns[i] for i in node.column_indexes]
+        if isinstance(node, IndexLookupNode):
+            lookup = getattr(self.context, "index_lookup", None)
+            row_ids = (
+                lookup(node.table_name, node.index_name, node.key_values)
+                if lookup is not None
+                else None
+            )
+            if row_ids is not None:
+                selected = [c.take(row_ids) for c in selected]
+                extras["index"] = node.index_name
+            else:
+                extras["index"] = f"{node.index_name}(fallback)"
+                metrics().counter("index.fallbacks").inc()
+        elif node.zone_predicates:
+            version_of = getattr(self.context, "table_version", None)
+            if version_of is not None:
+                version = version_of(node.table_name)
+                row_mask, pruned, _total = index_module.prune_row_mask(
+                    version, node.zone_predicates
+                )
+                if row_mask is not None:
+                    selected = [c.filter(row_mask) for c in selected]
+                extras["morsels_pruned"] = pruned
+        if extras and self.collect_stats:
+            stats = self.node_stats.setdefault(id(node), NodeStats())
+            stats.extras.update(extras)
+        return Batch([f.name for f in node.fields], selected)
 
     def _filter(self, node: FilterNode) -> Batch:
         return self._filter_batch(node, self._execute(node.child))
@@ -325,11 +366,7 @@ class Executor:
         config = self.parallel
         assert config is not None and self.pool is not None
         start_ns = time.perf_counter_ns()
-        base = self.context.table_batch(segment.scan.table_name)
-        scan_batch = Batch(
-            [f.name for f in segment.scan.fields],
-            [base.columns[i] for i in segment.scan.column_indexes],
-        )
+        scan_batch = self._source_batch(segment.scan)
         morsel_rows = choose_morsel_rows(
             scan_batch.num_rows,
             has_predict=segment.has_predict,
@@ -447,27 +484,38 @@ class Executor:
         left_keys = [expr.evaluate(left) for expr, _ in equi]
         right_keys = [expr.evaluate(right) for _, expr in equi]
 
-        table: dict[tuple, list[int]] = {}
-        right_key_rows = _key_rows(right_keys)
-        for i, key in enumerate(right_key_rows):
-            if key is None:
-                continue  # NULL keys never match
-            table.setdefault(key, []).append(i)
+        fast = (
+            grouping.join_single_int(left_keys[0], right_keys[0])
+            if len(equi) == 1
+            else None
+        )
+        if fast is not None:
+            left_idx, right_idx, match_counts = fast
+            unmatched_left: list[int] = []
+            if node.join_type == "LEFT":
+                unmatched_left = np.nonzero(match_counts == 0)[0].tolist()
+        else:
+            table: dict[tuple, list[int]] = {}
+            right_key_rows = _key_rows(right_keys)
+            for i, key in enumerate(right_key_rows):
+                if key is None:
+                    continue  # NULL keys never match
+                table.setdefault(key, []).append(i)
 
-        left_out: list[int] = []
-        right_out: list[int] = []
-        unmatched_left: list[int] = []
-        left_key_rows = _key_rows(left_keys)
-        for i, key in enumerate(left_key_rows):
-            matches = table.get(key, []) if key is not None else []
-            if matches:
-                left_out.extend([i] * len(matches))
-                right_out.extend(matches)
-            elif node.join_type == "LEFT":
-                unmatched_left.append(i)
+            left_out: list[int] = []
+            right_out: list[int] = []
+            unmatched_left = []
+            left_key_rows = _key_rows(left_keys)
+            for i, key in enumerate(left_key_rows):
+                matches = table.get(key, []) if key is not None else []
+                if matches:
+                    left_out.extend([i] * len(matches))
+                    right_out.extend(matches)
+                elif node.join_type == "LEFT":
+                    unmatched_left.append(i)
 
-        left_idx = np.array(left_out, dtype=np.int64)
-        right_idx = np.array(right_out, dtype=np.int64)
+            left_idx = np.array(left_out, dtype=np.int64)
+            right_idx = np.array(right_out, dtype=np.int64)
         combined = _combine(left, right, left_idx, right_idx)
 
         if residual is not None:
@@ -509,16 +557,26 @@ class Executor:
         group_vectors = [e.evaluate(child) for e in node.group_exprs]
 
         if group_vectors:
-            groups: dict[tuple, list[int]] = {}
-            order: list[tuple] = []
-            pylists = [v.to_pylist() for v in group_vectors]
-            for i, key in enumerate(zip(*pylists)):
-                if key not in groups:
-                    groups[key] = []
-                    order.append(key)
-                groups[key].append(i)
-            group_keys = order
-            group_indexes = [np.array(groups[k], dtype=np.int64) for k in order]
+            fast = (
+                grouping.group_single_int(group_vectors[0])
+                if len(group_vectors) == 1
+                else None
+            )
+            if fast is not None:
+                group_keys, group_indexes = fast
+            else:
+                groups: dict[tuple, list[int]] = {}
+                order: list[tuple] = []
+                pylists = [v.to_pylist() for v in group_vectors]
+                for i, key in enumerate(zip(*pylists)):
+                    if key not in groups:
+                        groups[key] = []
+                        order.append(key)
+                    groups[key].append(i)
+                group_keys = order
+                group_indexes = [
+                    np.array(groups[k], dtype=np.int64) for k in order
+                ]
         else:
             group_keys = [()]
             group_indexes = [np.arange(child.num_rows, dtype=np.int64)]

@@ -1,0 +1,110 @@
+"""Vectorized key formation for the common single-integer-key case.
+
+Hash joins and hash aggregation both form per-row keys; the generic paths
+build Python tuples row by row, which dominates the profile once predicates
+and projections are vectorized. For a single INTEGER (or DATE — same int64
+physical type) key column these helpers do the same work with numpy sorts
+and searches, reproducing the documented orderings **bit for bit**:
+
+- :func:`group_single_int` returns groups in first-occurrence order with
+  ascending row indexes per group — exactly the dict-insertion order the
+  per-row loop produces.
+- :func:`join_single_int` returns (left_idx, right_idx) pairs ordered by
+  left row, with each left row's matches in ascending right-row order —
+  exactly the build-then-probe order of the per-row hash join. NULL keys on
+  either side never match.
+
+FLOAT keys stay on the generic path on purpose: Python dict semantics for
+NaN (identity-based) differ from numpy sort/unique semantics, and the
+generic path is the documented behaviour.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from flock.db.types import DataType, python_value
+from flock.db.vector import ColumnVector
+
+#: Key dtypes with int64 physical storage and dict-compatible equality.
+_INT_KEY_TYPES = (DataType.INTEGER, DataType.DATE)
+
+
+def group_single_int(
+    vector: ColumnVector,
+) -> tuple[list[tuple], list[np.ndarray]] | None:
+    """First-occurrence-ordered groups of one int64-backed key column.
+
+    Returns ``(keys, indexes)`` — keys as 1-tuples of user-facing Python
+    values (None for the NULL group), indexes ascending per group — or None
+    when the column is not eligible for the vectorized path.
+    """
+    if vector.dtype not in _INT_KEY_TYPES:
+        return None
+    nulls = vector.nulls
+    nn_pos = np.nonzero(~nulls)[0]
+    entries: list[tuple[int, tuple, np.ndarray]] = []
+    if len(nn_pos):
+        uniq, first_idx, inverse = np.unique(
+            vector.values[nn_pos], return_index=True, return_inverse=True
+        )
+        inverse = inverse.reshape(-1)
+        counts = np.bincount(inverse, minlength=len(uniq))
+        # Stable sort by group id keeps row positions ascending per group.
+        grouped_rows = nn_pos[np.argsort(inverse, kind="stable")].astype(
+            np.int64, copy=False
+        )
+        stops = np.cumsum(counts)
+        starts = stops - counts
+        first_pos = nn_pos[first_idx]
+        for g in range(len(uniq)):
+            entries.append(
+                (
+                    int(first_pos[g]),
+                    (python_value(uniq[g], vector.dtype),),
+                    grouped_rows[starts[g]:stops[g]],
+                )
+            )
+    if nulls.any():
+        null_rows = np.nonzero(nulls)[0].astype(np.int64, copy=False)
+        entries.append((int(null_rows[0]), (None,), null_rows))
+    entries.sort(key=lambda e: e[0])
+    keys = [key for _, key, _ in entries]
+    indexes = [rows for _, _, rows in entries]
+    return keys, indexes
+
+
+def join_single_int(
+    left_vec: ColumnVector, right_vec: ColumnVector
+) -> tuple[np.ndarray, np.ndarray, np.ndarray] | None:
+    """Vectorized equi-match of two int64-backed key columns.
+
+    Returns ``(left_idx, right_idx, match_counts)`` where the pairs are
+    ordered by left row with ascending right matches per left row, and
+    ``match_counts[i]`` is left row *i*'s match count (0 for NULL keys) —
+    or None when the key dtypes are not eligible.
+    """
+    if (
+        left_vec.dtype is not right_vec.dtype
+        or left_vec.dtype not in _INT_KEY_TYPES
+    ):
+        return None
+    r_present = np.nonzero(~right_vec.nulls)[0]
+    r_vals = right_vec.values[r_present]
+    order = np.argsort(r_vals, kind="stable")
+    sorted_vals = r_vals[order]
+    sorted_ids = r_present[order].astype(np.int64, copy=False)
+    l_vals = left_vec.values
+    lo = np.searchsorted(sorted_vals, l_vals, side="left")
+    hi = np.searchsorted(sorted_vals, l_vals, side="right")
+    counts = (hi - lo).astype(np.int64)
+    if left_vec.nulls.any():
+        counts[left_vec.nulls] = 0
+    total = int(counts.sum())
+    left_idx = np.repeat(
+        np.arange(len(l_vals), dtype=np.int64), counts
+    )
+    cum = np.cumsum(counts)
+    within = np.arange(total, dtype=np.int64) - np.repeat(cum - counts, counts)
+    right_idx = sorted_ids[np.repeat(lo.astype(np.int64), counts) + within]
+    return left_idx, right_idx, counts

@@ -34,6 +34,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from flock.db import functions as fn
+from flock.db.exec import grouping
 from flock.db.expr import BoundExpr
 from flock.db.plan import (
     AggregateNode,
@@ -166,19 +167,30 @@ def aggregate_partial(node: AggregateNode, batch: Batch) -> list[GroupPartial]:
             GroupPartial(key=(), count=batch.num_rows, chunks=arg_vectors)
         ]
     group_vectors = [e.evaluate(batch) for e in node.group_exprs]
-    pylists = [v.to_pylist() for v in group_vectors]
-    groups: dict[tuple, list[int]] = {}
-    order: list[tuple] = []
-    for i, key in enumerate(zip(*pylists)):
-        rows = groups.get(key)
-        if rows is None:
-            groups[key] = [i]
-            order.append(key)
-        else:
-            rows.append(i)
+    fast = (
+        grouping.group_single_int(group_vectors[0])
+        if len(group_vectors) == 1
+        else None
+    )
+    if fast is not None:
+        keys, index_arrays = fast
+    else:
+        pylists = [v.to_pylist() for v in group_vectors]
+        groups: dict[tuple, list[int]] = {}
+        order: list[tuple] = []
+        for i, key in enumerate(zip(*pylists)):
+            rows = groups.get(key)
+            if rows is None:
+                groups[key] = [i]
+                order.append(key)
+            else:
+                rows.append(i)
+        keys = order
+        index_arrays = [
+            np.array(groups[key], dtype=np.int64) for key in order
+        ]
     partials: list[GroupPartial] = []
-    for key in order:
-        indexes = np.array(groups[key], dtype=np.int64)
+    for key, indexes in zip(keys, index_arrays):
         partials.append(
             GroupPartial(
                 key=key,

@@ -29,6 +29,13 @@ DEFAULT_RANGE_SELECTIVITY = 0.3
 DEFAULT_LIKE_SELECTIVITY = 0.25
 DEFAULT_SELECTIVITY = 0.5
 
+#: Hash-index access-path thresholds: below INDEX_MIN_ROWS a full scan is a
+#: handful of vector ops and the probe machinery is pure overhead; above it,
+#: the index wins whenever the estimated matching fraction stays below
+#: INDEX_MAX_SELECTIVITY (gathering that many rows beats rescanning).
+INDEX_MIN_ROWS = 64
+INDEX_MAX_SELECTIVITY = 0.2
+
 #: Parallel execution defaults: below the floor the fan-out/merge overhead
 #: (task dispatch, context copies, result concatenation) beats any thread
 #: win, so plans stay serial. PREDICT pipelines amortize much earlier
@@ -69,6 +76,36 @@ def choose_morsel_rows(
     if -(-rows // target) < 2:
         return 0
     return target
+
+
+def index_lookup_selectivity(
+    row_count: int, distinct_count: int, probe_count: int
+) -> float:
+    """Estimated matching fraction of a *probe_count*-key index lookup.
+
+    With per-version distinct counts available the estimate is uniform
+    (each key matches row_count/distinct rows); without them it falls back
+    to the textbook equality selectivity per key.
+    """
+    if row_count <= 0:
+        return 0.0
+    if distinct_count > 0:
+        per_key = 1.0 / distinct_count
+    else:
+        per_key = DEFAULT_EQUALITY_SELECTIVITY
+    return min(1.0, max(probe_count, 0) * per_key)
+
+
+def should_use_index(
+    row_count: int, distinct_count: int, probe_count: int
+) -> bool:
+    """The index-lookup vs full-scan access-path decision."""
+    if probe_count < 1 or row_count < INDEX_MIN_ROWS:
+        return False
+    selectivity = index_lookup_selectivity(
+        row_count, distinct_count, probe_count
+    )
+    return selectivity <= INDEX_MAX_SELECTIVITY
 
 
 def predicate_selectivity(predicate: BoundExpr) -> float:

@@ -25,13 +25,20 @@ from dataclasses import dataclass, field
 from typing import Callable, Protocol
 
 from flock.db.binder import fold_constants
-from flock.db.expr import BoundBinary, BoundColumn, BoundExpr, BoundLiteral
-from flock.db.optimizer.cost import CostModel
+from flock.db.expr import (
+    BoundBinary,
+    BoundColumn,
+    BoundExpr,
+    BoundInList,
+    BoundLiteral,
+)
+from flock.db.optimizer.cost import CostModel, should_use_index
 from flock.db.plan import (
     AggregateNode,
     DistinctNode,
     Field,
     FilterNode,
+    IndexLookupNode,
     JoinNode,
     LimitNode,
     PlanNode,
@@ -43,9 +50,20 @@ from flock.db.plan import (
 )
 from flock.db.types import DataType
 
+#: Column dtypes zone maps can summarize (totally ordered, fixed width).
+_ZONE_DTYPES = (DataType.INTEGER, DataType.FLOAT, DataType.DATE)
+
 
 class OptimizerContext(Protocol):
-    """Services optimizer rules may use."""
+    """Services optimizer rules may use.
+
+    The access-path pass additionally probes (via ``getattr``, so minimal
+    contexts in tests keep working) for:
+
+    - ``indexes_enabled() -> bool``
+    - ``index_for(table_name, column_position) -> str | None``
+    - ``table_stats(table_name) -> TableStats | None``
+    """
 
     def table_row_count(self, table_name: str) -> int: ...
 
@@ -76,6 +94,9 @@ class Optimizer:
             plan = rule(plan, context)
         if self.enable_projection_pruning:
             plan, _ = _prune(plan, set(range(len(plan.fields))))
+        # Access-path selection runs last: _prune rebuilds ScanNodes, so any
+        # earlier IndexLookupNode/zone annotation would be thrown away.
+        plan = _select_access_paths(plan, context)
         return plan
 
 
@@ -501,3 +522,139 @@ def _prune(
         return node, {i: i for i in range(len(node.fields))}
 
     return plan, {i: i for i in range(len(plan.fields))}
+
+
+# ----------------------------------------------------------------------
+# Pass 7: access-path selection (hash index lookup / zone-map pruning)
+# ----------------------------------------------------------------------
+def _select_access_paths(
+    plan: PlanNode, context: "OptimizerContext"
+) -> PlanNode:
+    """Turn Filter-over-Scan into an index lookup or a zone-pruned scan.
+
+    Both rewrites keep the original filter in place, so they only ever have
+    to produce a *superset* of the matching rows in base-table order —
+    results stay bit-identical to the plain scan path, and any runtime
+    fallback (stale index, staged snapshot) is silently correct.
+    """
+    enabled = getattr(context, "indexes_enabled", None)
+    if enabled is None or not enabled():
+        return plan
+    return _access_paths(plan, context)
+
+
+def _access_paths(plan: PlanNode, context: "OptimizerContext") -> PlanNode:
+    if isinstance(plan, (JoinNode, SetOpNode)):
+        plan.left = _access_paths(plan.left, context)
+        plan.right = _access_paths(plan.right, context)
+        return plan
+    if plan.children():
+        child = _access_paths(plan.children()[0], context)
+        plan.child = child  # type: ignore[attr-defined]
+    if not isinstance(plan, FilterNode):
+        return plan
+    scan = plan.child
+    if type(scan) is not ScanNode:
+        return plan
+    conjuncts = _conjuncts(plan.predicate)
+
+    chosen = _choose_index(scan, conjuncts, context)
+    if chosen is not None:
+        index_name, key_column, values = chosen
+        plan.child = IndexLookupNode(
+            scan.table_name,
+            scan.fields,
+            scan.column_indexes,
+            alias=scan.alias,
+            via_view=scan.via_view,
+            index_name=index_name,
+            key_column=key_column,
+            key_values=values,
+        )
+        return plan
+
+    zone_predicates = []
+    for conjunct in conjuncts:
+        candidate = _zone_candidate(conjunct)
+        if candidate is None:
+            continue
+        local, op, value = candidate
+        if scan.fields[local].dtype not in _ZONE_DTYPES:
+            continue
+        zone_predicates.append((scan.column_indexes[local], op, value))
+    if zone_predicates:
+        scan.zone_predicates = zone_predicates
+    return plan
+
+
+def _choose_index(
+    scan: ScanNode, conjuncts: list[BoundExpr], context: "OptimizerContext"
+) -> tuple[str, str, list] | None:
+    """The cheapest applicable (index_name, key_column, probe_values)."""
+    index_for = getattr(context, "index_for", None)
+    if index_for is None:
+        return None
+    row_count = context.table_row_count(scan.table_name)
+    stats_fn = getattr(context, "table_stats", None)
+    stats = stats_fn(scan.table_name) if stats_fn is not None else None
+    best: tuple[int, str, str, list] | None = None
+    for conjunct in conjuncts:
+        candidate = _equality_candidate(conjunct)
+        if candidate is None:
+            continue
+        local, values = candidate
+        name = index_for(scan.table_name, scan.column_indexes[local])
+        if name is None:
+            continue
+        column = scan.fields[local].name
+        distinct = 0
+        if stats is not None:
+            column_stats = stats.column(column)
+            if column_stats is not None:
+                distinct = column_stats.distinct_count
+        if not should_use_index(row_count, distinct, len(values)):
+            continue
+        if best is None or len(values) < best[0]:
+            best = (len(values), name, column, values)
+    if best is None:
+        return None
+    return best[1], best[2], best[3]
+
+
+def _equality_candidate(conjunct: BoundExpr) -> tuple[int, list] | None:
+    """(local_column, probe_values) for ``col = lit`` / ``col IN (lits)``."""
+    if isinstance(conjunct, BoundBinary) and conjunct.op == "=":
+        left, right = conjunct.left, conjunct.right
+        if isinstance(left, BoundColumn) and isinstance(right, BoundLiteral):
+            return left.index, [right.value]
+        if isinstance(right, BoundColumn) and isinstance(left, BoundLiteral):
+            return right.index, [left.value]
+        return None
+    if (
+        isinstance(conjunct, BoundInList)
+        and not conjunct.negated
+        and isinstance(conjunct.operand, BoundColumn)
+    ):
+        return conjunct.operand.index, list(conjunct.items)
+    return None
+
+
+_FLIPPED_OPS = {"<": ">", "<=": ">=", ">": "<", ">=": "<=", "=": "="}
+
+
+def _zone_candidate(conjunct: BoundExpr) -> tuple[int, str, object] | None:
+    """(local_column, op, physical_value) for a zone-prunable comparison."""
+    if isinstance(conjunct, BoundBinary) and conjunct.op in _FLIPPED_OPS:
+        left, right = conjunct.left, conjunct.right
+        if isinstance(left, BoundColumn) and isinstance(right, BoundLiteral):
+            return left.index, conjunct.op, right.value
+        if isinstance(right, BoundColumn) and isinstance(left, BoundLiteral):
+            return right.index, _FLIPPED_OPS[conjunct.op], left.value
+        return None
+    if (
+        isinstance(conjunct, BoundInList)
+        and not conjunct.negated
+        and isinstance(conjunct.operand, BoundColumn)
+    ):
+        return conjunct.operand.index, "in", list(conjunct.items)
+    return None

@@ -61,6 +61,10 @@ def save_database(
             name: str(database.catalog.view(name))
             for name in database.catalog.view_names()
         },
+        "indexes": [
+            {"name": d.name, "table": d.table, "column": d.column}
+            for d in database.catalog.index_defs()
+        ],
         "principals": _dump_principals(database),
         "audit": [_dump_audit_record(r) for r in database.audit.log],
         "query_log": [
@@ -238,6 +242,14 @@ def load_database(
 
     for view_name, view_sql in manifest["views"].items():
         database.catalog.create_view(view_name, parse_statement(view_sql))
+
+    # Secondary-index definitions (snapshots from before the field lack
+    # it). Bucket contents are not persisted — the first lookup rebuilds
+    # them lazily against the restored head version.
+    for d in manifest.get("indexes", []):
+        database.catalog.create_index(
+            d["name"], d["table"], d["column"], if_not_exists=True
+        )
 
     _load_principals(database, manifest["principals"])
 

@@ -74,10 +74,58 @@ class ScanNode(PlanNode):
         # checks SELECT on the view, not on the base table (definer
         # semantics — views are grant boundaries).
         self.via_view = via_view
+        # Zone-map pruning hints set by the optimizer's access-path pass:
+        # a list of (base_column_position, op, physical_value) conjuncts the
+        # executor may use to drop whole zones before scanning. Advisory —
+        # the filter above this scan still evaluates the full predicate.
+        self.zone_predicates: list[tuple[int, str, object]] | None = None
 
     def describe(self) -> str:
         cols = ", ".join(f.name for f in self.fields)
-        return f"Scan({self.table_name} [{cols}])"
+        suffix = ""
+        if self.zone_predicates:
+            zones = ", ".join(
+                f"{op}#{pos}" for pos, op, _ in self.zone_predicates
+            )
+            suffix = f" zones=[{zones}]"
+        return f"Scan({self.table_name} [{cols}]){suffix}"
+
+
+class IndexLookupNode(ScanNode):
+    """Hash-index point/IN-list access to a base table.
+
+    A drop-in ScanNode replacement chosen by the optimizer when an equality
+    or IN-list conjunct hits an indexed column with low estimated
+    selectivity. The executor asks the index for the matching row positions
+    (ascending, so row order matches the plain scan) and falls back to the
+    full scan whenever the index cannot serve the visible snapshot — the
+    filter above always re-checks the predicate, so the lookup only has to
+    produce a superset of the surviving rows.
+    """
+
+    def __init__(
+        self,
+        table_name: str,
+        fields: Sequence[Field],
+        column_indexes: Sequence[int],
+        alias: str | None = None,
+        via_view: str | None = None,
+        index_name: str = "",
+        key_column: str = "",
+        key_values: Sequence[object] = (),
+    ):
+        super().__init__(table_name, fields, column_indexes, alias, via_view)
+        self.index_name = index_name
+        self.key_column = key_column
+        self.key_values = list(key_values)
+
+    def describe(self) -> str:
+        cols = ", ".join(f.name for f in self.fields)
+        return (
+            f"IndexLookup({self.table_name} [{cols}] "
+            f"index={self.index_name} key={self.key_column} "
+            f"keys={len(self.key_values)})"
+        )
 
 
 class FilterNode(PlanNode):

@@ -437,6 +437,21 @@ class DropView(Statement):
 
 
 @dataclass
+class CreateIndex(Statement):
+    """``CREATE INDEX name ON table (column)`` — a secondary hash index."""
+
+    name: str
+    table: str
+    column: str
+
+
+@dataclass
+class DropIndex(Statement):
+    name: str
+    if_exists: bool = False
+
+
+@dataclass
 class Insert(Statement):
     table: str
     columns: list[str] = field(default_factory=list)  # empty = all, in order
@@ -502,9 +517,10 @@ class Revoke(Statement):
 class SetOption(Statement):
     """``SET <dotted.name> = <int>`` — an engine-wide setting change.
 
-    The only settings today drive morsel-parallel execution
-    (``flock.workers``, ``flock.morsel_rows``, ``flock.parallel_min_rows``),
-    so values are plain integers rather than general expressions.
+    The settings today drive morsel-parallel execution (``flock.workers``,
+    ``flock.morsel_rows``, ``flock.parallel_min_rows``) and access-path
+    selection (``flock.indexes``, 0/1), so values are plain integers rather
+    than general expressions.
     """
 
     name: str

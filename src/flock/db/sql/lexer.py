@@ -21,7 +21,7 @@ KEYWORDS = frozenset(
     CASE WHEN THEN ELSE END CAST
     ASC DESC DISTINCT ALL
     INSERT INTO VALUES UPDATE SET DELETE
-    CREATE TABLE DROP IF PRIMARY KEY UNIQUE VIEW
+    CREATE TABLE DROP IF PRIMARY KEY UNIQUE VIEW INDEX
     BEGIN COMMIT ROLLBACK TRANSACTION
     GRANT REVOKE TO USER ROLE
     TRUE FALSE

@@ -370,6 +370,14 @@ class Parser:
             name = self._expect_identifier()
             self._expect(TokenType.KEYWORD, "AS")
             return ast.CreateView(name, self._select())
+        if self._accept(TokenType.KEYWORD, "INDEX"):
+            name = self._expect_identifier()
+            self._expect(TokenType.KEYWORD, "ON")
+            table = self._expect_identifier()
+            self._expect(TokenType.PUNCT, "(")
+            column = self._expect_identifier()
+            self._expect(TokenType.PUNCT, ")")
+            return ast.CreateIndex(name, table, column)
         self._expect(TokenType.KEYWORD, "TABLE")
         if_not_exists = False
         if self._accept(TokenType.KEYWORD, "IF"):
@@ -412,6 +420,12 @@ class Parser:
     def _drop(self) -> ast.Statement:
         self._expect(TokenType.KEYWORD, "DROP")
         is_view = False
+        if self._accept(TokenType.KEYWORD, "INDEX"):
+            if_exists = False
+            if self._accept(TokenType.KEYWORD, "IF"):
+                self._expect(TokenType.KEYWORD, "EXISTS")
+                if_exists = True
+            return ast.DropIndex(self._expect_identifier(), if_exists)
         if self._accept(TokenType.KEYWORD, "VIEW"):
             is_view = True
         else:

@@ -19,6 +19,7 @@ from typing import Any, Iterable, Sequence
 
 import numpy as np
 
+from flock.db.index import HashIndex, IndexDef
 from flock.db.schema import TableSchema
 from flock.db.types import DataType
 from flock.db.vector import Batch, ColumnVector
@@ -41,7 +42,12 @@ class ColumnStats:
         if len(present) == 0:
             return cls(null_count=null_count, distinct_count=0)
         if vector.dtype.numpy_dtype == np.dtype(object):
-            distinct = len(set(present.tolist()))
+            try:
+                distinct = len(set(present.tolist()))
+            except TypeError:
+                # Unhashable payloads (MODEL columns hold dict artifacts):
+                # treat every present value as distinct.
+                distinct = len(present)
             if vector.dtype is DataType.TEXT:
                 ordered = sorted(present.tolist())
                 return cls(null_count, distinct, ordered[0], ordered[-1])
@@ -71,6 +77,7 @@ class TableVersion:
 
     __slots__ = (
         "version_id", "columns", "operation", "_stats", "schema", "delta",
+        "zone_cache", "zone_base",
     )
 
     def __init__(
@@ -89,6 +96,11 @@ class TableVersion:
         # methods and consumed by the write-ahead log; None for versions
         # built outside the normal write path (restore, replay seeds).
         self.delta: tuple | None = None
+        # Lazily built per-column zone maps (flock.db.index.zones_for) and,
+        # for INSERT versions, the base version whose zone prefix can be
+        # reused (the first base.row_count rows are the same arrays).
+        self.zone_cache: dict | None = None
+        self.zone_base: "TableVersion | None" = None
 
     @property
     def row_count(self) -> int:
@@ -132,6 +144,20 @@ class Table:
             TableVersion(0, schema, empty, "CREATE")
         ]
         self._head = 0
+        # Hash indexes over single columns, keyed by lower-cased index name.
+        # A single-column primary key gets an automatic index (auto=True)
+        # that lives outside the CREATE/DROP INDEX namespace.
+        self._indexes: dict[str, "HashIndex"] = {}
+        pk = schema.primary_key_indexes
+        if len(pk) == 1:
+            column = schema.columns[pk[0]]
+            defn = IndexDef(
+                name=f"{schema.name.lower()}_pkey",
+                table=schema.name.lower(),
+                column=column.name,
+                auto=True,
+            )
+            self._indexes[defn.name] = HashIndex(defn, pk[0], column.dtype)
 
     # ------------------------------------------------------------------
     # Read side
@@ -221,6 +247,7 @@ class Table:
         self._check_primary_key(new_columns)
         staged = self._staged(new_columns, "INSERT", base)
         staged.delta = ("INSERT", tuple(fresh))
+        staged.zone_base = base
         return staged
 
     def build_delete(
@@ -278,6 +305,52 @@ class Table:
         with self._lock:
             self._versions.append(staged)
             self._head = len(self._versions) - 1
+
+    # ------------------------------------------------------------------
+    # Hash indexes
+    # ------------------------------------------------------------------
+    def create_index(self, defn: "IndexDef") -> "HashIndex":
+        """Attach a hash index over one column (validated by the catalog)."""
+        position = self.schema.index_of(defn.column)
+        dtype = self.schema.columns[position].dtype
+        with self._lock:
+            idx = HashIndex(defn, position, dtype)
+            self._indexes[defn.name.lower()] = idx
+            return idx
+
+    def drop_index(self, name: str) -> None:
+        with self._lock:
+            self._indexes.pop(name.lower(), None)
+
+    def index(self, name: str) -> "HashIndex | None":
+        with self._lock:
+            return self._indexes.get(name.lower())
+
+    def indexes(self) -> list["HashIndex"]:
+        with self._lock:
+            return list(self._indexes.values())
+
+    def index_on_column(self, column_position: int) -> "HashIndex | None":
+        """The first index over *column_position*, if any (for planning)."""
+        with self._lock:
+            for idx in self._indexes.values():
+                if idx.column_position == column_position:
+                    return idx
+        return None
+
+    def maintain_indexes(
+        self, prev_head_id: int, effects: Sequence[TableVersion]
+    ) -> None:
+        """Advance indexes across a just-published commit when possible.
+
+        *effects* is the ordered chain of staged versions this table saw in
+        the committing transaction (not just the final one — intermediate
+        versions of a multi-statement transaction carry the per-statement
+        deltas). Indexes that cannot advance are left stale; the next
+        lookup rebuilds them against the new head.
+        """
+        for idx in self.indexes():
+            idx.advance(prev_head_id, effects)
 
     # ------------------------------------------------------------------
     # Internals

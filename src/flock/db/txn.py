@@ -233,7 +233,17 @@ class TransactionManager:
                         callback()
                     raise
             for key, staged in txn._staged.items():
-                self.catalog.table(key).publish(staged)
+                table = self.catalog.table(key)
+                prev_head_id = table.head_version.version_id
+                table.publish(staged)
+                # Keep hash indexes current across the commit when the
+                # transaction's ordered per-table effect chain is pure
+                # INSERTs; otherwise indexes go stale and rebuild lazily
+                # on their next lookup.
+                table.maintain_indexes(
+                    prev_head_id,
+                    [v for k, v in txn._effects if k == key],
+                )
             txn.active = False
             self.committed_count += 1
         if wal is not None and lsn is not None:

@@ -774,6 +774,14 @@ def _apply_ddl(database: Database, op: dict) -> None:
             database.security.grant("ALL", op["name"], op["owner"])
     elif kind == "drop_view":
         database.catalog.drop_view(op["name"], if_exists=True)
+    elif kind == "create_index":
+        # Idempotent: a checkpoint taken after the CREATE INDEX already
+        # restored the definition; replaying the record is then a no-op.
+        database.catalog.create_index(
+            op["name"], op["table"], op["column"], if_not_exists=True
+        )
+    elif kind == "drop_index":
+        database.catalog.drop_index(op["name"], if_exists=True)
     elif kind == "create_user":
         database.security.create_user(op["name"])
     elif kind == "create_role":

@@ -48,6 +48,9 @@ KNOWN_POINTS = (
     "checkpoint.post_swap",
     "parallel.pre_morsel",
     "parallel.post_morsel",
+    "index.pre_rebuild",
+    "index.post_rebuild",
+    "index.pre_advance",
 )
 
 _ENV_VAR = "FLOCK_FAULTPOINTS"

@@ -9,6 +9,9 @@ parser + binder + optimizer + vectorized evaluator stack.
 
 from __future__ import annotations
 
+import os
+import threading
+
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -479,6 +482,201 @@ def test_differential_parallel_vs_serial(seed):
         driver.diff()
     finally:
         driver.close()
+
+
+# ----------------------------------------------------------------------
+# Differential index fuzzing: indexed engine vs forced-full-scan twin
+# ----------------------------------------------------------------------
+class _IndexTwinDriver:
+    """Runs one random statement stream against a *durable* engine with
+    index access paths enabled and an in-memory twin with
+    ``flock.indexes = 0`` (every query full-scans — the live differential
+    oracle for the whole indexing layer).
+
+    The stream mixes DML, index/table DDL and reads that exercise point
+    lookups, IN-lists and zone-map range scans. The indexed engine is
+    crash-reopened periodically (WAL replay must restore index
+    definitions and the first post-recovery lookup rebuilds them) and
+    reads are also fired from concurrent threads, which must all agree
+    with the scan twin.
+    """
+
+    TABLES = ["t0", "t1"]
+    INDEXES = ["i0", "i1"]
+
+    def __init__(self, path, seed: int):
+        import random as _random
+
+        self.path = path
+        self.rng = _random.Random(seed)
+        self.indexed = Database.open(path, checkpoint_bytes=0)
+        self.indexed.execute("SET flock.indexes = 1")
+        self.scans = Database()
+        self.scans.execute("SET flock.indexes = 0")
+
+    def statement(self) -> str:
+        rng = self.rng
+        table = rng.choice(self.TABLES)
+        roll = rng.random()
+        if roll < 0.06:
+            clause = "IF NOT EXISTS " if rng.random() < 0.5 else ""
+            return (
+                f"CREATE TABLE {clause}{table} "
+                "(k INT PRIMARY KEY, val INT, s TEXT)"
+            )
+        if roll < 0.09:
+            clause = "IF EXISTS " if rng.random() < 0.5 else ""
+            return f"DROP TABLE {clause}{table}"
+        if roll < 0.15:
+            name = rng.choice(self.INDEXES)
+            return f"CREATE INDEX {name} ON {table} (val)"
+        if roll < 0.19:
+            name = rng.choice(self.INDEXES)
+            clause = "IF EXISTS " if rng.random() < 0.5 else ""
+            return f"DROP INDEX {clause}{name}"
+        if roll < 0.40:
+            rows = ", ".join(
+                "({}, {}, {})".format(
+                    rng.randrange(120),
+                    "NULL" if rng.random() < 0.15
+                    else rng.randrange(-40, 40),
+                    f"'s{rng.randrange(5)}'",
+                )
+                for _ in range(rng.randrange(1, 8))
+            )
+            return f"INSERT INTO {table} VALUES {rows}"
+        if roll < 0.48:
+            return (
+                f"UPDATE {table} SET val = val + {rng.randrange(1, 4)} "
+                f"WHERE k < {rng.randrange(120)}"
+            )
+        if roll < 0.54:
+            return f"DELETE FROM {table} WHERE k > {rng.randrange(120)}"
+        # Reads: point lookups, IN-lists (index paths) and range scans
+        # (zone-map pruning) interleaved with plain aggregates.
+        if roll < 0.68:
+            return (
+                f"SELECT k, val, s FROM {table} "
+                f"WHERE k = {rng.randrange(130)}"
+            )
+        if roll < 0.78:
+            keys = ", ".join(
+                str(rng.randrange(130)) for _ in range(rng.randrange(1, 6))
+            )
+            return (
+                f"SELECT k, val FROM {table} WHERE k IN ({keys}) "
+                "ORDER BY k"
+            )
+        if roll < 0.86:
+            return (
+                f"SELECT k, s FROM {table} "
+                f"WHERE val = {rng.randrange(-40, 40)} ORDER BY k"
+            )
+        if roll < 0.94:
+            return (
+                f"SELECT COUNT(*), SUM(val) FROM {table} "
+                f"WHERE k >= {rng.randrange(120)}"
+            )
+        return f"SELECT k, val, s FROM {table} ORDER BY k"
+
+    def step(self) -> None:
+        sql = self.statement()
+        outcomes = []
+        for db in (self.indexed, self.scans):
+            try:
+                outcomes.append(("ok", repr(db.execute(sql).rows())))
+            except Exception as exc:
+                outcomes.append(("err", type(exc).__name__))
+        assert outcomes[0] == outcomes[1], (
+            f"index path diverged from scan path on {sql!r}: "
+            f"indexed={outcomes[0]} scans={outcomes[1]}"
+        )
+
+    def concurrent_reads(self) -> None:
+        """Fire the same read from several threads against the indexed
+        engine; every result must equal the scan twin's."""
+        rng = self.rng
+        table = rng.choice(self.TABLES)
+        sql = (
+            f"SELECT k, val FROM {table} "
+            f"WHERE k IN (1, {rng.randrange(120)}, 77) ORDER BY k"
+        )
+        try:
+            expected = ("ok", repr(self.scans.execute(sql).rows()))
+        except Exception as exc:
+            expected = ("err", type(exc).__name__)
+        results: list = []
+
+        def reader() -> None:
+            try:
+                results.append(
+                    ("ok", repr(self.indexed.execute(sql).rows()))
+                )
+            except Exception as exc:
+                results.append(("err", type(exc).__name__))
+
+        threads = [threading.Thread(target=reader) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert all(r == expected for r in results), (
+            f"concurrent indexed reads diverged on {sql!r}: "
+            f"{results} != {expected}"
+        )
+
+    def crash_reopen(self) -> None:
+        # No close(): recovery replays the WAL, which must restore index
+        # definitions; the next lookup rebuilds their buckets.
+        self.indexed = Database.open(self.path, checkpoint_bytes=0)
+        self.indexed.execute("SET flock.indexes = 1")
+        self.diff()
+
+    def diff(self) -> None:
+        indexed, scans = self.indexed, self.scans
+        assert sorted(indexed.catalog.table_names()) == sorted(
+            scans.catalog.table_names()
+        )
+        assert [d.name for d in indexed.catalog.index_defs()] == [
+            d.name for d in scans.catalog.index_defs()
+        ]
+        for name in scans.catalog.table_names():
+            i_rows = indexed.execute(
+                f"SELECT * FROM {name} ORDER BY k"
+            ).rows()
+            s_rows = scans.execute(
+                f"SELECT * FROM {name} ORDER BY k"
+            ).rows()
+            assert repr(i_rows) == repr(s_rows), name
+            # A point lookup through the (possibly just-rebuilt) index.
+            probe = f"SELECT val FROM {name} WHERE k = 7"
+            assert repr(indexed.execute(probe).rows()) == repr(
+                scans.execute(probe).rows()
+            ), name
+
+
+@pytest.mark.parametrize(
+    "seed", [int(s) for s in os.environ.get(
+        "FLOCK_INDEX_FUZZ_SEEDS", "3,17,31,43"
+    ).split(",")]
+)
+def test_differential_indexed_vs_scan(tmp_path, seed):
+    """Index access paths are observationally invisible: identical rows,
+    order and errors as the forced-full-scan twin, through index DDL,
+    concurrent reads, crashes and WAL-replay index rebuilds. Four seeds x
+    60 ops = 240 differential rounds per run."""
+    driver = _IndexTwinDriver(tmp_path / f"ifuzz{seed}", seed)
+    ops = int(os.environ.get("FLOCK_INDEX_FUZZ_OPS", "60"))
+    for i in range(1, ops + 1):
+        driver.step()
+        if i % 12 == 0:
+            driver.concurrent_reads()
+        if i % 25 == 0:
+            driver.indexed.checkpoint()
+        if i % 20 == 0:
+            driver.crash_reopen()
+    driver.diff()
+    driver.indexed.close()
 
 
 @settings(deadline=None, max_examples=60)
