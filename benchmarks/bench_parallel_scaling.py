@@ -128,13 +128,36 @@ def scaling_report() -> dict:
         db.execute("SET flock.morsel_rows = 8192")
         db.execute("SET flock.parallel_min_rows = 2048")
 
+    cores = _usable_cores()
     report = {
-        "cores": _usable_cores(),
+        "cores": cores,
+        "rows": {"q6": Q6_ROWS, "patients": PATIENT_ROWS},
+        "repeats": REPEATS,
+        "worker_counts": list(WORKER_COUNTS),
         "q6": _time_at_workers(q6_db, Q6_QUERY),
         "predict": _time_at_workers(predict_db, PREDICT_QUERY),
     }
     q6_db.close()
     predict_db.close()
+    for name in ("q6", "predict"):
+        timings = report[name]["timings"]
+        report[name]["speedups"] = {
+            workers: timings[1] / timings[workers]
+            for workers in WORKER_COUNTS
+        }
+    # Gate honesty: the JSON must say whether the >=2.5x check applied on
+    # this host, not just leave a reader to infer it from "cores".
+    report["gate"] = {
+        "threshold_speedup": 2.5,
+        "at_workers": 4,
+        "requires_cores": 4,
+        "applied": cores >= 4,
+        "skipped_reason": (
+            None if cores >= 4
+            else f"host has {cores} usable core(s); thread speedups are "
+            "hardware-bound below 4"
+        ),
+    }
 
     lines = [
         "Morsel-parallel scaling (bench_parallel_scaling.py)",

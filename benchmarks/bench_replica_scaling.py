@@ -1,0 +1,121 @@
+"""Replica read scaling: analytic read QPS through the cluster router.
+
+Runs :func:`flock.cluster.bench.run_replica_scaling_benchmark` at 1/2/4
+followers over one seeded durable directory and writes the report (text +
+JSON, including the committed ``BENCH_replica_scaling.json`` artifact).
+
+The ≥2.5× read-QPS gate at 4 replicas only applies on hosts with ≥4 usable
+cores: in-process replicas are threads, and on fewer cores the expected
+curve is flat — the gate skips with its reason recorded in the JSON
+instead of passing vacuously. Result *correctness* (every topology returns
+the same aggregates) is asserted on any host.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import FULL, write_json_report, write_report
+from flock.cluster.bench import (
+    READ_QUERIES,
+    render_replica_benchmark,
+    run_replica_scaling_benchmark,
+    usable_cores,
+)
+
+REPLICA_COUNTS = (1, 2, 4)
+REQUESTS = 480 if FULL else 240
+N_ROWS = 80_000 if FULL else 40_000
+GATE_SPEEDUP = 2.5
+GATE_AT = 4
+
+
+@pytest.fixture(scope="module")
+def replica_report() -> dict:
+    report = run_replica_scaling_benchmark(
+        replica_counts=REPLICA_COUNTS,
+        requests=REQUESTS,
+        concurrency=8,
+        n_rows=N_ROWS,
+    )
+    cores = report["cores"]
+    report["gate"] = {
+        "threshold_speedup": GATE_SPEEDUP,
+        "at_replicas": GATE_AT,
+        "requires_cores": 4,
+        "applied": cores >= 4,
+        "skipped_reason": (
+            None if cores >= 4
+            else f"host has {cores} usable core(s); in-process replicas "
+            "cannot scale reads below 4"
+        ),
+    }
+    write_report(
+        "replica_scaling", render_replica_benchmark(report)
+    )
+    write_json_report("replica_scaling", report)
+    return report
+
+
+class TestReplicaScaling:
+    def test_every_topology_measured(self, replica_report):
+        counts = [r["replicas"] for r in replica_report["results"]]
+        assert counts == list(REPLICA_COUNTS)
+        for entry in replica_report["results"]:
+            assert entry["read_qps"] > 0
+            # The router must actually use the followers for this
+            # read-only workload — primary serves nothing.
+            assert entry["follower_served"] > 0
+
+    def test_results_identical_across_topologies(self, tmp_path):
+        # The same analytic answers at every replica count: routing must
+        # not change query semantics.
+        import flock
+        from flock.cluster import FlockCluster
+        from flock.cluster.bench import seed_primary
+
+        root = tmp_path / "db"
+        seed_primary(root, n_rows=4_000, random_state=3)
+        expected = None
+        for count in (1, 2):
+            with FlockCluster(root, replicas=count) as cluster:
+                cluster.wait_for_catchup(30.0)
+                answers = [
+                    repr(sorted(cluster.execute(sql).rows()))
+                    for sql in READ_QUERIES
+                ]
+            if expected is None:
+                expected = answers
+            assert answers == expected, f"{count} replicas diverged"
+        with flock.connect(root) as embedded:
+            baseline = [
+                repr(sorted(embedded.execute(sql).rows()))
+                for sql in READ_QUERIES
+            ]
+        assert baseline == expected, "router diverged from embedded engine"
+
+    def test_read_qps_gate_at_4_replicas(self, replica_report):
+        gate = replica_report["gate"]
+        if not gate["applied"]:
+            pytest.skip(gate["skipped_reason"])
+        by_count = {
+            r["replicas"]: r for r in replica_report["results"]
+        }
+        scaling = by_count[GATE_AT]["scaling"]
+        assert scaling >= GATE_SPEEDUP, (
+            f"{scaling:.2f}x read QPS at {GATE_AT} replicas "
+            f"(need >= {GATE_SPEEDUP}x)"
+        )
+
+
+def bench_replica_read_qps(benchmark, tmp_path_factory):
+    """Benchmark one routed analytic read on a warm 2-replica cluster."""
+    from flock.cluster import FlockCluster
+    from flock.cluster.bench import seed_primary
+
+    root = tmp_path_factory.mktemp("replica-bench") / "db"
+    seed_primary(root, n_rows=8_000, random_state=5)
+    with FlockCluster(root, replicas=2) as cluster:
+        cluster.wait_for_catchup(30.0)
+        cluster.execute(READ_QUERIES[0])
+        benchmark(lambda: cluster.execute(READ_QUERIES[0]))

@@ -29,10 +29,12 @@ from flock.db import Database
 from flock.errors import FlockError
 
 __all__ = [
+    "Client",
     "Database",
     "FlockError",
     "FlockSession",
     "__version__",
+    "connect",
     "create_database",
     "open_session",
 ]
@@ -66,33 +68,40 @@ class FlockSession:
         yield self.registry
 
 
-def create_database(cross_optimizer=None) -> FlockSession:
-    """A :class:`~flock.db.Database` wired with a model registry, the
-    inference scorer and the SQL×ML cross-optimizer — the one-call entry
-    point used by the examples.
+from flock.client import Client  # noqa: E402  (needs FlockSession-free deps)
 
-    Pass a configured :class:`flock.inference.CrossOptimizer` to control
-    which cross-optimizations run (the ablation benchmarks do this).
-    Returns a :class:`FlockSession`; unpack it as ``db, registry = ...``
-    or keep the object and use ``.db`` / ``.registry`` /
-    ``.cross_optimizer``.
+
+def connect(path=None, **kwargs) -> "Client":
+    """Open a Flock stack — embedded, serving or replicated — behind one
+    uniform :class:`~flock.client.Client`.
+
+    The preferred entry point::
+
+        flock.connect()                           # embedded, in-memory
+        flock.connect("churn.db")                 # embedded, durable
+        flock.connect("churn.db", serving=True)   # one serving node
+        flock.connect("churn.db", replicas=4)     # replicated read tier
+
+    See :func:`flock.client.connect` for every keyword.
     """
-    from flock.db.optimizer.rules import Optimizer
-    from flock.inference.optimizer import CrossOptimizer
-    from flock.inference.predict import DefaultScorer
-    from flock.registry import ModelRegistry
+    from flock.client import connect as _connect
 
-    if cross_optimizer is None:
-        cross_optimizer = CrossOptimizer()
-    registry = ModelRegistry()
-    database = Database(
-        model_store=registry,
-        scorer=DefaultScorer(),
-        optimizer=Optimizer(extra_rules=cross_optimizer.rules()),
-    )
-    database.cross_optimizer = cross_optimizer
-    registry.bind_database(database)
-    return FlockSession(database, registry, cross_optimizer)
+    return _connect(path, **kwargs)
+
+
+def create_database(cross_optimizer=None) -> FlockSession:
+    """Compatibility shim over :func:`connect`: an in-memory session.
+
+    A :class:`~flock.db.Database` wired with a model registry, the
+    inference scorer and the SQL×ML cross-optimizer. Returns a
+    :class:`FlockSession`; unpack it as ``db, registry = ...`` or keep the
+    object. New code should call ``flock.connect()``, which returns the
+    uniform :class:`~flock.client.Client` instead (reach the same handles
+    via ``client.db`` / ``client.registry`` / ``client.session``).
+    """
+    from flock.client import memory_session
+
+    return memory_session(cross_optimizer)
 
 
 def open_session(
@@ -103,31 +112,23 @@ def open_session(
     group_window_ms: float = 1.0,
     checkpoint_bytes: int | None = None,
 ) -> FlockSession:
-    """The durable counterpart of :func:`create_database`.
+    """Compatibility shim over :func:`connect`: a durable session.
 
     Opens (or creates) the database directory *path* with write-ahead
-    logging and crash recovery (see :mod:`flock.db.wal`), wired with the
-    same registry/scorer/cross-optimizer stack. ``sync_mode`` is
+    logging and crash recovery (see :mod:`flock.db.wal`). ``sync_mode`` is
     ``"commit"`` (fsync before every acknowledgement), ``"group"``
     (batched fsyncs across concurrent commits) or ``"off"``. The recovery
-    details are on ``session.db.wal.last_recovery``.
+    details are on ``session.db.wal.last_recovery``. New code should call
+    ``flock.connect(path, ...)``; this shim stays for the existing
+    ``session = open_session(...)`` call sites and returns the raw
+    :class:`FlockSession` (no server, no replicas).
     """
-    from flock.db.optimizer.rules import Optimizer
-    from flock.inference.optimizer import CrossOptimizer
-    from flock.inference.predict import DefaultScorer
-    from flock.registry import ModelRegistry
+    from flock.client import durable_session
 
-    if cross_optimizer is None:
-        cross_optimizer = CrossOptimizer()
-    registry = ModelRegistry()
-    database = Database.open(
+    return durable_session(
         path,
-        model_store=registry,
-        scorer=DefaultScorer(),
-        optimizer=Optimizer(extra_rules=cross_optimizer.rules()),
+        cross_optimizer,
         sync_mode=sync_mode,
         group_window_ms=group_window_ms,
         checkpoint_bytes=checkpoint_bytes,
     )
-    database.cross_optimizer = cross_optimizer
-    return FlockSession(database, registry, cross_optimizer)

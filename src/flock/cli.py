@@ -32,7 +32,6 @@ import argparse
 import sys
 from dataclasses import dataclass, field
 
-from flock import create_database
 from flock.errors import FlockError
 
 
@@ -210,12 +209,18 @@ def make_state(
     demo: str | None = None,
     data_dir: str | None = None,
 ) -> ShellState:
-    """Build a shell state (used by main() and by tests)."""
-    if data_dir:
-        from flock import open_session
+    """Build a shell state (used by main() and by tests).
 
-        session = open_session(data_dir)
-        database, registry = session.db, session.registry
+    Routed through :func:`flock.connect`, the unified entry point: a bare
+    state is an embedded in-memory client, ``data_dir`` an embedded
+    durable one. ``load`` restores a plain snapshot directory (no WAL),
+    which stays on the persist loader.
+    """
+    import flock
+
+    if data_dir:
+        client = flock.connect(data_dir)
+        database, registry = client.db, client.registry
     elif load:
         from flock.db.persist import load_database
         from flock.inference.predict import DefaultScorer
@@ -227,7 +232,8 @@ def make_state(
         registry.bind_database(database)
         registry.load_from_database(database)
     else:
-        database, registry = create_database()
+        client = flock.connect()
+        database, registry = client.db, client.registry
     state = ShellState(database=database, registry=registry)
     if demo:
         print(_load_demo(state, demo))
@@ -301,9 +307,12 @@ def serve_main(argv: list[str]) -> int:
     SQL statements read from stdin (one per line) execute through the
     concurrent serving layer — plan cache, micro-batching, admission
     control — instead of directly against the engine. ``--query`` runs
-    statements non-interactively; exit reports the serving stats.
+    statements non-interactively; exit reports the serving stats. With
+    ``--replicas N`` (requires ``--data-dir``) the statements route
+    through a :class:`~flock.cluster.FlockCluster`: reads fan out across
+    N follower replicas, writes go to the primary.
     """
-    from flock.serving import FlockServer
+    import flock
 
     parser = argparse.ArgumentParser(
         prog="flock serve",
@@ -326,37 +335,84 @@ def serve_main(argv: list[str]) -> int:
     parser.add_argument("--batch-wait-ms", type=float, default=1.0)
     parser.add_argument("--max-pending", type=int, default=256)
     parser.add_argument("--user", default="admin")
+    parser.add_argument(
+        "--replicas", type=int, default=0,
+        help="serve reads from N follower replicas over WAL shipping "
+        "(requires --data-dir)",
+    )
+    parser.add_argument(
+        "--max-staleness", type=int, default=None,
+        help="max replicated records a follower may lag before the router "
+        "skips it (default: unbounded)",
+    )
     args = parser.parse_args(argv)
 
-    try:
-        state = make_state(
-            load=args.load, demo=args.demo, data_dir=args.data_dir
+    if args.replicas and not args.data_dir:
+        print(
+            "error: --replicas needs --data-dir (WAL shipping starts from "
+            "a durable primary)",
+            file=sys.stderr,
         )
+        return 1
+
+    try:
+        if args.replicas:
+            client = flock.connect(
+                args.data_dir,
+                replicas=args.replicas,
+                max_staleness=args.max_staleness,
+                workers=args.workers,
+                max_batch_size=args.max_batch_size,
+                batch_wait_ms=args.batch_wait_ms,
+                max_pending=args.max_pending,
+                user=args.user,
+            )
+            if args.demo:
+                # Load through the primary; followers catch up over the
+                # replication stream before the first routed read.
+                state = ShellState(
+                    database=client.db, registry=client.registry
+                )
+                print(_load_demo(state, args.demo))
+                client.cluster.wait_for_catchup()
+        else:
+            state = make_state(
+                load=args.load, demo=args.demo, data_dir=args.data_dir
+            )
     except FlockError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
 
-    server = FlockServer(
-        state.database,
-        workers=args.workers,
-        max_batch_size=args.max_batch_size,
-        batch_wait_ms=args.batch_wait_ms,
-        max_pending=args.max_pending,
-    )
-    client = server.connect(args.user)
+    if not args.replicas:
+        from flock.serving import FlockServer
+
+        server = FlockServer(
+            state.database,
+            workers=args.workers,
+            max_batch_size=args.max_batch_size,
+            batch_wait_ms=args.batch_wait_ms,
+            max_pending=args.max_pending,
+        )
+        execute = server.connect(args.user).execute
+    else:
+        execute = client.execute
+
     status = 0
     try:
         if args.query:
             for sql in args.query:
                 try:
-                    print(format_result(client.execute(sql)))
+                    print(format_result(execute(sql)))
                 except FlockError as exc:
                     print(f"error: {exc}", file=sys.stderr)
                     status = 1
         else:
+            mode = (
+                f"{args.replicas} replica(s)" if args.replicas
+                else f"{args.workers} workers"
+            )
             print(
-                f"flock serving shell — {args.workers} workers, "
-                "SQL per line, ^D to exit"
+                f"flock serving shell — {mode}, SQL per line, ^D to exit"
             )
             while True:
                 try:
@@ -368,55 +424,109 @@ def serve_main(argv: list[str]) -> int:
                 if not line:
                     continue
                 try:
-                    print(format_result(client.execute(line)))
+                    print(format_result(execute(line)))
                 except FlockError as exc:
                     print(f"error: {exc}")
     finally:
-        server.shutdown()
-    stats = server.stats()
-    print(
-        f"served {stats['served']} statement(s); plan cache hit rate "
-        f"{stats['plan_cache_hit_rate'] * 100:.1f}%; "
-        f"{stats['batched_requests']} coalesced into "
-        f"{stats['batches']} batch(es)"
-    )
+        if args.replicas:
+            stats = client.stats()
+            client.close()
+        else:
+            server.shutdown()
+            stats = server.stats()
+
+    if args.replicas:
+        primary = stats["primary"]
+        print(
+            f"served {primary['served']} primary + "
+            f"{stats['follower_served']} follower statement(s) across "
+            f"{len(stats['followers'])} replica(s); replication lsn "
+            f"{stats['replication_lsn']}, max lag "
+            f"{max((f['lag'] for f in stats['followers']), default=0)}"
+        )
+    else:
+        print(
+            f"served {stats['served']} statement(s); plan cache hit rate "
+            f"{stats['plan_cache_hit_rate'] * 100:.1f}%; "
+            f"{stats['batched_requests']} coalesced into "
+            f"{stats['batches']} batch(es)"
+        )
     return status
 
 
 def bench_serve_main(argv: list[str]) -> int:
-    """``flock bench-serve``: sequential vs served throughput comparison."""
-    from flock.serving.bench import render_benchmark, run_serving_benchmark
+    """``flock bench-serve``: serving-layer throughput benchmarks.
 
+    Default mode compares sequential vs served point-query throughput on a
+    single node. ``--replicas 1,2,4`` switches to the replica-scaling
+    benchmark: analytic read QPS through the cluster router at each
+    follower count (see :mod:`flock.cluster.bench`).
+    """
     parser = argparse.ArgumentParser(
         prog="flock bench-serve",
         description="Benchmark flock.serving against sequential execution",
     )
-    parser.add_argument("--requests", type=int, default=800)
-    parser.add_argument("--concurrency", type=int, default=16)
-    parser.add_argument("--rows", type=int, default=5_000)
+    parser.add_argument("--requests", type=int, default=None)
+    parser.add_argument("--concurrency", type=int, default=None)
+    parser.add_argument("--rows", type=int, default=None)
     parser.add_argument("--workers", type=int, default=8)
     parser.add_argument("--max-batch-size", type=int, default=32)
     parser.add_argument("--batch-wait-ms", type=float, default=2.0)
+    parser.add_argument(
+        "--replicas", default=None,
+        help="comma-separated follower counts (e.g. 1,2,4): benchmark "
+        "read scaling through the replicated tier instead",
+    )
     parser.add_argument(
         "--json", action="store_true",
         help="emit the benchmark report as machine-readable JSON",
     )
     args = parser.parse_args(argv)
 
-    report = run_serving_benchmark(
-        requests=args.requests,
-        concurrency=args.concurrency,
-        n_rows=args.rows,
-        workers=args.workers,
-        max_batch_size=args.max_batch_size,
-        batch_wait_ms=args.batch_wait_ms,
-    )
+    if args.replicas:
+        from flock.cluster.bench import (
+            render_replica_benchmark,
+            run_replica_scaling_benchmark,
+        )
+
+        try:
+            counts = [int(c) for c in args.replicas.split(",") if c.strip()]
+        except ValueError:
+            print(f"error: bad --replicas list: {args.replicas!r}",
+                  file=sys.stderr)
+            return 1
+        if not counts or any(c < 1 for c in counts):
+            print("error: --replicas counts must be >= 1", file=sys.stderr)
+            return 1
+        report = run_replica_scaling_benchmark(
+            replica_counts=counts,
+            requests=args.requests or 240,
+            concurrency=args.concurrency or 8,
+            n_rows=args.rows or 40_000,
+        )
+        render = render_replica_benchmark
+    else:
+        from flock.serving.bench import (
+            render_benchmark,
+            run_serving_benchmark,
+        )
+
+        report = run_serving_benchmark(
+            requests=args.requests or 800,
+            concurrency=args.concurrency or 16,
+            n_rows=args.rows or 5_000,
+            workers=args.workers,
+            max_batch_size=args.max_batch_size,
+            batch_wait_ms=args.batch_wait_ms,
+        )
+        render = render_benchmark
+
     if args.json:
         import json
 
         print(json.dumps(report, indent=2, sort_keys=True, default=str))
     else:
-        for line in render_benchmark(report):
+        for line in render(report):
             print(line)
     return 0
 

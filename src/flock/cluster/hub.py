@@ -1,0 +1,136 @@
+"""The replication hub: WAL shipping from one primary to N followers.
+
+The unit of replication is the WAL record dict itself — the exact payload
+:func:`flock.db.wal.encode_commit_record` frames into the durable log is
+also handed to the hub, and followers apply it through
+:func:`flock.db.wal.apply_record`, the same entry point crash recovery
+replays. There is no second serialization format to diverge.
+
+Ordering and safety come from *where* the hub is tapped, not from the hub:
+
+- ``TransactionManager.commit`` publishes a commit record under the commit
+  lock *after* every staged version published — so a follower can never
+  apply a commit the primary rolled back (e.g. an fsync failure after the
+  append poisons the log and rolls the transaction back);
+- ``Database._log_ddl`` publishes DDL under the exclusive statement lock.
+
+Both sites serialize against each other, so the stream every subscription
+sees is the primary's commit order.
+
+The hub assigns its own replication LSNs (1, 2, ...) — monotonic per hub
+lifetime and shared by every subscription, so a follower's ``applied_lsn``
+compares directly against ``hub.lsn`` for lag. They are deliberately not
+the WAL's append ordinals: followers attach from a snapshot mid-life, and
+the WAL also carries records (flush markers) that are not shipped.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+
+from flock.errors import ReplicationError
+from flock.observability import metrics
+
+
+class Subscription:
+    """One follower's ordered queue of (lsn, record) pairs."""
+
+    def __init__(self, hub: "ReplicationHub", name: str):
+        self.hub = hub
+        self.name = name
+        self._cond = threading.Condition()
+        self._queue: deque[tuple[int, dict]] = deque()
+        self.closed = False
+
+    def push(self, lsn: int, record: dict) -> None:
+        with self._cond:
+            if self.closed:
+                return
+            self._queue.append((lsn, record))
+            self._cond.notify_all()
+
+    def next(self, timeout: float | None = None) -> tuple[int, dict] | None:
+        """The next record in publish order; None on timeout or closure.
+
+        After :meth:`close`, already-queued records keep draining — closure
+        only means no more will arrive.
+        """
+        with self._cond:
+            if not self._queue and not self.closed:
+                self._cond.wait(timeout)
+            if self._queue:
+                return self._queue.popleft()
+            return None
+
+    @property
+    def pending(self) -> int:
+        with self._cond:
+            return len(self._queue)
+
+    def close(self) -> None:
+        with self._cond:
+            self.closed = True
+            self._cond.notify_all()
+
+
+class ReplicationHub:
+    """Fans committed records out to every subscribed follower, in order."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._subscriptions: list[Subscription] = []
+        self._last_lsn = 0
+        self.closed = False
+
+    @property
+    def lsn(self) -> int:
+        """Replication LSN of the last record published (0 = none yet)."""
+        return self._last_lsn
+
+    def subscribe(self, name: str) -> Subscription:
+        """A new subscription starting at the *current* position.
+
+        Callers must subscribe while the primary is frozen (statement write
+        lock + commit lock) so no record can slip between the snapshot the
+        follower boots from and the first record it receives.
+        """
+        with self._lock:
+            if self.closed:
+                raise ReplicationError(
+                    "cannot subscribe to a closed replication hub"
+                )
+            subscription = Subscription(self, name)
+            self._subscriptions.append(subscription)
+            return subscription
+
+    def publish(self, record: dict) -> int:
+        """Ship one record to every subscription; returns its LSN.
+
+        Called from the primary's commit path (under the commit lock) and
+        DDL path (under the exclusive statement lock), which is what makes
+        the per-subscription order the commit order. Subscribers must not
+        mutate the record — the same dict instance is shared by the durable
+        log and every follower.
+        """
+        with self._lock:
+            if self.closed:
+                raise ReplicationError(
+                    "replication hub is closed; detach it from the primary "
+                    "before shutting the cluster down"
+                )
+            self._last_lsn += 1
+            lsn = self._last_lsn
+            for subscription in self._subscriptions:
+                subscription.push(lsn, record)
+        registry = metrics()
+        registry.counter("replication.records_shipped").inc()
+        registry.gauge("replication.lsn").set(lsn)
+        return lsn
+
+    def close(self) -> None:
+        """Stop accepting publishes and let subscriptions drain out."""
+        with self._lock:
+            self.closed = True
+            for subscription in self._subscriptions:
+                subscription.close()

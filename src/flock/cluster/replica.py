@@ -1,0 +1,205 @@
+"""Follower replicas: apply the primary's stream, serve snapshot reads.
+
+A :class:`FollowerReplica` owns a full :class:`~flock.db.Database` booted
+from a frozen snapshot of the primary, a :class:`~flock.cluster.hub.Subscription`
+delivering committed records in commit order, and a read-only
+:class:`~flock.serving.FlockServer` the router fans reads to.
+
+The apply loop holds the follower's *statement write lock* for every record
+(the replica apply lock): point reads on the follower run under the shared
+side against their own MVCC snapshot, so applying a multi-table commit is
+invisible to them — exactly the isolation the primary's commit path gives
+its own readers.
+
+Replicated records are applied with their piggybacked audit/query-log
+entries stripped: the follower serves reads, and its *local* read audits
+interleaving with restored primary audits would break the hash chain. On
+promotion the authoritative trail is recovered from the durable directory,
+not from a follower.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from flock.db.engine import Database
+from flock.db.wal import apply_record
+from flock.observability import get_tracer, metrics
+from flock.cluster.hub import ReplicationHub, Subscription
+
+#: Replicated payload keys a follower must not apply (see module docstring).
+_STRIPPED_KEYS = ("audit", "qlog")
+
+
+class FollowerReplica:
+    """One in-process follower: snapshot database + apply thread + server."""
+
+    def __init__(
+        self,
+        name: str,
+        database: Database,
+        registry,
+        subscription: Subscription,
+        hub: ReplicationHub,
+        server,
+        start: bool = True,
+    ):
+        self.name = name
+        self.database = database
+        self.registry = registry
+        self.subscription = subscription
+        self.hub = hub
+        self.server = server
+        #: Replication LSN of the last record applied here.
+        self.applied_lsn = 0
+        #: Set when the apply loop hit an error; the replica stops applying
+        #: (serving a diverged snapshot would be worse than serving a stale
+        #: one) and the router routes around it.
+        self.error: BaseException | None = None
+        self._cond = threading.Condition()
+        # Cleared by pause() to inject replication lag (tests, staleness
+        # experiments); the loop blocks before applying the next record.
+        self._resume = threading.Event()
+        self._resume.set()
+        self._stop = False
+        self._thread = threading.Thread(
+            target=self._apply_loop,
+            name=f"flock-replica-{name}",
+            daemon=True,
+        )
+        if start:
+            self._thread.start()
+
+    # ------------------------------------------------------------------
+    # Status
+    # ------------------------------------------------------------------
+    @property
+    def healthy(self) -> bool:
+        return self.error is None and not self._stop
+
+    @property
+    def lag(self) -> int:
+        """Records published but not yet applied here (staleness bound)."""
+        return max(0, self.hub.lsn - self.applied_lsn)
+
+    def wait_for(self, lsn: int, timeout: float | None = None) -> bool:
+        """Block until this replica applied *lsn* (True) or timed out."""
+        deadline = None
+        if timeout is not None:
+            import time
+
+            deadline = time.monotonic() + timeout
+        with self._cond:
+            while self.applied_lsn < lsn:
+                if self.error is not None or self._stop:
+                    return False
+                if deadline is None:
+                    self._cond.wait(0.5)
+                else:
+                    import time
+
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        return False
+                    self._cond.wait(remaining)
+            return True
+
+    # ------------------------------------------------------------------
+    # Lag injection
+    # ------------------------------------------------------------------
+    def pause(self) -> None:
+        """Suspend applying (records queue up; the replica goes stale)."""
+        self._resume.clear()
+
+    def resume(self) -> None:
+        self._resume.set()
+
+    # ------------------------------------------------------------------
+    # The apply loop
+    # ------------------------------------------------------------------
+    def _apply_loop(self) -> None:
+        registry = metrics()
+        while not self._stop:
+            item = self.subscription.next(timeout=0.1)
+            if item is None:
+                if self.subscription.closed and self.subscription.pending == 0:
+                    return
+                continue
+            lsn, record = item
+            while not self._resume.wait(timeout=0.1):
+                if self._stop:
+                    return
+            try:
+                self._apply_one(record)
+            except BaseException as exc:
+                self.error = exc
+                registry.counter("replication.apply_errors").inc()
+                with self._cond:
+                    self._cond.notify_all()
+                return
+            with self._cond:
+                self.applied_lsn = lsn
+                self._cond.notify_all()
+            registry.counter("replication.records_applied").inc()
+            registry.gauge(f"replication.lag.{self.name}").set(self.lag)
+
+    def _apply_one(self, record: dict) -> None:
+        # Shallow-filter instead of mutating: the dict instance is shared
+        # with the primary's WAL and every other follower.
+        stripped = {
+            k: v for k, v in record.items() if k not in _STRIPPED_KEYS
+        }
+        database = self.database
+        with get_tracer().span(
+            "replica.apply",
+            {"replica": self.name, "type": stripped.get("t", "?")},
+        ):
+            # The replica apply lock: exclusive against this follower's own
+            # readers, so a multi-table commit publishes atomically for them.
+            with database.statement_lock.write_locked():
+                apply_record(database, stripped)
+                if stripped.get("t") == "ddl":
+                    database.bump_invalidation_epoch()
+                elif self._touches_models(stripped):
+                    # A deploy committed on the primary: refresh this
+                    # follower's registry from its own flock_models mirror
+                    # (idempotent) and invalidate cached plans that baked in
+                    # the previous model version.
+                    self.registry.load_from_database(database)
+                    database.bump_invalidation_epoch()
+
+    @staticmethod
+    def _touches_models(record: dict) -> bool:
+        if record.get("t") != "commit":
+            return False
+        return any(
+            effect[0] == "flock_models" for effect in record.get("effects", ())
+        )
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def stop(self, drain: bool = True, timeout: float | None = 5.0) -> None:
+        """Stop applying and shut the replica's server down."""
+        if drain and self.error is None:
+            self.subscription.close()
+            self._resume.set()
+            self._thread.join(timeout)
+        self._stop = True
+        self._resume.set()
+        self.subscription.close()
+        if self._thread.is_alive():
+            self._thread.join(timeout)
+        with self._cond:
+            self._cond.notify_all()
+        self.server.shutdown(drain=drain)
+
+    def status(self) -> dict:
+        return {
+            "name": self.name,
+            "applied_lsn": self.applied_lsn,
+            "lag": self.lag,
+            "healthy": self.healthy,
+            "pending": self.subscription.pending,
+            "error": None if self.error is None else repr(self.error),
+        }

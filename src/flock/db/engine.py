@@ -253,6 +253,11 @@ class Database:
         """Log a catalog/security mutation that just became visible."""
         if self.wal is not None:
             self.wal.log_ddl(op)
+        hub = self.transactions.replication
+        if hub is not None:
+            # DDL executes under the exclusive statement lock, so this
+            # publish is ordered against every commit-path publish.
+            hub.publish({"t": "ddl", "op": op})
 
     # ------------------------------------------------------------------
     # Connections
@@ -475,9 +480,7 @@ class Database:
         statement here. Takes the shared side of the statement lock, so any
         number of these run concurrently with each other.
         """
-        if not isinstance(
-            statement, (ast.Select, ast.SetOperation, ast.Explain)
-        ):
+        if not is_read_only(statement):
             raise BindError(
                 "run_select_ast supports read-only statements only"
             )
@@ -1182,6 +1185,17 @@ def _collect_reads(bound: PlanNode) -> tuple[list[str], list[str]]:
     return tables, models
 
 
+#: Statement types that never stage a write: they run under the shared side
+#: of the statement lock against an MVCC snapshot. The cluster router uses
+#: this classification to fan such statements out to follower replicas.
+READ_ONLY_STATEMENTS = (ast.Select, ast.SetOperation, ast.Explain)
+
+
+def is_read_only(statement: ast.Statement) -> bool:
+    """Whether *statement* can safely execute on a follower replica."""
+    return isinstance(statement, READ_ONLY_STATEMENTS)
+
+
 _SHARED_STATE_STATEMENTS = (
     ast.CreateTable,
     ast.DropTable,
@@ -1275,7 +1289,7 @@ class Connection:
                     statement, sql, self.user, self._txn, bound_params
                 )
 
-        if isinstance(statement, (ast.Select, ast.SetOperation, ast.Explain)):
+        if is_read_only(statement):
             # Read-only autocommit: snapshot, run, release — never commits.
             with lock.read_locked():
                 txn = self.database.transactions.begin(self.user)

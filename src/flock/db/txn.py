@@ -196,6 +196,10 @@ class TransactionManager:
         # Set by flock.db.wal when the database is durable; None keeps the
         # engine purely in-memory with zero overhead on this path.
         self.wal = None
+        # Set by flock.cluster when follower replicas are attached: every
+        # committed record is streamed to the hub *after* it publishes, so
+        # a follower can never apply a commit the primary rolled back.
+        self.replication = None
 
     def begin(self, user: str = "admin") -> Transaction:
         return Transaction(self, user)
@@ -203,7 +207,9 @@ class TransactionManager:
     def commit(self, txn: Transaction) -> None:
         txn._check_active()
         wal = self.wal
+        hub = self.replication
         lsn = None
+        record = None
         with self._commit_lock:
             # Validate: no table we wrote moved under us since we based on it.
             for key, base_id in txn._base_version_ids.items():
@@ -225,13 +231,19 @@ class TransactionManager:
                 # returns (acknowledgement), which the log's prefix-flush
                 # property makes safe.
                 try:
-                    lsn = wal.log_commit(txn)
+                    lsn, record = wal.log_commit(txn)
                 except Exception:
                     txn.active = False
                     self.aborted_count += 1
                     for callback in txn._on_rollback:
                         callback()
                     raise
+            elif hub is not None and txn._effects:
+                # Replication without a WAL (in-memory primary): encode the
+                # identical record the log would have carried.
+                from flock.db.wal import encode_commit_record
+
+                record = encode_commit_record(txn)
             for key, staged in txn._staged.items():
                 table = self.catalog.table(key)
                 prev_head_id = table.head_version.version_id
@@ -246,6 +258,12 @@ class TransactionManager:
                 )
             txn.active = False
             self.committed_count += 1
+            if hub is not None and record is not None:
+                # Ship the record only after every staged version published:
+                # if the append/fsync above had failed, the transaction
+                # rolled back and no follower ever saw it. Publishing under
+                # the commit lock preserves commit order on the stream.
+                hub.publish(record)
         if wal is not None and lsn is not None:
             wal.wait_durable(lsn)
         for callback in txn._on_commit:

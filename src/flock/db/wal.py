@@ -172,25 +172,21 @@ class WriteAheadLog:
     # ------------------------------------------------------------------
     # Appending
     # ------------------------------------------------------------------
-    def log_commit(self, txn) -> int:
+    def log_commit(self, txn) -> tuple[int, dict]:
         """Log one transaction's effects; called under the commit lock,
-        *before* any staged version is published."""
-        effects = [
-            [key, *(_encode_effect(version))]
-            for key, version in txn._effects
-        ]
-        payload: dict[str, Any] = {
-            "t": "commit",
-            "txn": txn.txn_id,
-            "user": txn.user,
-            "effects": effects,
-        }
+        *before* any staged version is published.
+
+        Returns ``(lsn, payload)``: the append ordinal and the exact record
+        written (including piggybacked audit/query-log entries), so the
+        commit path can ship the same record to follower replicas once the
+        staged versions publish (see :mod:`flock.cluster`)."""
+        payload = encode_commit_record(txn)
         lsn = self._append(payload)
         self._metric("wal.commit_records")
         if self.sync_mode == "commit":
             self._fsync()
             faultpoints.reach("wal.post_fsync_pre_apply")
-        return lsn
+        return lsn, payload
 
     def log_ddl(self, op: dict) -> None:
         """Log a catalog/security mutation (applied by the caller)."""
@@ -307,6 +303,24 @@ class WriteAheadLog:
     @property
     def poisoned(self) -> bool:
         return self._poisoned is not None
+
+    @property
+    def lsn(self) -> int:
+        """Append ordinal of the last record written (0 = none yet).
+
+        LSNs are per-process monotonic — checkpoints truncate the log file
+        but never rewind the counter — which makes them usable as
+        replication positions: a follower's ``applied_lsn`` compares
+        directly against the primary's ``lsn`` for lag."""
+        return self._next_lsn - 1
+
+    @property
+    def durable_lsn(self) -> int:
+        """Highest LSN known fsynced (only tracked in ``group`` mode;
+        ``commit`` mode fsyncs inline so every appended LSN is durable)."""
+        if self.sync_mode == "commit":
+            return self.lsn
+        return self._durable_lsn
 
     @property
     def log_bytes(self) -> int:
@@ -436,6 +450,26 @@ class WriteAheadLog:
 # ----------------------------------------------------------------------
 # Effect encoding (live) / decoding (replay)
 # ----------------------------------------------------------------------
+def encode_commit_record(txn) -> dict:
+    """One transaction's effects as a WAL ``commit`` record payload.
+
+    This is the unit of WAL shipping: the same dict is CRC-framed into the
+    durable log *and* streamed to follower replicas, which apply it through
+    :func:`apply_record` — the identical code path crash recovery replays.
+    """
+    effects = [
+        [key, *(_encode_effect(version))]
+        for key, version in txn._effects
+    ]
+    payload: dict[str, Any] = {
+        "t": "commit",
+        "txn": txn.txn_id,
+        "user": txn.user,
+        "effects": effects,
+    }
+    return payload
+
+
 def _encode_effect(version: TableVersion) -> tuple[str, dict]:
     delta = version.delta
     if delta is None:
@@ -655,7 +689,7 @@ def open_database(
             audit_before = database.audit.log.last_sequence
             for index, record in enumerate(records):
                 try:
-                    _apply_record(database, record)
+                    apply_record(database, record)
                 except RecoveryError:
                     raise
                 except Exception as exc:
@@ -721,7 +755,13 @@ def _repair_checkpoint_dirs(root: Path) -> None:
             old.rename(root / "checkpoint")
 
 
-def _apply_record(database: Database, record: dict) -> None:
+def apply_record(database: Database, record: dict) -> None:
+    """Apply one WAL record to *database* — the single replay entry point.
+
+    Used by crash recovery (:func:`open_database`) and by follower replicas
+    (:mod:`flock.cluster`), so a streamed record takes exactly the path a
+    recovered one would: same constraint checks, same commit machinery.
+    """
     kind = record.get("t")
     if kind == "commit":
         txn = database.transactions.begin(record.get("user", "admin"))

@@ -120,8 +120,34 @@ class FaultInjected(FlockError):
         self.point = point
 
 
+class ReplicationError(FlockError):
+    """Raised by the replication tier (:mod:`flock.cluster`).
+
+    Covers hub/subscription failures, follower apply divergence and invalid
+    cluster configurations (e.g. replicas over a non-durable primary).
+    """
+
+
+class FailoverError(ReplicationError):
+    """Raised when follower promotion cannot complete.
+
+    Promotion re-opens the durable directory through the normal recovery
+    machinery; this error covers the cluster-level failures around it — no
+    follower eligible, or the cluster already lost its durable directory.
+    """
+
+
 class ServingError(FlockError):
     """Base class for errors raised by the prediction-serving layer."""
+
+
+class ReadOnlyReplicaError(ServingError):
+    """Raised when a write or DDL statement is submitted to a follower.
+
+    Follower replicas apply the primary's replicated WAL records and serve
+    snapshot reads; routing a write to one would fork history. The router
+    sends writes to the primary — this error is the safety net for callers
+    holding a replica server directly."""
 
 
 class ServerOverloadedError(ServingError):

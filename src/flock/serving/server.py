@@ -147,11 +147,15 @@ class FlockServer:
         max_pending: int = 256,
         default_timeout_s: float = 30.0,
         auto_start: bool = True,
+        read_only: bool = False,
     ):
         self.database: Database = getattr(session, "db", session)
         if workers < 1:
             raise ValueError("FlockServer needs at least one worker")
         self.workers = workers
+        # Follower replicas serve snapshot reads only: any statement that
+        # could stage a write is rejected at admission (flock.cluster).
+        self.read_only = read_only
         self.max_batch_size = max(1, max_batch_size)
         self.batch_wait_s = max(0.0, batch_wait_ms) / 1e3
         self.max_pending = max_pending
@@ -233,6 +237,8 @@ class FlockServer:
         """Enqueue one statement; returns a future resolving to its result."""
         if self._closed:
             raise ServerClosedError("server is shut down")
+        if self.read_only:
+            self._check_read_only(sql)
         registry = metrics()
         with self._lock:
             if self._inflight >= self.max_pending:
@@ -280,6 +286,24 @@ class FlockServer:
     def connect(self, user: str = "admin") -> "FlockClient":
         """A thin per-user in-process client bound to this server."""
         return FlockClient(self, user)
+
+    def _check_read_only(self, sql: str) -> None:
+        """Reject writes/DDL at admission on a read-only (replica) server.
+
+        An unparseable statement passes through: it cannot stage a write,
+        and direct execution surfaces the parse error with full context.
+        """
+        from flock.db.engine import is_read_only
+        from flock.errors import ReadOnlyReplicaError
+
+        entry = self.plan_cache.lookup(sql)
+        if entry is not None and not is_read_only(entry.statement):
+            metrics().counter("serving.rejected_read_only").inc()
+            raise ReadOnlyReplicaError(
+                f"{type(entry.statement).__name__.upper()} rejected: this "
+                f"server is a read-only follower replica; route writes to "
+                f"the primary"
+            )
 
     def stats(self) -> dict:
         """Serving summary: throughput inputs, batching and cache behavior."""

@@ -47,17 +47,32 @@ def _tiny_graph():
 
 
 def run(directory: str, seed: int, ops: int, ack_path: str,
-        sync_mode: str = "commit") -> None:
+        sync_mode: str = "commit", replicas: int = 0) -> None:
     import flock
 
     rng = random.Random(seed)
     ack = AckFile(ack_path)
     graph = _tiny_graph()  # built before any WAL traffic
 
-    session = flock.open_session(
-        directory, sync_mode=sync_mode, group_window_ms=0.2
-    )
-    db = session.db
+    if replicas:
+        # Cluster mode (failover tests): writes commit on the primary and
+        # ship over the replication stream; routed reads exercise the
+        # followers while the fault points arm the primary's WAL. The
+        # ack-file contract is unchanged — acknowledged means the
+        # *primary* committed durably, which is exactly what promotion
+        # must preserve.
+        client = flock.connect(
+            directory, replicas=replicas, sync_mode=sync_mode,
+            group_window_ms=0.2,
+        )
+        session = client.session
+        db = client.db
+    else:
+        client = None
+        session = flock.open_session(
+            directory, sync_mode=sync_mode, group_window_ms=0.2
+        )
+        db = session.db
     db.execute("CREATE TABLE IF NOT EXISTS pair_a (m INT PRIMARY KEY)")
     db.execute("CREATE TABLE IF NOT EXISTS pair_b (m INT PRIMARY KEY)")
     db.execute(
@@ -110,7 +125,14 @@ def run(directory: str, seed: int, ops: int, ack_path: str,
             ack.line("try checkpoint 0")
             db.checkpoint()
             ack.line("ok checkpoint 0")
+        if client is not None and ok_singles and rng.random() < 0.4:
+            # Routed follower read between writes — keeps the replication
+            # apply loops hot so the crash lands mid-stream, not idle.
+            client.execute("SELECT COUNT(*) FROM singles")
 
+    if client is not None:
+        client.close()
+        return
     db.close()
 
 
@@ -123,8 +145,13 @@ def main(argv=None) -> int:
     parser.add_argument("--ops", type=int, default=60)
     parser.add_argument("--ack-file", required=True)
     parser.add_argument("--sync-mode", default="commit")
+    parser.add_argument(
+        "--replicas", type=int, default=0,
+        help="drive the workload through a FlockCluster with N followers",
+    )
     args = parser.parse_args(argv)
-    run(args.dir, args.seed, args.ops, args.ack_file, args.sync_mode)
+    run(args.dir, args.seed, args.ops, args.ack_file, args.sync_mode,
+        replicas=args.replicas)
     return 0
 
 

@@ -1,0 +1,158 @@
+"""Replication oracle: primary and followers must be repr-identical.
+
+Each round drives a seeded random DML workload (inserts, deletes, updates,
+DDL, deploys, multi-statement transactions) through the cluster router
+while injecting replication lag — followers pause and resume at random, so
+records queue and apply in bursts. At the end of a round the oracle waits
+for full catch-up and compares the *complete* logical state of every
+follower against the primary: same tables, same sorted rows per table,
+same mirrored model catalog. Any divergence means a record was lost,
+reordered, double-applied or applied differently by the replay path.
+
+Knobs (environment variables): ``FLOCK_ORACLE_ROUNDS`` (default 3),
+``FLOCK_ORACLE_OPS`` (default 80), ``FLOCK_ORACLE_SEED`` and
+``FLOCK_ORACLE_ARTIFACTS`` — a directory to dump the diverged state into
+(CI uploads it on failure).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+from pathlib import Path
+
+from flock.cluster import FlockCluster
+
+ROUNDS = int(os.environ.get("FLOCK_ORACLE_ROUNDS", "3"))
+OPS = int(os.environ.get("FLOCK_ORACLE_OPS", "80"))
+SEED = int(os.environ.get("FLOCK_ORACLE_SEED", "20260808"))
+
+
+def _tiny_graph():
+    from flock.ml import LinearRegression
+    from flock.ml.datasets import make_regression
+    from flock.mlgraph import to_graph
+
+    X, y, _ = make_regression(30, 2, random_state=11)
+    return to_graph(LinearRegression().fit(X, y), ["f0", "f1"])
+
+
+def logical_state(db) -> dict[str, list]:
+    """Every user-visible table as sorted row reprs (order-independent)."""
+    state: dict[str, list] = {}
+    for name in sorted(db.catalog.table_names()):
+        rows = db.execute(f"SELECT * FROM {name}").rows()
+        state[name] = sorted(repr(row) for row in rows)
+    return state
+
+
+def run_round(cluster: FlockCluster, rng: random.Random, ops: int) -> None:
+    graph = _tiny_graph()
+    cluster.execute(
+        "CREATE TABLE IF NOT EXISTS orac (k INT PRIMARY KEY, v TEXT)"
+    )
+    cluster.execute("CREATE TABLE IF NOT EXISTS side (k INT, w FLOAT)")
+    live: list[int] = []
+    marker = 0
+    tables = 0
+    deploys = 0
+    for _ in range(ops):
+        roll = rng.random()
+        if roll < 0.35:
+            marker += 1
+            cluster.execute(
+                "INSERT INTO orac VALUES (?, ?)", [marker, f"v{marker}"]
+            )
+            live.append(marker)
+        elif roll < 0.50 and live:
+            victim = live.pop(rng.randrange(len(live)))
+            cluster.execute(f"DELETE FROM orac WHERE k = {victim}")
+        elif roll < 0.65 and live:
+            target = rng.choice(live)
+            cluster.execute(
+                f"UPDATE orac SET v = 'u{target}' WHERE k = {target}"
+            )
+        elif roll < 0.80:
+            marker += 1
+            # Multi-statement transaction: both tables or neither.
+            conn = cluster.database.connect()
+            conn.execute("BEGIN")
+            conn.execute(f"INSERT INTO orac VALUES ({marker}, 'tx')")
+            conn.execute(f"INSERT INTO side VALUES ({marker}, 0.5)")
+            conn.execute("COMMIT")
+            live.append(marker)
+        elif roll < 0.90:
+            tables += 1
+            cluster.execute(
+                f"CREATE TABLE IF NOT EXISTS orac_extra_{tables} (k INT)"
+            )
+            cluster.execute(f"INSERT INTO orac_extra_{tables} VALUES (1)")
+        else:
+            deploys += 1
+            cluster.registry.deploy(f"orac_m{deploys}", graph)
+
+        # Lag injection: random pause/resume keeps followers applying in
+        # bursts instead of lock-step with the primary.
+        if rng.random() < 0.15 and cluster.followers:
+            follower = rng.choice(cluster.followers)
+            follower.pause()
+        if rng.random() < 0.15:
+            for follower in cluster.followers:
+                follower.resume()
+
+        if rng.random() < 0.25:
+            cluster.execute("SELECT COUNT(*) FROM orac")
+
+    for follower in cluster.followers:
+        follower.resume()
+
+
+def dump_divergence(cluster, primary_state, follower) -> None:
+    artifacts = os.environ.get("FLOCK_ORACLE_ARTIFACTS")
+    if not artifacts:
+        return
+    dest = Path(artifacts)
+    dest.mkdir(parents=True, exist_ok=True)
+    (dest / "primary.json").write_text(
+        json.dumps(primary_state, indent=2, sort_keys=True)
+    )
+    (dest / f"{follower.name}.json").write_text(
+        json.dumps(logical_state(follower.database), indent=2,
+                   sort_keys=True)
+    )
+    (dest / "status.json").write_text(
+        json.dumps(cluster.stats(), indent=2, sort_keys=True, default=repr)
+    )
+
+
+def test_replication_oracle(tmp_path):
+    rng = random.Random(SEED)
+    for round_no in range(ROUNDS):
+        replicas = rng.choice([1, 2, 3])
+        with FlockCluster(
+            tmp_path / f"round{round_no}", replicas=replicas
+        ) as cluster:
+            run_round(cluster, rng, OPS)
+            assert cluster.wait_for_catchup(30.0), (
+                f"round {round_no}: followers failed to catch up: "
+                f"{cluster.stats()['followers']}"
+            )
+            primary_state = logical_state(cluster.database)
+            for follower in cluster.followers:
+                assert follower.error is None, (
+                    f"round {round_no}: {follower.name} diverged applying: "
+                    f"{follower.error!r}"
+                )
+                follower_state = logical_state(follower.database)
+                if follower_state != primary_state:
+                    dump_divergence(cluster, primary_state, follower)
+                assert follower_state == primary_state, (
+                    f"round {round_no} ({replicas} replicas): "
+                    f"{follower.name} state diverged from primary"
+                )
+                # The model catalog replicated too.
+                assert (
+                    sorted(follower.registry.model_names())
+                    == sorted(cluster.registry.model_names())
+                )
