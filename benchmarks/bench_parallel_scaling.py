@@ -131,6 +131,7 @@ def scaling_report() -> dict:
     cores = _usable_cores()
     report = {
         "cores": cores,
+        "cpu_count": cores,
         "rows": {"q6": Q6_ROWS, "patients": PATIENT_ROWS},
         "repeats": REPEATS,
         "worker_counts": list(WORKER_COUNTS),

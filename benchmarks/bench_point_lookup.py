@@ -27,7 +27,7 @@ import time
 import numpy as np
 import pytest
 
-from benchmarks.conftest import write_json_report, write_report
+from benchmarks.conftest import cpu_count, write_json_report, write_report
 from flock.db import Database
 from flock.db.binder import Binder
 from flock.db.sql.parser import parse_statement
@@ -103,7 +103,20 @@ def _best_execute(db: Database, sql: str) -> float:
 @pytest.fixture(scope="module")
 def lookup_report() -> dict:
     db = _build_engine()
-    report: dict = {"rows": ROWS, "repeats": REPEATS, "queries": {}}
+    report: dict = {
+        "rows": ROWS,
+        "repeats": REPEATS,
+        "cpu_count": cpu_count(),
+        # The >=10x index-vs-scan gate compares two access paths on the
+        # same host, so it applies regardless of core count.
+        "gate": {
+            "threshold_speedup": 10.0,
+            "queries": ["point", "inlist"],
+            "applied": True,
+            "skipped_reason": None,
+        },
+        "queries": {},
+    }
     for name, sql in QUERIES.items():
         indexed_plan = _prepare(db, sql, indexes=True)
         scan_plan = _prepare(db, sql, indexes=False)

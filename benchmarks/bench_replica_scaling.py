@@ -39,6 +39,7 @@ def replica_report() -> dict:
         n_rows=N_ROWS,
     )
     cores = report["cores"]
+    report["cpu_count"] = cores
     report["gate"] = {
         "threshold_speedup": GATE_SPEEDUP,
         "at_replicas": GATE_AT,

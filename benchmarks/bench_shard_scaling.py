@@ -1,0 +1,137 @@
+"""Shard write scaling: bulk-load write QPS through the shard router.
+
+Runs :func:`flock.shard.bench.run_shard_scaling_benchmark` at 1/2/4 shards
+over fresh directories and writes the report (text + JSON, including the
+committed ``BENCH_shard_scaling.json`` artifact).
+
+The ≥2× write-QPS gate at 4 shards only applies on hosts with ≥4 usable
+cores: the scatter path appends to the shards from concurrent threads, and
+on fewer cores the expected curve is flat — the gate skips with its reason
+recorded in the JSON instead of passing vacuously. Result *correctness*
+(every topology loads the same rows and answers the same aggregates, and
+the sharded answers match an unsharded engine bit for bit) is asserted on
+any host.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import FULL, cpu_count, write_json_report, write_report
+from flock.shard.bench import (
+    CHECK_QUERY,
+    build_rows,
+    render_shard_benchmark,
+    run_shard_scaling_benchmark,
+)
+
+SHARD_COUNTS = (1, 2, 4)
+N_ROWS = 48_000 if FULL else 24_000
+GATE_SPEEDUP = 2.0
+GATE_AT = 4
+
+
+@pytest.fixture(scope="module")
+def shard_report() -> dict:
+    report = run_shard_scaling_benchmark(
+        shard_counts=SHARD_COUNTS,
+        n_rows=N_ROWS,
+    )
+    cores = report["cores"]
+    report["cpu_count"] = cores
+    report["gate"] = {
+        "threshold_speedup": GATE_SPEEDUP,
+        "at_shards": GATE_AT,
+        "requires_cores": 4,
+        "applied": cores >= 4,
+        "skipped_reason": (
+            None if cores >= 4
+            else f"host has {cores} usable core(s); concurrent per-shard "
+            "appends cannot scale writes below 4"
+        ),
+    }
+    write_report("shard_scaling", render_shard_benchmark(report))
+    write_json_report("shard_scaling", report)
+    return report
+
+
+class TestShardScaling:
+    def test_every_topology_measured(self, shard_report):
+        counts = [r["shards"] for r in shard_report["results"]]
+        assert counts == list(SHARD_COUNTS)
+        for entry in shard_report["results"]:
+            assert entry["write_qps"] > 0
+            assert sum(entry["per_shard_rows"]) == N_ROWS
+        # Hashing must actually spread the load: at 4 shards every shard
+        # holds some of the table.
+        by_count = {r["shards"]: r for r in shard_report["results"]}
+        assert all(n > 0 for n in by_count[4]["per_shard_rows"])
+
+    def test_aggregates_identical_across_topologies(self, shard_report):
+        assert shard_report["results_match"], [
+            r["check"] for r in shard_report["results"]
+        ]
+
+    def test_sharded_matches_unsharded_engine(self, tmp_path):
+        # The routed load answers bit-for-bit what one engine answers for
+        # the same rows: sharding must not change write semantics.
+        import flock
+
+        rows = build_rows(4_000, random_state=3)
+        answers = []
+        for shards in (0, 2):
+            path = tmp_path / f"db{shards}"
+            client = (
+                flock.connect(path, shards=shards)
+                if shards
+                else flock.connect(path)
+            )
+            with client:
+                client.execute(
+                    "CREATE TABLE shipments (id INT PRIMARY KEY, "
+                    "ref TEXT, region TEXT, amount FLOAT)"
+                )
+                client.executemany(
+                    "INSERT INTO shipments VALUES (?, ?, ?, ?)", rows
+                )
+                answers.append(repr(client.execute(CHECK_QUERY).rows()))
+        assert answers[0] == answers[1], "sharded load diverged"
+
+    def test_write_qps_gate_at_4_shards(self, shard_report):
+        gate = shard_report["gate"]
+        if not gate["applied"]:
+            pytest.skip(gate["skipped_reason"])
+        by_count = {r["shards"]: r for r in shard_report["results"]}
+        scaling = by_count[GATE_AT]["scaling"]
+        assert scaling >= GATE_SPEEDUP, (
+            f"{scaling:.2f}x write QPS at {GATE_AT} shards "
+            f"(need >= {GATE_SPEEDUP}x)"
+        )
+
+
+def bench_shard_bulk_load(benchmark, tmp_path_factory):
+    """Benchmark one scattered executemany block on a warm 2-shard tier."""
+    import flock
+
+    root = tmp_path_factory.mktemp("shard-bench") / "db"
+    rows = build_rows(12_000, random_state=5)
+    with flock.connect(root, shards=2) as client:
+        client.execute(
+            "CREATE TABLE shipments (id INT PRIMARY KEY, "
+            "ref TEXT, region TEXT, amount FLOAT)"
+        )
+        client.executemany(
+            "INSERT INTO shipments VALUES (?, ?, ?, ?)", rows[:2_000]
+        )
+        blocks = iter(range(2_000, len(rows), 2_000))
+
+        def load_block():
+            start = next(blocks, None)
+            if start is None:  # pragma: no cover - rounds exceed blocks
+                pytest.skip("out of fresh blocks")
+            client.executemany(
+                "INSERT INTO shipments VALUES (?, ?, ?, ?)",
+                rows[start : start + 2_000],
+            )
+
+        benchmark(load_block)

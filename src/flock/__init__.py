@@ -81,6 +81,7 @@ def connect(path=None, **kwargs) -> "Client":
         flock.connect("churn.db")                 # embedded, durable
         flock.connect("churn.db", serving=True)   # one serving node
         flock.connect("churn.db", replicas=4)     # replicated read tier
+        flock.connect("churn.db", shards=4)       # hash-sharded tier
 
     See :func:`flock.client.connect` for every keyword.
     """

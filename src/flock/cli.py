@@ -310,7 +310,12 @@ def serve_main(argv: list[str]) -> int:
     statements non-interactively; exit reports the serving stats. With
     ``--replicas N`` (requires ``--data-dir``) the statements route
     through a :class:`~flock.cluster.FlockCluster`: reads fan out across
-    N follower replicas, writes go to the primary.
+    N follower replicas, writes go to the primary. With ``--shards N``
+    (also requires ``--data-dir``) they route through a
+    :class:`~flock.shard.ShardedCluster` instead: keyed tables
+    hash-partitioned across N engines, point statements pinned to one
+    shard, everything else scatter-gathered. The two compose —
+    ``--shards 4 --replicas 2`` gives every shard its own read tier.
     """
     import flock
 
@@ -341,22 +346,45 @@ def serve_main(argv: list[str]) -> int:
         "(requires --data-dir)",
     )
     parser.add_argument(
+        "--shards", type=int, default=0,
+        help="hash-partition keyed tables across N shard engines "
+        "(requires --data-dir; composes with --replicas)",
+    )
+    parser.add_argument(
         "--max-staleness", type=int, default=None,
         help="max replicated records a follower may lag before the router "
         "skips it (default: unbounded)",
     )
     args = parser.parse_args(argv)
 
-    if args.replicas and not args.data_dir:
+    if (args.replicas or args.shards) and not args.data_dir:
         print(
-            "error: --replicas needs --data-dir (WAL shipping starts from "
-            "a durable primary)",
+            "error: --replicas/--shards need --data-dir (WAL shipping and "
+            "shard partitions both start from durable directories)",
             file=sys.stderr,
         )
         return 1
 
+    clustered = bool(args.replicas or args.shards)
     try:
-        if args.replicas:
+        if args.shards:
+            client = flock.connect(
+                args.data_dir,
+                shards=args.shards,
+                replicas=args.replicas,
+                max_staleness=args.max_staleness,
+                user=args.user,
+            )
+            if args.demo:
+                # Load through the *router*, not the coordinator engine:
+                # the scatter path is what actually lands rows on shards.
+                state = ShellState(
+                    database=client.cluster, registry=client.registry
+                )
+                print(_load_demo(state, args.demo))
+                if args.replicas:
+                    client.cluster.wait_for_catchup()
+        elif args.replicas:
             client = flock.connect(
                 args.data_dir,
                 replicas=args.replicas,
@@ -383,7 +411,7 @@ def serve_main(argv: list[str]) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 1
 
-    if not args.replicas:
+    if not clustered:
         from flock.serving import FlockServer
 
         server = FlockServer(
@@ -407,10 +435,14 @@ def serve_main(argv: list[str]) -> int:
                     print(f"error: {exc}", file=sys.stderr)
                     status = 1
         else:
-            mode = (
-                f"{args.replicas} replica(s)" if args.replicas
-                else f"{args.workers} workers"
-            )
+            if args.shards:
+                mode = f"{args.shards} shard(s)"
+                if args.replicas:
+                    mode += f" x {args.replicas} replica(s)"
+            elif args.replicas:
+                mode = f"{args.replicas} replica(s)"
+            else:
+                mode = f"{args.workers} workers"
             print(
                 f"flock serving shell — {mode}, SQL per line, ^D to exit"
             )
@@ -428,14 +460,25 @@ def serve_main(argv: list[str]) -> int:
                 except FlockError as exc:
                     print(f"error: {exc}")
     finally:
-        if args.replicas:
+        if clustered:
             stats = client.stats()
             client.close()
         else:
             server.shutdown()
             stats = server.stats()
 
-    if args.replicas:
+    if args.shards:
+        routes = stats["routes"]
+        rows = sum(
+            sum(shard["rows"].values()) for shard in stats["per_shard"]
+        )
+        print(
+            f"routed {routes['single']} single-shard + "
+            f"{routes['scatter']} scattered + {routes['broadcast']} "
+            f"broadcast + {routes['ddl']} DDL statement(s) across "
+            f"{stats['shards']} shard(s); {rows} shard row(s)"
+        )
+    elif args.replicas:
         primary = stats["primary"]
         print(
             f"served {primary['served']} primary + "

@@ -184,8 +184,17 @@ class Client:
     def executemany(
         self, sql: str, seq_of_params, timeout: float | None = None
     ) -> QueryResult:
-        """Bulk-bind path; always runs on the (primary) engine."""
+        """Bulk-bind path, routed like ``execute``.
+
+        Cluster topologies get their own implementation — the sharded
+        router scatters the whole batch in one pass, and the replication
+        tier binds on the primary so the batch still ships to followers —
+        otherwise this is the engine's single-parse fast path.
+        """
         self._check_open()
+        if self.cluster is not None:
+            return self.cluster.executemany(sql, seq_of_params,
+                                            user=self.user)
         return self.db.executemany(sql, seq_of_params, user=self.user)
 
     def for_user(self, user: str) -> "Client":
@@ -241,6 +250,7 @@ class Client:
 def connect(
     path=None,
     *,
+    shards: int = 0,
     replicas: int = 0,
     serving: bool = False,
     cross_optimizer=None,
@@ -266,11 +276,38 @@ def connect(
       micro-batching, admission control in front of the engine;
     - ``connect(path, replicas=N)`` — the replicated tier: a durable
       primary shipping WAL records to N follower replicas, reads fanned
-      across them within ``max_staleness`` replicated records.
+      across them within ``max_staleness`` replicated records;
+    - ``connect(path, shards=N)`` — the sharded tier: keyed tables
+      hash-partitioned across N durable engines, point statements routed
+      to one shard, everything else scatter-gathered bit-identically to a
+      single engine. Composes with ``replicas=M`` — every shard then
+      carries its own replicated read tier.
 
-    ``replicas >= 1`` requires a *path*: WAL shipping needs a durable
-    primary, and failover recovers from its directory.
+    ``replicas >= 1`` and ``shards >= 1`` require a *path*: WAL shipping
+    and shard partitions both need durable directories.
     """
+    if shards:
+        if path is None:
+            from flock.errors import ShardError
+
+            raise ShardError(
+                "connect(shards=N) needs a database directory: every "
+                "shard keeps its own write-ahead log"
+            )
+        from flock.shard import ShardedCluster
+
+        sharded = ShardedCluster(
+            path,
+            shards=shards,
+            replicas=replicas,
+            cross_optimizer=cross_optimizer,
+            sync_mode=sync_mode,
+            group_window_ms=group_window_ms,
+            checkpoint_bytes=checkpoint_bytes,
+            max_staleness=max_staleness,
+        )
+        return Client("sharded", sharded.session, cluster=sharded, user=user)
+
     if replicas:
         if path is None:
             raise ReplicationError(

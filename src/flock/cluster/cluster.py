@@ -199,6 +199,16 @@ class FlockCluster:
     ):
         return self.submit(sql, params, user, timeout).result()
 
+    def executemany(self, sql: str, seq_of_params, user: str = "admin"):
+        """Bulk-bind writes on the primary engine.
+
+        Goes straight to the primary's single-parse fast path — never a
+        follower, since ``executemany`` statements stage writes. The
+        resulting commits publish through the replication hub like any
+        other, so the batch still ships to every follower.
+        """
+        return self.database.executemany(sql, seq_of_params, user=user)
+
     def _route(self, sql: str) -> FlockServer:
         """The server this statement should run on.
 

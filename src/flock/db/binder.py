@@ -317,12 +317,16 @@ class Binder:
                 )
                 return inner, scope
             schema = self.context.resolve_table(from_clause.name)
-            fields = [Field(c.name, c.dtype) for c in schema.columns]
+            # Hidden columns (always physically last) are invisible to
+            # queries: not in the scope, not in ``SELECT *``. Visible
+            # positions therefore equal physical positions.
+            visible = schema.visible_columns
+            fields = [Field(c.name, c.dtype) for c in visible]
             plan = ScanNode(
-                schema.name, fields, list(range(len(schema))), alias=qualifier
+                schema.name, fields, list(range(len(visible))), alias=qualifier
             )
             scope = Scope(
-                [ScopeEntry(qualifier, c.name, c.dtype) for c in schema.columns]
+                [ScopeEntry(qualifier, c.name, c.dtype) for c in visible]
             )
             return plan, scope
         if isinstance(from_clause, ast.SubqueryRef):

@@ -942,6 +942,7 @@ class Database:
                     dtype,
                     nullable=definition.nullable,
                     primary_key=definition.primary_key,
+                    hidden=definition.hidden,
                 )
             )
         schema = TableSchema.of(statement.name, columns)
@@ -963,6 +964,7 @@ class Database:
                             "dtype": c.dtype.value,
                             "nullable": c.nullable,
                             "primary_key": c.primary_key,
+                            "hidden": c.hidden,
                         }
                         for c in schema.columns
                     ],

@@ -94,6 +94,7 @@ def save_database(
                     "dtype": c.dtype.value,
                     "nullable": c.nullable,
                     "primary_key": c.primary_key,
+                    "hidden": c.hidden,
                 }
                 for c in table.schema.columns
             ],
@@ -226,6 +227,7 @@ def load_database(
                     DataType(c["dtype"]),
                     nullable=c["nullable"],
                     primary_key=c["primary_key"],
+                    hidden=c.get("hidden", False),
                 )
                 for c in payload["schema"]
             ],

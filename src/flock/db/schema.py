@@ -11,17 +11,28 @@ from flock.errors import CatalogError
 
 @dataclass(frozen=True)
 class Column:
-    """A named, typed column with optional constraints."""
+    """A named, typed column with optional constraints.
+
+    ``hidden`` columns are physical storage columns invisible to queries:
+    the binder excludes them from scans (``SELECT *`` never shows one and
+    they cannot be referenced in a SELECT), while schema-addressed paths —
+    explicit INSERT column lists, UPDATE/DELETE predicates — can still
+    reach them. The sharding tier uses one (``_flock_seq``) to record
+    global insert order. Hidden columns must come after every visible
+    column so visible positions match physical positions.
+    """
 
     name: str
     dtype: DataType
     nullable: bool = True
     primary_key: bool = False
+    hidden: bool = False
 
     def __str__(self) -> str:  # pragma: no cover - trivial
         extra = "" if self.nullable else " NOT NULL"
         pk = " PRIMARY KEY" if self.primary_key else ""
-        return f"{self.name} {self.dtype}{extra}{pk}"
+        hid = " HIDDEN" if self.hidden else ""
+        return f"{self.name} {self.dtype}{extra}{pk}{hid}"
 
 
 @dataclass(frozen=True)
@@ -43,7 +54,20 @@ class TableSchema:
 
     @classmethod
     def of(cls, name: str, columns: Iterable[Column]) -> "TableSchema":
-        return cls(name, tuple(columns))
+        schema = cls(name, tuple(columns))
+        seen_hidden = False
+        for col in schema.columns:
+            if col.hidden:
+                seen_hidden = True
+            elif seen_hidden:
+                raise CatalogError(
+                    f"table {name!r}: hidden columns must come last"
+                )
+        return schema
+
+    @property
+    def visible_columns(self) -> tuple[Column, ...]:
+        return tuple(c for c in self.columns if not c.hidden)
 
     @property
     def column_names(self) -> list[str]:

@@ -406,6 +406,13 @@ class ColumnDef:
     type_name: str
     nullable: bool = True
     primary_key: bool = False
+    hidden: bool = False
+
+    def __str__(self) -> str:
+        pk = " PRIMARY KEY" if self.primary_key else ""
+        nn = " NOT NULL" if not self.nullable and not self.primary_key else ""
+        hid = " HIDDEN" if self.hidden else ""
+        return f"{self.name} {self.type_name}{nn}{pk}{hid}"
 
 
 @dataclass
@@ -413,6 +420,11 @@ class CreateTable(Statement):
     name: str
     columns: list[ColumnDef] = field(default_factory=list)
     if_not_exists: bool = False
+
+    def __str__(self) -> str:
+        ine = "IF NOT EXISTS " if self.if_not_exists else ""
+        cols = ", ".join(str(c) for c in self.columns)
+        return f"CREATE TABLE {ine}{self.name} ({cols})"
 
 
 @dataclass
@@ -465,11 +477,20 @@ class Update(Statement):
     assignments: list[tuple[str, Expr]] = field(default_factory=list)
     where: Optional[Expr] = None
 
+    def __str__(self) -> str:
+        sets = ", ".join(f"{c} = {e}" for c, e in self.assignments)
+        where = f" WHERE {self.where}" if self.where is not None else ""
+        return f"UPDATE {self.table} SET {sets}{where}"
+
 
 @dataclass
 class Delete(Statement):
     table: str
     where: Optional[Expr] = None
+
+    def __str__(self) -> str:
+        where = f" WHERE {self.where}" if self.where is not None else ""
+        return f"DELETE FROM {self.table}{where}"
 
 
 @dataclass

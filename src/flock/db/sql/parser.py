@@ -403,6 +403,7 @@ class Parser:
             self._expect(TokenType.PUNCT, ")")
         nullable = True
         primary_key = False
+        hidden = False
         while True:
             if self._accept(TokenType.KEYWORD, "NOT"):
                 self._expect(TokenType.KEYWORD, "NULL")
@@ -413,9 +414,13 @@ class Parser:
                 nullable = False
             elif self._accept(TokenType.KEYWORD, "NULL"):
                 nullable = True
+            elif self._accept(TokenType.IDENT, "HIDDEN"):
+                # Internal storage columns (e.g. the shard tier's global
+                # sequence); invisible to SELECT, must come last.
+                hidden = True
             else:
                 break
-        return ast.ColumnDef(name, type_name, nullable, primary_key)
+        return ast.ColumnDef(name, type_name, nullable, primary_key, hidden)
 
     def _drop(self) -> ast.Statement:
         self._expect(TokenType.KEYWORD, "DROP")

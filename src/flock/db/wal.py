@@ -797,6 +797,7 @@ def _apply_ddl(database: Database, op: dict) -> None:
                     DataType(c["dtype"]),
                     nullable=c["nullable"],
                     primary_key=c["primary_key"],
+                    hidden=c.get("hidden", False),
                 )
                 for c in op["columns"]
             ],

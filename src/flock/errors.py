@@ -137,6 +137,16 @@ class FailoverError(ReplicationError):
     """
 
 
+class ShardError(FlockError):
+    """Raised by the sharding tier (:mod:`flock.shard`).
+
+    Covers invalid sharded-cluster configurations, statements the router
+    cannot execute in sharded mode (explicit transactions, shard-key
+    updates) and DDL broadcasts that left — or would have left — shard
+    catalogs divergent.
+    """
+
+
 class ServingError(FlockError):
     """Base class for errors raised by the prediction-serving layer."""
 

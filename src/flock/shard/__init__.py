@@ -1,0 +1,27 @@
+"""flock.shard — hash-sharded tables with scatter-gather execution.
+
+The horizontal-scaling tier: ``flock.connect(path, shards=N)`` partitions
+every keyed table across N durable engines and keeps all results
+bit-identical to a single-engine run. See :mod:`flock.shard.router` for
+the routing rules and :mod:`flock.shard.merge` for the order discipline.
+"""
+
+from flock.shard.merge import SEQ_COLUMN, gather_versions, run_scatter
+from flock.shard.router import (
+    ShardedCluster,
+    ShardRegistry,
+    canonical_key_value,
+    pinned_keys,
+    shard_of,
+)
+
+__all__ = [
+    "SEQ_COLUMN",
+    "ShardRegistry",
+    "ShardedCluster",
+    "canonical_key_value",
+    "gather_versions",
+    "pinned_keys",
+    "run_scatter",
+    "shard_of",
+]

@@ -1,0 +1,163 @@
+"""Shard write-scaling benchmark: bulk-load write QPS versus shard count.
+
+The workload is the sharded tier's reason to exist: keyed bulk loads
+(``executemany`` blocks of single-row parameterized INSERTs) whose rows
+hash across every shard. The router folds and routes once, then applies
+each shard's slice concurrently — N engines appending to N independent
+write-ahead logs — so the shard count is the write-parallelism axis being
+measured. Reads do not belong here: the scatter-gather read path is
+measured by its bit-identity oracle, and read *scaling* is the replica
+tier's axis (:mod:`flock.cluster.bench`).
+
+Each topology loads the same rows into a fresh directory; the measured
+window covers only the post-warmup blocks. Correctness rides along: every
+topology must report the same row count and the same aggregate over what
+it loaded.
+"""
+
+from __future__ import annotations
+
+import shutil
+import tempfile
+import time
+from pathlib import Path
+
+#: Rows per executemany block when loading (one commit per block per shard).
+TABLE_BLOCK_SIZE = 2_000
+
+#: Aggregate every topology must answer identically after its load.
+CHECK_QUERY = (
+    "SELECT COUNT(*) AS n, MIN(id) AS lo, MAX(id) AS hi, "
+    "SUM(amount) AS total FROM shipments"
+)
+
+
+def usable_cores() -> int:
+    from flock.cluster.bench import usable_cores as cores
+
+    return cores()
+
+
+def build_rows(n_rows: int, random_state: int = 0) -> list[tuple]:
+    """Keyed shipment rows; ids dense so every shard gets an even slice."""
+    import numpy as np
+
+    rng = np.random.default_rng(random_state)
+    amounts = rng.uniform(1.0, 500.0, n_rows)
+    regions = ["north", "south", "east", "west"]
+    return [
+        (
+            int(i + 1),
+            f"order-{i + 1}",
+            regions[int(i) % len(regions)],
+            float(amounts[i]),
+        )
+        for i in range(n_rows)
+    ]
+
+
+def run_shard_scaling_benchmark(
+    shard_counts=(1, 2, 4),
+    n_rows: int = 24_000,
+    block_rows: int = TABLE_BLOCK_SIZE,
+    seed: int = 7,
+    data_dir: str | None = None,
+) -> dict:
+    """Bulk-load write QPS (rows/s) through the shard router per count.
+
+    Every topology gets a fresh directory (shard manifests pin the count,
+    so topologies cannot share one), loads one warmup block outside the
+    measured window, then the remaining blocks inside it. ``scaling`` is
+    write QPS relative to the single-shard topology. ``cores`` records
+    the host's usable CPUs — concurrent per-shard appends cannot scale on
+    one core, and the gate must skip there instead of passing vacuously.
+    """
+    import flock
+
+    rows = build_rows(n_rows, random_state=seed)
+    owned = data_dir is None
+    root = Path(data_dir or tempfile.mkdtemp(prefix="flock-shard-bench-"))
+    results = []
+    try:
+        for count in shard_counts:
+            path = root / f"shards-{count}"
+            client = flock.connect(path, shards=count)
+            try:
+                client.execute(
+                    "CREATE TABLE shipments (id INT PRIMARY KEY, "
+                    "ref TEXT, region TEXT, amount FLOAT)"
+                )
+                client.executemany(
+                    "INSERT INTO shipments VALUES (?, ?, ?, ?)",
+                    rows[:block_rows],
+                )
+                measured = rows[block_rows:]
+                started = time.perf_counter()
+                for start in range(0, len(measured), block_rows):
+                    client.executemany(
+                        "INSERT INTO shipments VALUES (?, ?, ?, ?)",
+                        measured[start : start + block_rows],
+                    )
+                elapsed = time.perf_counter() - started
+                check = repr(client.execute(CHECK_QUERY).rows())
+                stats = client.stats()
+                results.append(
+                    {
+                        "shards": count,
+                        "write_qps": len(measured) / elapsed,
+                        "elapsed_s": elapsed,
+                        "rows_loaded": n_rows,
+                        "check": check,
+                        "routes": stats["routes"],
+                        "per_shard_rows": [
+                            entry["rows"].get("shipments", 0)
+                            for entry in stats["per_shard"]
+                        ],
+                    }
+                )
+            finally:
+                client.close()
+    finally:
+        if owned:
+            shutil.rmtree(root, ignore_errors=True)
+
+    base_qps = results[0]["write_qps"] if results else 0.0
+    for entry in results:
+        entry["scaling"] = (
+            entry["write_qps"] / base_qps if base_qps else 0.0
+        )
+    checks = {entry["check"] for entry in results}
+    return {
+        "n_rows": n_rows,
+        "block_rows": block_rows,
+        "cores": usable_cores(),
+        "shard_counts": list(shard_counts),
+        "results_match": len(checks) == 1,
+        "results": results,
+    }
+
+
+def render_shard_benchmark(report: dict) -> list[str]:
+    """Human-readable lines for a run_shard_scaling_benchmark() report."""
+    lines = [
+        "Shard write scaling: bulk-load write QPS through the shard router",
+        f"  workload: {report['n_rows']} keyed rows in blocks of "
+        f"{report['block_rows']}, {report['cores']} usable core(s)",
+    ]
+    for entry in report["results"]:
+        spread = "/".join(str(n) for n in entry["per_shard_rows"])
+        lines.append(
+            f"  {entry['shards']} shard(s): {entry['write_qps']:9.0f} "
+            f"rows/s ({entry['scaling']:.2f}x), rows per shard {spread}"
+        )
+    lines.append(
+        "  aggregates identical across topologies: "
+        + ("yes" if report["results_match"] else "NO")
+    )
+    if report["cores"] < 4:
+        lines.append(
+            f"  note: {report['cores']} usable core(s) — concurrent "
+            f"per-shard appends cannot scale here; the >=2x gate skips "
+            f"on this host"
+        )
+    return lines

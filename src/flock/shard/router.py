@@ -1,0 +1,1063 @@
+"""flock.shard — hash-sharded tables behind ``flock.connect(shards=N)``.
+
+One :class:`ShardedCluster` coordinates N per-shard engines, each a full
+durable :class:`~flock.db.Database` (own WAL and checkpoint directory,
+indexes, zone maps) — or, with ``replicas=M``, a full
+:class:`~flock.cluster.FlockCluster` so every shard also gets a replicated
+read tier.
+
+Placement: rows of a table with a PRIMARY KEY hash on the key —
+``crc32(repr(key)) % N`` over canonicalized key values, so INSERT routing
+and SELECT shard-key extraction always agree. Tables without a primary key
+have no shard key; their rows are pinned to shard 0. Every table (and every
+model, view, index and principal) exists on *every* shard plus the
+in-memory coordinator engine: DDL and security statements broadcast, so
+shard catalogs never diverge and any shard can plan any statement.
+
+Routing:
+
+- point reads/writes whose WHERE pins every primary-key column by
+  equality (or a single-column ``IN`` hashing to one shard) run on that
+  shard alone;
+- every other read scatters to all shards and merges through
+  :mod:`flock.shard.merge`, whose hidden global-sequence discipline keeps
+  results bit-identical to a single-engine run;
+- multi-shard INSERTs scatter rows by key and compensate (delete the
+  inserted sequence numbers) if any shard fails, so a failed scatter never
+  leaves partial rows behind;
+- DDL runs two-phase: the coordinator validates and applies first (a
+  failure touches nothing), then every shard applies; a shard failure
+  rolls the creates back everywhere.
+
+Out of scope, by design (raises :class:`~flock.errors.ShardError`):
+explicit transactions (statements autocommit), UPDATEs that assign to a
+primary-key column (rows would have to move between shards), and
+parameterized ``IN (SELECT ...)`` in UPDATE/DELETE (the rewrite to
+literals cannot keep placeholder positions stable).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+import json
+import threading
+import zlib
+from collections import OrderedDict
+from pathlib import Path
+from typing import Any, Sequence
+
+from flock.db.binder import Binder, Scope, fold_constants
+from flock.db.engine import _coerce_insert_value, is_read_only
+from flock.db.expr import BoundLiteral
+from flock.db.result import QueryResult
+from flock.db.schema import Column, TableSchema
+from flock.db.sql import ast_nodes as ast
+from flock.db.sql.parser import Parser, parse_statement
+from flock.db.txn import ReadWriteLock
+from flock.db.types import DataType
+from flock.errors import BindError, FlockError, ShardError
+from flock.shard.merge import SEQ_COLUMN, run_scatter
+
+#: Cartesian-product cap for multi-valued pinned keys (IN lists): beyond
+#: this a scatter is cheaper than routing per key.
+_MAX_PINNED_KEYS = 64
+
+
+# ----------------------------------------------------------------------
+# Shard-key hashing
+# ----------------------------------------------------------------------
+def shard_of(key: tuple, n_shards: int) -> int:
+    """The shard owning *key* (a tuple of canonicalized key values)."""
+    return zlib.crc32(repr(key).encode("utf-8")) % n_shards
+
+
+def canonical_key_value(column: Column, value: Any) -> Any:
+    """One key value in canonical Python form, so equal keys hash equal.
+
+    Runs the engine's own insert coercion first (DATE strings become day
+    numbers, exactly as storage would hold them), then collapses numeric
+    spellings — ``5``, ``5.0`` and ``numpy.int64(5)`` must land on the
+    same shard whether they arrive in an INSERT row or a WHERE literal.
+    """
+    value = _coerce_insert_value(column, value)
+    if value is None:
+        return None
+    if column.dtype in (DataType.INTEGER, DataType.DATE):
+        return int(value)
+    if column.dtype is DataType.FLOAT:
+        return float(value)
+    if column.dtype is DataType.BOOLEAN:
+        return bool(value)
+    if column.dtype is DataType.TEXT:
+        return str(value)
+    return value
+
+
+# ----------------------------------------------------------------------
+# Shard-key extraction (sits next to the read/write classification)
+# ----------------------------------------------------------------------
+def _conjuncts(expr: ast.Expr) -> list[ast.Expr]:
+    if isinstance(expr, ast.BinaryOp) and expr.op.upper() == "AND":
+        return _conjuncts(expr.left) + _conjuncts(expr.right)
+    return [expr]
+
+
+def _constant_value(
+    expr: ast.Expr, params: Sequence[Any] | None
+) -> tuple[bool, Any]:
+    if isinstance(expr, ast.Literal):
+        return True, expr.value
+    if isinstance(expr, ast.Parameter):
+        if params is not None and expr.index < len(params):
+            return True, params[expr.index]
+    return False, None
+
+
+def _match_pin(
+    schema: TableSchema, expr: ast.Expr, params: Sequence[Any] | None
+) -> tuple[int | None, list[Any]]:
+    """``(column position, candidate values)`` pinned by one conjunct."""
+    if isinstance(expr, ast.BinaryOp) and expr.op == "=":
+        for column_side, value_side in (
+            (expr.left, expr.right),
+            (expr.right, expr.left),
+        ):
+            if not isinstance(column_side, ast.ColumnRef):
+                continue
+            known, value = _constant_value(value_side, params)
+            if known and schema.has_column(column_side.name):
+                return schema.index_of(column_side.name), [value]
+    if (
+        isinstance(expr, ast.InList)
+        and not expr.negated
+        and isinstance(expr.operand, ast.ColumnRef)
+        and schema.has_column(expr.operand.name)
+    ):
+        values = []
+        for item in expr.items:
+            known, value = _constant_value(item, params)
+            if not known:
+                return None, []
+            values.append(value)
+        if values:
+            return schema.index_of(expr.operand.name), values
+    return None, []
+
+
+def pinned_keys(
+    schema: TableSchema,
+    where: ast.Expr | None,
+    params: Sequence[Any] | None,
+) -> list[tuple] | None:
+    """Every key the WHERE clause restricts the statement to, or None.
+
+    Keys are pinned only by *top-level AND conjuncts* — a disjunction over
+    the key never pins. Multi-valued pins (IN lists) are allowed on a
+    single conjunct; the cartesian product is capped, past which the
+    caller falls back to scatter/broadcast.
+    """
+    key_positions = schema.primary_key_indexes
+    if where is None or not key_positions:
+        return None
+    pinned: dict[int, list[Any]] = {}
+    for conjunct in _conjuncts(where):
+        position, values = _match_pin(schema, conjunct, params)
+        if position is not None and position not in pinned:
+            pinned[position] = values
+    if not set(key_positions) <= set(pinned):
+        return None
+    candidates = [pinned[p] for p in key_positions]
+    total = 1
+    for values in candidates:
+        total *= len(values)
+    if total > _MAX_PINNED_KEYS:
+        return None
+    keys = []
+    for combo in itertools.product(*candidates):
+        keys.append(
+            tuple(
+                canonical_key_value(schema.columns[p], value)
+                for p, value in zip(key_positions, combo)
+            )
+        )
+    return keys
+
+
+def _has_in_query(statement: ast.Select) -> bool:
+    for expr in _select_exprs(statement):
+        if any(isinstance(node, ast.InQuery) for node in expr.walk()):
+            return True
+    return False
+
+
+def _select_exprs(statement: ast.Select):
+    for item in statement.items:
+        yield item.expr
+    if statement.where is not None:
+        yield statement.where
+    yield from statement.group_by
+    if statement.having is not None:
+        yield statement.having
+    for order in statement.order_by:
+        yield order.expr
+
+
+# ----------------------------------------------------------------------
+# One shard
+# ----------------------------------------------------------------------
+class _Shard:
+    """One hash partition: a durable engine, optionally replicated.
+
+    ``database`` is always the shard's *primary* engine — the scatter
+    paths write and snapshot there. ``execute`` goes through the shard's
+    replication router when replicas are attached, so single-shard reads
+    still fan across that shard's followers.
+    """
+
+    def __init__(self, index: int, path: Path, *, session=None, cluster=None):
+        self.index = index
+        self.path = path
+        self.cluster = cluster
+        if cluster is not None:
+            self.database = cluster.database
+            self.registry = cluster.registry
+        else:
+            self.database = session.db
+            self.registry = session.registry
+
+    def execute(self, sql, params=None, user="admin") -> QueryResult:
+        if self.cluster is not None:
+            return self.cluster.execute(sql, params, user)
+        return self.database.execute(sql, params, user=user)
+
+    def close(self) -> None:
+        if self.cluster is not None:
+            self.cluster.close()
+        else:
+            self.database.close()
+
+
+# ----------------------------------------------------------------------
+# The registry facade: deploys broadcast, reads hit the coordinator
+# ----------------------------------------------------------------------
+class ShardRegistry:
+    """Model registry over a sharded cluster.
+
+    Deploys broadcast to the coordinator and every shard (so any shard can
+    score single-shard PREDICT queries and the coordinator can score
+    scattered ones); version numbering is deterministic, so all registries
+    assign the same versions. Everything else delegates to the
+    coordinator's registry.
+    """
+
+    def __init__(self, cluster: "ShardedCluster"):
+        self._cluster = cluster
+
+    def deploy(self, name, graph, **kwargs):
+        return self.deploy_many([(name, graph)], **kwargs)[0]
+
+    def deploy_many(self, models, **kwargs):
+        cluster = self._cluster
+        with cluster._ops.write_locked():
+            versions = cluster._coordinator_registry.deploy_many(
+                models, **kwargs
+            )
+            for shard in cluster.shards:
+                shard.registry.deploy_many(models, **kwargs)
+        return versions
+
+    def __getattr__(self, item):
+        return getattr(self._cluster._coordinator_registry, item)
+
+
+# ----------------------------------------------------------------------
+# The cluster
+# ----------------------------------------------------------------------
+class ShardedCluster:
+    """N hash shards behind one ``execute()`` — see the module docstring."""
+
+    def __init__(
+        self,
+        path,
+        *,
+        shards: int = 2,
+        replicas: int = 0,
+        cross_optimizer=None,
+        sync_mode: str = "commit",
+        group_window_ms: float = 1.0,
+        checkpoint_bytes: int | None = None,
+        max_staleness: int | None = None,
+    ):
+        if path is None:
+            raise ShardError(
+                "ShardedCluster needs a database directory: every shard "
+                "keeps its own write-ahead log"
+            )
+        if shards < 1:
+            raise ShardError(f"shards must be >= 1, got {shards}")
+        self.path = Path(path)
+        self.path.mkdir(parents=True, exist_ok=True)
+        self.n_shards = shards
+        self.replicas = replicas
+        self._open_kwargs = dict(
+            sync_mode=sync_mode,
+            group_window_ms=group_window_ms,
+            checkpoint_bytes=checkpoint_bytes,
+        )
+        self._max_staleness = max_staleness
+        self._check_manifest()
+
+        import flock
+        from flock.client import memory_session
+
+        coordinator_session = memory_session(cross_optimizer)
+        self.coordinator = coordinator_session.db
+        self._coordinator_registry = coordinator_session.registry
+        self.cross_optimizer = coordinator_session.cross_optimizer
+
+        self.shards = [self._open_shard(i) for i in range(shards)]
+
+        # Writes and DDL exclusive, scattered reads shared: a gather must
+        # never observe shard A before and shard B after one scatter write.
+        # Always acquired before any engine lock, so ordering is acyclic.
+        self._ops = ReadWriteLock()
+        self._seq_lock = threading.Lock()
+        self._next_seq: dict[str, int] = {}
+        self._parse_lock = threading.Lock()
+        self._parse_cache: OrderedDict[str, tuple[ast.Statement, int]] = (
+            OrderedDict()
+        )
+        self._routes_lock = threading.Lock()
+        self._routes = {"single": 0, "scatter": 0, "broadcast": 0, "ddl": 0}
+        self._closed = False
+
+        self.registry = ShardRegistry(self)
+        self.session = flock.FlockSession(
+            self.coordinator, self.registry, self.cross_optimizer
+        )
+        self._reconcile_shards()
+        self._mirror_catalog()
+        self._recover_sequences()
+
+    # -- bring-up ------------------------------------------------------
+    def _check_manifest(self) -> None:
+        manifest = self.path / "shards.json"
+        if manifest.exists():
+            recorded = json.loads(manifest.read_text()).get("shards")
+            if recorded != self.n_shards:
+                raise ShardError(
+                    f"{self.path} was created with shards={recorded}; "
+                    f"reopening with shards={self.n_shards} would strand "
+                    f"rows on missing shards"
+                )
+        else:
+            manifest.write_text(json.dumps({"shards": self.n_shards}))
+
+    def _open_shard(self, index: int) -> _Shard:
+        shard_path = self.path / f"shard-{index}"
+        if self.replicas:
+            from flock.cluster import FlockCluster
+
+            return _Shard(
+                index,
+                shard_path,
+                cluster=FlockCluster(
+                    shard_path,
+                    replicas=self.replicas,
+                    max_staleness=self._max_staleness,
+                    **self._open_kwargs,
+                ),
+            )
+        from flock.client import durable_session
+
+        return _Shard(
+            index,
+            shard_path,
+            session=durable_session(shard_path, None, **self._open_kwargs),
+        )
+
+    def _reconcile_shards(self) -> None:
+        """Resume any DDL or deploy broadcast a crash cut short mid-fleet.
+
+        Broadcasts apply to shard 0 first, then 1..N-1 in order, so after
+        a crash shard 0 always holds the longest-applied prefix. Replaying
+        the missing tail onto the lagging shards — through their engines,
+        so the repair itself is WAL-logged — restores the broadcast
+        invariant (tables, views, indexes, model deploys) before the
+        coordinator mirrors shard 0's catalog.
+        """
+        source = self.shards[0]
+        src_db = source.database
+        src_tables = set(src_db.catalog.table_names())
+        src_views = set(src_db.catalog.view_names())
+        src_indexes = {d.name: d for d in src_db.catalog.index_defs()}
+        for shard in self.shards[1:]:
+            db = shard.database
+            # Drops first (views before the tables they may reference):
+            # an interrupted DROP broadcast resumes forward.
+            for name in set(db.catalog.view_names()) - src_views:
+                db.execute(f"DROP VIEW IF EXISTS {name}")
+            for name in set(db.catalog.table_names()) - src_tables:
+                db.execute(f"DROP TABLE IF EXISTS {name}")
+            for name in sorted(src_tables - set(db.catalog.table_names())):
+                columns = [
+                    ast.ColumnDef(
+                        c.name,
+                        str(c.dtype),
+                        nullable=c.nullable,
+                        primary_key=c.primary_key,
+                        hidden=c.hidden,
+                    )
+                    for c in src_db.catalog.schema(name).columns
+                ]
+                db.execute(str(ast.CreateTable(name, columns)))
+            for name in sorted(src_views - set(db.catalog.view_names())):
+                db.execute(
+                    f"CREATE VIEW {name} AS {src_db.catalog.view(name)}"
+                )
+            have = {d.name for d in db.catalog.index_defs()}
+            for name in have - set(src_indexes):
+                db.execute(f"DROP INDEX IF EXISTS {name}")
+            for name in sorted(set(src_indexes) - have):
+                defn = src_indexes[name]
+                db.execute(
+                    f"CREATE INDEX {name} ON {defn.table} ({defn.column})"
+                )
+            for model in source.registry.model_names():
+                known = (
+                    {v.version for v in shard.registry.versions(model)}
+                    if shard.registry.has_model(model)
+                    else set()
+                )
+                # Missing versions are always a suffix (deploys broadcast
+                # in shard order), so redeploying in version order keeps
+                # the deterministic numbering aligned.
+                for version in source.registry.versions(model):
+                    if version.version in known:
+                        continue
+                    shard.registry.deploy(
+                        model,
+                        version.graph,
+                        user=version.created_by,
+                        description=version.description,
+                        metrics=dict(version.metrics),
+                        training_run_id=version.training_run_id,
+                    )
+
+    def _mirror_catalog(self) -> None:
+        """Rebuild the coordinator's catalog from shard 0 on reopen.
+
+        The coordinator is in-memory (it holds no rows, so there is
+        nothing to make durable); its schema authority is reconstructed
+        from shard 0, whose catalog is — by the broadcast invariant —
+        identical to every other shard's, minus the hidden sequence
+        column.
+        """
+        source = self.shards[0].database
+        coordinator = self.coordinator
+        for name in source.catalog.table_names():
+            if coordinator.catalog.has_table(name):
+                continue  # flock_models, pre-bound by the registry
+            schema = source.catalog.schema(name)
+            coordinator.catalog.create_table(
+                TableSchema.of(
+                    name,
+                    [
+                        Column(
+                            c.name,
+                            c.dtype,
+                            nullable=c.nullable,
+                            primary_key=c.primary_key,
+                        )
+                        for c in schema.visible_columns
+                    ],
+                )
+            )
+        for view_name in source.catalog.view_names():
+            if not coordinator.catalog.has_view(view_name):
+                coordinator.catalog.create_view(
+                    view_name,
+                    parse_statement(str(source.catalog.view(view_name))),
+                )
+        for defn in source.catalog.index_defs():
+            if defn.column.lower() == SEQ_COLUMN:
+                continue
+            coordinator.catalog.create_index(
+                defn.name, defn.table, defn.column, if_not_exists=True
+            )
+        # Principals and grants, exactly as persist restores them.
+        for principal in source.security._principals.values():
+            if principal.name == "admin":
+                continue
+            if principal.is_role:
+                coordinator.security.create_role(principal.name)
+            else:
+                coordinator.security.create_user(principal.name)
+        for principal in source.security._principals.values():
+            mirrored = coordinator.security.principal(principal.name)
+            mirrored.roles = set(principal.roles)
+            mirrored.grants = {
+                obj: set(privs)
+                for obj, privs in principal.grants.items()
+            }
+        self._coordinator_registry.load_from_database(source)
+
+    def _recover_sequences(self) -> None:
+        """Next global sequence per table: max over shards, plus one."""
+        for name in self.coordinator.catalog.table_names():
+            schema = self.coordinator.catalog.schema(name)
+            if not schema.primary_key_indexes:
+                continue
+            top = 0
+            for shard in self.shards:
+                head = shard.database.catalog.table(name).head_version
+                if head.row_count:
+                    sequences = head.columns[len(schema.columns)].values
+                    top = max(top, int(sequences.max()) + 1)
+            self._next_seq[name.lower()] = top
+
+    def _take_sequences(self, table_name: str, count: int) -> int:
+        with self._seq_lock:
+            start = self._next_seq.setdefault(table_name.lower(), 0)
+            self._next_seq[table_name.lower()] = start + count
+        return start
+
+    def _count_route(self, kind: str) -> None:
+        with self._routes_lock:
+            self._routes[kind] += 1
+
+    # -- parsing -------------------------------------------------------
+    def _parse(self, sql: str) -> tuple[ast.Statement, int]:
+        with self._parse_lock:
+            hit = self._parse_cache.get(sql)
+            if hit is not None:
+                self._parse_cache.move_to_end(sql)
+                return hit
+        parser = Parser(sql)
+        statement = parser.parse()
+        entry = (statement, parser.parameter_count)
+        with self._parse_lock:
+            self._parse_cache[sql] = entry
+            if len(self._parse_cache) > 256:
+                self._parse_cache.popitem(last=False)
+        return entry
+
+    # -- the execution surface -----------------------------------------
+    def execute(
+        self,
+        sql: str,
+        params: Sequence[Any] | None = None,
+        user: str = "admin",
+        timeout: float | None = None,
+    ) -> QueryResult:
+        self._check_open()
+        statement, placeholders = self._parse(sql)
+        given = 0 if params is None else len(params)
+        if placeholders != given:
+            # Same contract as Connection.execute, checked before routing
+            # so every shard sees only well-bound statements.
+            raise BindError(
+                f"statement has {placeholders} '?' placeholder(s) "
+                f"but {given} parameter value(s) were supplied"
+            )
+        if isinstance(statement, (ast.Begin, ast.Commit, ast.Rollback)):
+            raise ShardError(
+                "explicit transactions are not supported through the shard "
+                "router; statements autocommit"
+            )
+        if is_read_only(statement):
+            return self._execute_read(statement, sql, params, user)
+        if isinstance(statement, ast.Insert):
+            with self._ops.write_locked():
+                return self._execute_insert(statement, params, user)
+        if isinstance(statement, (ast.Update, ast.Delete)):
+            with self._ops.write_locked():
+                return self._execute_update_delete(
+                    statement, sql, params, user
+                )
+        with self._ops.write_locked():
+            return self._broadcast_ddl(statement, sql, params, user)
+
+    def submit(
+        self,
+        sql: str,
+        params: Sequence[Any] | None = None,
+        user: str = "admin",
+        timeout: float | None = None,
+    ):
+        from flock.client import _ImmediateFuture
+
+        try:
+            return _ImmediateFuture(
+                result=self.execute(sql, params, user=user)
+            )
+        except FlockError as exc:
+            return _ImmediateFuture(error=exc)
+
+    def executemany(
+        self, sql: str, seq_of_params, user: str = "admin"
+    ) -> QueryResult:
+        """Bulk-bind scatter: one executemany per shard, one route pass."""
+        self._check_open()
+        statement, placeholders = self._parse(sql)
+        rows_params = [list(p) for p in seq_of_params]
+        if (
+            isinstance(statement, ast.Insert)
+            and statement.select is None
+            and len(statement.rows) == 1
+        ):
+            for row_params in rows_params:
+                if len(row_params) != placeholders:
+                    raise BindError(
+                        f"statement has {placeholders} '?' placeholder(s) "
+                        f"but {len(row_params)} parameter value(s) were "
+                        f"supplied"
+                    )
+            with self._ops.write_locked():
+                rows = [
+                    self._fold_insert_row(statement, row_params)
+                    for row_params in rows_params
+                ]
+                return self._scatter_rows(statement, rows, user)
+        total = 0
+        statement_type = "INSERT"
+        for row_params in rows_params:
+            result = self.execute(sql, row_params, user=user)
+            statement_type = result.statement_type
+            total += result.affected_rows
+        return QueryResult(statement_type, affected_rows=total)
+
+    # -- reads ---------------------------------------------------------
+    def _execute_read(self, statement, sql, params, user) -> QueryResult:
+        target = self._single_shard_target(statement, params)
+        if target is not None:
+            self._count_route("single")
+            return self.shards[target].execute(sql, params, user)
+        self._count_route("scatter")
+        with self._ops.read_locked():
+            return run_scatter(self, statement, sql, params, user)
+
+    def _single_shard_target(self, statement, params) -> int | None:
+        """The one shard that can answer *statement* alone, or None.
+
+        Routing must be a *sound under-approximation*: answering on one
+        shard is only legal when every matching row provably lives there
+        — single plain-table FROM, no subqueries, and either a keyless
+        (shard-0-pinned) table or a WHERE that pins the whole key to one
+        shard. Equal keys co-locate, and within a shard the hidden
+        sequence order is the global order restricted to that shard's
+        rows, so even LIMIT without ORDER BY stays bit-identical.
+        """
+        if not isinstance(statement, ast.Select):
+            return None
+        if not isinstance(statement.from_clause, ast.TableRef):
+            return None
+        name = statement.from_clause.name
+        catalog = self.coordinator.catalog
+        if catalog.has_view(name) or not catalog.has_table(name):
+            return None
+        if _has_in_query(statement):
+            return None
+        schema = catalog.schema(name)
+        if not schema.primary_key_indexes:
+            return 0
+        keys = pinned_keys(schema, statement.where, params)
+        if keys is None:
+            return None
+        owners = {shard_of(key, self.n_shards) for key in keys}
+        if len(owners) == 1:
+            return owners.pop()
+        return None
+
+    # -- INSERT --------------------------------------------------------
+    def _execute_insert(self, statement, params, user) -> QueryResult:
+        if statement.select is not None:
+            select_result = self._execute_read(
+                statement.select, str(statement.select), params, user
+            )
+            schema = self.coordinator.catalog.schema(statement.table)
+            positions = self._insert_positions(statement, schema)
+            source = select_result.batch
+            if source.num_columns != len(positions):
+                raise BindError(
+                    f"INSERT column count {len(positions)} does not match "
+                    f"SELECT column count {source.num_columns}"
+                )
+            rows = [list(row) for row in source.rows()]
+            return self._scatter_rows(statement, rows, user)
+        rows = [
+            self._fold_insert_row(statement, params, row)
+            for row in statement.rows
+        ]
+        return self._scatter_rows(statement, rows, user)
+
+    def _insert_positions(self, statement, schema) -> list[int]:
+        if statement.columns:
+            return [schema.index_of(c) for c in statement.columns]
+        return list(range(len(schema)))
+
+    def _fold_insert_row(
+        self, statement, params, row: list | None = None
+    ) -> list[Any]:
+        """One VALUES row as constants, exactly as the engine folds them."""
+        if row is None:
+            row = statement.rows[0]
+        schema = self.coordinator.catalog.schema(statement.table)
+        positions = self._insert_positions(statement, schema)
+        if len(row) != len(positions):
+            raise BindError(
+                f"INSERT row has {len(row)} values, expected "
+                f"{len(positions)}"
+            )
+        binder = Binder(
+            self.coordinator, None if params is None else list(params)
+        )
+        empty_scope = Scope([])
+        values = []
+        for expr in row:
+            bound = fold_constants(binder._bind_expr(expr, empty_scope))
+            if not isinstance(bound, BoundLiteral):
+                raise BindError("INSERT VALUES must be constant expressions")
+            values.append(bound.value)
+        return values
+
+    def _scatter_rows(self, statement, rows, user) -> QueryResult:
+        """Route value rows by key hash and insert shard-by-shard."""
+        name = statement.table
+        # Coordinator privileges mirror the shards'; checking here keeps
+        # denials from reaching any shard.
+        self.coordinator.security.check(user, "INSERT", name)
+        schema = self.coordinator.catalog.schema(name)
+        if not rows:
+            return QueryResult("INSERT", affected_rows=0)
+        positions = self._insert_positions(statement, schema)
+        column_names = (
+            list(statement.columns)
+            if statement.columns
+            else [c.name for c in schema.columns]
+        )
+        key_positions = schema.primary_key_indexes
+        if not key_positions:
+            placeholders = ", ".join("?" for _ in column_names)
+            insert_sql = (
+                f"INSERT INTO {name} ({', '.join(column_names)}) "
+                f"VALUES ({placeholders})"
+            )
+            self.shards[0].database.executemany(
+                insert_sql, [list(row) for row in rows], user=user
+            )
+            return QueryResult("INSERT", affected_rows=len(rows))
+
+        slot_of = {p: i for i, p in enumerate(positions)}
+        start = self._take_sequences(name, len(rows))
+        groups: dict[int, list[list[Any]]] = {}
+        for offset, row in enumerate(rows):
+            key = tuple(
+                canonical_key_value(
+                    schema.columns[p],
+                    row[slot_of[p]] if p in slot_of else None,
+                )
+                for p in key_positions
+            )
+            owner = shard_of(key, self.n_shards)
+            groups.setdefault(owner, []).append(list(row) + [start + offset])
+
+        placeholders = ", ".join("?" for _ in range(len(column_names) + 1))
+        insert_sql = (
+            f"INSERT INTO {name} "
+            f"({', '.join(column_names + [SEQ_COLUMN])}) "
+            f"VALUES ({placeholders})"
+        )
+        applied: list[tuple[int, list[int]]] = []
+        applied_lock = threading.Lock()
+        failures: list[FlockError] = []
+
+        def _apply(owner: int, shard_rows: list[list[Any]]) -> None:
+            try:
+                self.shards[owner].database.executemany(
+                    insert_sql, shard_rows, user=user
+                )
+            except FlockError as exc:
+                failures.append(exc)
+                return
+            with applied_lock:
+                applied.append((owner, [r[-1] for r in shard_rows]))
+
+        if len(groups) == 1:
+            owner, shard_rows = next(iter(groups.items()))
+            _apply(owner, shard_rows)
+        else:
+            # Per-shard appends run concurrently: the router's exclusive
+            # ops lock already serializes whole statements, each worker
+            # owns exactly one shard engine, and commit fsyncs hit N
+            # independent write-ahead logs — this is where sharded write
+            # throughput actually scales.
+            workers = [
+                threading.Thread(target=_apply, args=(owner, groups[owner]))
+                for owner in sorted(groups)
+            ]
+            for worker in workers:
+                worker.start()
+            for worker in workers:
+                worker.join()
+        if failures:
+            # Compensate: a failed scatter must leave no partial rows.
+            # The hidden sequence numbers identify exactly the rows this
+            # statement created (they are addressable in WHERE even
+            # though SELECT never sees them).
+            for owner, sequences in applied:
+                in_list = ", ".join(str(s) for s in sequences)
+                self.shards[owner].database.execute(
+                    f"DELETE FROM {name} WHERE {SEQ_COLUMN} IN ({in_list})",
+                    user="admin",
+                )
+            raise failures[0]
+        return QueryResult("INSERT", affected_rows=len(rows))
+
+    # -- UPDATE / DELETE -----------------------------------------------
+    def _execute_update_delete(
+        self, statement, sql, params, user
+    ) -> QueryResult:
+        name = statement.table
+        schema = self.coordinator.catalog.schema(name)
+        key_positions = set(schema.primary_key_indexes)
+        if isinstance(statement, ast.Update) and key_positions:
+            key_names = {
+                schema.columns[p].name.lower() for p in key_positions
+            }
+            for column_name, _ in statement.assignments:
+                if column_name.lower() in key_names:
+                    raise ShardError(
+                        f"UPDATE may not assign to primary-key column "
+                        f"{column_name!r} on a sharded table (rows would "
+                        f"migrate between shards); DELETE and re-INSERT "
+                        f"instead"
+                    )
+        send_sql, send_params = sql, params
+        if statement.where is not None and any(
+            isinstance(node, ast.InQuery) for node in statement.where.walk()
+        ):
+            if params:
+                raise ShardError(
+                    "parameterized IN (SELECT ...) is not supported in "
+                    "sharded UPDATE/DELETE; inline the values or drop "
+                    "the parameters"
+                )
+            statement = dataclasses.replace(
+                statement,
+                where=self._resolve_in_queries(statement.where, user),
+            )
+            send_sql, send_params = str(statement), None
+        if not key_positions:
+            self._count_route("single")
+            return self.shards[0].execute(send_sql, send_params, user)
+        keys = pinned_keys(schema, statement.where, send_params)
+        if keys is not None:
+            owners = {shard_of(key, self.n_shards) for key in keys}
+            if len(owners) == 1:
+                self._count_route("single")
+                return self.shards[owners.pop()].execute(
+                    send_sql, send_params, user
+                )
+        self._count_route("broadcast")
+        statement_type = (
+            "UPDATE" if isinstance(statement, ast.Update) else "DELETE"
+        )
+        affected = 0
+        for shard in self.shards:
+            result = shard.execute(send_sql, send_params, user)
+            affected += result.affected_rows
+        return QueryResult(statement_type, affected_rows=affected)
+
+    def _resolve_in_queries(self, expr: ast.Expr, user: str) -> ast.Expr:
+        """Rewrite ``IN (SELECT ...)`` to a literal IN list.
+
+        The subquery runs once through the sharded read path (so it sees
+        the same globally merged snapshot a single engine would), and the
+        broadcast statement carries plain literals every shard can
+        evaluate locally.
+        """
+        if isinstance(expr, ast.InQuery):
+            result = self._execute_read(
+                expr.query, str(expr.query), None, user
+            )
+            batch = result.batch
+            if batch.num_columns != 1:
+                raise BindError("IN subquery must return exactly one column")
+            values = [v for v in batch.columns[0].to_pylist() if v is not None]
+            operand = self._resolve_in_queries(expr.operand, user)
+            if not values:
+                # x IN () is never true; x NOT IN () always is.
+                return ast.Literal(bool(expr.negated))
+            return ast.InList(
+                operand, [ast.Literal(v) for v in values], expr.negated
+            )
+        if isinstance(expr, ast.Expr):
+            changes = {}
+            for field in dataclasses.fields(expr):
+                value = getattr(expr, field.name)
+                if isinstance(value, ast.Expr):
+                    rewritten = self._resolve_in_queries(value, user)
+                    if rewritten is not value:
+                        changes[field.name] = rewritten
+                elif isinstance(value, list) and any(
+                    isinstance(item, ast.Expr) for item in value
+                ):
+                    rewritten_list = [
+                        self._resolve_in_queries(item, user)
+                        if isinstance(item, ast.Expr)
+                        else item
+                        for item in value
+                    ]
+                    if any(
+                        a is not b for a, b in zip(rewritten_list, value)
+                    ):
+                        changes[field.name] = rewritten_list
+            if changes:
+                return dataclasses.replace(expr, **changes)
+        return expr
+
+    # -- DDL / security / settings -------------------------------------
+    def _broadcast_ddl(self, statement, sql, params, user) -> QueryResult:
+        """Two-phase broadcast: validate-and-apply on the coordinator,
+        then apply on every shard, undoing creates on failure.
+
+        Phase 1 runs the statement on the coordinator, which performs the
+        full validation the shards would (parse and bind errors, duplicate
+        names, privileges) — a failure here touches no shard. Phase 2
+        applies shard by shard; shards are deterministic copies of the
+        coordinator's catalog, so a divergent outcome means a shard-local
+        fault, and the applied prefix is rolled back with the statement's
+        inverse so no two shards disagree about the schema.
+        """
+        self._count_route("ddl")
+        result = self.coordinator.execute(sql, params, user=user)
+        shard_sql = sql
+        if isinstance(statement, ast.CreateTable):
+            shard_sql = self._augment_create_table(statement)
+        applied: list[_Shard] = []
+        try:
+            for shard in self.shards:
+                shard.execute(shard_sql, params, user)
+                applied.append(shard)
+        except FlockError as exc:
+            inverse = _inverse_ddl(statement)
+            try:
+                if inverse is not None:
+                    for shard in applied:
+                        shard.execute(inverse, None, "admin")
+                    self.coordinator.execute(inverse, user="admin")
+            except FlockError:
+                raise ShardError(
+                    f"DDL broadcast failed on shard {len(applied)} and its "
+                    f"undo also failed; shard catalogs may be divergent: "
+                    f"{exc}"
+                ) from exc
+            if inverse is None:
+                raise ShardError(
+                    f"DDL broadcast failed on shard {len(applied)} with no "
+                    f"inverse to roll back; shard catalogs may be "
+                    f"divergent: {exc}"
+                ) from exc
+            raise
+        if isinstance(statement, ast.CreateTable):
+            with self._seq_lock:
+                self._next_seq.setdefault(statement.name.lower(), 0)
+        if isinstance(statement, ast.DropTable):
+            with self._seq_lock:
+                self._next_seq.pop(statement.name.lower(), None)
+        return result
+
+    def _augment_create_table(self, statement: ast.CreateTable) -> str:
+        """The shard-side DDL: keyed tables grow the sequence column."""
+        if not any(c.primary_key for c in statement.columns):
+            return str(statement)
+        augmented = ast.CreateTable(
+            statement.name,
+            list(statement.columns)
+            + [
+                ast.ColumnDef(
+                    SEQ_COLUMN,
+                    "BIGINT",
+                    nullable=False,
+                    primary_key=False,
+                    hidden=True,
+                )
+            ],
+            statement.if_not_exists,
+        )
+        return str(augmented)
+
+    # -- lifecycle ------------------------------------------------------
+    def restart_shard(self, index: int) -> None:
+        """Crash-recover one shard through ``Database.open``."""
+        with self._ops.write_locked():
+            self.shards[index].close()
+            self.shards[index] = self._open_shard(index)
+
+    def wait_for_catchup(self, timeout: float | None = 10.0) -> bool:
+        """With replicas: block until every shard's followers caught up."""
+        return all(
+            shard.cluster.wait_for_catchup(timeout)
+            for shard in self.shards
+            if shard.cluster is not None
+        )
+
+    def stats(self) -> dict:
+        with self._routes_lock:
+            routes = dict(self._routes)
+        per_shard = []
+        for shard in self.shards:
+            database = shard.database
+            per_shard.append(
+                {
+                    "path": str(shard.path),
+                    "rows": {
+                        name: database.catalog.table(name).row_count
+                        for name in database.catalog.table_names()
+                    },
+                }
+            )
+        return {
+            "shards": self.n_shards,
+            "replicas": self.replicas,
+            "routes": routes,
+            "next_sequence": dict(self._next_seq),
+            "per_shard": per_shard,
+        }
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for shard in self.shards:
+            shard.close()
+        self.coordinator.close()
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ShardError("sharded cluster is closed")
+
+    def __enter__(self) -> "ShardedCluster":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"<flock.shard.ShardedCluster path={self.path} "
+            f"shards={self.n_shards} replicas={self.replicas}>"
+        )
+
+
+def _inverse_ddl(statement: ast.Statement) -> str | None:
+    """The statement that undoes *statement* on an applied shard."""
+    if isinstance(statement, ast.CreateTable):
+        return f"DROP TABLE IF EXISTS {statement.name}"
+    if isinstance(statement, ast.CreateView):
+        return f"DROP VIEW IF EXISTS {statement.name}"
+    if isinstance(statement, ast.CreateIndex):
+        return f"DROP INDEX IF EXISTS {statement.name}"
+    return None

@@ -47,13 +47,28 @@ def _tiny_graph():
 
 
 def run(directory: str, seed: int, ops: int, ack_path: str,
-        sync_mode: str = "commit", replicas: int = 0) -> None:
+        sync_mode: str = "commit", replicas: int = 0,
+        shards: int = 0) -> None:
     import flock
 
     rng = random.Random(seed)
     ack = AckFile(ack_path)
     graph = _tiny_graph()  # built before any WAL traffic
 
+    if shards:
+        # Sharded mode: every statement routes through the ShardedCluster
+        # — scatter inserts, DDL broadcasts, model-deploy broadcasts —
+        # while the fault points arm whichever shard's WAL or checkpoint
+        # the routed statement lands on. Acknowledged still means durable,
+        # now across N write-ahead logs; the reopen-time reconciliation
+        # must absorb broadcasts the crash cut short mid-fleet.
+        client = flock.connect(
+            directory, shards=shards, replicas=replicas,
+            sync_mode=sync_mode, group_window_ms=0.2,
+        )
+        run_sharded(client, rng, ops, ack, graph)
+        client.close()
+        return
     if replicas:
         # Cluster mode (failover tests): writes commit on the primary and
         # ship over the replication stream; routed reads exercise the
@@ -136,6 +151,83 @@ def run(directory: str, seed: int, ops: int, ack_path: str,
     db.close()
 
 
+def run_sharded(client, rng: random.Random, ops: int, ack: AckFile,
+                graph) -> None:
+    """The sharded workload: same ack contract, router-shaped operations.
+
+    The router rejects BEGIN/COMMIT, so the "pair" witness becomes two
+    routed single-row inserts (each atomic on its shard): an ``ok pair``
+    still means both rows committed durably, while a crash between the
+    two leaves ``try`` without ``ok`` — a pair the parent must allow to
+    be partial, the honest contract for a tier without cross-shard
+    transactions. Single-row inserts route to exactly one shard, so
+    their acknowledgements stay all-or-nothing.
+    """
+    cluster = client.cluster
+    client.execute(
+        "CREATE TABLE IF NOT EXISTS pair_a (m INT PRIMARY KEY)"
+    )
+    client.execute(
+        "CREATE TABLE IF NOT EXISTS pair_b (m INT PRIMARY KEY)"
+    )
+    client.execute(
+        "CREATE TABLE IF NOT EXISTS singles "
+        "(m INT PRIMARY KEY, payload TEXT)"
+    )
+
+    marker = 0
+    ok_singles: list[int] = []
+    tables = 0
+    deploys = 0
+
+    for _ in range(ops):
+        roll = rng.random()
+        if roll < 0.30:
+            marker += 1
+            ack.line(f"try pair {marker}")
+            client.execute(f"INSERT INTO pair_a VALUES ({marker})")
+            client.execute(f"INSERT INTO pair_b VALUES ({marker})")
+            ack.line(f"ok pair {marker}")
+        elif roll < 0.62:
+            marker += 1
+            ack.line(f"try single {marker}")
+            client.execute(
+                "INSERT INTO singles VALUES (?, ?)",
+                [marker, f"payload-{marker}"],
+            )
+            ack.line(f"ok single {marker}")
+            ok_singles.append(marker)
+        elif roll < 0.76 and ok_singles:
+            victim = ok_singles.pop(rng.randrange(len(ok_singles)))
+            ack.line(f"try delete {victim}")
+            client.execute(f"DELETE FROM singles WHERE m = {victim}")
+            ack.line(f"ok delete {victim}")
+        elif roll < 0.86:
+            tables += 1
+            ack.line(f"try table {tables}")
+            client.execute(
+                f"CREATE TABLE extra_{tables} (k INT PRIMARY KEY)"
+            )
+            client.execute(f"INSERT INTO extra_{tables} VALUES ({tables})")
+            ack.line(f"ok table {tables}")
+        elif roll < 0.93:
+            deploys += 1
+            ack.line(f"try deploy {deploys}")
+            client.registry.deploy(f"stress_m{deploys}", graph)
+            ack.line(f"ok deploy {deploys}")
+        else:
+            # Checkpoint every shard primary in order — the checkpoint
+            # fault points then fire on whichever shard accumulates hits.
+            ack.line("try checkpoint 0")
+            for shard in cluster.shards:
+                shard.database.checkpoint()
+            ack.line("ok checkpoint 0")
+        if rng.random() < 0.4:
+            # Scattered read between writes keeps the gather/merge path
+            # hot, so crashes land mid-traffic rather than idle.
+            client.execute("SELECT COUNT(*) FROM singles")
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         description="crash-recovery stress workload (child process)"
@@ -149,9 +241,14 @@ def main(argv=None) -> int:
         "--replicas", type=int, default=0,
         help="drive the workload through a FlockCluster with N followers",
     )
+    parser.add_argument(
+        "--shards", type=int, default=0,
+        help="drive the workload through a ShardedCluster with N shards "
+        "(composes with --replicas)",
+    )
     args = parser.parse_args(argv)
     run(args.dir, args.seed, args.ops, args.ack_file, args.sync_mode,
-        replicas=args.replicas)
+        replicas=args.replicas, shards=args.shards)
     return 0
 
 

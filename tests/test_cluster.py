@@ -154,6 +154,56 @@ class TestRouter:
             assert cluster.execute("SELECT COUNT(*) FROM s").scalar() == 2
             assert follower.server._served == before + 1
 
+    def test_unparseable_statement_raises_parse_error_and_cluster_lives(
+        self, cluster
+    ):
+        from flock.errors import ParseError
+
+        cluster.execute("CREATE TABLE ok (k INT)")
+        with pytest.raises(ParseError):
+            cluster.execute("FROBNICATE ALL THE THINGS")
+        # The router fell back to the primary for the error; the cluster
+        # keeps serving afterwards.
+        cluster.execute("INSERT INTO ok VALUES (1)")
+        assert cluster.execute("SELECT COUNT(*) FROM ok").scalar() == 1
+
+    def test_read_with_subquery_on_writable_table_serves_from_follower(
+        self, cluster
+    ):
+        # A SELECT whose WHERE holds an IN (SELECT ...) over a table that
+        # also takes writes is still read-only: it must classify as such
+        # and fan to a follower, with post-catchup results matching.
+        cluster.execute("CREATE TABLE wq (k INT, grp INT)")
+        for k in range(6):
+            cluster.execute(f"INSERT INTO wq VALUES ({k}, {k % 2})")
+        assert cluster.wait_for_catchup(10.0)
+        sql = (
+            "SELECT COUNT(*) FROM wq "
+            "WHERE k IN (SELECT k FROM wq WHERE grp = 0)"
+        )
+        served_before = sum(f.server._served for f in cluster.followers)
+        assert cluster.execute(sql).scalar() == 3
+        served_after = sum(f.server._served for f in cluster.followers)
+        assert served_after == served_before + 1
+
+    def test_staleness_bound_falls_back_past_dead_follower(self, tmp_path):
+        with FlockCluster(
+            tmp_path / "db", replicas=2, max_staleness=0
+        ) as cluster:
+            cluster.execute("CREATE TABLE d (k INT)")
+            cluster.execute("INSERT INTO d VALUES (1)")
+            assert cluster.wait_for_catchup(10.0)
+            # One follower dies outright, the other lags past the bound:
+            # nothing is eligible, so reads must land on the primary.
+            dead, laggard = cluster.followers
+            dead.error = RuntimeError("injected crash")
+            laggard.pause()
+            cluster.execute("INSERT INTO d VALUES (2)")
+            primary_served = cluster.primary.stats()["served"]
+            assert cluster.execute("SELECT COUNT(*) FROM d").scalar() == 2
+            assert cluster.primary.stats()["served"] == primary_served + 1
+            laggard.resume()
+
     def test_unhealthy_follower_routed_around(self, cluster):
         cluster.execute("CREATE TABLE h (k INT)")
         assert cluster.wait_for_catchup(10.0)

@@ -35,6 +35,8 @@ SRC = str(Path(__file__).resolve().parent.parent / "src")
 ROUNDS = int(os.environ.get("FLOCK_STRESS_ROUNDS", "5"))
 SEED = int(os.environ.get("FLOCK_STRESS_SEED", "20260806"))
 OPS = int(os.environ.get("FLOCK_STRESS_OPS", "60"))
+SHARDS = int(os.environ.get("FLOCK_SHARDS", "2"))
+SHARD_ROUNDS = int(os.environ.get("FLOCK_STRESS_SHARD_ROUNDS", "3"))
 
 #: Crashing at wal.pre_ack exercises the "durable but unacknowledged"
 #: window; the checkpoint points exercise swap repair; mid_record leaves a
@@ -126,6 +128,83 @@ def verify_recovery(data_dir: Path, ack_path: Path) -> None:
         db.close()
 
 
+def verify_shard_recovery(data_dir: Path, ack_path: Path) -> None:
+    """The sharded contract: acked ⇒ durable across N write-ahead logs.
+
+    Reopening runs the router's reconciliation, which resumes any DDL or
+    deploy broadcast the crash cut short mid-fleet. Pair atomicity is the
+    one deliberate relaxation: the sharded tier has no cross-shard
+    transactions, so a crash between the two routed pair inserts may
+    leave a partial *unacknowledged* pair — acknowledged pairs must still
+    be complete.
+    """
+    markers = parse_ack(ack_path)
+    client = flock.connect(data_dir, shards=SHARDS)
+
+    def rows(table: str, column: str = "m") -> set[int]:
+        if table not in client.db.catalog.table_names():
+            return set()
+        result = client.execute(f"SELECT {column} FROM {table}")
+        return {r[0] for r in result.rows()}
+
+    try:
+        pair_a, pair_b = rows("pair_a"), rows("pair_b")
+        pairs = markers.get("pair", {"try": set(), "ok": set()})
+        assert pairs["ok"] <= (pair_a & pair_b), "acknowledged pair lost"
+        assert (pair_a | pair_b) <= pairs["try"], (
+            "pair row appeared from nowhere"
+        )
+
+        singles = rows("singles")
+        ins = markers.get("single", {"try": set(), "ok": set()})
+        dels = markers.get("delete", {"try": set(), "ok": set()})
+        assert (ins["ok"] - dels["try"]) <= singles, "acked insert lost"
+        assert not (singles & dels["ok"]), "acked delete resurrected"
+        assert singles <= ins["try"], "single row appeared from nowhere"
+
+        tab = markers.get("table", {"try": set(), "ok": set()})
+        for k in tab["ok"]:
+            assert f"extra_{k}" in client.db.catalog.table_names()
+            assert rows(f"extra_{k}", "k") == {k}
+        extras = {
+            int(name.split("_")[1])
+            for name in client.db.catalog.table_names()
+            if name.startswith("extra_")
+        }
+        assert extras <= tab["try"], "table appeared from nowhere"
+
+        dep = markers.get("deploy", {"try": set(), "ok": set()})
+        deployed = {
+            int(name.removeprefix("stress_m"))
+            for name in client.registry.model_names()
+            if name.startswith("stress_m")
+        }
+        assert dep["ok"] <= deployed, "acknowledged deploy lost"
+        assert deployed <= dep["try"], "model appeared from nowhere"
+
+        # Broadcast invariant restored: every shard sees every table and
+        # model, and every shard's audit hash chain still verifies.
+        for shard in client.cluster.shards:
+            names = set(shard.database.catalog.table_names())
+            assert set(client.db.catalog.table_names()) <= names
+            assert set(shard.registry.model_names()) == set(
+                client.registry.model_names()
+            )
+            assert shard.database.audit.log.verify_chain(), (
+                f"shard {shard.index}: audit hash chain broken"
+            )
+
+        # The reconciled cluster still takes scattered writes.
+        client.execute(
+            "CREATE TABLE IF NOT EXISTS post_crash (x INT PRIMARY KEY)"
+        )
+        client.execute("INSERT INTO post_crash VALUES (1), (2), (3)")
+        count = client.execute("SELECT COUNT(*) FROM post_crash").scalar()
+        assert count >= 3
+    finally:
+        client.close()
+
+
 def test_crash_recovery_stress(tmp_path):
     rng = random.Random(SEED)
     for round_no in range(ROUNDS):
@@ -178,6 +257,60 @@ def test_crash_recovery_stress(tmp_path):
                     shutil.copy(ack_path, dest / "ack.log")
                 (dest / "round.txt").write_text(
                     f"point={point} after={after} sync_mode={sync_mode} "
+                    f"returncode={proc.returncode}\n"
+                )
+            raise
+
+
+def test_shard_crash_recovery_stress(tmp_path):
+    rng = random.Random(SEED + 1)
+    for round_no in range(SHARD_ROUNDS):
+        point = rng.choice(CRASH_POINTS)
+        after = rng.randint(1, 40)
+        data_dir = tmp_path / f"shard-round{round_no}"
+        ack_path = tmp_path / f"shard-ack{round_no}.log"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = SRC
+        env["FLOCK_FAULTPOINTS"] = f"{point}=crash:{after}"
+        proc = subprocess.run(
+            [
+                sys.executable,
+                "-m",
+                "flock.testing.crashload",
+                "--dir",
+                str(data_dir),
+                "--seed",
+                str(rng.randrange(1 << 30)),
+                "--ops",
+                str(OPS),
+                "--ack-file",
+                str(ack_path),
+                "--shards",
+                str(SHARDS),
+            ],
+            env=env,
+            capture_output=True,
+            text=True,
+            timeout=180,
+        )
+        assert proc.returncode in (0, faultpoints.CRASH_EXIT_CODE), (
+            f"shard round {round_no} ({point}=crash:{after}): "
+            f"child failed\n{proc.stderr}"
+        )
+        try:
+            verify_shard_recovery(data_dir, ack_path)
+        except BaseException:
+            artifacts = os.environ.get("FLOCK_STRESS_ARTIFACTS")
+            if artifacts:
+                dest = Path(artifacts) / f"shard-round{round_no}"
+                dest.mkdir(parents=True, exist_ok=True)
+                shutil.copytree(
+                    data_dir, dest / "data", dirs_exist_ok=True
+                )
+                if ack_path.exists():
+                    shutil.copy(ack_path, dest / "ack.log")
+                (dest / "round.txt").write_text(
+                    f"point={point} after={after} shards={SHARDS} "
                     f"returncode={proc.returncode}\n"
                 )
             raise
