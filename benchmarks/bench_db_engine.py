@@ -7,10 +7,13 @@ sustain the TPC-C write path that the provenance experiment leans on.
 
 from __future__ import annotations
 
+import os
 import time
 
 import numpy as np
 import pytest
+
+TPCH_SCALE = float(os.environ.get("FLOCK_TPCH_SCALE", "0.002"))
 
 from benchmarks.conftest import write_report
 from flock.db import Database
@@ -29,7 +32,7 @@ from flock.workloads import (
 def tpch_db():
     db = Database()
     create_tpch_schema(db)
-    generate_tpch_data(db, scale=0.002, seed=3)
+    generate_tpch_data(db, scale=TPCH_SCALE, seed=3)
     return db
 
 
@@ -38,7 +41,7 @@ def engine_report(tpch_db):
     rng = np.random.default_rng(0)
     queries = {t: tpch_query(t, rng) for t in (1, 3, 5, 6, 10, 18)}
     lines = [
-        "DB engine micro-benchmark: TPC-H (scale 0.002) latency, "
+        f"DB engine micro-benchmark: TPC-H (scale {TPCH_SCALE}) latency, "
         "optimizer on vs off",
         f"{'query':>6} | {'optimized':>10} | {'naive':>10}",
     ]

@@ -38,6 +38,7 @@ from flock.db.plan import (
     ProjectNode,
     ScanNode,
     SortNode,
+    WindowNode,
 )
 from flock.db.schema import TableSchema
 from flock.db.sql import ast_nodes as ast
@@ -154,6 +155,12 @@ class Binder:
         # Positional values for '?' placeholders; None means the statement
         # must not contain any placeholders.
         self.parameters = parameters
+        # WITH-clause bindings visible at the current point of the tree:
+        # lowercased name → (query AST, registry snapshot to bind it under).
+        # The snapshot holds only *earlier* CTEs of the same WITH clause, so
+        # references resolve left-to-right and self-recursion is a plain
+        # unknown-table error rather than infinite regress.
+        self._ctes: dict[str, tuple[ast.Statement, dict]] = {}
 
     def _bind_parameter(self, param: ast.Parameter) -> BoundLiteral:
         if self.parameters is None:
@@ -191,7 +198,25 @@ class Binder:
             f"cannot bind {type(statement).__name__} as a query"
         )
 
+    def _register_ctes(self, ctes: list[ast.CTE]) -> dict:
+        """Install *ctes* into the registry; returns the registry to restore."""
+        saved = self._ctes
+        if ctes:
+            current = dict(saved)
+            for cte in ctes:
+                snapshot = dict(current)
+                current[cte.name.lower()] = (cte.query, snapshot)
+            self._ctes = current
+        return saved
+
     def _bind_set_operation(self, setop: ast.SetOperation) -> PlanNode:
+        saved = self._register_ctes(setop.ctes)
+        try:
+            return self._bind_set_operation_body(setop)
+        finally:
+            self._ctes = saved
+
+    def _bind_set_operation_body(self, setop: ast.SetOperation) -> PlanNode:
         from flock.db.plan import SetOpNode
 
         left = self.bind_query(setop.left)
@@ -269,6 +294,13 @@ class Binder:
     # SELECT
     # ------------------------------------------------------------------
     def bind_select(self, select: ast.Select) -> PlanNode:
+        saved = self._register_ctes(select.ctes)
+        try:
+            return self._bind_select_body(select)
+        finally:
+            self._ctes = saved
+
+    def _bind_select_body(self, select: ast.Select) -> PlanNode:
         plan, scope = self._bind_from(select.from_clause)
 
         # Lift PREDICT expressions appearing anywhere in this SELECT into
@@ -279,6 +311,13 @@ class Binder:
         # Lift uncorrelated IN (SELECT ...) conjuncts into semi/anti joins.
         plan, scope, select = self._lift_in_subqueries(plan, scope, select)
 
+        # Lift scalar subqueries into LEFT joins (grouped equality joins for
+        # the correlated-aggregate form) and EXISTS conjuncts into SEMI/ANTI
+        # joins — the decorrelation that makes faithful TPC-H run on the same
+        # join plans as the rewritten templates.
+        plan, scope, select = self._lift_scalar_subqueries(plan, scope, select)
+        plan, scope, select = self._lift_exists(plan, scope, select)
+
         if select.where is not None:
             predicate = self._bind_boolean(select.where, scope)
             plan = FilterNode(plan, fold_constants(predicate))
@@ -288,8 +327,27 @@ class Binder:
         ) or (select.having is not None) or bool(select.group_by)
 
         if has_aggregates:
+            if self._contains_window(select):
+                raise BindError(
+                    "window functions cannot be combined with GROUP BY or "
+                    "aggregates"
+                )
             return self._bind_aggregate_select(select, plan, scope)
+        plan, scope, select = self._lift_windows(plan, scope, select)
         return self._bind_plain_select(select, plan, scope)
+
+    def _contains_window(self, select: ast.Select) -> bool:
+        def has(expr: ast.Expr | None) -> bool:
+            if expr is None:
+                return False
+            return any(isinstance(n, ast.WindowFunction) for n in expr.walk())
+
+        return (
+            any(has(item.expr) for item in select.items)
+            or has(select.having)
+            or any(has(g) for g in select.group_by)
+            or any(has(o.expr) for o in select.order_by)
+        )
 
     # -- FROM ----------------------------------------------------------
     def _bind_from(
@@ -299,11 +357,30 @@ class Binder:
             raise BindError("SELECT without FROM is not supported")
         if isinstance(from_clause, ast.TableRef):
             qualifier = from_clause.alias or from_clause.name
+            cte = self._ctes.get(from_clause.name.lower())
+            if cte is not None:
+                # Each FROM-position reference re-binds the CTE body under
+                # the registry snapshot it was declared with (earlier CTEs
+                # only), so one CTE may be used in several FROM positions.
+                cte_query, snapshot = cte
+                outer_registry = self._ctes
+                self._ctes = snapshot
+                try:
+                    inner = self.bind_query(cte_query)
+                finally:
+                    self._ctes = outer_registry
+                scope = Scope(
+                    [
+                        ScopeEntry(qualifier, f.name, f.dtype)
+                        for f in inner.fields
+                    ]
+                )
+                return inner, scope
             view_query = getattr(self.context, "resolve_view", lambda n: None)(
                 from_clause.name
             )
             if view_query is not None:
-                inner = self.bind_select(view_query)
+                inner = self.bind_query(view_query)
                 # Definer semantics: every scan under the view is governed
                 # by a grant on the (outermost) view, not the base tables.
                 for node in inner.walk():
@@ -389,7 +466,7 @@ class Binder:
             signature_to_column[key] = column_ref
             replacement[id(predict)] = column_ref
 
-        rewritten = _rewrite_predicts(select, replacement)
+        rewritten = _replace_exprs(select, replacement)
         return plan, scope, rewritten
 
     def _append_predict(
@@ -518,13 +595,14 @@ class Binder:
             limit=select.limit,
             offset=select.offset,
             distinct=select.distinct,
+            ctes=select.ctes,
         )
         return plan, scope, rewritten
 
     def _append_in_subquery(
         self, plan: PlanNode, scope: Scope, in_query: ast.InQuery, index: int
     ) -> tuple[PlanNode, Scope, ast.Expr | None]:
-        subplan = self.bind_select(in_query.query)
+        subplan = self.bind_query(in_query.query)
         if len(subplan.fields) != 1:
             raise BindError(
                 "IN (SELECT ...) subquery must produce exactly one column"
@@ -547,6 +625,431 @@ class Binder:
             # rows here; documented in DESIGN.md.)
             return plan, new_scope, ast.IsNull(ast.ColumnRef(hidden_name))
         return plan, new_scope, None
+
+    # -- scalar subquery lifting ------------------------------------------
+    def _lift_scalar_subqueries(
+        self, plan: PlanNode, scope: Scope, select: ast.Select
+    ) -> tuple[PlanNode, Scope, ast.Select]:
+        def collect(expr: ast.Expr | None) -> list[ast.ScalarSubquery]:
+            if expr is None:
+                return []
+            return [
+                n for n in expr.walk() if isinstance(n, ast.ScalarSubquery)
+            ]
+
+        occurrences: list[tuple[ast.ScalarSubquery, str]] = []
+        for item in select.items:
+            occurrences += [(n, "item") for n in collect(item.expr)]
+        occurrences += [(n, "where") for n in collect(select.where)]
+        occurrences += [(n, "having") for n in collect(select.having)]
+        for order in select.order_by:
+            occurrences += [(n, "order") for n in collect(order.expr)]
+        for g in select.group_by:
+            if collect(g):
+                raise BindError(
+                    "scalar subqueries are not supported in GROUP BY"
+                )
+        if not occurrences:
+            return plan, scope, select
+
+        aggregate_select = any(
+            self._contains_aggregate(item.expr) for item in select.items
+        ) or (select.having is not None) or bool(select.group_by)
+
+        replacement: dict[int, ast.Expr] = {}
+        signature_to_name: dict[str, str] = {}
+        for node, context in occurrences:
+            key = str(node)
+            if key not in signature_to_name:
+                plan, scope, name = self._append_scalar_subquery(
+                    plan, scope, node, len(signature_to_name)
+                )
+                signature_to_name[key] = name
+            ref: ast.Expr = ast.ColumnRef(signature_to_name[key])
+            if aggregate_select and context in ("item", "having", "order"):
+                # Post-aggregation contexts see the subquery value through
+                # MIN(): the value is constant per group (it is LEFT-joined
+                # on the group's correlation keys), so MIN is exact.
+                ref = ast.FunctionCall("MIN", [ref])
+            replacement[id(node)] = ref
+        rewritten = _replace_exprs(select, replacement)
+        for old_item, new_item in zip(select.items, rewritten.items):
+            if new_item.alias is None and isinstance(
+                old_item.expr, ast.ScalarSubquery
+            ):
+                new_item.alias = _scalar_subquery_name(old_item.expr)
+        return plan, scope, rewritten
+
+    def _append_scalar_subquery(
+        self,
+        plan: PlanNode,
+        scope: Scope,
+        node: ast.ScalarSubquery,
+        index: int,
+    ) -> tuple[PlanNode, Scope, str]:
+        hidden_name = f"__sq{index}"
+        query = node.query
+        # Uncorrelated first: the subquery binds on its own.
+        try:
+            subplan = self.bind_query(query)
+        except BindError:
+            subplan = None
+        if subplan is not None:
+            if len(subplan.fields) != 1:
+                raise BindError(
+                    "scalar subquery must produce exactly one column"
+                )
+            if not self._scalar_shape_ok(query):
+                raise BindError(
+                    "scalar subquery must be an aggregate without GROUP BY "
+                    "or use LIMIT 1"
+                )
+            dtype = subplan.fields[0].dtype
+            subplan = ProjectNode(
+                subplan, [BoundColumn(0, dtype, hidden_name)], [hidden_name]
+            )
+            # LEFT join on a literal TRUE condition: every outer row picks up
+            # the single subquery row, or NULL when it produced no rows.
+            condition = BoundLiteral(DataType.BOOLEAN, True)
+            plan = JoinNode(plan, subplan, "LEFT", condition)
+            new_scope = Scope(list(scope.entries))
+            new_scope.add(None, hidden_name, dtype)
+            return plan, new_scope, hidden_name
+        return self._append_correlated_scalar(plan, scope, query, hidden_name)
+
+    def _scalar_shape_ok(self, query: ast.Statement) -> bool:
+        limit = getattr(query, "limit", None)
+        if limit is not None and limit <= 1:
+            return True
+        if isinstance(query, ast.Select) and not query.group_by:
+            return any(
+                self._contains_aggregate(item.expr) for item in query.items
+            )
+        return False
+
+    def _append_correlated_scalar(
+        self,
+        plan: PlanNode,
+        scope: Scope,
+        query: ast.Statement,
+        hidden_name: str,
+    ) -> tuple[PlanNode, Scope, str]:
+        if not isinstance(query, ast.Select):
+            raise BindError(
+                "correlated scalar subquery must be a plain SELECT"
+            )
+        if (
+            query.group_by
+            or query.having is not None
+            or query.order_by
+            or query.limit is not None
+            or query.offset is not None
+            or query.distinct
+            or query.ctes
+        ):
+            raise BindError(
+                "correlated scalar subquery must be a plain aggregate "
+                "SELECT without GROUP BY/HAVING/ORDER BY/LIMIT/DISTINCT"
+            )
+        if len(query.items) != 1:
+            raise BindError("scalar subquery must produce exactly one column")
+        if not self._contains_aggregate(query.items[0].expr):
+            raise BindError(
+                "correlated scalar subquery must compute an aggregate"
+            )
+        sub_plan, sub_scope = self._bind_from(query.from_clause)
+        del sub_plan  # probe bind only: classifies conjuncts below
+
+        local_asts: list[ast.Expr] = []
+        pairs: list[tuple[ast.Expr, ast.Expr]] = []  # (outer, inner) keys
+        conjuncts = (
+            _ast_conjuncts(query.where) if query.where is not None else []
+        )
+        for conjunct in conjuncts:
+            try:
+                self._bind_boolean(conjunct, sub_scope)
+                local_asts.append(conjunct)
+                continue
+            except BindError:
+                pass
+            if not (
+                isinstance(conjunct, ast.BinaryOp) and conjunct.op == "="
+            ):
+                raise BindError(
+                    f"cannot decorrelate scalar subquery predicate "
+                    f"{conjunct}: only equality correlations are supported"
+                )
+            for inner_ast, outer_ast in (
+                (conjunct.left, conjunct.right),
+                (conjunct.right, conjunct.left),
+            ):
+                try:
+                    self._bind_expr(inner_ast, sub_scope)
+                    self._bind_expr(outer_ast, scope)
+                except BindError:
+                    continue
+                pairs.append((outer_ast, inner_ast))
+                break
+            else:
+                raise BindError(
+                    f"cannot decorrelate scalar subquery predicate "
+                    f"{conjunct}"
+                )
+        if not pairs:
+            raise BindError(
+                "scalar subquery is neither uncorrelated nor an "
+                "equality-correlated aggregate"
+            )
+
+        # Decorrelate: group the subquery by its correlation keys, then
+        # LEFT-join the grouped result on outer key = inner key. This is the
+        # same pre-aggregated-join plan the rewritten TPC-H templates use,
+        # so results (including float rounding) match bit-for-bit.
+        key_items = [
+            ast.SelectItem(inner_ast, f"{hidden_name}k{i}")
+            for i, (_, inner_ast) in enumerate(pairs)
+        ]
+        local_where: ast.Expr | None = None
+        for conjunct in local_asts:
+            local_where = (
+                conjunct
+                if local_where is None
+                else ast.BinaryOp("AND", local_where, conjunct)
+            )
+        derived = ast.Select(
+            items=key_items + [ast.SelectItem(query.items[0].expr, hidden_name)],
+            from_clause=query.from_clause,
+            where=local_where,
+            group_by=[inner_ast for _, inner_ast in pairs],
+        )
+        subplan = self.bind_select(derived)
+
+        left_width = len(scope.entries)
+        condition: BoundExpr | None = None
+        for i, (outer_ast, _) in enumerate(pairs):
+            outer_bound = self._bind_expr(outer_ast, scope)
+            key_field = subplan.fields[i]
+            right_col = BoundColumn(
+                left_width + i, key_field.dtype, key_field.name
+            )
+            eq = self._make_binary("=", outer_bound, right_col)
+            condition = (
+                eq
+                if condition is None
+                else BoundBinary("AND", condition, eq, DataType.BOOLEAN)
+            )
+        plan = JoinNode(plan, subplan, "LEFT", fold_constants(condition))
+        new_scope = Scope(list(scope.entries))
+        for f in subplan.fields:
+            new_scope.add(None, f.name, f.dtype)
+        return plan, new_scope, hidden_name
+
+    # -- EXISTS lifting ----------------------------------------------------
+    def _lift_exists(
+        self, plan: PlanNode, scope: Scope, select: ast.Select
+    ) -> tuple[PlanNode, Scope, ast.Select]:
+        def contains(expr: ast.Expr | None) -> bool:
+            if expr is None:
+                return False
+            return any(isinstance(n, ast.Exists) for n in expr.walk())
+
+        misplaced = (
+            any(contains(item.expr) for item in select.items)
+            or contains(select.having)
+            or any(contains(g) for g in select.group_by)
+            or any(contains(o.expr) for o in select.order_by)
+        )
+        if misplaced:
+            raise BindError(
+                "EXISTS is only supported in the WHERE clause"
+            )
+        if select.where is None or not contains(select.where):
+            return plan, scope, select
+
+        remaining: list[ast.Expr] = []
+        for conjunct in _ast_conjuncts(select.where):
+            if isinstance(conjunct, ast.Exists):
+                plan = self._append_exists(plan, scope, conjunct)
+                continue
+            if contains(conjunct):
+                raise BindError(
+                    "EXISTS must be a top-level AND-conjunct of the "
+                    "WHERE clause"
+                )
+            remaining.append(conjunct)
+
+        new_where: ast.Expr | None = None
+        for conjunct in remaining:
+            new_where = (
+                conjunct
+                if new_where is None
+                else ast.BinaryOp("AND", new_where, conjunct)
+            )
+        rewritten = ast.Select(
+            items=select.items,
+            from_clause=select.from_clause,
+            where=new_where,
+            group_by=select.group_by,
+            having=select.having,
+            order_by=select.order_by,
+            limit=select.limit,
+            offset=select.offset,
+            distinct=select.distinct,
+            ctes=select.ctes,
+        )
+        return plan, scope, rewritten
+
+    def _append_exists(
+        self, plan: PlanNode, scope: Scope, exists: ast.Exists
+    ) -> PlanNode:
+        sub = exists.query
+        if not isinstance(sub, ast.Select):
+            raise BindError("EXISTS subquery must be a plain SELECT")
+        if (
+            sub.group_by
+            or sub.having is not None
+            or sub.order_by
+            or sub.limit is not None
+            or sub.offset is not None
+            or sub.distinct
+            or sub.ctes
+        ):
+            raise BindError(
+                "EXISTS subquery must be a plain SELECT without "
+                "GROUP BY/HAVING/ORDER BY/LIMIT/DISTINCT"
+            )
+        if any(
+            self._contains_aggregate(item.expr)
+            for item in sub.items
+            if not isinstance(item.expr, ast.Star)
+        ):
+            raise BindError(
+                "aggregates are not supported in an EXISTS subquery"
+            )
+        sub_plan, sub_scope = self._bind_from(sub.from_clause)
+
+        # Split the subquery's WHERE into conjuncts the subquery can evaluate
+        # alone (filter below the join) and correlated conjuncts referencing
+        # the outer scope (the SEMI/ANTI join condition; positions are outer
+        # columns then inner, exactly the JoinNode condition space).
+        local: list[BoundExpr] = []
+        correlated: list[BoundExpr] = []
+        combined = scope.extend(sub_scope)
+        conjuncts = _ast_conjuncts(sub.where) if sub.where is not None else []
+        for conjunct in conjuncts:
+            try:
+                local.append(self._bind_boolean(conjunct, sub_scope))
+                continue
+            except BindError:
+                pass
+            correlated.append(self._bind_boolean(conjunct, combined))
+
+        if local:
+            predicate = local[0]
+            for extra in local[1:]:
+                predicate = BoundBinary(
+                    "AND", predicate, extra, DataType.BOOLEAN
+                )
+            sub_plan = FilterNode(sub_plan, fold_constants(predicate))
+        condition: BoundExpr | None = None
+        for extra in correlated:
+            condition = (
+                extra
+                if condition is None
+                else BoundBinary("AND", condition, extra, DataType.BOOLEAN)
+            )
+        if condition is not None:
+            condition = fold_constants(condition)
+        join_type = "ANTI" if exists.negated else "SEMI"
+        return JoinNode(plan, sub_plan, join_type, condition)
+
+    # -- window function lifting -------------------------------------------
+    def _lift_windows(
+        self, plan: PlanNode, scope: Scope, select: ast.Select
+    ) -> tuple[PlanNode, Scope, ast.Select]:
+        collected: list[ast.WindowFunction] = []
+
+        def collect(expr: ast.Expr | None) -> None:
+            if expr is None:
+                return
+            for n in expr.walk():
+                if isinstance(n, ast.WindowFunction):
+                    collected.append(n)
+
+        for item in select.items:
+            collect(item.expr)
+        for order in select.order_by:
+            collect(order.expr)
+        if not collected:
+            return plan, scope, select
+
+        replacement: dict[int, ast.Expr] = {}
+        signature_to_name: dict[str, str] = {}
+        for node in collected:
+            key = str(node)
+            if key not in signature_to_name:
+                plan, scope, name = self._append_window(
+                    plan, scope, node, len(signature_to_name)
+                )
+                signature_to_name[key] = name
+            replacement[id(node)] = ast.ColumnRef(signature_to_name[key])
+        rewritten = _replace_exprs(select, replacement)
+        for old_item, new_item in zip(select.items, rewritten.items):
+            if new_item.alias is None and isinstance(
+                old_item.expr, ast.WindowFunction
+            ):
+                new_item.alias = old_item.expr.name.lower()
+        return plan, scope, rewritten
+
+    def _append_window(
+        self,
+        plan: PlanNode,
+        scope: Scope,
+        win: ast.WindowFunction,
+        index: int,
+    ) -> tuple[PlanNode, Scope, str]:
+        name = win.name.upper()
+        output_name = f"__win{index}"
+        for sub in win.children():
+            for n in sub.walk():
+                if isinstance(n, ast.WindowFunction):
+                    raise BindError("window functions cannot be nested")
+                if isinstance(n, ast.FunctionCall) and fn.is_aggregate(
+                    n.name
+                ):
+                    raise BindError(
+                        "aggregates are not allowed inside window functions"
+                    )
+        arg: BoundExpr | None = None
+        if name in ("ROW_NUMBER", "RANK"):
+            if win.args:
+                raise BindError(f"{name}() takes no arguments")
+            dtype = DataType.INTEGER
+        elif name == "SUM":
+            if len(win.args) != 1:
+                raise BindError("SUM(...) OVER takes exactly one argument")
+            arg = self._bind_expr(win.args[0], scope)
+            if not arg.dtype.is_numeric:
+                raise BindError("SUM(...) OVER requires a numeric argument")
+            dtype = fn.AGGREGATE_FUNCTIONS["SUM"].return_type(arg.dtype)
+        else:
+            raise BindError(
+                f"unsupported window function {win.name!r} "
+                "(supported: ROW_NUMBER, RANK, SUM)"
+            )
+        partition_exprs = [
+            self._bind_expr(e, scope) for e in win.partition_by
+        ]
+        order_keys = [
+            (self._bind_expr(o.expr, scope), o.ascending)
+            for o in win.order_by
+        ]
+        node = WindowNode(
+            plan, name, arg, partition_exprs, order_keys, output_name, dtype
+        )
+        new_scope = Scope(list(scope.entries))
+        new_scope.add(None, output_name, dtype)
+        return node, new_scope, output_name
 
     # -- plain (non-aggregate) SELECT ------------------------------------
     def _bind_plain_select(
@@ -918,6 +1421,20 @@ class Binder:
                 "IN (SELECT ...) is only supported as a top-level conjunct "
                 "of a SELECT's WHERE clause"
             )
+        if isinstance(expr, ast.Exists):
+            raise BindError(
+                "EXISTS is only supported as a top-level AND-conjunct of a "
+                "SELECT's WHERE clause"
+            )
+        if isinstance(expr, ast.ScalarSubquery):
+            raise BindError(
+                "scalar subqueries are not supported in this context"
+            )
+        if isinstance(expr, ast.WindowFunction):
+            raise BindError(
+                "window functions are only allowed in the select list and "
+                "ORDER BY of a non-aggregate SELECT"
+            )
         if isinstance(expr, ast.Star):
             raise BindError("'*' is only valid in the select list or COUNT(*)")
         raise BindError(f"unsupported expression {expr!r}")
@@ -1037,6 +1554,16 @@ def _ast_conjuncts(expr: ast.Expr) -> list[ast.Expr]:
     return [expr]
 
 
+def _scalar_subquery_name(node: ast.ScalarSubquery) -> str:
+    # Mirror the Postgres convention: a bare scalar subquery in the select
+    # list is named after its inner output expression.
+    query = node.query
+    if isinstance(query, ast.Select) and len(query.items) == 1:
+        item = query.items[0]
+        return item.alias or _default_name(item.expr)
+    return "subquery"
+
+
 def _default_name(expr: ast.Expr) -> str:
     if isinstance(expr, ast.ColumnRef):
         return expr.name
@@ -1053,10 +1580,12 @@ def _resolve_type_name(type_name: str) -> DataType:
         raise BindError(f"unknown type {type_name!r} in CAST") from None
 
 
-def _rewrite_predicts(
-    select: ast.Select, replacement: dict[int, ast.ColumnRef]
+def _replace_exprs(
+    select: ast.Select, replacement: dict[int, ast.Expr]
 ) -> ast.Select:
-    """A copy of *select* with Predict nodes replaced by column refs."""
+    """A copy of *select* with the nodes in *replacement* (keyed by ``id``)
+    swapped for their replacement expressions (used to lift PREDICT, scalar
+    subqueries, and window functions out of the expression trees)."""
 
     def rewrite(expr: ast.Expr | None) -> ast.Expr | None:
         if expr is None:
@@ -1097,6 +1626,10 @@ def _rewrite_predicts(
             return ast.FunctionCall(
                 expr.name, [rewrite(a) for a in expr.args], expr.distinct
             )
+        if isinstance(expr, ast.InQuery):
+            return ast.InQuery(
+                rewrite(expr.operand), expr.query, expr.negated
+            )
         return expr
 
     return ast.Select(
@@ -1114,4 +1647,5 @@ def _rewrite_predicts(
         limit=select.limit,
         offset=select.offset,
         distinct=select.distinct,
+        ctes=select.ctes,
     )

@@ -996,7 +996,7 @@ class Database:
         # Validate the definition now (names, types, and the *creator's*
         # privileges on everything underneath — definer semantics).
         binder = Binder(self)
-        bound = binder.bind_select(statement.query)
+        bound = binder.bind_query(statement.query)
         self._check_plan_privileges(bound, user)
         self.catalog.create_view(statement.name, statement.query)
         if user != "admin":

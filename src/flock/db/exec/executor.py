@@ -35,6 +35,7 @@ from flock.db.plan import (
     ScanNode,
     SetOpNode,
     SortNode,
+    WindowNode,
 )
 from flock.db.types import DataType
 from flock.db.vector import Batch, ColumnVector
@@ -188,6 +189,8 @@ class Executor:
             return self._distinct(plan)
         if isinstance(plan, SetOpNode):
             return self._set_op(plan)
+        if isinstance(plan, WindowNode):
+            return self._window(plan)
         raise ExecutionError(f"cannot execute plan node {type(plan).__name__}")
 
     def _scan(self, node: ScanNode) -> Batch:
@@ -459,12 +462,77 @@ class Executor:
     def _join(self, node: JoinNode) -> Batch:
         left = self._execute(node.left)
         right = self._execute(node.right)
+        if node.join_type in ("SEMI", "ANTI"):
+            matched = self._matched_left_rows(node, left, right)
+            if node.join_type == "SEMI":
+                return left.filter(matched)
+            return left.filter(~matched)
         if node.join_type == "CROSS" and node.condition is None:
             return self._cross(left, right)
         equi, residual = _split_join_condition(node, left.num_columns)
         if equi:
             return self._hash_join(node, left, right, equi, residual)
         return self._nested_loop(node, left, right, node.condition)
+
+    def _matched_left_rows(
+        self, node: JoinNode, left: Batch, right: Batch
+    ) -> np.ndarray:
+        """Which left rows have ≥1 right match under the join condition.
+
+        The SEMI/ANTI work-horse: the output is a boolean mask in left row
+        order, so the join preserves left order deterministically.
+        """
+        matched = np.zeros(left.num_rows, dtype=bool)
+        if node.condition is None:
+            if right.num_rows > 0:
+                matched[:] = True
+            return matched
+        equi, residual = _split_join_condition(node, left.num_columns)
+        if equi:
+            left_keys = [expr.evaluate(left) for expr, _ in equi]
+            right_keys = [expr.evaluate(right) for _, expr in equi]
+            fast = (
+                grouping.join_single_int(left_keys[0], right_keys[0])
+                if len(equi) == 1
+                else None
+            )
+            if fast is not None:
+                left_idx, right_idx, match_counts = fast
+                if residual is None:
+                    matched[match_counts > 0] = True
+                    return matched
+            else:
+                table: dict[tuple, list[int]] = {}
+                for i, key in enumerate(_key_rows(right_keys)):
+                    if key is None:
+                        continue
+                    table.setdefault(key, []).append(i)
+                left_out: list[int] = []
+                right_out: list[int] = []
+                for i, key in enumerate(_key_rows(left_keys)):
+                    if key is None:
+                        continue
+                    hits = table.get(key)
+                    if not hits:
+                        continue
+                    if residual is None:
+                        matched[i] = True
+                    else:
+                        left_out.extend([i] * len(hits))
+                        right_out.extend(hits)
+                if residual is None:
+                    return matched
+                left_idx = np.array(left_out, dtype=np.int64)
+                right_idx = np.array(right_out, dtype=np.int64)
+            combined = _combine(left, right, left_idx, right_idx)
+            mask = truthy_mask(residual.evaluate(combined))
+            matched[left_idx[mask]] = True
+            return matched
+        combined = self._cross(left, right)
+        mask = truthy_mask(node.condition.evaluate(combined))
+        left_rep = np.repeat(np.arange(left.num_rows), right.num_rows)
+        matched[left_rep[mask]] = True
+        return matched
 
     def _cross(self, left: Batch, right: Batch) -> Batch:
         left_idx = np.repeat(np.arange(left.num_rows), right.num_rows)
@@ -681,6 +749,103 @@ class Executor:
                 seen.add(key)
                 keep.append(i)
         return batch.take(np.array(keep, dtype=np.int64))
+
+    # -- window functions --------------------------------------------------
+    def _window(self, node: WindowNode) -> Batch:
+        """Evaluate one window function, appending a column in input order.
+
+        Partitions hash on key tuples; each partition is ordered by the
+        window ORDER BY via the shared :func:`_sort_codes` encoding (stable,
+        so ties keep input row order — deterministic under every execution
+        tier). SUM uses the SQL default RANGE frame: peers by the ORDER BY
+        key share the cumulative value at the end of their peer group.
+        """
+        child = self._execute(node.child)
+        n = child.num_rows
+        if node.partition_exprs:
+            pylists = [
+                e.evaluate(child).to_pylist() for e in node.partition_exprs
+            ]
+            groups: dict[tuple, list[int]] = {}
+            for i, key in enumerate(zip(*pylists)):
+                groups.setdefault(key, []).append(i)
+            partitions = [
+                np.array(ix, dtype=np.int64) for ix in groups.values()
+            ]
+        else:
+            partitions = [np.arange(n, dtype=np.int64)]
+        codes = (
+            [
+                _sort_codes(expr.evaluate(child), asc)
+                for expr, asc in node.order_keys
+            ]
+            if node.order_keys
+            else None
+        )
+        arg_list = (
+            node.arg.evaluate(child).to_pylist()
+            if node.arg is not None
+            else None
+        )
+
+        values: list = [None] * n
+        for part in partitions:
+            if codes is not None:
+                order = part[
+                    np.lexsort(tuple(reversed([c[part] for c in codes])))
+                ]
+                key_rows = [tuple(c[i] for c in codes) for i in order]
+            else:
+                order = part
+                key_rows = None
+            if node.func_name == "ROW_NUMBER":
+                for position, i in enumerate(order):
+                    values[i] = position + 1
+            elif node.func_name == "RANK":
+                if key_rows is None:
+                    for i in order:
+                        values[i] = 1
+                else:
+                    rank = 1
+                    for position, i in enumerate(order):
+                        if (
+                            position > 0
+                            and key_rows[position] != key_rows[position - 1]
+                        ):
+                            rank = position + 1
+                        values[i] = rank
+            else:  # SUM
+                assert arg_list is not None
+                if key_rows is None:
+                    total = None
+                    for i in order:
+                        v = arg_list[i]
+                        if v is not None:
+                            total = v if total is None else total + v
+                    for i in order:
+                        values[i] = total
+                else:
+                    running = None
+                    position = 0
+                    size = len(order)
+                    while position < size:
+                        end = position
+                        while (
+                            end + 1 < size
+                            and key_rows[end + 1] == key_rows[position]
+                        ):
+                            end += 1
+                        for j in range(position, end + 1):
+                            v = arg_list[order[j]]
+                            if v is not None:
+                                running = (
+                                    v if running is None else running + v
+                                )
+                        for j in range(position, end + 1):
+                            values[order[j]] = running
+                        position = end + 1
+        vector = ColumnVector.from_values(node.dtype, values)
+        return child.with_columns([node.output_name], [vector])
 
     def _distinct(self, node: DistinctNode) -> Batch:
         child = self._execute(node.child)

@@ -166,9 +166,16 @@ def estimate_rows(
         if plan.op == "EXCEPT":
             return left
         return min(left, right)  # INTERSECT
+    from flock.db.plan import WindowNode
+
+    if isinstance(plan, WindowNode):
+        return estimate_rows(plan.child, table_rows)
     if isinstance(plan, JoinNode):
         left = estimate_rows(plan.left, table_rows)
         right = estimate_rows(plan.right, table_rows)
+        if plan.join_type in ("SEMI", "ANTI"):
+            # Each left row survives or not; a coin-flip default.
+            return max(1.0, left * 0.5)
         if plan.join_type == "CROSS" and plan.condition is None:
             return left * right
         if plan.condition is None:

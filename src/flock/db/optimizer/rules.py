@@ -443,6 +443,32 @@ def _prune(
             mapping[child_width + k] = new_child_width + k
         return node, mapping
 
+    if isinstance(plan, JoinNode) and plan.join_type in ("SEMI", "ANTI"):
+        # Output is the left schema only; the condition still sees
+        # left-then-right positions, so the right side keeps exactly the
+        # columns the condition probes.
+        left_width = len(plan.left.fields)
+        refs = (
+            plan.condition.referenced_columns()
+            if plan.condition is not None
+            else set()
+        )
+        left_required = set(required) | {r for r in refs if r < left_width}
+        right_required = {r - left_width for r in refs if r >= left_width}
+        left, left_mapping = _prune(plan.left, left_required)
+        right, right_mapping = _prune(plan.right, right_required)
+        new_left_width = len(left.fields)
+        cond_mapping = dict(left_mapping)
+        for old, new in right_mapping.items():
+            cond_mapping[left_width + old] = new_left_width + new
+        condition = (
+            plan.condition.rewrite_columns(cond_mapping)
+            if plan.condition is not None
+            else None
+        )
+        node = JoinNode(left, right, plan.join_type, condition)
+        return node, left_mapping
+
     if isinstance(plan, JoinNode):
         left_width = len(plan.left.fields)
         refs = (

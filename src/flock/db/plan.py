@@ -199,7 +199,12 @@ class PredictNode(PlanNode):
 
 
 class JoinNode(PlanNode):
-    """INNER/LEFT/CROSS join. ``condition`` sees left fields then right."""
+    """INNER/LEFT/CROSS/SEMI/ANTI join.
+
+    ``condition`` sees left fields then right. SEMI/ANTI joins (the
+    decorrelated form of EXISTS / NOT EXISTS) output only the left
+    schema: each left row appears at most once, in left order.
+    """
 
     def __init__(
         self,
@@ -212,7 +217,10 @@ class JoinNode(PlanNode):
         self.right = right
         self.join_type = join_type
         self.condition = condition
-        self.fields = list(left.fields) + list(right.fields)
+        if join_type in ("SEMI", "ANTI"):
+            self.fields = list(left.fields)
+        else:
+            self.fields = list(left.fields) + list(right.fields)
 
     def children(self) -> list[PlanNode]:
         return [self.left, self.right]
@@ -262,6 +270,50 @@ class AggregateNode(PlanNode):
         groups = ", ".join(repr(e) for e in self.group_exprs)
         aggs = ", ".join(repr(a) for a in self.aggregates)
         return f"Aggregate(groups=[{groups}], aggs=[{aggs}])"
+
+
+class WindowNode(PlanNode):
+    """One window function appended as a new column.
+
+    Partitions the child rows by ``partition_exprs``, orders each
+    partition by ``order_keys`` (BoundExpr, ascending) and computes
+    ``func_name`` (ROW_NUMBER / RANK / SUM) per row. Output preserves
+    the child's row order and schema with one extra column appended.
+    """
+
+    def __init__(
+        self,
+        child: PlanNode,
+        func_name: str,
+        arg: BoundExpr | None,
+        partition_exprs: Sequence[BoundExpr],
+        order_keys: Sequence[tuple[BoundExpr, bool]],
+        output_name: str,
+        dtype: DataType,
+    ):
+        self.child = child
+        self.func_name = func_name
+        self.arg = arg
+        self.partition_exprs = list(partition_exprs)
+        self.order_keys = list(order_keys)
+        self.output_name = output_name
+        self.dtype = dtype
+        self.fields = list(child.fields) + [Field(output_name, dtype)]
+
+    def children(self) -> list[PlanNode]:
+        return [self.child]
+
+    def describe(self) -> str:
+        arg = "" if self.arg is None else repr(self.arg)
+        parts = ", ".join(repr(e) for e in self.partition_exprs)
+        keys = ", ".join(
+            f"{e!r} {'ASC' if asc else 'DESC'}" for e, asc in self.order_keys
+        )
+        return (
+            f"Window({self.func_name}({arg}) OVER "
+            f"(PARTITION BY [{parts}] ORDER BY [{keys}]) "
+            f"AS {self.output_name})"
+        )
 
 
 class SortNode(PlanNode):

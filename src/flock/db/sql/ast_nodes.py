@@ -180,6 +180,71 @@ class InQuery(Expr):
 
 
 @dataclass
+class Exists(Expr):
+    """``[NOT] EXISTS (SELECT ...)`` — possibly correlated to the outer query.
+
+    The binder decorrelates it into a SEMI/ANTI join (the subquery is not
+    walked as an expression child, mirroring :class:`InQuery`).
+    """
+
+    query: "Statement"
+    negated: bool = False
+
+    def __str__(self) -> str:
+        neg = "NOT " if self.negated else ""
+        return f"({neg}EXISTS ({self.query}))"
+
+
+@dataclass
+class ScalarSubquery(Expr):
+    """``(SELECT ...)`` used as a scalar expression.
+
+    Must produce one column and at most one row (the binder enforces an
+    aggregate-without-GROUP-BY or LIMIT 1 shape, or equality-correlated
+    aggregates which it decorrelates into a grouped LEFT join).
+    """
+
+    query: "Statement"
+
+    def __str__(self) -> str:
+        return f"({self.query})"
+
+
+@dataclass
+class WindowFunction(Expr):
+    """``fn(args) OVER (PARTITION BY ... ORDER BY ...)``."""
+
+    name: str
+    args: list[Expr] = field(default_factory=list)
+    partition_by: list[Expr] = field(default_factory=list)
+    order_by: list["OrderItem"] = field(default_factory=list)
+
+    def children(self) -> list[Expr]:
+        return (
+            list(self.args)
+            + list(self.partition_by)
+            + [o.expr for o in self.order_by]
+        )
+
+    def __str__(self) -> str:
+        inner = ", ".join(str(a) for a in self.args)
+        over: list[str] = []
+        if self.partition_by:
+            over.append(
+                "PARTITION BY " + ", ".join(str(p) for p in self.partition_by)
+            )
+        if self.order_by:
+            over.append(
+                "ORDER BY "
+                + ", ".join(
+                    f"{o.expr} {'ASC' if o.ascending else 'DESC'}"
+                    for o in self.order_by
+                )
+            )
+        return f"{self.name}({inner}) OVER ({' '.join(over)})"
+
+
+@dataclass
 class Like(Expr):
     operand: Expr
     pattern: Expr
@@ -297,6 +362,17 @@ class Statement:
 
 
 @dataclass
+class CTE:
+    """One ``name AS (query)`` entry of a WITH clause."""
+
+    name: str
+    query: "Statement"
+
+    def __str__(self) -> str:
+        return f"{self.name} AS ({self.query})"
+
+
+@dataclass
 class SelectItem:
     expr: Expr
     alias: Optional[str] = None
@@ -319,10 +395,14 @@ class Select(Statement):
     limit: Optional[int] = None
     offset: Optional[int] = None
     distinct: bool = False
+    ctes: list[CTE] = field(default_factory=list)
 
     def __str__(self) -> str:
         """Render back to parseable SQL (used to persist view definitions)."""
-        parts = ["SELECT"]
+        parts = []
+        if self.ctes:
+            parts.append("WITH " + ", ".join(str(c) for c in self.ctes))
+        parts.append("SELECT")
         if self.distinct:
             parts.append("DISTINCT")
         rendered_items = []
@@ -388,6 +468,27 @@ class SetOperation(Statement):
     order_by: list[OrderItem] = field(default_factory=list)
     limit: Optional[int] = None
     offset: Optional[int] = None
+    ctes: list[CTE] = field(default_factory=list)
+
+    def __str__(self) -> str:
+        parts = []
+        if self.ctes:
+            parts.append("WITH " + ", ".join(str(c) for c in self.ctes))
+        op = f"{self.op} ALL" if self.all else self.op
+        parts.append(f"{self.left} {op} {self.right}")
+        if self.order_by:
+            parts.append(
+                "ORDER BY "
+                + ", ".join(
+                    f"{o.expr} {'ASC' if o.ascending else 'DESC'}"
+                    for o in self.order_by
+                )
+            )
+        if self.limit is not None:
+            parts.append(f"LIMIT {self.limit}")
+        if self.offset is not None:
+            parts.append(f"OFFSET {self.offset}")
+        return " ".join(parts)
 
 
 @dataclass

@@ -28,6 +28,7 @@ KEYWORDS = frozenset(
     UNION EXCEPT INTERSECT EXPLAIN ANALYZE
     PREDICT MODEL WITH
     EXTRACT INTERVAL DATE
+    OVER PARTITION
     """.split()
 )
 

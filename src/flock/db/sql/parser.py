@@ -19,6 +19,17 @@ _ADDITIVE_OPS = {"+", "-", "||"}
 _MULTIPLICATIVE_OPS = {"*", "/", "%"}
 _PRIVILEGES = {"SELECT", "INSERT", "UPDATE", "DELETE", "ALL", "PREDICT"}
 
+# Keywords that can never start an expression. Most keywords double as
+# identifiers (a column named "date" is fine), but these mark clause
+# boundaries: treating them as column names turns "SELECT FROM t" into
+# a nonsense statement that only fails much later, in the binder.
+RESERVED_IN_EXPR = {
+    "FROM", "WHERE", "GROUP", "HAVING", "ORDER", "LIMIT", "OFFSET",
+    "AND", "OR", "AS", "BY", "ON", "JOIN", "INNER", "OUTER", "CROSS",
+    "UNION", "EXCEPT", "INTERSECT", "THEN", "ELSE", "END", "INTO",
+    "VALUES", "SELECT",
+}
+
 
 class Parser:
     """Parses a token stream into statement AST nodes."""
@@ -85,7 +96,9 @@ class Parser:
         self._accept(TokenType.PUNCT, ";")
         if self.current.type is not TokenType.EOF:
             raise ParseError(
-                f"unexpected trailing input {self.current.value!r}", self.current
+                f"unexpected trailing input {self.current.value!r} "
+                f"at position {self.current.position}",
+                self.current,
             )
         return stmt
 
@@ -102,7 +115,7 @@ class Parser:
     # Statements
     # ------------------------------------------------------------------
     def _statement(self) -> ast.Statement:
-        if self._check_keyword("SELECT"):
+        if self._check_keyword("SELECT", "WITH"):
             return self._query_expression()
         if self._accept(TokenType.KEYWORD, "EXPLAIN"):
             analyze = bool(self._accept(TokenType.KEYWORD, "ANALYZE"))
@@ -134,13 +147,21 @@ class Parser:
         if self._check_keyword("SET"):
             return self._set_option()
         raise ParseError(
-            f"unexpected statement start {self.current.value!r}", self.current
+            f"unexpected statement start {self.current.value!r} "
+            f"at position {self.current.position}",
+            self.current,
         )
 
     def _query_expression(self) -> ast.Statement:
-        """A SELECT possibly chained with UNION/EXCEPT/INTERSECT."""
+        """A [WITH ...] SELECT possibly chained with UNION/EXCEPT/INTERSECT."""
+        ctes: list[ast.CTE] = []
+        if self._accept(TokenType.KEYWORD, "WITH"):
+            ctes.append(self._cte())
+            while self._accept(TokenType.PUNCT, ","):
+                ctes.append(self._cte())
         left: ast.Statement = self._select()
         if not self._check_keyword("UNION", "EXCEPT", "INTERSECT"):
+            left.ctes = ctes
             return left
         while self._check_keyword("UNION", "EXCEPT", "INTERSECT"):
             if isinstance(left, ast.Select) and (
@@ -165,7 +186,16 @@ class Parser:
             final.order_by = []
             final.limit = None
             final.offset = None
+        left.ctes = ctes
         return left
+
+    def _cte(self) -> ast.CTE:
+        name = self._expect_identifier()
+        self._expect(TokenType.KEYWORD, "AS")
+        self._expect(TokenType.PUNCT, "(")
+        query = self._query_expression()
+        self._expect(TokenType.PUNCT, ")")
+        return ast.CTE(name, query)
 
     def _select(self) -> ast.Select:
         self._expect(TokenType.KEYWORD, "SELECT")
@@ -300,8 +330,8 @@ class Parser:
             while self._accept(TokenType.PUNCT, ","):
                 columns.append(self._expect_identifier())
             self._expect(TokenType.PUNCT, ")")
-        if self._check_keyword("SELECT"):
-            return ast.Insert(table, columns, select=self._select())
+        if self._check_keyword("SELECT", "WITH"):
+            return ast.Insert(table, columns, select=self._query_expression())
         self._expect(TokenType.KEYWORD, "VALUES")
         rows = [self._value_row()]
         while self._accept(TokenType.PUNCT, ","):
@@ -369,7 +399,7 @@ class Parser:
         if self._accept(TokenType.KEYWORD, "VIEW"):
             name = self._expect_identifier()
             self._expect(TokenType.KEYWORD, "AS")
-            return ast.CreateView(name, self._select())
+            return ast.CreateView(name, self._query_expression())
         if self._accept(TokenType.KEYWORD, "INDEX"):
             name = self._expect_identifier()
             self._expect(TokenType.KEYWORD, "ON")
@@ -478,7 +508,10 @@ class Parser:
 
     def _not_expr(self) -> ast.Expr:
         if self._accept(TokenType.KEYWORD, "NOT"):
-            return ast.UnaryOp("NOT", self._not_expr())
+            inner = self._not_expr()
+            if isinstance(inner, ast.Exists):
+                return ast.Exists(inner.query, not inner.negated)
+            return ast.UnaryOp("NOT", inner)
         return self._comparison()
 
     def _comparison(self) -> ast.Expr:
@@ -512,8 +545,8 @@ class Parser:
                 continue
             if self._accept(TokenType.KEYWORD, "IN"):
                 self._expect(TokenType.PUNCT, "(")
-                if self._check_keyword("SELECT"):
-                    subquery = self._select()
+                if self._check_keyword("SELECT", "WITH"):
+                    subquery = self._query_expression()
                     self._expect(TokenType.PUNCT, ")")
                     left = ast.InQuery(left, subquery, negated)
                     continue
@@ -610,6 +643,11 @@ class Parser:
             )
         if self._accept(TokenType.KEYWORD, "PREDICT"):
             return self._predict()
+        if self._accept(TokenType.KEYWORD, "EXISTS"):
+            self._expect(TokenType.PUNCT, "(")
+            query = self._query_expression()
+            self._expect(TokenType.PUNCT, ")")
+            return ast.Exists(query)
         if self._accept(TokenType.PUNCT, "?"):
             param = ast.Parameter(self.parameter_count)
             self.parameter_count += 1
@@ -618,9 +656,19 @@ class Parser:
             self._advance()
             return ast.Star()
         if self._accept(TokenType.PUNCT, "("):
+            if self._check_keyword("SELECT", "WITH"):
+                query = self._query_expression()
+                self._expect(TokenType.PUNCT, ")")
+                return ast.ScalarSubquery(query)
             inner = self._expr()
             self._expect(TokenType.PUNCT, ")")
             return inner
+        if token.type is TokenType.KEYWORD and token.value in RESERVED_IN_EXPR:
+            raise ParseError(
+                f"unexpected keyword {token.value!r} at position "
+                f"{token.position}",
+                token,
+            )
         if token.type in (TokenType.IDENT, TokenType.KEYWORD):
             return self._identifier_expr()
         raise ParseError(
@@ -679,11 +727,43 @@ class Parser:
         if not self._check(TokenType.PUNCT, ")"):
             if self._accept(TokenType.KEYWORD, "DISTINCT"):
                 distinct = True
+                if self._check(TokenType.OPERATOR, "*"):
+                    raise ParseError(
+                        f"DISTINCT * is not valid in {name.upper()}() "
+                        f"at position {self.current.position}",
+                        self.current,
+                    )
             args.append(self._expr())
             while self._accept(TokenType.PUNCT, ","):
                 args.append(self._expr())
         self._expect(TokenType.PUNCT, ")")
+        if self._check_keyword("OVER"):
+            if distinct:
+                raise ParseError(
+                    "DISTINCT is not supported in window functions "
+                    f"at position {self.current.position}",
+                    self.current,
+                )
+            self._advance()
+            return self._over_clause(name, args)
         return ast.FunctionCall(name.upper(), args, distinct)
+
+    def _over_clause(self, name: str, args: list[ast.Expr]) -> ast.Expr:
+        self._expect(TokenType.PUNCT, "(")
+        partition_by: list[ast.Expr] = []
+        order_by: list[ast.OrderItem] = []
+        if self._accept(TokenType.KEYWORD, "PARTITION"):
+            self._expect(TokenType.KEYWORD, "BY")
+            partition_by.append(self._expr())
+            while self._accept(TokenType.PUNCT, ","):
+                partition_by.append(self._expr())
+        if self._accept(TokenType.KEYWORD, "ORDER"):
+            self._expect(TokenType.KEYWORD, "BY")
+            order_by.append(self._order_item())
+            while self._accept(TokenType.PUNCT, ","):
+                order_by.append(self._order_item())
+        self._expect(TokenType.PUNCT, ")")
+        return ast.WindowFunction(name.upper(), args, partition_by, order_by)
 
 
 def split_statements(text: str) -> list[str]:

@@ -21,6 +21,8 @@ class LexerError(SQLError):
     """Raised when the SQL lexer encounters an invalid character sequence."""
 
     def __init__(self, message: str, position: int = -1):
+        if position >= 0:
+            message = f"{message} at position {position}"
         super().__init__(message)
         self.position = position
 

@@ -149,6 +149,12 @@ class SQLProvenanceCapture:
     def _extract_select(
         self, select: ast.Select, query: Entity, result: CaptureResult
     ) -> None:
+        for cte in getattr(select, "ctes", []) or []:
+            self._extract_select(cte.query, query, result)
+        if isinstance(select, ast.SetOperation):
+            self._extract_select(select.left, query, result)
+            self._extract_select(select.right, query, result)
+            return
         alias_map = self._collect_tables(select.from_clause, query, result)
         exprs: list[ast.Expr] = [item.expr for item in select.items]
         if select.where is not None:
@@ -216,8 +222,10 @@ class SQLProvenanceCapture:
         recorded: set[str] = {c.lower() for c in result.input_columns}
         for expr in exprs:
             for node in expr.walk():
-                if isinstance(node, ast.InQuery):
-                    # IN (SELECT ...): the subquery's inputs are inputs too.
+                if isinstance(
+                    node, (ast.InQuery, ast.Exists, ast.ScalarSubquery)
+                ):
+                    # Subquery expressions: their inputs are inputs too.
                     self._extract_select(node.query, query, result)
                     recorded = set(
                         c.lower() for c in result.input_columns

@@ -203,6 +203,7 @@ def analyze_point_query(
         or statement.distinct
         or statement.limit is not None
         or statement.offset is not None
+        or getattr(statement, "ctes", None)
     ):
         return None
     if not isinstance(statement.from_clause, ast.TableRef):
@@ -223,7 +224,16 @@ def analyze_point_query(
                 node.name
             ):
                 return None
-            if isinstance(node, (ast.InQuery, ast.Parameter)):
+            if isinstance(
+                node,
+                (
+                    ast.InQuery,
+                    ast.Parameter,
+                    ast.Exists,
+                    ast.ScalarSubquery,
+                    ast.WindowFunction,
+                ),
+            ):
                 return None
     return PointQueryShape(
         table=statement.from_clause.name,

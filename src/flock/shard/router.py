@@ -185,8 +185,9 @@ def pinned_keys(
 
 
 def _has_in_query(statement: ast.Select) -> bool:
+    subquery_nodes = (ast.InQuery, ast.Exists, ast.ScalarSubquery)
     for expr in _select_exprs(statement):
-        if any(isinstance(node, ast.InQuery) for node in expr.walk()):
+        if any(isinstance(node, subquery_nodes) for node in expr.walk()):
             return True
     return False
 
@@ -650,6 +651,8 @@ class ShardedCluster:
         rows, so even LIMIT without ORDER BY stays bit-identical.
         """
         if not isinstance(statement, ast.Select):
+            return None
+        if getattr(statement, "ctes", None):
             return None
         if not isinstance(statement.from_clause, ast.TableRef):
             return None

@@ -2,17 +2,22 @@
 
 The substrates of the paper's SQL-provenance experiment (Table 1: 2,208
 TPC-H queries and 2,200 TPC-C queries). Schemas are the standard ones;
-query templates are rewritten into this engine's SQL subset (no correlated
-subqueries — they are expressed as joins against aggregated FROM-subqueries)
-while touching the same tables and columns, which is what coarse-grained
-provenance capture measures.
+query templates ship in two forms: :data:`TPCH_FAITHFUL` keeps the spec's
+correlated subqueries, EXISTS, scalar subqueries and CTEs verbatim, while
+:data:`TPCH_REWRITTEN` expresses the same queries in the pre-decorrelation
+engine subset (joins against aggregated FROM-subqueries). Both forms touch
+the same tables and columns — and must return identical rows, which makes
+the rewrites the decorrelator's differential oracle.
 """
 
 from flock.workloads.tpch import (
+    TPCH_FAITHFUL,
+    TPCH_REWRITTEN,
     TPCH_TABLES,
     create_tpch_schema,
     generate_tpch_data,
     generate_tpch_queries,
+    tpch_params,
     tpch_query,
 )
 from flock.workloads.tpcc import (
@@ -24,6 +29,8 @@ from flock.workloads.tpcc import (
 
 __all__ = [
     "TPCC_TABLES",
+    "TPCH_FAITHFUL",
+    "TPCH_REWRITTEN",
     "TPCH_TABLES",
     "create_tpcc_schema",
     "create_tpch_schema",
@@ -31,5 +38,6 @@ __all__ = [
     "generate_tpch_data",
     "generate_tpch_queries",
     "generate_tpcc_transactions",
+    "tpch_params",
     "tpch_query",
 ]

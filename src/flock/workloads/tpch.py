@@ -137,36 +137,113 @@ NAME_WORDS = [
 
 
 def create_tpch_schema(database) -> None:
-    """Create the eight TPC-H tables."""
-    database.connect().execute_script(_SCHEMA_SQL)
+    """Create the eight TPC-H tables.
+
+    Accepts anything with ``execute`` — an embedded
+    :class:`~flock.db.Database` or a sharded/replicated client.
+    """
+    connect = getattr(database, "connect", None)
+    if connect is not None:
+        connect().execute_script(_SCHEMA_SQL)
+        return
+    for statement in _SCHEMA_SQL.split(";"):
+        if statement.strip():
+            database.execute(statement)
 
 
-def generate_tpch_data(database, scale: float = 0.002, seed: int = 42) -> dict:
-    """Populate a scaled-down TPC-H instance.
+class _TableLoader:
+    """Streams rows into one table in fixed-size ``executemany`` batches.
+
+    Buffering at most ``batch_rows`` rows keeps the generator's memory flat
+    in the batch size rather than the scale factor, so SF-class row counts
+    load without materializing whole tables in Python lists.
+    """
+
+    def __init__(self, database, table: str, batch_rows: int,
+                 date_columns=frozenset()):
+        self.database = database
+        self.table = table
+        self.batch_rows = batch_rows
+        self.date_columns = date_columns
+        self.count = 0
+        self._rows: list[tuple] = []
+
+    def add(self, row: tuple) -> None:
+        self._rows.append(row)
+        if len(self._rows) >= self.batch_rows:
+            self.flush()
+
+    def flush(self) -> None:
+        from flock.db.types import days_to_date
+
+        if not self._rows:
+            return
+        rows = self._rows
+        if self.date_columns:
+            rows = [
+                tuple(
+                    days_to_date(value).isoformat()
+                    if j in self.date_columns else value
+                    for j, value in enumerate(row)
+                )
+                for row in rows
+            ]
+        sql = (
+            f"INSERT INTO {self.table} "
+            f"VALUES ({', '.join('?' * len(rows[0]))})"
+        )
+        self.database.executemany(sql, rows)
+        self.count += len(rows)
+        self._rows = []
+
+
+def _load(database, table: str, batch_rows: int, date_columns, rows) -> int:
+    loader = _TableLoader(database, table, batch_rows, date_columns)
+    for row in rows:
+        loader.add(row)
+    loader.flush()
+    return loader.count
+
+
+def generate_tpch_data(
+    database,
+    scale: float = 0.002,
+    seed: int = 42,
+    batch_rows: int = 10_000,
+) -> dict:
+    """Populate a scaled-down TPC-H instance, streaming in seeded chunks.
 
     ``scale`` is the fraction of SF1 (scale=0.002 → 12k lineitem rows).
-    Returns per-table row counts.
+    Rows are generated one at a time and flushed through parameterized
+    ``executemany`` batches of ``batch_rows``, so peak memory is bounded by
+    the batch size, not the scale. Returns per-table row counts.
     """
     if scale <= 0:
         raise WorkloadError("scale must be positive")
+    if batch_rows <= 0:
+        raise WorkloadError("batch_rows must be positive")
     rng = np.random.default_rng(seed)
+    n_supp = max(3, int(10_000 * scale))
+    n_cust = max(5, int(150_000 * scale))
+    n_part = max(5, int(200_000 * scale))
+    n_orders = max(10, int(1_500_000 * scale))
     counts = {
-        "supplier": max(3, int(10_000 * scale)),
-        "customer": max(5, int(150_000 * scale)),
-        "part": max(5, int(200_000 * scale)),
-        "orders": max(10, int(1_500_000 * scale)),
+        "region": len(REGIONS),
+        "nation": len(NATIONS),
+        "supplier": n_supp,
+        "customer": n_cust,
+        "part": n_part,
+        "orders": n_orders,
     }
 
-    _insert(database, "region", [
+    _load(database, "region", batch_rows, frozenset(), (
         (i, name, f"region {name.lower()}") for i, name in enumerate(REGIONS)
-    ])
-    _insert(database, "nation", [
+    ))
+    _load(database, "nation", batch_rows, frozenset(), (
         (i, name, region, f"nation {name.lower()}")
         for i, (name, region) in enumerate(NATIONS)
-    ])
-
-    n_supp = counts["supplier"]
-    _insert(database, "supplier", [
+    ))
+    _load(database, "supplier", batch_rows, frozenset(), (
         (
             i + 1,
             f"Supplier#{i + 1:09d}",
@@ -177,10 +254,8 @@ def generate_tpch_data(database, scale: float = 0.002, seed: int = 42) -> dict:
             "supplier comment",
         )
         for i in range(n_supp)
-    ])
-
-    n_cust = counts["customer"]
-    _insert(database, "customer", [
+    ))
+    _load(database, "customer", batch_rows, frozenset(), (
         (
             i + 1,
             f"Customer#{i + 1:09d}",
@@ -193,10 +268,10 @@ def generate_tpch_data(database, scale: float = 0.002, seed: int = 42) -> dict:
             "special requests pending",
         )
         for i in range(n_cust)
-    ])
+    ))
 
-    n_part = counts["part"]
-    part_rows = []
+    part_loader = _TableLoader(database, "part", batch_rows)
+    partsupp_loader = _TableLoader(database, "partsupp", batch_rows)
     for i in range(n_part):
         name = " ".join(
             rng.choice(NAME_WORDS, size=3, replace=False).tolist()
@@ -206,7 +281,7 @@ def generate_tpch_data(database, scale: float = 0.002, seed: int = 42) -> dict:
             f"{TYPE_SYLL2[int(rng.integers(0, 5))]} "
             f"{TYPE_SYLL3[int(rng.integers(0, 5))]}"
         )
-        part_rows.append(
+        part_loader.add(
             (
                 i + 1,
                 name,
@@ -219,12 +294,8 @@ def generate_tpch_data(database, scale: float = 0.002, seed: int = 42) -> dict:
                 "part comment",
             )
         )
-    _insert(database, "part", part_rows)
-
-    partsupp_rows = []
-    for i in range(n_part):
-        for k in range(4):
-            partsupp_rows.append(
+        for _ in range(4):
+            partsupp_loader.add(
                 (
                     i + 1,
                     int(rng.integers(1, n_supp + 1)),
@@ -233,42 +304,39 @@ def generate_tpch_data(database, scale: float = 0.002, seed: int = 42) -> dict:
                     "partsupp comment",
                 )
             )
-    _insert(database, "partsupp", partsupp_rows)
-    counts["partsupp"] = len(partsupp_rows)
+    part_loader.flush()
+    partsupp_loader.flush()
+    counts["partsupp"] = partsupp_loader.count
 
-    n_orders = counts["orders"]
     base_day = 8036  # 1992-01-01
-    order_rows = []
-    order_dates = {}
+    order_loader = _TableLoader(database, "orders", batch_rows,
+                                date_columns={4})
+    line_loader = _TableLoader(database, "lineitem", batch_rows,
+                               date_columns={10, 11, 12})
     for i in range(n_orders):
-        day = int(base_day + rng.integers(0, 2400))
-        order_dates[i + 1] = day
-        order_rows.append(
+        order_day = int(base_day + rng.integers(0, 2400))
+        order_loader.add(
             (
                 i + 1,
                 int(rng.integers(1, n_cust + 1)),
                 str(rng.choice(["O", "F", "P"], p=[0.45, 0.45, 0.10])),
                 float(np.round(rng.uniform(1000, 400000), 2)),
-                day,
+                order_day,
                 PRIORITIES[int(rng.integers(0, len(PRIORITIES)))],
                 f"Clerk#{rng.integers(1, 1000):09d}",
                 0,
                 "order comment",
             )
         )
-    _insert(database, "orders", order_rows, date_columns={4})
-
-    lineitem_rows = []
-    for order_key, order_day in order_dates.items():
         for line in range(int(rng.integers(1, 8))):
             quantity = float(rng.integers(1, 51))
             price = float(np.round(rng.uniform(900.0, 105000.0), 2))
             ship = order_day + int(rng.integers(1, 122))
             commit = order_day + int(rng.integers(30, 91))
             receipt = ship + int(rng.integers(1, 31))
-            lineitem_rows.append(
+            line_loader.add(
                 (
-                    order_key,
+                    i + 1,
                     int(rng.integers(1, n_part + 1)),
                     int(rng.integers(1, n_supp + 1)),
                     line + 1,
@@ -286,29 +354,10 @@ def generate_tpch_data(database, scale: float = 0.002, seed: int = 42) -> dict:
                     "lineitem comment",
                 )
             )
-    _insert(database, "lineitem", lineitem_rows, date_columns={10, 11, 12})
-    counts["lineitem"] = len(lineitem_rows)
-    counts["region"] = len(REGIONS)
-    counts["nation"] = len(NATIONS)
+    order_loader.flush()
+    line_loader.flush()
+    counts["lineitem"] = line_loader.count
     return counts
-
-
-def _insert(database, table: str, rows: list[tuple],
-            date_columns=frozenset()) -> None:
-    from flock.db.types import days_to_date
-
-    if not rows:
-        return
-    if date_columns:
-        rows = [
-            tuple(
-                days_to_date(value).isoformat() if j in date_columns else value
-                for j, value in enumerate(row)
-            )
-            for row in rows
-        ]
-    sql = f"INSERT INTO {table} VALUES ({', '.join('?' * len(rows[0]))})"
-    database.executemany(sql, rows)
 
 
 # ----------------------------------------------------------------------
@@ -337,12 +386,18 @@ _TEMPLATES: dict[int, str] = {
         JOIN supplier s ON s.s_suppkey = ps.ps_suppkey
         JOIN nation n ON s.s_nationkey = n.n_nationkey
         JOIN region r ON n.n_regionkey = r.r_regionkey
-        JOIN (SELECT ps_partkey, MIN(ps_supplycost) AS min_cost
-              FROM partsupp GROUP BY ps_partkey) m
-          ON m.ps_partkey = p.p_partkey
+        LEFT JOIN (SELECT ps2.ps_partkey AS min_partkey,
+                          MIN(ps2.ps_supplycost) AS min_cost
+                   FROM partsupp ps2
+                   JOIN supplier s2 ON s2.s_suppkey = ps2.ps_suppkey
+                   JOIN nation n2 ON s2.s_nationkey = n2.n_nationkey
+                   JOIN region r2 ON n2.n_regionkey = r2.r_regionkey
+                   WHERE r2.r_name = '{region}'
+                   GROUP BY ps2.ps_partkey) m
+          ON p.p_partkey = m.min_partkey
         WHERE p.p_size = {size} AND r.r_name = '{region}'
           AND ps.ps_supplycost = m.min_cost
-        ORDER BY s.s_acctbal DESC, n.n_name, s.s_name LIMIT 100
+        ORDER BY s.s_acctbal DESC, n.n_name, s.s_name, p.p_partkey LIMIT 100
     """,
     3: """
         SELECT l.l_orderkey,
@@ -519,7 +574,16 @@ _TEMPLATES: dict[int, str] = {
                 AND l_shipdate < DATE '{date}' + INTERVAL '3' MONTH
               GROUP BY l_suppkey) r
           ON s.s_suppkey = r.supplier_no
-        ORDER BY r.total_revenue DESC, s.s_suppkey LIMIT 1
+        JOIN (SELECT MAX(rr.total_revenue) AS max_revenue
+              FROM (SELECT l_suppkey AS supplier_no,
+                           SUM(l_extendedprice * (1 - l_discount))
+                             AS total_revenue
+                    FROM lineitem
+                    WHERE l_shipdate >= DATE '{date}'
+                      AND l_shipdate < DATE '{date}' + INTERVAL '3' MONTH
+                    GROUP BY l_suppkey) rr) m
+          ON r.total_revenue = m.max_revenue
+        ORDER BY s.s_suppkey
     """,
     16: """
         SELECT p.p_brand, p.p_type, p.p_size,
@@ -538,9 +602,9 @@ _TEMPLATES: dict[int, str] = {
         SELECT SUM(l.l_extendedprice) / 7.0 AS avg_yearly
         FROM lineitem l
         JOIN part p ON p.p_partkey = l.l_partkey
-        JOIN (SELECT l_partkey, 0.2 * AVG(l_quantity) AS small_qty
-              FROM lineitem GROUP BY l_partkey) a
-          ON a.l_partkey = l.l_partkey
+        LEFT JOIN (SELECT l_partkey, 0.2 * AVG(l_quantity) AS small_qty
+                   FROM lineitem GROUP BY l_partkey) a
+          ON l.l_partkey = a.l_partkey
         WHERE p.p_brand = '{brand}' AND p.p_container = '{container}'
           AND l.l_quantity < a.small_qty
     """,
@@ -585,7 +649,9 @@ _TEMPLATES: dict[int, str] = {
                     GROUP BY l_partkey, l_suppkey) lq
                 ON ps.ps_partkey = lq.l_partkey
                AND ps.ps_suppkey = lq.l_suppkey
-              WHERE ps.ps_availqty > lq.half_qty) ok
+              WHERE ps.ps_availqty > lq.half_qty
+                AND ps.ps_partkey IN (SELECT p_partkey FROM part
+                                      WHERE p_name LIKE '{color}%')) ok
           ON s.s_suppkey = ok.suppkey
         WHERE n.n_name = '{nation1}'
         ORDER BY s.s_name
@@ -596,9 +662,18 @@ _TEMPLATES: dict[int, str] = {
         JOIN lineitem l1 ON s.s_suppkey = l1.l_suppkey
         JOIN orders o ON o.o_orderkey = l1.l_orderkey
         JOIN nation n ON s.s_nationkey = n.n_nationkey
+        JOIN (SELECT l_orderkey, COUNT(DISTINCT l_suppkey) AS nsupp
+              FROM lineitem GROUP BY l_orderkey) others
+          ON others.l_orderkey = l1.l_orderkey
+        JOIN (SELECT l_orderkey, COUNT(DISTINCT l_suppkey) AS nlate
+              FROM lineitem WHERE l_receiptdate > l_commitdate
+              GROUP BY l_orderkey) late
+          ON late.l_orderkey = l1.l_orderkey
         WHERE o.o_orderstatus = 'F'
           AND l1.l_receiptdate > l1.l_commitdate
           AND n.n_name = '{nation1}'
+          AND others.nsupp > 1
+          AND late.nlate = 1
         GROUP BY s.s_name
         ORDER BY numwait DESC, s.s_name LIMIT 100
     """,
@@ -617,11 +692,150 @@ _TEMPLATES: dict[int, str] = {
     """,
 }
 
+#: The engine-subset rewrites, under their public name. These are the
+#: decorrelator's oracle: each faithful template below must return
+#: repr-identical rows to its rewrite on the same instance.
+TPCH_REWRITTEN: dict[int, str] = _TEMPLATES
 
-def tpch_query(template_id: int, rng: np.random.Generator | None = None) -> str:
-    """Instantiate one TPC-H template with (seeded) random parameters."""
-    if template_id not in _TEMPLATES:
-        raise WorkloadError(f"unknown TPC-H template {template_id}")
+#: TPC-H-faithful forms: the spec's correlated/EXISTS/scalar-subquery and
+#: CTE shapes verbatim (modulo parameter markers). Templates whose rewrite
+#: already is the faithful shape are shared with ``TPCH_REWRITTEN``.
+TPCH_FAITHFUL: dict[int, str] = {
+    **_TEMPLATES,
+    2: """
+        SELECT s.s_acctbal, s.s_name, n.n_name, p.p_partkey, p.p_mfgr
+        FROM part p
+        JOIN partsupp ps ON p.p_partkey = ps.ps_partkey
+        JOIN supplier s ON s.s_suppkey = ps.ps_suppkey
+        JOIN nation n ON s.s_nationkey = n.n_nationkey
+        JOIN region r ON n.n_regionkey = r.r_regionkey
+        WHERE p.p_size = {size} AND r.r_name = '{region}'
+          AND ps.ps_supplycost = (
+              SELECT MIN(ps2.ps_supplycost)
+              FROM partsupp ps2
+              JOIN supplier s2 ON s2.s_suppkey = ps2.ps_suppkey
+              JOIN nation n2 ON s2.s_nationkey = n2.n_nationkey
+              JOIN region r2 ON n2.n_regionkey = r2.r_regionkey
+              WHERE ps2.ps_partkey = p.p_partkey
+                AND r2.r_name = '{region}')
+        ORDER BY s.s_acctbal DESC, n.n_name, s.s_name, p.p_partkey LIMIT 100
+    """,
+    4: """
+        SELECT o.o_orderpriority, COUNT(*) AS order_count
+        FROM orders o
+        WHERE o.o_orderdate >= DATE '{date}'
+          AND o.o_orderdate < DATE '{date}' + INTERVAL '3' MONTH
+          AND EXISTS (SELECT * FROM lineitem l
+                      WHERE l.l_orderkey = o.o_orderkey
+                        AND l.l_commitdate < l.l_receiptdate)
+        GROUP BY o.o_orderpriority
+        ORDER BY o.o_orderpriority
+    """,
+    11: """
+        SELECT ps.ps_partkey,
+               SUM(ps.ps_supplycost * ps.ps_availqty) AS value
+        FROM partsupp ps
+        JOIN supplier s ON ps.ps_suppkey = s.s_suppkey
+        JOIN nation n ON s.s_nationkey = n.n_nationkey
+        WHERE n.n_name = '{nation1}'
+        GROUP BY ps.ps_partkey
+        HAVING SUM(ps.ps_supplycost * ps.ps_availqty) > (
+            SELECT SUM(ps2.ps_supplycost * ps2.ps_availqty) * 0.0001
+            FROM partsupp ps2
+            JOIN supplier s2 ON ps2.ps_suppkey = s2.s_suppkey
+            JOIN nation n2 ON s2.s_nationkey = n2.n_nationkey
+            WHERE n2.n_name = '{nation1}')
+        ORDER BY value DESC
+    """,
+    15: """
+        WITH revenue AS (
+            SELECT l_suppkey AS supplier_no,
+                   SUM(l_extendedprice * (1 - l_discount)) AS total_revenue
+            FROM lineitem
+            WHERE l_shipdate >= DATE '{date}'
+              AND l_shipdate < DATE '{date}' + INTERVAL '3' MONTH
+            GROUP BY l_suppkey)
+        SELECT s.s_suppkey, s.s_name, s.s_address, s.s_phone,
+               r.total_revenue
+        FROM supplier s
+        JOIN revenue r ON s.s_suppkey = r.supplier_no
+        WHERE r.total_revenue = (SELECT MAX(r2.total_revenue)
+                                 FROM revenue r2)
+        ORDER BY s.s_suppkey
+    """,
+    17: """
+        SELECT SUM(l.l_extendedprice) / 7.0 AS avg_yearly
+        FROM lineitem l
+        JOIN part p ON p.p_partkey = l.l_partkey
+        WHERE p.p_brand = '{brand}' AND p.p_container = '{container}'
+          AND l.l_quantity < (SELECT 0.2 * AVG(l2.l_quantity)
+                              FROM lineitem l2
+                              WHERE l2.l_partkey = l.l_partkey)
+    """,
+    20: """
+        SELECT s.s_name, s.s_address
+        FROM supplier s
+        JOIN nation n ON s.s_nationkey = n.n_nationkey
+        WHERE n.n_name = '{nation1}'
+          AND s.s_suppkey IN (
+              SELECT ps.ps_suppkey FROM partsupp ps
+              WHERE ps.ps_partkey IN (SELECT p_partkey FROM part
+                                      WHERE p_name LIKE '{color}%')
+                AND ps.ps_availqty > (
+                    SELECT 0.5 * SUM(l.l_quantity) FROM lineitem l
+                    WHERE l.l_partkey = ps.ps_partkey
+                      AND l.l_suppkey = ps.ps_suppkey
+                      AND l.l_shipdate >= DATE '{date}'
+                      AND l.l_shipdate < DATE '{date}' + INTERVAL '1' YEAR))
+        ORDER BY s.s_name
+    """,
+    21: """
+        SELECT s.s_name, COUNT(*) AS numwait
+        FROM supplier s
+        JOIN lineitem l1 ON s.s_suppkey = l1.l_suppkey
+        JOIN orders o ON o.o_orderkey = l1.l_orderkey
+        JOIN nation n ON s.s_nationkey = n.n_nationkey
+        WHERE o.o_orderstatus = 'F'
+          AND l1.l_receiptdate > l1.l_commitdate
+          AND n.n_name = '{nation1}'
+          AND EXISTS (SELECT * FROM lineitem l2
+                      WHERE l2.l_orderkey = l1.l_orderkey
+                        AND l2.l_suppkey <> l1.l_suppkey)
+          AND NOT EXISTS (SELECT * FROM lineitem l3
+                          WHERE l3.l_orderkey = l1.l_orderkey
+                            AND l3.l_suppkey <> l1.l_suppkey
+                            AND l3.l_receiptdate > l3.l_commitdate)
+        GROUP BY s.s_name
+        ORDER BY numwait DESC, s.s_name LIMIT 100
+    """,
+    22: """
+        SELECT SUBSTR(c.c_phone, 1, 2) AS cntrycode,
+               COUNT(*) AS numcust,
+               SUM(c.c_acctbal) AS totacctbal
+        FROM customer c
+        WHERE SUBSTR(c.c_phone, 1, 2) IN
+              ('{cc1}', '{cc2}', '{cc3}', '{cc4}', '{cc5}', '{cc6}', '{cc7}')
+          AND c.c_acctbal > (
+              SELECT AVG(c2.c_acctbal) FROM customer c2
+              WHERE c2.c_acctbal > 0.00
+                AND SUBSTR(c2.c_phone, 1, 2) IN
+                    ('{cc1}', '{cc2}', '{cc3}', '{cc4}',
+                     '{cc5}', '{cc6}', '{cc7}'))
+          AND NOT EXISTS (SELECT * FROM orders o
+                          WHERE o.o_custkey = c.c_custkey)
+        GROUP BY SUBSTR(c.c_phone, 1, 2)
+        ORDER BY cntrycode
+    """,
+}
+
+
+def tpch_params(rng: np.random.Generator | None = None) -> dict:
+    """One seeded draw of substitution parameters for every template.
+
+    Both template sets consume the same parameter names, so formatting
+    ``TPCH_FAITHFUL[i]`` and ``TPCH_REWRITTEN[i]`` with one ``tpch_params``
+    draw yields the *same* query instance in two syntactic forms.
+    """
     rng = rng or np.random.default_rng(0)
     nations = [n for n, _ in NATIONS]
     n1, n2 = rng.choice(len(nations), size=2, replace=False)
@@ -662,7 +876,23 @@ def tpch_query(template_id: int, rng: np.random.Generator | None = None) -> str:
         "cc5": "14", "cc6": "15", "cc7": "16",
         "balance": round(float(rng.uniform(0.0, 5000.0)), 2),
     }
-    return _TEMPLATES[template_id].format(**params).strip()
+    return params
+
+
+def tpch_query(
+    template_id: int,
+    rng: np.random.Generator | None = None,
+    faithful: bool = False,
+) -> str:
+    """Instantiate one TPC-H template with (seeded) random parameters.
+
+    ``faithful=True`` selects the spec-shaped form from
+    :data:`TPCH_FAITHFUL`; the default is the engine-subset rewrite.
+    """
+    templates = TPCH_FAITHFUL if faithful else TPCH_REWRITTEN
+    if template_id not in templates:
+        raise WorkloadError(f"unknown TPC-H template {template_id}")
+    return templates[template_id].format(**tpch_params(rng)).strip()
 
 
 def generate_tpch_queries(count: int = 2208, seed: int = 1) -> list[str]:

@@ -404,35 +404,79 @@ class _ParallelTwinDriver:
             return f"DELETE FROM {table} WHERE k > {rng.randrange(200)}"
         # The read mix leans on every parallel code path: pipelines
         # (filter/project), partial aggregates (global and grouped, with
-        # NULLs and DISTINCT), top-k, plain LIMIT pruning, and the serial
-        # operators (DISTINCT, sort-without-limit) fed by parallel children.
-        if roll < 0.52:
+        # NULLs and DISTINCT), top-k, plain LIMIT pruning, the serial
+        # operators (DISTINCT, sort-without-limit) fed by parallel children,
+        # and the decorrelated/lifted constructs (CTEs, EXISTS, scalar
+        # subqueries, window functions). Statements against dropped tables
+        # must raise the identical error on both engines.
+        other = rng.choice(self.TABLES)
+        if roll < 0.50:
             return (
                 f"SELECT k, val * 2 + 1, f FROM {table} "
                 f"WHERE val > {rng.randrange(-50, 50)}"
             )
-        if roll < 0.62:
+        if roll < 0.56:
             return (
                 f"SELECT COUNT(*), COUNT(f), SUM(val), SUM(f), AVG(f), "
                 f"MIN(k), MAX(f), STDDEV(f) FROM {table}"
             )
-        if roll < 0.72:
+        if roll < 0.62:
             return (
                 f"SELECT s, COUNT(*), SUM(f), AVG(val), COUNT(DISTINCT k) "
                 f"FROM {table} GROUP BY s"
             )
-        if roll < 0.80:
+        if roll < 0.67:
             return (
                 f"SELECT k, f FROM {table} ORDER BY f DESC, k "
                 f"LIMIT {rng.randrange(1, 12)} OFFSET {rng.randrange(4)}"
             )
-        if roll < 0.86:
+        if roll < 0.71:
             return f"SELECT k, s FROM {table} LIMIT {rng.randrange(1, 30)}"
-        if roll < 0.92:
+        if roll < 0.74:
             return f"SELECT DISTINCT s FROM {table}"
-        if roll < 0.96:
+        if roll < 0.77:
             return f"SELECT k, f FROM {table} ORDER BY s, k"
-        return f"SELECT val / (k - {rng.randrange(200)}) FROM {table}"
+        if roll < 0.80:
+            return f"SELECT val / (k - {rng.randrange(200)}) FROM {table}"
+        if roll < 0.84:
+            # One CTE consumed from two FROM positions.
+            return (
+                f"WITH c AS (SELECT k, val FROM {table} "
+                f"WHERE val > {rng.randrange(-50, 50)}) "
+                "SELECT x.k, y.val FROM c x JOIN c y ON x.k = y.k "
+                "ORDER BY x.k"
+            )
+        if roll < 0.88:
+            negate = "NOT " if rng.random() < 0.5 else ""
+            return (
+                f"SELECT a.k, a.val FROM {table} a "
+                f"WHERE {negate}EXISTS (SELECT * FROM {other} b "
+                f"WHERE b.k = a.k AND b.val > {rng.randrange(-50, 50)}) "
+                "ORDER BY a.k"
+            )
+        if roll < 0.92:
+            return (
+                f"SELECT a.k FROM {table} a "
+                f"WHERE a.val < (SELECT SUM(b.val) FROM {other} b "
+                "WHERE b.k = a.k) ORDER BY a.k"
+            )
+        if roll < 0.95:
+            return (
+                f"SELECT k, (SELECT COUNT(*) FROM {other}) FROM {table} "
+                f"ORDER BY k LIMIT {rng.randrange(1, 20)}"
+            )
+        # Window reads: order keys include the unique k so every function
+        # is deterministic regardless of sort stability.
+        window = rng.choice(
+            [
+                "ROW_NUMBER() OVER (ORDER BY val, k)",
+                "RANK() OVER (ORDER BY s)",
+                "ROW_NUMBER() OVER (PARTITION BY s ORDER BY k)",
+                "SUM(val) OVER (ORDER BY k)",
+                "SUM(f) OVER (PARTITION BY s ORDER BY k)",
+            ]
+        )
+        return f"SELECT k, {window} FROM {table} ORDER BY k"
 
     def step(self) -> None:
         sql = self.statement()

@@ -40,6 +40,21 @@ READS = [
     "SELECT COUNT(*), MIN(k), MAX(k) FROM orac",
     "SELECT v, COUNT(*) FROM orac GROUP BY v ORDER BY v LIMIT 5",
     "SELECT k FROM orac WHERE k > 10 ORDER BY k DESC LIMIT 6",
+    # The lifted constructs must survive scatter-gather untouched: the
+    # coordinator re-binds the whole statement over merged snapshots, so
+    # CTEs, EXISTS, scalar subqueries and windows ride along for free.
+    "WITH c AS (SELECT k, v FROM orac WHERE k > 5) "
+    "SELECT x.k, y.v FROM c x JOIN c y ON x.k = y.k ORDER BY x.k",
+    "SELECT o.k FROM orac o "
+    "WHERE EXISTS (SELECT * FROM side s WHERE s.k = o.k) ORDER BY o.k",
+    "SELECT o.k FROM orac o "
+    "WHERE NOT EXISTS (SELECT * FROM side s WHERE s.k = o.k) ORDER BY o.k",
+    "SELECT o.k, (SELECT COUNT(*) FROM side) FROM orac o ORDER BY o.k LIMIT 9",
+    "SELECT o.k FROM orac o "
+    "WHERE o.k > (SELECT SUM(s.w) FROM side s WHERE s.k = o.k) ORDER BY o.k",
+    "SELECT k, ROW_NUMBER() OVER (ORDER BY k DESC) FROM orac ORDER BY k",
+    "SELECT k, RANK() OVER (ORDER BY v), SUM(k) OVER (ORDER BY k) "
+    "FROM orac ORDER BY k",
 ]
 
 

@@ -1,0 +1,139 @@
+"""Parser error quality: every rejection names its culprit, nothing crashes.
+
+Two layers of guarantee:
+
+- golden messages: a malformed statement's ParseError/LexerError names the
+  offending token (or character) and its byte position, so callers can
+  point at the exact spot;
+- robustness sweeps: truncating or mutilating valid statements at every
+  token boundary always yields a typed front-end error, never a bare
+  ``KeyError``/``IndexError`` escaping the parser or binder.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+import flock
+from flock.db.sql.lexer import TokenType, tokenize
+from flock.db.sql.parser import parse_statement
+from flock.errors import FlockError, LexerError, ParseError
+
+# (statement, substrings its error message must contain)
+GOLDEN = [
+    ("", ["unexpected statement start", "position 0"]),
+    ("FROBNICATE t", ["unexpected statement start", "'FROBNICATE'", "position 0"]),
+    ("SELECT FROM t", ["unexpected keyword", "'FROM'", "position 7"]),
+    ("SELECT a, FROM t", ["unexpected keyword", "'FROM'", "position 10"]),
+    ("SELECT a FROM t 123", ["unexpected trailing input", "'123'", "position 16"]),
+    ("SELECT a FROM t;;", ["unexpected trailing input", "';'", "position 16"]),
+    ("SELECT a FROM t WHERE a >", ["unexpected token", "position 25"]),
+    ("SELECT a FROM t GROUP BY", ["unexpected token", "position 24"]),
+    ("SELECT a FROM t ORDER BY", ["unexpected token", "position 24"]),
+    ("SELECT a FROM t LIMIT abc", ["expected", "'abc'", "position 22"]),
+    ("SELECT CAST(a AS) FROM t", ["expected identifier", "')'", "position 16"]),
+    ("SELECT a FROM t WHERE a BETWEEN 1", ["expected", "'AND'"]),
+    ("SELECT COUNT(DISTINCT *) FROM t", ["DISTINCT *", "position 22"]),
+    ("SELECT a, SUM(b) OVER (ORDER a) FROM t", ["expected", "'BY'", "'a'"]),
+    ("SELECT a FROM t WHERE EXISTS SELECT 1", ["expected", "'('", "'SELECT'"]),
+    ("WITH s AS SELECT a FROM t", ["expected", "'('", "'SELECT'"]),
+    ("SELECT 'oops FROM t", ["unterminated string literal", "position 7"]),
+    ("SELECT a ! b FROM t", ["unexpected character", "'!'", "position 9"]),
+    ("SELECT /* no end", ["unterminated block comment", "position 7"]),
+]
+
+# Valid statements whose every truncation/mutation must fail *cleanly*.
+# One per construct family so the sweep walks the whole grammar.
+SWEEP = [
+    "SELECT a, b * 2 AS twice FROM g WHERE a BETWEEN 1 AND 5 ORDER BY a DESC LIMIT 3",
+    "SELECT b, COUNT(DISTINCT a), SUM(a) FROM g GROUP BY b HAVING COUNT(*) > 1",
+    "SELECT x.a, y.b FROM g x LEFT JOIN g y ON x.a = y.a AND x.b <> 'q'",
+    "WITH s AS (SELECT a FROM g WHERE a > 2) SELECT p.a FROM s p JOIN s q ON p.a = q.a",
+    "SELECT a FROM g WHERE EXISTS (SELECT * FROM g h WHERE h.a = g.a) AND a IN (1, 2)",
+    "SELECT a, (SELECT MAX(h.a) FROM g h) FROM g WHERE a > (SELECT AVG(h.a) FROM g h)",
+    "SELECT a, ROW_NUMBER() OVER (PARTITION BY b ORDER BY a), SUM(a) OVER (ORDER BY a) FROM g",
+    "SELECT CASE WHEN a > 2 THEN UPPER(b) ELSE COALESCE(b, 'z') END FROM g UNION SELECT b FROM g",
+    "INSERT INTO g VALUES (9, 'new'), (10, NULL)",
+    "UPDATE g SET b = 'u' WHERE a = 1",
+]
+
+
+@pytest.fixture(scope="module")
+def engine():
+    client = flock.connect()
+    client.execute("CREATE TABLE g (a INT PRIMARY KEY, b TEXT)")
+    for a in range(1, 6):
+        client.execute(f"INSERT INTO g VALUES ({a}, 'b{a % 3}')")
+    yield client
+    client.close()
+
+
+@pytest.mark.parametrize(
+    "sql,needles", GOLDEN, ids=[g[0][:40] or "<empty>" for g in GOLDEN]
+)
+def test_error_names_token_and_position(sql, needles):
+    with pytest.raises((ParseError, LexerError)) as excinfo:
+        parse_statement(sql)
+    message = str(excinfo.value)
+    for needle in needles:
+        assert needle in message, (
+            f"{sql!r}: error {message!r} does not name {needle!r}"
+        )
+
+
+def test_parse_errors_carry_their_token():
+    with pytest.raises(ParseError) as excinfo:
+        parse_statement("SELECT a FROM t 123")
+    assert excinfo.value.token is not None
+    assert excinfo.value.token.value == "123"
+    with pytest.raises(LexerError) as excinfo:
+        parse_statement("SELECT 'oops")
+    assert excinfo.value.position == 7
+
+
+def _boundaries(sql: str) -> list[int]:
+    return [t.position for t in tokenize(sql) if t.type is not TokenType.EOF]
+
+
+@pytest.mark.parametrize("sql", SWEEP, ids=[s[:40] for s in SWEEP])
+def test_truncation_never_crashes(engine, sql):
+    # Cutting the text at every token boundary (and mid-token, one char
+    # past each boundary) must parse+bind+execute or raise a FlockError.
+    cuts = {pos for pos in _boundaries(sql)}
+    cuts |= {pos + 1 for pos in cuts if pos + 1 < len(sql)}
+    for cut in sorted(cuts):
+        mutant = sql[:cut]
+        try:
+            engine.execute(mutant)
+        except FlockError:
+            pass
+
+
+@pytest.mark.parametrize("sql", SWEEP, ids=[s[:40] for s in SWEEP])
+def test_token_deletion_never_crashes(engine, sql):
+    tokens = [t for t in tokenize(sql) if t.type is not TokenType.EOF]
+    for i, token in enumerate(tokens):
+        end = (
+            tokens[i + 1].position if i + 1 < len(tokens) else len(sql)
+        )
+        mutant = sql[: token.position] + sql[end:]
+        try:
+            engine.execute(mutant)
+        except FlockError:
+            pass
+
+
+def test_random_splices_never_crash(engine):
+    # Seeded chaos: splice random garbage fragments into valid statements.
+    rng = random.Random(20260809)
+    garbage = ["(", ")", ",", "'", "SELECT", "WHERE", "0x", "*", "..", ";"]
+    for _ in range(300):
+        base = rng.choice(SWEEP)
+        pos = rng.randrange(len(base))
+        mutant = base[:pos] + rng.choice(garbage) + base[pos:]
+        try:
+            engine.execute(mutant)
+        except FlockError:
+            pass
