@@ -4,11 +4,15 @@ Runs :func:`flock.cluster.bench.run_replica_scaling_benchmark` at 1/2/4
 followers over one seeded durable directory and writes the report (text +
 JSON, including the committed ``BENCH_replica_scaling.json`` artifact).
 
-The ≥2.5× read-QPS gate at 4 replicas only applies on hosts with ≥4 usable
-cores: in-process replicas are threads, and on fewer cores the expected
-curve is flat — the gate skips with its reason recorded in the JSON
-instead of passing vacuously. Result *correctness* (every topology returns
-the same aggregates) is asserted on any host.
+The ≥2.5× read-QPS gate at 4 replicas applies on hosts with ≥4 usable
+cores running the worker-process backend (the default wherever flock.proc
+is available; ``--process``/``--no-process`` override). Thread followers
+share one GIL and fewer than 4 cores cannot serve 4 replicas concurrently
+— in either case the gate skips with its reason recorded in the JSON
+instead of passing vacuously, and ``benchmarks/conftest.py`` refuses a
+skip on a multicore host where the process backend exists. Result
+*correctness* (every topology returns the same aggregates) is asserted on
+any host.
 """
 
 from __future__ import annotations
@@ -31,25 +35,37 @@ GATE_AT = 4
 
 
 @pytest.fixture(scope="module")
-def replica_report() -> dict:
+def replica_report(request) -> dict:
     report = run_replica_scaling_benchmark(
         replica_counts=REPLICA_COUNTS,
         requests=REQUESTS,
         concurrency=8,
         n_rows=N_ROWS,
+        process=request.config.getoption("flock_process", default=None),
     )
     cores = report["cores"]
+    backend = report["backend"]
+    applied = cores >= 4 and backend == "process"
+    if applied:
+        skipped_reason = None
+    elif cores < 4:
+        skipped_reason = (
+            f"host has {cores} usable core(s); replicas cannot scale "
+            "reads below 4"
+        )
+    else:
+        skipped_reason = (
+            "thread backend: followers share one GIL and cannot scale "
+            "reads; run with the process backend to gate"
+        )
     report["cpu_count"] = cores
     report["gate"] = {
         "threshold_speedup": GATE_SPEEDUP,
         "at_replicas": GATE_AT,
         "requires_cores": 4,
-        "applied": cores >= 4,
-        "skipped_reason": (
-            None if cores >= 4
-            else f"host has {cores} usable core(s); in-process replicas "
-            "cannot scale reads below 4"
-        ),
+        "requires_backend": "process",
+        "applied": applied,
+        "skipped_reason": skipped_reason,
     }
     write_report(
         "replica_scaling", render_replica_benchmark(report)

@@ -4,10 +4,13 @@ Runs :func:`flock.shard.bench.run_shard_scaling_benchmark` at 1/2/4 shards
 over fresh directories and writes the report (text + JSON, including the
 committed ``BENCH_shard_scaling.json`` artifact).
 
-The ≥2× write-QPS gate at 4 shards only applies on hosts with ≥4 usable
-cores: the scatter path appends to the shards from concurrent threads, and
-on fewer cores the expected curve is flat — the gate skips with its reason
-recorded in the JSON instead of passing vacuously. Result *correctness*
+The ≥2× write-QPS gate at 4 shards applies on hosts with ≥4 usable cores
+running the worker-process backend (the default wherever flock.proc is
+available; ``--process``/``--no-process`` override). Thread shards share
+one GIL and fewer than 4 cores cannot run 4 appends concurrently — in
+either case the gate skips with its reason recorded in the JSON instead
+of passing vacuously, and ``benchmarks/conftest.py`` refuses a skip on a
+multicore host where the process backend exists. Result *correctness*
 (every topology loads the same rows and answers the same aggregates, and
 the sharded answers match an unsharded engine bit for bit) is asserted on
 any host.
@@ -32,23 +35,35 @@ GATE_AT = 4
 
 
 @pytest.fixture(scope="module")
-def shard_report() -> dict:
+def shard_report(request) -> dict:
     report = run_shard_scaling_benchmark(
         shard_counts=SHARD_COUNTS,
         n_rows=N_ROWS,
+        process=request.config.getoption("flock_process", default=None),
     )
     cores = report["cores"]
+    backend = report["backend"]
+    applied = cores >= 4 and backend == "process"
+    if applied:
+        skipped_reason = None
+    elif cores < 4:
+        skipped_reason = (
+            f"host has {cores} usable core(s); concurrent per-shard "
+            "appends cannot scale writes below 4"
+        )
+    else:
+        skipped_reason = (
+            "thread backend: per-shard appends share one GIL and cannot "
+            "scale writes; run with the process backend to gate"
+        )
     report["cpu_count"] = cores
     report["gate"] = {
         "threshold_speedup": GATE_SPEEDUP,
         "at_shards": GATE_AT,
         "requires_cores": 4,
-        "applied": cores >= 4,
-        "skipped_reason": (
-            None if cores >= 4
-            else f"host has {cores} usable core(s); concurrent per-shard "
-            "appends cannot scale writes below 4"
-        ),
+        "requires_backend": "process",
+        "applied": applied,
+        "skipped_reason": skipped_reason,
     }
     write_report("shard_scaling", render_shard_benchmark(report))
     write_json_report("shard_scaling", report)

@@ -30,6 +30,22 @@ REPO_ROOT = Path(__file__).parent.parent
 FULL = os.environ.get("FLOCK_BENCH_FULL", "0") == "1"
 
 
+def pytest_addoption(parser):
+    """``pytest benchmarks/bench_shard_scaling.py --process`` forces the
+    worker-process backend for the scaling benchmarks (``--no-process``
+    forces threads). The default, None, lets each benchmark pick process
+    workers whenever the platform supports them."""
+    group = parser.getgroup("flock benchmarks")
+    group.addoption(
+        "--process", dest="flock_process", action="store_true",
+        default=None, help="process-backed shards/replicas (flock.proc)",
+    )
+    group.addoption(
+        "--no-process", dest="flock_process", action="store_false",
+        help="force the in-process thread backend",
+    )
+
+
 def cpu_count() -> int:
     """CPUs actually available to this process (affinity-aware)."""
     try:
@@ -73,6 +89,27 @@ def write_json_report(name: str, payload: dict) -> None:
         f"benchmark {name!r}: a skipped gate needs its reason and an "
         f"applied gate must not carry one"
     )
+    # The no-silent-skip rule for backend-aware scaling benchmarks (the
+    # payload carries "backend"): on a multicore host where the process
+    # backend is available, the gate MUST apply — a skip there is an
+    # accidental regression to the GIL-bound thread tier, and CI on
+    # multicore runners must fail instead of passing on it.
+    if "backend" in payload and payload["cpu_count"] >= 4:
+        from flock.proc import proc_available
+
+        if proc_available():
+            assert payload["backend"] == "process", (
+                f"benchmark {name!r}: {payload['cpu_count']} cores and the "
+                f"process backend is available, but the run used the "
+                f"{payload['backend']!r} backend — scaling numbers from a "
+                f"GIL-bound tier must not be recorded on this host"
+            )
+            assert gate["applied"] is True, (
+                f"benchmark {name!r}: {payload['cpu_count']} cores, process "
+                f"backend available, yet the gate skipped "
+                f"({gate['skipped_reason']!r}) — silent skips on multicore "
+                f"hosts are forbidden"
+            )
     data = json.dumps(payload, indent=2, sort_keys=True, default=str) + "\n"
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{name}.json").write_text(data)

@@ -355,6 +355,15 @@ def serve_main(argv: list[str]) -> int:
         help="max replicated records a follower may lag before the router "
         "skips it (default: unbounded)",
     )
+    parser.add_argument(
+        "--process", dest="process", action="store_true", default=None,
+        help="host each shard engine / follower replica in its own worker "
+        "process (flock.proc); default follows FLOCK_PROC",
+    )
+    parser.add_argument(
+        "--no-process", dest="process", action="store_false",
+        help="force the in-process thread backend",
+    )
     args = parser.parse_args(argv)
 
     if (args.replicas or args.shards) and not args.data_dir:
@@ -373,6 +382,7 @@ def serve_main(argv: list[str]) -> int:
                 shards=args.shards,
                 replicas=args.replicas,
                 max_staleness=args.max_staleness,
+                process=args.process,
                 user=args.user,
             )
             if args.demo:
@@ -393,6 +403,7 @@ def serve_main(argv: list[str]) -> int:
                 max_batch_size=args.max_batch_size,
                 batch_wait_ms=args.batch_wait_ms,
                 max_pending=args.max_pending,
+                process=args.process,
                 user=args.user,
             )
             if args.demo:
@@ -521,6 +532,15 @@ def bench_serve_main(argv: list[str]) -> int:
         "read scaling through the replicated tier instead",
     )
     parser.add_argument(
+        "--process", dest="process", action="store_true", default=None,
+        help="with --replicas: host each follower in its own worker "
+        "process (flock.proc); default uses processes where available",
+    )
+    parser.add_argument(
+        "--no-process", dest="process", action="store_false",
+        help="with --replicas: force the in-process thread backend",
+    )
+    parser.add_argument(
         "--json", action="store_true",
         help="emit the benchmark report as machine-readable JSON",
     )
@@ -546,6 +566,7 @@ def bench_serve_main(argv: list[str]) -> int:
             requests=args.requests or 240,
             concurrency=args.concurrency or 8,
             n_rows=args.rows or 40_000,
+            process=args.process,
         )
         render = render_replica_benchmark
     else:

@@ -264,6 +264,7 @@ def connect(
     batch_wait_ms: float = 1.0,
     max_pending: int = 256,
     default_timeout_s: float = 30.0,
+    process: bool | None = None,
     user: str = "admin",
 ) -> Client:
     """Open a Flock stack and return a uniform :class:`Client`.
@@ -285,6 +286,13 @@ def connect(
 
     ``replicas >= 1`` and ``shards >= 1`` require a *path*: WAL shipping
     and shard partitions both need durable directories.
+
+    ``process`` selects the worker backend for the sharded and replicated
+    tiers: ``True`` hosts each shard engine (or follower replica) in its
+    own worker process over a CRC-framed wire (see :mod:`flock.proc`),
+    ``False`` forces in-process threads, and ``None`` (the default)
+    follows the ``FLOCK_PROC`` environment variable. Routing, broadcast
+    and merge semantics are identical on both backends.
     """
     if shards:
         if path is None:
@@ -305,6 +313,7 @@ def connect(
             group_window_ms=group_window_ms,
             checkpoint_bytes=checkpoint_bytes,
             max_staleness=max_staleness,
+            process=process,
         )
         return Client("sharded", sharded.session, cluster=sharded, user=user)
 
@@ -330,6 +339,7 @@ def connect(
             batch_wait_ms=batch_wait_ms,
             max_pending=max_pending,
             default_timeout_s=default_timeout_s,
+            process=process,
         )
         return Client("cluster", cluster.session, cluster=cluster, user=user)
 

@@ -146,6 +146,7 @@ def run_replica_scaling_benchmark(
     n_rows: int = 40_000,
     seed: int = 7,
     data_dir: str | None = None,
+    process: bool | None = None,
 ) -> dict:
     """Read QPS through the cluster router at each follower count.
 
@@ -156,9 +157,17 @@ def run_replica_scaling_benchmark(
     the single-replica topology. Honesty fields: ``cores`` records the
     host's usable CPUs — on one core the expected scaling is flat and the
     gate must skip, not pass vacuously.
+
+    *process* selects the follower backend: ``None`` (the default) hosts
+    each follower in its own worker process whenever the platform supports
+    it — thread followers share one GIL with the router, so only worker
+    processes can show real read scaling — and the resolved choice is
+    recorded as ``backend`` in the report.
     """
     from flock.cluster import FlockCluster
+    from flock.proc import proc_available
 
+    use_process = proc_available() if process is None else bool(process)
     owned = data_dir is None
     root = data_dir or tempfile.mkdtemp(prefix="flock-replica-bench-")
     results = []
@@ -170,6 +179,7 @@ def run_replica_scaling_benchmark(
                 replicas=count,
                 replica_workers=1,
                 max_staleness=None,
+                process=use_process,
             )
             try:
                 cluster.database.set_workers(1)  # replicas, not morsels
@@ -214,6 +224,7 @@ def run_replica_scaling_benchmark(
         "load_blocks": seeded["blocks"],
         "queries": len(READ_QUERIES),
         "cores": usable_cores(),
+        "backend": "process" if use_process else "thread",
         "replica_counts": list(replica_counts),
         "results": results,
     }
@@ -225,7 +236,8 @@ def render_replica_benchmark(report: dict) -> list[str]:
         "Replica read scaling: analytic read QPS through the cluster router",
         f"  workload: {report['requests']} reads ({report['queries']} "
         f"prepared aggregate shapes) over {report['n_rows']} loans, "
-        f"concurrency {report['concurrency']}, {report['cores']} core(s)",
+        f"concurrency {report['concurrency']}, {report['cores']} core(s), "
+        f"{report.get('backend', 'thread')} follower backend",
     ]
     for entry in report["results"]:
         lines.append(

@@ -35,6 +35,43 @@ from flock.observability import metrics
 from flock.serving.server import FlockServer, ServingFuture
 
 
+def build_follower_stack(snapshot_dir, *, cross_optimizer=None,
+                         replica_workers: int = 1,
+                         server_kwargs: dict | None = None):
+    """A follower's engine + registry + read-only server from a snapshot.
+
+    The one recipe for booting a follower, shared by the thread backend
+    (:meth:`FlockCluster._build_follower`) and the process backend (the
+    ``replica`` role in :mod:`flock.proc.worker`), so both tiers serve
+    from byte-identical stacks. Returns ``(database, registry, server)``.
+    """
+    from flock.db.optimizer.rules import Optimizer
+    from flock.inference.optimizer import CrossOptimizer
+    from flock.inference.predict import DefaultScorer
+    from flock.registry import ModelRegistry
+
+    cross = cross_optimizer or CrossOptimizer()
+    registry = ModelRegistry()
+    database = load_database(
+        snapshot_dir,
+        model_store=registry,
+        scorer=DefaultScorer(),
+        optimizer=Optimizer(extra_rules=cross.rules()),
+    )
+    database.cross_optimizer = cross
+    # Engine workers stay at the follower's own setting (default 1):
+    # replicas are the parallelism axis of this tier, one engine each.
+    registry.bind_database(database)
+    registry.load_from_database(database)
+    server = FlockServer(
+        database,
+        workers=replica_workers,
+        read_only=True,
+        **(server_kwargs or {}),
+    )
+    return database, registry, server
+
+
 class PromotionReport(dict):
     """What :meth:`FlockCluster.promote` did (dict for easy rendering)."""
 
@@ -67,6 +104,7 @@ class FlockCluster:
         batch_wait_ms: float = 1.0,
         max_pending: int = 256,
         default_timeout_s: float = 30.0,
+        process: bool | None = None,
     ):
         if path is None:
             raise ReplicationError(
@@ -92,6 +130,12 @@ class FlockCluster:
         )
         self._workers = workers
         self._replica_workers = replica_workers
+        from flock.proc import proc_enabled
+
+        # The backend seam. A custom cross-optimizer is a live object the
+        # JSON worker config cannot carry; such clusters stay on threads
+        # (followers must plan with the same rules as the primary).
+        self._process = proc_enabled(process) and cross_optimizer is None
         #: Bumped on every promotion; stale clients can detect a failover.
         self.epoch = 1
         self._rr = itertools.count()
@@ -148,34 +192,37 @@ class FlockCluster:
         metrics().gauge("replication.followers").set(len(self.followers))
 
     def _build_follower(self, snapshot_dir, subscription) -> FollowerReplica:
-        from flock.db.optimizer.rules import Optimizer
-        from flock.inference.optimizer import CrossOptimizer
-        from flock.inference.predict import DefaultScorer
-        from flock.registry import ModelRegistry
+        if self._process:
+            # The worker loads the snapshot during its boot handshake —
+            # which completes before _bootstrap_followers deletes the
+            # snapshot directory — then applies forwarded WAL records.
+            from flock.proc.replica import ProcessFollowerReplica
+            from flock.proc.supervisor import WorkerHandle
 
-        cross = self._cross_optimizer or CrossOptimizer()
-        registry = ModelRegistry()
-        database = load_database(
+            handle = WorkerHandle({
+                "role": "replica",
+                "name": subscription.name,
+                "path": str(snapshot_dir),
+                "replica_workers": self._replica_workers,
+                "server_kwargs": dict(self._server_kwargs),
+            })
+            return ProcessFollowerReplica(
+                subscription.name, handle, subscription, self.hub
+            )
+        database, registry, server = build_follower_stack(
             snapshot_dir,
-            model_store=registry,
-            scorer=DefaultScorer(),
-            optimizer=Optimizer(extra_rules=cross.rules()),
-        )
-        database.cross_optimizer = cross
-        # Engine workers stay at the follower's own setting (default 1):
-        # replicas are the parallelism axis of this tier, one engine each.
-        registry.bind_database(database)
-        registry.load_from_database(database)
-        server = FlockServer(
-            database,
-            workers=self._replica_workers,
-            read_only=True,
-            **self._server_kwargs,
+            cross_optimizer=self._cross_optimizer,
+            replica_workers=self._replica_workers,
+            server_kwargs=self._server_kwargs,
         )
         return FollowerReplica(
             subscription.name, database, registry, subscription, self.hub,
             server,
         )
+
+    @property
+    def backend(self) -> str:
+        return "process" if self._process else "thread"
 
     # ------------------------------------------------------------------
     # The router
@@ -264,6 +311,7 @@ class FlockCluster:
     def stats(self) -> dict:
         return {
             "epoch": self.epoch,
+            "backend": self.backend,
             "replication_lsn": self.hub.lsn,
             "wal_lsn": (
                 None if self.database.wal is None else self.database.wal.lsn

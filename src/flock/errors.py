@@ -139,6 +139,40 @@ class FailoverError(ReplicationError):
     """
 
 
+class ProcError(FlockError):
+    """Base class for errors raised by the worker-process tier
+    (:mod:`flock.proc`): spawning, framing, liveness."""
+
+
+class ProtocolError(ProcError):
+    """Raised when a worker-wire frame is structurally invalid.
+
+    Covers bad magic, oversized declared lengths, truncated headers or
+    payloads (mid-frame EOF) and CRC mismatches. The CRC is verified
+    *before* the payload is deserialized, so a corrupt frame can never
+    reach the pickle layer; after this error the stream is untrusted and
+    the worker is marked unhealthy.
+    """
+
+
+class WorkerCrashError(ProcError):
+    """Raised when a worker process died under a request (EOF/SIGKILL).
+
+    The parent observes the death as end-of-stream on the worker socket
+    (or a send into a broken pipe) plus a reaped exit status. The worker's
+    write-ahead log holds every commit it acknowledged; reopening the
+    directory recovers it.
+    """
+
+
+class WorkerTimeoutError(ProcError):
+    """Raised when a worker missed the request deadline (hung worker).
+
+    The supervisor kills the worker rather than leaving an unresponsive
+    process holding a shard directory: fail fast, recover on reopen.
+    """
+
+
 class ShardError(FlockError):
     """Raised by the sharding tier (:mod:`flock.shard`).
 

@@ -1,0 +1,78 @@
+"""flock.proc — worker-process runtime for shards and follower replicas.
+
+The thread-backed tiers of :mod:`flock.shard` and :mod:`flock.cluster`
+share one GIL, so their scaling gates measure contention, not parallelism.
+This package hosts each shard engine (and optionally each follower
+replica) in its own spawned worker process, speaking a length-prefixed,
+CRC-framed pickle protocol over a Unix socketpair:
+
+- :mod:`flock.proc.framing` — the wire format (CRC verified before any
+  payload is deserialized; corruption raises typed
+  :class:`~flock.errors.ProtocolError`);
+- :mod:`flock.proc.supervisor` — the parent side: spawn, framed RPC with
+  deadlines, EOF/heartbeat death detection, kill-on-hang;
+- :mod:`flock.proc.worker` — the child entry point
+  (``python -m flock.proc.worker``) hosting a durable shard engine, a
+  shard-with-replicas :class:`~flock.cluster.FlockCluster`, or a
+  snapshot-booted follower replica;
+- :mod:`flock.proc.facade` — remote stand-ins for the ``database`` /
+  ``registry`` / ``server`` attributes tests and tools reach through;
+- :mod:`flock.proc.replica` — the process-backed follower driven by the
+  parent-side replication subscription.
+
+The backend seam is a single flag: ``flock.connect(path, shards=N,
+process=True)`` (or ``replicas=N``), defaulting from the ``FLOCK_PROC``
+environment variable so the whole test suite can run process-backed
+without edits. Routing, two-phase DDL broadcast, reopen reconciliation
+and the bit-identical merge discipline are reused unchanged — bring-up
+runs in-process first, then the engines are handed to workers over the
+same directories.
+"""
+
+from __future__ import annotations
+
+import os
+
+from flock.errors import (  # noqa: F401  (re-exported tier errors)
+    ProcError,
+    ProtocolError,
+    WorkerCrashError,
+    WorkerTimeoutError,
+)
+
+__all__ = [
+    "ProcError",
+    "ProtocolError",
+    "WorkerCrashError",
+    "WorkerTimeoutError",
+    "proc_available",
+    "proc_enabled",
+]
+
+
+def proc_available() -> bool:
+    """True when this platform can run the worker-process backend.
+
+    The runtime needs Unix-domain socketpairs and ``pass_fds`` — i.e. any
+    POSIX host. On anything else the seam stays on the thread backend.
+    """
+    import socket
+
+    return os.name == "posix" and hasattr(socket, "AF_UNIX")
+
+
+def proc_enabled(explicit: bool | None = None) -> bool:
+    """Resolve the backend seam: explicit flag first, then ``FLOCK_PROC``.
+
+    ``explicit`` is the ``process=`` keyword a caller passed (None means
+    "not specified"); the environment default lets CI run the entire
+    existing suite process-backed (``FLOCK_PROC=1``) without touching a
+    single test.
+    """
+    if not proc_available():
+        return False
+    if explicit is not None:
+        return bool(explicit)
+    return os.environ.get("FLOCK_PROC", "0").strip().lower() in (
+        "1", "true", "yes", "on",
+    )

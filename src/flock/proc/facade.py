@@ -1,0 +1,255 @@
+"""Remote stand-ins for the objects a worker process hosts.
+
+The routers — and a decade of tests — reach *through* a shard or follower
+into ``.database`` / ``.registry`` / ``.server`` attributes: scatter
+inserts call ``shard.database.executemany``, recovery checks walk
+``shard.database.catalog`` and verify the audit hash chain, the bench
+harness calls ``follower.database.set_workers``. These facades keep every
+one of those paths working when the object actually lives in another
+process: each call becomes one framed RPC on the shard's
+:class:`~flock.proc.supervisor.WorkerHandle`, results come back pickled,
+and worker-side exceptions re-raise here with their original class.
+
+Most methods ride the generic ``call`` op (dotted attribute path resolved
+inside the worker); the hot paths — execute, executemany, head snapshots —
+have dedicated ops so the worker can scrub and lock correctly around them.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+
+def rebuild_version(payload: tuple):
+    """A parent-side :class:`~flock.db.storage.TableVersion` from the wire.
+
+    Workers ship ``(version_id, schema, columns, operation)`` — never the
+    live version object, whose lazily-built caches (zone maps, delta
+    chains) are process-local state. Rebuilding through the constructor
+    gives the merge path a version indistinguishable from a thread
+    shard's head.
+    """
+    from flock.db.storage import TableVersion
+
+    version_id, schema, columns, operation = payload
+    return TableVersion(version_id, schema, columns, operation)
+
+
+class RemoteTable:
+    """``database.catalog.table(name)`` for a worker-hosted engine."""
+
+    def __init__(self, handle, name: str):
+        self._handle = handle
+        self.name = name
+
+    @property
+    def row_count(self) -> int:
+        return self._handle.call(
+            "db", "catalog.table", [self.name], attr="row_count"
+        )
+
+    @property
+    def head_version(self):
+        shipped = self._handle.request("head_versions", names=[self.name])
+        return rebuild_version(shipped[self.name.lower()])
+
+
+class RemoteCatalog:
+    """The catalog read surface, one RPC per lookup."""
+
+    def __init__(self, handle):
+        self._handle = handle
+
+    def table(self, name: str) -> RemoteTable:
+        return RemoteTable(self._handle, name)
+
+    def table_names(self) -> list[str]:
+        return self._handle.call("db", "catalog.table_names")
+
+    def view_names(self) -> list[str]:
+        return self._handle.call("db", "catalog.view_names")
+
+    def has_table(self, name: str) -> bool:
+        return self._handle.call("db", "catalog.has_table", [name])
+
+    def has_view(self, name: str) -> bool:
+        return self._handle.call("db", "catalog.has_view", [name])
+
+    def schema(self, name: str):
+        return self._handle.call("db", "catalog.schema", [name])
+
+    def index_defs(self) -> list:
+        return self._handle.call("db", "catalog.index_defs")
+
+    def view(self, name: str):
+        return self._handle.call("db", "catalog.view", [name])
+
+
+class RemoteAuditLog:
+    def __init__(self, handle):
+        self._handle = handle
+
+    def verify_chain(self) -> bool:
+        return self._handle.call("db", "audit.log.verify_chain")
+
+    @property
+    def last_sequence(self) -> int:
+        return self._handle.call(
+            "db", "audit.log.last_sequence", invoke=False
+        )
+
+
+class RemoteAudit:
+    def __init__(self, handle):
+        self.log = RemoteAuditLog(handle)
+
+
+class RemoteDatabaseFacade:
+    """The ``.database`` attribute of a process-backed shard or follower.
+
+    Execution goes through the worker's real engine — statement locks,
+    WAL, audit chain and all — so a facade ``execute`` is observably the
+    thread backend's ``execute`` plus one process hop.
+    """
+
+    def __init__(self, handle):
+        self._handle = handle
+        self.catalog = RemoteCatalog(handle)
+        self.audit = RemoteAudit(handle)
+
+    def execute(self, sql: str, params: Sequence[Any] | None = None,
+                user: str = "admin", **_ignored: Any):
+        return self._handle.request(
+            "db_execute", sql=sql,
+            params=None if params is None else list(params), user=user,
+        )
+
+    def executemany(self, sql: str, seq_of_params, user: str = "admin"):
+        return self._handle.request(
+            "db_executemany", sql=sql,
+            rows=[list(p) for p in seq_of_params], user=user,
+        )
+
+    def checkpoint(self) -> None:
+        self._handle.call("db", "checkpoint")
+
+    def set_workers(self, workers: int) -> None:
+        self._handle.call("db", "set_workers", [workers])
+
+    def close(self) -> None:
+        # Closing the engine without its process makes no sense; a facade
+        # close is a graceful worker shutdown (final checkpoint included).
+        self._handle.close()
+
+
+class RemoteRegistryFacade:
+    """The ``.registry`` attribute of a process-backed shard or follower.
+
+    Model graphs pickle by reference to the flock library modules, so
+    deploys cross the boundary the same way replicated deploy records
+    already do.
+    """
+
+    def __init__(self, handle):
+        self._handle = handle
+
+    def deploy_many(self, models, **kwargs):
+        return self._handle.request(
+            "deploy_many", models=list(models), kwargs=kwargs
+        )
+
+    def deploy(self, name, graph, **kwargs):
+        return self.deploy_many([(name, graph)], **kwargs)[0]
+
+    def __getattr__(self, item):
+        handle = self.__dict__["_handle"]
+
+        def _invoke(*args, **kwargs):
+            return handle.call("registry", item, list(args), kwargs)
+
+        _invoke.__name__ = item
+        return _invoke
+
+
+class RemoteServerFacade:
+    """The ``.server`` attribute of a process-backed follower replica.
+
+    Read routing lands here: the cluster router picks a follower and calls
+    ``server.submit``. The request runs on the worker's real read-only
+    :class:`~flock.serving.FlockServer` (admission control, read-only
+    enforcement), and since the reply is already complete when the RPC
+    returns, ``submit`` hands back an immediately-resolved future.
+    """
+
+    def __init__(self, handle):
+        self._handle = handle
+
+    def execute(self, sql: str, params: Sequence[Any] | None = None,
+                user: str = "admin", timeout: float | None = None):
+        return self._handle.request(
+            "server_execute", sql=sql,
+            params=None if params is None else list(params),
+            user=user, timeout=timeout,
+        )
+
+    def submit(self, sql: str, params: Sequence[Any] | None = None,
+               user: str = "admin", timeout: float | None = None):
+        from flock.client import _ImmediateFuture
+        from flock.errors import FlockError
+
+        try:
+            return _ImmediateFuture(
+                result=self.execute(sql, params, user, timeout)
+            )
+        except FlockError as exc:
+            return _ImmediateFuture(error=exc)
+
+    def stats(self) -> dict:
+        return self._handle.call("server", "stats")
+
+    @property
+    def _served(self) -> int:
+        return self._handle.call("server", "_served", invoke=False)
+
+    def shutdown(self, drain: bool = True, timeout: float | None = None):
+        # The worker's graceful close shuts its server down; nothing to do
+        # from the parent side but tolerate the call.
+        return None
+
+
+class RemoteClusterFacade:
+    """The ``.cluster`` attribute of a shard whose worker hosts a full
+    :class:`~flock.cluster.FlockCluster` (shards composed with replicas).
+
+    The shard router only needs routing, catch-up and stats; promotion is
+    forwarded for completeness (the report dict ships back verbatim).
+    """
+
+    def __init__(self, handle):
+        self._handle = handle
+        self.database = RemoteDatabaseFacade(handle)
+        self.registry = RemoteRegistryFacade(handle)
+
+    def execute(self, sql: str, params: Sequence[Any] | None = None,
+                user: str = "admin", timeout: float | None = None):
+        return self._handle.request(
+            "execute", sql=sql,
+            params=None if params is None else list(params), user=user,
+        )
+
+    def wait_for_catchup(self, timeout: float | None = 10.0) -> bool:
+        return self._handle.request(
+            "wait_for_catchup", timeout=timeout,
+            _timeout=None if timeout is None else timeout + 30.0,
+        )
+
+    def stats(self) -> dict:
+        return self._handle.call("cluster", "stats")
+
+    def promote(self, drain_timeout: float = 5.0):
+        return self._handle.call(
+            "cluster", "promote", kwargs={"drain_timeout": drain_timeout}
+        )
+
+    def close(self) -> None:
+        self._handle.close()

@@ -1,0 +1,153 @@
+"""The worker wire format: length-prefixed, CRC-framed pickles.
+
+One frame carries one message::
+
+    +-------+----------+----------+------------------+
+    | magic | length   | crc32    | payload          |
+    | 4 B   | 4 B (BE) | 4 B (BE) | ``length`` bytes |
+    +-------+----------+----------+------------------+
+
+The payload is a pickle, but the frame layer never trusts it: the declared
+length is capped (an oversized header is rejected before a single payload
+byte is read) and the CRC32 of the payload is verified *before*
+``pickle.loads`` runs, so a bit-flipped or truncated frame raises a typed
+:class:`~flock.errors.ProtocolError` instead of deserializing garbage.
+EOF is classified: at a frame boundary it is the peer closing (clean, or a
+crash the caller maps to :class:`~flock.errors.WorkerCrashError`);
+mid-frame it is corruption. A socket deadline surfaces as
+:class:`~flock.errors.WorkerTimeoutError` — the hung-worker guard.
+
+Both directions of the parent<->worker channel use this module, so the
+protocol-corruption battery exercises exactly the code the runtime runs.
+"""
+
+from __future__ import annotations
+
+import pickle
+import socket
+import struct
+import zlib
+from typing import Any
+
+from flock.errors import ProtocolError, WorkerCrashError, WorkerTimeoutError
+
+#: Frame preamble; anything else at a frame boundary is a desynced stream.
+MAGIC = b"FLKP"
+
+_HEADER = struct.Struct(">4sII")  # magic, payload length, payload crc32
+
+#: Hard cap on one frame's payload. Large enough for merged snapshots of
+#: benchmark-sized tables, small enough that a corrupted length field is
+#: rejected instead of attempting a multi-gigabyte read.
+MAX_FRAME_BYTES = 256 * 1024 * 1024
+
+
+def _recv_exact(sock: socket.socket, n: int, *, mid_frame: bool,
+                eof_ok: bool) -> bytes | None:
+    """Read exactly *n* bytes, classifying EOF and deadlines."""
+    chunks: list[bytes] = []
+    remaining = n
+    while remaining:
+        try:
+            chunk = sock.recv(min(remaining, 1 << 20))
+        except socket.timeout as exc:
+            raise WorkerTimeoutError(
+                f"worker channel: no reply within the deadline "
+                f"({remaining} of {n} byte(s) outstanding)"
+            ) from exc
+        except OSError as exc:
+            raise WorkerCrashError(
+                f"worker channel: socket failed mid-read: {exc}"
+            ) from exc
+        if not chunk:
+            if chunks or mid_frame:
+                raise ProtocolError(
+                    f"worker channel: EOF mid-frame "
+                    f"({n - remaining} of {n} byte(s) read)"
+                )
+            if eof_ok:
+                return None
+            raise WorkerCrashError(
+                "worker channel: connection closed by peer"
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_frame(sock: socket.socket, *, eof_ok: bool = False) -> bytes | None:
+    """One verified payload, or None on clean EOF (``eof_ok`` only).
+
+    Raises :class:`ProtocolError` for bad magic, oversized lengths,
+    mid-frame EOF and CRC mismatches — all *before* the payload reaches
+    any deserializer.
+    """
+    header = _recv_exact(sock, _HEADER.size, mid_frame=False, eof_ok=eof_ok)
+    if header is None:
+        return None
+    magic, length, crc = _HEADER.unpack(header)
+    if magic != MAGIC:
+        raise ProtocolError(
+            f"worker channel: bad frame magic {magic!r} "
+            f"(expected {MAGIC!r}); stream is desynced"
+        )
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"worker channel: declared frame length {length} exceeds the "
+            f"{MAX_FRAME_BYTES}-byte cap; refusing to read"
+        )
+    payload = _recv_exact(sock, length, mid_frame=True, eof_ok=False)
+    actual = zlib.crc32(payload)
+    if actual != crc:
+        raise ProtocolError(
+            f"worker channel: payload CRC mismatch "
+            f"(declared {crc:#010x}, computed {actual:#010x}); "
+            f"refusing to deserialize a corrupt frame"
+        )
+    return payload
+
+
+def send_frame(sock: socket.socket, payload: bytes) -> None:
+    if len(payload) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"worker channel: refusing to send a {len(payload)}-byte frame "
+            f"(cap {MAX_FRAME_BYTES})"
+        )
+    header = _HEADER.pack(MAGIC, len(payload), zlib.crc32(payload))
+    try:
+        sock.sendall(header + payload)
+    except socket.timeout as exc:
+        raise WorkerTimeoutError(
+            "worker channel: send missed the deadline"
+        ) from exc
+    except OSError as exc:
+        raise WorkerCrashError(
+            f"worker channel: send failed (peer gone?): {exc}"
+        ) from exc
+
+
+def dump_message(obj: Any) -> bytes:
+    return pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def send_message(sock: socket.socket, obj: Any) -> None:
+    send_frame(sock, dump_message(obj))
+
+
+def recv_message(sock: socket.socket, *, eof_ok: bool = False) -> Any:
+    """One message object; ``None`` on clean EOF when ``eof_ok``.
+
+    The CRC has already vouched for the bytes by the time they reach
+    ``pickle.loads``; a failure here means the *peer* pickled something
+    this process cannot rebuild, which is a protocol error, not data
+    corruption.
+    """
+    payload = recv_frame(sock, eof_ok=eof_ok)
+    if payload is None:
+        return None
+    try:
+        return pickle.loads(payload)
+    except Exception as exc:
+        raise ProtocolError(
+            f"worker channel: CRC-valid frame failed to deserialize: {exc!r}"
+        ) from exc

@@ -1,0 +1,118 @@
+"""The process-backed follower: a worker applies, the parent forwards.
+
+:class:`ProcessFollowerReplica` subclasses the thread-backed
+:class:`~flock.cluster.replica.FollowerReplica` and keeps its entire
+contract — ``applied_lsn``/``wait_for`` catch-up accounting, the
+``pause``/``resume`` lag injectors, ``healthy``/``lag`` routing inputs,
+``status()`` — by overriding exactly two things:
+
+- the *apply step* becomes one ``apply`` RPC shipping the committed WAL
+  record to the worker, where the inherited
+  ``FollowerReplica._apply_one`` logic (audit/qlog strip, replica apply
+  lock, epoch bumps, registry reload on deploys) runs against the
+  worker's own engine;
+- the *apply loop* gains an idle heartbeat: a follower that has no
+  records to forward still pings its worker every few seconds, so a
+  SIGKILLed worker is detected and routed around even on an idle tier —
+  the EOF path only fires when a request is in flight.
+
+Any transport failure sets ``error`` (the same attribute tests poke to
+simulate a dead follower), which makes the replica unhealthy; the router
+skips it and ``promote()`` ignores it, exactly as for a thread follower
+whose apply loop died.
+"""
+
+from __future__ import annotations
+
+from flock.cluster.replica import FollowerReplica
+from flock.errors import ProcError, WorkerCrashError
+from flock.observability import metrics
+from flock.proc.facade import (
+    RemoteDatabaseFacade,
+    RemoteRegistryFacade,
+    RemoteServerFacade,
+)
+from flock.proc.supervisor import WorkerHandle
+
+#: Idle polls (at the 0.1 s subscription timeout) between heartbeats.
+_HEARTBEAT_POLLS = 50
+
+
+class ProcessFollowerReplica(FollowerReplica):
+    """One follower whose engine + read-only server live in a worker."""
+
+    def __init__(self, name: str, handle: WorkerHandle, subscription, hub):
+        self.handle = handle
+        self.pid = handle.pid
+        super().__init__(
+            name,
+            RemoteDatabaseFacade(handle),
+            RemoteRegistryFacade(handle),
+            subscription,
+            hub,
+            RemoteServerFacade(handle),
+        )
+
+    # ------------------------------------------------------------------
+    # The forwarder (replaces the in-process apply loop)
+    # ------------------------------------------------------------------
+    def _apply_loop(self) -> None:
+        registry = metrics()
+        idle = 0
+        while not self._stop:
+            item = self.subscription.next(timeout=0.1)
+            if item is None:
+                if self.subscription.closed and self.subscription.pending == 0:
+                    return
+                idle += 1
+                if idle >= _HEARTBEAT_POLLS:
+                    idle = 0
+                    if not self._heartbeat():
+                        return
+                continue
+            idle = 0
+            lsn, record = item
+            while not self._resume.wait(timeout=0.1):
+                if self._stop:
+                    return
+            try:
+                self.handle.request("apply", lsn=lsn, record=record)
+            except BaseException as exc:
+                self.error = exc
+                registry.counter("replication.apply_errors").inc()
+                with self._cond:
+                    self._cond.notify_all()
+                return
+            with self._cond:
+                self.applied_lsn = lsn
+                self._cond.notify_all()
+            registry.counter("replication.records_applied").inc()
+            registry.gauge(f"replication.lag.{self.name}").set(self.lag)
+
+    def _heartbeat(self) -> bool:
+        """True if the worker is still there; on failure set ``error``."""
+        if self.handle.healthy and self.handle.ping():
+            return True
+        self.error = WorkerCrashError(
+            f"follower {self.name}: worker pid {self.pid} stopped "
+            f"answering heartbeats"
+        )
+        metrics().counter("replication.worker_deaths").inc()
+        with self._cond:
+            self._cond.notify_all()
+        return False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def stop(self, drain: bool = True, timeout: float | None = 5.0) -> None:
+        try:
+            super().stop(drain=drain, timeout=timeout)
+        finally:
+            self.handle.close()
+
+    def status(self) -> dict:
+        report = super().status()
+        report["backend"] = "process"
+        report["pid"] = self.pid
+        return report

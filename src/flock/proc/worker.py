@@ -1,0 +1,321 @@
+"""The worker child: ``python -m flock.proc.worker --fd N --config JSON``.
+
+One worker hosts one engine stack, chosen by ``config["role"]``:
+
+- ``shard`` — a durable engine over one shard directory (or, when the
+  shard composes with replicas, a full in-worker
+  :class:`~flock.cluster.FlockCluster`), serving routed statements,
+  scatter ``executemany`` batches and head-version snapshots;
+- ``replica`` — a follower stack booted from the primary's snapshot
+  directory, applying WAL records the parent forwards from its
+  replication hub and serving reads through a read-only server.
+
+The loop is strictly request/response over the inherited socket: receive
+one framed message, execute, send one ``("ok", value)`` or ``("err",
+pickled-exception)`` frame. Results are scrubbed before the wire (span
+traces are process-local); exceptions are pickle-round-tripped so a
+non-portable one degrades to a :class:`~flock.errors.FlockError` carrying
+the original type name instead of poisoning the stream.
+
+EOF from the parent means the supervisor died or dropped us: the worker
+``os._exit(0)``s immediately *without* closing the engine — a final
+checkpoint racing a parent that may already be re-opening (or verifying
+crash recovery on) the same directory is exactly the torn state the WAL
+protocol exists to avoid. A graceful stop is always an explicit ``close``
+op. Faultpoints load lazily from ``FLOCK_FAULTPOINTS`` in *this* process,
+so crash tests arm points inside workers via the environment or the
+``set_fault`` op — including ``action="crash"`` hard kills mid-commit.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pickle
+import socket
+import sys
+
+from flock.proc.framing import dump_message, recv_message, send_frame
+
+
+def _scrub(result):
+    """Make a QueryResult wire-safe: span traces reference process-local
+    tracer state and never survive the boundary."""
+    stats = getattr(result, "stats", None)
+    if stats is not None:
+        stats.trace = None
+    return result
+
+
+def _wire_exc(exc: BaseException) -> BaseException:
+    """An exception safe to ship: itself if it pickle-round-trips, else a
+    FlockError preserving the type name and message. Round-tripping here
+    (not just dumping) catches classes whose reconstruction fails."""
+    try:
+        pickle.loads(pickle.dumps(exc, pickle.HIGHEST_PROTOCOL))
+        return exc
+    except Exception:
+        from flock.errors import FlockError
+
+        return FlockError(f"{type(exc).__name__}: {exc}")
+
+
+class _NullSubscription:
+    """Stands in for the hub subscription a thread follower would own; the
+    parent's forwarder is the subscription here, records arrive as
+    ``apply`` ops."""
+
+    name = "proc-forwarded"
+    closed = False
+    pending = 0
+
+    def next(self, timeout=None):
+        return None
+
+    def close(self) -> None:
+        self.closed = True
+
+
+class _NullHub:
+    lsn = 0
+
+    def close(self) -> None:
+        pass
+
+
+class _State:
+    """What this worker hosts; any slot may be None depending on role."""
+
+    def __init__(self):
+        self.role = "?"
+        self.db = None
+        self.registry = None
+        self.server = None
+        self.cluster = None
+        self.replica = None
+        self.session = None
+
+
+def _build(config: dict) -> _State:
+    state = _State()
+    state.role = config["role"]
+    path = config["path"]
+    open_kwargs = config.get("open_kwargs") or {}
+    if state.role == "shard":
+        if config.get("replicas"):
+            from flock.cluster import FlockCluster
+
+            state.cluster = FlockCluster(
+                path,
+                replicas=config["replicas"],
+                max_staleness=config.get("max_staleness"),
+                process=False,  # one process tier is enough; no nesting
+                **open_kwargs,
+            )
+            state.db = state.cluster.database
+            state.registry = state.cluster.registry
+            state.server = state.cluster.primary
+        else:
+            from flock.client import durable_session
+
+            state.session = durable_session(path, None, **open_kwargs)
+            state.db = state.session.db
+            state.registry = state.session.registry
+    elif state.role == "replica":
+        from flock.cluster.cluster import build_follower_stack
+        from flock.cluster.replica import FollowerReplica
+
+        database, registry, server = build_follower_stack(
+            path,
+            replica_workers=config.get("replica_workers", 1),
+            server_kwargs=config.get("server_kwargs"),
+        )
+        state.db = database
+        state.registry = registry
+        state.server = server
+        # start=False: there is no apply thread here — the parent forwards
+        # records as ``apply`` ops, reusing FollowerReplica's apply logic
+        # (strip, replica apply lock, epoch bumps, registry reload).
+        state.replica = FollowerReplica(
+            config.get("name", "replica"), database, registry,
+            _NullSubscription(), _NullHub(), server, start=False,
+        )
+    else:
+        raise ValueError(f"unknown worker role {config['role']!r}")
+    return state
+
+
+def _close(state: _State) -> None:
+    if state.cluster is not None:
+        state.cluster.close()
+        return
+    if state.replica is not None:
+        # No apply thread to stop (records arrive as ops); just drain the
+        # read server and close the snapshot-booted engine.
+        state.server.shutdown(drain=True)
+        state.db.close()
+        return
+    if state.db is not None:
+        state.db.close()
+
+
+def _resolve_call(state: _State, msg: dict):
+    targets = {
+        "db": state.db,
+        "registry": state.registry,
+        "server": state.server,
+        "cluster": state.cluster,
+        "replica": state.replica,
+    }
+    obj = targets.get(msg["target"])
+    if obj is None:
+        raise ValueError(
+            f"worker role {state.role!r} hosts no {msg['target']!r}"
+        )
+    for part in msg["path"].split("."):
+        obj = getattr(obj, part)
+    if msg.get("invoke", True):
+        obj = obj(*msg.get("args") or [], **msg.get("kwargs") or {})
+    attr = msg.get("attr")
+    if attr is not None:
+        obj = getattr(obj, attr)
+    return obj
+
+
+def _dispatch(state: _State, op: str, msg: dict):
+    if op == "ping":
+        return "pong"
+    if op == "hello":
+        return {"pid": os.getpid(), "role": state.role}
+    if op == "execute":
+        if state.cluster is not None:
+            return _scrub(state.cluster.execute(
+                msg["sql"], msg.get("params"), msg.get("user", "admin")
+            ))
+        return _scrub(state.db.execute(
+            msg["sql"], msg.get("params"), user=msg.get("user", "admin")
+        ))
+    if op == "db_execute":
+        return _scrub(state.db.execute(
+            msg["sql"], msg.get("params"), user=msg.get("user", "admin")
+        ))
+    if op == "db_executemany":
+        return _scrub(state.db.executemany(
+            msg["sql"], msg["rows"], user=msg.get("user", "admin")
+        ))
+    if op == "server_execute":
+        if state.server is None:
+            raise ValueError(f"worker role {state.role!r} hosts no server")
+        return _scrub(state.server.execute(
+            msg["sql"], msg.get("params"), user=msg.get("user", "admin"),
+            timeout=msg.get("timeout"),
+        ))
+    if op == "head_versions":
+        # One acquisition of the statement read lock for all names: the
+        # same internally-consistent per-shard snapshot the thread path
+        # takes in gather_versions.
+        shipped = {}
+        with state.db.statement_lock.read_locked():
+            for name in msg["names"]:
+                head = state.db.catalog.table(name).head_version
+                shipped[name.lower()] = (
+                    head.version_id, head.schema, head.columns,
+                    head.operation,
+                )
+        return shipped
+    if op == "apply":
+        state.replica._apply_one(msg["record"])
+        state.replica.applied_lsn = msg["lsn"]
+        return None
+    if op == "wait_for_catchup":
+        return state.cluster.wait_for_catchup(msg.get("timeout"))
+    if op == "deploy_many":
+        return state.registry.deploy_many(
+            msg["models"], **(msg.get("kwargs") or {})
+        )
+    if op == "set_fault":
+        from flock.testing import faultpoints
+
+        faultpoints.set_fault(
+            msg["name"], msg.get("action", "error"),
+            msg.get("after", 1), msg.get("delay_ms", 1.0),
+        )
+        return None
+    if op == "clear_faults":
+        from flock.testing import faultpoints
+
+        faultpoints.clear(msg.get("name"))
+        return None
+    if op == "call":
+        return _resolve_call(state, msg)
+    raise ValueError(f"unknown worker op {op!r}")
+
+
+def _send_reply(sock: socket.socket, reply) -> None:
+    try:
+        payload = dump_message(reply)
+    except Exception as exc:
+        from flock.errors import FlockError
+
+        payload = dump_message(("err", FlockError(
+            f"worker result is not picklable: {exc!r}"
+        )))
+    send_frame(sock, payload)
+
+
+def _serve(sock: socket.socket, state: _State) -> None:
+    while True:
+        msg = recv_message(sock, eof_ok=True)
+        if msg is None:
+            # Parent gone. Exit without closing: no checkpoint may race
+            # whatever the parent (or its successor) does with our
+            # directory. The WAL holds everything we acknowledged.
+            os._exit(0)
+        op = msg.pop("op", None) if isinstance(msg, dict) else None
+        if op is None:
+            from flock.errors import ProtocolError
+
+            _send_reply(sock, ("err", ProtocolError(
+                f"worker: message without an op: {type(msg).__name__}"
+            )))
+            continue
+        if op == "close":
+            _close(state)
+            _send_reply(sock, ("ok", None))
+            return
+        try:
+            value = _dispatch(state, op, msg)
+        except BaseException as exc:
+            _send_reply(sock, ("err", _wire_exc(exc)))
+            continue
+        _send_reply(sock, ("ok", value))
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(prog="flock.proc.worker")
+    parser.add_argument("--fd", type=int, required=True)
+    parser.add_argument("--config", required=True)
+    args = parser.parse_args(argv)
+    sock = socket.socket(fileno=args.fd)
+    sock.settimeout(None)  # deadlines are the parent's job
+    config = json.loads(args.config)
+    try:
+        state = _build(config)
+    except BaseException as exc:
+        # Fail the *open*: answer the pending hello with the bring-up
+        # error so the parent re-raises it, exactly like a thread shard
+        # whose directory would not recover.
+        try:
+            sock.settimeout(30.0)
+            recv_message(sock, eof_ok=True)
+            _send_reply(sock, ("err", _wire_exc(exc)))
+        except Exception:
+            pass
+        return 1
+    _serve(sock, state)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -62,6 +62,7 @@ def run_shard_scaling_benchmark(
     block_rows: int = TABLE_BLOCK_SIZE,
     seed: int = 7,
     data_dir: str | None = None,
+    process: bool | None = None,
 ) -> dict:
     """Bulk-load write QPS (rows/s) through the shard router per count.
 
@@ -71,9 +72,17 @@ def run_shard_scaling_benchmark(
     write QPS relative to the single-shard topology. ``cores`` records
     the host's usable CPUs — concurrent per-shard appends cannot scale on
     one core, and the gate must skip there instead of passing vacuously.
+
+    *process* selects the worker backend: ``None`` (the default) uses
+    process-backed shards whenever the platform supports them — thread
+    shards share one GIL, so only worker processes can show real write
+    scaling — and the resolved choice is recorded as ``backend`` so the
+    artifact says which tier produced its numbers.
     """
     import flock
+    from flock.proc import proc_available
 
+    use_process = proc_available() if process is None else bool(process)
     rows = build_rows(n_rows, random_state=seed)
     owned = data_dir is None
     root = Path(data_dir or tempfile.mkdtemp(prefix="flock-shard-bench-"))
@@ -81,7 +90,7 @@ def run_shard_scaling_benchmark(
     try:
         for count in shard_counts:
             path = root / f"shards-{count}"
-            client = flock.connect(path, shards=count)
+            client = flock.connect(path, shards=count, process=use_process)
             try:
                 client.execute(
                     "CREATE TABLE shipments (id INT PRIMARY KEY, "
@@ -131,6 +140,7 @@ def run_shard_scaling_benchmark(
         "n_rows": n_rows,
         "block_rows": block_rows,
         "cores": usable_cores(),
+        "backend": "process" if use_process else "thread",
         "shard_counts": list(shard_counts),
         "results_match": len(checks) == 1,
         "results": results,
@@ -142,7 +152,8 @@ def render_shard_benchmark(report: dict) -> list[str]:
     lines = [
         "Shard write scaling: bulk-load write QPS through the shard router",
         f"  workload: {report['n_rows']} keyed rows in blocks of "
-        f"{report['block_rows']}, {report['cores']} usable core(s)",
+        f"{report['block_rows']}, {report['cores']} usable core(s), "
+        f"{report.get('backend', 'thread')} shard backend",
     ]
     for entry in report["results"]:
         spread = "/".join(str(n) for n in entry["per_shard_rows"])

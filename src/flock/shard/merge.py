@@ -47,12 +47,13 @@ def gather_versions(cluster, names) -> dict:
     wanted = [n.lower() for n in names]
     snapshots: dict[str, list[TableVersion]] = {n: [] for n in wanted}
     for shard in cluster.shards:
-        database = shard.database
-        with database.statement_lock.read_locked():
-            for name in wanted:
-                snapshots[name].append(
-                    database.catalog.table(name).head_version
-                )
+        # The backend seam: a thread shard locks and reads its heads in
+        # place; a process shard ships (version_id, schema, columns,
+        # operation) snapshots over the wire, rebuilt as TableVersions on
+        # this side. Either way, one consistent snapshot per shard.
+        heads = shard.head_versions(wanted)
+        for name in wanted:
+            snapshots[name].append(heads[name])
     return {
         name: _merge(cluster, name, parts)
         for name, parts in snapshots.items()

@@ -232,11 +232,89 @@ class _Shard:
             return self.cluster.execute(sql, params, user)
         return self.database.execute(sql, params, user=user)
 
+    def head_versions(self, names) -> dict:
+        """Head snapshots for *names* under ONE statement read lock
+        acquisition — one internally consistent per-shard snapshot (the
+        merge path's gather contract; see flock.shard.merge)."""
+        database = self.database
+        heads = {}
+        with database.statement_lock.read_locked():
+            for name in names:
+                heads[name.lower()] = database.catalog.table(
+                    name
+                ).head_version
+        return heads
+
     def close(self) -> None:
         if self.cluster is not None:
             self.cluster.close()
         else:
             self.database.close()
+
+
+class _ProcessShard:
+    """One hash partition hosted by a worker process (see flock.proc).
+
+    Mirrors :class:`_Shard`'s whole surface — ``execute`` routes inside
+    the worker (through its in-worker FlockCluster when the shard carries
+    replicas), ``database``/``registry``/``cluster`` are remote facades,
+    ``head_versions`` ships snapshot tuples rebuilt parent-side — so the
+    router, the merge path and every test reaching into a shard work
+    unchanged across the process boundary.
+    """
+
+    def __init__(self, index: int, path: Path, config: dict):
+        from flock.proc.facade import (
+            RemoteClusterFacade,
+            RemoteDatabaseFacade,
+            RemoteRegistryFacade,
+        )
+        from flock.proc.supervisor import WorkerHandle
+
+        self.index = index
+        self.path = path
+        self.handle = WorkerHandle(config)
+        self.database = RemoteDatabaseFacade(self.handle)
+        self.registry = RemoteRegistryFacade(self.handle)
+        self.cluster = (
+            RemoteClusterFacade(self.handle)
+            if config.get("replicas")
+            else None
+        )
+
+    @property
+    def pid(self) -> int:
+        return self.handle.pid
+
+    @property
+    def healthy(self) -> bool:
+        return self.handle.healthy
+
+    def execute(self, sql, params=None, user="admin") -> QueryResult:
+        return self.handle.request(
+            "execute", sql=sql,
+            params=None if params is None else list(params), user=user,
+        )
+
+    def head_versions(self, names) -> dict:
+        from flock.proc.facade import rebuild_version
+
+        shipped = self.handle.request("head_versions", names=list(names))
+        return {
+            name: rebuild_version(payload)
+            for name, payload in shipped.items()
+        }
+
+    def set_fault(self, name: str, action: str = "error", after: int = 1,
+                  delay_ms: float = 1.0) -> None:
+        """Arm a faultpoint inside this shard's worker (test control)."""
+        self.handle.request(
+            "set_fault", name=name, action=action, after=after,
+            delay_ms=delay_ms,
+        )
+
+    def close(self) -> None:
+        self.handle.close()
 
 
 # ----------------------------------------------------------------------
@@ -289,6 +367,7 @@ class ShardedCluster:
         group_window_ms: float = 1.0,
         checkpoint_bytes: int | None = None,
         max_staleness: int | None = None,
+        process: bool | None = None,
     ):
         if path is None:
             raise ShardError(
@@ -307,6 +386,10 @@ class ShardedCluster:
             checkpoint_bytes=checkpoint_bytes,
         )
         self._max_staleness = max_staleness
+        from flock.proc import proc_enabled
+
+        #: The backend seam: explicit ``process=`` wins, else FLOCK_PROC.
+        self._process = proc_enabled(process)
         self._check_manifest()
 
         import flock
@@ -340,6 +423,12 @@ class ShardedCluster:
         self._reconcile_shards()
         self._mirror_catalog()
         self._recover_sequences()
+        if self._process:
+            self._swap_to_process_backend()
+
+    @property
+    def backend(self) -> str:
+        return "process" if self._process else "thread"
 
     # -- bring-up ------------------------------------------------------
     def _check_manifest(self) -> None:
@@ -367,6 +456,10 @@ class ShardedCluster:
                     shard_path,
                     replicas=self.replicas,
                     max_staleness=self._max_staleness,
+                    # When this cluster is about to swap to the process
+                    # backend, the throwaway bring-up tier must not fork
+                    # its own follower workers.
+                    process=False if self._process else None,
                     **self._open_kwargs,
                 ),
             )
@@ -377,6 +470,38 @@ class ShardedCluster:
             shard_path,
             session=durable_session(shard_path, None, **self._open_kwargs),
         )
+
+    def _spawn_shard(self, index: int) -> _ProcessShard:
+        shard_path = self.path / f"shard-{index}"
+        return _ProcessShard(
+            index,
+            shard_path,
+            {
+                "role": "shard",
+                "name": f"shard-{index}",
+                "path": str(shard_path),
+                "open_kwargs": dict(self._open_kwargs),
+                "replicas": self.replicas,
+                "max_staleness": self._max_staleness,
+            },
+        )
+
+    def _swap_to_process_backend(self) -> None:
+        """Hand the shard directories to worker processes.
+
+        Bring-up always runs on the thread backend first — reconcile,
+        catalog mirror, sequence recovery are *cross-shard* passes that
+        need direct engine access and stay reused unchanged. Once the
+        fleet is consistent, each thread engine is closed (WAL flushed)
+        and a worker re-opens the same directory; from here on every
+        shard runs on its own interpreter, its commit fsyncs and scans
+        unserialized by this process's GIL.
+        """
+        for shard in self.shards:
+            shard.close()
+        self.shards = [
+            self._spawn_shard(index) for index in range(self.n_shards)
+        ]
 
     def _reconcile_shards(self) -> None:
         """Resume any DDL or deploy broadcast a crash cut short mid-fleet.
@@ -994,10 +1119,19 @@ class ShardedCluster:
 
     # -- lifecycle ------------------------------------------------------
     def restart_shard(self, index: int) -> None:
-        """Crash-recover one shard through ``Database.open``."""
+        """Crash-recover one shard through ``Database.open``.
+
+        On the process backend the old worker is stopped (or was already
+        SIGKILLed — close tolerates a dead peer) and a fresh worker
+        re-opens the directory, running the same recovery in its own
+        process."""
         with self._ops.write_locked():
             self.shards[index].close()
-            self.shards[index] = self._open_shard(index)
+            self.shards[index] = (
+                self._spawn_shard(index)
+                if self._process
+                else self._open_shard(index)
+            )
 
     def wait_for_catchup(self, timeout: float | None = 10.0) -> bool:
         """With replicas: block until every shard's followers caught up."""
@@ -1025,6 +1159,7 @@ class ShardedCluster:
         return {
             "shards": self.n_shards,
             "replicas": self.replicas,
+            "backend": self.backend,
             "routes": routes,
             "next_sequence": dict(self._next_seq),
             "per_shard": per_shard,

@@ -48,7 +48,7 @@ def _tiny_graph():
 
 def run(directory: str, seed: int, ops: int, ack_path: str,
         sync_mode: str = "commit", replicas: int = 0,
-        shards: int = 0) -> None:
+        shards: int = 0, process: bool | None = None) -> None:
     import flock
 
     rng = random.Random(seed)
@@ -64,7 +64,7 @@ def run(directory: str, seed: int, ops: int, ack_path: str,
         # must absorb broadcasts the crash cut short mid-fleet.
         client = flock.connect(
             directory, shards=shards, replicas=replicas,
-            sync_mode=sync_mode, group_window_ms=0.2,
+            sync_mode=sync_mode, group_window_ms=0.2, process=process,
         )
         run_sharded(client, rng, ops, ack, graph)
         client.close()
@@ -78,7 +78,7 @@ def run(directory: str, seed: int, ops: int, ack_path: str,
         # must preserve.
         client = flock.connect(
             directory, replicas=replicas, sync_mode=sync_mode,
-            group_window_ms=0.2,
+            group_window_ms=0.2, process=process,
         )
         session = client.session
         db = client.db
@@ -246,9 +246,35 @@ def main(argv=None) -> int:
         help="drive the workload through a ShardedCluster with N shards "
         "(composes with --replicas)",
     )
+    parser.add_argument(
+        "--process", dest="process", action="store_true", default=None,
+        help="process-backed shards/replicas (flock.proc); default "
+        "follows FLOCK_PROC",
+    )
+    parser.add_argument(
+        "--no-process", dest="process", action="store_false",
+        help="force the in-process thread backend",
+    )
     args = parser.parse_args(argv)
-    run(args.dir, args.seed, args.ops, args.ack_file, args.sync_mode,
-        replicas=args.replicas, shards=args.shards)
+    try:
+        run(args.dir, args.seed, args.ops, args.ack_file, args.sync_mode,
+            replicas=args.replicas, shards=args.shards,
+            process=args.process)
+    except Exception as exc:
+        from flock.errors import WorkerCrashError
+        from flock.testing.faultpoints import CRASH_EXIT_CODE
+
+        if isinstance(exc, WorkerCrashError) or isinstance(
+            getattr(exc, "__cause__", None), WorkerCrashError
+        ):
+            # A faultpoint (or the parent test) killed one of *our* shard
+            # or replica workers mid-operation. To the durability
+            # contract that is this driver crashing: the dead worker's
+            # WAL holds every acknowledged commit, the in-flight op has
+            # its `try` line and no `ok`. Exit with the crash code the
+            # parent already treats as "killed at a fault point".
+            os._exit(CRASH_EXIT_CODE)
+        raise
     return 0
 
 

@@ -23,6 +23,7 @@ import random
 from pathlib import Path
 
 from flock.cluster import FlockCluster
+from flock.proc import proc_enabled
 
 ROUNDS = int(os.environ.get("FLOCK_ORACLE_ROUNDS", "3"))
 OPS = int(os.environ.get("FLOCK_ORACLE_OPS", "80"))
@@ -133,6 +134,14 @@ def test_replication_oracle(tmp_path):
         with FlockCluster(
             tmp_path / f"round{round_no}", replicas=replicas
         ) as cluster:
+            if proc_enabled(None):
+                # Under FLOCK_PROC=1 each follower must be hosted by its
+                # own worker process — assert the seam engaged so the CI
+                # process lane cannot silently regress to threads.
+                assert cluster.backend == "process"
+                for follower in cluster.followers:
+                    assert follower.status()["backend"] == "process"
+                    assert follower.status()["pid"] != os.getpid()
             run_round(cluster, rng, OPS)
             assert cluster.wait_for_catchup(30.0), (
                 f"round {round_no}: followers failed to catch up: "

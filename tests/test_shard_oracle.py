@@ -28,6 +28,7 @@ from pathlib import Path
 
 import flock
 from flock.errors import FlockError
+from flock.proc import proc_enabled
 
 ROUNDS = int(os.environ.get("FLOCK_SHARD_ORACLE_ROUNDS", "3"))
 OPS = int(os.environ.get("FLOCK_SHARD_ORACLE_OPS", "60"))
@@ -224,6 +225,17 @@ def test_shard_oracle(tmp_path):
         )
         single = flock.connect(tmp_path / f"round{round_no}" / "single")
         try:
+            if proc_enabled(None):
+                # The CI process lane runs this oracle under FLOCK_PROC=1;
+                # assert the backend actually engaged so the lane can
+                # never silently regress to threads and keep passing.
+                assert sharded.cluster.backend == "process", (
+                    "FLOCK_PROC=1 but the sharded cluster stayed on the "
+                    "thread backend"
+                )
+                assert all(
+                    s.pid != os.getpid() for s in sharded.cluster.shards
+                )
             run_round(sharded, single, rng, OPS)
             # Full-state comparison, order included: the merge discipline
             # promises bit-identical row order, not just equal multisets.
