@@ -89,6 +89,14 @@ def write_json_report(name: str, payload: dict) -> None:
         f"benchmark {name!r}: a skipped gate needs its reason and an "
         f"applied gate must not carry one"
     )
+    assert any(
+        key.startswith("threshold_") and isinstance(value, (int, float))
+        for key, value in gate.items()
+    ), (
+        f"benchmark {name!r}: gate must record at least one numeric "
+        f"'threshold_*' entry — an artifact without its acceptance bar "
+        f"cannot be judged later"
+    )
     # The no-silent-skip rule for backend-aware scaling benchmarks (the
     # payload carries "backend"): on a multicore host where the process
     # backend is available, the gate MUST apply — a skip there is an

@@ -46,14 +46,23 @@ def _stack(cross_optimizer):
     return cross_optimizer, registry, DefaultScorer(), optimizer
 
 
-def memory_session(cross_optimizer=None):
+def memory_session(
+    cross_optimizer=None,
+    *,
+    encodings: bool | None = None,
+    memory_budget: int | None = None,
+):
     """An in-memory :class:`flock.FlockSession` (registry + scorer wired)."""
     import flock
     from flock.db import Database
 
     cross_optimizer, registry, scorer, optimizer = _stack(cross_optimizer)
     database = Database(
-        model_store=registry, scorer=scorer, optimizer=optimizer
+        model_store=registry,
+        scorer=scorer,
+        optimizer=optimizer,
+        encodings=encodings,
+        memory_budget=memory_budget,
     )
     database.cross_optimizer = cross_optimizer
     registry.bind_database(database)
@@ -67,6 +76,8 @@ def durable_session(
     sync_mode: str = "commit",
     group_window_ms: float = 1.0,
     checkpoint_bytes: int | None = None,
+    encodings: bool | None = None,
+    memory_budget: int | None = None,
 ):
     """A durable :class:`flock.FlockSession` over *path* (WAL + recovery)."""
     import flock
@@ -81,6 +92,8 @@ def durable_session(
         sync_mode=sync_mode,
         group_window_ms=group_window_ms,
         checkpoint_bytes=checkpoint_bytes,
+        encodings=encodings,
+        memory_budget=memory_budget,
     )
     database.cross_optimizer = cross_optimizer
     return flock.FlockSession(database, registry, cross_optimizer)
@@ -266,6 +279,8 @@ def connect(
     default_timeout_s: float = 30.0,
     process: bool | None = None,
     user: str = "admin",
+    encodings: bool | None = None,
+    memory_budget: int | None = None,
 ) -> Client:
     """Open a Flock stack and return a uniform :class:`Client`.
 
@@ -293,6 +308,12 @@ def connect(
     ``False`` forces in-process threads, and ``None`` (the default)
     follows the ``FLOCK_PROC`` environment variable. Routing, broadcast
     and merge semantics are identical on both backends.
+
+    ``encodings`` toggles compressed columnar storage for embedded modes
+    (None follows ``FLOCK_ENCODINGS``; ``SET flock.encodings`` switches it
+    at runtime). ``memory_budget`` caps blocking-operator memory in bytes
+    (None follows ``FLOCK_MEMORY_BUDGET``); the sharded/replicated tiers
+    configure their engines through those environment variables.
     """
     if shards:
         if path is None:
@@ -344,7 +365,11 @@ def connect(
         return Client("cluster", cluster.session, cluster=cluster, user=user)
 
     if path is None:
-        session = memory_session(cross_optimizer)
+        session = memory_session(
+            cross_optimizer,
+            encodings=encodings,
+            memory_budget=memory_budget,
+        )
     else:
         session = durable_session(
             path,
@@ -352,6 +377,8 @@ def connect(
             sync_mode=sync_mode,
             group_window_ms=group_window_ms,
             checkpoint_bytes=checkpoint_bytes,
+            encodings=encodings,
+            memory_budget=memory_budget,
         )
     if not serving:
         return Client("embedded", session, user=user)

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import threading
 
+from flock.db.encoding import EncodingSettings
 from flock.db.index import IndexDef
 from flock.db.schema import TableSchema
 from flock.db.storage import Table
@@ -13,7 +14,10 @@ from flock.errors import CatalogError
 class Catalog:
     """Thread-safe registry of tables, views and secondary indexes."""
 
-    def __init__(self) -> None:
+    def __init__(self, settings: EncodingSettings | None = None) -> None:
+        # One encodings switch shared by every table in this catalog; the
+        # owning Database mutates it on SET flock.encodings.
+        self.settings = settings if settings is not None else EncodingSettings()
         self._tables: dict[str, Table] = {}
         self._views: dict[str, object] = {}  # name → view definition
         # CREATE INDEX namespace (database-wide, like table names). The
@@ -35,7 +39,7 @@ class Catalog:
                 if if_not_exists:
                     return self._tables[key]
                 raise CatalogError(f"table {schema.name!r} already exists")
-            table = Table(schema)
+            table = Table(schema, settings=self.settings)
             self._tables[key] = table
             return table
 

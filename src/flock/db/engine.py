@@ -22,6 +22,7 @@ import numpy as np
 
 from flock.db.binder import Binder, ModelSignature, Scope, ScopeEntry, fold_constants
 from flock.db.catalog import Catalog
+from flock.db.encoding import EncodingSettings
 from flock.db.exec.executor import Executor, render_analyzed_plan
 from flock.db.exec.parallel import ParallelConfig
 from flock.db.exec.pool import WorkerPool
@@ -80,6 +81,18 @@ class QueryLogEntry:
     duration_ms: float = 0.0
 
 
+def _memory_budget_from_env() -> int | None:
+    """FLOCK_MEMORY_BUDGET in bytes; unset/empty/0 means unlimited."""
+    raw = os.environ.get("FLOCK_MEMORY_BUDGET", "").strip()
+    if not raw:
+        return None
+    try:
+        budget = int(raw)
+    except ValueError:
+        return None
+    return budget if budget > 0 else None
+
+
 class Database:
     """An in-memory SQL engine with governance built in."""
 
@@ -91,8 +104,14 @@ class Database:
         workers: int | None = None,
         morsel_rows: int | None = None,
         min_parallel_rows: int | None = None,
+        encodings: bool | None = None,
+        memory_budget: int | None = None,
     ):
-        self.catalog = Catalog()
+        # Columnar encodings (flock.db.encoding): the constructor argument
+        # wins, then FLOCK_ENCODINGS (default on). The settings object is
+        # shared with every table through the catalog, so SET
+        # flock.encodings takes effect on the next staged version anywhere.
+        self.catalog = Catalog(settings=EncodingSettings(encodings))
         self.transactions = TransactionManager(self.catalog)
         self.security = SecurityManager()
         self.audit = AuditLogProxy()
@@ -137,6 +156,16 @@ class Database:
         self._indexes_enabled = (
             os.environ.get("FLOCK_INDEXES", "").strip() != "0"
         )
+        # Memory budget for blocking operators (bytes; None = unlimited).
+        # When a hash aggregate / join input exceeds it, the executor
+        # partitions and spills encoded chunks under spill_directory();
+        # ORDER BY + LIMIT independently bounds memory via the top-k heap.
+        self.memory_budget = (
+            memory_budget
+            if memory_budget is not None
+            else _memory_budget_from_env()
+        )
+        self._spill_dir: str | None = None
 
     # ------------------------------------------------------------------
     # Durability (see flock.db.wal)
@@ -152,6 +181,8 @@ class Database:
         sync_mode: str = "commit",
         group_window_ms: float = 1.0,
         checkpoint_bytes: int | None = None,
+        encodings: bool | None = None,
+        memory_budget: int | None = None,
     ) -> "Database":
         """Open (or create) a durable database directory with crash recovery.
 
@@ -169,6 +200,8 @@ class Database:
             optimizer=optimizer,
             sync_mode=sync_mode,
             group_window_ms=group_window_ms,
+            encodings=encodings,
+            memory_budget=memory_budget,
         )
         if checkpoint_bytes is not None:
             kwargs["checkpoint_bytes"] = checkpoint_bytes
@@ -197,6 +230,30 @@ class Database:
             if self._worker_pool is not None:
                 self._worker_pool.shutdown()
                 self._worker_pool = None
+        if self._spill_dir is not None:
+            import shutil
+
+            shutil.rmtree(self._spill_dir, ignore_errors=True)
+            self._spill_dir = None
+
+    # ------------------------------------------------------------------
+    # Columnar encodings + memory budget (see flock.db.encoding / spill)
+    # ------------------------------------------------------------------
+    def encodings_enabled(self) -> bool:
+        return self.catalog.settings.enabled
+
+    def spill_directory(self) -> str:
+        """Where blocking operators spill: under the database directory
+        for durable databases, a private temp directory otherwise."""
+        if self.wal is not None:
+            path = self.wal.directory / "spill"
+            path.mkdir(exist_ok=True)
+            return str(path)
+        if self._spill_dir is None:
+            import tempfile
+
+            self._spill_dir = tempfile.mkdtemp(prefix="flock-spill-")
+        return self._spill_dir
 
     # ------------------------------------------------------------------
     # Morsel-parallel execution (see flock.db.exec.parallel)
@@ -1107,6 +1164,15 @@ class Database:
             # Cached serving plans may embed IndexLookup/zone-map access
             # paths chosen under the old setting.
             self.bump_invalidation_epoch()
+        elif name == "flock.encodings":
+            if value not in (0, 1):
+                raise BindError("flock.encodings must be 0 or 1")
+            self.catalog.settings.enabled = bool(value)
+            self.bump_invalidation_epoch()
+        elif name == "flock.memory_budget":
+            if value < 0:
+                raise BindError("flock.memory_budget must be >= 0 bytes")
+            self.memory_budget = value or None
         else:
             raise BindError(f"unknown setting {name!r}")
         self.audit.log.record(user, "SET", name, detail=str(value))
@@ -1368,6 +1434,13 @@ class _EngineExecutionContext:
     def __init__(self, database: Database, txn: Transaction):
         self.database = database
         self.txn = txn
+
+    @property
+    def memory_budget(self) -> int | None:
+        return self.database.memory_budget
+
+    def spill_directory(self) -> str:
+        return self.database.spill_directory()
 
     def table_batch(self, table_name: str) -> Batch:
         version: TableVersion = self.txn.visible_version(table_name)

@@ -18,8 +18,10 @@ import numpy as np
 
 from flock.db import functions as fn
 from flock.db import index as index_module
+from flock.db.encoding import DictionaryVector, EncodedVector
 from flock.db.exec import grouping
 from flock.db.exec import parallel as par
+from flock.db.exec import spill as spill_module
 from flock.db.exec.pool import WorkerPool, in_worker_thread
 from flock.db.expr import BoundExpr, truthy_mask
 from flock.db.plan import (
@@ -231,6 +233,12 @@ class Executor:
                 if row_mask is not None:
                     selected = [c.filter(row_mask) for c in selected]
                 extras["morsels_pruned"] = pruned
+        if self.collect_stats:
+            encodings = sorted(
+                {c.encoding for c in selected if isinstance(c, EncodedVector)}
+            )
+            if encodings:
+                extras["enc"] = ",".join(encodings)
         if extras and self.collect_stats:
             stats = self.node_stats.setdefault(id(node), NodeStats())
             stats.extras.update(extras)
@@ -549,41 +557,27 @@ class Executor:
         equi: list[tuple[BoundExpr, BoundExpr]],
         residual: BoundExpr | None,
     ) -> Batch:
+        budget = getattr(self.context, "memory_budget", None)
+        if (
+            budget
+            and residual is None
+            and node.join_type in ("INNER", "LEFT")
+            and left.num_rows > 1
+            and right.num_rows > 0
+            and spill_module.batch_nbytes(left)
+            + spill_module.batch_nbytes(right)
+            > budget
+        ):
+            spilled = self._hash_join_spilled(node, left, right, equi)
+            if spilled is not None:
+                return spilled
+
         left_keys = [expr.evaluate(left) for expr, _ in equi]
         right_keys = [expr.evaluate(right) for _, expr in equi]
-
-        fast = (
-            grouping.join_single_int(left_keys[0], right_keys[0])
-            if len(equi) == 1
-            else None
+        left_idx, right_idx, unmatched = _equi_match(
+            left_keys, right_keys, node.join_type == "LEFT"
         )
-        if fast is not None:
-            left_idx, right_idx, match_counts = fast
-            unmatched_left: list[int] = []
-            if node.join_type == "LEFT":
-                unmatched_left = np.nonzero(match_counts == 0)[0].tolist()
-        else:
-            table: dict[tuple, list[int]] = {}
-            right_key_rows = _key_rows(right_keys)
-            for i, key in enumerate(right_key_rows):
-                if key is None:
-                    continue  # NULL keys never match
-                table.setdefault(key, []).append(i)
-
-            left_out: list[int] = []
-            right_out: list[int] = []
-            unmatched_left = []
-            left_key_rows = _key_rows(left_keys)
-            for i, key in enumerate(left_key_rows):
-                matches = table.get(key, []) if key is not None else []
-                if matches:
-                    left_out.extend([i] * len(matches))
-                    right_out.extend(matches)
-                elif node.join_type == "LEFT":
-                    unmatched_left.append(i)
-
-            left_idx = np.array(left_out, dtype=np.int64)
-            right_idx = np.array(right_out, dtype=np.int64)
+        unmatched_left: list[int] = unmatched.tolist()
         combined = _combine(left, right, left_idx, right_idx)
 
         if residual is not None:
@@ -599,6 +593,107 @@ class Executor:
         if node.join_type == "LEFT" and unmatched_left:
             pad = _left_padding(left, right, np.array(unmatched_left))
             combined = combined.concat(pad)
+        return combined
+
+    def _hash_join_spilled(
+        self,
+        node: JoinNode,
+        left: Batch,
+        right: Batch,
+        equi: list[tuple[BoundExpr, BoundExpr]],
+    ) -> Batch | None:
+        """Partitioned hash join under the memory budget (no residual).
+
+        Both inputs hash-partition by join key; matching keys land in the
+        same partition, so partitions join independently against disk-
+        resident (still encoded) inputs. Per-partition pairs carry global
+        row positions, and the merge reorders the concatenated output by
+        ``(left row, right row)`` — exactly the pair order the in-memory
+        build-then-probe join emits. LEFT padding appends the unmatched
+        left rows (NULL-key rows included) in ascending global order, as
+        the serial path does. Only reached for pure equi INNER/LEFT joins:
+        a residual predicate interleaves match- and unmatched-row decisions
+        in ways partitioning cannot reproduce cheaply, so those stay in
+        memory.
+        """
+        spill_dir = getattr(self.context, "spill_directory", None)
+        if spill_dir is None:
+            return None
+        budget = self.context.memory_budget
+        total = spill_module.batch_nbytes(left) + spill_module.batch_nbytes(
+            right
+        )
+        partitions = spill_module.partition_count(total, budget)
+        left_keys = [expr.evaluate(left) for expr, _ in equi]
+        right_keys = [expr.evaluate(right) for _, expr in equi]
+        left_part = np.fromiter(
+            (
+                -1 if key is None else hash(key) % partitions
+                for key in _key_rows(left_keys)
+            ),
+            dtype=np.int64,
+            count=left.num_rows,
+        )
+        right_part = np.fromiter(
+            (
+                -1 if key is None else hash(key) % partitions
+                for key in _key_rows(right_keys)
+            ),
+            dtype=np.int64,
+            count=right.num_rows,
+        )
+        del left_keys, right_keys
+        unmatched: list[np.ndarray] = []
+        if node.join_type == "LEFT" and (left_part < 0).any():
+            unmatched.append(np.nonzero(left_part < 0)[0].astype(np.int64))
+        pieces: list[tuple[Batch, np.ndarray, np.ndarray]] = []
+        spilled_parts = 0
+        with spill_module.SpillManager(spill_dir()) as manager:
+            pending: list[tuple[str, str]] = []
+            for p in range(partitions):
+                lrows = np.nonzero(left_part == p)[0].astype(np.int64)
+                if not len(lrows):
+                    continue  # right-only partitions can never match
+                rrows = np.nonzero(right_part == p)[0].astype(np.int64)
+                if not len(rrows):
+                    if node.join_type == "LEFT":
+                        unmatched.append(lrows)
+                    continue
+                pending.append(
+                    (
+                        manager.spill(left.take(lrows), lrows),
+                        manager.spill(right.take(rrows), rrows),
+                    )
+                )
+            spilled_parts = len(pending)
+            for left_path, right_path in pending:
+                lsub, lrows = manager.load(left_path)
+                rsub, rrows = manager.load(right_path)
+                lkeys = [expr.evaluate(lsub) for expr, _ in equi]
+                rkeys = [expr.evaluate(rsub) for _, expr in equi]
+                lidx, ridx, local_unmatched = _equi_match(
+                    lkeys, rkeys, node.join_type == "LEFT"
+                )
+                if len(local_unmatched):
+                    unmatched.append(lrows[local_unmatched])
+                pieces.append(
+                    (_combine(lsub, rsub, lidx, ridx), lrows[lidx], rrows[ridx])
+                )
+        if pieces:
+            combined = Batch.concat_all([piece for piece, _, _ in pieces])
+            gleft = np.concatenate([gl for _, gl, _ in pieces])
+            gright = np.concatenate([gr for _, _, gr in pieces])
+            combined = combined.take(np.lexsort((gright, gleft)))
+        else:
+            empty = np.empty(0, dtype=np.int64)
+            combined = _combine(left, right, empty, empty)
+        if node.join_type == "LEFT" and unmatched:
+            rows = np.sort(np.concatenate(unmatched))
+            combined = combined.concat(_left_padding(left, right, rows))
+        metrics().counter("spill.joins").inc()
+        if self.collect_stats:
+            stats = self.node_stats.setdefault(id(node), NodeStats())
+            stats.extras["spill"] = f"join:{spilled_parts}"
         return combined
 
     def _nested_loop(
@@ -624,50 +719,108 @@ class Executor:
         child = self._execute(node.child)
         group_vectors = [e.evaluate(child) for e in node.group_exprs]
 
-        if group_vectors:
-            fast = (
-                grouping.group_single_int(group_vectors[0])
-                if len(group_vectors) == 1
-                else None
-            )
-            if fast is not None:
-                group_keys, group_indexes = fast
-            else:
-                groups: dict[tuple, list[int]] = {}
-                order: list[tuple] = []
-                pylists = [v.to_pylist() for v in group_vectors]
-                for i, key in enumerate(zip(*pylists)):
-                    if key not in groups:
-                        groups[key] = []
-                        order.append(key)
-                    groups[key].append(i)
-                group_keys = order
-                group_indexes = [
-                    np.array(groups[k], dtype=np.int64) for k in order
-                ]
-        else:
-            group_keys = [()]
-            group_indexes = [np.arange(child.num_rows, dtype=np.int64)]
+        budget = getattr(self.context, "memory_budget", None)
+        if (
+            budget
+            and group_vectors
+            and child.num_rows > 1
+            and spill_module.batch_nbytes(child) > budget
+        ):
+            spilled = self._aggregate_spilled(node, child, group_vectors)
+            if spilled is not None:
+                return spilled
 
+        group_keys, group_indexes = _group_rows(group_vectors, child.num_rows)
+        return self._aggregate_output(node, child, group_keys, group_indexes)
+
+    def _aggregate_output(
+        self,
+        node: AggregateNode,
+        child: Batch,
+        group_keys: list[tuple],
+        group_indexes: list[np.ndarray],
+    ) -> Batch:
         columns: list[ColumnVector] = []
         for k, expr in enumerate(node.group_exprs):
             values = [key[k] for key in group_keys]
             columns.append(ColumnVector.from_values(expr.dtype, values))
 
-        arg_cache: dict[int, ColumnVector] = {}
         for spec_index, spec in enumerate(node.aggregates):
-            agg = fn.AGGREGATE_FUNCTIONS[spec.func_name]
-            results = []
-            for indexes in group_indexes:
-                if spec.arg is None:  # COUNT(*)
-                    results.append(len(indexes))
-                    continue
-                if spec_index not in arg_cache:
-                    arg_cache[spec_index] = spec.arg.evaluate(child)
-                restricted = arg_cache[spec_index].take(indexes)
-                results.append(agg.reduce(restricted, spec.distinct))
+            results = _aggregate_values(node, child, spec_index, group_indexes)
             columns.append(ColumnVector.from_values(spec.dtype, results))
 
+        return Batch([f.name for f in node.fields], columns)
+
+    def _aggregate_spilled(
+        self,
+        node: AggregateNode,
+        child: Batch,
+        group_vectors: list[ColumnVector],
+    ) -> Batch | None:
+        """Partition-and-spill hash aggregation under the memory budget.
+
+        Rows hash-partition by group key, each partition is written to disk
+        (columns still encoded) and aggregated independently; because a
+        group lives wholly in one partition and keeps its rows in ascending
+        global order, every per-group reduction sees exactly the array the
+        in-memory path would, and sorting the merged groups by global
+        first-occurrence position restores the serial output order.
+        """
+        spill_dir = getattr(self.context, "spill_directory", None)
+        if spill_dir is None:
+            return None
+        budget = self.context.memory_budget
+        total = spill_module.batch_nbytes(child)
+        partitions = spill_module.partition_count(total, budget)
+        pylists = [v.to_pylist() for v in group_vectors]
+        part_ids = spill_module.key_partition_ids(
+            list(zip(*pylists)), partitions
+        )
+        del pylists
+        with spill_module.SpillManager(spill_dir()) as manager:
+            files = [
+                manager.spill(child.take(rows), rows)
+                for rows in spill_module.partition_rows(part_ids, partitions)
+            ]
+            child = None  # the spilled partitions are now the only copy
+            group_vectors = None
+            entries: list[tuple[int, tuple, list]] = []
+            for path in files:
+                sub, rows = manager.load(path)
+                sub_groups = [e.evaluate(sub) for e in node.group_exprs]
+                keys, indexes = _group_rows(sub_groups, sub.num_rows)
+                per_spec = [
+                    _aggregate_values(node, sub, s, indexes)
+                    for s in range(len(node.aggregates))
+                ]
+                for g, (key, local_rows) in enumerate(zip(keys, indexes)):
+                    entries.append(
+                        (
+                            int(rows[local_rows[0]]),
+                            key,
+                            [values[g] for values in per_spec],
+                        )
+                    )
+        entries.sort(key=lambda e: e[0])
+        metrics().counter("spill.aggregates").inc()
+        if self.collect_stats:
+            stats = self.node_stats.setdefault(id(node), NodeStats())
+            stats.extras["spill"] = f"agg:{len(files)}"
+
+        columns: list[ColumnVector] = []
+        for k, expr in enumerate(node.group_exprs):
+            columns.append(
+                ColumnVector.from_values(
+                    expr.dtype, [key[k] for _, key, _ in entries]
+                )
+            )
+        for spec_index, spec in enumerate(node.aggregates):
+            columns.append(
+                ColumnVector.from_values(
+                    spec.dtype,
+                    [values[spec_index] for _, _, values in entries],
+                )
+            )
         return Batch([f.name for f in node.fields], columns)
 
     # -- sort / limit / distinct -------------------------------------------
@@ -684,10 +837,64 @@ class Executor:
         return child.take(order)
 
     def _limit(self, node: LimitNode) -> Batch:
+        sort = node.child
+        if isinstance(sort, SortNode) and sort.keys and node.limit is not None:
+            return self._topk(node, sort)
         child = self._execute(node.child)
         start = node.offset
         stop = child.num_rows if node.limit is None else start + node.limit
         return child.slice(start, stop)
+
+    def _topk(self, node: LimitNode, sort: SortNode) -> Batch:
+        """Bounded-memory ORDER BY + LIMIT: select-then-sort the top k.
+
+        ``np.partition`` finds the k-th smallest primary sort code without
+        ordering anything; only the candidate rows at or below it (a
+        superset of the serial result, since the primary key dominates the
+        lexicographic order) get the full stable sort. Candidates keep
+        ascending input positions, so their stable sort reproduces serial
+        tie order exactly and the first k rows equal the full-sort prefix.
+        """
+        child = self._execute(sort.child)
+        n = child.num_rows
+        k = node.offset + node.limit
+        if n <= 1 or k >= n:
+            code_arrays = [
+                _sort_codes(expr.evaluate(child), ascending)
+                for expr, ascending in sort.keys
+            ] if n > 1 else []
+            ordered = (
+                child.take(np.lexsort(tuple(reversed(code_arrays))))
+                if code_arrays
+                else child
+            )
+            return ordered.slice(node.offset, k)
+        code_arrays = [
+            _sort_codes(expr.evaluate(child), ascending)
+            for expr, ascending in sort.keys
+        ]
+        mode = "sort"
+        if k == 0:
+            rows = np.empty(0, dtype=np.int64)
+        else:
+            primary = code_arrays[0]
+            kth = np.partition(primary, k - 1)[k - 1]
+            candidates = np.nonzero(primary <= kth)[0]
+            if len(candidates) < n:
+                mode = "heap"
+                order = np.lexsort(
+                    tuple(reversed([c[candidates] for c in code_arrays]))
+                )
+                rows = candidates[order[:k]]
+            else:
+                order = np.lexsort(tuple(reversed(code_arrays)))
+                rows = order[:k]
+        if self.collect_stats:
+            stats = self.node_stats.setdefault(id(node), NodeStats())
+            stats.extras["topk"] = mode
+            if mode == "heap":
+                stats.extras["topk_candidates"] = len(candidates)
+        return child.take(rows).slice(node.offset, len(rows))
 
     def _set_op(self, node: SetOpNode) -> Batch:
         left = self._execute(node.left)
@@ -915,6 +1122,95 @@ def _split_join_condition(
     return equi, residual_expr
 
 
+def _group_rows(
+    group_vectors: list[ColumnVector], num_rows: int
+) -> tuple[list[tuple], list[np.ndarray]]:
+    """Group keys (first-occurrence order) and ascending row indexes.
+
+    The shared grouping core of the in-memory and spilled aggregate paths
+    (and the parallel partial builder reproduces the same contract).
+    """
+    if group_vectors:
+        fast = grouping.group_keys(group_vectors)
+        if fast is not None:
+            return fast
+        groups: dict[tuple, list[int]] = {}
+        order: list[tuple] = []
+        pylists = [v.to_pylist() for v in group_vectors]
+        for i, key in enumerate(zip(*pylists)):
+            if key not in groups:
+                groups[key] = []
+                order.append(key)
+            groups[key].append(i)
+        return order, [np.array(groups[k], dtype=np.int64) for k in order]
+    return [()], [np.arange(num_rows, dtype=np.int64)]
+
+
+def _aggregate_values(
+    node: AggregateNode,
+    child: Batch,
+    spec_index: int,
+    group_indexes: list[np.ndarray],
+) -> list:
+    """One aggregate spec evaluated over every group of *child*."""
+    spec = node.aggregates[spec_index]
+    agg = fn.AGGREGATE_FUNCTIONS[spec.func_name]
+    if spec.arg is None:  # COUNT(*)
+        return [len(indexes) for indexes in group_indexes]
+    arg = spec.arg.evaluate(child)
+    return [
+        agg.reduce(arg.take(indexes), spec.distinct)
+        for indexes in group_indexes
+    ]
+
+
+def _equi_match(
+    left_keys: list[ColumnVector],
+    right_keys: list[ColumnVector],
+    want_unmatched: bool,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Equi-join pair indexes in build-then-probe order.
+
+    Pairs are ordered by left row with ascending right matches per left
+    row; ``unmatched`` (only collected when requested) holds the left rows
+    with no match — NULL-key rows included — ascending. The shared match
+    core of the in-memory and spilled hash-join paths.
+    """
+    fast = (
+        grouping.join_single_int(left_keys[0], right_keys[0])
+        if len(left_keys) == 1
+        else None
+    )
+    if fast is not None:
+        left_idx, right_idx, match_counts = fast
+        unmatched = (
+            np.nonzero(match_counts == 0)[0].astype(np.int64)
+            if want_unmatched
+            else np.empty(0, dtype=np.int64)
+        )
+        return left_idx, right_idx, unmatched
+    table: dict[tuple, list[int]] = {}
+    for i, key in enumerate(_key_rows(right_keys)):
+        if key is None:
+            continue  # NULL keys never match
+        table.setdefault(key, []).append(i)
+    left_out: list[int] = []
+    right_out: list[int] = []
+    unmatched_out: list[int] = []
+    for i, key in enumerate(_key_rows(left_keys)):
+        matches = table.get(key, []) if key is not None else []
+        if matches:
+            left_out.extend([i] * len(matches))
+            right_out.extend(matches)
+        elif want_unmatched:
+            unmatched_out.append(i)
+    return (
+        np.array(left_out, dtype=np.int64),
+        np.array(right_out, dtype=np.int64),
+        np.array(unmatched_out, dtype=np.int64),
+    )
+
+
 def _key_rows(vectors: list[ColumnVector]) -> list[tuple | None]:
     """Row keys for hash joins; None where any component is NULL."""
     n = len(vectors[0]) if vectors else 0
@@ -951,7 +1247,22 @@ def _sort_codes(vector: ColumnVector, ascending: bool) -> np.ndarray:
     """Integer codes whose ascending order realizes the requested key order.
 
     NULLs sort last for ASC and first for DESC (the PostgreSQL default).
+
+    Dictionary-encoded TEXT sorts on its int32 codes without decoding: the
+    dictionary is sorted, so code order is value order, and lexsort only
+    needs order-isomorphic codes per column — the dense re-ranking of the
+    generic path is unnecessary for an identical permutation.
     """
+    if isinstance(vector, DictionaryVector):
+        codes = vector.codes.astype(np.int64)
+        null_mask = codes < 0
+        distinct = len(vector.dictionary)
+        if not ascending:
+            codes = distinct - 1 - codes
+            codes[null_mask] = -1  # NULL first on DESC
+        else:
+            codes[null_mask] = distinct  # NULL last on ASC
+        return codes
     present_mask = ~vector.nulls
     values = vector.values
     if vector.dtype.numpy_dtype == np.dtype(object):

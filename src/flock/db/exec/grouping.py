@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from flock.db.encoding import DictionaryVector
 from flock.db.types import DataType, python_value
 from flock.db.vector import ColumnVector
 
@@ -38,7 +39,14 @@ def group_single_int(
     Returns ``(keys, indexes)`` — keys as 1-tuples of user-facing Python
     values (None for the NULL group), indexes ascending per group — or None
     when the column is not eligible for the vectorized path.
+
+    Dictionary-encoded TEXT keys are eligible too: the dictionary maps
+    values to codes injectively, so grouping by int32 code produces the
+    same groups in the same first-occurrence order as grouping by string —
+    without decoding a single row.
     """
+    if isinstance(vector, DictionaryVector):
+        return _group_dict_codes(vector)
     if vector.dtype not in _INT_KEY_TYPES:
         return None
     nulls = vector.nulls
@@ -68,6 +76,135 @@ def group_single_int(
     if nulls.any():
         null_rows = np.nonzero(nulls)[0].astype(np.int64, copy=False)
         entries.append((int(null_rows[0]), (None,), null_rows))
+    entries.sort(key=lambda e: e[0])
+    keys = [key for _, key, _ in entries]
+    indexes = [rows for _, _, rows in entries]
+    return keys, indexes
+
+
+def _group_dict_codes(
+    vector: DictionaryVector,
+) -> tuple[list[tuple], list[np.ndarray]]:
+    """Group a dictionary-encoded column by its int32 codes (-1 = NULL)."""
+    codes = vector.codes
+    nulls = codes < 0
+    nn_pos = np.nonzero(~nulls)[0]
+    entries: list[tuple[int, tuple, np.ndarray]] = []
+    if len(nn_pos):
+        uniq, first_idx, inverse = np.unique(
+            codes[nn_pos], return_index=True, return_inverse=True
+        )
+        inverse = inverse.reshape(-1)
+        counts = np.bincount(inverse, minlength=len(uniq))
+        grouped_rows = nn_pos[np.argsort(inverse, kind="stable")].astype(
+            np.int64, copy=False
+        )
+        stops = np.cumsum(counts)
+        starts = stops - counts
+        first_pos = nn_pos[first_idx]
+        dictionary = vector.dictionary
+        for g in range(len(uniq)):
+            entries.append(
+                (
+                    int(first_pos[g]),
+                    (python_value(dictionary[uniq[g]], vector.dtype),),
+                    grouped_rows[starts[g]:stops[g]],
+                )
+            )
+    if nulls.any():
+        null_rows = np.nonzero(nulls)[0].astype(np.int64, copy=False)
+        entries.append((int(null_rows[0]), (None,), null_rows))
+    entries.sort(key=lambda e: e[0])
+    keys = [key for _, key, _ in entries]
+    indexes = [rows for _, _, rows in entries]
+    return keys, indexes
+
+
+def group_keys(
+    vectors: list[ColumnVector],
+) -> tuple[list[tuple], list[np.ndarray]] | None:
+    """Vectorized grouping over one or many key columns, or None.
+
+    The single-column form handles int64-backed and dictionary-encoded
+    keys; the multi-column form additionally fuses per-column dense codes
+    into one int64 key (see :func:`group_multi_int`).
+    """
+    if len(vectors) == 1:
+        return group_single_int(vectors[0])
+    return group_multi_int(vectors)
+
+
+def group_multi_int(
+    vectors: list[ColumnVector],
+) -> tuple[list[tuple], list[np.ndarray]] | None:
+    """First-occurrence-ordered groups over several fused key columns.
+
+    Each eligible column maps injectively onto dense codes — dictionary-
+    encoded TEXT already is its codes (+1 so NULL takes 0), int64-backed
+    INTEGER/DATE columns are dense-ranked through ``np.unique`` — and the
+    per-column codes combine positionally into one int64 key
+    (``c0 + c1*K0 + c2*K0*K1 + ...``). Injective per column and disjoint
+    per position, the fused key partitions rows exactly like the generic
+    Python-tuple dict, so groups and their first-occurrence order are
+    reproduced bit for bit. Returns None when any column is ineligible
+    (FLOAT/BOOLEAN/plain TEXT) or the fused key space would overflow.
+    """
+    codes_per: list[np.ndarray] = []
+    decoders: list = []
+    cards: list[int] = []
+    for vector in vectors:
+        if isinstance(vector, DictionaryVector):
+            codes = vector.codes.astype(np.int64) + 1
+            cards.append(len(vector.dictionary) + 1)
+
+            def decode(c, d=vector.dictionary, t=vector.dtype):
+                return None if c == 0 else python_value(d[c - 1], t)
+
+        elif vector.dtype in _INT_KEY_TYPES:
+            values = np.asarray(vector.values)
+            nulls = np.asarray(vector.nulls)
+            uniq = np.unique(values[~nulls])
+            codes = np.searchsorted(uniq, values).astype(np.int64) + 1
+            codes[nulls] = 0
+            cards.append(len(uniq) + 1)
+
+            def decode(c, u=uniq, t=vector.dtype):
+                return None if c == 0 else python_value(u[c - 1], t)
+
+        else:
+            return None
+        codes_per.append(codes)
+        decoders.append(decode)
+    span = 1
+    for k in cards:
+        span *= k
+    if span > 1 << 62:
+        return None
+    combined = np.zeros(len(vectors[0]), dtype=np.int64)
+    mult = 1
+    for codes, k in zip(codes_per, cards):
+        combined += codes * mult
+        mult *= k
+    uniq_c, first_idx, inverse = np.unique(
+        combined, return_index=True, return_inverse=True
+    )
+    inverse = inverse.reshape(-1)
+    counts = np.bincount(inverse, minlength=len(uniq_c))
+    grouped_rows = np.argsort(inverse, kind="stable").astype(
+        np.int64, copy=False
+    )
+    stops = np.cumsum(counts)
+    starts = stops - counts
+    entries: list[tuple[int, tuple, np.ndarray]] = []
+    for g in range(len(uniq_c)):
+        code = int(uniq_c[g])
+        key = []
+        for decode, k in zip(decoders, cards):
+            key.append(decode(code % k))
+            code //= k
+        entries.append(
+            (int(first_idx[g]), tuple(key), grouped_rows[starts[g]:stops[g]])
+        )
     entries.sort(key=lambda e: e[0])
     keys = [key for _, key, _ in entries]
     indexes = [rows for _, _, rows in entries]

@@ -131,6 +131,13 @@ def concat_columns(dtype: DataType, chunks: list[ColumnVector]) -> ColumnVector:
         return ColumnVector.empty(dtype)
     if len(chunks) == 1:
         return chunks[0]
+    from flock.db.encoding import concat_encoded
+
+    # Morsel chunks of one encoded column share a dictionary / frame and
+    # merge on the encoded payload without decoding.
+    encoded = concat_encoded(chunks)
+    if encoded is not None:
+        return encoded
     return ColumnVector(
         dtype,
         np.concatenate([c.values for c in chunks]),
@@ -167,11 +174,7 @@ def aggregate_partial(node: AggregateNode, batch: Batch) -> list[GroupPartial]:
             GroupPartial(key=(), count=batch.num_rows, chunks=arg_vectors)
         ]
     group_vectors = [e.evaluate(batch) for e in node.group_exprs]
-    fast = (
-        grouping.group_single_int(group_vectors[0])
-        if len(group_vectors) == 1
-        else None
-    )
+    fast = grouping.group_keys(group_vectors)
     if fast is not None:
         keys, index_arrays = fast
     else:

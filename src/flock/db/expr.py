@@ -18,9 +18,32 @@ from typing import Any, Callable, Sequence
 
 import numpy as np
 
+from flock.db.encoding import DictionaryVector, RunLengthVector
 from flock.db.types import DataType, coerce_value
 from flock.db.vector import Batch, ColumnVector
 from flock.errors import ExecutionError
+
+#: Sentinel distinguishing "not a constant vector" from a NULL constant.
+_NO_CONST = object()
+
+
+def _const_scalar(vector: ColumnVector) -> Any:
+    """The scalar behind a broadcast literal vector, else ``_NO_CONST``.
+
+    Literal operands evaluate to zero-copy ``np.broadcast_to`` vectors
+    (stride 0), which is what the late-decode fast paths key on: a
+    predicate against a constant evaluates once per dictionary entry or
+    run instead of once per row.
+    """
+    if type(vector) is not ColumnVector or len(vector) == 0:
+        return _NO_CONST
+    values = vector.values
+    if values.strides != (0,):
+        return _NO_CONST
+    if vector.nulls[0]:
+        return None
+    value = values[0]
+    return value.item() if isinstance(value, np.generic) else value
 
 
 class BoundExpr:
@@ -193,6 +216,9 @@ class BoundBinary(BoundExpr):
     def _compare(
         self, lhs: ColumnVector, rhs: ColumnVector, nulls: np.ndarray
     ) -> ColumnVector:
+        fast = _encoded_compare(self.op, lhs, rhs, nulls)
+        if fast is not None:
+            return fast
         if lhs.dtype.numpy_dtype == np.dtype(object) or (
             rhs.dtype.numpy_dtype == np.dtype(object)
         ):
@@ -215,9 +241,10 @@ class BoundBinary(BoundExpr):
         self, lhs: ColumnVector, rhs: ColumnVector, nulls: np.ndarray
     ) -> ColumnVector:
         out = np.empty(len(lhs), dtype=object)
+        lv, rv = lhs.values, rhs.values
         for i in range(len(lhs)):
             if not nulls[i]:
-                out[i] = str(lhs.values[i]) + str(rhs.values[i])
+                out[i] = str(lv[i]) + str(rv[i])
         return ColumnVector(DataType.TEXT, out, nulls)
 
     def _kleene_and(self, batch: Batch) -> ColumnVector:
@@ -257,6 +284,99 @@ _PY_COMPARE = {
 }
 
 
+def _encoded_compare(
+    op: str, lhs: ColumnVector, rhs: ColumnVector, nulls: np.ndarray
+) -> ColumnVector | None:
+    """Late-decode comparison against a constant, or None for the slow path.
+
+    Dictionary operands compare once per dictionary entry and gather
+    through the codes; run-length operands compare once per run and
+    expand. Both reproduce exactly what the generic paths compute at
+    non-null rows (null rows are masked by *nulls* either way).
+    """
+    if isinstance(lhs, DictionaryVector):
+        const = _const_scalar(rhs)
+        if const is not _NO_CONST:
+            return _dict_compare(op, lhs, const, nulls, flipped=False)
+    if isinstance(rhs, DictionaryVector):
+        const = _const_scalar(lhs)
+        if const is not _NO_CONST:
+            return _dict_compare(op, rhs, const, nulls, flipped=True)
+    if isinstance(lhs, RunLengthVector):
+        const = _const_scalar(rhs)
+        if const is not _NO_CONST:
+            return _rle_compare(op, lhs, rhs, nulls, flipped=False)
+    if isinstance(rhs, RunLengthVector):
+        const = _const_scalar(lhs)
+        if const is not _NO_CONST:
+            return _rle_compare(op, rhs, lhs, nulls, flipped=True)
+    return None
+
+
+def _dict_compare(
+    op: str,
+    operand: DictionaryVector,
+    const: Any,
+    nulls: np.ndarray,
+    flipped: bool,
+) -> ColumnVector:
+    comparator = _PY_COMPARE[op]
+    k = len(operand.dictionary)
+    if const is None:
+        dict_mask = np.zeros(k, dtype=bool)
+    elif flipped:
+        dict_mask = np.fromiter(
+            (comparator(const, d) for d in operand.dictionary.tolist()),
+            dtype=bool,
+            count=k,
+        )
+    else:
+        dict_mask = np.fromiter(
+            (comparator(d, const) for d in operand.dictionary.tolist()),
+            dtype=bool,
+            count=k,
+        )
+    return ColumnVector(
+        DataType.BOOLEAN, operand.predicate_mask(dict_mask), nulls
+    )
+
+
+def _rle_compare(
+    op: str,
+    operand: RunLengthVector,
+    other: ColumnVector,
+    nulls: np.ndarray,
+    flipped: bool,
+) -> ColumnVector:
+    # Per-run replica of the generic comparison (object loop or numpy
+    # ufunc, matching the generic path's dtype handling), expanded back.
+    run_values = operand.run_values
+    other_run = np.broadcast_to(other.values[:1], run_values.shape)
+    if flipped:
+        left_values, right_values = other_run, run_values
+        left_nulls = np.broadcast_to(other.nulls[:1], run_values.shape)
+        right_nulls = operand.run_nulls
+    else:
+        left_values, right_values = run_values, other_run
+        left_nulls = operand.run_nulls
+        right_nulls = np.broadcast_to(other.nulls[:1], run_values.shape)
+    if operand.dtype.numpy_dtype == np.dtype(object) or (
+        other.dtype.numpy_dtype == np.dtype(object)
+    ):
+        run_nulls = left_nulls | right_nulls
+        comparator = _PY_COMPARE[op]
+        out = np.zeros(len(run_values), dtype=bool)
+        for i in range(len(run_values)):
+            if not run_nulls[i]:
+                out[i] = comparator(left_values[i], right_values[i])
+        return ColumnVector(DataType.BOOLEAN, operand.expand(out), nulls)
+    if left_values.dtype != right_values.dtype:
+        left_values = left_values.astype(np.float64)
+        right_values = right_values.astype(np.float64)
+    per_run = _COMPARE[op](left_values, right_values)
+    return ColumnVector(DataType.BOOLEAN, operand.expand(per_run), nulls)
+
+
 class BoundIsNull(BoundExpr):
     def __init__(self, operand: BoundExpr, negated: bool):
         self.operand = operand
@@ -292,16 +412,41 @@ class BoundInList(BoundExpr):
 
     def evaluate(self, batch: Batch) -> ColumnVector:
         inner = self.operand.evaluate(batch)
-        if inner.dtype.numpy_dtype == np.dtype(object):
+        if isinstance(inner, DictionaryVector):
+            # Membership once per dictionary entry, gathered through codes.
+            allowed = set(self.items)
+            dict_mask = np.fromiter(
+                (v in allowed for v in inner.dictionary.tolist()),
+                dtype=bool,
+                count=len(inner.dictionary),
+            )
+            values = inner.predicate_mask(dict_mask)
+            nulls = inner.codes < 0
+        elif isinstance(inner, RunLengthVector):
+            # Membership once per run, expanded back to rows.
+            if inner.dtype.numpy_dtype == np.dtype(object):
+                allowed = set(self.items)
+                per_run = np.fromiter(
+                    (v in allowed for v in inner.run_values),
+                    dtype=bool,
+                    count=len(inner.run_values),
+                )
+            else:
+                per_run = np.isin(inner.run_values, np.array(self.items))
+            values = inner.expand(per_run)
+            nulls = inner.expand(inner.run_nulls)
+        elif inner.dtype.numpy_dtype == np.dtype(object):
             allowed = set(self.items)
             values = np.fromiter(
                 (v in allowed for v in inner.values), dtype=bool, count=len(inner)
             )
+            nulls = inner.nulls.copy()
         else:
             values = np.isin(inner.values, np.array(self.items))
+            nulls = inner.nulls.copy()
         if self.negated:
             values = ~values
-        return ColumnVector(DataType.BOOLEAN, values, inner.nulls.copy())
+        return ColumnVector(DataType.BOOLEAN, values, nulls)
 
     def __repr__(self) -> str:
         neg = "NOT " if self.negated else ""
@@ -324,17 +469,42 @@ class BoundLike(BoundExpr):
     def evaluate(self, batch: Batch) -> ColumnVector:
         inner = self.operand.evaluate(batch)
         match = self._regex.match
-        values = np.fromiter(
-            (
-                bool(match(v)) if isinstance(v, str) else False
-                for v in inner.values
-            ),
-            dtype=bool,
-            count=len(inner),
-        )
+        if isinstance(inner, DictionaryVector):
+            # One regex match per dictionary entry instead of per row.
+            dict_mask = np.fromiter(
+                (
+                    bool(match(v)) if isinstance(v, str) else False
+                    for v in inner.dictionary.tolist()
+                ),
+                dtype=bool,
+                count=len(inner.dictionary),
+            )
+            values = inner.predicate_mask(dict_mask)
+            nulls = inner.codes < 0
+        elif isinstance(inner, RunLengthVector):
+            per_run = np.fromiter(
+                (
+                    bool(match(v)) if isinstance(v, str) else False
+                    for v in inner.run_values
+                ),
+                dtype=bool,
+                count=len(inner.run_values),
+            )
+            values = inner.expand(per_run)
+            nulls = inner.expand(inner.run_nulls)
+        else:
+            values = np.fromiter(
+                (
+                    bool(match(v)) if isinstance(v, str) else False
+                    for v in inner.values
+                ),
+                dtype=bool,
+                count=len(inner),
+            )
+            nulls = inner.nulls.copy()
         if self.negated:
             values = ~values
-        return ColumnVector(DataType.BOOLEAN, values, inner.nulls.copy())
+        return ColumnVector(DataType.BOOLEAN, values, nulls)
 
     def __repr__(self) -> str:
         neg = "NOT " if self.negated else ""
@@ -413,10 +583,11 @@ class BoundCast(BoundExpr):
         source, target = inner.dtype, self.dtype
         if target is DataType.TEXT:
             out = np.empty(len(inner), dtype=object)
+            nulls = inner.nulls.copy()
             for i in range(len(inner)):
-                if not inner.nulls[i]:
+                if not nulls[i]:
                     out[i] = str(inner[i])
-            return ColumnVector(target, out, inner.nulls.copy())
+            return ColumnVector(target, out, nulls)
         if target.is_numeric and source.is_numeric:
             return ColumnVector(
                 target,
@@ -426,14 +597,15 @@ class BoundCast(BoundExpr):
         if target.is_numeric and source is DataType.TEXT:
             out = np.zeros(len(inner), dtype=target.numpy_dtype)
             nulls = inner.nulls.copy()
+            source_values = inner.values
             caster = int if target is DataType.INTEGER else float
             for i in range(len(inner)):
                 if not nulls[i]:
                     try:
-                        out[i] = caster(inner.values[i])
+                        out[i] = caster(source_values[i])
                     except (TypeError, ValueError):
                         raise ExecutionError(
-                            f"cannot cast {inner.values[i]!r} to {target}"
+                            f"cannot cast {source_values[i]!r} to {target}"
                         ) from None
             return ColumnVector(target, out, nulls)
         if target is DataType.DATE and source is DataType.TEXT:
@@ -441,13 +613,14 @@ class BoundCast(BoundExpr):
 
             out = np.zeros(len(inner), dtype=np.int64)
             nulls = inner.nulls.copy()
+            source_values = inner.values
             for i in range(len(inner)):
                 if not nulls[i]:
                     try:
-                        out[i] = date_to_days(inner.values[i])
+                        out[i] = date_to_days(source_values[i])
                     except (TypeError, ValueError):
                         raise ExecutionError(
-                            f"cannot cast {inner.values[i]!r} to DATE"
+                            f"cannot cast {source_values[i]!r} to DATE"
                         ) from None
             return ColumnVector(target, out, nulls)
         if target is DataType.BOOLEAN and source.is_numeric:

@@ -10,7 +10,13 @@ from __future__ import annotations
 
 from typing import Callable
 
-from flock.db.expr import BoundBinary, BoundExpr, BoundInList, BoundLike
+from flock.db.expr import (
+    BoundBinary,
+    BoundColumn,
+    BoundExpr,
+    BoundInList,
+    BoundLike,
+)
 from flock.db.plan import (
     AggregateNode,
     DistinctNode,
@@ -108,59 +114,92 @@ def should_use_index(
     return selectivity <= INDEX_MAX_SELECTIVITY
 
 
-def predicate_selectivity(predicate: BoundExpr) -> float:
-    """Estimated fraction of rows satisfying *predicate*."""
+def predicate_selectivity(
+    predicate: BoundExpr,
+    distinct_of: Callable[[int], int] | None = None,
+) -> float:
+    """Estimated fraction of rows satisfying *predicate*.
+
+    ``distinct_of`` (column index → distinct count, 0 when unknown) refines
+    equality and IN selectivities to ``1/distinct`` — the uniform estimate
+    column statistics support; without it the textbook defaults apply.
+    """
     if isinstance(predicate, BoundBinary):
         if predicate.op == "AND":
-            return predicate_selectivity(predicate.left) * predicate_selectivity(
-                predicate.right
-            )
+            return predicate_selectivity(
+                predicate.left, distinct_of
+            ) * predicate_selectivity(predicate.right, distinct_of)
         if predicate.op == "OR":
-            left = predicate_selectivity(predicate.left)
-            right = predicate_selectivity(predicate.right)
+            left = predicate_selectivity(predicate.left, distinct_of)
+            right = predicate_selectivity(predicate.right, distinct_of)
             return min(1.0, left + right - left * right)
         if predicate.op == "=":
-            return DEFAULT_EQUALITY_SELECTIVITY
+            return _equality_selectivity(predicate, distinct_of)
         if predicate.op in ("<", "<=", ">", ">="):
             return DEFAULT_RANGE_SELECTIVITY
         if predicate.op == "<>":
-            return 1.0 - DEFAULT_EQUALITY_SELECTIVITY
+            return 1.0 - _equality_selectivity(predicate, distinct_of)
     if isinstance(predicate, BoundInList):
-        return min(
-            1.0, DEFAULT_EQUALITY_SELECTIVITY * max(len(predicate.items), 1)
-        )
+        per_key = _equality_selectivity(predicate, distinct_of)
+        return min(1.0, per_key * max(len(predicate.items), 1))
     if isinstance(predicate, BoundLike):
         return DEFAULT_LIKE_SELECTIVITY
     return DEFAULT_SELECTIVITY
 
 
-def estimate_rows(
-    plan: PlanNode, table_rows: Callable[[str], int]
+def _equality_selectivity(
+    predicate: BoundExpr, distinct_of: Callable[[int], int] | None
 ) -> float:
-    """Estimated output cardinality of *plan*."""
+    """``1/distinct`` for a bare-column comparison when stats are known."""
+    if distinct_of is not None:
+        for side in (
+            getattr(predicate, "left", None),
+            getattr(predicate, "right", None),
+            getattr(predicate, "operand", None),
+        ):
+            if isinstance(side, BoundColumn):
+                distinct = distinct_of(side.index)
+                if distinct and distinct > 0:
+                    return min(1.0, 1.0 / distinct)
+    return DEFAULT_EQUALITY_SELECTIVITY
+
+
+def estimate_rows(
+    plan: PlanNode,
+    table_rows: Callable[[str], int],
+    table_stats: Callable[[str], object] | None = None,
+) -> float:
+    """Estimated output cardinality of *plan*.
+
+    ``table_stats`` (table name → ``TableStats`` or None) lets filters
+    directly over scans use per-column distinct counts for equality
+    selectivity instead of the 10% default.
+    """
     if isinstance(plan, ScanNode):
         return float(table_rows(plan.table_name))
     if isinstance(plan, FilterNode):
-        return estimate_rows(plan.child, table_rows) * predicate_selectivity(
-            plan.predicate
+        return estimate_rows(
+            plan.child, table_rows, table_stats
+        ) * predicate_selectivity(
+            plan.predicate, _scan_distinct_of(plan.child, table_stats)
         )
     if isinstance(plan, (ProjectNode, SortNode, PredictNode)):
-        return estimate_rows(plan.children()[0], table_rows)
+        return estimate_rows(plan.children()[0], table_rows, table_stats)
     if isinstance(plan, LimitNode):
-        child = estimate_rows(plan.child, table_rows)
+        child = estimate_rows(plan.child, table_rows, table_stats)
         return child if plan.limit is None else min(child, float(plan.limit))
     if isinstance(plan, DistinctNode):
-        return estimate_rows(plan.child, table_rows) * 0.5
+        return estimate_rows(plan.child, table_rows, table_stats) * 0.5
     if isinstance(plan, AggregateNode):
-        child = estimate_rows(plan.child, table_rows)
+        child = estimate_rows(plan.child, table_rows, table_stats)
         if not plan.group_exprs:
             return 1.0
         return max(1.0, child * 0.1)
     from flock.db.plan import SetOpNode
 
     if isinstance(plan, SetOpNode):
-        left = estimate_rows(plan.left, table_rows)
-        right = estimate_rows(plan.right, table_rows)
+        left = estimate_rows(plan.left, table_rows, table_stats)
+        right = estimate_rows(plan.right, table_rows, table_stats)
         if plan.op == "UNION":
             return left + right
         if plan.op == "EXCEPT":
@@ -169,10 +208,10 @@ def estimate_rows(
     from flock.db.plan import WindowNode
 
     if isinstance(plan, WindowNode):
-        return estimate_rows(plan.child, table_rows)
+        return estimate_rows(plan.child, table_rows, table_stats)
     if isinstance(plan, JoinNode):
-        left = estimate_rows(plan.left, table_rows)
-        right = estimate_rows(plan.right, table_rows)
+        left = estimate_rows(plan.left, table_rows, table_stats)
+        right = estimate_rows(plan.right, table_rows, table_stats)
         if plan.join_type in ("SEMI", "ANTI"):
             # Each left row survives or not; a coin-flip default.
             return max(1.0, left * 0.5)
@@ -186,14 +225,40 @@ def estimate_rows(
     return 1000.0
 
 
+def _scan_distinct_of(
+    child: PlanNode, table_stats: Callable[[str], object] | None
+) -> Callable[[int], int] | None:
+    """Column-index → distinct-count mapping for a filter over a scan."""
+    if table_stats is None or not isinstance(child, ScanNode):
+        return None
+    stats = table_stats(child.table_name)
+    if stats is None:
+        return None
+    fields = child.fields
+
+    def distinct_of(index: int) -> int:
+        if 0 <= index < len(fields):
+            column_stats = stats.column(fields[index].name)
+            if column_stats is not None:
+                return column_stats.distinct_count
+        return 0
+
+    return distinct_of
+
+
 class CostModel:
     """Row-count driven cost estimates bound to a table-size source."""
 
-    def __init__(self, table_rows: Callable[[str], int]):
+    def __init__(
+        self,
+        table_rows: Callable[[str], int],
+        table_stats: Callable[[str], object] | None = None,
+    ):
         self._table_rows = table_rows
+        self._table_stats = table_stats
 
     def rows(self, plan: PlanNode) -> float:
-        return estimate_rows(plan, self._table_rows)
+        return estimate_rows(plan, self._table_rows, self._table_stats)
 
     def cost(self, plan: PlanNode) -> float:
         """A rough total-work figure: sum of intermediate cardinalities."""

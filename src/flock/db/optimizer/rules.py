@@ -87,7 +87,13 @@ class Optimizer:
         if self.enable_predicate_pushdown:
             plan = _pushdown(plan)
         if self.enable_join_rules:
-            plan = _choose_join_sides(plan, CostModel(context.table_row_count))
+            plan = _choose_join_sides(
+                plan,
+                CostModel(
+                    context.table_row_count,
+                    getattr(context, "table_stats", None),
+                ),
+            )
         # Extra rules (the inference cross-optimizer) run before projection
         # pruning so that model-driven input pruning can shrink the scans.
         for rule in self.extra_rules:

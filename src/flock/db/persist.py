@@ -130,11 +130,15 @@ def _fsync_dir(path: Path) -> None:
 def dump_values(vector: ColumnVector) -> list:
     """One column's values as JSON-safe Python objects (NULL as None)."""
     values = []
+    # Hoist once: on encoded vectors each property access decodes the
+    # whole column, which would make this loop quadratic.
+    physical = vector.values
+    nulls = vector.nulls
     for i in range(len(vector)):
-        if vector.nulls[i]:
+        if nulls[i]:
             values.append(None)
         else:
-            value = vector.values[i]
+            value = physical[i]
             if isinstance(value, float) and not math.isfinite(value):
                 # float() first: repr(np.float64(nan)) spells the type out.
                 values.append({"__float__": repr(float(value))})
@@ -201,6 +205,8 @@ def load_database(
     model_store=None,
     scorer=None,
     optimizer=None,
+    encodings: bool | None = None,
+    memory_budget: int | None = None,
 ) -> Database:
     """Restore a snapshot into a fresh :class:`Database`."""
     root = Path(path)
@@ -214,7 +220,11 @@ def load_database(
         )
 
     database = Database(
-        model_store=model_store, scorer=scorer, optimizer=optimizer
+        model_store=model_store,
+        scorer=scorer,
+        optimizer=optimizer,
+        encodings=encodings,
+        memory_budget=memory_budget,
     )
 
     for name in manifest["tables"]:
@@ -237,6 +247,15 @@ def load_database(
         versions = [
             _load_version(schema, v) for v in payload["versions"]
         ]
+        if versions and database.encodings_enabled():
+            # Encoded chunks survive round-trips: the head version (the one
+            # scans read) comes back encoded; historical versions stay
+            # plain — they are read rarely and decode bit-identically
+            # either way.
+            from flock.db.encoding import encode_columns
+
+            head = versions[-1]
+            head.columns = tuple(encode_columns(head.columns, True))
         table._versions = versions
         table._head = len(versions) - 1
 

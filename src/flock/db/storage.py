@@ -19,11 +19,25 @@ from typing import Any, Iterable, Sequence
 
 import numpy as np
 
+from flock.db.encoding import (
+    BitPackedVector,
+    DictionaryVector,
+    EncodedVector,
+    EncodingSettings,
+    encode_vector,
+)
 from flock.db.index import HashIndex, IndexDef
 from flock.db.schema import TableSchema
 from flock.db.types import DataType
 from flock.db.vector import Batch, ColumnVector
 from flock.errors import ConstraintError, ExecutionError
+
+
+def _pow2_crossed(before: int, after: int) -> bool:
+    """True when the row count crossed a power-of-two boundary."""
+    floor_before = 1 << (before.bit_length() - 1) if before else 0
+    floor_after = 1 << (after.bit_length() - 1) if after else 0
+    return floor_before != floor_after
 
 
 @dataclass(frozen=True)
@@ -37,6 +51,36 @@ class ColumnStats:
 
     @classmethod
     def from_vector(cls, vector: ColumnVector) -> "ColumnStats":
+        # Encoded fast paths: the dictionary / packed payload already *is*
+        # the distinct/min/max summary (modulo codes orphaned by deletes,
+        # hence the np.unique over used codes, not the dictionary length).
+        if isinstance(vector, DictionaryVector):
+            codes = vector.codes
+            null_count = int((codes < 0).sum())
+            used = np.unique(codes[codes >= 0])
+            if len(used) == 0:
+                return cls(null_count=null_count, distinct_count=0)
+            return cls(
+                null_count,
+                len(used),
+                vector.dictionary[used[0]],
+                vector.dictionary[used[-1]],
+            )
+        if isinstance(vector, BitPackedVector):
+            null_mask = vector.null_mask
+            null_count = int(null_mask.sum())
+            present = vector.packed[~null_mask]
+            if len(present) == 0:
+                return cls(null_count=null_count, distinct_count=0)
+            uniq = np.unique(present)
+            return cls(
+                null_count,
+                len(uniq),
+                int(uniq[0]) + vector.offset,
+                int(uniq[-1]) + vector.offset,
+            )
+        if isinstance(vector, EncodedVector):
+            vector = vector.materialize()
         null_count = int(vector.nulls.sum())
         present = vector.values[~vector.nulls]
         if len(present) == 0:
@@ -136,8 +180,13 @@ class Table:
     head, enabling atomic multi-table commits and rollback.
     """
 
-    def __init__(self, schema: TableSchema):
+    def __init__(
+        self, schema: TableSchema, settings: EncodingSettings | None = None
+    ):
         self.schema = schema
+        # Shared with the owning catalog so SET flock.encodings takes
+        # effect on the next staged version of every table at once.
+        self.settings = settings if settings is not None else EncodingSettings()
         self._lock = threading.RLock()
         empty = [ColumnVector.empty(c.dtype) for c in schema.columns]
         self._versions: list[TableVersion] = [
@@ -363,7 +412,41 @@ class Table:
     ) -> TableVersion:
         with self._lock:
             next_id = self._versions[-1].version_id + 1
+        columns = self._encode_staged(columns, base)
         return TableVersion(next_id, self.schema, columns, operation)
+
+    def _encode_staged(
+        self, columns: Sequence[ColumnVector], base: TableVersion
+    ) -> list[ColumnVector]:
+        """Apply (or strip) column encodings for a staged version.
+
+        Probing a plain column for encodability costs O(n log n), so plain
+        columns are only re-probed when the row count crosses a power-of-two
+        boundary — amortized O(log n) probes over a table's life. Columns
+        that are already encoded (the concat fast paths keep appends
+        encoded) or whose base was encoded (UPDATE decodes to mutate) are
+        always re-encoded. With encodings off, every new version is forced
+        back to plain vectors.
+        """
+        if not self.settings.enabled:
+            return [
+                c.materialize() if isinstance(c, EncodedVector) else c
+                for c in columns
+            ]
+        base_columns = base.columns if base is not None else ()
+        out: list[ColumnVector] = []
+        for i, column in enumerate(columns):
+            if isinstance(column, EncodedVector):
+                out.append(column)
+                continue
+            base_vec = base_columns[i] if i < len(base_columns) else None
+            if isinstance(base_vec, EncodedVector) or _pow2_crossed(
+                0 if base_vec is None else len(base_vec), len(column)
+            ):
+                out.append(encode_vector(column))
+            else:
+                out.append(column)
+        return out
 
     def _check_primary_key(self, columns: Sequence[ColumnVector]) -> None:
         pk = self.schema.primary_key_indexes

@@ -245,13 +245,22 @@ class Batch:
                 raise ExecutionError(
                     "cannot concat batches with different schemas"
                 )
+        from flock.db.encoding import concat_encoded
+
         columns = []
         for i, column in enumerate(first.columns):
+            chunks = [b.columns[i] for b in batches]
+            # Morsel outputs are often slices of one encoded column (same
+            # dictionary / frame); those merge on the encoded payload.
+            encoded = concat_encoded(chunks)
+            if encoded is not None:
+                columns.append(encoded)
+                continue
             columns.append(
                 ColumnVector(
                     column.dtype,
-                    np.concatenate([b.columns[i].values for b in batches]),
-                    np.concatenate([b.columns[i].nulls for b in batches]),
+                    np.concatenate([c.values for c in chunks]),
+                    np.concatenate([c.nulls for c in chunks]),
                 )
             )
         return Batch(first.names, columns)

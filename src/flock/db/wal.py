@@ -618,6 +618,8 @@ def open_database(
     sync_mode: str = "commit",
     group_window_ms: float = 1.0,
     checkpoint_bytes: int | None = DEFAULT_CHECKPOINT_BYTES,
+    encodings: bool | None = None,
+    memory_budget: int | None = None,
 ) -> Database:
     """Open (or create) a durable database directory and recover it.
 
@@ -642,6 +644,8 @@ def open_database(
             model_store=model_store,
             scorer=scorer,
             optimizer=optimizer,
+            encodings=encodings,
+            memory_budget=memory_budget,
         )
         manifest = json.loads((checkpoint_dir / "manifest.json").read_text())
         generation = int(manifest.get("wal_generation", 1))
@@ -650,12 +654,21 @@ def open_database(
         # A directory written by persist.save_database (e.g. the shell's
         # ``.save``) opens as the seed of a durable database.
         database = load_database(
-            root, model_store=model_store, scorer=scorer, optimizer=optimizer
+            root,
+            model_store=model_store,
+            scorer=scorer,
+            optimizer=optimizer,
+            encodings=encodings,
+            memory_budget=memory_budget,
         )
         report.checkpoint_loaded = True
     else:
         database = Database(
-            model_store=model_store, scorer=scorer, optimizer=optimizer
+            model_store=model_store,
+            scorer=scorer,
+            optimizer=optimizer,
+            encodings=encodings,
+            memory_budget=memory_budget,
         )
     report.generation = generation
 

@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from flock.db.encoding import DictionaryVector
 from flock.db.plan import PredictNode
 from flock.db.types import DataType
 from flock.db.vector import Batch, ColumnVector
@@ -79,6 +80,9 @@ class DefaultScorer:
     def _score(
         self, node: PredictNode, inputs: Batch, store
     ) -> list[ColumnVector]:
+        distinct = self._score_distinct_codes(node, inputs, store)
+        if distinct is not None:
+            return distinct
         prepared = node.compiled
         if not isinstance(prepared, PreparedModel):
             graph = store.scoring_artifact(node.model_name)
@@ -134,6 +138,56 @@ class DefaultScorer:
             result.append(_feed_to_column(outputs[tensor], plan_field.dtype))
         return result
 
+    def _score_distinct_codes(
+        self, node: PredictNode, inputs: Batch, store
+    ) -> list[ColumnVector] | None:
+        """Late-decode PREDICT: score once per distinct code combination.
+
+        When every input column is dictionary-encoded, the model sees only
+        as many distinct feature rows as there are code combinations, so
+        scoring the distinct combinations and gathering by row is a pure
+        row permutation/selection of the full batch — bit-identical,
+        because every mlgraph op is elementwise or row-wise over the batch
+        axis. Skipped when a monitor hub is attached (it must observe the
+        actual per-row feeds) and in per-row UDF mode (whose cost model is
+        the point of the comparison).
+        """
+        if (
+            node.strategy == "row_udf"
+            or self.monitor_hub is not None
+            or inputs.num_columns == 0
+            or inputs.num_rows < 2
+            or not all(
+                isinstance(c, DictionaryVector) for c in inputs.columns
+            )
+        ):
+            return None
+        code_matrix = np.stack([c.codes for c in inputs.columns], axis=1)
+        uniq, inverse = np.unique(code_matrix, axis=0, return_inverse=True)
+        if len(uniq) >= inputs.num_rows:
+            return None
+        distinct_inputs = Batch(
+            inputs.names,
+            [
+                DictionaryVector(
+                    c.dtype,
+                    np.ascontiguousarray(uniq[:, j], dtype=np.int32),
+                    c.dictionary,
+                )
+                for j, c in enumerate(inputs.columns)
+            ],
+        )
+        # Recursion terminates: the distinct batch has no duplicate rows,
+        # so its own unique pass falls through to the real scoring body.
+        distinct_outputs = self._score(node, distinct_inputs, store)
+        registry = metrics()
+        registry.counter("predict.code_batches").inc()
+        registry.counter("predict.code_rows_saved").inc(
+            inputs.num_rows - len(uniq)
+        )
+        gather = inverse.reshape(-1).astype(np.int64)
+        return [column.take(gather) for column in distinct_outputs]
+
 
 def _strip_prefix(field_name: str) -> str:
     """``__predict3_probability`` → ``probability``."""
@@ -149,14 +203,26 @@ def _column_to_feed(
             raise InferenceError(
                 f"model {model_name!r} expects a numeric input, got TEXT"
             )
+        # Hoist: on encoded vectors each property access decodes the column.
+        nulls = column.nulls
         values = column.values.astype(np.float64)
-        if column.nulls.any():
+        if nulls.any():
             values = values.copy()
-            values[column.nulls] = np.nan  # imputers downstream handle NaN
+            values[nulls] = np.nan  # imputers downstream handle NaN
         return values
+    if isinstance(column, DictionaryVector):
+        # Gather the feed straight from the dictionary; object slots start
+        # as None, which is exactly the NULL representation feeds use.
+        codes = column.codes
+        out = np.empty(len(codes), dtype=object)
+        present = codes >= 0
+        out[present] = column.dictionary[codes[present]]
+        return out
+    values = column.values
+    nulls = column.nulls
     out = np.empty(len(column), dtype=object)
     for i in range(len(column)):
-        out[i] = None if column.nulls[i] else column.values[i]
+        out[i] = None if nulls[i] else values[i]
     return out
 
 

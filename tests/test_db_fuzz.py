@@ -410,10 +410,35 @@ class _ParallelTwinDriver:
         # subqueries, window functions). Statements against dropped tables
         # must raise the identical error on both engines.
         other = rng.choice(self.TABLES)
-        if roll < 0.50:
+        if roll < 0.47:
             return (
                 f"SELECT k, val * 2 + 1, f FROM {table} "
                 f"WHERE val > {rng.randrange(-50, 50)}"
+            )
+        if roll < 0.50:
+            # Encoding-sensitive shapes: dictionary fast paths evaluate
+            # these once per distinct value and gather through codes, so
+            # morsel-parallel execution must agree with serial under
+            # FLOCK_ENCODINGS=1 and =0 alike (CI runs both lanes).
+            pick = rng.randrange(4)
+            if pick == 0:
+                return (
+                    f"SELECT k, s FROM {table} "
+                    f"WHERE s = 's{rng.randrange(7)}' ORDER BY k"
+                )
+            if pick == 1:
+                items = ", ".join(
+                    f"'s{rng.randrange(8)}'"
+                    for _ in range(rng.randrange(1, 4))
+                )
+                return (
+                    f"SELECT k FROM {table} WHERE s IN ({items}) ORDER BY k"
+                )
+            if pick == 2:
+                return f"SELECT k FROM {table} WHERE s LIKE 's%' ORDER BY k"
+            return (
+                f"SELECT k FROM {table} WHERE s >= 's{rng.randrange(6)}' "
+                "ORDER BY k"
             )
         if roll < 0.56:
             return (
@@ -426,8 +451,12 @@ class _ParallelTwinDriver:
                 f"FROM {table} GROUP BY s"
             )
         if roll < 0.67:
+            # Top-k order keys alternate between float and (dictionary-
+            # encodable) text leads: the bounded-heap path must reproduce
+            # the full sort's tie order either way.
+            key = rng.choice(["f DESC, k", "s, k DESC", "s DESC, val, k"])
             return (
-                f"SELECT k, f FROM {table} ORDER BY f DESC, k "
+                f"SELECT k, f FROM {table} ORDER BY {key} "
                 f"LIMIT {rng.randrange(1, 12)} OFFSET {rng.randrange(4)}"
             )
         if roll < 0.71:
@@ -742,3 +771,190 @@ def test_optimizer_equivalence_under_fuzz(fuzz_db, expr):
     finally:
         fuzz_db.optimizer = saved
     assert sorted(optimized) == sorted(naive)
+
+
+class _EncodingTwinDriver:
+    """Runs one random statement stream against a *durable* engine with
+    compressed column encodings — and, part of the time, a deliberately
+    tiny memory budget so hash aggregates and joins spill — and an
+    in-memory twin pinned to plain storage (the live differential oracle
+    for the whole encoding + spill layer).
+
+    The stream keeps TEXT cardinality low (dictionary territory), mixes
+    string-filtered DML with the late-decode read shapes (equality, IN,
+    LIKE and range predicates on text, GROUP BY text, ORDER BY text +
+    LIMIT, date ranges, equi-joins) and periodically checkpoints and
+    crash-reopens the encoded engine: encoded head versions must survive
+    WAL replay and checkpoint reload bit-identically.
+    """
+
+    TABLES = ["e0", "e1"]
+    CATS = [f"cat_{i}" for i in range(6)]
+    DATES = [f"2026-0{m}-05" for m in range(1, 10)]
+
+    def __init__(self, path, seed: int):
+        import random as _random
+
+        self.path = path
+        self.rng = _random.Random(seed)
+        self.encoded = Database.open(path, checkpoint_bytes=0, encodings=True)
+        self.plain = Database(encodings=False)
+        self.budgeted = False
+
+    def toggle_budget(self) -> None:
+        """Flip the encoded engine between unbounded and a budget small
+        enough that multi-column aggregates and joins must spill; the
+        plain twin never spills, so results must not depend on it."""
+        self.budgeted = not self.budgeted
+        self.encoded.execute(
+            f"SET flock.memory_budget = {3000 if self.budgeted else 0}"
+        )
+
+    def statement(self) -> str:
+        rng = self.rng
+        table = rng.choice(self.TABLES)
+        cat = rng.choice(self.CATS)
+        roll = rng.random()
+        if roll < 0.05:
+            clause = "IF NOT EXISTS " if rng.random() < 0.5 else ""
+            return (
+                f"CREATE TABLE {clause}{table} (k INT PRIMARY KEY, "
+                "cat TEXT, qty INT, price FLOAT, d DATE)"
+            )
+        if roll < 0.07:
+            clause = "IF EXISTS " if rng.random() < 0.5 else ""
+            return f"DROP TABLE {clause}{table}"
+        if roll < 0.30:
+            rows = ", ".join(
+                "({}, {}, {}, {}, {})".format(
+                    rng.randrange(400),
+                    "NULL" if rng.random() < 0.15 else f"'{rng.choice(self.CATS)}'",
+                    rng.randrange(60),
+                    "NULL" if rng.random() < 0.2
+                    else round(rng.uniform(0, 99), 2),
+                    f"'{rng.choice(self.DATES)}'",
+                )
+                for _ in range(rng.randrange(1, 20))
+            )
+            return f"INSERT INTO {table} VALUES {rows}"
+        if roll < 0.36:
+            # String-filtered DML: the write path consumes a late-decoded
+            # dictionary predicate, then re-encodes the staged version.
+            return (
+                f"UPDATE {table} SET qty = qty + {rng.randrange(1, 4)} "
+                f"WHERE cat = '{cat}'"
+            )
+        if roll < 0.40:
+            return f"DELETE FROM {table} WHERE k > {rng.randrange(400)}"
+        other = "e1" if table == "e0" else "e0"
+        if roll < 0.48:
+            return (
+                f"SELECT k, cat, qty FROM {table} WHERE cat = '{cat}' "
+                "ORDER BY k"
+            )
+        if roll < 0.54:
+            items = ", ".join(
+                f"'{rng.choice(self.CATS)}'" for _ in range(rng.randrange(1, 4))
+            )
+            return f"SELECT k, qty FROM {table} WHERE cat IN ({items}) ORDER BY k"
+        if roll < 0.58:
+            pattern = rng.choice(["cat!_%", "%!_3", "c%5"]).replace("!_", "\\_")
+            return (
+                f"SELECT k FROM {table} WHERE cat LIKE '{pattern}' ORDER BY k"
+            )
+        if roll < 0.62:
+            op = rng.choice([">=", "<", ">"])
+            return (
+                f"SELECT k FROM {table} WHERE cat {op} '{cat}' ORDER BY k"
+            )
+        if roll < 0.70:
+            return (
+                f"SELECT cat, COUNT(*), SUM(qty), AVG(price), "
+                f"COUNT(DISTINCT qty) FROM {table} GROUP BY cat ORDER BY cat"
+            )
+        if roll < 0.76:
+            # Wide grouped aggregate: the shape the memory budget forces
+            # through partitioned spill files.
+            return (
+                f"SELECT cat, qty, COUNT(*), SUM(price), MIN(k) "
+                f"FROM {table} GROUP BY cat, qty ORDER BY cat, qty"
+            )
+        if roll < 0.82:
+            join = rng.choice(["JOIN", "LEFT JOIN"])
+            return (
+                f"SELECT a.k, a.cat, b.k FROM {table} a {join} {other} b "
+                f"ON a.qty = b.qty WHERE a.k < {rng.randrange(100, 400)} "
+                "ORDER BY a.k, b.k LIMIT 60"
+            )
+        if roll < 0.90:
+            return (
+                f"SELECT k, cat, qty FROM {table} "
+                f"ORDER BY cat{' DESC' if rng.random() < 0.5 else ''}, k "
+                f"LIMIT {rng.randrange(1, 15)} OFFSET {rng.randrange(4)}"
+            )
+        if roll < 0.95:
+            return (
+                f"SELECT d, COUNT(*) FROM {table} "
+                f"WHERE d >= '{rng.choice(self.DATES)}' GROUP BY d ORDER BY d"
+            )
+        return f"SELECT * FROM {table} ORDER BY k"
+
+    def step(self) -> None:
+        sql = self.statement()
+        outcomes = []
+        for db in (self.encoded, self.plain):
+            try:
+                outcomes.append(("ok", repr(db.execute(sql).rows())))
+            except Exception as exc:
+                outcomes.append(("err", type(exc).__name__))
+        assert outcomes[0] == outcomes[1], (
+            f"encoded engine diverged from plain on {sql!r} "
+            f"(budgeted={self.budgeted}): "
+            f"encoded={outcomes[0]} plain={outcomes[1]}"
+        )
+
+    def crash_reopen(self) -> None:
+        # No close(): recovery replays the WAL and the loader re-encodes
+        # the recovered head versions.
+        self.encoded = Database.open(
+            self.path, checkpoint_bytes=0, encodings=True
+        )
+        if self.budgeted:
+            self.encoded.execute("SET flock.memory_budget = 3000")
+        self.diff()
+
+    def diff(self) -> None:
+        encoded, plain = self.encoded, self.plain
+        assert sorted(encoded.catalog.table_names()) == sorted(
+            plain.catalog.table_names()
+        )
+        for name in plain.catalog.table_names():
+            e_rows = encoded.execute(f"SELECT * FROM {name} ORDER BY k").rows()
+            p_rows = plain.execute(f"SELECT * FROM {name} ORDER BY k").rows()
+            assert repr(e_rows) == repr(p_rows), name
+
+
+@pytest.mark.parametrize(
+    "seed", [int(s) for s in os.environ.get(
+        "FLOCK_ENCODING_FUZZ_SEEDS", "5,29"
+    ).split(",")]
+)
+def test_differential_encoded_vs_plain(tmp_path, seed):
+    """Compressed encodings, late-decode fast paths and memory-budgeted
+    spill are observationally invisible: identical rows, order and errors
+    as the plain-storage twin, through DML churn, budget flips,
+    checkpoints and WAL-replay crash recovery. Two seeds x 120 ops = 240
+    differential rounds per run; CI's encoded-oracle lane raises both."""
+    driver = _EncodingTwinDriver(tmp_path / f"efuzz{seed}", seed)
+    ops = int(os.environ.get("FLOCK_ENCODING_FUZZ_OPS", "120"))
+    for i in range(1, ops + 1):
+        driver.step()
+        if i % 15 == 0:
+            driver.toggle_budget()
+        if i % 30 == 0:
+            driver.encoded.checkpoint()
+        if i % 40 == 0:
+            driver.crash_reopen()
+    driver.diff()
+    driver.encoded.close()
+    driver.plain.close()

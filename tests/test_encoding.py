@@ -1,0 +1,434 @@
+"""Encoded-vector round trips, memory-budgeted spill and the top-k heap.
+
+The property battery pushes every encoding x dtype x null pattern through
+encode -> take/filter/slice/concat -> decode and demands bit-identical
+physical arrays against the plain vector. Engine tests then hold the same
+contract across WAL replay and checkpoint reopen, verify that a query
+exceeding ``flock.memory_budget`` completes by spilling (metrics fired,
+``spill=`` extras rendered, results unchanged), and pin the bounded-heap
+ORDER BY + LIMIT path (``topk=heap``).
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+
+import flock
+from flock.db import Database
+from flock.db.encoding import (
+    BitPackedVector,
+    DictionaryVector,
+    EncodedVector,
+    RunLengthVector,
+    concat_encoded,
+    encode_columns,
+    encode_vector,
+    encoding_of,
+    vector_nbytes,
+)
+from flock.db.types import DataType
+from flock.db.vector import ColumnVector
+from flock.errors import FlockError
+from flock.observability import metrics
+
+
+# ----------------------------------------------------------------------
+# Property battery: encode -> operate -> decode is bit-identical
+# ----------------------------------------------------------------------
+N = 96  # above MIN_ENCODE_ROWS, enough for interesting masks
+
+
+def _text_lowcard(rng):
+    return [f"cat_{rng.randrange(5)}" for _ in range(N)]
+
+
+def _int_runs(rng):
+    return [i // 8 for i in range(N)]
+
+
+def _int_smallrange(rng):
+    return [rng.randrange(0, 200) for _ in range(N)]
+
+
+def _int_offset(rng):
+    # Large offset, small span: frame-of-reference must carry the base.
+    return [10_000_000 + rng.randrange(0, 50) for _ in range(N)]
+
+
+def _date_runs(rng):
+    return [19_000 + (i // 12) for i in range(N)]  # days since epoch
+
+
+def _float_runs(rng):
+    return [float(i // 16) * 0.5 for i in range(N)]
+
+
+def _bool_runs(rng):
+    return [(i // 10) % 2 == 0 for i in range(N)]
+
+
+SHAPES = [
+    ("text-lowcard", DataType.TEXT, _text_lowcard, DictionaryVector),
+    ("int-runs", DataType.INTEGER, _int_runs, RunLengthVector),
+    ("int-smallrange", DataType.INTEGER, _int_smallrange, BitPackedVector),
+    ("int-offset", DataType.INTEGER, _int_offset, BitPackedVector),
+    ("date-runs", DataType.DATE, _date_runs, RunLengthVector),
+    ("float-runs", DataType.FLOAT, _float_runs, RunLengthVector),
+    ("bool-runs", DataType.BOOLEAN, _bool_runs, RunLengthVector),
+]
+
+NULL_PATTERNS = {
+    "none": lambda i: False,
+    "sparse": lambda i: i % 7 == 0,
+    "blocks": lambda i: (i // 16) % 2 == 1,
+    "edges": lambda i: i < 3 or i >= N - 3,
+    "all": lambda i: True,
+}
+
+
+def _build(shape, null_pattern):
+    _, dtype, maker, _ = shape
+    rng = random.Random(20260809)
+    values = maker(rng)
+    is_null = NULL_PATTERNS[null_pattern]
+    items = [None if is_null(i) else v for i, v in enumerate(values)]
+    return ColumnVector.from_values(dtype, items)
+
+
+def _assert_identical(left: ColumnVector, right: ColumnVector) -> None:
+    """Decoded physical arrays match exactly (values under NULLs too)."""
+    assert left.dtype is right.dtype
+    assert len(left) == len(right)
+    assert np.array_equal(np.asarray(left.nulls), np.asarray(right.nulls))
+    lv, rv = np.asarray(left.values), np.asarray(right.values)
+    if lv.dtype == np.dtype(object):
+        mask = ~np.asarray(left.nulls)
+        assert lv[mask].tolist() == rv[mask].tolist()
+    else:
+        assert np.array_equal(lv, rv), (lv, rv)
+    assert left.to_pylist() == right.to_pylist()
+
+
+@pytest.mark.parametrize("null_pattern", sorted(NULL_PATTERNS))
+@pytest.mark.parametrize("shape", SHAPES, ids=[s[0] for s in SHAPES])
+def test_encode_roundtrip_operations(shape, null_pattern):
+    plain = _build(shape, null_pattern)
+    encoded = encode_vector(plain)
+    if null_pattern == "none":
+        # With no nulls the selection rules must pick the expected class;
+        # null patterns may shift the winner (sparse nulls break runs) or
+        # leave the vector plain — round-trip identity still holds below.
+        assert isinstance(encoded, shape[3]), encoding_of(encoded)
+    if not isinstance(encoded, EncodedVector):
+        _assert_identical(encoded, plain)
+        return
+    assert vector_nbytes(encoded) < vector_nbytes(plain)
+
+    _assert_identical(encoded, plain)
+    _assert_identical(encoded.materialize(), plain)
+
+    rng = np.random.default_rng(7)
+    take = rng.integers(0, N, size=N + 13).astype(np.int64)
+    _assert_identical(encoded.take(take), plain.take(take))
+
+    mask = (np.arange(N) % 3 == 0) | (np.arange(N) > N - 10)
+    _assert_identical(encoded.filter(mask), plain.filter(mask))
+
+    _assert_identical(encoded.slice(5, N - 7), plain.slice(5, N - 7))
+    _assert_identical(encoded.slice(0, 0), plain.slice(0, 0))
+
+    _assert_identical(
+        encoded.concat(encoded.slice(0, 11)),
+        plain.concat(plain.slice(0, 11)),
+    )
+    # Mixed encoded/plain concat falls back to decoded arrays.
+    _assert_identical(
+        encoded.concat(plain.slice(0, 11)),
+        plain.concat(plain.slice(0, 11)),
+    )
+
+    for i in (0, 1, N // 2, N - 1):
+        assert encoded[i] == plain[i]
+
+
+@pytest.mark.parametrize("shape", SHAPES, ids=[s[0] for s in SHAPES])
+def test_concat_encoded_same_payload(shape):
+    plain = _build(shape, "none")
+    encoded = encode_vector(plain)
+    if not isinstance(encoded, (DictionaryVector, BitPackedVector)):
+        pytest.skip("one-shot concat covers dictionary/bit-packed only")
+    chunks = [encoded.slice(0, 40), encoded.slice(40, 70), encoded.slice(70, N)]
+    merged = concat_encoded(chunks)
+    assert merged is not None
+    assert type(merged) is type(encoded)
+    _assert_identical(merged, plain)
+
+
+def test_encode_columns_kill_switch_decodes():
+    plain = _build(SHAPES[0], "sparse")
+    encoded = encode_vector(plain)
+    assert isinstance(encoded, DictionaryVector)
+    out = encode_columns([encoded], enabled=False)
+    assert not isinstance(out[0], EncodedVector)
+    _assert_identical(out[0], plain)
+    again = encode_columns([plain], enabled=True)
+    assert isinstance(again[0], DictionaryVector)
+
+
+def test_short_and_highcard_vectors_stay_plain():
+    short = ColumnVector.from_values(DataType.TEXT, ["a", "b"] * 8)
+    assert not isinstance(encode_vector(short), EncodedVector)
+    unique = ColumnVector.from_values(
+        DataType.TEXT, [f"v{i}" for i in range(N)]
+    )
+    assert not isinstance(encode_vector(unique), EncodedVector)
+
+
+# ----------------------------------------------------------------------
+# Engine round trips: encoded tables through WAL replay and checkpoints
+# ----------------------------------------------------------------------
+def _fill(db, rows=400):
+    db.execute(
+        "CREATE TABLE enc (k INT PRIMARY KEY, cat TEXT, qty INT, "
+        "price FLOAT, d DATE)"
+    )
+    db.executemany(
+        "INSERT INTO enc VALUES (?, ?, ?, ?, ?)",
+        [
+            (
+                i,
+                None if i % 11 == 0 else f"cat_{i % 4}",
+                i % 50,
+                float(i % 7) * 1.25,
+                f"2026-0{1 + i % 9}-1{i % 8}",
+            )
+            for i in range(rows)
+        ],
+    )
+
+
+def _head_encodings(db, table):
+    head = db.catalog.table(table).head_version
+    return [encoding_of(c) for c in head.columns]
+
+
+def test_encoded_head_version_and_kill_switch(tmp_path):
+    db = Database(encodings=True)
+    _fill(db)
+    encs = _head_encodings(db, "enc")
+    assert encs[1] == "dict" and encs[2] == "bp"
+    rows = db.execute("SELECT * FROM enc ORDER BY k").rows()
+
+    plain = Database(encodings=False)
+    _fill(plain)
+    assert all(e is None for e in _head_encodings(plain, "enc"))
+    assert plain.execute("SELECT * FROM enc ORDER BY k").rows() == rows
+
+    # Runtime kill switch: the next staged version decodes everything.
+    db.execute("SET flock.encodings = 0")
+    db.execute("INSERT INTO enc VALUES (9001, 'cat_1', 1, 0.5, '2026-01-01')")
+    assert all(e is None for e in _head_encodings(db, "enc"))
+    # Re-enabling re-probes plain columns at the next power-of-two row
+    # crossing (amortized O(log n)), so append past the next boundary.
+    db.execute("SET flock.encodings = 1")
+    db.executemany(
+        "INSERT INTO enc VALUES (?, 'cat_2', 2, 0.5, '2026-01-02')",
+        [(10_000 + i,) for i in range(200)],
+    )
+    assert _head_encodings(db, "enc")[1] == "dict"
+    db.close()
+    plain.close()
+
+
+def test_encoded_table_survives_wal_replay(tmp_path):
+    path = tmp_path / "enc_wal"
+    db = Database.open(path, checkpoint_bytes=0, encodings=True)
+    _fill(db)
+    expected = db.execute("SELECT * FROM enc ORDER BY k").rows()
+    # No close(): recovery replays the whole WAL into encoded storage.
+    reopened = Database.open(path, checkpoint_bytes=0, encodings=True)
+    assert reopened.execute("SELECT * FROM enc ORDER BY k").rows() == expected
+    assert _head_encodings(reopened, "enc")[1] == "dict"
+    reopened.close()
+
+
+def test_encoded_table_survives_checkpoint_reopen(tmp_path):
+    path = tmp_path / "enc_ckpt"
+    db = Database.open(path, encodings=True)
+    _fill(db)
+    expected = db.execute("SELECT * FROM enc ORDER BY k").rows()
+    db.checkpoint()
+    db.close()
+    reopened = Database.open(path, encodings=True)
+    assert reopened.execute("SELECT * FROM enc ORDER BY k").rows() == expected
+    # The checkpoint stores plain JSON; the loader re-encodes the head.
+    assert _head_encodings(reopened, "enc")[1] == "dict"
+    # And a kill-switch reopen of the same files yields plain storage.
+    reopened.close()
+    off = Database.open(path, encodings=False)
+    assert off.execute("SELECT * FROM enc ORDER BY k").rows() == expected
+    assert all(e is None for e in _head_encodings(off, "enc"))
+    off.close()
+
+
+# ----------------------------------------------------------------------
+# Memory budget: blocking operators spill, results unchanged
+# ----------------------------------------------------------------------
+def _explain_text(db, sql):
+    return "\n".join(
+        " ".join(str(v) for v in row)
+        for row in db.execute("EXPLAIN ANALYZE " + sql).rows()
+    )
+
+
+def test_aggregate_spills_under_budget():
+    db = Database(encodings=True)
+    _fill(db, rows=1200)
+    sql = (
+        "SELECT cat, qty, COUNT(*), SUM(price), MIN(k) FROM enc "
+        "GROUP BY cat, qty ORDER BY cat, qty"
+    )
+    expected = db.execute(sql).rows()
+    before = metrics().counter("spill.aggregates").value
+    db.execute("SET flock.memory_budget = 4000")
+    assert db.execute(sql).rows() == expected
+    assert metrics().counter("spill.aggregates").value > before
+    assert metrics().counter("spill.bytes_written").value > 0
+    assert "spill=agg:" in _explain_text(db, sql)
+    db.execute("SET flock.memory_budget = 0")
+    assert "spill=agg:" not in _explain_text(db, sql)
+    db.close()
+
+
+def test_join_spills_under_budget():
+    db = Database(encodings=True)
+    _fill(db, rows=900)
+    db.execute("CREATE TABLE dims (qty INT, label TEXT)")
+    db.executemany(
+        "INSERT INTO dims VALUES (?, ?)",
+        [(q, f"label_{q % 6}") for q in range(50)],
+    )
+    for join in ("JOIN", "LEFT JOIN"):
+        sql = (
+            f"SELECT e.k, e.cat, d.label FROM enc e {join} dims d "
+            "ON e.qty = d.qty ORDER BY e.k"
+        )
+        expected = db.execute(sql).rows()
+        before = metrics().counter("spill.joins").value
+        db.execute("SET flock.memory_budget = 4000")
+        assert db.execute(sql).rows() == expected
+        assert metrics().counter("spill.joins").value > before
+        assert "spill=join:" in _explain_text(db, sql)
+        db.execute("SET flock.memory_budget = 0")
+    db.close()
+
+
+def test_spill_under_budget_durable_database(tmp_path):
+    # The spill directory lives under the database directory when durable.
+    path = tmp_path / "spilled"
+    db = Database.open(path, encodings=True, memory_budget=4000)
+    _fill(db, rows=1200)
+    sql = "SELECT cat, COUNT(*), SUM(qty) FROM enc GROUP BY cat, qty"
+    rows = db.execute(sql).rows()
+    db.execute("SET flock.memory_budget = 0")
+    assert db.execute(sql).rows() == rows
+    # Spill files are transient: nothing survives the statement.
+    spill_dir = path / "spill"
+    assert not spill_dir.exists() or not list(spill_dir.iterdir())
+    db.close()
+
+
+def test_tpch_class_query_exceeding_budget_completes():
+    """A lineitem-class aggregation far over budget completes via spill."""
+    db = Database(encodings=True)
+    db.execute(
+        "CREATE TABLE lineitem (l_orderkey INT, l_quantity INT, "
+        "l_extendedprice FLOAT, l_returnflag TEXT, l_linestatus TEXT)"
+    )
+    rng = random.Random(42)
+    db.executemany(
+        "INSERT INTO lineitem VALUES (?, ?, ?, ?, ?)",
+        [
+            (
+                i // 4,
+                rng.randrange(1, 51),
+                round(rng.uniform(900.0, 100_000.0), 2),
+                rng.choice(["A", "N", "R"]),
+                rng.choice(["F", "O"]),
+            )
+            for i in range(3000)
+        ],
+    )
+    sql = (
+        "SELECT l_returnflag, l_linestatus, SUM(l_quantity), "
+        "SUM(l_extendedprice), COUNT(*) FROM lineitem "
+        "GROUP BY l_returnflag, l_linestatus "
+        "ORDER BY l_returnflag, l_linestatus"
+    )
+    expected = db.execute(sql).rows()
+    before = metrics().counter("spill.aggregates").value
+    db.execute("SET flock.memory_budget = 2000")
+    assert db.execute(sql).rows() == expected
+    assert metrics().counter("spill.aggregates").value > before
+    db.close()
+
+
+# ----------------------------------------------------------------------
+# Bounded-memory top-k heap
+# ----------------------------------------------------------------------
+def test_order_by_limit_uses_heap():
+    db = Database(encodings=True)
+    _fill(db, rows=1000)
+    sql = "SELECT k, cat, qty FROM enc ORDER BY cat, k DESC LIMIT 10"
+    text = _explain_text(db, sql)
+    assert "topk=heap" in text
+    # The heap prefix equals the full-sort prefix, ties and all.
+    heap_rows = db.execute(sql).rows()
+    all_rows = db.execute(
+        "SELECT k, cat, qty FROM enc ORDER BY cat, k DESC"
+    ).rows()
+    assert heap_rows == all_rows[:10]
+    offset = db.execute(sql + " OFFSET 5").rows()
+    assert offset == all_rows[5:15]
+    db.close()
+
+
+def test_topk_heap_matches_plain_engine():
+    encoded, plain = Database(encodings=True), Database(encodings=False)
+    for db in (encoded, plain):
+        _fill(db, rows=600)
+    for sql in (
+        "SELECT cat, qty FROM enc ORDER BY cat LIMIT 7",
+        "SELECT k FROM enc ORDER BY price DESC, k LIMIT 25",
+        "SELECT cat, COUNT(*) FROM enc GROUP BY cat ORDER BY cat DESC LIMIT 3",
+    ):
+        assert encoded.execute(sql).rows() == plain.execute(sql).rows(), sql
+    encoded.close()
+    plain.close()
+
+
+# ----------------------------------------------------------------------
+# Knobs
+# ----------------------------------------------------------------------
+def test_set_knob_validation():
+    db = Database()
+    db.execute("SET flock.memory_budget = 65536")
+    db.execute("SET flock.encodings = 0")
+    db.execute("SET flock.encodings = 1")
+    with pytest.raises(FlockError):
+        db.execute("SET flock.memory_budget = 'lots'")
+    with pytest.raises(FlockError):
+        db.execute("SET flock.encodings = 'maybe'")
+    db.close()
+
+
+def test_connect_kwargs_reach_engine(tmp_path):
+    with flock.connect(encodings=True, memory_budget=12345) as client:
+        assert client.db.encodings_enabled()
+        client.execute("CREATE TABLE t (k INT)")
+    path = tmp_path / "kw"
+    with flock.connect(str(path), encodings=False) as client:
+        assert not client.db.encodings_enabled()

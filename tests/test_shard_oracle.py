@@ -53,6 +53,16 @@ READS = [
     "SELECT o.k, (SELECT COUNT(*) FROM side) FROM orac o ORDER BY o.k LIMIT 9",
     "SELECT o.k FROM orac o "
     "WHERE o.k > (SELECT SUM(s.w) FROM side s WHERE s.k = o.k) ORDER BY o.k",
+    # Encoding-sensitive shapes: text equality/IN/LIKE/range predicates,
+    # text grouping and text-led top-k take the dictionary late-decode
+    # fast paths on each shard when FLOCK_ENCODINGS=1 and the plain paths
+    # under FLOCK_ENCODINGS=0; the gathered result must be identical to
+    # the single engine in both lanes.
+    "SELECT k, v FROM orac WHERE v = 'v3' ORDER BY k",
+    "SELECT k FROM orac WHERE v IN ('v1', 'v7', 'zz') ORDER BY k",
+    "SELECT k FROM orac WHERE v LIKE 'v1%' ORDER BY k",
+    "SELECT k FROM orac WHERE v >= 'v4' ORDER BY k LIMIT 9",
+    "SELECT k, v FROM orac ORDER BY v DESC, k LIMIT 8",
     "SELECT k, ROW_NUMBER() OVER (ORDER BY k DESC) FROM orac ORDER BY k",
     "SELECT k, RANK() OVER (ORDER BY v), SUM(k) OVER (ORDER BY k) "
     "FROM orac ORDER BY k",
